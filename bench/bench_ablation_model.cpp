@@ -1,0 +1,140 @@
+// Ablation: which parts of the respondent model carry which figures.
+//
+// DESIGN.md's calibration section claims two load-bearing components:
+//   1. the latent factor effects (without them Figures 16-21 flatten), and
+//   2. the per-question calibrated rates (without them Figure 14's profile
+//      collapses to a uniform correct rate).
+// This bench measures both ablations against the full model so the claims
+// are numbers, not prose.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "report/table.hpp"
+#include "respondent/background_model.hpp"
+#include "respondent/calibration.hpp"
+#include "respondent/suspicion_model.hpp"
+#include "respondent/population.hpp"
+#include "stats/prng.hpp"
+#include "survey/analysis.hpp"
+#include "survey/factor_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace rs = fpq::respondent;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+// Ablated cohort A: flat ability (factor effects removed) — everyone gets
+// the population-mean target.
+std::vector<sv::SurveyRecord> flat_ability_cohort(std::uint64_t seed,
+                                                  std::size_t n) {
+  static const auto model = rs::CalibratedQuizModel::fit(0xCA11B8A7EDULL);
+  fpq::stats::Xoshiro256pp root(seed);
+  std::vector<sv::SurveyRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto g = root.split(i);
+    sv::SurveyRecord r;
+    r.respondent_id = i + 1;
+    r.background = rs::sample_background(g);
+    rs::Ability flat;  // defaults: mean targets, propensity 1
+    // keep individual noise so the histogram is not a spike
+    flat.core_target = pd::core_quiz_averages().correct +
+                       fpq::stats::normal(g, 0.0, rs::kCoreResidualSigma);
+    r.core = model.sample_core(flat, g);
+    r.opt = model.sample_opt(flat, g);
+    r.suspicion = rs::sample_suspicion(rs::Cohort::kMain, g);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// Ablated cohort B: uncalibrated questions — every question answered
+// correctly with the same flat probability (the overall 8.5/15 = 56.7%),
+// no don't-know structure.
+std::vector<sv::SurveyRecord> uncalibrated_cohort(std::uint64_t seed,
+                                                  std::size_t n) {
+  fpq::stats::Xoshiro256pp root(seed);
+  const auto truths = quiz::standard_core_truths();
+  std::vector<sv::SurveyRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto g = root.split(i);
+    sv::SurveyRecord r;
+    r.respondent_id = i + 1;
+    r.background = rs::sample_background(g);
+    for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+      const bool correct = fpq::stats::bernoulli(g, 8.5 / 15.0);
+      r.core.answers[q] = correct ? quiz::to_answer(truths[q])
+                          : truths[q] == quiz::Truth::kTrue
+                              ? quiz::Answer::kFalse
+                              : quiz::Answer::kTrue;
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// Spread of per-question correct rates (Figure 14's profile "texture").
+double question_rate_spread(const std::vector<sv::SurveyRecord>& cohort) {
+  const auto rows =
+      sv::core_question_breakdown(cohort, quiz::standard_core_truths());
+  double lo = 100.0, hi = 0.0;
+  for (const auto& row : rows) {
+    lo = std::min(lo, row.pct_correct);
+    hi = std::max(hi, row.pct_correct);
+  }
+  return hi - lo;
+}
+
+double size_factor_spread(const std::vector<sv::SurveyRecord>& cohort) {
+  return sv::core_correct_spread(sv::by_contributed_size(
+      cohort, quiz::standard_core_truths(), quiz::standard_opt_truths()));
+}
+
+}  // namespace
+
+int main() {
+  const auto& full = fpq::bench::main_cohort();
+  const auto flat = flat_ability_cohort(fpq::bench::kCohortSeed, 199);
+  const auto uncal = uncalibrated_cohort(fpq::bench::kCohortSeed, 199);
+
+  rp::Table table({"model variant", "Fig16 size spread (/15)",
+                   "Fig14 question-rate spread (pct pts)"});
+  table.add_row({"full model", rp::Table::fmt(size_factor_spread(full), 2),
+                 rp::Table::fmt(question_rate_spread(full), 1)});
+  table.add_row({"ablation: no factor effects",
+                 rp::Table::fmt(size_factor_spread(flat), 2),
+                 rp::Table::fmt(question_rate_spread(flat), 1)});
+  table.add_row({"ablation: no per-question calibration",
+                 rp::Table::fmt(size_factor_spread(uncal), 2),
+                 rp::Table::fmt(question_rate_spread(uncal), 1)});
+  table.add_row({"paper", "4.00", "70.3"});
+  std::fputs(rp::section("Ablation: which model component carries which "
+                         "figure",
+                         table.render())
+                 .c_str(),
+             stdout);
+
+  // Verdicts: the full model must dominate each ablation on its figure.
+  const bool factors_matter =
+      size_factor_spread(full) > size_factor_spread(flat) + 1.0;
+  const bool calibration_matters =
+      question_rate_spread(full) > question_rate_spread(uncal) + 20.0;
+  std::printf(
+      "factor effects carry Figure 16: %s (spread %.2f vs %.2f flat)\n",
+      factors_matter ? "yes" : "NO", size_factor_spread(full),
+      size_factor_spread(flat));
+  std::printf(
+      "per-question calibration carries Figure 14: %s (spread %.1f vs "
+      "%.1f flat)\n",
+      calibration_matters ? "yes" : "NO", question_rate_spread(full),
+      question_rate_spread(uncal));
+  return factors_matter && calibration_matters ? 0 : 1;
+}

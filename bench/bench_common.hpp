@@ -1,0 +1,42 @@
+// Shared plumbing for the reproduction benches: the fixed evaluation
+// cohorts and comparison-row helpers. Every bench uses the same seed so
+// EXPERIMENTS.md quotes one consistent synthetic dataset.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "report/compare.hpp"
+#include "respondent/population.hpp"
+#include "survey/record.hpp"
+
+namespace fpq::bench {
+
+inline constexpr std::uint64_t kCohortSeed = 20180521;  // IPDPS 2018
+
+inline const std::vector<survey::SurveyRecord>& main_cohort() {
+  static const auto cohort =
+      respondent::generate_main_cohort(kCohortSeed, 199);
+  return cohort;
+}
+
+inline const std::vector<survey::StudentRecord>& student_cohort() {
+  static const auto cohort =
+      respondent::generate_student_cohort(kCohortSeed, 52);
+  return cohort;
+}
+
+/// Prints a comparison block and returns 0 if everything is within
+/// tolerance, 1 otherwise (benches exit nonzero on gross divergence so CI
+/// catches shape regressions).
+inline int finish(const std::string& title,
+                  const std::vector<report::ComparisonRow>& rows,
+                  int decimals = 2) {
+  std::fputs(report::render_comparison(title, rows, decimals).c_str(),
+             stdout);
+  return report::summarize_comparison(rows).all_within() ? 0 : 1;
+}
+
+}  // namespace fpq::bench

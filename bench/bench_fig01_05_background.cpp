@@ -1,0 +1,71 @@
+// Figures 1-5: participant background tables — positions, areas, formal
+// and informal training, development roles. Regenerates each table from
+// the synthetic cohort and compares row counts against the paper.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "paperdata/paperdata.hpp"
+#include "report/table.hpp"
+#include "survey/analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+
+namespace {
+
+// Tolerance for one multinomial cell at n=199: ~2.5 sigma.
+double cell_tolerance(double expected_n) {
+  const double p = expected_n / 199.0;
+  return 2.5 * std::sqrt(199.0 * p * (1.0 - p)) + 1.0;
+}
+
+void add_rows(std::vector<rp::ComparisonRow>& rows, const char* figure,
+              std::span<const pd::CategoryCount> paper,
+              const std::vector<sv::TableRow>& measured) {
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    rows.push_back({std::string(figure) + ": " + std::string(paper[i].label),
+                    static_cast<double>(paper[i].n),
+                    static_cast<double>(measured[i].n),
+                    cell_tolerance(static_cast<double>(paper[i].n))});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& cohort = fpq::bench::main_cohort();
+  std::vector<rp::ComparisonRow> rows;
+
+  add_rows(rows, "Fig1 position", pd::positions(),
+           sv::frequency_table(cohort, pd::positions(),
+                               [](const sv::SurveyRecord& r) {
+                                 return r.background.position;
+                               }));
+  add_rows(rows, "Fig2 area", pd::areas(),
+           sv::frequency_table(cohort, pd::areas(),
+                               [](const sv::SurveyRecord& r) {
+                                 return r.background.area;
+                               }));
+  add_rows(rows, "Fig3 training", pd::formal_training(),
+           sv::frequency_table(cohort, pd::formal_training(),
+                               [](const sv::SurveyRecord& r) {
+                                 return r.background.formal_training;
+                               }));
+  add_rows(rows, "Fig4 informal", pd::informal_training(),
+           sv::multi_select_table(
+               cohort, pd::informal_training(),
+               [](const sv::SurveyRecord& r)
+                   -> const std::vector<std::size_t>& {
+                 return r.background.informal_training;
+               }));
+  add_rows(rows, "Fig5 role", pd::dev_roles(),
+           sv::frequency_table(cohort, pd::dev_roles(),
+                               [](const sv::SurveyRecord& r) {
+                                 return r.background.dev_role;
+                               }));
+
+  return fpq::bench::finish(
+      "Figures 1-5: participant background (counts, n=199)", rows, 0);
+}

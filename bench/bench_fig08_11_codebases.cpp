@@ -1,0 +1,60 @@
+// Figures 8-11: codebase size and floating point extent tables.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "paperdata/paperdata.hpp"
+#include "survey/analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+
+namespace {
+
+double cell_tolerance(double expected_n) {
+  const double p = expected_n / 199.0;
+  return 2.5 * std::sqrt(199.0 * p * (1.0 - p)) + 1.0;
+}
+
+void add_table(std::vector<rp::ComparisonRow>& rows, const char* figure,
+               std::span<const pd::CategoryCount> paper,
+               const std::vector<sv::TableRow>& measured) {
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    rows.push_back({std::string(figure) + ": " + std::string(paper[i].label),
+                    static_cast<double>(paper[i].n),
+                    static_cast<double>(measured[i].n),
+                    cell_tolerance(static_cast<double>(paper[i].n))});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto& cohort = fpq::bench::main_cohort();
+  std::vector<rp::ComparisonRow> rows;
+
+  add_table(rows, "Fig8 contributed size", pd::contributed_codebase_sizes(),
+            sv::frequency_table(cohort, pd::contributed_codebase_sizes(),
+                                [](const sv::SurveyRecord& r) {
+                                  return r.background.contributed_size;
+                                }));
+  add_table(rows, "Fig9 contributed FP extent", pd::contributed_fp_extent(),
+            sv::frequency_table(cohort, pd::contributed_fp_extent(),
+                                [](const sv::SurveyRecord& r) {
+                                  return r.background.contributed_extent;
+                                }));
+  add_table(rows, "Fig10 involved size", pd::involved_codebase_sizes(),
+            sv::frequency_table(cohort, pd::involved_codebase_sizes(),
+                                [](const sv::SurveyRecord& r) {
+                                  return r.background.involved_size;
+                                }));
+  add_table(rows, "Fig11 involved FP extent", pd::involved_fp_extent(),
+            sv::frequency_table(cohort, pd::involved_fp_extent(),
+                                [](const sv::SurveyRecord& r) {
+                                  return r.background.involved_extent;
+                                }));
+
+  return fpq::bench::finish(
+      "Figures 8-11: codebase experience (counts, n=199)", rows, 0);
+}

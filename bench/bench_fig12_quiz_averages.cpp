@@ -1,0 +1,58 @@
+// Figure 12: the paper's headline table — average (expected) performance
+// on the core and optimization quizzes vs chance.
+
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "stats/bootstrap.hpp"
+#include "survey/analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+namespace quiz = fpq::quiz;
+
+int main() {
+  const auto& cohort = fpq::bench::main_cohort();
+  const auto core = sv::average_core(cohort, quiz::standard_core_truths());
+  const auto opt = sv::average_opt_tf(cohort, quiz::standard_opt_truths());
+  const auto paper_core = pd::core_quiz_averages();
+  const auto paper_opt = pd::opt_quiz_averages();
+
+  std::vector<rp::ComparisonRow> rows{
+      {"core #correct (chance 7.5)", paper_core.correct, core.correct, 0.5},
+      {"core #incorrect", paper_core.incorrect, core.incorrect, 0.5},
+      {"core #don't-know", paper_core.dont_know, core.dont_know, 0.5},
+      {"core #unanswered", paper_core.unanswered, core.unanswered, 0.25},
+      {"opt #correct (chance 1.5)", paper_opt.correct, opt.correct, 0.2},
+      {"opt #incorrect", paper_opt.incorrect, opt.incorrect, 0.2},
+      {"opt #don't-know", paper_opt.dont_know, opt.dont_know, 0.3},
+      {"opt #unanswered", paper_opt.unanswered, opt.unanswered, 0.15},
+  };
+
+  const int rc = fpq::bench::finish(
+      "Figure 12: average quiz performance (n=199)", rows);
+  std::printf(
+      "shape check: core correct (%.2f) is slightly above chance (7.5) and "
+      "well below mastery; opt don't-know (%.2f) dominates.\n",
+      core.correct, opt.dont_know);
+
+  // Resampling uncertainty: a 95% bootstrap CI for the mean core score.
+  // The paper's 8.5 must fall inside it for the reproduction to be more
+  // than a point coincidence.
+  std::vector<double> scores;
+  const auto key = quiz::standard_core_truths();
+  for (const auto& r : cohort) {
+    scores.push_back(
+        static_cast<double>(quiz::score_core(r.core, key).correct));
+  }
+  fpq::stats::Xoshiro256pp g(0xB007);
+  const auto ci = fpq::stats::bootstrap_mean(scores, 4000, 0.95, g);
+  const bool contains_paper = ci.lower <= 8.5 && 8.5 <= ci.upper;
+  std::printf(
+      "bootstrap: mean core score %.2f, 95%% CI [%.2f, %.2f] — %s the "
+      "paper's 8.5\n",
+      ci.estimate, ci.lower, ci.upper,
+      contains_paper ? "contains" : "DOES NOT contain");
+  return rc + (contains_paper ? 0 : 1);
+}

@@ -1,0 +1,49 @@
+// Figure 14: per-question breakdown of the core quiz — %correct,
+// %incorrect, %don't-know, %unanswered for each of the 15 questions, plus
+// the paper's two shape claims: 6 questions at chance, 2 majority-wrong.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "survey/analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+namespace quiz = fpq::quiz;
+
+int main() {
+  const auto& cohort = fpq::bench::main_cohort();
+  const auto measured =
+      sv::core_question_breakdown(cohort, quiz::standard_core_truths());
+  const auto paper = pd::core_breakdown();
+
+  // Binomial tolerance at n=199 for a percentage: ~2.5 sigma ~ 9 points.
+  constexpr double kTol = 9.0;
+  std::vector<rp::ComparisonRow> rows;
+  for (std::size_t q = 0; q < paper.size(); ++q) {
+    rows.push_back({std::string(paper[q].label) + " %correct",
+                    paper[q].pct_correct, measured[q].pct_correct, kTol});
+    rows.push_back({std::string(paper[q].label) + " %don't-know",
+                    paper[q].pct_dont_know, measured[q].pct_dont_know,
+                    kTol});
+  }
+  const int rc =
+      fpq::bench::finish("Figure 14: core quiz by question (n=199)", rows, 1);
+
+  // Shape claims.
+  std::size_t majority_wrong = 0;
+  std::size_t near_chance = 0;
+  for (std::size_t q = 0; q < measured.size(); ++q) {
+    if (measured[q].pct_incorrect > 50.0) ++majority_wrong;
+    if (std::fabs(measured[q].pct_correct - 50.0) < 10.0) ++near_chance;
+  }
+  std::printf(
+      "shape check: %zu questions majority-wrong (paper: 2 — Identity, "
+      "Divide by Zero); %zu questions within 10 points of chance "
+      "(paper flags 6 at chance).\n",
+      majority_wrong, near_chance);
+  return rc;
+}

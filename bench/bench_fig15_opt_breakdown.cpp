@@ -1,0 +1,44 @@
+// Figure 15: per-question breakdown of the optimization quiz — the table
+// where every row's "Don't Know" exceeds 50%.
+
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "survey/analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace rp = fpq::report;
+namespace quiz = fpq::quiz;
+
+int main() {
+  const auto& cohort = fpq::bench::main_cohort();
+  const auto measured =
+      sv::opt_question_breakdown(cohort, quiz::standard_opt_truths());
+  const auto paper = pd::opt_breakdown();
+
+  constexpr double kTol = 9.0;
+  std::vector<rp::ComparisonRow> rows;
+  for (std::size_t q = 0; q < paper.size(); ++q) {
+    rows.push_back({std::string(paper[q].label) + " %correct",
+                    paper[q].pct_correct, measured[q].pct_correct, kTol});
+    rows.push_back({std::string(paper[q].label) + " %incorrect",
+                    paper[q].pct_incorrect, measured[q].pct_incorrect,
+                    kTol});
+    rows.push_back({std::string(paper[q].label) + " %don't-know",
+                    paper[q].pct_dont_know, measured[q].pct_dont_know,
+                    kTol});
+  }
+  const int rc = fpq::bench::finish(
+      "Figure 15: optimization quiz by question (n=199)", rows, 1);
+
+  bool all_dk_dominant = true;
+  for (const auto& row : measured) {
+    if (row.pct_dont_know <= 50.0) all_dk_dominant = false;
+  }
+  std::printf(
+      "shape check: don't-know exceeds 50%% on every question: %s "
+      "(paper: yes, on all four).\n",
+      all_dk_dominant ? "yes" : "NO");
+  return rc + (all_dk_dominant ? 0 : 1);
+}

@@ -1,0 +1,67 @@
+// Performance of fpmon's scoped monitoring and of cohort generation
+// (google-benchmark). Answers the engineering questions behind §V's
+// proposed runtime monitoring tool: what does wrapping a region cost, and
+// how fast can synthetic studies be generated for power analysis?
+
+#include <benchmark/benchmark.h>
+
+#include "fpmon/monitor.hpp"
+#include "respondent/population.hpp"
+
+namespace {
+
+// A small "simulation" kernel: a few hundred FLOPs.
+[[gnu::noinline]] double kernel(double x0) {
+  volatile double x = x0;
+  double acc = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    acc += x / (1.0 + x * x);
+    x = x * 1.0000001 + 1e-9;
+  }
+  return acc;
+}
+
+void BM_KernelUnmonitored(benchmark::State& state) {
+  double seed = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel(seed));
+    seed += 0.1;
+  }
+}
+
+void BM_KernelMonitored(benchmark::State& state) {
+  double seed = 1.0;
+  for (auto _ : state) {
+    fpq::mon::ScopedMonitor monitor;
+    benchmark::DoNotOptimize(kernel(seed));
+    benchmark::DoNotOptimize(monitor.stop().any());
+    seed += 0.1;
+  }
+}
+
+void BM_MonitorScopeOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    fpq::mon::ScopedMonitor monitor;
+    benchmark::DoNotOptimize(monitor.stop().any());
+  }
+}
+
+void BM_GenerateCohort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto cohort = fpq::respondent::generate_main_cohort(seed++, n);
+    benchmark::DoNotOptimize(cohort.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_KernelUnmonitored);
+BENCHMARK(BM_KernelMonitored);
+BENCHMARK(BM_MonitorScopeOnly);
+BENCHMARK(BM_GenerateCohort)->Arg(199)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

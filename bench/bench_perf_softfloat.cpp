@@ -1,0 +1,132 @@
+// Performance of the softfloat engine vs host hardware (google-benchmark).
+// Not a paper figure — an engineering characterization of the substrate:
+// how much slower is the bit-exact software implementation, per operation
+// and format, and what FTZ/emulation modes cost.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "softfloat/ops.hpp"
+#include "stats/prng.hpp"
+
+namespace sf = fpq::softfloat;
+
+namespace {
+
+std::vector<double> make_operands(std::size_t n, std::uint64_t seed) {
+  fpq::stats::Xoshiro256pp g(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) {
+    // Finite normals of moderate exponent (no special-case bias).
+    const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp = 1023 - 30 + fpq::stats::uniform_below(g, 60);
+    const std::uint64_t sign = g() & 0x8000000000000000ULL;
+    x = std::bit_cast<double>(sign | (exp << 52) | frac);
+  }
+  return out;
+}
+
+constexpr std::size_t kN = 4096;
+
+template <typename Op>
+void soft_binop_bench(benchmark::State& state, Op op) {
+  const auto xs = make_operands(kN, 1);
+  const auto ys = make_operands(kN, 2);
+  sf::Env env;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = op(sf::from_native(xs[i]), sf::from_native(ys[i]), env);
+    benchmark::DoNotOptimize(r.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+void BM_SoftAdd64(benchmark::State& state) {
+  soft_binop_bench(state, [](sf::Float64 a, sf::Float64 b, sf::Env& e) {
+    return sf::add(a, b, e);
+  });
+}
+void BM_SoftMul64(benchmark::State& state) {
+  soft_binop_bench(state, [](sf::Float64 a, sf::Float64 b, sf::Env& e) {
+    return sf::mul(a, b, e);
+  });
+}
+void BM_SoftDiv64(benchmark::State& state) {
+  soft_binop_bench(state, [](sf::Float64 a, sf::Float64 b, sf::Env& e) {
+    return sf::div(a, b, e);
+  });
+}
+void BM_SoftFma64(benchmark::State& state) {
+  const auto xs = make_operands(kN, 3);
+  const auto ys = make_operands(kN, 4);
+  const auto zs = make_operands(kN, 5);
+  sf::Env env;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = sf::fma(sf::from_native(xs[i]), sf::from_native(ys[i]),
+                           sf::from_native(zs[i]), env);
+    benchmark::DoNotOptimize(r.bits);
+    i = (i + 1) % kN;
+  }
+}
+void BM_SoftSqrt64(benchmark::State& state) {
+  const auto xs = make_operands(kN, 6);
+  sf::Env env;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = sf::sqrt(sf::from_native(xs[i]).abs(), env);
+    benchmark::DoNotOptimize(r.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+void BM_SoftAdd64Ftz(benchmark::State& state) {
+  const auto xs = make_operands(kN, 7);
+  const auto ys = make_operands(kN, 8);
+  sf::Env env;
+  env.set_flush_to_zero(true);
+  env.set_denormals_are_zero(true);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r =
+        sf::add(sf::from_native(xs[i]), sf::from_native(ys[i]), env);
+    benchmark::DoNotOptimize(r.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+// Hardware baselines for the speedup ratio.
+void BM_HardwareAdd64(benchmark::State& state) {
+  const auto xs = make_operands(kN, 1);
+  const auto ys = make_operands(kN, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    volatile double r = xs[i] + ys[i];
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % kN;
+  }
+}
+void BM_HardwareDiv64(benchmark::State& state) {
+  const auto xs = make_operands(kN, 1);
+  const auto ys = make_operands(kN, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    volatile double r = xs[i] / ys[i];
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % kN;
+  }
+}
+
+BENCHMARK(BM_SoftAdd64);
+BENCHMARK(BM_SoftMul64);
+BENCHMARK(BM_SoftDiv64);
+BENCHMARK(BM_SoftFma64);
+BENCHMARK(BM_SoftSqrt64);
+BENCHMARK(BM_SoftAdd64Ftz);
+BENCHMARK(BM_HardwareAdd64);
+BENCHMARK(BM_HardwareDiv64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

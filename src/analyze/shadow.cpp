@@ -1,0 +1,201 @@
+#include "analyze/shadow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fpq::shadow {
+
+namespace {
+
+namespace bf = fpq::bigfloat;
+namespace opt = fpq::opt;
+namespace sf = fpq::softfloat;
+
+struct Walk {
+  const Config* config = nullptr;
+  bf::Context ctx;
+  std::vector<Finding>* findings = nullptr;
+};
+
+struct NodeValues {
+  double d = 0.0;        // binary64 value at this node
+  bf::BigFloat shadow;   // high-precision value at this node
+};
+
+NodeValues eval(const opt::Expr& e, Walk& walk) {
+  const opt::Expr::Node& n = e.node();
+  sf::Env env;  // per-node binary64 evaluation (strict IEEE)
+
+  auto child = [&](std::size_t i) { return eval(n.children[i], walk); };
+
+  NodeValues out;
+  switch (n.kind) {
+    case opt::ExprKind::kConst:
+      out.d = sf::to_native(n.value);
+      out.shadow = bf::BigFloat::from_double(out.d);
+      return out;
+    case opt::ExprKind::kAdd:
+    case opt::ExprKind::kSub: {
+      const NodeValues a = child(0);
+      const NodeValues b = child(1);
+      const bool subtract = n.kind == opt::ExprKind::kSub;
+      out.d = subtract
+                  ? sf::to_native(sf::sub(sf::from_native(a.d),
+                                          sf::from_native(b.d), env))
+                  : sf::to_native(sf::add(sf::from_native(a.d),
+                                          sf::from_native(b.d), env));
+      out.shadow = subtract
+                       ? bf::BigFloat::sub(a.shadow, b.shadow, walk.ctx)
+                       : bf::BigFloat::add(a.shadow, b.shadow, walk.ctx);
+      // Cancellation: the result's magnitude collapsed far below the
+      // larger operand's — leading bits annihilated, relative precision
+      // amplified.
+      if (a.shadow.is_finite() && !a.shadow.is_zero() &&
+          b.shadow.is_finite() && !b.shadow.is_zero() &&
+          out.shadow.is_finite() && !out.shadow.is_zero()) {
+        const std::int64_t in_msb =
+            std::max(a.shadow.msb_exponent(), b.shadow.msb_exponent());
+        const std::int64_t lost = in_msb - out.shadow.msb_exponent();
+        if (lost >= walk.config->cancellation_bits_threshold) {
+          Finding f;
+          f.expression = e.to_string();
+          f.reason =
+              "cancellation of " + std::to_string(lost) + " leading bits";
+          f.double_value = out.d;
+          f.shadow_value = out.shadow.to_double();
+          f.cancelled_bits = static_cast<int>(lost);
+          f.relative_error =
+              bf::relative_error(out.d, out.shadow, walk.ctx);
+          walk.findings->push_back(std::move(f));
+        }
+      }
+      break;
+    }
+    case opt::ExprKind::kMul: {
+      const NodeValues a = child(0);
+      const NodeValues b = child(1);
+      out.d = sf::to_native(
+          sf::mul(sf::from_native(a.d), sf::from_native(b.d), env));
+      out.shadow = bf::BigFloat::mul(a.shadow, b.shadow, walk.ctx);
+      break;
+    }
+    case opt::ExprKind::kDiv: {
+      const NodeValues a = child(0);
+      const NodeValues b = child(1);
+      out.d = sf::to_native(
+          sf::div(sf::from_native(a.d), sf::from_native(b.d), env));
+      out.shadow = bf::BigFloat::div(a.shadow, b.shadow, walk.ctx);
+      break;
+    }
+    case opt::ExprKind::kSqrt: {
+      const NodeValues a = child(0);
+      out.d = sf::to_native(sf::sqrt(sf::from_native(a.d), env));
+      out.shadow = bf::BigFloat::sqrt(a.shadow, walk.ctx);
+      break;
+    }
+    case opt::ExprKind::kFma: {
+      const NodeValues a = child(0);
+      const NodeValues b = child(1);
+      const NodeValues c = child(2);
+      out.d = sf::to_native(sf::fma(sf::from_native(a.d),
+                                    sf::from_native(b.d),
+                                    sf::from_native(c.d), env));
+      out.shadow =
+          bf::BigFloat::fma(a.shadow, b.shadow, c.shadow, walk.ctx);
+      break;
+    }
+  }
+
+  // Format-induced exceptional values: binary64 went NaN/inf where the
+  // high-precision value is an ordinary number.
+  const bool d_exceptional = std::isnan(out.d) || std::isinf(out.d);
+  const bool s_exceptional = out.shadow.is_nan() || out.shadow.is_infinity();
+  if (d_exceptional && !s_exceptional) {
+    Finding f;
+    f.expression = e.to_string();
+    f.reason = std::isnan(out.d)
+                   ? "binary64 produced NaN where the exact value is finite"
+                   : "binary64 overflowed where the exact value is finite";
+    f.double_value = out.d;
+    f.shadow_value = out.shadow.to_double();
+    f.relative_error = std::numeric_limits<double>::infinity();
+    walk.findings->push_back(std::move(f));
+  } else if (!d_exceptional && !s_exceptional && out.d != 0.0) {
+    const double rel = bf::relative_error(out.d, out.shadow, walk.ctx);
+    if (rel > walk.config->relative_error_threshold) {
+      Finding f;
+      f.expression = e.to_string();
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "relative error %.3g", rel);
+      f.reason = buf;
+      f.double_value = out.d;
+      f.shadow_value = out.shadow.to_double();
+      f.relative_error = rel;
+      walk.findings->push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report analyze(const opt::Expr& expr, const Config& config) {
+  Report report;
+  std::vector<Finding> findings;
+  Walk walk;
+  walk.config = &config;
+  walk.ctx.precision = config.precision;
+  walk.findings = &findings;
+
+  const NodeValues top = eval(expr, walk);
+  report.double_result = top.d;
+  report.shadow_result = top.shadow.to_double();
+  report.double_is_exceptional =
+      std::isnan(top.d) || std::isinf(top.d);
+  report.shadow_is_exceptional =
+      top.shadow.is_nan() || top.shadow.is_infinity();
+  report.format_induced_exception =
+      report.double_is_exceptional && !report.shadow_is_exceptional;
+  report.relative_error =
+      bf::relative_error(top.d, top.shadow, walk.ctx);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.relative_error > b.relative_error;
+            });
+  report.findings = std::move(findings);
+  return report;
+}
+
+std::string render(const Report& report) {
+  std::string out = "shadow-execution analysis\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  binary64 result:       %.17g\n",
+                report.double_result);
+  out += line;
+  std::snprintf(line, sizeof line, "  high-precision result: %.17g\n",
+                report.shadow_result);
+  out += line;
+  std::snprintf(line, sizeof line, "  relative error:        %.3g\n",
+                report.relative_error);
+  out += line;
+  if (report.format_induced_exception) {
+    out +=
+        "  VERDICT: binary64 produced an exceptional value the mathematics "
+        "does not contain — maximum suspicion\n";
+  } else if (!report.findings.empty()) {
+    out += "  VERDICT: suspicious nodes found\n";
+  } else {
+    out += "  VERDICT: clean at this precision\n";
+  }
+  for (const auto& f : report.findings) {
+    out += "  - " + f.expression + ": " + f.reason;
+    std::snprintf(line, sizeof line, " (double %.9g, shadow %.9g)\n",
+                  f.double_value, f.shadow_value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fpq::shadow

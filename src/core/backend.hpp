@@ -1,0 +1,74 @@
+// fpq::quiz — pluggable arithmetic backends.
+//
+// A backend is "a floating point implementation the quiz can be run
+// against": host hardware in double or float, or the softfloat engine in
+// any of its formats and (non-standard) flush modes. Ground truths are
+// *derived by execution* on a backend, so the answer key is demonstrated,
+// not asserted — and running the derivation on a non-IEEE backend (FTZ)
+// shows exactly which answers silently change on such hardware.
+//
+// The value model is host double: each backend rounds operands into its
+// own format on entry and widens results back, which makes one evaluation
+// routine serve every precision.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpmon/monitor.hpp"
+
+namespace fpq::quiz {
+
+class ArithmeticBackend {
+ public:
+  virtual ~ArithmeticBackend() = default;
+
+  /// Display name, e.g. "native-binary64", "softfloat-binary16".
+  virtual std::string name() const = 0;
+
+  // Arithmetic in the backend's format (operands are canonicalized into
+  // the format first; results widen back to double exactly).
+  virtual double add(double a, double b) = 0;
+  virtual double sub(double a, double b) = 0;
+  virtual double mul(double a, double b) = 0;
+  virtual double div(double a, double b) = 0;
+
+  // IEEE comparison semantics in the backend's format.
+  virtual bool equal(double a, double b) = 0;
+  virtual bool less(double a, double b) = 0;
+
+  /// Rounds a host double into the backend's format (identity for
+  /// binary64 backends). Lets tests construct "what the backend sees".
+  virtual double canonicalize(double x) = 0;
+
+  // Named values of the backend's format, widened to double.
+  virtual double max_finite() = 0;
+  virtual double min_normal() = 0;
+  virtual double min_subnormal() = 0;
+
+  /// Exceptional conditions accumulated since the last call; clears.
+  virtual mon::ConditionSet take_conditions() = 0;
+
+  /// True when the backend implements IEEE-standard semantics (no flush
+  /// modes); the answer-key invariance tests quantify over these.
+  virtual bool ieee_compliant() const = 0;
+};
+
+/// Factories.
+std::unique_ptr<ArithmeticBackend> make_native_double_backend();
+std::unique_ptr<ArithmeticBackend> make_native_float_backend();
+std::unique_ptr<ArithmeticBackend> make_soft_backend_64();
+std::unique_ptr<ArithmeticBackend> make_soft_backend_32();
+std::unique_ptr<ArithmeticBackend> make_soft_backend_16();
+/// bfloat16: binary32's range with a 7-bit significand — the reduced-
+/// precision ML format the paper's introduction motivates.
+std::unique_ptr<ArithmeticBackend> make_soft_backend_bf16();
+/// Softfloat binary64 with FTZ+DAZ: the non-standard hardware the
+/// optimization quiz warns about.
+std::unique_ptr<ArithmeticBackend> make_soft_backend_64_ftz();
+
+/// Every backend above, for parameterized sweeps.
+std::vector<std::unique_ptr<ArithmeticBackend>> make_all_backends();
+
+}  // namespace fpq::quiz

@@ -1,0 +1,175 @@
+// Host-FPU backends: binary64 (double) and binary32 (float ops widened).
+// Exception conditions are harvested through fpmon's scoped monitor.
+
+#include <cmath>
+#include <limits>
+
+#include "core/backend.hpp"
+
+namespace fpq::quiz {
+
+namespace {
+
+// Opaque ops: the quiz must observe real FPU behavior, not constant folds.
+[[gnu::noinline]] double n_add(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va + vb;
+  return r;
+}
+[[gnu::noinline]] double n_sub(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va - vb;
+  return r;
+}
+[[gnu::noinline]] double n_mul(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va * vb;
+  return r;
+}
+[[gnu::noinline]] double n_div(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va / vb;
+  return r;
+}
+[[gnu::noinline]] bool n_eq(double a, double b) {
+  volatile double va = a, vb = b;
+  return va == vb;
+}
+[[gnu::noinline]] bool n_lt(double a, double b) {
+  volatile double va = a, vb = b;
+  return va < vb;
+}
+
+[[gnu::noinline]] float f_add(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va + vb;
+  return r;
+}
+[[gnu::noinline]] float f_sub(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va - vb;
+  return r;
+}
+[[gnu::noinline]] float f_mul(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va * vb;
+  return r;
+}
+[[gnu::noinline]] float f_div(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va / vb;
+  return r;
+}
+[[gnu::noinline]] float f_narrow(double x) {
+  volatile double vx = x;
+  volatile float r = static_cast<float>(vx);
+  return r;
+}
+
+// Shared condition-harvesting shim: runs fn under a fresh scoped monitor
+// and accumulates whatever it raised.
+template <typename Backend, typename Fn>
+auto watched(Backend& self, Fn&& fn) {
+  mon::ScopedMonitor monitor;
+  const auto result = fn();
+  self.accumulate(monitor.stop());
+  return result;
+}
+
+class NativeDoubleBackend final : public ArithmeticBackend {
+ public:
+  std::string name() const override { return "native-binary64"; }
+
+  double add(double a, double b) override {
+    return watched(*this, [&] { return n_add(a, b); });
+  }
+  double sub(double a, double b) override {
+    return watched(*this, [&] { return n_sub(a, b); });
+  }
+  double mul(double a, double b) override {
+    return watched(*this, [&] { return n_mul(a, b); });
+  }
+  double div(double a, double b) override {
+    return watched(*this, [&] { return n_div(a, b); });
+  }
+  bool equal(double a, double b) override { return n_eq(a, b); }
+  bool less(double a, double b) override { return n_lt(a, b); }
+  double canonicalize(double x) override { return x; }
+  double max_finite() override { return std::numeric_limits<double>::max(); }
+  double min_normal() override { return std::numeric_limits<double>::min(); }
+  double min_subnormal() override {
+    return std::numeric_limits<double>::denorm_min();
+  }
+  mon::ConditionSet take_conditions() override {
+    mon::ConditionSet out = conditions_;
+    conditions_ = mon::ConditionSet{};
+    return out;
+  }
+  bool ieee_compliant() const override { return true; }
+
+  void accumulate(const mon::ConditionSet& seen) { conditions_.merge(seen); }
+
+ private:
+  mon::ConditionSet conditions_;
+};
+
+class NativeFloatBackend final : public ArithmeticBackend {
+ public:
+  std::string name() const override { return "native-binary32"; }
+
+  double add(double a, double b) override {
+    return watched(*this, [&] {
+      return static_cast<double>(f_add(f_narrow(a), f_narrow(b)));
+    });
+  }
+  double sub(double a, double b) override {
+    return watched(*this, [&] {
+      return static_cast<double>(f_sub(f_narrow(a), f_narrow(b)));
+    });
+  }
+  double mul(double a, double b) override {
+    return watched(*this, [&] {
+      return static_cast<double>(f_mul(f_narrow(a), f_narrow(b)));
+    });
+  }
+  double div(double a, double b) override {
+    return watched(*this, [&] {
+      return static_cast<double>(f_div(f_narrow(a), f_narrow(b)));
+    });
+  }
+  bool equal(double a, double b) override {
+    return n_eq(f_narrow(a), f_narrow(b));
+  }
+  bool less(double a, double b) override {
+    return n_lt(f_narrow(a), f_narrow(b));
+  }
+  double canonicalize(double x) override { return f_narrow(x); }
+  double max_finite() override { return std::numeric_limits<float>::max(); }
+  double min_normal() override { return std::numeric_limits<float>::min(); }
+  double min_subnormal() override {
+    return std::numeric_limits<float>::denorm_min();
+  }
+  mon::ConditionSet take_conditions() override {
+    mon::ConditionSet out = conditions_;
+    conditions_ = mon::ConditionSet{};
+    return out;
+  }
+  bool ieee_compliant() const override { return true; }
+
+  void accumulate(const mon::ConditionSet& seen) { conditions_.merge(seen); }
+
+ private:
+  mon::ConditionSet conditions_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArithmeticBackend> make_native_double_backend() {
+  return std::make_unique<NativeDoubleBackend>();
+}
+
+std::unique_ptr<ArithmeticBackend> make_native_float_backend() {
+  return std::make_unique<NativeFloatBackend>();
+}
+
+}  // namespace fpq::quiz

@@ -1,0 +1,124 @@
+// Softfloat backends: the quiz running on our own IEEE engine, at three
+// precisions plus a non-standard FTZ/DAZ variant. Because the engine's Env
+// carries the sticky flags, condition harvesting is exact and portable.
+
+#include "core/backend.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::quiz {
+
+namespace {
+
+namespace sf = fpq::softfloat;
+
+// Generic softfloat backend over a format; operands round into Float<B> on
+// entry, results widen exactly back to double.
+template <int kBits>
+class SoftBackend final : public ArithmeticBackend {
+ public:
+  SoftBackend(std::string name, bool ftz, bool daz)
+      : name_(std::move(name)), ftz_(ftz), daz_(daz) {
+    env_.set_flush_to_zero(ftz);
+    env_.set_denormals_are_zero(daz);
+  }
+
+  std::string name() const override { return name_; }
+
+  double add(double a, double b) override {
+    return widen(sf::add(narrow(a), narrow(b), env_));
+  }
+  double sub(double a, double b) override {
+    return widen(sf::sub(narrow(a), narrow(b), env_));
+  }
+  double mul(double a, double b) override {
+    return widen(sf::mul(narrow(a), narrow(b), env_));
+  }
+  double div(double a, double b) override {
+    return widen(sf::div(narrow(a), narrow(b), env_));
+  }
+  bool equal(double a, double b) override {
+    return sf::equal(narrow(a), narrow(b), env_);
+  }
+  bool less(double a, double b) override {
+    return sf::less(narrow(a), narrow(b), env_);
+  }
+  double canonicalize(double x) override { return widen(narrow(x)); }
+  double max_finite() override {
+    return widen(sf::Float<kBits>::max_finite());
+  }
+  double min_normal() override {
+    return widen(sf::Float<kBits>::min_normal());
+  }
+  double min_subnormal() override {
+    return widen(sf::Float<kBits>::min_subnormal());
+  }
+  mon::ConditionSet take_conditions() override {
+    const auto out = mon::ConditionSet::from_softfloat_flags(env_.flags());
+    env_.clear_flags();
+    return out;
+  }
+  bool ieee_compliant() const override { return !ftz_ && !daz_; }
+
+ private:
+  sf::Float<kBits> narrow(double x) {
+    if constexpr (kBits == 64) {
+      return sf::from_native(x);
+    } else {
+      // Conversion rounds but must not pollute the op's flag accounting
+      // beyond what real hardware of that format would do with a literal.
+      sf::Env quiet(env_.rounding());
+      quiet.set_denormals_are_zero(env_.denormals_are_zero());
+      return sf::convert<kBits>(sf::from_native(x), quiet);
+    }
+  }
+  double widen(sf::Float<kBits> x) {
+    if constexpr (kBits == 64) {
+      return sf::to_native(x);
+    } else {
+      sf::Env quiet;  // widening is exact
+      return sf::to_native(sf::convert<64>(x, quiet));
+    }
+  }
+
+  std::string name_;
+  bool ftz_;
+  bool daz_;
+  sf::Env env_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArithmeticBackend> make_soft_backend_64() {
+  return std::make_unique<SoftBackend<64>>("softfloat-binary64", false,
+                                           false);
+}
+std::unique_ptr<ArithmeticBackend> make_soft_backend_32() {
+  return std::make_unique<SoftBackend<32>>("softfloat-binary32", false,
+                                           false);
+}
+std::unique_ptr<ArithmeticBackend> make_soft_backend_16() {
+  return std::make_unique<SoftBackend<16>>("softfloat-binary16", false,
+                                           false);
+}
+std::unique_ptr<ArithmeticBackend> make_soft_backend_bf16() {
+  return std::make_unique<SoftBackend<sf::kBFloat16>>("softfloat-bfloat16",
+                                                      false, false);
+}
+std::unique_ptr<ArithmeticBackend> make_soft_backend_64_ftz() {
+  return std::make_unique<SoftBackend<64>>("softfloat-binary64-ftz-daz",
+                                           true, true);
+}
+
+std::vector<std::unique_ptr<ArithmeticBackend>> make_all_backends() {
+  std::vector<std::unique_ptr<ArithmeticBackend>> out;
+  out.push_back(make_native_double_backend());
+  out.push_back(make_native_float_backend());
+  out.push_back(make_soft_backend_64());
+  out.push_back(make_soft_backend_32());
+  out.push_back(make_soft_backend_16());
+  out.push_back(make_soft_backend_bf16());
+  out.push_back(make_soft_backend_64_ftz());
+  return out;
+}
+
+}  // namespace fpq::quiz

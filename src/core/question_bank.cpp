@@ -1,0 +1,185 @@
+#include "core/question_bank.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace fpq::quiz {
+
+namespace {
+
+constexpr std::array<CoreQuestion, kCoreQuestionCount> kCoreQuestions{{
+    {CoreQuestionId::kCommutativity,
+     "double a = ..., b = ...;  /* neither is the result of 0.0/0.0 */",
+     "(a + b) == (b + a) is always true.", Truth::kTrue,
+     "Floating point addition is commutative; the operands are rounded "
+     "values but the operation sees the same pair either way."},
+    {CoreQuestionId::kAssociativity,
+     "double a = ..., b = ..., c = ...;  /* no invalid values */",
+     "((a + b) + c) == (a + (b + c)) is always true.", Truth::kFalse,
+     "Each addition rounds; grouping changes which partial sums round. "
+     "Misjudging associativity is a common source of problems."},
+    {CoreQuestionId::kDistributivity,
+     "double a = ..., b = ..., c = ...;  /* no invalid values */",
+     "(a * (b + c)) == (a * b + a * c) is always true.", Truth::kFalse,
+     "Distributivity of real arithmetic does not survive per-operation "
+     "rounding (and the right side can even overflow to inf - inf)."},
+    {CoreQuestionId::kOrdering,
+     "double a = ..., b = ...;  /* no invalid values */",
+     "((a + b) - a) == b is always true.", Truth::kFalse,
+     "The inner sum rounds (or saturates at an infinity), so subtracting a "
+     "back need not recover b."},
+    {CoreQuestionId::kIdentity, "double a = ...;  /* any value */",
+     "(a == a) is always true.", Truth::kFalse,
+     "A result of an invalid operation compares unequal to everything, "
+     "including itself."},
+    {CoreQuestionId::kNegativeZero,
+     "double a = ..., b = ...;  /* both hold zero values */",
+     "It is possible for (a == b) to be false.", Truth::kFalse,
+     "The standard has a negative zero, but it compares equal to positive "
+     "zero: two zeros are never unequal."},
+    {CoreQuestionId::kSquare,
+     "double a = ...;  /* not the result of 0.0/0.0 */",
+     "(a * a) >= 0.0 is always true.", Truth::kTrue,
+     "Squares are non-negative in floating point (they saturate at +inf); "
+     "only integer arithmetic wraps to negative."},
+    {CoreQuestionId::kOverflow,
+     "double a = ...;  /* the largest finite value */",
+     "(a + a) produces a negative (wrapped-around) value, as it would for "
+     "a signed integer at its maximum.",
+     Truth::kFalse,
+     "Floating point overflow saturates at an infinity; integer overflow "
+     "wraps. The two behave completely differently."},
+    {CoreQuestionId::kDivideByZero, "double r = 1.0 / 0.0;",
+     "r is a value that compares equal to itself (it is not an invalid "
+     "result).",
+     Truth::kTrue,
+     "1.0/0.0 is an infinity, an ordinary comparable value that can "
+     "propagate silently all the way into program output."},
+    {CoreQuestionId::kZeroDivideByZero, "double r = 0.0 / 0.0;",
+     "r is a value that compares equal to itself (it is not an invalid "
+     "result).",
+     Truth::kFalse,
+     "0.0/0.0 is an invalid operation producing a NaN, which at least "
+     "propagates visibly to the output."},
+    {CoreQuestionId::kSaturationPlus, "double a = ...;  /* some value */",
+     "It is possible for (a + 1.0) == a to be true.", Truth::kTrue,
+     "At an infinity the sum saturates; at large finite magnitudes 1.0 is "
+     "below half an ulp and rounds away."},
+    {CoreQuestionId::kSaturationMinus, "double a = ...;  /* some value */",
+     "It is possible for (a - 1.0) == a to be true.", Truth::kTrue,
+     "Same as addition: you cannot back off from an infinity, and large "
+     "finite values absorb small subtrahends."},
+    {CoreQuestionId::kDenormalPrecision,
+     "/* consider representable values very near zero */",
+     "Floating point numbers very near zero have less precision than "
+     "numbers further away from zero.",
+     Truth::kTrue,
+     "Denormalized numbers lose significand bits as they approach zero "
+     "(gradual underflow); some hardware can even disable them."},
+    {CoreQuestionId::kOperationPrecision,
+     "double r = a / b;  /* a, b exact values */",
+     "The result of an arithmetic operation can have less precision than "
+     "its operands.",
+     Truth::kTrue,
+     "Most quotients (and many sums/products) are not representable and "
+     "must round."},
+    {CoreQuestionId::kExceptionSignal,
+     "/* a computation produces an exceptional value (an infinity or an "
+     "invalid result) */",
+     "By default, the program is informed (e.g. via a signal) when any "
+     "operation delivers an exceptional result.",
+     Truth::kFalse,
+     "By default exceptions only set sticky status flags; execution "
+     "continues silently. A signal-free run does NOT mean no exceptional "
+     "value was generated."},
+}};
+
+constexpr std::array<OptQuestion, kOptQuestionCount> kOptQuestions{{
+    {OptQuestionId::kMadd,
+     "Some processors provide a fused multiply-add instruction that "
+     "computes a*b+c with a single rounding at the end. This operation is "
+     "part of the original IEEE 754-1985 floating point standard.",
+     true, Truth::kFalse,
+     "Fused multiply-add was added in IEEE 754-2008; it is absent from "
+     "754-1985, and contracting a*b+c changes results versus separate "
+     "multiply and add."},
+    {OptQuestionId::kFlushToZero,
+     "Some processors have control bits (e.g. Intel's FTZ and DAZ) that "
+     "replace very small intermediate values with zero for speed. "
+     "Operating in this mode is permitted by the IEEE floating point "
+     "standard.",
+     true, Truth::kFalse,
+     "Flush-to-zero abandons the standard's gradual underflow; on some "
+     "hardware the bits are even on by default."},
+    {OptQuestionId::kStandardCompliantLevel,
+     "Which is generally the highest compiler optimization level that "
+     "still preserves standard-compliant floating point behavior?",
+     false, Truth::kFalse,
+     "-O2: at -O3 compilers may contract expressions to fused "
+     "multiply-adds, which changes results."},
+    {OptQuestionId::kFastMath,
+     "Compilers offer a fast-math option (e.g. gcc --ffast-math). Enabling "
+     "it can cause the program's floating point behavior to no longer "
+     "comply with the IEEE standard.",
+     true, Truth::kTrue,
+     "fast-math reassociates, assumes no NaNs/infinities, and links "
+     "startup code that enables FTZ/DAZ — the least conforming mode."},
+}};
+
+constexpr std::array<SuspicionItem, kSuspicionItemCount> kSuspicionItems{{
+    {SuspicionItemId::kOverflow,
+     "The result of some operation was an infinity (overflow).",
+     "Arguably, this is usually a sign of trouble in real code.", 4},
+    {SuspicionItemId::kUnderflow,
+     "The result of some operation was a zero (underflow).",
+     "This is probably not a sign of trouble in real code.", 2},
+    {SuspicionItemId::kPrecision,
+     "The result of some operation required rounding and thus a loss of "
+     "precision.",
+     "Rounding is very common and not a problem if the numeric behavior "
+     "of the algorithm has been designed correctly.",
+     1},
+    {SuspicionItemId::kInvalid,
+     "The result of some operation was a NaN (invalid).",
+     "This is almost invariably a sign of serious trouble in real code.",
+     5},
+    {SuspicionItemId::kDenorm,
+     "The result of some operation was a denormalized number.",
+     "Similar to rounding this is common — unless very tiny non-zero "
+     "results are unexpected in this computation.",
+     2},
+}};
+
+}  // namespace
+
+std::span<const CoreQuestion> core_questions() noexcept {
+  return kCoreQuestions;
+}
+
+const CoreQuestion& core_question(CoreQuestionId id) noexcept {
+  const auto idx = static_cast<std::size_t>(id);
+  assert(idx < kCoreQuestionCount);
+  return kCoreQuestions[idx];
+}
+
+std::span<const OptQuestion> opt_questions() noexcept {
+  return kOptQuestions;
+}
+
+const OptQuestion& opt_question(OptQuestionId id) noexcept {
+  const auto idx = static_cast<std::size_t>(id);
+  assert(idx < kOptQuestionCount);
+  return kOptQuestions[idx];
+}
+
+std::span<const SuspicionItem> suspicion_items() noexcept {
+  return kSuspicionItems;
+}
+
+const SuspicionItem& suspicion_item(SuspicionItemId id) noexcept {
+  const auto idx = static_cast<std::size_t>(id);
+  assert(idx < kSuspicionItemCount);
+  return kSuspicionItems[idx];
+}
+
+}  // namespace fpq::quiz

@@ -1,0 +1,58 @@
+// fpq::quiz — the canonical question bank.
+//
+// Every question of the paper's survey (§II-B, §II-C, §II-D) as data: a C
+// code snippet, the asserted claim, the standard-compliant ground truth,
+// and the rationale. The snippets use C syntax that is identical in C++,
+// C# and Java, matching the survey's design. Labels never appear in the
+// prompt text itself (the survey avoided prompting/anchoring terms like
+// "NaN"); they exist only for analysis tables.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace fpq::quiz {
+
+/// One core-quiz (true/false) question.
+struct CoreQuestion {
+  CoreQuestionId id;
+  std::string_view snippet;    ///< C code setting the scene
+  std::string_view assertion;  ///< the claim to judge true/false
+  Truth standard_truth;        ///< IEEE-standard answer
+  std::string_view rationale;  ///< why — one or two sentences
+};
+
+/// All 15 core questions in paper order.
+std::span<const CoreQuestion> core_questions() noexcept;
+const CoreQuestion& core_question(CoreQuestionId id) noexcept;
+
+/// One optimization-quiz question. Standard-compliant Level is multiple
+/// choice (see kOptLevelChoices in types.hpp); its `standard_truth` field
+/// is unused and the correct choice is kOptLevelCorrectChoice.
+struct OptQuestion {
+  OptQuestionId id;
+  std::string_view prompt;
+  bool is_true_false;
+  Truth standard_truth;  ///< valid only when is_true_false
+  std::string_view rationale;
+};
+
+std::span<const OptQuestion> opt_questions() noexcept;
+const OptQuestion& opt_question(OptQuestionId id) noexcept;
+
+/// One suspicion-quiz item: the scenario description shown for the given
+/// exceptional condition (§II-D), plus the paper's commentary on how
+/// suspicious one ought to be.
+struct SuspicionItem {
+  SuspicionItemId id;
+  std::string_view condition_description;
+  std::string_view commentary;
+  int advised_level;  ///< expert Likert level (matches fpmon's advice)
+};
+
+std::span<const SuspicionItem> suspicion_items() noexcept;
+const SuspicionItem& suspicion_item(SuspicionItemId id) noexcept;
+
+}  // namespace fpq::quiz

@@ -1,0 +1,75 @@
+// fpq::quiz — answer sheets and scoring.
+//
+// Scoring reproduces the paper's accounting exactly: per-quiz counts of
+// correct / incorrect / don't-know / unanswered (Figure 12), with the
+// Standard-compliant Level question excluded from the optimization-quiz
+// T/F tally because it is multiple choice.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "core/types.hpp"
+
+namespace fpq::quiz {
+
+/// A participant's core-quiz answer sheet, indexed by CoreQuestionId.
+struct CoreSheet {
+  std::array<Answer, kCoreQuestionCount> answers{
+      // Default: everything unanswered.
+  };
+  CoreSheet() { answers.fill(Answer::kUnanswered); }
+
+  Answer& operator[](CoreQuestionId id) {
+    return answers[static_cast<std::size_t>(id)];
+  }
+  Answer operator[](CoreQuestionId id) const {
+    return answers[static_cast<std::size_t>(id)];
+  }
+};
+
+/// A participant's optimization-quiz answer sheet: the three T/F answers
+/// (MADD, Flush to Zero, Fast-math, in that order) plus the
+/// multiple-choice level answer.
+struct OptSheet {
+  std::array<Answer, kOptTrueFalseCount> tf_answers{};
+  std::size_t level_choice = kOptLevelUnanswered;
+  OptSheet() { tf_answers.fill(Answer::kUnanswered); }
+};
+
+/// How one answer grades against the truth.
+enum class Grade { kCorrect, kIncorrect, kDontKnow, kUnanswered };
+
+Grade grade_answer(Answer given, Truth truth) noexcept;
+
+/// Counts over one quiz.
+struct QuizTally {
+  std::size_t correct = 0;
+  std::size_t incorrect = 0;
+  std::size_t dont_know = 0;
+  std::size_t unanswered = 0;
+  std::size_t total() const noexcept {
+    return correct + incorrect + dont_know + unanswered;
+  }
+};
+
+/// Scores the core sheet against a truth key.
+QuizTally score_core(const CoreSheet& sheet,
+                     const std::array<Truth, kCoreQuestionCount>& key)
+    noexcept;
+
+/// Scores the T/F part of the optimization sheet (3 questions).
+QuizTally score_opt_tf(const OptSheet& sheet,
+                       const std::array<Truth, kOptTrueFalseCount>& key)
+    noexcept;
+
+/// Grades the multiple-choice level question (correct / incorrect /
+/// don't-know / unanswered).
+Grade grade_level_choice(std::size_t choice) noexcept;
+
+/// Expected score under uniform random T/F guessing (the paper's "chance"
+/// lines in Figure 12).
+inline constexpr double kCoreChanceScore = kCoreQuestionCount / 2.0;  // 7.5
+inline constexpr double kOptChanceScore = kOptTrueFalseCount / 2.0;   // 1.5
+
+}  // namespace fpq::quiz

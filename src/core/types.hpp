@@ -1,0 +1,88 @@
+// fpq::quiz — identifiers and response types for the canonical quiz.
+//
+// The survey (paper §II) has three question components. Every question is
+// identified by a strongly-typed id whose enumerator order matches the
+// paper's presentation order, so analysis tables line up with Figures 14,
+// 15 and 22 by construction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fpq::quiz {
+
+/// The 15 core-quiz questions (§II-B), in paper order.
+enum class CoreQuestionId {
+  kCommutativity = 0,
+  kAssociativity,
+  kDistributivity,
+  kOrdering,
+  kIdentity,
+  kNegativeZero,
+  kSquare,
+  kOverflow,
+  kDivideByZero,
+  kZeroDivideByZero,
+  kSaturationPlus,
+  kSaturationMinus,
+  kDenormalPrecision,
+  kOperationPrecision,
+  kExceptionSignal,
+};
+inline constexpr std::size_t kCoreQuestionCount = 15;
+
+/// The 4 optimization-quiz questions (§II-C), in paper order.
+enum class OptQuestionId {
+  kMadd = 0,
+  kFlushToZero,
+  kStandardCompliantLevel,  ///< multiple choice, not T/F (see Figure 12)
+  kFastMath,
+};
+inline constexpr std::size_t kOptQuestionCount = 4;
+/// T/F optimization questions (Standard-compliant Level excluded), used
+/// for the chance line in Figure 12.
+inline constexpr std::size_t kOptTrueFalseCount = 3;
+
+/// The 5 suspicion-quiz conditions (§II-D), in paper order.
+enum class SuspicionItemId {
+  kOverflow = 0,
+  kUnderflow,
+  kPrecision,
+  kInvalid,
+  kDenorm,
+};
+inline constexpr std::size_t kSuspicionItemCount = 5;
+
+/// A participant's response to one true/false question.
+enum class Answer {
+  kTrue = 0,
+  kFalse,
+  kDontKnow,
+  kUnanswered,
+};
+
+/// Ground truth for a question as established by execution on a backend.
+enum class Truth { kTrue, kFalse };
+
+inline Answer to_answer(Truth t) noexcept {
+  return t == Truth::kTrue ? Answer::kTrue : Answer::kFalse;
+}
+
+/// Short label used in tables, e.g. "Associativity".
+std::string core_question_label(CoreQuestionId id);
+std::string opt_question_label(OptQuestionId id);
+std::string suspicion_item_label(SuspicionItemId id);
+std::string answer_label(Answer a);
+
+/// The multiple-choice options for Standard-compliant Level, in display
+/// order, plus the index of the correct one ("-O2").
+inline constexpr const char* kOptLevelChoices[] = {"-O0", "-O1", "-O2",
+                                                   "-O3", "-Ofast"};
+inline constexpr std::size_t kOptLevelChoiceCount = 5;
+inline constexpr std::size_t kOptLevelCorrectChoice = 2;  // "-O2"
+/// Sentinel choice index meaning "Don't know".
+inline constexpr std::size_t kOptLevelDontKnow = kOptLevelChoiceCount;
+/// Sentinel choice index meaning "unanswered".
+inline constexpr std::size_t kOptLevelUnanswered = kOptLevelChoiceCount + 1;
+
+}  // namespace fpq::quiz

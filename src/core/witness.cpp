@@ -1,0 +1,358 @@
+#include "core/witness.hpp"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+#include "optprobe/emulated_pipeline.hpp"
+#include "optprobe/flag_audit.hpp"
+#include "optprobe/mxcsr.hpp"
+
+namespace fpq::quiz {
+
+namespace {
+
+std::string num(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+// Directed operand pool: interesting magnitudes canonicalized into the
+// backend's format (so the binary16 backend sweeps binary16 values).
+std::array<double, 12> operand_pool(ArithmeticBackend& b) {
+  return {b.canonicalize(0.0),    b.canonicalize(-0.0),
+          b.canonicalize(1.0),    b.canonicalize(-1.0),
+          b.canonicalize(0.1),    b.canonicalize(-3.5),
+          b.canonicalize(7.25),   b.canonicalize(1000.0),
+          b.canonicalize(1.0 / 3.0), b.canonicalize(-0.001),
+          b.max_finite(),         b.min_normal()};
+}
+
+Demonstration demo_commutativity(ArithmeticBackend& b) {
+  const auto pool = operand_pool(b);
+  for (double x : pool) {
+    for (double y : pool) {
+      if (!b.equal(b.add(x, y), b.add(y, x)) ||
+          !b.equal(b.mul(x, y), b.mul(y, x))) {
+        return {Truth::kFalse, "counterexample: x=" + num(x) +
+                                   " y=" + num(y) +
+                                   " (commutativity violated?!)"};
+      }
+    }
+  }
+  return {Truth::kTrue,
+          "swept " + std::to_string(pool.size() * pool.size()) +
+              " directed pairs incl. zeros and extremes: x+y == y+x and "
+              "x*y == y*x throughout"};
+}
+
+Demonstration demo_associativity(ArithmeticBackend& b) {
+  const double one = b.canonicalize(1.0);
+  // Walk 2^k until the rounding of (big + 1) eats the 1.
+  double big = b.canonicalize(2.0);
+  for (int k = 1; k < 1100; ++k) {
+    const double neg = b.sub(b.canonicalize(0.0), big);  // -big
+    const double left = b.add(b.add(big, neg), one);     // (a+b)+c = 1
+    const double right = b.add(big, b.add(neg, one));    // a+(b+c)
+    if (!b.equal(left, right)) {
+      return {Truth::kFalse,
+              "counterexample: a=" + num(big) + " b=" + num(-big) +
+                  " c=1: (a+b)+c = " + num(left) +
+                  " but a+(b+c) = " + num(right)};
+    }
+    big = b.mul(big, b.canonicalize(2.0));
+    if (b.equal(big, b.add(big, big))) break;  // saturated at inf
+  }
+  return {Truth::kTrue, "no counterexample found (unexpected)"};
+}
+
+Demonstration demo_distributivity(ArithmeticBackend& b) {
+  // a*(b+c) vs a*b + a*c with a = max_finite, b = 2, c = -2:
+  // the left side is exactly 0 while the right side overflows both
+  // products and collapses to inf + (-inf) = invalid.
+  const double a = b.max_finite();
+  const double lhs = b.mul(a, b.add(b.canonicalize(2.0),
+                                    b.canonicalize(-2.0)));
+  const double rhs =
+      b.add(b.mul(a, b.canonicalize(2.0)), b.mul(a, b.canonicalize(-2.0)));
+  if (!b.equal(lhs, rhs)) {
+    return {Truth::kFalse,
+            "counterexample: a=max_finite, b=2, c=-2: a*(b+c) = 0 but "
+            "a*b + a*c = inf + (-inf) = invalid"};
+  }
+  // Fallback: rounding-level counterexample sweep.
+  const auto pool = operand_pool(b);
+  for (double x : pool) {
+    for (double y : pool) {
+      for (double z : pool) {
+        const double l = b.mul(x, b.add(y, z));
+        const double r = b.add(b.mul(x, y), b.mul(x, z));
+        if (!b.equal(l, r)) {
+          return {Truth::kFalse, "counterexample: a=" + num(x) +
+                                     " b=" + num(y) + " c=" + num(z)};
+        }
+      }
+    }
+  }
+  return {Truth::kTrue, "no counterexample found (unexpected)"};
+}
+
+Demonstration demo_ordering(ArithmeticBackend& b) {
+  const double one = b.canonicalize(1.0);
+  double big = b.canonicalize(2.0);
+  for (int k = 1; k < 1100; ++k) {
+    const double recovered = b.sub(b.add(big, one), big);
+    if (!b.equal(recovered, one)) {
+      return {Truth::kFalse, "counterexample: a=" + num(big) +
+                                 " b=1: ((a+b)-a) = " + num(recovered) +
+                                 " != 1"};
+    }
+    big = b.mul(big, b.canonicalize(2.0));
+    if (b.equal(big, b.add(big, big))) break;
+  }
+  return {Truth::kTrue, "no counterexample found (unexpected)"};
+}
+
+Demonstration demo_identity(ArithmeticBackend& b) {
+  const double nan = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
+  if (!b.equal(nan, nan)) {
+    return {Truth::kFalse,
+            "counterexample: a = 0.0/0.0 gives a == a false"};
+  }
+  return {Truth::kTrue, "a == a held even for 0.0/0.0 (unexpected)"};
+}
+
+Demonstration demo_negative_zero(ArithmeticBackend& b) {
+  const double pz = b.canonicalize(0.0);
+  const double nz = b.canonicalize(-0.0);
+  if (b.equal(pz, nz)) {
+    return {Truth::kFalse,
+            "+0 == -0 compares true: two zeros are never unequal"};
+  }
+  return {Truth::kTrue, "+0 != -0 on this backend (non-IEEE behavior!)"};
+}
+
+Demonstration demo_square(ArithmeticBackend& b) {
+  const auto pool = operand_pool(b);
+  for (double x : pool) {
+    const double sq = b.mul(x, x);
+    if (b.less(sq, b.canonicalize(0.0)) || !b.equal(sq, sq)) {
+      return {Truth::kFalse, "counterexample: x=" + num(x)};
+    }
+  }
+  // Overflowing square saturates at +inf, still >= 0.
+  const double big_sq = b.mul(b.max_finite(), b.max_finite());
+  if (b.less(big_sq, b.canonicalize(0.0))) {
+    return {Truth::kFalse, "max_finite^2 came out negative (wrapped?)"};
+  }
+  return {Truth::kTrue,
+          "squares of directed values (incl. max_finite, whose square "
+          "saturates at +inf) all compare >= 0"};
+}
+
+Demonstration demo_overflow(ArithmeticBackend& b) {
+  const double a = b.max_finite();
+  const double doubled = b.add(a, a);
+  if (b.less(doubled, b.canonicalize(0.0))) {
+    return {Truth::kTrue,
+            "max_finite + max_finite wrapped to a negative value"};
+  }
+  return {Truth::kFalse, "max_finite + max_finite = " + num(doubled) +
+                             ": saturates at +infinity, no wrap-around"};
+}
+
+Demonstration demo_divide_by_zero(ArithmeticBackend& b) {
+  const double r = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  if (b.equal(r, r)) {
+    return {Truth::kTrue, "1.0/0.0 = " + num(r) +
+                              ": an infinity — an ordinary comparable "
+                              "value, not an invalid result"};
+  }
+  return {Truth::kFalse, "1.0/0.0 produced an invalid result (unexpected)"};
+}
+
+Demonstration demo_zero_divide_by_zero(ArithmeticBackend& b) {
+  const double r = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
+  if (!b.equal(r, r)) {
+    return {Truth::kFalse,
+            "0.0/0.0 is an invalid result (it compares unequal to "
+            "itself), so the assertion that it is a non-invalid value is "
+            "false"};
+  }
+  return {Truth::kTrue, "0.0/0.0 compared equal to itself (unexpected)"};
+}
+
+Demonstration demo_saturation_plus(ArithmeticBackend& b) {
+  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  const double one = b.canonicalize(1.0);
+  if (b.equal(b.add(inf, one), inf)) {
+    return {Truth::kTrue,
+            "witness: a = +infinity has (a + 1.0) == a; also a = "
+            "max_finite (" +
+                num(b.max_finite()) + ") where 1.0 is below half an ulp"};
+  }
+  if (b.equal(b.add(b.max_finite(), one), b.max_finite())) {
+    return {Truth::kTrue, "witness: a = max_finite absorbs + 1.0"};
+  }
+  return {Truth::kFalse, "no witness found (unexpected)"};
+}
+
+Demonstration demo_saturation_minus(ArithmeticBackend& b) {
+  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  const double one = b.canonicalize(1.0);
+  if (b.equal(b.sub(inf, one), inf)) {
+    return {Truth::kTrue,
+            "witness: a = +infinity has (a - 1.0) == a — you cannot back "
+            "off from an infinity"};
+  }
+  return {Truth::kFalse, "no witness found (unexpected)"};
+}
+
+Demonstration demo_denormal_precision(ArithmeticBackend& b) {
+  const double tiny = b.min_subnormal();
+  if (b.equal(tiny, b.canonicalize(0.0))) {
+    return {Truth::kTrue,
+            "this backend flushes the sub-normal range entirely to zero "
+            "(FTZ/DAZ): near zero there is not merely less precision but "
+            "none at all"};
+  }
+  // At normal scale x * 1.75 is exact; at the bottom of the subnormal
+  // range the same multiply must round (only 1 significand bit is left).
+  const double scale = b.canonicalize(1.75);
+  const double near_zero_ratio = b.div(b.mul(tiny, scale), tiny);
+  const double normal_ratio =
+      b.div(b.mul(b.canonicalize(1.0), scale), b.canonicalize(1.0));
+  if (b.equal(normal_ratio, scale) && !b.equal(near_zero_ratio, scale)) {
+    return {Truth::kTrue,
+            "witness: x*1.75/x == 1.75 at x = 1.0 but == " +
+                num(near_zero_ratio) +
+                " at x = min_subnormal — significand bits vanish near "
+                "zero (gradual underflow)"};
+  }
+  return {Truth::kFalse,
+          "no precision loss observed near zero (unexpected)"};
+}
+
+Demonstration demo_operation_precision(ArithmeticBackend& b) {
+  (void)b.take_conditions();
+  const double r = b.div(b.canonicalize(1.0), b.canonicalize(3.0));
+  const auto seen = b.take_conditions();
+  if (seen.test(mon::Condition::kPrecision)) {
+    return {Truth::kTrue, "witness: 1.0/3.0 = " + num(r) +
+                              " required rounding (inexact was raised): "
+                              "the result has less precision than the "
+                              "exact quotient"};
+  }
+  return {Truth::kFalse, "1.0/3.0 was exact on this backend (unexpected)"};
+}
+
+Demonstration demo_exception_signal(ArithmeticBackend& b) {
+  (void)b.take_conditions();
+  const double nan = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
+  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  (void)nan;
+  (void)inf;
+  const auto seen = b.take_conditions();
+  // We are demonstrably still executing: no signal/trap was delivered.
+  if (seen.test(mon::Condition::kInvalid) &&
+      seen.test(mon::Condition::kDivByZero)) {
+    return {Truth::kFalse,
+            "witness: 0.0/0.0 and 1.0/0.0 both executed; only sticky "
+            "status flags recorded the events (" +
+                seen.to_string() +
+                ") and execution continued with no signal"};
+  }
+  return {Truth::kFalse,
+          "no signal was delivered (and this backend did not even record "
+          "flags)"};
+}
+
+}  // namespace
+
+Demonstration demonstrate_core(CoreQuestionId id,
+                               ArithmeticBackend& backend) {
+  switch (id) {
+    case CoreQuestionId::kCommutativity:
+      return demo_commutativity(backend);
+    case CoreQuestionId::kAssociativity:
+      return demo_associativity(backend);
+    case CoreQuestionId::kDistributivity:
+      return demo_distributivity(backend);
+    case CoreQuestionId::kOrdering:
+      return demo_ordering(backend);
+    case CoreQuestionId::kIdentity:
+      return demo_identity(backend);
+    case CoreQuestionId::kNegativeZero:
+      return demo_negative_zero(backend);
+    case CoreQuestionId::kSquare:
+      return demo_square(backend);
+    case CoreQuestionId::kOverflow:
+      return demo_overflow(backend);
+    case CoreQuestionId::kDivideByZero:
+      return demo_divide_by_zero(backend);
+    case CoreQuestionId::kZeroDivideByZero:
+      return demo_zero_divide_by_zero(backend);
+    case CoreQuestionId::kSaturationPlus:
+      return demo_saturation_plus(backend);
+    case CoreQuestionId::kSaturationMinus:
+      return demo_saturation_minus(backend);
+    case CoreQuestionId::kDenormalPrecision:
+      return demo_denormal_precision(backend);
+    case CoreQuestionId::kOperationPrecision:
+      return demo_operation_precision(backend);
+    case CoreQuestionId::kExceptionSignal:
+      return demo_exception_signal(backend);
+  }
+  assert(false && "unknown core question");
+  return {};
+}
+
+Demonstration demonstrate_opt(OptQuestionId id) {
+  namespace opt = fpq::opt;
+  switch (id) {
+    case OptQuestionId::kMadd: {
+      const auto d = opt::diverge(opt::demo_contraction_sensitive(),
+                                  opt::PipelineConfig::o3_like());
+      std::string w =
+          "fused multiply-add is IEEE 754-2008 (not 754-1985); "
+          "demonstrated divergence: contracting x*x - round(x*x) changed "
+          "the result from exactly 0 to the multiply's rounding error";
+      if (!d.value_differs) w += " (divergence NOT observed — unexpected)";
+      return {Truth::kFalse, std::move(w)};
+    }
+    case OptQuestionId::kFlushToZero: {
+      opt::PipelineConfig ftz;
+      ftz.flush_to_zero = true;
+      const auto d = opt::diverge(opt::demo_flush_sensitive(), ftz);
+      const auto hw = opt::probe_flush_modes();
+      std::string w =
+          "FTZ/DAZ are outside the standard; demonstrated: (min_normal * "
+          "0.5) * 2 is min_normal under IEEE gradual underflow but 0 "
+          "under FTZ";
+      if (hw.mxcsr_available && hw.ftz_flushes_results) {
+        w += "; reproduced live on this host's MXCSR FTZ bit";
+      }
+      if (!d.value_differs) w += " (divergence NOT observed — unexpected)";
+      return {Truth::kFalse, std::move(w)};
+    }
+    case OptQuestionId::kStandardCompliantLevel: {
+      return {Truth::kFalse,
+              std::string("flag audit: highest compliant level is ") +
+                  std::string(opt::highest_compliant_opt_level()) +
+                  "; -O3 enables contraction"};
+    }
+    case OptQuestionId::kFastMath: {
+      const auto d = opt::diverge(opt::demo_reassociation_sensitive(),
+                                  opt::PipelineConfig::fast_math_like());
+      std::string w =
+          "demonstrated: reassociating 1e16 + 1 + ... + 1 changes the sum";
+      if (!d.value_differs) w += " (divergence NOT observed — unexpected)";
+      return {Truth::kTrue, std::move(w)};
+    }
+  }
+  assert(false && "unknown optimization question");
+  return {};
+}
+
+}  // namespace fpq::quiz

@@ -1,0 +1,61 @@
+// fpq::mon — low-level access to the host FPU's exception state.
+//
+// On x86 the SSE control/status register (MXCSR) carries both the sticky
+// exception flags (including the DE "denormal operand" bit that C's fenv
+// does not expose portably) and the non-standard FTZ/DAZ mode bits the
+// paper's "Flush to Zero" question asks about. This header wraps the raw
+// register with feature detection so the rest of fpmon stays portable.
+#pragma once
+
+#include <cstdint>
+
+namespace fpq::mon {
+
+/// True when this build can read/write MXCSR (x86 with SSE).
+bool mxcsr_supported() noexcept;
+
+/// Raw MXCSR value; 0 when unsupported.
+std::uint32_t read_mxcsr() noexcept;
+
+/// Writes MXCSR; no-op when unsupported.
+void write_mxcsr(std::uint32_t value) noexcept;
+
+// MXCSR bit positions (Intel SDM Vol. 1 §10.2.3).
+inline constexpr std::uint32_t kMxcsrFlagInvalid = 1u << 0;
+inline constexpr std::uint32_t kMxcsrFlagDenormal = 1u << 1;
+inline constexpr std::uint32_t kMxcsrFlagDivByZero = 1u << 2;
+inline constexpr std::uint32_t kMxcsrFlagOverflow = 1u << 3;
+inline constexpr std::uint32_t kMxcsrFlagUnderflow = 1u << 4;
+inline constexpr std::uint32_t kMxcsrFlagPrecision = 1u << 5;
+inline constexpr std::uint32_t kMxcsrDaz = 1u << 6;
+inline constexpr std::uint32_t kMxcsrFtz = 1u << 15;
+inline constexpr std::uint32_t kMxcsrAllFlags = 0x3Fu;
+
+/// Current FTZ / DAZ mode bits (false when MXCSR is unavailable).
+bool flush_to_zero_enabled() noexcept;
+bool denormals_are_zero_enabled() noexcept;
+
+/// RAII guard that sets FTZ/DAZ for a scope and restores the previous
+/// MXCSR on exit. Constructing on a non-x86 host is a harmless no-op;
+/// check active() to know whether the request took effect.
+class ScopedFlushMode {
+ public:
+  ScopedFlushMode(bool ftz, bool daz) noexcept;
+  ~ScopedFlushMode();
+  ScopedFlushMode(const ScopedFlushMode&) = delete;
+  ScopedFlushMode& operator=(const ScopedFlushMode&) = delete;
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  std::uint32_t saved_ = 0;
+  bool active_ = false;
+};
+
+/// Clears the MXCSR sticky exception flags (only; modes untouched).
+void clear_mxcsr_flags() noexcept;
+
+/// True when the DE (denormal operand) sticky bit is currently set.
+bool denormal_operand_seen() noexcept;
+
+}  // namespace fpq::mon

@@ -1,0 +1,92 @@
+#include "fpmon/report.hpp"
+
+namespace fpq::mon {
+
+Severity advised_severity(Condition c) noexcept {
+  switch (c) {
+    case Condition::kInvalid:
+      return Severity::kCritical;
+    case Condition::kOverflow:
+    case Condition::kDivByZero:
+      return Severity::kWarning;
+    case Condition::kUnderflow:
+    case Condition::kPrecision:
+    case Condition::kDenorm:
+      return Severity::kInfo;
+  }
+  return Severity::kInfo;
+}
+
+int advised_suspicion_level(Condition c) noexcept {
+  switch (c) {
+    case Condition::kInvalid:
+      return 5;
+    case Condition::kOverflow:
+    case Condition::kDivByZero:
+      return 4;
+    case Condition::kUnderflow:
+    case Condition::kDenorm:
+      return 2;
+    case Condition::kPrecision:
+      return 1;
+  }
+  return 1;
+}
+
+Verdict evaluate(const ConditionSet& conditions) noexcept {
+  Verdict v;
+  v.conditions = conditions;
+  v.clean = !conditions.any();
+  for (std::size_t i = 0; i < kConditionCount; ++i) {
+    const auto c = static_cast<Condition>(i);
+    if (!conditions.test(c)) continue;
+    const Severity s = advised_severity(c);
+    if (static_cast<int>(s) < static_cast<int>(v.worst)) v.worst = s;
+    v.suspicion_level = std::max(v.suspicion_level, advised_suspicion_level(c));
+  }
+  if (v.clean) v.worst = Severity::kInfo;
+  return v;
+}
+
+namespace {
+
+const char* severity_text(Severity s) {
+  switch (s) {
+    case Severity::kCritical:
+      return "CRITICAL: almost invariably a sign of serious trouble";
+    case Severity::kWarning:
+      return "WARNING: usually a sign of trouble in real code";
+    case Severity::kInfo:
+      return "info: common; fine given appropriate numeric design";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string render_report(const ConditionSet& conditions) {
+  std::string out = "floating point exception report\n";
+  for (std::size_t i = 0; i < kConditionCount; ++i) {
+    const auto c = static_cast<Condition>(i);
+    out += "  ";
+    out += condition_name(c);
+    out += ": ";
+    if (conditions.test(c)) {
+      out += "OCCURRED — ";
+      out += severity_text(advised_severity(c));
+      out += " (advised suspicion ";
+      out += std::to_string(advised_suspicion_level(c));
+      out += "/5)";
+    } else {
+      out += "not observed";
+    }
+    out += '\n';
+  }
+  const Verdict v = evaluate(conditions);
+  out += v.clean ? "  verdict: clean run\n"
+                 : "  verdict: suspicion level " +
+                       std::to_string(v.suspicion_level) + "/5\n";
+  return out;
+}
+
+}  // namespace fpq::mon

@@ -1,0 +1,50 @@
+// fpq::mon — turning a ConditionSet into advice.
+//
+// The paper's suspicion analysis (§IV-D) argues a reasonable expert ranking
+// of how suspicious each exceptional condition should make you:
+// Invalid (NaN) >> Overflow (infinity) >> Underflow / Precision / Denorm.
+// This module encodes that ranking as data, renders human-readable reports,
+// and exposes the advised Likert suspicion levels that the suspicion
+// analysis compares respondents against.
+#pragma once
+
+#include <string>
+
+#include "fpmon/monitor.hpp"
+
+namespace fpq::mon {
+
+/// Advisory severity of one condition, highest first.
+enum class Severity {
+  kCritical,  ///< almost invariably a sign of serious trouble
+  kWarning,   ///< usually a sign of trouble in real code
+  kInfo,      ///< common; fine given appropriate numeric design
+};
+
+/// Expert severity of a condition per §IV-D of the paper.
+Severity advised_severity(Condition c) noexcept;
+
+/// The advised suspicion level (1..5 Likert) an expert would report for a
+/// run in which the condition occurred: Invalid -> 5, Overflow -> 4,
+/// Denorm -> 2, Underflow -> 2, Precision -> 1, DivByZero -> 4 (it implies
+/// an infinity was produced).
+int advised_suspicion_level(Condition c) noexcept;
+
+/// One monitored run's verdict.
+struct Verdict {
+  ConditionSet conditions;
+  Severity worst = Severity::kInfo;
+  bool clean = true;  ///< no conditions at all
+  /// Highest advised suspicion level over the observed conditions
+  /// (1 when clean: "no reason for suspicion").
+  int suspicion_level = 1;
+};
+
+/// Evaluates a condition set into a verdict.
+Verdict evaluate(const ConditionSet& conditions) noexcept;
+
+/// Renders a multi-line report in the shape of the paper's suspicion quiz:
+/// one line per condition, whether it occurred, and the advised reaction.
+std::string render_report(const ConditionSet& conditions);
+
+}  // namespace fpq::mon

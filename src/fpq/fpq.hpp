@@ -1,0 +1,62 @@
+// fpqual — umbrella header: the full public API.
+//
+// A reproduction of "Do Developers Understand IEEE Floating Point?"
+// (Dinda & Hetland, IPDPS 2018) as a production C++ library:
+//
+//   fpq::softfloat   — from-scratch IEEE 754-2008 engine (16/32/64-bit)
+//   fpq::quiz        — the canonical quiz harness with executable keys
+//   fpq::mon         — runtime FP exception monitor (the §V tool)
+//   fpq::opt         — optimization/hardware semantics probes & emulation
+//   fpq::stats       — deterministic statistics substrate
+//   fpq::survey      — survey data model and analysis pipeline
+//   fpq::respondent  — calibrated synthetic participant population
+//   fpq::paperdata   — the paper's published numbers as typed constants
+//   fpq::report      — tables, charts, CSV, paper-vs-measured comparisons
+//
+// Include this for everything, or the per-module headers for less.
+#pragma once
+
+#include "analyze/shadow.hpp"        // IWYU pragma: export
+#include "bigfloat/bigfloat.hpp"     // IWYU pragma: export
+#include "core/backend.hpp"          // IWYU pragma: export
+#include "core/ground_truth.hpp"     // IWYU pragma: export
+#include "core/question_bank.hpp"    // IWYU pragma: export
+#include "core/scoring.hpp"          // IWYU pragma: export
+#include "core/session.hpp"          // IWYU pragma: export
+#include "core/types.hpp"            // IWYU pragma: export
+#include "core/witness.hpp"          // IWYU pragma: export
+#include "fpmon/hardware.hpp"        // IWYU pragma: export
+#include "interval/interval.hpp"     // IWYU pragma: export
+#include "fpmon/monitor.hpp"         // IWYU pragma: export
+#include "fpmon/report.hpp"          // IWYU pragma: export
+#include "optprobe/emulated_pipeline.hpp"  // IWYU pragma: export
+#include "optprobe/flag_audit.hpp"   // IWYU pragma: export
+#include "optprobe/mxcsr.hpp"        // IWYU pragma: export
+#include "optprobe/probes.hpp"       // IWYU pragma: export
+#include "paperdata/paperdata.hpp"   // IWYU pragma: export
+#include "report/barchart.hpp"       // IWYU pragma: export
+#include "report/compare.hpp"        // IWYU pragma: export
+#include "report/csv.hpp"            // IWYU pragma: export
+#include "report/table.hpp"          // IWYU pragma: export
+#include "respondent/ability_model.hpp"     // IWYU pragma: export
+#include "respondent/background_model.hpp"  // IWYU pragma: export
+#include "respondent/calibration.hpp"       // IWYU pragma: export
+#include "respondent/population.hpp"        // IWYU pragma: export
+#include "respondent/suspicion_model.hpp"   // IWYU pragma: export
+#include "softfloat/env.hpp"         // IWYU pragma: export
+#include "softfloat/ops.hpp"         // IWYU pragma: export
+#include "softfloat/util.hpp"        // IWYU pragma: export
+#include "softfloat/value.hpp"       // IWYU pragma: export
+#include "stats/bootstrap.hpp"       // IWYU pragma: export
+#include "stats/categorical.hpp"     // IWYU pragma: export
+#include "stats/chi_square.hpp"      // IWYU pragma: export
+#include "stats/descriptive.hpp"     // IWYU pragma: export
+#include "stats/histogram.hpp"       // IWYU pragma: export
+#include "stats/likert.hpp"          // IWYU pragma: export
+#include "stats/prng.hpp"            // IWYU pragma: export
+#include "survey/analysis.hpp"       // IWYU pragma: export
+#include "survey/csv_io.hpp"         // IWYU pragma: export
+#include "survey/factor_analysis.hpp"      // IWYU pragma: export
+#include "survey/record.hpp"         // IWYU pragma: export
+#include "survey/suspicion_analysis.hpp"   // IWYU pragma: export
+#include "workloads/workloads.hpp"   // IWYU pragma: export

@@ -1,0 +1,231 @@
+#include "interval/interval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fpq::interval {
+
+namespace {
+
+namespace sf = fpq::softfloat;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Directed binary64 operations via the softfloat engine: round the exact
+// result toward -inf / +inf. (The host FPU could do this with fesetround,
+// but the engine keeps it portable and independent of the build's fenv
+// discipline.)
+double op_down(char o, double a, double b) {
+  sf::Env env(sf::Rounding::kDown);
+  switch (o) {
+    case '+':
+      return sf::to_native(
+          sf::add(sf::from_native(a), sf::from_native(b), env));
+    case '-':
+      return sf::to_native(
+          sf::sub(sf::from_native(a), sf::from_native(b), env));
+    case '*':
+      return sf::to_native(
+          sf::mul(sf::from_native(a), sf::from_native(b), env));
+    case '/':
+      return sf::to_native(
+          sf::div(sf::from_native(a), sf::from_native(b), env));
+  }
+  return 0.0;
+}
+
+double op_up(char o, double a, double b) {
+  sf::Env env(sf::Rounding::kUp);
+  switch (o) {
+    case '+':
+      return sf::to_native(
+          sf::add(sf::from_native(a), sf::from_native(b), env));
+    case '-':
+      return sf::to_native(
+          sf::sub(sf::from_native(a), sf::from_native(b), env));
+    case '*':
+      return sf::to_native(
+          sf::mul(sf::from_native(a), sf::from_native(b), env));
+    case '/':
+      return sf::to_native(
+          sf::div(sf::from_native(a), sf::from_native(b), env));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Interval Interval::point(double x) {
+  if (std::isnan(x)) return invalid();
+  Interval r;
+  r.lo_ = x;
+  r.hi_ = x;
+  return r;
+}
+
+Interval Interval::bounds(double lo, double hi) {
+  if (std::isnan(lo) || std::isnan(hi)) return invalid();
+  assert(lo <= hi);
+  Interval r;
+  r.lo_ = lo;
+  r.hi_ = hi;
+  return r;
+}
+
+Interval Interval::invalid() {
+  Interval r;
+  r.invalid_ = true;
+  r.lo_ = std::numeric_limits<double>::quiet_NaN();
+  r.hi_ = std::numeric_limits<double>::quiet_NaN();
+  return r;
+}
+
+Interval Interval::whole() { return bounds(-kInf, kInf); }
+
+double Interval::width() const noexcept {
+  if (invalid_) return kInf;
+  return op_up('-', hi_, lo_);
+}
+
+double Interval::relative_width() const noexcept {
+  if (invalid_) return kInf;
+  const double w = width();
+  if (std::isinf(w)) return kInf;
+  const double mag = std::max(
+      {std::fabs(lo_), std::fabs(hi_), std::numeric_limits<double>::min()});
+  return w / mag;
+}
+
+bool Interval::contains(double x) const noexcept {
+  if (invalid_ || std::isnan(x)) return false;
+  return lo_ <= x && x <= hi_;
+}
+
+std::string Interval::to_string() const {
+  if (invalid_) return "[invalid]";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "[%.17g, %.17g]", lo_, hi_);
+  return buf;
+}
+
+Interval Interval::add(const Interval& a, const Interval& b) {
+  if (a.invalid_ || b.invalid_) return invalid();
+  // inf + (-inf) at an endpoint means the enclosure is unbounded there.
+  const double lo = op_down('+', a.lo_, b.lo_);
+  const double hi = op_up('+', a.hi_, b.hi_);
+  if (std::isnan(lo) || std::isnan(hi)) return whole();
+  return bounds(lo, hi);
+}
+
+Interval Interval::sub(const Interval& a, const Interval& b) {
+  if (a.invalid_ || b.invalid_) return invalid();
+  const double lo = op_down('-', a.lo_, b.hi_);
+  const double hi = op_up('-', a.hi_, b.lo_);
+  if (std::isnan(lo) || std::isnan(hi)) return whole();
+  return bounds(lo, hi);
+}
+
+Interval Interval::mul(const Interval& a, const Interval& b) {
+  if (a.invalid_ || b.invalid_) return invalid();
+  double lo = kInf, hi = -kInf;
+  for (double x : {a.lo_, a.hi_}) {
+    for (double y : {b.lo_, b.hi_}) {
+      double down = op_down('*', x, y);
+      double up = op_up('*', x, y);
+      // 0 * inf corner: the exact product of an endpoint pair is an
+      // indeterminate form only when one side is an unbounded endpoint;
+      // the enclosure contribution of "0 times anything" is 0.
+      if (std::isnan(down)) down = 0.0;
+      if (std::isnan(up)) up = 0.0;
+      lo = std::min(lo, down);
+      hi = std::max(hi, up);
+    }
+  }
+  return bounds(lo, hi);
+}
+
+Interval Interval::div(const Interval& a, const Interval& b) {
+  if (a.invalid_ || b.invalid_) return invalid();
+  if (b.lo_ == 0.0 && b.hi_ == 0.0) {
+    // x / [0,0]: invalid if 0 in a (0/0 possible), else unbounded.
+    if (a.contains(0.0)) return invalid();
+    return whole();
+  }
+  if (b.contains(0.0)) return whole();
+  double lo = kInf, hi = -kInf;
+  for (double x : {a.lo_, a.hi_}) {
+    for (double y : {b.lo_, b.hi_}) {
+      double down = op_down('/', x, y);
+      double up = op_up('/', x, y);
+      if (std::isnan(down)) down = 0.0;  // inf/inf corner: 0-ward
+      if (std::isnan(up)) up = 0.0;
+      lo = std::min(lo, down);
+      hi = std::max(hi, up);
+    }
+  }
+  return bounds(lo, hi);
+}
+
+Interval Interval::sqrt(const Interval& a) {
+  if (a.invalid_) return invalid();
+  if (a.hi_ < 0.0) return invalid();
+  const double lo_clipped = std::max(a.lo_, 0.0);
+  sf::Env down(sf::Rounding::kDown);
+  sf::Env up(sf::Rounding::kUp);
+  const double lo =
+      sf::to_native(sf::sqrt(sf::from_native(lo_clipped), down));
+  const double hi = sf::to_native(sf::sqrt(sf::from_native(a.hi_), up));
+  return bounds(lo, hi);
+}
+
+Interval evaluate(const opt::Expr& expr) {
+  const opt::Expr::Node& n = expr.node();
+  switch (n.kind) {
+    case opt::ExprKind::kConst:
+      return Interval::point(sf::to_native(n.value));
+    case opt::ExprKind::kAdd:
+      return Interval::add(evaluate(n.children[0]), evaluate(n.children[1]));
+    case opt::ExprKind::kSub:
+      return Interval::sub(evaluate(n.children[0]), evaluate(n.children[1]));
+    case opt::ExprKind::kMul:
+      return Interval::mul(evaluate(n.children[0]), evaluate(n.children[1]));
+    case opt::ExprKind::kDiv:
+      return Interval::div(evaluate(n.children[0]), evaluate(n.children[1]));
+    case opt::ExprKind::kSqrt:
+      return Interval::sqrt(evaluate(n.children[0]));
+    case opt::ExprKind::kFma: {
+      // Enclosure of a*b + c (no single-rounding advantage needed:
+      // enclosures only widen).
+      const Interval prod =
+          Interval::mul(evaluate(n.children[0]), evaluate(n.children[1]));
+      return Interval::add(prod, evaluate(n.children[2]));
+    }
+  }
+  return Interval::invalid();
+}
+
+EnclosureReport certify(const opt::Expr& expr, double wide_threshold) {
+  EnclosureReport report;
+  report.double_result =
+      sf::to_native(opt::evaluate(expr, opt::PipelineConfig::ieee_strict())
+                        .value);
+  report.enclosure = evaluate(expr);
+  report.relative_width = report.enclosure.relative_width();
+  report.enclosure_is_wide = report.relative_width > wide_threshold;
+  report.double_escapes =
+      !std::isnan(report.double_result) &&
+      !report.enclosure.is_invalid() &&
+      !report.enclosure.contains(report.double_result) &&
+      // Rounding of the double path can step one ulp outside the exact
+      // enclosure; only a material escape is reported.
+      !(std::nextafter(report.double_result, report.enclosure.lo()) <=
+            report.enclosure.hi() &&
+        std::nextafter(report.double_result, report.enclosure.hi()) >=
+            report.enclosure.lo());
+  return report;
+}
+
+}  // namespace fpq::interval

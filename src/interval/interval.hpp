@@ -1,0 +1,94 @@
+// fpq::interval — interval arithmetic with directed rounding.
+//
+// A second rigorous answer to the paper's §V "sanity check" action,
+// complementary to shadow execution: instead of re-running at higher
+// precision, compute a GUARANTEED enclosure [lo, hi] of the exact real
+// result using the softfloat engine's correctly rounded roundTowardNegative
+// / roundTowardPositive modes. If the enclosure is wide, the binary64
+// answer cannot be trusted — no oracle precision choice required.
+//
+// Intervals are over binary64 endpoints. Empty and whole-line intervals
+// are representable; NaN operands produce the "invalid" interval.
+#pragma once
+
+#include <string>
+
+#include "optprobe/emulated_pipeline.hpp"
+#include "softfloat/ops.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::interval {
+
+/// A closed interval [lo, hi] with lo <= hi, or invalid() when an invalid
+/// operation (0/0, inf-inf, sqrt of an all-negative interval) occurred.
+class Interval {
+ public:
+  /// [0, 0].
+  Interval() = default;
+
+  /// Degenerate interval [x, x]; NaN gives invalid().
+  static Interval point(double x);
+  /// [lo, hi]; requires lo <= hi (asserted).
+  static Interval bounds(double lo, double hi);
+  static Interval invalid();
+  /// (-inf, +inf).
+  static Interval whole();
+
+  bool is_invalid() const noexcept { return invalid_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// hi - lo rounded up (so the reported width is itself an upper bound);
+  /// +inf for unbounded or invalid intervals.
+  double width() const noexcept;
+
+  /// Width relative to magnitude: width / max(|lo|, |hi|, DBL_MIN);
+  /// +inf for unbounded/invalid. The "suspicion score" of an enclosure.
+  double relative_width() const noexcept;
+
+  bool contains(double x) const noexcept;
+
+  /// "[1.0000000000000000, 1.0000000000000002]" or "[invalid]".
+  std::string to_string() const;
+
+  // -- Arithmetic (directed rounding on each endpoint) --------------------
+  static Interval add(const Interval& a, const Interval& b);
+  static Interval sub(const Interval& a, const Interval& b);
+  static Interval mul(const Interval& a, const Interval& b);
+  /// Division by an interval containing 0 (but not identical to [0,0])
+  /// returns whole(); [x,x]/[0,0] is invalid.
+  static Interval div(const Interval& a, const Interval& b);
+  /// sqrt clips the negative part; an entirely negative interval is
+  /// invalid.
+  static Interval sqrt(const Interval& a);
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool invalid_ = false;
+};
+
+/// Evaluates an expression tree (optprobe Expr) to a guaranteed enclosure
+/// of its exact real value given exact constants.
+Interval evaluate(const opt::Expr& expr);
+
+/// Combined verdict: the binary64 result, its guaranteed enclosure, and
+/// whether the enclosure certifies / indicts the double result.
+struct EnclosureReport {
+  double double_result = 0.0;
+  Interval enclosure;
+  /// The enclosure proves the true value is NOT representable anywhere
+  /// near the double result (double outside the enclosure) — impossible
+  /// for correct interval arithmetic unless the double path hit a
+  /// format-induced NaN; recorded for completeness.
+  bool double_escapes = false;
+  /// relative_width() above this is flagged.
+  bool enclosure_is_wide = false;
+  double relative_width = 0.0;
+};
+
+/// Runs both the strict binary64 pipeline and the interval evaluation.
+EnclosureReport certify(const opt::Expr& expr,
+                        double wide_threshold = 1e-6);
+
+}  // namespace fpq::interval

@@ -1,0 +1,121 @@
+// fpq::opt — an emulated compiler/hardware optimization pipeline over the
+// softfloat engine.
+//
+// The optimization quiz's ground truths ("-O3 may contract to MADD",
+// "-ffast-math may reassociate", "FTZ flushes subnormals") become
+// demonstrable experiments here: build an expression once, evaluate it
+// under a strict IEEE configuration and under an "optimized" configuration,
+// and observe whether — and how — the bits diverge. Because the arithmetic
+// is the softfloat engine, the demonstration works identically on any
+// host, including ones whose real compiler/hardware would not cooperate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "softfloat/env.hpp"
+#include "softfloat/ops.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::opt {
+
+/// Expression node kinds (exposed so analyzers — e.g. fpq::shadow — can
+/// walk trees structurally).
+enum class ExprKind { kConst, kAdd, kSub, kMul, kDiv, kSqrt, kFma };
+
+/// A value-semantic expression tree over binary64 values.
+class Expr {
+ public:
+  /// Leaf constant.
+  static Expr constant(double v);
+  static Expr constant(softfloat::Float64 v);
+
+  static Expr add(Expr a, Expr b);
+  static Expr sub(Expr a, Expr b);
+  static Expr mul(Expr a, Expr b);
+  static Expr div(Expr a, Expr b);
+  static Expr sqrt(Expr a);
+  /// Explicitly fused multiply-add (what IEEE 754-2008 added).
+  static Expr fma(Expr a, Expr b, Expr c);
+
+  /// Convenience: left-to-right sum of a list, as C source order implies.
+  static Expr sum(const std::vector<double>& xs);
+
+  /// Renders the tree, e.g. "((a*b)+c)"; constants print as %g.
+  std::string to_string() const;
+
+  struct Node {
+    ExprKind kind = ExprKind::kConst;
+    softfloat::Float64 value;
+    std::vector<Expr> children;
+  };
+  const Node& node() const { return *node_; }
+
+  /// Internal: wraps a node. Use the named factories above instead.
+  explicit Expr(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+
+ private:
+  std::shared_ptr<const Node> node_;
+};
+
+/// What the emulated pipeline is allowed to do to the program.
+struct PipelineConfig {
+  softfloat::Rounding rounding = softfloat::Rounding::kNearestEven;
+  /// Contract add(mul(a,b), c) patterns into one fused operation — the
+  /// effect of -ffp-contract=fast / typical -O3 on FMA hardware.
+  bool contract_mul_add = false;
+  /// Reassociate chains of + (and *) into balanced tree reductions — the
+  /// effect of -ffast-math/-fassociative-math vectorization.
+  bool reassociate = false;
+  /// Non-standard hardware flush modes.
+  bool flush_to_zero = false;
+  bool denormals_are_zero = false;
+
+  /// The strict IEEE reference configuration.
+  static PipelineConfig ieee_strict() { return PipelineConfig{}; }
+  /// Something like gcc -O3 on FMA hardware.
+  static PipelineConfig o3_like() {
+    PipelineConfig c;
+    c.contract_mul_add = true;
+    return c;
+  }
+  /// Something like gcc -Ofast / -ffast-math (plus FTZ/DAZ, which
+  /// -ffast-math's crtfastmath startup enables on x86).
+  static PipelineConfig fast_math_like() {
+    PipelineConfig c;
+    c.contract_mul_add = true;
+    c.reassociate = true;
+    c.flush_to_zero = true;
+    c.denormals_are_zero = true;
+    return c;
+  }
+};
+
+/// Evaluation outcome: the value plus the softfloat sticky flags raised.
+struct EvalResult {
+  softfloat::Float64 value;
+  unsigned flags = 0;
+};
+
+/// Evaluates the expression under the configuration.
+EvalResult evaluate(const Expr& expr, const PipelineConfig& config);
+
+/// Result of running the same expression under two configurations.
+struct Divergence {
+  EvalResult baseline;
+  EvalResult optimized;
+  bool value_differs = false;
+  bool flags_differ = false;
+};
+
+/// Compares strict-IEEE against `optimized` for one expression.
+Divergence diverge(const Expr& expr, const PipelineConfig& optimized);
+
+/// Canned demonstration expressions, one per optimization-quiz concern.
+/// Each provably diverges under the corresponding non-strict config.
+Expr demo_contraction_sensitive();   ///< differs under o3_like
+Expr demo_reassociation_sensitive(); ///< differs under fast_math_like
+Expr demo_flush_sensitive();         ///< differs under FTZ
+
+}  // namespace fpq::opt

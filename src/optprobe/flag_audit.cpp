@@ -1,0 +1,90 @@
+#include "optprobe/flag_audit.hpp"
+
+#include <array>
+
+namespace fpq::opt {
+
+namespace {
+
+constexpr std::array<FlagInfo, 14> kFlags{{
+    {"-O0", "compiler", Compliance::kCompliant,
+     "no optimization; strict source-order IEEE evaluation"},
+    {"-O1", "compiler", Compliance::kCompliant,
+     "value-safe optimizations only"},
+    {"-O2", "compiler", Compliance::kCompliant,
+     "the highest level that still preserves standard-compliant floating "
+     "point"},
+    {"-O3", "compiler", Compliance::kMayDiverge,
+     "enables transformations (notably contraction to fused multiply-add) "
+     "that can change results relative to separate multiply and add"},
+    {"-Ofast", "compiler", Compliance::kNonCompliant,
+     "implies -ffast-math and abandons standard compliance outright"},
+    {"-ffast-math", "compiler", Compliance::kNonCompliant,
+     "the least conforming but fastest math mode: reassociation, no NaN/inf "
+     "guarantees, flush-to-zero startup code on x86"},
+    {"-funsafe-math-optimizations", "compiler", Compliance::kNonCompliant,
+     "allows value-changing algebraic rewrites"},
+    {"-fassociative-math", "compiler", Compliance::kNonCompliant,
+     "reassociates chains, changing rounding behavior"},
+    {"-ffinite-math-only", "compiler", Compliance::kNonCompliant,
+     "assumes no NaNs or infinities exist; invalid/overflow semantics lost"},
+    {"-ffp-contract=fast", "compiler", Compliance::kMayDiverge,
+     "contracts a*b+c into fused multiply-add; the FMA is an IEEE 754-2008 "
+     "operation but the contracted expression rounds once instead of twice"},
+    {"-ffp-contract=off", "compiler", Compliance::kCompliant,
+     "forbids contraction; every operation rounds separately"},
+    {"MADD", "hardware", Compliance::kMayDiverge,
+     "fused multiply-add: included in IEEE 754-2008 but not the original "
+     "754-1985, and contraction changes mul-then-add results"},
+    {"FTZ", "hardware", Compliance::kNonCompliant,
+     "flushes subnormal results to zero instead of gradual underflow; not "
+     "part of the standard"},
+    {"DAZ", "hardware", Compliance::kNonCompliant,
+     "treats subnormal operands as zero; not part of the standard"},
+}};
+
+}  // namespace
+
+std::span<const FlagInfo> audited_flags() noexcept { return kFlags; }
+
+std::optional<FlagInfo> find_flag(std::string_view name) noexcept {
+  for (const FlagInfo& f : kFlags) {
+    if (f.name == name) return f;
+  }
+  return std::nullopt;
+}
+
+std::string_view highest_compliant_opt_level() noexcept { return "-O2"; }
+
+bool can_change_results(std::string_view name) noexcept {
+  const auto info = find_flag(name);
+  return info.has_value() && info->compliance != Compliance::kCompliant;
+}
+
+std::string render_audit() {
+  std::string out = "floating point optimization audit\n";
+  for (const FlagInfo& f : kFlags) {
+    out += "  ";
+    out += f.name;
+    out += " [";
+    out += f.kind;
+    out += "] ";
+    switch (f.compliance) {
+      case Compliance::kCompliant:
+        out += "compliant";
+        break;
+      case Compliance::kMayDiverge:
+        out += "MAY CHANGE RESULTS";
+        break;
+      case Compliance::kNonCompliant:
+        out += "NON-COMPLIANT";
+        break;
+    }
+    out += ": ";
+    out += f.explanation;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace fpq::opt

@@ -1,0 +1,54 @@
+// fpq::opt — the optimization quiz's subject matter as queryable data:
+// which compiler options and hardware modes preserve IEEE-standard
+// floating point behavior, and which do not.
+//
+// The classification follows the GCC manual and Intel SDM, matching the
+// ground truths of the paper's optimization quiz (§II-C): -O2 is the
+// highest level that preserves standard compliance; -O3 may introduce
+// contraction (MADD); -ffast-math is "the least conforming but fastest
+// math mode"; FTZ/DAZ are non-standard hardware modes; MADD itself is part
+// of IEEE 754-2008 but not 754-1985.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace fpq::opt {
+
+/// How an option relates to the IEEE standard.
+enum class Compliance {
+  kCompliant,        ///< results remain standard-compliant
+  kMayDiverge,       ///< can change results vs. strict evaluation
+                     ///< (e.g. contraction: still IEEE-2008 operations)
+  kNonCompliant,     ///< produces behavior outside the standard
+};
+
+/// One audited compiler flag or hardware mode.
+struct FlagInfo {
+  std::string_view name;         ///< e.g. "-O3", "FTZ"
+  std::string_view kind;         ///< "compiler" or "hardware"
+  Compliance compliance;
+  std::string_view explanation;  ///< one-sentence why
+};
+
+/// The full audited set (compiler -O levels, fast-math family, contraction
+/// control, and the hardware flush modes).
+std::span<const FlagInfo> audited_flags() noexcept;
+
+/// Looks up one flag by exact name; nullopt when not audited.
+std::optional<FlagInfo> find_flag(std::string_view name) noexcept;
+
+/// The highest -O level that preserves standard-compliant floating point
+/// (the optimization quiz's Standard-compliant Level question): "-O2".
+std::string_view highest_compliant_opt_level() noexcept;
+
+/// True when enabling the named flag can produce results that differ from
+/// strict IEEE evaluation (i.e. compliance != kCompliant).
+bool can_change_results(std::string_view name) noexcept;
+
+/// Renders the audit as text.
+std::string render_audit();
+
+}  // namespace fpq::opt

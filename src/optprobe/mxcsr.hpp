@@ -1,0 +1,32 @@
+// fpq::opt — live hardware probes of the x86 flush modes.
+//
+// The paper's "Flush to Zero" question: Intel's FTZ and DAZ control bits
+// eliminate gradual underflow for speed and are NOT part of the IEEE
+// standard. These probes don't just read the mode bits — they run a real
+// subnormal-producing computation under each mode and report what the
+// hardware actually did, so the answer is demonstrated rather than assumed.
+#pragma once
+
+#include <string>
+
+#include "fpmon/hardware.hpp"
+
+namespace fpq::opt {
+
+/// Outcome of exercising the hardware with and without FTZ/DAZ.
+struct FlushProbeResult {
+  bool mxcsr_available = false;   ///< x86 MXCSR reachable at all
+  bool ftz_default_on = false;    ///< FTZ already set when we looked
+  bool daz_default_on = false;    ///< DAZ already set when we looked
+  bool ftz_flushes_results = false;  ///< demonstrated: tiny result -> 0
+  bool daz_zeroes_operands = false;  ///< demonstrated: subnormal input -> 0
+  bool ieee_gradual_underflow = false;  ///< without FTZ: subnormal preserved
+};
+
+/// Runs the demonstration computations. Restores the previous MXCSR.
+FlushProbeResult probe_flush_modes() noexcept;
+
+/// Human-readable rendering of the probe outcome.
+std::string describe(const FlushProbeResult& r);
+
+}  // namespace fpq::opt

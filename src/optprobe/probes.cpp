@@ -1,0 +1,41 @@
+#include "optprobe/probes.hpp"
+
+namespace fpq::opt {
+
+SemanticsReport probe_semantics_baseline() noexcept {
+  // This TU is compiled with the library's strict flags
+  // (-ffp-contract=off, no fast-math), so the header-only probes here
+  // report the standard-compliant baseline.
+  return probe_semantics_here();
+}
+
+std::string describe(const SemanticsReport& r) {
+  std::string out = "floating point build semantics\n";
+  auto line = [&out](const char* label, bool value, const char* yes,
+                     const char* no) {
+    out += "  ";
+    out += label;
+    out += ": ";
+    out += value ? yes : no;
+    out += '\n';
+  };
+  line("-ffast-math in effect", r.facts.fast_math,
+       "YES (non-standard-compliant results possible)", "no");
+  line("a*b+c contracts to FMA", r.contracts_fma,
+       "YES (IEEE 754-2008 operation, but changes mul-then-add results)",
+       "no");
+  line("NaN != NaN preserved", r.nan_semantics_ok, "yes",
+       "NO (NaN semantics broken — fast-math?)");
+  line("signed zero preserved", r.signed_zero_ok, "yes",
+       "NO (-fno-signed-zeros?)");
+  out += "  FLT_EVAL_METHOD: " + std::to_string(r.facts.flt_eval_method) +
+         (r.facts.flt_eval_method == 0
+              ? " (operations evaluate in their own type)\n"
+              : " (excess precision in play)\n");
+  out += r.appears_standard_compliant
+             ? "  verdict: appears standard-compliant\n"
+             : "  verdict: NON-STANDARD floating point behavior detected\n";
+  return out;
+}
+
+}  // namespace fpq::opt

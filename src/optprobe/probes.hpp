@@ -1,0 +1,116 @@
+// fpq::opt — probes for what a *build* does to floating point.
+//
+// The paper's optimization quiz asks whether developers know which
+// compiler/hardware choices step outside the standard. These probes answer
+// the same questions about the translation unit they are compiled into:
+//
+//   * does the compiler contract a*b+c into a fused multiply-add (MADD)?
+//   * is -ffast-math (or equivalent) in effect?
+//   * is excess precision in play (FLT_EVAL_METHOD)?
+//
+// The functions marked `inline` in this header are intentionally
+// header-only: they compile with the INCLUDER's flags, so a user can
+// include this header in a TU built with -O3 -ffast-math and ask what that
+// did. The fpq library's own baseline (compiled strictly) is exposed via
+// the *_baseline() functions in the .cpp.
+#pragma once
+
+#include <cfloat>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace fpq::opt {
+
+/// Compile-time facts about the including TU.
+struct BuildFacts {
+  bool fast_math = false;        ///< __FAST_MATH__ defined
+  bool fp_fast_fma = false;      ///< __FP_FAST_FMA defined (fma is cheap)
+  bool finite_math_only = false; ///< __FINITE_MATH_ONLY__
+  int flt_eval_method = 0;       ///< FLT_EVAL_METHOD of the TU
+  bool optimized = false;        ///< __OPTIMIZE__
+};
+
+/// Captures the including TU's compile-time facts.
+inline BuildFacts build_facts() noexcept {
+  BuildFacts f;
+#ifdef __FAST_MATH__
+  f.fast_math = true;
+#endif
+#ifdef __FP_FAST_FMA
+  f.fp_fast_fma = true;
+#endif
+#if defined(__FINITE_MATH_ONLY__) && __FINITE_MATH_ONLY__
+  f.finite_math_only = true;
+#endif
+#ifdef FLT_EVAL_METHOD
+  f.flt_eval_method = FLT_EVAL_METHOD;
+#endif
+#ifdef __OPTIMIZE__
+  f.optimized = true;
+#endif
+  return f;
+}
+
+/// Runtime contraction probe, compiled with the includer's flags.
+///
+/// Uses operands for which round(a*b)+c and fma(a,b,c) provably differ:
+/// a = b = 1 + 2^-27 (float) so a*b needs more bits than the format holds.
+/// Returns true when the expression a*b+c was contracted to an FMA.
+[[gnu::noinline]] inline bool expression_contracts_to_fma_here() noexcept {
+  volatile float a = 1.0f + 0x1.0p-12f;
+  volatile float b = 1.0f + 0x1.0p-12f;
+  const float product = a * b;  // rounded if not kept in excess precision
+  volatile float neg = -product;
+  // If the compiler contracts, the multiply inside this expression is
+  // exact and the residual is the multiply's rounding error (nonzero);
+  // without contraction the residual is exactly zero.
+  const float residual = a * b + neg;
+  return residual != 0.0f;
+}
+
+/// Runtime probe: does this TU preserve NaN semantics (x != x for NaN)?
+/// -ffast-math / -ffinite-math-only builds typically fold this to false.
+[[gnu::noinline]] inline bool nan_compares_unequal_here() noexcept {
+  volatile double nan = std::numeric_limits<double>::quiet_NaN();
+  volatile double copy = nan;
+  return !(nan == copy);
+}
+
+/// Runtime probe: is signed zero preserved (1/-0 == -inf)?
+/// -fno-signed-zeros builds may lose this.
+[[gnu::noinline]] inline bool signed_zero_preserved_here() noexcept {
+  volatile double negzero = -0.0;
+  volatile double one = 1.0;
+  return one / negzero < 0.0;
+}
+
+/// Full semantic report for the including TU.
+struct SemanticsReport {
+  BuildFacts facts;
+  bool contracts_fma = false;
+  bool nan_semantics_ok = false;
+  bool signed_zero_ok = false;
+  /// Overall: does this TU appear to implement standard IEEE semantics?
+  bool appears_standard_compliant = false;
+};
+
+inline SemanticsReport probe_semantics_here() noexcept {
+  SemanticsReport r;
+  r.facts = build_facts();
+  r.contracts_fma = expression_contracts_to_fma_here();
+  r.nan_semantics_ok = nan_compares_unequal_here();
+  r.signed_zero_ok = signed_zero_preserved_here();
+  r.appears_standard_compliant = !r.facts.fast_math && !r.contracts_fma &&
+                                 r.nan_semantics_ok && r.signed_zero_ok;
+  return r;
+}
+
+/// The library's own baseline (compiled with -ffp-contract=off and no
+/// fast-math): must report standard-compliant; tests assert this.
+SemanticsReport probe_semantics_baseline() noexcept;
+
+/// Renders a report for humans.
+std::string describe(const SemanticsReport& r);
+
+}  // namespace fpq::opt

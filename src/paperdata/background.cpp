@@ -1,0 +1,181 @@
+// Figures 1-11: participant background tables, verbatim from the paper.
+
+#include <array>
+
+#include "paperdata/paperdata.hpp"
+
+namespace fpq::paperdata {
+
+namespace {
+
+// Figure 1: Positions of participants.
+constexpr std::array<CategoryCount, 10> kPositions{{
+    {"Ph.D. student", 73, 36.7},
+    {"Faculty", 49, 24.6},
+    {"Software engineer", 23, 11.6},
+    {"Research staff", 17, 8.5},
+    {"Research scientist", 11, 5.6},
+    {"M.S. student", 8, 4.0},
+    {"Undergraduate", 7, 3.5},
+    {"Postdoc", 4, 2.0},
+    {"Manager", 3, 1.5},
+    {"Other", 5, 2.5},
+}};
+
+// Figure 2: Areas of participants.
+constexpr std::array<CategoryCount, 19> kAreas{{
+    {"Computer Science", 80, 40.2},
+    {"Other Physical Science Field", 38, 19.1},
+    {"Other Engineering Field", 26, 13.1},
+    {"Computer Engineering", 19, 9.5},
+    {"Mathematics", 10, 5.0},
+    {"Electrical Engineering", 9, 4.5},
+    {"Economics", 2, 1.1},
+    {"Other Non-Physical Science Field", 2, 1.1},
+    {"CS&Math", 2, 1.1},
+    {"CS&CE", 2, 1.1},
+    {"Political Science and Statistics", 1, 0.5},
+    {"Social Sciences", 1, 0.5},
+    {"Robotics", 1, 0.5},
+    {"Econometrics", 1, 0.5},
+    {"Biomedical Engineering", 1, 0.5},
+    {"MMSS", 1, 0.5},
+    {"Statistics", 1, 0.5},
+    {"Mechanical Engineering", 1, 0.5},
+    {"Unreported", 1, 0.5},
+}};
+
+// Figure 3: Formal training in floating point.
+constexpr std::array<CategoryCount, 5> kFormalTraining{{
+    {"One or more lectures in course", 62, 31.2},
+    {"None", 52, 26.1},
+    {"One or more weeks within a course", 49, 24.6},
+    {"One or more courses", 35, 17.6},
+    {"Not reported", 1, 0.5},
+}};
+
+// Figure 4: Informal training (top 5; multi-select, so percents exceed
+// 100 in total).
+constexpr std::array<CategoryCount, 5> kInformalTraining{{
+    {"Googled when necessary", 138, 69.4},
+    {"Read about it", 136, 68.3},
+    {"Discussed with coworkers/etc", 89, 44.7},
+    {"Trained by adviser/mentor", 38, 19.1},
+    {"Watched video", 22, 11.1},
+}};
+
+// Figure 5: Software development roles.
+constexpr std::array<CategoryCount, 5> kDevRoles{{
+    {"I develop software to support my main role", 119, 59.8},
+    {"My main role is as a software engineer", 50, 25.1},
+    {"I manage others who develop software to support my main role", 19,
+     9.5},
+    {"My main role is to manage software engineers", 6, 3.0},
+    {"Not Reported", 5, 2.5},
+}};
+
+// Figure 6: Floating point language experience (n >= 5; multi-select).
+constexpr std::array<CategoryCount, 13> kFpLanguages{{
+    {"Python", 142, 71.4},
+    {"C", 139, 69.9},
+    {"C++", 136, 68.3},
+    {"Matlab", 105, 52.8},
+    {"Java", 100, 50.3},
+    {"Fortran", 65, 32.7},
+    {"R", 48, 24.1},
+    {"C#", 26, 13.1},
+    {"Perl", 25, 12.6},
+    {"Scheme/Racket", 17, 8.5},
+    {"Haskell", 12, 6.0},
+    {"ML", 9, 4.5},
+    {"JavaScript", 6, 3.0},
+}};
+
+// Figure 7: Arbitrary precision language experience (n >= 5).
+constexpr std::array<CategoryCount, 9> kArbPrecLanguages{{
+    {"Mathematica", 71, 35.7},
+    {"Maple", 29, 14.6},
+    {"Other language", 20, 10.0},
+    {"MPFR/GNU MultiPrecision Library", 19, 9.6},
+    {"Scheme/Racket/LISP with BigNums", 13, 6.5},
+    {"Other library", 13, 6.5},
+    {"Matlab MultiPrecision Toolbox", 10, 5.0},
+    {"Haskell with arb. prec. and rationals", 8, 4.0},
+    {"Macsyma", 5, 2.5},
+}};
+
+// Figure 8: Contributed codebase sizes.
+constexpr std::array<CategoryCount, 7> kContributedSizes{{
+    {"1,001 to 10,000 lines of code", 79, 39.7},
+    {"10,001 to 100,000 lines of code", 65, 32.7},
+    {"100 to 1,000 lines of code", 27, 13.6},
+    {"100,001 to 1,000,000 lines of code", 17, 8.5},
+    {">1,000,000 lines of code", 9, 4.5},
+    {"<100 lines of code", 1, 0.5},
+    {"Not Reported", 1, 0.5},
+}};
+
+// Figure 9: Contributed codebase floating point extent.
+constexpr std::array<CategoryCount, 7> kContributedExtent{{
+    {"FP incidental", 77, 38.7},
+    {"FP intrinsic", 63, 31.7},
+    {"FP intrinsic, I did numerical correctness", 29, 14.6},
+    {"FP intrinsic, other team did numerical correctness", 10, 5.0},
+    {"FP intrinsic, my team did numeric correctness", 10, 5.0},
+    {"No FP involved", 9, 4.5},
+    {"No Report", 1, 0.5},
+}};
+
+// Figure 10: Involved codebase sizes.
+constexpr std::array<CategoryCount, 7> kInvolvedSizes{{
+    {"10,001 to 100,000 lines of code", 61, 30.7},
+    {"1,001 to 10,000 lines of code", 53, 26.6},
+    {">1,000,000 lines of code", 36, 18.1},
+    {"100,001 to 1,000,000 lines of code", 36, 18.1},
+    {"100 to 1,000 lines of code", 8, 4.0},
+    {"<100 lines of code", 2, 1.0},
+    {"No Report", 3, 1.5},
+}};
+
+// Figure 11: Involved codebase floating point extent.
+constexpr std::array<CategoryCount, 7> kInvolvedExtent{{
+    {"FP incidental", 71, 35.7},
+    {"FP intrinsic", 55, 27.6},
+    {"FP intrinsic, I did numerical correctness", 23, 11.6},
+    {"FP intrinsic, other team did numerical correctness", 17, 8.5},
+    {"No FP involved", 15, 7.5},
+    {"FP intrinsic, my team did numeric correctness", 13, 6.5},
+    {"No Report", 5, 2.5},
+}};
+
+}  // namespace
+
+std::span<const CategoryCount> positions() noexcept { return kPositions; }
+std::span<const CategoryCount> areas() noexcept { return kAreas; }
+std::span<const CategoryCount> formal_training() noexcept {
+  return kFormalTraining;
+}
+std::span<const CategoryCount> informal_training() noexcept {
+  return kInformalTraining;
+}
+std::span<const CategoryCount> dev_roles() noexcept { return kDevRoles; }
+std::span<const CategoryCount> fp_languages() noexcept {
+  return kFpLanguages;
+}
+std::span<const CategoryCount> arb_prec_languages() noexcept {
+  return kArbPrecLanguages;
+}
+std::span<const CategoryCount> contributed_codebase_sizes() noexcept {
+  return kContributedSizes;
+}
+std::span<const CategoryCount> contributed_fp_extent() noexcept {
+  return kContributedExtent;
+}
+std::span<const CategoryCount> involved_codebase_sizes() noexcept {
+  return kInvolvedSizes;
+}
+std::span<const CategoryCount> involved_fp_extent() noexcept {
+  return kInvolvedExtent;
+}
+
+}  // namespace fpq::paperdata

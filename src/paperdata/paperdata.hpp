@@ -1,0 +1,103 @@
+// fpq::paperdata — every table and figure the paper publishes, as typed
+// constant data.
+//
+// Two kinds of entries:
+//   * VERBATIM: numbers printed in the paper (Figures 1-15 tables, the
+//     Figure 12 averages, cohort sizes).
+//   * RECONSTRUCTED: Figures 16-22 are charts without printed values; the
+//     constants here are reconstructions anchored to every number the
+//     prose does give (see factors.cpp / suspicion.cpp comments and
+//     EXPERIMENTS.md for the anchor list).
+//
+// The respondent model samples from these targets and the bench harness
+// prints paper-vs-measured rows against them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace fpq::paperdata {
+
+inline constexpr std::size_t kMainCohortSize = 199;     // §III
+inline constexpr std::size_t kStudentCohortSize = 52;   // §III
+
+/// One row of a background frequency table (Figures 1-11).
+struct CategoryCount {
+  std::string_view label;
+  std::size_t n;
+  double percent;  ///< as printed in the paper
+};
+
+// -- Figures 1-5: who the participants are (VERBATIM) -----------------------
+std::span<const CategoryCount> positions() noexcept;          // Fig 1
+std::span<const CategoryCount> areas() noexcept;              // Fig 2
+std::span<const CategoryCount> formal_training() noexcept;    // Fig 3
+std::span<const CategoryCount> informal_training() noexcept;  // Fig 4 (top 5, multi-select)
+std::span<const CategoryCount> dev_roles() noexcept;          // Fig 5
+
+// -- Figures 6-7: language experience (VERBATIM, multi-select) --------------
+std::span<const CategoryCount> fp_languages() noexcept;        // Fig 6
+std::span<const CategoryCount> arb_prec_languages() noexcept;  // Fig 7
+
+// -- Figures 8-11: codebase experience (VERBATIM) ----------------------------
+std::span<const CategoryCount> contributed_codebase_sizes() noexcept;  // Fig 8
+std::span<const CategoryCount> contributed_fp_extent() noexcept;       // Fig 9
+std::span<const CategoryCount> involved_codebase_sizes() noexcept;     // Fig 10
+std::span<const CategoryCount> involved_fp_extent() noexcept;          // Fig 11
+
+// -- Figure 12: average quiz performance (VERBATIM) --------------------------
+struct QuizAverages {
+  double correct;
+  double incorrect;
+  double dont_know;
+  double unanswered;
+  double chance;
+};
+QuizAverages core_quiz_averages() noexcept;  // 8.5 / 4.0 / 2.3 / 0.2 / 7.5
+QuizAverages opt_quiz_averages() noexcept;   // 0.6 / 0.2 / 2.2 / 0.1 / 1.5
+
+// -- Figure 13: core score histogram (mean VERBATIM; shape reconstructed) ----
+/// Mean of the core-quiz score distribution.
+inline constexpr double kCoreScoreMean = 8.5;
+
+// -- Figures 14-15: per-question breakdowns (VERBATIM) -----------------------
+struct QuestionBreakdown {
+  std::string_view label;
+  double pct_correct;
+  double pct_incorrect;
+  double pct_dont_know;
+  double pct_unanswered;
+  bool at_chance_level;  ///< boldfaced rows of Figure 14
+  bool majority_wrong;   ///< italicized rows of Figure 14
+};
+std::span<const QuestionBreakdown> core_breakdown() noexcept;  // Fig 14
+std::span<const QuestionBreakdown> opt_breakdown() noexcept;   // Fig 15
+
+// -- Figures 16-21: factor effects (RECONSTRUCTED; anchors in factors.cpp) --
+/// One factor level's mean per-respondent tallies (out of 15 for the core
+/// quiz, out of 3 for the optimization T/F quiz).
+struct FactorLevelTarget {
+  std::string_view label;
+  std::size_t n;           ///< participants at this level (from Figs 1-11)
+  double core_correct;     ///< mean core-quiz correct (Figs 16-19)
+  double opt_correct;      ///< mean opt-quiz correct (Figs 20-21; 0 when
+                           ///< the paper shows no chart for this factor)
+};
+std::span<const FactorLevelTarget> contributed_size_effect() noexcept;  // Fig 16
+std::span<const FactorLevelTarget> area_effect() noexcept;       // Figs 17+20
+std::span<const FactorLevelTarget> role_effect() noexcept;       // Figs 18+21
+std::span<const FactorLevelTarget> training_effect() noexcept;   // Fig 19
+
+// -- Figure 22: suspicion distributions (RECONSTRUCTED; anchors in
+//    suspicion.cpp) ---------------------------------------------------------
+/// Percent of respondents reporting each Likert level 1..5.
+struct SuspicionTarget {
+  std::string_view condition;          ///< "Overflow", ...
+  std::array<double, 5> percent_main;  ///< Figure 22(a), n = 199
+  std::array<double, 5> percent_students;  ///< Figure 22(b), n = 52
+};
+std::span<const SuspicionTarget> suspicion_targets() noexcept;
+
+}  // namespace fpq::paperdata

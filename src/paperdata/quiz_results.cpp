@@ -1,0 +1,59 @@
+// Figures 12, 14, 15: quiz performance tables, verbatim from the paper.
+
+#include <array>
+
+#include "paperdata/paperdata.hpp"
+
+namespace fpq::paperdata {
+
+QuizAverages core_quiz_averages() noexcept {
+  return {8.5, 4.0, 2.3, 0.2, 7.5};  // Figure 12, top half
+}
+
+QuizAverages opt_quiz_averages() noexcept {
+  return {0.6, 0.2, 2.2, 0.1, 1.5};  // Figure 12, bottom half
+}
+
+namespace {
+
+// Figure 14. Boldfaced-at-chance rows: the six whose correct rate is
+// statistically indistinguishable from 50%. Italicized rows: answered
+// incorrectly by most participants.
+constexpr std::array<QuestionBreakdown, 15> kCoreBreakdown{{
+    {"Commutativity", 53.3, 27.6, 18.6, 0.5, true, false},
+    {"Associativity", 69.3, 14.1, 15.6, 1.0, false, false},
+    {"Distributivity", 81.9, 6.0, 10.6, 1.5, false, false},
+    {"Ordering", 80.4, 6.0, 12.6, 1.0, false, false},
+    {"Identity", 16.6, 76.9, 5.5, 1.0, false, true},
+    {"Negative Zero", 58.8, 28.1, 11.6, 1.5, true, false},
+    {"Square", 47.2, 35.2, 16.6, 1.0, true, false},
+    {"Overflow", 60.8, 24.1, 11.1, 4.0, false, false},
+    {"Divide by Zero", 11.6, 76.4, 11.1, 1.0, false, true},
+    {"Zero Divide By Zero", 70.4, 9.0, 19.6, 1.0, false, false},
+    {"Saturation Plus", 54.8, 26.1, 17.6, 1.5, true, false},
+    {"Saturation Minus", 53.3, 25.6, 19.6, 1.5, true, false},
+    {"Denormal Precision", 52.3, 24.6, 22.1, 1.0, true, false},
+    {"Operation Precision", 73.4, 9.0, 16.6, 1.0, false, false},
+    {"Exception Signal", 69.3, 10.1, 19.6, 1.0, false, false},
+}};
+
+// Figure 15. Every question was reported unknown by more than half the
+// participants.
+constexpr std::array<QuestionBreakdown, 4> kOptBreakdown{{
+    {"MADD", 15.6, 10.0, 72.4, 2.0, false, false},
+    {"Flush to Zero", 13.6, 7.5, 76.9, 2.0, false, false},
+    {"Standard-compliant Level", 8.5, 20.7, 68.8, 2.0, false, false},
+    {"Fast-math", 29.1, 3.0, 65.8, 2.0, false, false},
+}};
+
+}  // namespace
+
+std::span<const QuestionBreakdown> core_breakdown() noexcept {
+  return kCoreBreakdown;
+}
+
+std::span<const QuestionBreakdown> opt_breakdown() noexcept {
+  return kOptBreakdown;
+}
+
+}  // namespace fpq::paperdata

@@ -1,0 +1,46 @@
+// Figure 22: suspicion Likert distributions for the main (n=199) and
+// student (n=52) cohorts.
+//
+// RECONSTRUCTED: the paper plots these without printed values. Anchors
+// from §IV-D:
+//   * both groups are most suspicious of Invalid, then Overflow;
+//   * about 1/3 of BOTH groups report less-than-maximum suspicion for
+//     Invalid (here: 35% each);
+//   * the student group is overall less suspicious about Underflow and
+//     Denorm, and also less suspicious of Overflow;
+//   * Precision behaves similarly in both groups;
+//   * Underflow / Precision / Denorm sit well below Overflow.
+
+#include <array>
+
+#include "paperdata/paperdata.hpp"
+
+namespace fpq::paperdata {
+
+namespace {
+
+constexpr std::array<SuspicionTarget, 5> kSuspicion{{
+    {"Overflow",
+     {5.0, 10.0, 20.0, 30.0, 35.0},
+     {10.0, 15.0, 25.0, 28.0, 22.0}},
+    {"Underflow",
+     {25.0, 30.0, 25.0, 12.0, 8.0},
+     {35.0, 30.0, 20.0, 10.0, 5.0}},
+    {"Precision",
+     {30.0, 30.0, 22.0, 12.0, 6.0},
+     {30.0, 30.0, 22.0, 12.0, 6.0}},
+    {"Invalid",
+     {3.0, 5.0, 10.0, 17.0, 65.0},
+     {4.0, 6.0, 10.0, 15.0, 65.0}},
+    {"Denorm",
+     {25.0, 28.0, 25.0, 14.0, 8.0},
+     {35.0, 30.0, 20.0, 10.0, 5.0}},
+}};
+
+}  // namespace
+
+std::span<const SuspicionTarget> suspicion_targets() noexcept {
+  return kSuspicion;
+}
+
+}  // namespace fpq::paperdata

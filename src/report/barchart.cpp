@@ -1,0 +1,74 @@
+#include "report/barchart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "report/table.hpp"
+
+namespace fpq::report {
+
+std::string bar_chart(std::span<const Bar> bars, const BarChartOptions& opts) {
+  assert(opts.max_width > 0);
+  double max_value = opts.show_reference ? opts.reference : 0.0;
+  std::size_t label_width = 0;
+  for (const auto& bar : bars) {
+    assert(bar.value >= 0.0);
+    max_value = std::max(max_value, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::string out;
+  for (const auto& bar : bars) {
+    const auto width = static_cast<std::size_t>(
+        std::lround(bar.value / max_value * static_cast<double>(opts.max_width)));
+    out += bar.label;
+    out.append(label_width - bar.label.size(), ' ');
+    out += " | ";
+    out.append(width, '#');
+    out += ' ';
+    out += Table::fmt(bar.value, opts.decimals);
+    if (opts.show_reference) {
+      const double delta = bar.value - opts.reference;
+      out += " (";
+      if (delta >= 0.0) out += '+';
+      out += Table::fmt(delta, opts.decimals);
+      out += " vs ref ";
+      out += Table::fmt(opts.reference, opts.decimals);
+      out += ')';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string int_histogram_chart(const fpq::stats::IntHistogram& hist,
+                                std::size_t max_width) {
+  std::vector<Bar> bars;
+  bars.reserve(hist.bin_count());
+  for (int v = hist.lo(); v <= hist.hi(); ++v) {
+    bars.push_back(Bar{Table::fmt(v), static_cast<double>(hist.count(v))});
+  }
+  BarChartOptions opts;
+  opts.max_width = max_width;
+  opts.decimals = 0;
+  return bar_chart(bars, opts);
+}
+
+std::string grouped_series_chart(std::span<const std::string> x_labels,
+                                 std::span<const GroupedSeries> series,
+                                 int decimals) {
+  std::vector<std::string> headers{""};
+  headers.insert(headers.end(), x_labels.begin(), x_labels.end());
+  Table table(std::move(headers));
+  for (const auto& s : series) {
+    assert(s.values.size() == x_labels.size());
+    std::vector<std::string> row{s.group};
+    for (double v : s.values) row.push_back(Table::fmt(v, decimals));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace fpq::report

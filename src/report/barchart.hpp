@@ -1,0 +1,50 @@
+// fpq::report — plain-text bar charts and histograms.
+//
+// Figures 13, 16-21, and 22 of the paper are charts; the bench harness
+// renders them as horizontal ASCII bars so the series shape (monotone
+// trends, chance lines, crossovers) is visible directly in terminal output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace fpq::report {
+
+/// One labelled bar.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Options for bar rendering.
+struct BarChartOptions {
+  std::size_t max_width = 50;   ///< characters for the longest bar
+  int decimals = 1;             ///< numeric annotation precision
+  double reference = 0.0;       ///< optional reference line (e.g. chance)
+  bool show_reference = false;  ///< annotate bars relative to reference
+};
+
+/// Renders labelled horizontal bars scaled to the maximum value.
+/// Values must be non-negative.
+std::string bar_chart(std::span<const Bar> bars, const BarChartOptions& opts);
+
+/// Renders an integer histogram (Figure 13 style): one bar per value.
+std::string int_histogram_chart(const fpq::stats::IntHistogram& hist,
+                                std::size_t max_width = 50);
+
+/// Renders grouped series (Figure 22 style): for each group label a row of
+/// per-series values, plus per-series sparkline bars.
+struct GroupedSeries {
+  std::string group;                ///< e.g. "Overflow"
+  std::vector<double> values;       ///< one per x position, e.g. levels 1..5
+};
+
+std::string grouped_series_chart(std::span<const std::string> x_labels,
+                                 std::span<const GroupedSeries> series,
+                                 int decimals = 1);
+
+}  // namespace fpq::report

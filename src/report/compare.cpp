@@ -1,0 +1,43 @@
+#include "report/compare.hpp"
+
+#include <cmath>
+
+#include "report/table.hpp"
+
+namespace fpq::report {
+
+ComparisonSummary summarize_comparison(std::span<const ComparisonRow> rows) {
+  ComparisonSummary s;
+  s.total = rows.size();
+  for (const auto& row : rows) {
+    const double dev = std::fabs(row.paper - row.measured);
+    s.max_abs_deviation = std::max(s.max_abs_deviation, dev);
+    if (dev <= row.tolerance) ++s.within_tolerance;
+  }
+  return s;
+}
+
+std::string render_comparison(const std::string& title,
+                              std::span<const ComparisonRow> rows,
+                              int decimals) {
+  Table table({"quantity", "paper", "measured", "|dev|", "tol", "verdict"});
+  for (const auto& row : rows) {
+    const double dev = std::fabs(row.paper - row.measured);
+    table.add_row({row.quantity, Table::fmt(row.paper, decimals),
+                   Table::fmt(row.measured, decimals),
+                   Table::fmt(dev, decimals), Table::fmt(row.tolerance, decimals),
+                   dev <= row.tolerance ? "OK" : "DEVIATES"});
+  }
+  const ComparisonSummary s = summarize_comparison(rows);
+  std::string body = table.render();
+  body += "summary: ";
+  body += Table::fmt(s.within_tolerance);
+  body += '/';
+  body += Table::fmt(s.total);
+  body += " within tolerance, max |dev| = ";
+  body += Table::fmt(s.max_abs_deviation, decimals);
+  body += '\n';
+  return section(title, body);
+}
+
+}  // namespace fpq::report

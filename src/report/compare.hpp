@@ -1,0 +1,40 @@
+// fpq::report — paper-vs-measured comparison rendering.
+//
+// Every bench in bench/ ends by printing a comparison block: for each
+// quantity the paper reports, the paper's value, our measured value, the
+// absolute deviation, and a pass/fail judgement against a tolerance. The
+// same rows feed EXPERIMENTS.md.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fpq::report {
+
+/// One paper-vs-measured quantity.
+struct ComparisonRow {
+  std::string quantity;   ///< e.g. "core quiz mean score"
+  double paper = 0.0;     ///< value reported in the paper
+  double measured = 0.0;  ///< value this reproduction measured
+  double tolerance = 0.0; ///< acceptable |paper - measured|
+};
+
+/// Aggregate verdict over a comparison block.
+struct ComparisonSummary {
+  std::size_t total = 0;
+  std::size_t within_tolerance = 0;
+  double max_abs_deviation = 0.0;
+  bool all_within() const noexcept { return within_tolerance == total; }
+};
+
+/// Computes the summary for a block of rows.
+ComparisonSummary summarize_comparison(std::span<const ComparisonRow> rows);
+
+/// Renders the block as a table with OK/DEVIATES markers plus a summary
+/// line. `decimals` controls numeric formatting.
+std::string render_comparison(const std::string& title,
+                              std::span<const ComparisonRow> rows,
+                              int decimals = 2);
+
+}  // namespace fpq::report

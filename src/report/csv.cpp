@@ -1,0 +1,67 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+namespace fpq::report {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+bool csv_split(std::string_view line, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields.push_back(std::move(current));
+  return true;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_join(fields) << '\n';
+  ++rows_;
+}
+
+}  // namespace fpq::report

@@ -1,0 +1,41 @@
+// fpq::report — minimal RFC-4180-style CSV writing and parsing.
+//
+// Survey records round-trip through CSV (see survey/csv_io.hpp) so that
+// synthetic datasets can be exported for external analysis (R, pandas) and
+// reimported; this module is the quoting/escaping layer underneath.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpq::report {
+
+/// Quotes a field if it contains a comma, quote, or newline; doubles
+/// embedded quotes.
+std::string csv_escape(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string csv_join(const std::vector<std::string>& fields);
+
+/// Splits one CSV line into fields, honouring quoted fields with embedded
+/// commas and doubled quotes. Returns false on malformed input (unbalanced
+/// quote).
+bool csv_split(std::string_view line, std::vector<std::string>& fields);
+
+/// Streams rows to an output stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace fpq::report

@@ -1,0 +1,90 @@
+#include "report/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace fpq::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  assert(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string Table::fmt(std::size_t value) { return std::to_string(value); }
+
+std::string Table::fmt(int value) { return std::to_string(value); }
+
+std::string Table::percent(double fraction, int decimals) {
+  return fmt(100.0 * fraction, decimals);
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string out = "+";
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      out += ' ';
+      if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+      out += cells[c];
+      if (aligns_[c] == Align::kLeft) out.append(pad, ' ');
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = rule();
+  out += line(headers_);
+  out += rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string section(const std::string& title, const std::string& body) {
+  std::string out = title + '\n';
+  out.append(title.size(), '=');
+  out += '\n';
+  out += body;
+  out += '\n';
+  return out;
+}
+
+}  // namespace fpq::report

@@ -1,0 +1,59 @@
+// fpq::report — plain-text table rendering.
+//
+// The bench harness reproduces the paper's tables by *printing* them, so a
+// small, dependency-free table renderer is part of the deliverable. Cells
+// are strings; alignment is per column; the output style matches what you
+// would paste into a lab notebook:
+//
+//   +----------------+-----+------+
+//   | Position       |   n |    % |
+//   +----------------+-----+------+
+//   | Ph.D. student  |  73 | 36.7 |
+//   ...
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fpq::report {
+
+enum class Align { kLeft, kRight };
+
+/// A rectangular text table with a header row.
+class Table {
+ public:
+  /// Creates a table with the given column headers; alignment defaults to
+  /// left for the first column and right for the rest (the common shape of
+  /// the paper's tables).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides one column's alignment.
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers for row construction.
+  static std::string fmt(double value, int decimals);
+  static std::string fmt(std::size_t value);
+  static std::string fmt(int value);
+  static std::string percent(double fraction, int decimals = 1);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Renders the full table, trailing newline included.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a titled section: title, underline, body, blank line.
+std::string section(const std::string& title, const std::string& body);
+
+}  // namespace fpq::report

@@ -1,0 +1,53 @@
+// fpq::respondent — the latent-ability model.
+//
+// A respondent's expected quiz performance is an additive function of
+// their background, with effects read directly from the paperdata factor
+// targets (Figures 16-21):
+//
+//   core_target = mu_core + D_size + D_area + D_role + D_training + noise
+//   opt_target  = mu_opt  + D_area_opt + D_role_opt + noise
+//
+// where each D_f(level) = target_f(level) - weighted_mean_f is the
+// centered factor effect. Because factors are sampled independently
+// (background_model.hpp), each factor's *conditional* population mean
+// reproduces its published chart: the cross terms average to zero.
+#pragma once
+
+#include "stats/prng.hpp"
+#include "survey/record.hpp"
+
+namespace fpq::respondent {
+
+/// Latent ability and answering style of one synthetic respondent.
+struct Ability {
+  /// Expected number of correct core-quiz answers (0..15 scale).
+  double core_target = 8.5;
+  /// Expected number of correct optimization T/F answers (0..3 scale).
+  double opt_target = 0.6;
+  /// Multiplies the per-question don't-know rates (mean 1 over the
+  /// population): some respondents hedge more than others.
+  double dont_know_propensity = 1.0;
+};
+
+/// Centered core-quiz effect of each charted factor (0 for levels the
+/// paper does not chart, e.g. "Not Reported").
+double core_effect_contributed_size(std::size_t fig8_row) noexcept;
+double core_effect_area(std::size_t fig2_row) noexcept;
+double core_effect_role(std::size_t fig5_row) noexcept;
+double core_effect_training(std::size_t fig3_row) noexcept;
+
+/// Centered optimization-quiz effects (Figures 20-21).
+double opt_effect_area(std::size_t fig2_row) noexcept;
+double opt_effect_role(std::size_t fig5_row) noexcept;
+
+/// Residual spread around the factor-implied mean (score points). The
+/// individual variation the factors do NOT explain — the paper found no
+/// particularly strong factor, so this is sizeable.
+inline constexpr double kCoreResidualSigma = 1.6;
+inline constexpr double kOptResidualSigma = 0.25;
+
+/// Derives ability for a background, adding individual noise.
+Ability derive_ability(const survey::BackgroundProfile& background,
+                       stats::Xoshiro256pp& g);
+
+}  // namespace fpq::respondent

@@ -1,0 +1,64 @@
+#include "respondent/background_model.hpp"
+
+#include <vector>
+
+#include "paperdata/paperdata.hpp"
+#include "stats/categorical.hpp"
+
+namespace fpq::respondent {
+
+namespace {
+
+namespace pd = fpq::paperdata;
+
+stats::CategoricalDistribution from_counts(
+    std::span<const pd::CategoryCount> rows) {
+  std::vector<double> weights;
+  weights.reserve(rows.size());
+  for (const auto& row : rows) {
+    weights.push_back(static_cast<double>(row.n));
+  }
+  return stats::CategoricalDistribution(weights);
+}
+
+std::vector<std::size_t> sample_multi(
+    std::span<const pd::CategoryCount> rows, stats::Xoshiro256pp& g) {
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double p = static_cast<double>(rows[i].n) /
+                     static_cast<double>(pd::kMainCohortSize);
+    if (stats::bernoulli(g, p)) selected.push_back(i);
+  }
+  return selected;
+}
+
+}  // namespace
+
+survey::BackgroundProfile sample_background(stats::Xoshiro256pp& g) {
+  // The categorical tables are tiny; rebuilding them per call would be
+  // wasteful in generation loops, so they are constructed once.
+  static const auto positions = from_counts(pd::positions());
+  static const auto areas = from_counts(pd::areas());
+  static const auto training = from_counts(pd::formal_training());
+  static const auto roles = from_counts(pd::dev_roles());
+  static const auto contributed = from_counts(pd::contributed_codebase_sizes());
+  static const auto contributed_extent = from_counts(pd::contributed_fp_extent());
+  static const auto involved = from_counts(pd::involved_codebase_sizes());
+  static const auto involved_extent = from_counts(pd::involved_fp_extent());
+
+  survey::BackgroundProfile b;
+  b.position = positions.sample(g);
+  b.area = areas.sample(g);
+  b.formal_training = training.sample(g);
+  b.informal_training = sample_multi(pd::informal_training(), g);
+  b.dev_role = roles.sample(g);
+  b.fp_languages = sample_multi(pd::fp_languages(), g);
+  b.arb_prec_languages = sample_multi(pd::arb_prec_languages(), g);
+  b.contributed_size = contributed.sample(g);
+  b.contributed_extent = contributed_extent.sample(g);
+  b.involved_size = involved.sample(g);
+  b.involved_extent = involved_extent.sample(g);
+  return b;
+}
+
+}  // namespace fpq::respondent

@@ -1,0 +1,20 @@
+// fpq::respondent — sampling synthetic participant backgrounds.
+//
+// Single-select factors are drawn from categorical distributions whose
+// weights are the paper's published counts (Figures 1-3, 5, 8-11);
+// multi-select factors (informal training, languages) are independent
+// Bernoulli per option with the published selection rates (Figures 4, 6,
+// 7). Factors are sampled independently of each other — the published
+// tables are marginals, and independence reproduces every marginal while
+// keeping the factor-effect model analyzable (see ability_model.hpp).
+#pragma once
+
+#include "stats/prng.hpp"
+#include "survey/record.hpp"
+
+namespace fpq::respondent {
+
+/// Draws one background profile from the published marginals.
+survey::BackgroundProfile sample_background(stats::Xoshiro256pp& g);
+
+}  // namespace fpq::respondent

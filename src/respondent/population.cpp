@@ -1,0 +1,49 @@
+#include "respondent/population.hpp"
+
+#include "respondent/background_model.hpp"
+#include "respondent/calibration.hpp"
+#include "respondent/suspicion_model.hpp"
+
+namespace fpq::respondent {
+
+std::vector<survey::SurveyRecord> generate_main_cohort(std::uint64_t seed,
+                                                       std::size_t n) {
+  // The calibrated model is a function of the published marginals and its
+  // own internal calibration seed only — NOT of this cohort's seed — so
+  // different cohorts are draws from one fixed model.
+  static const CalibratedQuizModel model =
+      CalibratedQuizModel::fit(0xCA11B8A7EDULL);
+
+  stats::Xoshiro256pp root(seed);
+  std::vector<survey::SurveyRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto g = root.split(i);
+    survey::SurveyRecord r;
+    r.respondent_id = i + 1;
+    r.background = sample_background(g);
+    const Ability ability = derive_ability(r.background, g);
+    r.core = model.sample_core(ability, g);
+    r.opt = model.sample_opt(ability, g);
+    r.suspicion = sample_suspicion(Cohort::kMain, g);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<survey::StudentRecord> generate_student_cohort(
+    std::uint64_t seed, std::size_t n) {
+  stats::Xoshiro256pp root(seed);
+  std::vector<survey::StudentRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto g = root.split(i);
+    survey::StudentRecord r;
+    r.respondent_id = i + 1;
+    r.suspicion = sample_suspicion(Cohort::kStudents, g);
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace fpq::respondent

@@ -1,0 +1,25 @@
+// fpq::respondent — cohort generation: the top of the synthetic-subjects
+// substitution. One call produces the full raw dataset the paper's
+// analysis consumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "survey/record.hpp"
+
+namespace fpq::respondent {
+
+/// Generates the main cohort (default n = 199, §III): backgrounds from
+/// the published marginals, quiz sheets from the calibrated item-response
+/// model, suspicion responses from the Figure 22(a) panel. Deterministic
+/// in `seed`.
+std::vector<survey::SurveyRecord> generate_main_cohort(
+    std::uint64_t seed, std::size_t n = 199);
+
+/// Generates the student cohort (default n = 52, §III): suspicion quiz
+/// only, from the Figure 22(b) panel.
+std::vector<survey::StudentRecord> generate_student_cohort(
+    std::uint64_t seed, std::size_t n = 52);
+
+}  // namespace fpq::respondent

@@ -1,0 +1,25 @@
+#include "respondent/suspicion_model.hpp"
+
+#include "paperdata/paperdata.hpp"
+#include "stats/likert.hpp"
+
+namespace fpq::respondent {
+
+std::array<int, quiz::kSuspicionItemCount> sample_suspicion(
+    Cohort cohort, stats::Xoshiro256pp& g) {
+  const auto targets = fpq::paperdata::suspicion_targets();
+  std::array<int, quiz::kSuspicionItemCount> out{};
+  for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+    const auto& pct = cohort == Cohort::kMain
+                          ? targets[c].percent_main
+                          : targets[c].percent_students;
+    std::array<double, stats::kLikertLevels> weights{};
+    for (std::size_t i = 0; i < stats::kLikertLevels; ++i) {
+      weights[i] = pct[i];
+    }
+    out[c] = stats::LikertDistribution(weights).sample(g);
+  }
+  return out;
+}
+
+}  // namespace fpq::respondent

@@ -1,0 +1,24 @@
+// fpq::respondent — sampling suspicion-quiz responses.
+//
+// Responses are drawn per condition from the cohort's reconstructed
+// Figure 22 distributions. Sampling is independent across conditions so
+// the published marginals are reproduced exactly in expectation (the
+// paper reports only marginals; any cross-condition correlation structure
+// would be invention beyond the data).
+#pragma once
+
+#include <array>
+
+#include "core/types.hpp"
+#include "stats/prng.hpp"
+
+namespace fpq::respondent {
+
+/// Which cohort's Figure 22 panel to sample from.
+enum class Cohort { kMain, kStudents };
+
+/// Draws one respondent's five Likert levels (1..5), paper order.
+std::array<int, quiz::kSuspicionItemCount> sample_suspicion(
+    Cohort cohort, stats::Xoshiro256pp& g);
+
+}  // namespace fpq::respondent

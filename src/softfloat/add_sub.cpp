@@ -1,0 +1,167 @@
+// Addition and subtraction with correct rounding.
+//
+// Strategy: dispatch specials (NaN/inf/zero), then unpack both operands to
+// the normalized 64-bit form and perform the magnitude add/subtract in
+// 128-bit integer arithmetic so no alignment bit is ever lost before the
+// rounding decision (floor + sticky; see detail.hpp).
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+using detail::U128;
+
+// Magnitude addition of unpacked nonzero finite values; sign already chosen.
+template <int kBits>
+Float<kBits> add_magnitudes(bool sign, const detail::Unpacked& big,
+                            const detail::Unpacked& small, Env& env) noexcept {
+  const std::int32_t shift32 = big.exp - small.exp;  // >= 0
+  // Operands placed at bit 126 so the sum fits in 128 bits.
+  const U128 a = U128{big.sig} << 63;
+  bool sticky = false;
+  U128 b;
+  if (shift32 == 0) {
+    b = U128{small.sig} << 63;
+  } else if (shift32 <= 126) {
+    const auto shift = static_cast<unsigned>(shift32);
+    b = (U128{small.sig} << 63) >> shift;
+    // Bits shifted below bit 0 only exist for shift > 63.
+    if (shift > 63) {
+      const unsigned lost_bits = shift - 63;
+      sticky = (small.sig & ((std::uint64_t{1} << lost_bits) - 1)) != 0;
+    }
+  } else {
+    b = 0;
+    sticky = true;
+  }
+  const U128 sum = a + b;
+  // value = sum * 2^(exp - 126) with exp = big.exp; helper wants bit-127
+  // scaling: sum * 2^((big.exp + 1) - 127).
+  return detail::normalize_round_pack<kBits>(sign, big.exp + 1, sum, sticky,
+                                             env);
+}
+
+// Magnitude subtraction big - small (big has the strictly larger or equal
+// magnitude); sign is the sign of the mathematical result.
+template <int kBits>
+Float<kBits> sub_magnitudes(bool sign, const detail::Unpacked& big,
+                            const detail::Unpacked& small, Env& env) noexcept {
+  const std::int32_t shift32 = big.exp - small.exp;  // >= 0
+  const U128 a = U128{big.sig} << 63;
+  bool sticky = false;
+  U128 b;
+  if (shift32 == 0) {
+    b = U128{small.sig} << 63;  // exact
+  } else if (shift32 <= 126) {
+    const auto shift = static_cast<unsigned>(shift32);
+    b = (U128{small.sig} << 63) >> shift;
+    bool lost = false;
+    if (shift > 63) {
+      const unsigned lost_bits = shift - 63;
+      lost = (small.sig & ((std::uint64_t{1} << lost_bits) - 1)) != 0;
+    }
+    if (lost) {
+      // floor+sticky for a subtrahend: round the subtrahend up by one unit
+      // in the last retained place so the difference is the floor of the
+      // true difference, and mark sticky.
+      b += 1;
+      sticky = true;
+    }
+  } else {
+    // The subtrahend is entirely below bit 0 but nonzero.
+    b = 1;
+    sticky = true;
+  }
+  if (a == b && !sticky) {
+    return Float<kBits>::zero(detail::exact_zero_sign(env));
+  }
+  const U128 diff = a - b;
+  if (diff == 0) {
+    // a == b exactly in retained bits but a sticky remainder exists: the
+    // true result is a tiny negative-of-sticky amount below zero of
+    // magnitude < 2^(big.exp - 126); it underflows to zero (or to the
+    // smallest subnormal in directed rounding). Feed the sticky through a
+    // minimal representation: one unit at the very bottom.
+    return detail::normalize_round_pack<kBits>(sign, big.exp + 1, U128{1},
+                                               false, env);
+  }
+  return detail::normalize_round_pack<kBits>(sign, big.exp + 1, diff, sticky,
+                                             env);
+}
+
+// True addition of the (signed) values a + b after special-case dispatch.
+template <int kBits>
+Float<kBits> add_values(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  if (a.is_nan() || b.is_nan()) return detail::propagate_nan(a, b, env);
+
+  if (a.is_infinity() || b.is_infinity()) {
+    if (a.is_infinity() && b.is_infinity()) {
+      if (a.sign() != b.sign()) return detail::invalid_result<kBits>(env);
+      return a;
+    }
+    return a.is_infinity() ? a : b;
+  }
+
+  detail::Unpacked ua = detail::unpack_finite(a, env);
+  detail::Unpacked ub = detail::unpack_finite(b, env);
+
+  if (ua.sig == 0 && ub.sig == 0) {
+    // Signed-zero addition: like signs keep the sign; unlike signs give the
+    // exact-zero sign for the rounding mode.
+    if (ua.sign == ub.sign) return Float<kBits>::zero(ua.sign);
+    return Float<kBits>::zero(detail::exact_zero_sign(env));
+  }
+  if (ua.sig == 0) {
+    // 0 + x = x exactly, but repack so DAZ-canonicalization and any FTZ
+    // flush still apply uniformly.
+    return detail::round_pack<kBits>(ub.sign, ub.exp, ub.sig, false, env);
+  }
+  if (ub.sig == 0) {
+    return detail::round_pack<kBits>(ua.sign, ua.exp, ua.sig, false, env);
+  }
+
+  if (ua.sign == ub.sign) {
+    const bool a_big =
+        ua.exp > ub.exp || (ua.exp == ub.exp && ua.sig >= ub.sig);
+    return a_big ? add_magnitudes<kBits>(ua.sign, ua, ub, env)
+                 : add_magnitudes<kBits>(ua.sign, ub, ua, env);
+  }
+
+  // Opposite signs: subtract the smaller magnitude from the larger.
+  const bool a_big = ua.exp > ub.exp || (ua.exp == ub.exp && ua.sig > ub.sig);
+  if (ua.exp == ub.exp && ua.sig == ub.sig) {
+    return Float<kBits>::zero(detail::exact_zero_sign(env));
+  }
+  return a_big ? sub_magnitudes<kBits>(ua.sign, ua, ub, env)
+               : sub_magnitudes<kBits>(ub.sign, ub, ua, env);
+}
+
+}  // namespace
+
+template <int kBits>
+Float<kBits> add(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  return add_values(a, b, env);
+}
+
+template <int kBits>
+Float<kBits> sub(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  if (b.is_nan()) {
+    // Propagate NaN without flipping its sign bit.
+    return detail::propagate_nan(a, b, env);
+  }
+  return add_values(a, b.negated(), env);
+}
+
+template Float16 add<16>(Float16, Float16, Env&) noexcept;
+template Float32 add<32>(Float32, Float32, Env&) noexcept;
+template Float64 add<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 add<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template Float16 sub<16>(Float16, Float16, Env&) noexcept;
+template Float32 sub<32>(Float32, Float32, Env&) noexcept;
+template Float64 sub<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 sub<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,97 @@
+// IEEE 754 comparisons.
+//
+// Two quiz-relevant behaviors live here: NaN compares unordered with
+// everything including itself (the paper's Identity question: a == a is NOT
+// always true), and +0 == -0 (the Negative Zero question: two zeros are
+// never unequal).
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+// Total order on the finite/infinite encodings: fold the sign-magnitude
+// encoding into a monotone signed key. DAZ is honoured so comparisons see
+// the same operand values arithmetic would.
+template <int kBits>
+std::int64_t magnitude_key(Float<kBits> x, const Env& env) noexcept {
+  auto mag = static_cast<std::int64_t>(
+      x.bits & ~FormatConstants<kBits>::kSignMask);
+  if (env.denormals_are_zero() && x.is_subnormal()) mag = 0;
+  return x.sign() ? -mag : mag;
+}
+
+template <int kBits>
+Ordering compare_ordered(Float<kBits> a, Float<kBits> b,
+                         const Env& env) noexcept {
+  const std::int64_t ka = magnitude_key(a, env);
+  const std::int64_t kb = magnitude_key(b, env);
+  // -0 and +0 both map to key 0, so they compare equal here.
+  if (ka < kb) return Ordering::kLess;
+  if (ka > kb) return Ordering::kGreater;
+  return Ordering::kEqual;
+}
+
+}  // namespace
+
+template <int kBits>
+Ordering compare_quiet(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  if (a.is_nan() || b.is_nan()) {
+    if (a.is_signaling_nan() || b.is_signaling_nan()) {
+      env.raise(kFlagInvalid);
+    }
+    return Ordering::kUnordered;
+  }
+  return compare_ordered(a, b, env);
+}
+
+template <int kBits>
+Ordering compare_signaling(Float<kBits> a, Float<kBits> b,
+                           Env& env) noexcept {
+  if (a.is_nan() || b.is_nan()) {
+    env.raise(kFlagInvalid);
+    return Ordering::kUnordered;
+  }
+  return compare_ordered(a, b, env);
+}
+
+template <int kBits>
+bool equal(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  return compare_quiet(a, b, env) == Ordering::kEqual;
+}
+
+template <int kBits>
+bool less(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  return compare_signaling(a, b, env) == Ordering::kLess;
+}
+
+template <int kBits>
+bool less_equal(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  const Ordering o = compare_signaling(a, b, env);
+  return o == Ordering::kLess || o == Ordering::kEqual;
+}
+
+template Ordering compare_quiet<16>(Float16, Float16, Env&) noexcept;
+template Ordering compare_quiet<32>(Float32, Float32, Env&) noexcept;
+template Ordering compare_quiet<64>(Float64, Float64, Env&) noexcept;
+template Ordering compare_quiet<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template Ordering compare_signaling<16>(Float16, Float16, Env&) noexcept;
+template Ordering compare_signaling<32>(Float32, Float32, Env&) noexcept;
+template Ordering compare_signaling<64>(Float64, Float64, Env&) noexcept;
+template Ordering compare_signaling<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template bool equal<16>(Float16, Float16, Env&) noexcept;
+template bool equal<32>(Float32, Float32, Env&) noexcept;
+template bool equal<64>(Float64, Float64, Env&) noexcept;
+template bool equal<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template bool less<16>(Float16, Float16, Env&) noexcept;
+template bool less<32>(Float32, Float32, Env&) noexcept;
+template bool less<64>(Float64, Float64, Env&) noexcept;
+template bool less<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template bool less_equal<16>(Float16, Float16, Env&) noexcept;
+template bool less_equal<32>(Float32, Float32, Env&) noexcept;
+template bool less_equal<64>(Float64, Float64, Env&) noexcept;
+template bool less_equal<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

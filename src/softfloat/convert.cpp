@@ -1,0 +1,136 @@
+// Conversions: between binary formats, and to/from int64.
+//
+// Narrowing (e.g. double -> half) is where "Operation Precision" style
+// surprises concentrate: values round, overflow to infinity, or flush into
+// the subnormal range. Widening is always exact.
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+template <int kTo, int kFrom>
+Float<kTo> convert(Float<kFrom> x, Env& env) noexcept {
+  using CFrom = FormatConstants<kFrom>;
+  using CTo = FormatConstants<kTo>;
+  using ToStorage = typename CTo::Storage;
+
+  if (x.is_nan()) {
+    if (x.is_signaling_nan()) env.raise(kFlagInvalid);
+    // Preserve sign and as much payload as fits; always quiet.
+    std::uint64_t payload = static_cast<std::uint64_t>(x.fraction());
+    if constexpr (CTo::kSigBits >= CFrom::kSigBits) {
+      payload <<= (CTo::kSigBits - CFrom::kSigBits);
+    } else {
+      payload >>= (CFrom::kSigBits - CTo::kSigBits);
+    }
+    const auto bits = static_cast<ToStorage>(
+        CTo::kExpMask | CTo::kQuietBit | static_cast<ToStorage>(payload));
+    return Float<kTo>{bits}.with_sign(x.sign());
+  }
+  if (x.is_infinity()) return Float<kTo>::infinity(x.sign());
+
+  const detail::Unpacked u = detail::unpack_finite(x, env);
+  if (u.sig == 0) return Float<kTo>::zero(u.sign);
+  return detail::round_pack<kTo>(u.sign, u.exp, u.sig, false, env);
+}
+
+template <int kBits>
+Float<kBits> from_int64(std::int64_t v, Env& env) noexcept {
+  if (v == 0) return Float<kBits>::zero(false);
+  const bool sign = v < 0;
+  const std::uint64_t mag =
+      sign ? 0 - static_cast<std::uint64_t>(v) : static_cast<std::uint64_t>(v);
+  const int lz = std::countl_zero(mag);
+  return detail::round_pack<kBits>(sign, 63 - lz, mag << lz, false, env);
+}
+
+template <int kBits>
+std::int64_t to_int64(Float<kBits> x, Env& env) noexcept {
+  constexpr std::int64_t kMin = std::int64_t{-1} - 0x7FFFFFFFFFFFFFFF;
+  constexpr std::int64_t kMax = 0x7FFFFFFFFFFFFFFF;
+  if (x.is_nan()) {
+    env.raise(kFlagInvalid);
+    return kMin;  // x86 "integer indefinite"
+  }
+  if (x.is_infinity()) {
+    env.raise(kFlagInvalid);
+    return x.sign() ? kMin : kMax;
+  }
+  const detail::Unpacked u = detail::unpack_finite(x, env);
+  if (u.sig == 0) return 0;
+
+  std::uint64_t int_mag;
+  bool round_bit = false;
+  bool sticky = false;
+  if (u.exp >= 64) {
+    env.raise(kFlagInvalid);
+    return u.sign ? kMin : kMax;
+  }
+  if (u.exp >= 63) {
+    int_mag = u.sig;  // exp == 63: value == sig exactly
+  } else {
+    const int shift = 63 - u.exp;  // >= 1
+    if (shift <= 63) {
+      int_mag = u.sig >> shift;
+      round_bit = (u.sig >> (shift - 1)) & 1;
+      sticky = shift > 1 &&
+               (u.sig & ((std::uint64_t{1} << (shift - 1)) - 1)) != 0;
+    } else if (shift == 64) {
+      int_mag = 0;
+      round_bit = (u.sig >> 63) & 1;
+      sticky = (u.sig & 0x7FFFFFFFFFFFFFFFULL) != 0;
+    } else {
+      int_mag = 0;
+      round_bit = false;
+      sticky = true;
+    }
+  }
+  const bool inexact = round_bit || sticky;
+  if (detail::round_increment(env.rounding(), u.sign, int_mag & 1, round_bit,
+                              sticky)) {
+    // Cannot wrap: int_mag < 2^63 whenever rounding bits exist.
+    ++int_mag;
+  }
+
+  if (!u.sign && int_mag > static_cast<std::uint64_t>(kMax)) {
+    env.raise(kFlagInvalid);
+    return kMax;
+  }
+  if (u.sign && int_mag > (std::uint64_t{1} << 63)) {
+    env.raise(kFlagInvalid);
+    return kMin;
+  }
+  if (inexact) env.raise(kFlagInexact);
+  if (u.sign) {
+    return static_cast<std::int64_t>(0 - int_mag);
+  }
+  return static_cast<std::int64_t>(int_mag);
+}
+
+template Float16 convert<16, 16>(Float16, Env&) noexcept;
+template Float32 convert<32, 32>(Float32, Env&) noexcept;
+template Float64 convert<64, 64>(Float64, Env&) noexcept;
+template Float16 convert<16, 32>(Float32, Env&) noexcept;
+template Float16 convert<16, 64>(Float64, Env&) noexcept;
+template Float32 convert<32, 16>(Float16, Env&) noexcept;
+template Float32 convert<32, 64>(Float64, Env&) noexcept;
+template Float64 convert<64, 16>(Float16, Env&) noexcept;
+template Float64 convert<64, 32>(Float32, Env&) noexcept;
+template BFloat16 convert<kBFloat16, kBFloat16>(BFloat16, Env&) noexcept;
+template BFloat16 convert<kBFloat16, 16>(Float16, Env&) noexcept;
+template BFloat16 convert<kBFloat16, 32>(Float32, Env&) noexcept;
+template BFloat16 convert<kBFloat16, 64>(Float64, Env&) noexcept;
+template Float16 convert<16, kBFloat16>(BFloat16, Env&) noexcept;
+template Float32 convert<32, kBFloat16>(BFloat16, Env&) noexcept;
+template Float64 convert<64, kBFloat16>(BFloat16, Env&) noexcept;
+template Float16 from_int64<16>(std::int64_t, Env&) noexcept;
+template Float32 from_int64<32>(std::int64_t, Env&) noexcept;
+template Float64 from_int64<64>(std::int64_t, Env&) noexcept;
+template BFloat16 from_int64<kBFloat16>(std::int64_t, Env&) noexcept;
+template std::int64_t to_int64<16>(Float16, Env&) noexcept;
+template std::int64_t to_int64<32>(Float32, Env&) noexcept;
+template std::int64_t to_int64<64>(Float64, Env&) noexcept;
+template std::int64_t to_int64<kBFloat16>(BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,279 @@
+// fpq::softfloat — internal unpack / round / pack machinery.
+//
+// Internal representation of a finite nonzero value during computation:
+//
+//     value = (-1)^sign * sig * 2^(exp - 63)
+//
+// with `sig` a 64-bit significand normalized so its most significant bit
+// (bit 63) is set; `exp` is then exactly the unbiased IEEE exponent. Wide
+// intermediates (products, aligned sums, quotients) are carried in unsigned
+// __int128 with value = D * 2^(exp - 127) and folded back through
+// normalize_round_pack(). Discarded low-order bits are tracked through a
+// single sticky flag, which together with the in-register guard/round bits
+// is sufficient for correct rounding in all five modes (floor + sticky
+// representation; see DESIGN.md).
+//
+// This header is internal to the softfloat module; public API is ops.hpp.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "softfloat/env.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::softfloat::detail {
+
+using U128 = unsigned __int128;
+
+/// Unpacked finite nonzero value (see file comment for the scaling).
+struct Unpacked {
+  bool sign = false;
+  std::int32_t exp = 0;
+  std::uint64_t sig = 0;  ///< bit 63 set
+};
+
+/// Unpacks a value known to be normal or subnormal (caller has dispatched
+/// specials already). Applies DAZ: a subnormal input with
+/// env.denormals_are_zero() unpacks as zero — signalled by returning
+/// sig == 0. Raises kFlagDenormalInput for subnormal operands when DAZ is
+/// off (mirrors x86's DE bit).
+template <int kBits>
+inline Unpacked unpack_finite(Float<kBits> x, Env& env) noexcept {
+  using C = FormatConstants<kBits>;
+  Unpacked u;
+  u.sign = x.sign();
+  const int biased = x.biased_exponent();
+  const auto frac = static_cast<std::uint64_t>(x.fraction());
+  if (biased != 0) {  // normal
+    const std::uint64_t sig = frac | (std::uint64_t{1} << C::kSigBits);
+    u.sig = sig << (63 - C::kSigBits);
+    u.exp = biased - C::kBias;
+    return u;
+  }
+  if (frac == 0) {  // zero
+    u.sig = 0;
+    return u;
+  }
+  // Subnormal.
+  if (env.denormals_are_zero()) {
+    u.sig = 0;
+    return u;
+  }
+  env.raise(kFlagDenormalInput);
+  const int top = 63 - std::countl_zero(frac);  // highest set bit index
+  u.sig = frac << (63 - top);
+  u.exp = C::kEmin - C::kSigBits + top;
+  return u;
+}
+
+/// True if rounding should increment the kept significand.
+inline bool round_increment(Rounding mode, bool sign, bool lsb, bool round_bit,
+                            bool sticky) noexcept {
+  switch (mode) {
+    case Rounding::kNearestEven:
+      return round_bit && (sticky || lsb);
+    case Rounding::kNearestAway:
+      return round_bit;
+    case Rounding::kTowardZero:
+      return false;
+    case Rounding::kDown:
+      return sign && (round_bit || sticky);
+    case Rounding::kUp:
+      return !sign && (round_bit || sticky);
+  }
+  return false;
+}
+
+/// The overflow result mandated by the standard for each rounding mode:
+/// infinity or the largest finite number, depending on direction and sign.
+/// Raises overflow and inexact.
+template <int kBits>
+inline Float<kBits> overflow_result(bool sign, Env& env) noexcept {
+  env.raise(kFlagOverflow | kFlagInexact);
+  switch (env.rounding()) {
+    case Rounding::kNearestEven:
+    case Rounding::kNearestAway:
+      return Float<kBits>::infinity(sign);
+    case Rounding::kTowardZero:
+      return Float<kBits>::max_finite(sign);
+    case Rounding::kDown:
+      return sign ? Float<kBits>::infinity(true)
+                  : Float<kBits>::max_finite(false);
+    case Rounding::kUp:
+      return sign ? Float<kBits>::max_finite(true)
+                  : Float<kBits>::infinity(false);
+  }
+  return Float<kBits>::infinity(sign);
+}
+
+/// Packs already-rounded fields. `kept` includes the implicit bit for
+/// normals (kept in [2^(p-1), 2^p)) or is the subnormal fraction
+/// (kept < 2^(p-1)) paired with exp == kEmin.
+template <int kBits>
+inline Float<kBits> pack(bool sign, std::int32_t exp,
+                         std::uint64_t kept) noexcept {
+  using C = FormatConstants<kBits>;
+  using Storage = typename C::Storage;
+  const std::uint64_t implicit = std::uint64_t{1} << C::kSigBits;
+  Storage bits;
+  if (kept >= implicit) {
+    const auto biased = static_cast<std::uint64_t>(exp + C::kBias);
+    bits = static_cast<Storage>((biased << C::kSigBits) | (kept - implicit));
+  } else {
+    bits = static_cast<Storage>(kept);  // subnormal or zero: biased exp 0
+  }
+  if (sign) bits |= C::kSignMask;
+  return Float<kBits>{bits};
+}
+
+/// Rounds and packs a normalized significand (bit 63 of `sig` set), raising
+/// inexact/overflow/underflow as appropriate and honouring FTZ. `sticky`
+/// ORs in any bits already discarded by the caller.
+template <int kBits>
+inline Float<kBits> round_pack(bool sign, std::int32_t exp, std::uint64_t sig,
+                               bool sticky, Env& env) noexcept {
+  using C = FormatConstants<kBits>;
+  constexpr int kP = C::kPrecision;
+  constexpr int kRoundPos = 63 - kP;  // bit index of the round bit
+  assert((sig >> 63) == 1);
+
+  const Rounding mode = env.rounding();
+
+  auto round_at = [&](std::uint64_t s, bool extra_sticky, bool& inexact,
+                      bool& carry) -> std::uint64_t {
+    std::uint64_t kept = s >> (64 - kP);
+    const bool round_bit = (s >> kRoundPos) & 1;
+    const bool low_sticky =
+        (s & ((std::uint64_t{1} << kRoundPos) - 1)) != 0 || extra_sticky;
+    inexact = round_bit || low_sticky;
+    if (round_increment(mode, sign, kept & 1, round_bit, low_sticky)) {
+      ++kept;
+      if (kept == (std::uint64_t{1} << kP)) {
+        kept >>= 1;
+        carry = true;
+        return kept;
+      }
+    }
+    carry = false;
+    return kept;
+  };
+
+  if (exp >= C::kEmin) {
+    bool inexact = false;
+    bool carry = false;
+    const std::uint64_t kept = round_at(sig, sticky, inexact, carry);
+    const std::int32_t rexp = exp + (carry ? 1 : 0);
+    if (rexp > C::kEmax) return overflow_result<kBits>(sign, env);
+    if (inexact) env.raise(kFlagInexact);
+    return pack<kBits>(sign, rexp, kept);
+  }
+
+  // Tiny path: denormalize to exponent kEmin, then round.
+  const std::int32_t shift = C::kEmin - exp;  // >= 1
+  std::uint64_t dsig;
+  bool dsticky = sticky;
+  if (shift >= 64) {
+    dsig = 0;
+    dsticky = dsticky || sig != 0;
+  } else {
+    dsig = sig >> shift;
+    dsticky = dsticky || (sig << (64 - shift)) != 0;
+  }
+
+  // Round the denormalized significand at the same in-register position.
+  std::uint64_t kept = dsig >> (64 - kP);
+  const bool round_bit = (dsig >> kRoundPos) & 1;
+  const bool low_sticky =
+      (dsig & ((std::uint64_t{1} << kRoundPos) - 1)) != 0 || dsticky;
+  const bool inexact = round_bit || low_sticky;
+  if (round_increment(mode, sign, kept & 1, round_bit, low_sticky)) {
+    ++kept;  // may become the implicit bit: smallest normal, handled by pack
+  }
+
+  if (inexact) {
+    // Tininess is detected after rounding (as on x86 SSE): the value is not
+    // tiny when rounding at unbounded exponent range would have carried it
+    // up to 2^kEmin, i.e. exp == kEmin - 1 and the full-width rounding
+    // carries out of the significand.
+    bool not_tiny = false;
+    if (exp == C::kEmin - 1) {
+      bool unbounded_inexact = false;
+      bool unbounded_carry = false;
+      (void)round_at(sig, sticky, unbounded_inexact, unbounded_carry);
+      not_tiny = unbounded_carry;
+    }
+    env.raise(kFlagInexact);
+    if (!not_tiny) env.raise(kFlagUnderflow);
+  }
+
+  if (env.flush_to_zero() && kept != 0 &&
+      kept < (std::uint64_t{1} << (kP - 1))) {
+    // Non-standard flush: subnormal result becomes signed zero.
+    env.raise(kFlagUnderflow | kFlagInexact);
+    return Float<kBits>::zero(sign);
+  }
+  return pack<kBits>(sign, C::kEmin, kept);
+}
+
+/// Normalizes a nonzero 128-bit intermediate D with
+/// value = D * 2^(exp - 127) and rounds/packs it.
+template <int kBits>
+inline Float<kBits> normalize_round_pack(bool sign, std::int32_t exp, U128 d,
+                                         bool sticky, Env& env) noexcept {
+  assert(d != 0);
+  const auto hi = static_cast<std::uint64_t>(d >> 64);
+  const auto lo = static_cast<std::uint64_t>(d);
+  const int top = hi != 0 ? 127 - std::countl_zero(hi)
+                          : 63 - std::countl_zero(lo);
+  std::uint64_t sig;
+  if (top >= 64) {
+    const int shift = top - 63;  // in [1, 64]
+    sig = static_cast<std::uint64_t>(d >> shift);
+    const U128 lost = d & ((U128{1} << shift) - 1);
+    sticky = sticky || lost != 0;
+  } else if (top == 63) {
+    sig = lo;
+  } else {
+    sig = lo << (63 - top);
+  }
+  return round_pack<kBits>(sign, exp - 127 + top, sig, sticky, env);
+}
+
+/// NaN propagation for binary operations: the first NaN operand, quieted.
+/// Raises invalid if either operand is a signaling NaN.
+template <int kBits>
+inline Float<kBits> propagate_nan(Float<kBits> a, Float<kBits> b,
+                                  Env& env) noexcept {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) env.raise(kFlagInvalid);
+  if (a.is_nan()) return a.quieted();
+  return b.quieted();
+}
+
+/// NaN propagation for ternary operations (fma), in operand order.
+template <int kBits>
+inline Float<kBits> propagate_nan(Float<kBits> a, Float<kBits> b,
+                                  Float<kBits> c, Env& env) noexcept {
+  if (a.is_signaling_nan() || b.is_signaling_nan() || c.is_signaling_nan()) {
+    env.raise(kFlagInvalid);
+  }
+  if (a.is_nan()) return a.quieted();
+  if (b.is_nan()) return b.quieted();
+  return c.quieted();
+}
+
+/// The default NaN produced by an invalid operation.
+template <int kBits>
+inline Float<kBits> invalid_result(Env& env) noexcept {
+  env.raise(kFlagInvalid);
+  return Float<kBits>::quiet_nan();
+}
+
+/// Sign of an exact-zero sum/difference: +0 in every rounding mode except
+/// roundTowardNegative, where it is -0 (IEEE 754-2008 §6.3).
+inline bool exact_zero_sign(Env& env) noexcept {
+  return env.rounding() == Rounding::kDown;
+}
+
+}  // namespace fpq::softfloat::detail

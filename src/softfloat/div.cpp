@@ -1,0 +1,50 @@
+// Division with correct rounding: 128-bit numerator / 64-bit divisor gives
+// a 64..65-bit truncated quotient; the remainder supplies the sticky bit
+// (floor + sticky is exactly what the rounding step needs).
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+template <int kBits>
+Float<kBits> div(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  using detail::U128;
+  const bool sign = a.sign() != b.sign();
+
+  if (a.is_nan() || b.is_nan()) return detail::propagate_nan(a, b, env);
+
+  if (a.is_infinity()) {
+    if (b.is_infinity()) return detail::invalid_result<kBits>(env);  // inf/inf
+    return Float<kBits>::infinity(sign);
+  }
+  if (b.is_infinity()) return Float<kBits>::zero(sign);
+
+  const detail::Unpacked ua = detail::unpack_finite(a, env);
+  const detail::Unpacked ub = detail::unpack_finite(b, env);
+
+  if (ub.sig == 0) {
+    if (ua.sig == 0) return detail::invalid_result<kBits>(env);  // 0/0
+    // Finite nonzero / zero: the paper's Divide By Zero question — the
+    // result is an *infinity*, not a NaN, and by default no trap fires;
+    // only the sticky divide-by-zero flag records the event.
+    env.raise(kFlagDivByZero);
+    return Float<kBits>::infinity(sign);
+  }
+  if (ua.sig == 0) return Float<kBits>::zero(sign);
+
+  // quotient = (sigA << 64) / sigB in [2^63, 2^65); remainder -> sticky.
+  const U128 numerator = U128{ua.sig} << 64;
+  const U128 quotient = numerator / ub.sig;
+  const bool sticky = numerator % ub.sig != 0;
+  // value = (sigA/sigB) * 2^(ea-eb) = quotient * 2^((ea - eb + 63) - 127).
+  return detail::normalize_round_pack<kBits>(sign, ua.exp - ub.exp + 63,
+                                             quotient, sticky, env);
+}
+
+template Float16 div<16>(Float16, Float16, Env&) noexcept;
+template Float32 div<32>(Float32, Float32, Env&) noexcept;
+template Float64 div<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 div<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

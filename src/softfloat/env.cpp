@@ -1,0 +1,37 @@
+#include "softfloat/env.hpp"
+
+namespace fpq::softfloat {
+
+std::string flags_to_string(unsigned flags) {
+  if (flags == 0) return "none";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += '|';
+    out += name;
+  };
+  if (flags & kFlagInvalid) append("invalid");
+  if (flags & kFlagDivByZero) append("divbyzero");
+  if (flags & kFlagOverflow) append("overflow");
+  if (flags & kFlagUnderflow) append("underflow");
+  if (flags & kFlagInexact) append("inexact");
+  if (flags & kFlagDenormalInput) append("denormal-input");
+  return out;
+}
+
+std::string rounding_to_string(Rounding r) {
+  switch (r) {
+    case Rounding::kNearestEven:
+      return "roundTiesToEven";
+    case Rounding::kTowardZero:
+      return "roundTowardZero";
+    case Rounding::kDown:
+      return "roundTowardNegative";
+    case Rounding::kUp:
+      return "roundTowardPositive";
+    case Rounding::kNearestAway:
+      return "roundTiesToAway";
+  }
+  return "unknown";
+}
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,83 @@
+// fpq::softfloat — arithmetic environment: rounding mode, sticky exception
+// flags, and the non-standard flush modes the paper's optimization quiz is
+// about (FTZ / DAZ).
+//
+// An Env is passed by reference into every operation; flags accumulate
+// exactly like the hardware's MXCSR/FPSR sticky bits. This is what lets the
+// quiz harness demonstrate, in software, the difference between standard
+// gradual underflow and flush-to-zero hardware.
+#pragma once
+
+#include <string>
+
+namespace fpq::softfloat {
+
+/// IEEE 754-2008 rounding-direction attributes.
+enum class Rounding {
+  kNearestEven,  ///< roundTiesToEven (the default everywhere)
+  kTowardZero,   ///< roundTowardZero
+  kDown,         ///< roundTowardNegative
+  kUp,           ///< roundTowardPositive
+  kNearestAway,  ///< roundTiesToAway
+};
+
+/// The five IEEE exception flags, plus a diagnostic flag this engine adds:
+/// kDenormalInput records that an operation consumed a subnormal operand
+/// (mirroring x86's DE bit, which fpmon and the suspicion quiz care about).
+enum Flag : unsigned {
+  kFlagInvalid = 1u << 0,
+  kFlagDivByZero = 1u << 1,
+  kFlagOverflow = 1u << 2,
+  kFlagUnderflow = 1u << 3,
+  kFlagInexact = 1u << 4,
+  kFlagDenormalInput = 1u << 5,
+};
+
+inline constexpr unsigned kAllFlags = kFlagInvalid | kFlagDivByZero |
+                                      kFlagOverflow | kFlagUnderflow |
+                                      kFlagInexact | kFlagDenormalInput;
+
+/// Human-readable rendering such as "invalid|inexact" ("none" when empty).
+std::string flags_to_string(unsigned flags);
+
+/// Human-readable rounding mode name.
+std::string rounding_to_string(Rounding r);
+
+/// The arithmetic environment. Copyable value type; no global state.
+class Env {
+ public:
+  Env() noexcept = default;
+  explicit Env(Rounding r) noexcept : rounding_(r) {}
+
+  Rounding rounding() const noexcept { return rounding_; }
+  void set_rounding(Rounding r) noexcept { rounding_ = r; }
+
+  /// Non-standard mode: flush subnormal *results* to signed zero
+  /// (raises underflow and inexact when it fires), like x86 FTZ.
+  bool flush_to_zero() const noexcept { return ftz_; }
+  void set_flush_to_zero(bool on) noexcept { ftz_ = on; }
+
+  /// Non-standard mode: treat subnormal *inputs* as signed zero,
+  /// like x86 DAZ.
+  bool denormals_are_zero() const noexcept { return daz_; }
+  void set_denormals_are_zero(bool on) noexcept { daz_ = on; }
+
+  void raise(unsigned flags) noexcept { flags_ |= flags; }
+  bool test(unsigned flags) const noexcept { return (flags_ & flags) != 0; }
+  unsigned flags() const noexcept { return flags_; }
+  void clear_flags() noexcept { flags_ = 0; }
+
+  /// True when this Env is configured exactly as IEEE default arithmetic:
+  /// round-to-nearest-even, no flush modes.
+  bool is_ieee_default() const noexcept {
+    return rounding_ == Rounding::kNearestEven && !ftz_ && !daz_;
+  }
+
+ private:
+  Rounding rounding_ = Rounding::kNearestEven;
+  unsigned flags_ = 0;
+  bool ftz_ = false;
+  bool daz_ = false;
+};
+
+}  // namespace fpq::softfloat

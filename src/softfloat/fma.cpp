@@ -1,0 +1,154 @@
+// Fused multiply-add: a * b + c with one rounding at the end.
+//
+// The full 128-bit product is kept exact; the addend is widened to the same
+// 128-bit significand scale, both are normalized to bit 127, and the
+// addition/subtraction is performed before a single normalize/round/pack.
+// This operation is the subject of the paper's MADD optimization-quiz
+// question: it is part of IEEE 754-2008 but absent from 754-1985, and a
+// contracted a*b+c generally differs from mul-then-add in the last place.
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+using detail::U128;
+
+constexpr U128 kTopBit = U128{1} << 127;
+
+// A 128-bit significand normalized to bit 127 with its exponent:
+// value = sig * 2^(exp - 127).
+struct Wide {
+  std::int32_t exp = 0;
+  U128 sig = 0;
+};
+
+}  // namespace
+
+template <int kBits>
+Float<kBits> fma(Float<kBits> a, Float<kBits> b, Float<kBits> c,
+                 Env& env) noexcept {
+  const bool prod_sign = a.sign() != b.sign();
+  const bool zero_times_inf = (a.is_zero() && b.is_infinity()) ||
+                              (a.is_infinity() && b.is_zero());
+
+  if (a.is_nan() || b.is_nan() || c.is_nan()) {
+    // 0 * inf is invalid even when the addend is a quiet NaN (matching the
+    // x86 FMA instructions).
+    if (zero_times_inf) env.raise(kFlagInvalid);
+    return detail::propagate_nan(a, b, c, env);
+  }
+  if (zero_times_inf) return detail::invalid_result<kBits>(env);
+
+  if (a.is_infinity() || b.is_infinity()) {
+    if (c.is_infinity() && c.sign() != prod_sign) {
+      return detail::invalid_result<kBits>(env);  // inf - inf
+    }
+    return Float<kBits>::infinity(prod_sign);
+  }
+  if (c.is_infinity()) return c;
+
+  const detail::Unpacked ua = detail::unpack_finite(a, env);
+  const detail::Unpacked ub = detail::unpack_finite(b, env);
+  const detail::Unpacked uc = detail::unpack_finite(c, env);
+
+  if (ua.sig == 0 || ub.sig == 0) {
+    // Exact product zero: result is 0 + c.
+    if (uc.sig == 0) {
+      if (prod_sign == uc.sign) return Float<kBits>::zero(prod_sign);
+      return Float<kBits>::zero(detail::exact_zero_sign(env));
+    }
+    return detail::round_pack<kBits>(uc.sign, uc.exp, uc.sig, false, env);
+  }
+
+  // Exact product, normalized to bit 127.
+  Wide prod;
+  prod.sig = U128{ua.sig} * ub.sig;          // in [2^126, 2^128)
+  prod.exp = ua.exp + ub.exp + 1;            // value = sig * 2^(exp - 127)
+  if ((prod.sig & kTopBit) == 0) {
+    prod.sig <<= 1;
+    prod.exp -= 1;
+  }
+
+  if (uc.sig == 0) {
+    return detail::normalize_round_pack<kBits>(prod_sign, prod.exp, prod.sig,
+                                               false, env);
+  }
+
+  // Addend widened to the same scale and normalized to bit 127.
+  Wide add;
+  add.sig = U128{uc.sig} << 64;              // bit 127 set
+  add.exp = uc.exp;                          // sigC*2^64 * 2^(ec-127) = value
+
+  const bool prod_is_big =
+      prod.exp > add.exp || (prod.exp == add.exp && prod.sig >= add.sig);
+  const Wide& big = prod_is_big ? prod : add;
+  const Wide& small = prod_is_big ? add : prod;
+  const bool big_sign = prod_is_big ? prod_sign : uc.sign;
+  const auto shift = static_cast<unsigned>(big.exp - small.exp);
+
+  if (prod_sign == uc.sign) {
+    // Magnitude addition.
+    U128 small_shifted;
+    bool sticky = false;
+    if (shift == 0) {
+      small_shifted = small.sig;
+    } else if (shift <= 127) {
+      small_shifted = small.sig >> shift;
+      sticky = (small.sig & ((U128{1} << shift) - 1)) != 0;
+    } else {
+      small_shifted = 0;
+      sticky = true;
+    }
+    U128 sum = big.sig + small_shifted;
+    std::int32_t exp = big.exp;
+    if (sum < big.sig) {  // carry out of bit 127
+      sticky = sticky || (sum & 1) != 0;
+      sum = (sum >> 1) | kTopBit;
+      exp += 1;
+    }
+    return detail::normalize_round_pack<kBits>(big_sign, exp, sum, sticky,
+                                               env);
+  }
+
+  // Magnitude subtraction big - small.
+  if (shift == 0) {
+    if (big.sig == small.sig) {
+      return Float<kBits>::zero(detail::exact_zero_sign(env));
+    }
+    // Exact subtraction; cancellation is handled by normalization.
+    return detail::normalize_round_pack<kBits>(big_sign, big.exp,
+                                               big.sig - small.sig, false,
+                                               env);
+  }
+  U128 small_shifted;
+  bool sticky = false;
+  if (shift <= 127) {
+    small_shifted = small.sig >> shift;
+    if ((small.sig & ((U128{1} << shift) - 1)) != 0) {
+      small_shifted += 1;  // floor+sticky for a subtrahend
+      sticky = true;
+    }
+  } else {
+    small_shifted = 1;
+    sticky = true;
+  }
+  const U128 diff = big.sig - small_shifted;
+  if (diff == 0) {
+    // Only reachable with shift == 1 and an odd small significand; the true
+    // difference is then exactly one half unit of the last 128-bit place.
+    return detail::normalize_round_pack<kBits>(big_sign, big.exp - 1, U128{1},
+                                               false, env);
+  }
+  return detail::normalize_round_pack<kBits>(big_sign, big.exp, diff, sticky,
+                                             env);
+}
+
+template Float16 fma<16>(Float16, Float16, Float16, Env&) noexcept;
+template Float32 fma<32>(Float32, Float32, Float32, Env&) noexcept;
+template Float64 fma<64>(Float64, Float64, Float64, Env&) noexcept;
+template BFloat16 fma<kBFloat16>(BFloat16, BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,98 @@
+// fpq::softfloat — IEEE 754-2008 binary interchange format descriptions.
+//
+// The engine is generic over a format's bit layout; binary16, binary32 and
+// binary64 are instantiations of the same code. All quantities below are
+// derived from the standard's (w, t) parameters: w exponent bits, t
+// trailing significand bits, precision p = t + 1.
+#pragma once
+
+#include <cstdint>
+
+namespace fpq::softfloat {
+
+template <int kBits>
+struct FormatTraits;
+
+template <>
+struct FormatTraits<16> {
+  using Storage = std::uint16_t;
+  static constexpr int total_bits = 16;
+  static constexpr int exponent_bits = 5;
+  static constexpr int trailing_sig_bits = 10;
+};
+
+template <>
+struct FormatTraits<32> {
+  using Storage = std::uint32_t;
+  static constexpr int total_bits = 32;
+  static constexpr int exponent_bits = 8;
+  static constexpr int trailing_sig_bits = 23;
+};
+
+template <>
+struct FormatTraits<64> {
+  using Storage = std::uint64_t;
+  static constexpr int total_bits = 64;
+  static constexpr int exponent_bits = 11;
+  static constexpr int trailing_sig_bits = 52;
+};
+
+/// bfloat16 ("brain float"): binary32's exponent range with a 7-bit
+/// trailing significand — the reduced-precision format driving the machine
+/// learning expansion the paper's introduction worries about. The template
+/// key kBFloat16 is distinct from the 16 of binary16 (both are 16-bit
+/// encodings with different layouts).
+inline constexpr int kBFloat16 = 160;
+
+template <>
+struct FormatTraits<kBFloat16> {
+  using Storage = std::uint16_t;
+  static constexpr int total_bits = 16;
+  static constexpr int exponent_bits = 8;
+  static constexpr int trailing_sig_bits = 7;
+};
+
+/// Derived constants shared by all operations on format `kBits`.
+template <int kBits>
+struct FormatConstants {
+  using Traits = FormatTraits<kBits>;
+  using Storage = typename Traits::Storage;
+
+  static constexpr int kTotalBits = Traits::total_bits;
+  static constexpr int kExpBits = Traits::exponent_bits;
+  static constexpr int kSigBits = Traits::trailing_sig_bits;
+  /// Precision p: significand bits including the implicit leading bit.
+  static constexpr int kPrecision = kSigBits + 1;
+  static constexpr int kBias = (1 << (kExpBits - 1)) - 1;
+  /// Largest / smallest unbiased exponent of a normal number.
+  static constexpr int kEmax = kBias;
+  static constexpr int kEmin = 1 - kBias;
+  /// All-ones biased exponent marks infinities and NaNs.
+  static constexpr int kExpInfNan = (1 << kExpBits) - 1;
+
+  static constexpr Storage kSignMask =
+      static_cast<Storage>(Storage{1} << (kTotalBits - 1));
+  static constexpr Storage kFracMask =
+      static_cast<Storage>((Storage{1} << kSigBits) - 1);
+  static constexpr Storage kExpMask =
+      static_cast<Storage>(static_cast<Storage>(kExpInfNan) << kSigBits);
+  /// Most significant fraction bit: the quiet bit of a NaN.
+  static constexpr Storage kQuietBit = static_cast<Storage>(Storage{1}
+                                                            << (kSigBits - 1));
+
+  static constexpr Storage kPositiveInfinityBits = kExpMask;
+  static constexpr Storage kNegativeInfinityBits =
+      static_cast<Storage>(kSignMask | kExpMask);
+  /// The canonical quiet NaN this engine produces for invalid operations.
+  static constexpr Storage kDefaultNaNBits =
+      static_cast<Storage>(kExpMask | kQuietBit);
+  static constexpr Storage kMaxFiniteBits = static_cast<Storage>(
+      (static_cast<Storage>(kExpInfNan - 1) << kSigBits) | kFracMask);
+  /// Smallest positive subnormal (one ulp above zero).
+  static constexpr Storage kMinSubnormalBits = Storage{1};
+  /// Smallest positive normal (2^kEmin).
+  static constexpr Storage kMinNormalBits =
+      static_cast<Storage>(Storage{1} << kSigBits);
+};
+
+}  // namespace fpq::softfloat

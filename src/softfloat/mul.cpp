@@ -1,0 +1,39 @@
+// Multiplication with correct rounding: full 64x64 -> 128-bit product, then
+// one normalize/round/pack step.
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+template <int kBits>
+Float<kBits> mul(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  using detail::U128;
+  const bool sign = a.sign() != b.sign();
+
+  if (a.is_nan() || b.is_nan()) return detail::propagate_nan(a, b, env);
+
+  if (a.is_infinity() || b.is_infinity()) {
+    // inf * 0 is invalid; inf * anything-else keeps the xor sign.
+    const Float<kBits> other = a.is_infinity() ? b : a;
+    if (other.is_zero()) return detail::invalid_result<kBits>(env);
+    return Float<kBits>::infinity(sign);
+  }
+
+  const detail::Unpacked ua = detail::unpack_finite(a, env);
+  const detail::Unpacked ub = detail::unpack_finite(b, env);
+  if (ua.sig == 0 || ub.sig == 0) return Float<kBits>::zero(sign);
+
+  // value = (sigA * 2^(ea-63)) * (sigB * 2^(eb-63))
+  //       = product * 2^((ea + eb + 1) - 127).
+  const U128 product = U128{ua.sig} * ub.sig;
+  return detail::normalize_round_pack<kBits>(sign, ua.exp + ub.exp + 1,
+                                             product, false, env);
+}
+
+template Float16 mul<16>(Float16, Float16, Env&) noexcept;
+template Float32 mul<32>(Float32, Float32, Env&) noexcept;
+template Float64 mul<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 mul<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,162 @@
+// fpq::softfloat — public arithmetic operations.
+//
+// Every operation takes its operands by value plus an Env& that supplies
+// the rounding mode / flush modes and accumulates sticky exception flags.
+// All operations are correctly rounded per IEEE 754-2008 for the Env's
+// rounding-direction attribute; FTZ/DAZ reproduce the x86 non-standard
+// fast modes when enabled.
+//
+// Templates are explicitly instantiated for binary16/32/64 in the .cpp
+// files; no other formats are supported.
+#pragma once
+
+#include <cstdint>
+
+#include "softfloat/env.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::softfloat {
+
+// -- Arithmetic -------------------------------------------------------------
+
+template <int kBits>
+Float<kBits> add(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+template <int kBits>
+Float<kBits> sub(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+template <int kBits>
+Float<kBits> mul(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+template <int kBits>
+Float<kBits> div(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+template <int kBits>
+Float<kBits> sqrt(Float<kBits> a, Env& env) noexcept;
+
+/// Fused multiply-add: a * b + c with a single rounding. This is the
+/// operation the paper's MADD question is about: part of IEEE 754-2008 but
+/// not of the original 754-1985, and a source of result differences when
+/// compilers contract expressions.
+template <int kBits>
+Float<kBits> fma(Float<kBits> a, Float<kBits> b, Float<kBits> c,
+                 Env& env) noexcept;
+
+// -- Comparison ---------------------------------------------------------
+
+/// Four-way comparison outcome; kUnordered when either operand is NaN.
+enum class Ordering { kLess, kEqual, kGreater, kUnordered };
+
+/// Quiet comparison: raises invalid only for signaling NaNs.
+template <int kBits>
+Ordering compare_quiet(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+/// Signaling comparison: raises invalid for ANY NaN operand (this is what
+/// C's <, <=, >, >= compile to).
+template <int kBits>
+Ordering compare_signaling(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+/// C-operator semantics: == (quiet), < and <= (signaling).
+template <int kBits>
+bool equal(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+template <int kBits>
+bool less(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+template <int kBits>
+bool less_equal(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+/// IEEE 754-2008 roundToIntegralExact: rounds to an integral value in the
+/// same format per the Env's rounding attribute, raising inexact iff the
+/// value changed. (Signaling NaNs raise invalid and quiet.)
+template <int kBits>
+Float<kBits> round_to_integral(Float<kBits> a, Env& env) noexcept;
+
+/// IEEE 754-2008 minNum / maxNum: when exactly ONE operand is a quiet NaN
+/// the NUMBER is returned — the opposite of what naive NaN-propagation
+/// intuition suggests, and another classic quiz-grade surprise. Signaling
+/// NaNs raise invalid and produce the default NaN. Zeros are ordered
+/// -0 < +0 (as in 754-2019 minimum/maximum).
+template <int kBits>
+Float<kBits> min_num(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+template <int kBits>
+Float<kBits> max_num(Float<kBits> a, Float<kBits> b, Env& env) noexcept;
+
+// -- Conversions -------------------------------------------------------
+
+/// Format-to-format conversion. Widening is always exact; narrowing rounds
+/// and may raise overflow/underflow/inexact.
+template <int kTo, int kFrom>
+Float<kTo> convert(Float<kFrom> x, Env& env) noexcept;
+
+/// Integer to floating point (rounds when the integer has more significant
+/// bits than the format's precision).
+template <int kBits>
+Float<kBits> from_int64(std::int64_t v, Env& env) noexcept;
+
+/// Floating point to integer, rounding per Env. Out-of-range values and
+/// NaN raise invalid and return the saturated bound (NaN returns the
+/// minimum, matching x86 CVTSD2SI's "integer indefinite").
+template <int kBits>
+std::int64_t to_int64(Float<kBits> x, Env& env) noexcept;
+
+extern template Float16 add<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 add<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 add<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 sub<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 sub<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 sub<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 mul<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 mul<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 mul<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 div<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 div<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 div<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 sqrt<16>(Float16, Env&) noexcept;
+extern template Float32 sqrt<32>(Float32, Env&) noexcept;
+extern template Float64 sqrt<64>(Float64, Env&) noexcept;
+extern template Float16 fma<16>(Float16, Float16, Float16, Env&) noexcept;
+extern template Float32 fma<32>(Float32, Float32, Float32, Env&) noexcept;
+extern template Float64 fma<64>(Float64, Float64, Float64, Env&) noexcept;
+extern template Ordering compare_quiet<16>(Float16, Float16, Env&) noexcept;
+extern template Ordering compare_quiet<32>(Float32, Float32, Env&) noexcept;
+extern template Ordering compare_quiet<64>(Float64, Float64, Env&) noexcept;
+extern template Ordering compare_signaling<16>(Float16, Float16,
+                                               Env&) noexcept;
+extern template Ordering compare_signaling<32>(Float32, Float32,
+                                               Env&) noexcept;
+extern template Ordering compare_signaling<64>(Float64, Float64,
+                                               Env&) noexcept;
+extern template bool equal<16>(Float16, Float16, Env&) noexcept;
+extern template bool equal<32>(Float32, Float32, Env&) noexcept;
+extern template bool equal<64>(Float64, Float64, Env&) noexcept;
+extern template bool less<16>(Float16, Float16, Env&) noexcept;
+extern template bool less<32>(Float32, Float32, Env&) noexcept;
+extern template bool less<64>(Float64, Float64, Env&) noexcept;
+extern template bool less_equal<16>(Float16, Float16, Env&) noexcept;
+extern template bool less_equal<32>(Float32, Float32, Env&) noexcept;
+extern template bool less_equal<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 round_to_integral<16>(Float16, Env&) noexcept;
+extern template Float32 round_to_integral<32>(Float32, Env&) noexcept;
+extern template Float64 round_to_integral<64>(Float64, Env&) noexcept;
+extern template Float16 min_num<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 min_num<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 min_num<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 max_num<16>(Float16, Float16, Env&) noexcept;
+extern template Float32 max_num<32>(Float32, Float32, Env&) noexcept;
+extern template Float64 max_num<64>(Float64, Float64, Env&) noexcept;
+extern template Float16 convert<16, 16>(Float16, Env&) noexcept;
+extern template Float32 convert<32, 32>(Float32, Env&) noexcept;
+extern template Float64 convert<64, 64>(Float64, Env&) noexcept;
+extern template Float16 convert<16, 32>(Float32, Env&) noexcept;
+extern template Float16 convert<16, 64>(Float64, Env&) noexcept;
+extern template Float32 convert<32, 16>(Float16, Env&) noexcept;
+extern template Float32 convert<32, 64>(Float64, Env&) noexcept;
+extern template Float64 convert<64, 16>(Float16, Env&) noexcept;
+extern template Float64 convert<64, 32>(Float32, Env&) noexcept;
+extern template Float16 from_int64<16>(std::int64_t, Env&) noexcept;
+extern template Float32 from_int64<32>(std::int64_t, Env&) noexcept;
+extern template Float64 from_int64<64>(std::int64_t, Env&) noexcept;
+extern template std::int64_t to_int64<16>(Float16, Env&) noexcept;
+extern template std::int64_t to_int64<32>(Float32, Env&) noexcept;
+extern template std::int64_t to_int64<64>(Float64, Env&) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,77 @@
+// roundToIntegralExact and minNum/maxNum (IEEE 754-2008 §5.3.1, §5.3.3).
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+template <int kBits>
+Float<kBits> round_to_integral(Float<kBits> a, Env& env) noexcept {
+  using C = FormatConstants<kBits>;
+  if (a.is_nan()) return detail::propagate_nan(a, a, env);
+  if (a.is_infinity() || a.is_zero()) return a;
+
+  const detail::Unpacked u = detail::unpack_finite(a, env);
+  if (u.sig == 0) return Float<kBits>::zero(u.sign);  // DAZ-flushed
+  // Values at or beyond 2^(p-1) are already integral (the ulp is >= 1).
+  if (u.exp >= C::kSigBits) return a;
+
+  // |a| < 2^p: the integer part fits comfortably in int64; reuse the
+  // integer-conversion rounding and rebuild (exactly) from the integer.
+  Env convert_env(env.rounding());
+  const std::int64_t n = to_int64(a, convert_env);
+  if (convert_env.test(kFlagInexact)) env.raise(kFlagInexact);
+  if (n == 0) return Float<kBits>::zero(a.sign());  // keep the sign of a
+  Env exact;
+  return from_int64<kBits>(n, exact);
+}
+
+namespace {
+
+// Ordering for min/max with zeros ranked -0 < +0; inputs are non-NaN.
+template <int kBits>
+bool value_less(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  if (a.is_zero() && b.is_zero()) return a.sign() && !b.sign();
+  return less(a, b, env);
+}
+
+template <int kBits>
+Float<kBits> min_max_impl(Float<kBits> a, Float<kBits> b, bool want_min,
+                          Env& env) noexcept {
+  if (a.is_signaling_nan() || b.is_signaling_nan()) {
+    return detail::invalid_result<kBits>(env);
+  }
+  // Quiet NaN + number: the NUMBER wins (754-2008 minNum/maxNum).
+  if (a.is_nan() && b.is_nan()) return a.quieted();
+  if (a.is_nan()) return b;
+  if (b.is_nan()) return a;
+  const bool a_less = value_less(a, b, env);
+  return want_min == a_less ? a : b;
+}
+
+}  // namespace
+
+template <int kBits>
+Float<kBits> min_num(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  return min_max_impl(a, b, /*want_min=*/true, env);
+}
+
+template <int kBits>
+Float<kBits> max_num(Float<kBits> a, Float<kBits> b, Env& env) noexcept {
+  return min_max_impl(a, b, /*want_min=*/false, env);
+}
+
+template Float16 round_to_integral<16>(Float16, Env&) noexcept;
+template Float32 round_to_integral<32>(Float32, Env&) noexcept;
+template Float64 round_to_integral<64>(Float64, Env&) noexcept;
+template BFloat16 round_to_integral<kBFloat16>(BFloat16, Env&) noexcept;
+template Float16 min_num<16>(Float16, Float16, Env&) noexcept;
+template Float32 min_num<32>(Float32, Float32, Env&) noexcept;
+template Float64 min_num<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 min_num<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+template Float16 max_num<16>(Float16, Float16, Env&) noexcept;
+template Float32 max_num<32>(Float32, Float32, Env&) noexcept;
+template Float64 max_num<64>(Float64, Float64, Env&) noexcept;
+template BFloat16 max_num<kBFloat16>(BFloat16, BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

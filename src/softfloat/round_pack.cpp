@@ -1,0 +1,85 @@
+// Encoding-level utilities (util.hpp) — next_up/next_down/ulp/totalOrder.
+// The round-and-pack core itself is header-only (detail.hpp) so that every
+// operation TU can inline it; this TU provides the non-inline utilities
+// built on the same encodings.
+
+#include "softfloat/util.hpp"
+
+namespace fpq::softfloat {
+
+template <int kBits>
+Float<kBits> next_up(Float<kBits> x) noexcept {
+  using C = FormatConstants<kBits>;
+  using Storage = typename C::Storage;
+  if (x.is_nan()) return x.quieted();
+  if (x.is_infinity()) {
+    if (!x.sign()) return x;            // +inf stays
+    return Float<kBits>::max_finite(true);  // nextUp(-inf) = most negative finite
+  }
+  if (x.is_zero()) return Float<kBits>::min_subnormal(false);
+  if (!x.sign()) {
+    // Positive finite: increment the magnitude encoding (monotone); the
+    // largest finite rolls over into the +inf encoding, which is correct.
+    return Float<kBits>{static_cast<Storage>(x.bits + 1)};
+  }
+  // Negative finite: decrement the magnitude; -min_subnormal becomes -0.
+  return Float<kBits>{static_cast<Storage>(x.bits - 1)};
+}
+
+template <int kBits>
+Float<kBits> next_down(Float<kBits> x) noexcept {
+  return next_up(x.negated()).negated();
+}
+
+template <int kBits>
+Float<kBits> ulp(Float<kBits> x) noexcept {
+  using C = FormatConstants<kBits>;
+  if (x.is_nan() || x.is_infinity()) return Float<kBits>::quiet_nan();
+  if (x.is_zero()) return Float<kBits>::min_subnormal(false);
+  const int biased = x.biased_exponent();
+  if (biased == 0) return Float<kBits>::min_subnormal(false);
+  // ulp(x) = 2^(e - p + 1) where e is the unbiased exponent.
+  const int ulp_exp = (biased - C::kBias) - C::kSigBits;
+  if (ulp_exp < C::kEmin) {
+    // Subnormal-scale ulp: encode directly as a subnormal.
+    const int shift = ulp_exp - (C::kEmin - C::kSigBits);
+    using Storage = typename C::Storage;
+    return Float<kBits>{static_cast<Storage>(Storage{1} << shift)};
+  }
+  using Storage = typename C::Storage;
+  return Float<kBits>{static_cast<Storage>(
+      static_cast<Storage>(ulp_exp + C::kBias) << C::kSigBits)};
+}
+
+template <int kBits>
+bool total_order(Float<kBits> a, Float<kBits> b) noexcept {
+  // Flip the encoding into a monotone integer key: negative values reverse.
+  using C = FormatConstants<kBits>;
+  auto key = [](Float<kBits> x) {
+    const auto bits = static_cast<std::uint64_t>(x.bits);
+    const auto sign = (bits & static_cast<std::uint64_t>(C::kSignMask)) != 0;
+    const auto mag = bits & ~static_cast<std::uint64_t>(C::kSignMask);
+    return sign ? -static_cast<std::int64_t>(mag) - 1
+                : static_cast<std::int64_t>(mag);
+  };
+  return key(a) <= key(b);
+}
+
+template Float16 next_up<16>(Float16) noexcept;
+template Float32 next_up<32>(Float32) noexcept;
+template Float64 next_up<64>(Float64) noexcept;
+template BFloat16 next_up<kBFloat16>(BFloat16) noexcept;
+template Float16 next_down<16>(Float16) noexcept;
+template Float32 next_down<32>(Float32) noexcept;
+template Float64 next_down<64>(Float64) noexcept;
+template BFloat16 next_down<kBFloat16>(BFloat16) noexcept;
+template Float16 ulp<16>(Float16) noexcept;
+template Float32 ulp<32>(Float32) noexcept;
+template Float64 ulp<64>(Float64) noexcept;
+template BFloat16 ulp<kBFloat16>(BFloat16) noexcept;
+template bool total_order<16>(Float16, Float16) noexcept;
+template bool total_order<32>(Float32, Float32) noexcept;
+template bool total_order<64>(Float64, Float64) noexcept;
+template bool total_order<kBFloat16>(BFloat16, BFloat16) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,63 @@
+// Square root with correct rounding: classic restoring (digit-by-digit)
+// integer square root over a 128-bit radicand; the remainder supplies the
+// sticky bit. sqrt is correctly rounded in IEEE 754 just like the four
+// basic operations, which surprises many developers.
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+using detail::U128;
+
+// floor(sqrt(x)) for a 128-bit radicand; sets `exact` when x is a perfect
+// square. Restoring method, two radicand bits per iteration.
+std::uint64_t isqrt128(U128 x, bool& exact) noexcept {
+  U128 rem = 0;
+  U128 root = 0;
+  for (int i = 0; i < 64; ++i) {
+    rem = (rem << 2) | (x >> 126);
+    x <<= 2;
+    root <<= 1;
+    const U128 trial = (root << 1) | 1;
+    if (rem >= trial) {
+      rem -= trial;
+      root |= 1;
+    }
+  }
+  exact = rem == 0;
+  return static_cast<std::uint64_t>(root);
+}
+
+}  // namespace
+
+template <int kBits>
+Float<kBits> sqrt(Float<kBits> a, Env& env) noexcept {
+  if (a.is_nan()) return detail::propagate_nan(a, a, env);
+  if (a.is_zero()) return a;  // sqrt(±0) = ±0 per the standard
+  if (a.sign()) return detail::invalid_result<kBits>(env);
+  if (a.is_infinity()) return a;
+
+  const detail::Unpacked u = detail::unpack_finite(a, env);
+  if (u.sig == 0) return Float<kBits>::zero(false);  // DAZ-flushed input
+
+  // Shift so the radicand exponent is even:
+  //   value = sig * 2^(e-63) = (sig << s) * 2^(e-63-s), e-63-s even.
+  const int s = ((u.exp & 1) == 0) ? 63 : 62;
+  const U128 radicand = U128{u.sig} << s;
+  bool exact = false;
+  const std::uint64_t root = isqrt128(radicand, exact);
+  // value = root * 2^((e-63-s)/2); helper scaling E - 127 = (e-63-s)/2.
+  const std::int32_t e = (u.exp - 63 - s) / 2 + 127;
+  return detail::normalize_round_pack<kBits>(false, e, U128{root}, !exact,
+                                             env);
+}
+
+template Float16 sqrt<16>(Float16, Env&) noexcept;
+template Float32 sqrt<32>(Float32, Env&) noexcept;
+template Float64 sqrt<64>(Float64, Env&) noexcept;
+template BFloat16 sqrt<kBFloat16>(BFloat16, Env&) noexcept;
+
+}  // namespace fpq::softfloat

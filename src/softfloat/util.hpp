@@ -1,0 +1,48 @@
+// fpq::softfloat — encoding-level utilities: neighbours, ulp, total order.
+//
+// These are the tools the quiz's witness generators use to construct edge
+// values ("the largest double for which x + 1.0 == x", "the value one ulp
+// below 2^emin", ...).
+#pragma once
+
+#include "softfloat/value.hpp"
+
+namespace fpq::softfloat {
+
+/// The next representable value toward +infinity. nextUp of the largest
+/// finite value is +inf; nextUp(-min_subnormal) is -0; nextUp(+inf) is
+/// +inf; NaN propagates quieted. Never raises flags (IEEE nextUp is
+/// quiet for qNaN).
+template <int kBits>
+Float<kBits> next_up(Float<kBits> x) noexcept;
+
+/// The next representable value toward -infinity (mirror of next_up).
+template <int kBits>
+Float<kBits> next_down(Float<kBits> x) noexcept;
+
+/// The magnitude of one unit in the last place of x (finite, nonzero):
+/// the gap between x and the adjacent representable value away from zero.
+/// For zero returns the smallest subnormal; for inf/NaN returns NaN.
+template <int kBits>
+Float<kBits> ulp(Float<kBits> x) noexcept;
+
+/// IEEE 754-2008 totalOrder predicate: a <= b in the total order where
+/// -NaN < -inf < ... < -0 < +0 < ... < +inf < +NaN, with NaNs ordered by
+/// payload.
+template <int kBits>
+bool total_order(Float<kBits> a, Float<kBits> b) noexcept;
+
+extern template Float16 next_up<16>(Float16) noexcept;
+extern template Float32 next_up<32>(Float32) noexcept;
+extern template Float64 next_up<64>(Float64) noexcept;
+extern template Float16 next_down<16>(Float16) noexcept;
+extern template Float32 next_down<32>(Float32) noexcept;
+extern template Float64 next_down<64>(Float64) noexcept;
+extern template Float16 ulp<16>(Float16) noexcept;
+extern template Float32 ulp<32>(Float32) noexcept;
+extern template Float64 ulp<64>(Float64) noexcept;
+extern template bool total_order<16>(Float16, Float16) noexcept;
+extern template bool total_order<32>(Float32, Float32) noexcept;
+extern template bool total_order<64>(Float64, Float64) noexcept;
+
+}  // namespace fpq::softfloat

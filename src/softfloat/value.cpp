@@ -1,0 +1,57 @@
+#include "softfloat/value.hpp"
+
+#include <cstdio>
+
+namespace fpq::softfloat {
+
+template <int kBits>
+std::string describe(Float<kBits> x) {
+  using C = FormatConstants<kBits>;
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "0x%0*llX", C::kTotalBits / 4,
+                static_cast<unsigned long long>(x.bits));
+  std::string out = hex;
+  out += " (";
+  out += format_name<kBits>();
+  out += ' ';
+  switch (x.classify()) {
+    case ValueClass::kZero:
+      out += x.sign() ? "-0" : "+0";
+      break;
+    case ValueClass::kInfinite:
+      out += x.sign() ? "-inf" : "+inf";
+      break;
+    case ValueClass::kQuietNaN:
+      out += "qNaN";
+      break;
+    case ValueClass::kSignalingNaN:
+      out += "sNaN";
+      break;
+    case ValueClass::kNormal: {
+      char body[64];
+      std::snprintf(body, sizeof body, "%c1.%0*llX * 2^%d, normal",
+                    x.sign() ? '-' : '+', (C::kSigBits + 3) / 4,
+                    static_cast<unsigned long long>(x.fraction()),
+                    x.biased_exponent() - C::kBias);
+      out += body;
+      break;
+    }
+    case ValueClass::kSubnormal: {
+      char body[64];
+      std::snprintf(body, sizeof body, "%c0.%0*llX * 2^%d, subnormal",
+                    x.sign() ? '-' : '+', (C::kSigBits + 3) / 4,
+                    static_cast<unsigned long long>(x.fraction()), C::kEmin);
+      out += body;
+      break;
+    }
+  }
+  out += ')';
+  return out;
+}
+
+template std::string describe<16>(Float16);
+template std::string describe<32>(Float32);
+template std::string describe<64>(Float64);
+template std::string describe<kBFloat16>(BFloat16);
+
+}  // namespace fpq::softfloat

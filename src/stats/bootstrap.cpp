@@ -1,0 +1,46 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace fpq::stats {
+
+BootstrapInterval bootstrap_interval(std::span<const double> data,
+                                     const Statistic& statistic,
+                                     std::size_t replicates,
+                                     double confidence, Xoshiro256pp& g) {
+  assert(!data.empty());
+  assert(replicates >= 100);
+  assert(confidence > 0.0 && confidence < 1.0);
+
+  BootstrapInterval out;
+  out.confidence = confidence;
+  out.estimate = statistic(data);
+
+  std::vector<double> resample(data.size());
+  std::vector<double> estimates;
+  estimates.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& slot : resample) {
+      slot = data[uniform_below(g, data.size())];
+    }
+    estimates.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lower = quantile(estimates, alpha);
+  out.upper = quantile(estimates, 1.0 - alpha);
+  return out;
+}
+
+BootstrapInterval bootstrap_mean(std::span<const double> data,
+                                 std::size_t replicates, double confidence,
+                                 Xoshiro256pp& g) {
+  return bootstrap_interval(
+      data, [](std::span<const double> xs) { return mean(xs); }, replicates,
+      confidence, g);
+}
+
+}  // namespace fpq::stats

@@ -1,0 +1,40 @@
+// fpq::stats — nonparametric bootstrap confidence intervals.
+//
+// The paper reports point estimates only; the reproduction attaches
+// percentile-bootstrap confidence intervals so EXPERIMENTS.md can state not
+// just "measured 8.6 vs paper 8.5" but whether the paper value is inside
+// the resampling interval.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "stats/prng.hpp"
+
+namespace fpq::stats {
+
+/// A two-sided confidence interval with its point estimate.
+struct BootstrapInterval {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;  ///< e.g. 0.95
+};
+
+/// Statistic evaluated on a resampled dataset.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap for an arbitrary statistic.
+/// Requires non-empty data, replicates >= 100, confidence in (0, 1).
+BootstrapInterval bootstrap_interval(std::span<const double> data,
+                                     const Statistic& statistic,
+                                     std::size_t replicates,
+                                     double confidence, Xoshiro256pp& g);
+
+/// Convenience wrapper: bootstrap CI for the mean.
+BootstrapInterval bootstrap_mean(std::span<const double> data,
+                                 std::size_t replicates, double confidence,
+                                 Xoshiro256pp& g);
+
+}  // namespace fpq::stats

@@ -1,0 +1,144 @@
+#include "stats/chi_square.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fpq::stats {
+
+namespace {
+
+// Series expansion for P(s, x), effective for x < s + 1.
+double gamma_p_series(double s, double x) noexcept {
+  const double gln = std::lgamma(s);
+  double ap = s;
+  double sum = 1.0 / s;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - gln);
+}
+
+// Lentz continued fraction for Q(s, x), effective for x >= s + 1.
+double gamma_q_cf(double s, double x) noexcept {
+  const double gln = std::lgamma(s);
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + s * std::log(x) - gln) * h;
+}
+
+}  // namespace
+
+double regularized_gamma_p(double s, double x) noexcept {
+  assert(s > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < s + 1.0) return gamma_p_series(s, x);
+  return 1.0 - gamma_q_cf(s, x);
+}
+
+double regularized_gamma_q(double s, double x) noexcept {
+  assert(s > 0.0);
+  if (x <= 0.0) return 1.0;
+  if (x < s + 1.0) return 1.0 - gamma_p_series(s, x);
+  return gamma_q_cf(s, x);
+}
+
+double chi_square_sf(double statistic, double dof) noexcept {
+  if (dof <= 0.0) return 1.0;
+  if (statistic <= 0.0) return 1.0;
+  if (std::isinf(statistic)) return 0.0;
+  return regularized_gamma_q(dof / 2.0, statistic / 2.0);
+}
+
+ChiSquareResult chi_square_goodness_of_fit(
+    std::span<const std::size_t> observed,
+    std::span<const double> expected_probs) noexcept {
+  assert(observed.size() == expected_probs.size());
+  std::size_t total = 0;
+  for (std::size_t o : observed) total += o;
+  assert(total > 0);
+
+  ChiSquareResult result;
+  std::size_t used_cells = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        expected_probs[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      // A structurally impossible cell: any observation there is an
+      // infinite-statistic rejection.
+      if (observed[i] > 0) {
+        result.statistic = std::numeric_limits<double>::infinity();
+      }
+      continue;
+    }
+    ++used_cells;
+    if (expected < 5.0) ++result.sparse_cells;
+    const double diff = static_cast<double>(observed[i]) - expected;
+    result.statistic += diff * diff / expected;
+  }
+  result.dof = used_cells > 1 ? static_cast<double>(used_cells - 1) : 0.0;
+  result.p_value = chi_square_sf(result.statistic, result.dof);
+  return result;
+}
+
+ChiSquareResult chi_square_independence(std::span<const std::size_t> table,
+                                        std::size_t rows,
+                                        std::size_t cols) noexcept {
+  assert(table.size() == rows * cols);
+  std::vector<double> row_sum(rows, 0.0);
+  std::vector<double> col_sum(cols, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const auto v = static_cast<double>(table[r * cols + c]);
+      row_sum[r] += v;
+      col_sum[c] += v;
+      total += v;
+    }
+  }
+  ChiSquareResult result;
+  if (total == 0.0) return result;
+
+  std::size_t live_rows = 0;
+  std::size_t live_cols = 0;
+  for (double s : row_sum)
+    if (s > 0.0) ++live_rows;
+  for (double s : col_sum)
+    if (s > 0.0) ++live_cols;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double expected = row_sum[r] * col_sum[c] / total;
+      if (expected <= 0.0) continue;
+      if (expected < 5.0) ++result.sparse_cells;
+      const double diff = static_cast<double>(table[r * cols + c]) - expected;
+      result.statistic += diff * diff / expected;
+    }
+  }
+  if (live_rows >= 2 && live_cols >= 2) {
+    result.dof = static_cast<double>((live_rows - 1) * (live_cols - 1));
+  }
+  result.p_value = chi_square_sf(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace fpq::stats

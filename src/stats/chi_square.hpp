@@ -1,0 +1,52 @@
+// fpq::stats — chi-square goodness-of-fit and independence tests.
+//
+// Used by the test suite to check that the calibrated synthetic population
+// reproduces the paper's published marginals (a failed fit shows up as an
+// implausibly small p-value), and by the factor analysis to quantify
+// association between background factors and quiz outcomes.
+//
+// The p-value needs the regularized upper incomplete gamma function Q(s,x);
+// we implement it from scratch (series + continued fraction, Numerical
+// Recipes style) since the standard library does not provide it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpq::stats {
+
+/// Regularized lower incomplete gamma P(s, x), s > 0, x >= 0.
+double regularized_gamma_p(double s, double x) noexcept;
+
+/// Regularized upper incomplete gamma Q(s, x) = 1 - P(s, x).
+double regularized_gamma_q(double s, double x) noexcept;
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom evaluated at `statistic` (i.e. the p-value of the test).
+double chi_square_sf(double statistic, double dof) noexcept;
+
+/// Result of a chi-square test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  /// Number of cells whose expected count fell below 5 (the classical
+  /// validity rule of thumb); callers may choose to pool or warn.
+  std::size_t sparse_cells = 0;
+};
+
+/// Goodness-of-fit of observed counts against expected *probabilities*.
+/// Requires equal sizes, total observed > 0, probabilities summing to ~1.
+/// Cells with zero expected probability must have zero observed count.
+ChiSquareResult chi_square_goodness_of_fit(
+    std::span<const std::size_t> observed,
+    std::span<const double> expected_probs) noexcept;
+
+/// Test of independence on an r x c contingency table (row-major).
+/// Rows/columns whose marginal total is zero are ignored for dof purposes.
+ChiSquareResult chi_square_independence(
+    std::span<const std::size_t> table, std::size_t rows,
+    std::size_t cols) noexcept;
+
+}  // namespace fpq::stats

@@ -1,0 +1,111 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fpq::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  // Neumaier compensated summation: the library is about floating point
+  // gotchas, so it should not itself accumulate naively.
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : xs) {
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return (sum + comp) / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) noexcept {
+  assert(xs.size() >= 2);
+  double m = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+  }
+  return m2 / static_cast<double>(n - 1);
+}
+
+double sample_stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(sample_variance(xs));
+}
+
+double standard_error(std::span<const double> xs) noexcept {
+  return sample_stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min_value(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? sample_stddev(xs) : 0.0;
+  s.min = min_value(xs);
+  s.q25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q75 = quantile(xs, 0.75);
+  s.max = max_value(xs);
+  return s;
+}
+
+double mean_of_counts(std::span<const int> xs) noexcept {
+  assert(!xs.empty());
+  long long total = 0;
+  for (int x : xs) total += x;
+  return static_cast<double>(total) / static_cast<double>(xs.size());
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) noexcept {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace fpq::stats

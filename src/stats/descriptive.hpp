@@ -1,0 +1,62 @@
+// fpq::stats — descriptive statistics over contiguous samples.
+//
+// All functions take std::span<const double> (or integer spans where noted),
+// never own memory, and are deterministic. Quantities that are undefined on
+// empty input are documented per function; callers are expected to check
+// rather than rely on sentinel values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpq::stats {
+
+/// Arithmetic mean. Requires non-empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased (n-1) sample variance. Requires xs.size() >= 2.
+/// Uses Welford's single-pass algorithm for numerical stability.
+double sample_variance(std::span<const double> xs) noexcept;
+
+/// sqrt(sample_variance). Requires xs.size() >= 2.
+double sample_stddev(std::span<const double> xs) noexcept;
+
+/// Standard error of the mean: stddev / sqrt(n). Requires n >= 2.
+double standard_error(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+/// q must be in [0, 1]; requires non-empty input. Copies + sorts.
+double quantile(std::span<const double> xs, double q);
+
+/// Median = quantile(xs, 0.5).
+double median(std::span<const double> xs);
+
+/// Minimum / maximum. Require non-empty input.
+double min_value(std::span<const double> xs) noexcept;
+double max_value(std::span<const double> xs) noexcept;
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< 0 when n < 2
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a full Summary. Requires non-empty input.
+Summary summarize(std::span<const double> xs);
+
+/// Convenience: mean of integer counts (e.g. quiz scores).
+double mean_of_counts(std::span<const int> xs) noexcept;
+
+/// Pearson correlation coefficient. Requires equal sizes >= 2 and
+/// non-degenerate variance in both inputs (returns 0 if degenerate).
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) noexcept;
+
+}  // namespace fpq::stats

@@ -1,0 +1,84 @@
+#include "stats/histogram.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fpq::stats {
+
+IntHistogram::IntHistogram(int lo, int hi) : lo_(lo), hi_(hi) {
+  assert(lo <= hi);
+  counts_.assign(static_cast<std::size_t>(hi - lo) + 1, 0);
+}
+
+void IntHistogram::add(int value) noexcept {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value > hi_) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(value - lo_)];
+  ++total_;
+}
+
+void IntHistogram::add_all(std::span<const int> values) noexcept {
+  for (int v : values) add(v);
+}
+
+std::size_t IntHistogram::count(int value) const noexcept {
+  if (value < lo_ || value > hi_) return 0;
+  return counts_[static_cast<std::size_t>(value - lo_)];
+}
+
+double IntHistogram::proportion(int value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    weighted += static_cast<double>(counts_[i]) *
+                static_cast<double>(lo_ + static_cast<int>(i));
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  assert(lo < hi);
+  assert(bins >= 1);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) noexcept {
+  if (std::isnan(value) || value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // edge rounding
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lower(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace fpq::stats

@@ -1,0 +1,88 @@
+// fpq::stats — histograms.
+//
+// Two flavours:
+//   * IntHistogram: one bin per integer value in [lo, hi] — exactly what
+//     Figure 13 of the paper needs (core quiz scores 0..15).
+//   * Histogram: fixed-width real-valued bins over [lo, hi).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpq::stats {
+
+/// Histogram over consecutive integers [lo, hi], one bin per value.
+class IntHistogram {
+ public:
+  /// Requires lo <= hi.
+  IntHistogram(int lo, int hi);
+
+  /// Adds one observation; values outside [lo, hi] are counted in
+  /// underflow()/overflow() rather than silently dropped.
+  void add(int value) noexcept;
+
+  /// Adds every value in the span.
+  void add_all(std::span<const int> values) noexcept;
+
+  int lo() const noexcept { return lo_; }
+  int hi() const noexcept { return hi_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(int value) const noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Counts indexed by (value - lo).
+  std::span<const std::size_t> counts() const noexcept { return counts_; }
+
+  /// Proportion of in-range observations with the given value
+  /// (0 when the histogram is empty).
+  double proportion(int value) const noexcept;
+
+  /// Mean of recorded in-range values (0 when empty).
+  double mean() const noexcept;
+
+ private:
+  int lo_;
+  int hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Fixed-width real-valued histogram over [lo, hi) with `bins` bins.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+
+  /// [lower, upper) edges of a bin.
+  double bin_lower(std::size_t bin) const noexcept;
+  double bin_upper(std::size_t bin) const noexcept;
+
+  std::span<const std::size_t> counts() const noexcept { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace fpq::stats

@@ -1,0 +1,105 @@
+#include "stats/summation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace fpq::stats {
+
+double naive_sum(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum;
+}
+
+namespace {
+
+double pairwise_range(std::span<const double> xs, std::size_t lo,
+                      std::size_t hi) noexcept {
+  // Base case of 2 keeps the association tree fully balanced (matching
+  // fpq::opt's reassociation emulation); production implementations use a
+  // larger block purely for speed.
+  if (hi - lo == 1) return xs[lo];
+  if (hi - lo == 2) return xs[lo] + xs[lo + 1];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return pairwise_range(xs, lo, mid) + pairwise_range(xs, mid, hi);
+}
+
+/// Knuth's TwoSum: s = fl(a+b), err exact such that a + b = s + err.
+struct TwoSumResult {
+  double sum;
+  double err;
+};
+
+TwoSumResult two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double bb = s - a;
+  const double err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+}  // namespace
+
+double pairwise_sum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return pairwise_range(xs, 0, xs.size());
+}
+
+double kahan_sum(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : xs) {
+    const double y = x - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double neumaier_sum(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : xs) {
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+double exact_sum(std::span<const double> xs) {
+  // Shewchuk-style distillation: keep a list of non-overlapping partials;
+  // each input is two_sum'd through the list. The final partials sum (in
+  // increasing magnitude) to the correctly rounded total because all the
+  // error terms were preserved exactly.
+  std::vector<double> partials;
+  for (double x : xs) {
+    assert(std::isfinite(x));
+    std::size_t used = 0;
+    for (double p : partials) {
+      auto [s, err] = two_sum(x, p);
+      if (err != 0.0) partials[used++] = err;
+      x = s;
+    }
+    partials.resize(used);
+    partials.push_back(x);
+  }
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+double summation_relative_error(double approx, std::span<const double> xs) {
+  const double exact = exact_sum(xs);
+  const double denom =
+      std::max(std::fabs(exact), std::numeric_limits<double>::min());
+  return std::fabs(approx - exact) / denom;
+}
+
+}  // namespace fpq::stats

@@ -1,0 +1,40 @@
+// fpq::stats — summation algorithms and their error behavior.
+//
+// The quiz's Associativity/Ordering questions are abstract statements of a
+// concrete engineering problem: how to sum many floating point numbers
+// without drowning in rounding error. This header provides the standard
+// answers — naive, pairwise, Kahan, Neumaier — plus an error probe used by
+// tests and teaching material to rank them on ill-conditioned inputs.
+#pragma once
+
+#include <span>
+
+namespace fpq::stats {
+
+/// Left-to-right accumulation: what the naive loop does; worst error
+/// growth (O(n) ulps on adversarial data).
+double naive_sum(std::span<const double> xs) noexcept;
+
+/// Balanced-tree reduction: what vectorized reductions approximate;
+/// O(log n) error growth.
+double pairwise_sum(std::span<const double> xs) noexcept;
+
+/// Kahan compensated summation: running error term; O(1) error growth on
+/// well-scaled data, but the compensation is lost when a term dwarfs the
+/// running sum.
+double kahan_sum(std::span<const double> xs) noexcept;
+
+/// Neumaier's improvement: compensates in both directions, surviving
+/// terms larger than the running sum (this is what fpq::stats::mean uses).
+double neumaier_sum(std::span<const double> xs) noexcept;
+
+/// Exact sum via exact two-term transformations cascaded through a
+/// superaccumulator-style sweep (repeated TwoSum distillation until the
+/// partials are non-overlapping), rounded once at the end. Slower, but a
+/// correct reference for the error probe. Inputs must be finite.
+double exact_sum(std::span<const double> xs);
+
+/// |approx - exact| / max(|exact|, DBL_MIN) against exact_sum.
+double summation_relative_error(double approx, std::span<const double> xs);
+
+}  // namespace fpq::stats

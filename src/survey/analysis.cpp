@@ -1,0 +1,181 @@
+#include "survey/analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fpq::survey {
+
+std::vector<TableRow> frequency_table(
+    std::span<const SurveyRecord> records,
+    std::span<const fpq::paperdata::CategoryCount> categories,
+    FieldSelector selector) {
+  std::vector<TableRow> rows(categories.size());
+  for (std::size_t i = 0; i < categories.size(); ++i) {
+    rows[i].label = std::string(categories[i].label);
+  }
+  for (const auto& record : records) {
+    const std::size_t idx = selector(record);
+    if (idx < rows.size()) ++rows[idx].n;
+  }
+  const auto total = static_cast<double>(records.size());
+  for (auto& row : rows) {
+    row.percent = total > 0 ? 100.0 * static_cast<double>(row.n) / total
+                            : 0.0;
+  }
+  return rows;
+}
+
+std::vector<TableRow> multi_select_table(
+    std::span<const SurveyRecord> records,
+    std::span<const fpq::paperdata::CategoryCount> categories,
+    ListSelector selector) {
+  std::vector<TableRow> rows(categories.size());
+  for (std::size_t i = 0; i < categories.size(); ++i) {
+    rows[i].label = std::string(categories[i].label);
+  }
+  for (const auto& record : records) {
+    for (std::size_t idx : selector(record)) {
+      if (idx < rows.size()) ++rows[idx].n;
+    }
+  }
+  const auto total = static_cast<double>(records.size());
+  for (auto& row : rows) {
+    row.percent = total > 0 ? 100.0 * static_cast<double>(row.n) / total
+                            : 0.0;
+  }
+  return rows;
+}
+
+AverageTally average_core(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
+  AverageTally avg;
+  if (records.empty()) return avg;
+  for (const auto& record : records) {
+    const quiz::QuizTally tally = quiz::score_core(record.core, key);
+    avg.correct += static_cast<double>(tally.correct);
+    avg.incorrect += static_cast<double>(tally.incorrect);
+    avg.dont_know += static_cast<double>(tally.dont_know);
+    avg.unanswered += static_cast<double>(tally.unanswered);
+  }
+  const auto n = static_cast<double>(records.size());
+  avg.correct /= n;
+  avg.incorrect /= n;
+  avg.dont_know /= n;
+  avg.unanswered /= n;
+  return avg;
+}
+
+AverageTally average_opt_tf(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key) {
+  AverageTally avg;
+  if (records.empty()) return avg;
+  for (const auto& record : records) {
+    const quiz::QuizTally tally = quiz::score_opt_tf(record.opt, key);
+    avg.correct += static_cast<double>(tally.correct);
+    avg.incorrect += static_cast<double>(tally.incorrect);
+    avg.dont_know += static_cast<double>(tally.dont_know);
+    avg.unanswered += static_cast<double>(tally.unanswered);
+  }
+  const auto n = static_cast<double>(records.size());
+  avg.correct /= n;
+  avg.incorrect /= n;
+  avg.dont_know /= n;
+  avg.unanswered /= n;
+  return avg;
+}
+
+stats::IntHistogram core_score_histogram(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
+  stats::IntHistogram hist(0, static_cast<int>(quiz::kCoreQuestionCount));
+  for (const auto& record : records) {
+    hist.add(static_cast<int>(quiz::score_core(record.core, key).correct));
+  }
+  return hist;
+}
+
+std::vector<BreakdownRow> core_question_breakdown(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
+  std::vector<BreakdownRow> rows(quiz::kCoreQuestionCount);
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    rows[q].label =
+        quiz::core_question_label(static_cast<quiz::CoreQuestionId>(q));
+  }
+  if (records.empty()) return rows;
+  for (const auto& record : records) {
+    for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+      switch (quiz::grade_answer(record.core.answers[q], key[q])) {
+        case quiz::Grade::kCorrect:
+          rows[q].pct_correct += 1.0;
+          break;
+        case quiz::Grade::kIncorrect:
+          rows[q].pct_incorrect += 1.0;
+          break;
+        case quiz::Grade::kDontKnow:
+          rows[q].pct_dont_know += 1.0;
+          break;
+        case quiz::Grade::kUnanswered:
+          rows[q].pct_unanswered += 1.0;
+          break;
+      }
+    }
+  }
+  const auto scale = 100.0 / static_cast<double>(records.size());
+  for (auto& row : rows) {
+    row.pct_correct *= scale;
+    row.pct_incorrect *= scale;
+    row.pct_dont_know *= scale;
+    row.pct_unanswered *= scale;
+  }
+  return rows;
+}
+
+std::vector<BreakdownRow> opt_question_breakdown(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key) {
+  // Rows in paper order: MADD, Flush to Zero, Standard-compliant Level,
+  // Fast-math. The T/F sheet holds [MADD, FlushToZero, FastMath].
+  std::vector<BreakdownRow> rows(quiz::kOptQuestionCount);
+  for (std::size_t q = 0; q < quiz::kOptQuestionCount; ++q) {
+    rows[q].label =
+        quiz::opt_question_label(static_cast<quiz::OptQuestionId>(q));
+  }
+  if (records.empty()) return rows;
+
+  auto bump = [](BreakdownRow& row, quiz::Grade g) {
+    switch (g) {
+      case quiz::Grade::kCorrect:
+        row.pct_correct += 1.0;
+        break;
+      case quiz::Grade::kIncorrect:
+        row.pct_incorrect += 1.0;
+        break;
+      case quiz::Grade::kDontKnow:
+        row.pct_dont_know += 1.0;
+        break;
+      case quiz::Grade::kUnanswered:
+        row.pct_unanswered += 1.0;
+        break;
+    }
+  };
+
+  for (const auto& record : records) {
+    bump(rows[0], quiz::grade_answer(record.opt.tf_answers[0], key[0]));
+    bump(rows[1], quiz::grade_answer(record.opt.tf_answers[1], key[1]));
+    bump(rows[2], quiz::grade_level_choice(record.opt.level_choice));
+    bump(rows[3], quiz::grade_answer(record.opt.tf_answers[2], key[2]));
+  }
+  const auto scale = 100.0 / static_cast<double>(records.size());
+  for (auto& row : rows) {
+    row.pct_correct *= scale;
+    row.pct_incorrect *= scale;
+    row.pct_dont_know *= scale;
+    row.pct_unanswered *= scale;
+  }
+  return rows;
+}
+
+}  // namespace fpq::survey

@@ -1,0 +1,264 @@
+#include "survey/csv_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "report/csv.hpp"
+
+namespace fpq::survey {
+
+namespace {
+
+constexpr char kAnswerChars[] = {'T', 'F', 'D', 'U'};
+
+char answer_to_char(quiz::Answer a) {
+  return kAnswerChars[static_cast<std::size_t>(a)];
+}
+
+bool char_to_answer(char c, quiz::Answer& out) {
+  switch (c) {
+    case 'T':
+      out = quiz::Answer::kTrue;
+      return true;
+    case 'F':
+      out = quiz::Answer::kFalse;
+      return true;
+    case 'D':
+      out = quiz::Answer::kDontKnow;
+      return true;
+    case 'U':
+      out = quiz::Answer::kUnanswered;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string join_indices(const std::vector<std::size_t>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ';';
+    out += std::to_string(xs[i]);
+  }
+  return out;
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_indices(const std::string& s, std::vector<std::size_t>& out) {
+  out.clear();
+  if (s.empty()) return true;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t sep = s.find(';', start);
+    const std::string part =
+        s.substr(start, sep == std::string::npos ? sep : sep - start);
+    std::size_t value = 0;
+    if (!parse_size(part, value)) return false;
+    out.push_back(value);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return true;
+}
+
+std::string level_to_string(std::size_t level) {
+  if (level == quiz::kOptLevelDontKnow) return "D";
+  if (level >= quiz::kOptLevelChoiceCount) return "U";
+  return std::to_string(level);
+}
+
+bool string_to_level(const std::string& s, std::size_t& out) {
+  if (s == "D") {
+    out = quiz::kOptLevelDontKnow;
+    return true;
+  }
+  if (s == "U") {
+    out = quiz::kOptLevelUnanswered;
+    return true;
+  }
+  return parse_size(s, out) && out < quiz::kOptLevelChoiceCount;
+}
+
+}  // namespace
+
+std::string csv_header() {
+  std::string out =
+      "id,position,area,formal_training,informal_training,dev_role,"
+      "fp_languages,arb_prec_languages,contributed_size,contributed_extent,"
+      "involved_size,involved_extent";
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    out += ",core_q" + std::to_string(q + 1);
+  }
+  out += ",opt_madd,opt_ftz,opt_fastmath,opt_level";
+  for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+    out += ",suspicion_" + std::to_string(c + 1);
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, std::span<const SurveyRecord> records) {
+  out << csv_header() << '\n';
+  fpq::report::CsvWriter writer(out);
+  for (const auto& r : records) {
+    std::vector<std::string> fields;
+    fields.push_back(std::to_string(r.respondent_id));
+    fields.push_back(std::to_string(r.background.position));
+    fields.push_back(std::to_string(r.background.area));
+    fields.push_back(std::to_string(r.background.formal_training));
+    fields.push_back(join_indices(r.background.informal_training));
+    fields.push_back(std::to_string(r.background.dev_role));
+    fields.push_back(join_indices(r.background.fp_languages));
+    fields.push_back(join_indices(r.background.arb_prec_languages));
+    fields.push_back(std::to_string(r.background.contributed_size));
+    fields.push_back(std::to_string(r.background.contributed_extent));
+    fields.push_back(std::to_string(r.background.involved_size));
+    fields.push_back(std::to_string(r.background.involved_extent));
+    for (quiz::Answer a : r.core.answers) {
+      fields.push_back(std::string(1, answer_to_char(a)));
+    }
+    for (quiz::Answer a : r.opt.tf_answers) {
+      fields.push_back(std::string(1, answer_to_char(a)));
+    }
+    fields.push_back(level_to_string(r.opt.level_choice));
+    for (int level : r.suspicion) fields.push_back(std::to_string(level));
+    writer.write_row(fields);
+  }
+}
+
+bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
+              std::string& error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    error = "empty input";
+    return false;
+  }
+  if (line != csv_header()) {
+    error = "unexpected header";
+    return false;
+  }
+  const std::size_t expected_fields =
+      12 + quiz::kCoreQuestionCount + quiz::kOptTrueFalseCount + 1 +
+      quiz::kSuspicionItemCount;
+
+  std::vector<SurveyRecord> parsed;
+  std::vector<std::string> fields;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!fpq::report::csv_split(line, fields) ||
+        fields.size() != expected_fields) {
+      error = "malformed row at line " + std::to_string(line_no);
+      return false;
+    }
+    SurveyRecord r;
+    std::size_t f = 0;
+    std::size_t id = 0;
+    bool ok = parse_size(fields[f++], id);
+    r.respondent_id = id;
+    ok = ok && parse_size(fields[f++], r.background.position);
+    ok = ok && parse_size(fields[f++], r.background.area);
+    ok = ok && parse_size(fields[f++], r.background.formal_training);
+    ok = ok && parse_indices(fields[f++], r.background.informal_training);
+    ok = ok && parse_size(fields[f++], r.background.dev_role);
+    ok = ok && parse_indices(fields[f++], r.background.fp_languages);
+    ok = ok && parse_indices(fields[f++], r.background.arb_prec_languages);
+    ok = ok && parse_size(fields[f++], r.background.contributed_size);
+    ok = ok && parse_size(fields[f++], r.background.contributed_extent);
+    ok = ok && parse_size(fields[f++], r.background.involved_size);
+    ok = ok && parse_size(fields[f++], r.background.involved_extent);
+    for (std::size_t q = 0; ok && q < quiz::kCoreQuestionCount; ++q) {
+      ok = fields[f].size() == 1 &&
+           char_to_answer(fields[f][0], r.core.answers[q]);
+      ++f;
+    }
+    for (std::size_t q = 0; ok && q < quiz::kOptTrueFalseCount; ++q) {
+      ok = fields[f].size() == 1 &&
+           char_to_answer(fields[f][0], r.opt.tf_answers[q]);
+      ++f;
+    }
+    ok = ok && string_to_level(fields[f++], r.opt.level_choice);
+    for (std::size_t c = 0; ok && c < quiz::kSuspicionItemCount; ++c) {
+      std::size_t level = 0;
+      ok = parse_size(fields[f++], level) && level >= 1 && level <= 5;
+      if (ok) r.suspicion[c] = static_cast<int>(level);
+    }
+    if (!ok) {
+      error = "invalid field at line " + std::to_string(line_no);
+      return false;
+    }
+    parsed.push_back(std::move(r));
+  }
+  records = std::move(parsed);
+  return true;
+}
+
+std::string student_csv_header() {
+  std::string out = "id";
+  for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+    out += ",suspicion_" + std::to_string(c + 1);
+  }
+  return out;
+}
+
+void write_student_csv(std::ostream& out,
+                       std::span<const StudentRecord> records) {
+  out << student_csv_header() << '\n';
+  fpq::report::CsvWriter writer(out);
+  for (const auto& r : records) {
+    std::vector<std::string> fields;
+    fields.push_back(std::to_string(r.respondent_id));
+    for (int level : r.suspicion) fields.push_back(std::to_string(level));
+    writer.write_row(fields);
+  }
+}
+
+bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,
+                      std::string& error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    error = "empty input";
+    return false;
+  }
+  if (line != student_csv_header()) {
+    error = "unexpected header";
+    return false;
+  }
+  std::vector<StudentRecord> parsed;
+  std::vector<std::string> fields;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!fpq::report::csv_split(line, fields) ||
+        fields.size() != 1 + quiz::kSuspicionItemCount) {
+      error = "malformed row at line " + std::to_string(line_no);
+      return false;
+    }
+    StudentRecord r;
+    std::size_t id = 0;
+    bool ok = parse_size(fields[0], id);
+    r.respondent_id = id;
+    for (std::size_t c = 0; ok && c < quiz::kSuspicionItemCount; ++c) {
+      std::size_t level = 0;
+      ok = parse_size(fields[1 + c], level) && level >= 1 && level <= 5;
+      if (ok) r.suspicion[c] = static_cast<int>(level);
+    }
+    if (!ok) {
+      error = "invalid field at line " + std::to_string(line_no);
+      return false;
+    }
+    parsed.push_back(r);
+  }
+  records = std::move(parsed);
+  return true;
+}
+
+}  // namespace fpq::survey

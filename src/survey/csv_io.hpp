@@ -1,0 +1,36 @@
+// fpq::survey — CSV import/export of survey records.
+//
+// Lets synthetic datasets leave the process (for R/pandas analysis) and
+// come back. One row per respondent; multi-select fields are
+// semicolon-joined index lists inside one CSV field; quiz answers are
+// single characters (T/F/D/U); the level choice is its index (or D/U).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "survey/record.hpp"
+
+namespace fpq::survey {
+
+/// Writes the header plus one row per record.
+void write_csv(std::ostream& out, std::span<const SurveyRecord> records);
+
+/// Parses records written by write_csv. Returns false (and sets `error`)
+/// on malformed input; on success replaces `records`.
+bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
+              std::string& error);
+
+/// The exact header line used by write_csv (useful for validation).
+std::string csv_header();
+
+/// Student-cohort variant (§III: suspicion responses only).
+void write_student_csv(std::ostream& out,
+                       std::span<const StudentRecord> records);
+bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,
+                      std::string& error);
+std::string student_csv_header();
+
+}  // namespace fpq::survey

@@ -1,0 +1,114 @@
+#include "survey/factor_analysis.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "paperdata/paperdata.hpp"
+
+namespace fpq::survey {
+
+namespace {
+
+// Generic conditioning: `bucket_of` maps a record to a level index (or
+// npos to skip); labels supplied by the caller.
+std::vector<FactorLevelResult> condition_on(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key, std::span<const std::string> labels,
+    const std::function<std::size_t(const SurveyRecord&)>& bucket_of) {
+  std::vector<FactorLevelResult> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) out[i].label = labels[i];
+
+  for (const auto& record : records) {
+    const std::size_t bucket = bucket_of(record);
+    if (bucket >= out.size()) continue;
+    FactorLevelResult& level = out[bucket];
+    ++level.n;
+    const auto core = quiz::score_core(record.core, core_key);
+    level.core.correct += static_cast<double>(core.correct);
+    level.core.incorrect += static_cast<double>(core.incorrect);
+    level.core.dont_know += static_cast<double>(core.dont_know);
+    level.core.unanswered += static_cast<double>(core.unanswered);
+    const auto opt = quiz::score_opt_tf(record.opt, opt_key);
+    level.opt.correct += static_cast<double>(opt.correct);
+    level.opt.incorrect += static_cast<double>(opt.incorrect);
+    level.opt.dont_know += static_cast<double>(opt.dont_know);
+    level.opt.unanswered += static_cast<double>(opt.unanswered);
+  }
+  for (auto& level : out) {
+    if (level.n == 0) continue;
+    const auto n = static_cast<double>(level.n);
+    level.core.correct /= n;
+    level.core.incorrect /= n;
+    level.core.dont_know /= n;
+    level.core.unanswered /= n;
+    level.opt.correct /= n;
+    level.opt.incorrect /= n;
+    level.opt.dont_know /= n;
+    level.opt.unanswered /= n;
+  }
+  return out;
+}
+
+std::vector<std::string> labels_from(
+    std::span<const fpq::paperdata::FactorLevelTarget> targets) {
+  std::vector<std::string> out;
+  out.reserve(targets.size());
+  for (const auto& t : targets) out.emplace_back(t.label);
+  return out;
+}
+
+}  // namespace
+
+std::vector<FactorLevelResult> by_contributed_size(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key) {
+  const auto labels = labels_from(fpq::paperdata::contributed_size_effect());
+  return condition_on(records, core_key, opt_key, labels,
+                      [](const SurveyRecord& r) {
+                        return contributed_size_bin(
+                            r.background.contributed_size);
+                      });
+}
+
+std::vector<FactorLevelResult> by_area_group(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key) {
+  const auto labels = labels_from(fpq::paperdata::area_effect());
+  return condition_on(records, core_key, opt_key, labels,
+                      [](const SurveyRecord& r) {
+                        return static_cast<std::size_t>(
+                            area_group_of(r.background.area));
+                      });
+}
+
+std::vector<FactorLevelResult> by_role(std::span<const SurveyRecord> records,
+                                       const CoreKey& core_key,
+                                       const OptKey& opt_key) {
+  const auto labels = labels_from(fpq::paperdata::role_effect());
+  return condition_on(records, core_key, opt_key, labels,
+                      [](const SurveyRecord& r) {
+                        return role_index(r.background.dev_role);
+                      });
+}
+
+std::vector<FactorLevelResult> by_formal_training(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key) {
+  const auto labels = labels_from(fpq::paperdata::training_effect());
+  return condition_on(records, core_key, opt_key, labels,
+                      [](const SurveyRecord& r) {
+                        return training_index(r.background.formal_training);
+                      });
+}
+
+double core_correct_spread(std::span<const FactorLevelResult> levels) {
+  double lo = 1e9, hi = -1e9;
+  for (const auto& level : levels) {
+    if (level.n == 0) continue;
+    lo = std::min(lo, level.core.correct);
+    hi = std::max(hi, level.core.correct);
+  }
+  return hi >= lo ? hi - lo : 0.0;
+}
+
+}  // namespace fpq::survey

@@ -1,0 +1,80 @@
+#include "survey/record.hpp"
+
+namespace fpq::survey {
+
+AreaGroup area_group_of(std::size_t area_index) noexcept {
+  // Row order of paperdata::areas() (Figure 2).
+  switch (area_index) {
+    case 0:  // Computer Science
+    case 8:  // CS&Math
+      return AreaGroup::kCS;
+    case 1:  // Other Physical Science Field
+      return AreaGroup::kPhysSci;
+    case 2:   // Other Engineering Field
+    case 12:  // Robotics
+    case 14:  // Biomedical Engineering
+    case 17:  // Mechanical Engineering
+      return AreaGroup::kEng;
+    case 3:  // Computer Engineering
+    case 9:  // CS&CE
+      return AreaGroup::kCE;
+    case 4:  // Mathematics
+      return AreaGroup::kMath;
+    case 5:  // Electrical Engineering
+      return AreaGroup::kEE;
+    default:
+      return AreaGroup::kOther;
+  }
+}
+
+std::size_t contributed_size_bin(std::size_t fig8_row) noexcept {
+  // Figure 8 rows are ordered by popularity; the chart bins by size.
+  switch (fig8_row) {
+    case 2:  // 100 to 1,000
+      return 0;
+    case 0:  // 1,001 to 10,000
+      return 1;
+    case 1:  // 10,001 to 100,000
+      return 2;
+    case 3:  // 100,001 to 1,000,000
+      return 3;
+    case 4:  // >1,000,000
+      return 4;
+    default:  // "<100" and "Not Reported" are not charted
+      return kNoSizeBin;
+  }
+}
+
+std::size_t role_index(std::size_t fig5_row) noexcept {
+  // Figure 5 row -> paperdata::role_effect() row.
+  switch (fig5_row) {
+    case 1:  // main role software engineer
+      return 0;
+    case 3:  // manage software engineers
+      return 1;
+    case 0:  // develop software to support main role
+      return 2;
+    case 2:  // manage support development
+      return 3;
+    default:  // Not Reported
+      return kNoRole;
+  }
+}
+
+std::size_t training_index(std::size_t fig3_row) noexcept {
+  // Figure 3 row -> increasing-training order.
+  switch (fig3_row) {
+    case 1:  // None
+      return 0;
+    case 0:  // One or more lectures
+      return 1;
+    case 2:  // One or more weeks
+      return 2;
+    case 3:  // One or more courses
+      return 3;
+    default:  // Not reported
+      return kNoTraining;
+  }
+}
+
+}  // namespace fpq::survey

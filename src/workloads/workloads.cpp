@@ -1,0 +1,197 @@
+#include "workloads/workloads.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace fpq::workloads {
+
+namespace {
+
+// All kernels route arithmetic through opaque helpers so the FPU really
+// executes them under the caller's monitor.
+[[gnu::noinline]] double op(double a, char o, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = 0.0;
+  switch (o) {
+    case '+':
+      r = va + vb;
+      break;
+    case '-':
+      r = va - vb;
+      break;
+    case '*':
+      r = va * vb;
+      break;
+    case '/':
+      r = va / vb;
+      break;
+  }
+  return r;
+}
+
+[[gnu::noinline]] double op_sqrt(double a) {
+  volatile double va = a;
+  volatile double r = __builtin_sqrt(va);
+  return r;
+}
+
+// -- ODE integration (Lorenz) ------------------------------------------
+
+void lorenz(double dt, int steps) {
+  double x = 1.0, y = 1.0, z = 1.0;
+  for (int i = 0; i < steps; ++i) {
+    const double dx = op(10.0, '*', op(y, '-', x));
+    const double dy = op(op(x, '*', op(28.0, '-', z)), '-', y);
+    const double dz = op(op(x, '*', y), '-', op(8.0 / 3.0, '*', z));
+    x = op(x, '+', op(dt, '*', dx));
+    y = op(y, '+', op(dt, '*', dy));
+    z = op(z, '+', op(dt, '*', dz));
+  }
+}
+
+void lorenz_healthy() { lorenz(0.005, 5000); }
+void lorenz_broken() { lorenz(1.0, 100); }  // unstable: blows up to NaN
+
+// -- Statistics: naive variance ------------------------------------------
+
+void variance(double offset, int n) {
+  // Naive sum-of-squares variance; with a huge offset the subtraction
+  // E[x^2] - E[x]^2 cancels catastrophically and goes NEGATIVE (at
+  // offset 1e12, n=7 the value is about -2.7e8), so the final sqrt of it
+  // is an invalid operation.
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = op(offset, '+', 1e-8 * i);
+    sum = op(sum, '+', x);
+    sum_sq = op(sum_sq, '+', op(x, '*', x));
+  }
+  const double mean = op(sum, '/', n);
+  const double var = op(op(sum_sq, '/', n), '-', op(mean, '*', mean));
+  (void)op_sqrt(var);  // stddev; sqrt(negative) when cancellation bites
+}
+
+void variance_healthy() { variance(0.0, 64); }
+void variance_broken() { variance(1e12, 7); }
+
+// -- Series summation -------------------------------------------------
+
+void geometric_series_healthy() {
+  // sum of (1/2)^k: converges cleanly to 2, only rounding occurs; the
+  // terms are deliberately stopped before the subnormal range.
+  double term = 1.0, sum = 0.0;
+  for (int k = 0; k < 900; ++k) {
+    sum = op(sum, '+', term);
+    term = op(term, '*', 0.5);
+  }
+  (void)sum;
+}
+
+void geometric_series_broken() {
+  // Growing series without a bound check: overflows to +inf, then the
+  // "normalization" inf/inf manufactures a NaN.
+  double term = 1.0, sum = 0.0;
+  for (int k = 0; k < 800; ++k) {
+    sum = op(sum, '+', term);
+    term = op(term, '*', 10.0);
+  }
+  (void)op(sum, '/', term);  // inf / inf
+}
+
+// -- Geometry: normalizing a vector ----------------------------------
+
+void normalize(double scale) {
+  // Normalize (3s, 4s): naive |v| = sqrt(x^2 + y^2) squares first, so a
+  // large scale overflows the squares even though the normalized result
+  // (0.6, 0.8) is perfectly representable.
+  const double x = op(3.0, '*', scale);
+  const double y = op(4.0, '*', scale);
+  const double len = op_sqrt(op(op(x, '*', x), '+', op(y, '*', y)));
+  (void)op(x, '/', len);
+  (void)op(y, '/', len);
+}
+
+void normalize_healthy() { normalize(1.0); }
+void normalize_broken() { normalize(1e200); }  // x*x overflows
+
+// -- Decay into the subnormal range ----------------------------------
+
+void decay_healthy() {
+  // Exponential decay crossing into the subnormal range: denormal and
+  // underflow traffic is EXPECTED here and is not a bug (the suspicion
+  // quiz's point about Underflow/Denorm being usually benign).
+  double x = 1.0;
+  for (int i = 0; i < 1100; ++i) x = op(x, '*', 0.5);
+  (void)op(x, '+', 1.0);
+}
+
+mon::ConditionSet set_of(std::initializer_list<mon::Condition> cs) {
+  mon::ConditionSet out;
+  for (auto c : cs) out.set(c);
+  return out;
+}
+
+using C = mon::Condition;
+
+const std::array<Workload, 9> kCatalogue{{
+    {"lorenz/healthy",
+     "Lorenz attractor, stable step size: rounding only",
+     set_of({C::kPrecision}),
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &lorenz_healthy},
+    {"lorenz/broken",
+     "Lorenz attractor, dt=1.0: divergence through overflow into NaN",
+     set_of({C::kPrecision, C::kOverflow, C::kInvalid}), mon::ConditionSet{},
+     &lorenz_broken},
+    {"variance/healthy",
+     "naive variance on small data: rounding only",
+     set_of({C::kPrecision}), set_of({C::kInvalid, C::kOverflow}),
+     &variance_healthy},
+    {"variance/broken",
+     "naive variance with offset 1e12: cancellation drives the variance "
+     "negative and sqrt of it invalid",
+     set_of({C::kPrecision, C::kInvalid}), set_of({C::kOverflow}),
+     &variance_broken},
+    {"series/healthy",
+     "geometric series 1/2^k within the normal range: rounding only",
+     set_of({C::kPrecision}),
+     set_of({C::kInvalid, C::kOverflow, C::kUnderflow}),
+     &geometric_series_healthy},
+    {"series/broken",
+     "unbounded growing series: overflow, then inf/inf invalid",
+     set_of({C::kPrecision, C::kOverflow, C::kInvalid}),
+     mon::ConditionSet{}, &geometric_series_broken},
+    {"normalize/healthy",
+     "2-vector normalization at ordinary scale",
+     set_of({C::kPrecision}), set_of({C::kInvalid, C::kOverflow}),
+     &normalize_healthy},
+    {"normalize/broken",
+     "naive normalization at scale 1e200: the squares overflow although "
+     "the answer (0.6, 0.8) is representable",
+     set_of({C::kPrecision, C::kOverflow}), set_of({C::kInvalid}),
+     &normalize_broken},
+    {"decay/healthy",
+     "exponential decay through the subnormal range: underflow and "
+     "denormal traffic is expected and benign here",
+     set_of({C::kPrecision, C::kUnderflow}),
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &decay_healthy},
+}};
+
+}  // namespace
+
+std::span<const Workload> catalogue() { return kCatalogue; }
+
+mon::ConditionSet observe(const Workload& w) {
+  mon::ScopedMonitor monitor;
+  w.run();
+  return monitor.stop();
+}
+
+bool contract_holds(const Workload& w, const mon::ConditionSet& observed) {
+  for (std::size_t i = 0; i < mon::kConditionCount; ++i) {
+    const auto c = static_cast<mon::Condition>(i);
+    if (w.expected.test(c) && !observed.test(c)) return false;
+    if (w.forbidden.test(c) && observed.test(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace fpq::workloads

@@ -1,0 +1,45 @@
+// fpq::workloads — simulated scientific workloads for the monitor.
+//
+// The suspicion quiz (§II-D) poses a hypothetical: "we wrap a scientific
+// simulation with code that determines if any of the possible exceptions
+// occurred." This module supplies the simulations: small, deterministic
+// numerical kernels, each in a healthy variant and a broken variant whose
+// failure mode is known in advance. Running them under fpmon turns the
+// quiz's hypothetical into a regression suite for the monitor — and into
+// teaching material: each workload's doc says which conditions SHOULD
+// worry you.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "fpmon/monitor.hpp"
+
+namespace fpq::workloads {
+
+/// One runnable workload variant.
+struct Workload {
+  std::string name;
+  std::string description;
+  /// Conditions a correct monitor MUST report for this run.
+  mon::ConditionSet expected;
+  /// Conditions that must NOT appear (the difference between the healthy
+  /// and broken variant).
+  mon::ConditionSet forbidden;
+  /// Executes the kernel (pure compute; observation is the caller's job).
+  void (*run)();
+};
+
+/// The full catalogue: healthy/broken pairs across domains (ODE
+/// integration, statistics, series summation, geometry).
+std::span<const Workload> catalogue();
+
+/// Runs one workload under a fresh monitor and returns what was observed.
+mon::ConditionSet observe(const Workload& w);
+
+/// True when the observation satisfies the workload's contract
+/// (all expected conditions present, no forbidden ones).
+bool contract_holds(const Workload& w, const mon::ConditionSet& observed);
+
+}  // namespace fpq::workloads

@@ -1,0 +1,147 @@
+// The shadow-execution analyzer: it must flag the classic pathologies and
+// stay quiet on healthy code.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyze/shadow.hpp"
+
+namespace sh = fpq::shadow;
+namespace opt = fpq::opt;
+using E = opt::Expr;
+
+namespace {
+
+TEST(Shadow, CleanExpressionIsClean) {
+  const auto e = E::add(E::mul(E::constant(3.0), E::constant(4.0)),
+                        E::constant(5.0));
+  const auto report = sh::analyze(e);
+  EXPECT_FALSE(report.suspicious());
+  EXPECT_EQ(report.double_result, 17.0);
+  EXPECT_EQ(report.shadow_result, 17.0);
+  EXPECT_EQ(report.relative_error, 0.0);
+}
+
+TEST(Shadow, DetectsCatastrophicCancellation) {
+  // (1 + 2^-40) - 1: 40 leading bits cancel. The double result is still
+  // exact here, but the cancellation itself is the suspicious pattern.
+  const auto e = E::sub(E::add(E::constant(1.0), E::constant(0x1.0p-40)),
+                        E::constant(1.0));
+  sh::Config config;
+  config.cancellation_bits_threshold = 30;
+  const auto report = sh::analyze(e, config);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_NE(report.findings[0].reason.find("cancellation"),
+            std::string::npos);
+  EXPECT_GE(report.findings[0].cancelled_bits, 39);
+}
+
+TEST(Shadow, DetectsRealAccuracyLoss) {
+  // The classic: (a + b) - a with b far below a's precision. binary64
+  // returns 0; the true value is b. Relative error is 1.
+  const auto a = E::constant(1e16);
+  const auto e = E::sub(E::add(a, E::constant(1.0)), a);
+  const auto report = sh::analyze(e);
+  EXPECT_TRUE(report.suspicious());
+  EXPECT_EQ(report.double_result, 0.0);
+  EXPECT_EQ(report.shadow_result, 1.0);
+}
+
+TEST(Shadow, DetectsFormatInducedOverflow) {
+  // 1e300 * 1e300 / 1e300: binary64 hits inf mid-expression; the true
+  // value is exactly 1e300.
+  const auto e = E::div(E::mul(E::constant(1e300), E::constant(1e300)),
+                        E::constant(1e300));
+  const auto report = sh::analyze(e);
+  EXPECT_TRUE(report.suspicious());
+  EXPECT_TRUE(report.double_is_exceptional);
+  EXPECT_FALSE(report.shadow_is_exceptional);
+  EXPECT_TRUE(report.format_induced_exception);
+  EXPECT_EQ(report.shadow_result, 1e300);
+}
+
+TEST(Shadow, DetectsFormatInducedNaN) {
+  // (1e300*1e300) - (1e300*1e300): inf - inf = NaN in binary64; the true
+  // value is 0.
+  const auto big = E::mul(E::constant(1e300), E::constant(1e300));
+  const auto e = E::sub(big, big);
+  const auto report = sh::analyze(e);
+  EXPECT_TRUE(std::isnan(report.double_result));
+  EXPECT_TRUE(report.format_induced_exception);
+  EXPECT_EQ(report.shadow_result, 0.0);
+}
+
+TEST(Shadow, HonestWhenMathematicsItselfIsExceptional) {
+  // 1/0 is an infinity in ANY precision: not format-induced.
+  const auto e = E::div(E::constant(1.0), E::constant(0.0));
+  const auto report = sh::analyze(e);
+  EXPECT_TRUE(report.double_is_exceptional);
+  EXPECT_TRUE(report.shadow_is_exceptional);
+  EXPECT_FALSE(report.format_induced_exception);
+}
+
+TEST(Shadow, QuietOnBenignRounding) {
+  // 1/3 rounds, but the relative error (~1e-17) is far below any sane
+  // threshold: no findings.
+  const auto e = E::div(E::constant(1.0), E::constant(3.0));
+  const auto report = sh::analyze(e);
+  EXPECT_FALSE(report.suspicious());
+  EXPECT_LT(report.relative_error, 1e-15);
+}
+
+TEST(Shadow, ThresholdsAreConfigurable) {
+  const auto e = E::div(E::constant(1.0), E::constant(3.0));
+  sh::Config strict;
+  strict.relative_error_threshold = 1e-20;  // flag even correct rounding
+  const auto report = sh::analyze(e, strict);
+  EXPECT_TRUE(report.suspicious());
+}
+
+TEST(Shadow, SqrtAndFmaShadowed) {
+  const auto e = E::fma(E::constant(2.0), E::constant(3.0),
+                        E::sqrt(E::constant(16.0)));
+  const auto report = sh::analyze(e);
+  EXPECT_EQ(report.double_result, 10.0);
+  EXPECT_EQ(report.shadow_result, 10.0);
+  EXPECT_FALSE(report.suspicious());
+}
+
+TEST(Shadow, FindingsSortedWorstFirst) {
+  // Two suspicious spots with different severity.
+  const auto a = E::constant(1e16);
+  const auto cancel = E::sub(E::add(a, E::constant(1.0)), a);  // rel err 1
+  const auto mild =
+      E::sub(E::add(E::constant(1.0), E::constant(0x1.0p-30)),
+             E::constant(1.0));  // exact but cancels
+  const auto e = E::mul(cancel, mild);
+  sh::Config config;
+  config.cancellation_bits_threshold = 25;
+  const auto report = sh::analyze(e, config);
+  ASSERT_GE(report.findings.size(), 2u);
+  EXPECT_GE(report.findings[0].relative_error,
+            report.findings[1].relative_error);
+}
+
+TEST(Shadow, RenderMentionsVerdictAndNodes) {
+  const auto a = E::constant(1e16);
+  const auto e = E::sub(E::add(a, E::constant(1.0)), a);
+  const auto out = sh::render(sh::analyze(e));
+  EXPECT_NE(out.find("VERDICT"), std::string::npos);
+  EXPECT_NE(out.find("1e+16"), std::string::npos);
+}
+
+TEST(Shadow, LorenzStyleStepMatchesAtHighPrecision) {
+  // One Lorenz dy step: shadow and double agree to ~1e-16 — rounding only.
+  const auto e = E::add(
+      E::constant(1.0),
+      E::mul(E::constant(0.01),
+             E::sub(E::mul(E::constant(1.0),
+                           E::sub(E::constant(28.0), E::constant(1.0))),
+                    E::constant(1.0))));
+  const auto report = sh::analyze(e);
+  EXPECT_FALSE(report.suspicious());
+  EXPECT_NEAR(report.double_result, 1.26, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// The question bank: structure, ordering, and survey-design invariants
+// (no prompting/anchoring terms in the text shown to participants).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/question_bank.hpp"
+
+namespace quiz = fpq::quiz;
+
+namespace {
+
+TEST(QuestionBank, FifteenCoreQuestionsInPaperOrder) {
+  const auto questions = quiz::core_questions();
+  ASSERT_EQ(questions.size(), quiz::kCoreQuestionCount);
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(questions[i].id), i);
+  }
+  EXPECT_EQ(questions.front().id, quiz::CoreQuestionId::kCommutativity);
+  EXPECT_EQ(questions.back().id, quiz::CoreQuestionId::kExceptionSignal);
+}
+
+TEST(QuestionBank, FourOptQuestionsOneMultipleChoice) {
+  const auto questions = quiz::opt_questions();
+  ASSERT_EQ(questions.size(), quiz::kOptQuestionCount);
+  std::size_t tf = 0;
+  for (const auto& q : questions) {
+    if (q.is_true_false) ++tf;
+  }
+  EXPECT_EQ(tf, quiz::kOptTrueFalseCount);
+  EXPECT_FALSE(
+      quiz::opt_question(quiz::OptQuestionId::kStandardCompliantLevel)
+          .is_true_false);
+}
+
+TEST(QuestionBank, FiveSuspicionItems) {
+  const auto items = quiz::suspicion_items();
+  ASSERT_EQ(items.size(), quiz::kSuspicionItemCount);
+  EXPECT_EQ(items[3].id, quiz::SuspicionItemId::kInvalid);
+  EXPECT_EQ(items[3].advised_level, 5);
+  EXPECT_EQ(items[0].advised_level, 4);  // Overflow
+  EXPECT_EQ(items[2].advised_level, 1);  // Precision
+}
+
+TEST(QuestionBank, NoAnchoringTermsInCoreQuestionText) {
+  // The survey deliberately never says "NaN", "infinity", "denormal" etc.
+  // in assertions that test for understanding of those concepts without
+  // the terminology (§II-B: "the term NaN is not used in order to avoid
+  // prompting or anchoring").
+  using Id = quiz::CoreQuestionId;
+  for (Id id : {Id::kCommutativity, Id::kAssociativity, Id::kIdentity,
+                Id::kNegativeZero, Id::kSquare, Id::kDivideByZero,
+                Id::kZeroDivideByZero, Id::kSaturationPlus,
+                Id::kSaturationMinus}) {
+    const auto& q = quiz::core_question(id);
+    const std::string text =
+        std::string(q.snippet) + " " + std::string(q.assertion);
+    EXPECT_EQ(text.find("NaN"), std::string::npos)
+        << quiz::core_question_label(id);
+    EXPECT_EQ(text.find("nan"), std::string::npos)
+        << quiz::core_question_label(id);
+    EXPECT_EQ(text.find("infinity"), std::string::npos)
+        << quiz::core_question_label(id);
+    EXPECT_EQ(text.find("denormal"), std::string::npos)
+        << quiz::core_question_label(id);
+  }
+}
+
+TEST(QuestionBank, DeclaredTruthsMatchThePaper) {
+  // Figure 14's implied key.
+  using Id = quiz::CoreQuestionId;
+  auto truth = [](Id id) { return quiz::core_question(id).standard_truth; };
+  EXPECT_EQ(truth(Id::kCommutativity), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kAssociativity), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kDistributivity), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kOrdering), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kIdentity), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kNegativeZero), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kSquare), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kOverflow), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kDivideByZero), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kZeroDivideByZero), quiz::Truth::kFalse);
+  EXPECT_EQ(truth(Id::kSaturationPlus), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kSaturationMinus), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kDenormalPrecision), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kOperationPrecision), quiz::Truth::kTrue);
+  EXPECT_EQ(truth(Id::kExceptionSignal), quiz::Truth::kFalse);
+}
+
+TEST(QuestionBank, OptQuizTruths) {
+  using Id = quiz::OptQuestionId;
+  EXPECT_EQ(quiz::opt_question(Id::kMadd).standard_truth,
+            quiz::Truth::kFalse);
+  EXPECT_EQ(quiz::opt_question(Id::kFlushToZero).standard_truth,
+            quiz::Truth::kFalse);
+  EXPECT_EQ(quiz::opt_question(Id::kFastMath).standard_truth,
+            quiz::Truth::kTrue);
+  EXPECT_STREQ(quiz::kOptLevelChoices[quiz::kOptLevelCorrectChoice], "-O2");
+}
+
+TEST(QuestionBank, LabelsAreUnique) {
+  for (std::size_t i = 0; i < quiz::kCoreQuestionCount; ++i) {
+    for (std::size_t j = i + 1; j < quiz::kCoreQuestionCount; ++j) {
+      EXPECT_NE(
+          quiz::core_question_label(static_cast<quiz::CoreQuestionId>(i)),
+          quiz::core_question_label(static_cast<quiz::CoreQuestionId>(j)));
+    }
+  }
+}
+
+TEST(QuestionBank, EveryQuestionHasRationale) {
+  for (const auto& q : quiz::core_questions()) {
+    EXPECT_FALSE(q.rationale.empty());
+    EXPECT_FALSE(q.assertion.empty());
+  }
+  for (const auto& q : quiz::opt_questions()) {
+    EXPECT_FALSE(q.rationale.empty());
+    EXPECT_FALSE(q.prompt.empty());
+  }
+}
+
+}  // namespace

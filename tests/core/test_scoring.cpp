@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.hpp"
+#include "core/scoring.hpp"
+
+namespace quiz = fpq::quiz;
+
+namespace {
+
+TEST(Scoring, GradeAnswerMatrix) {
+  using quiz::Answer;
+  using quiz::Grade;
+  using quiz::Truth;
+  EXPECT_EQ(quiz::grade_answer(Answer::kTrue, Truth::kTrue), Grade::kCorrect);
+  EXPECT_EQ(quiz::grade_answer(Answer::kFalse, Truth::kFalse),
+            Grade::kCorrect);
+  EXPECT_EQ(quiz::grade_answer(Answer::kTrue, Truth::kFalse),
+            Grade::kIncorrect);
+  EXPECT_EQ(quiz::grade_answer(Answer::kFalse, Truth::kTrue),
+            Grade::kIncorrect);
+  EXPECT_EQ(quiz::grade_answer(Answer::kDontKnow, Truth::kTrue),
+            Grade::kDontKnow);
+  EXPECT_EQ(quiz::grade_answer(Answer::kUnanswered, Truth::kFalse),
+            Grade::kUnanswered);
+}
+
+TEST(Scoring, PerfectSheetScoresFull) {
+  const auto key = quiz::standard_core_truths();
+  quiz::CoreSheet sheet;
+  for (std::size_t i = 0; i < quiz::kCoreQuestionCount; ++i) {
+    sheet.answers[i] = quiz::to_answer(key[i]);
+  }
+  const auto tally = quiz::score_core(sheet, key);
+  EXPECT_EQ(tally.correct, quiz::kCoreQuestionCount);
+  EXPECT_EQ(tally.incorrect, 0u);
+  EXPECT_EQ(tally.total(), quiz::kCoreQuestionCount);
+}
+
+TEST(Scoring, InvertedSheetScoresZero) {
+  const auto key = quiz::standard_core_truths();
+  quiz::CoreSheet sheet;
+  for (std::size_t i = 0; i < quiz::kCoreQuestionCount; ++i) {
+    sheet.answers[i] = key[i] == quiz::Truth::kTrue ? quiz::Answer::kFalse
+                                                    : quiz::Answer::kTrue;
+  }
+  const auto tally = quiz::score_core(sheet, key);
+  EXPECT_EQ(tally.correct, 0u);
+  EXPECT_EQ(tally.incorrect, quiz::kCoreQuestionCount);
+}
+
+TEST(Scoring, DefaultSheetIsAllUnanswered) {
+  const quiz::CoreSheet sheet;
+  const auto tally = quiz::score_core(sheet, quiz::standard_core_truths());
+  EXPECT_EQ(tally.unanswered, quiz::kCoreQuestionCount);
+  const quiz::OptSheet opt;
+  EXPECT_EQ(quiz::grade_level_choice(opt.level_choice),
+            quiz::Grade::kUnanswered);
+}
+
+TEST(Scoring, MixedSheetTalliesEachBucket) {
+  const auto key = quiz::standard_core_truths();
+  quiz::CoreSheet sheet;
+  sheet.answers[0] = quiz::to_answer(key[0]);  // correct
+  sheet.answers[1] =
+      key[1] == quiz::Truth::kTrue ? quiz::Answer::kFalse
+                                   : quiz::Answer::kTrue;  // incorrect
+  sheet.answers[2] = quiz::Answer::kDontKnow;
+  // remaining 12 stay unanswered
+  const auto tally = quiz::score_core(sheet, key);
+  EXPECT_EQ(tally.correct, 1u);
+  EXPECT_EQ(tally.incorrect, 1u);
+  EXPECT_EQ(tally.dont_know, 1u);
+  EXPECT_EQ(tally.unanswered, 12u);
+}
+
+TEST(Scoring, OptTfExcludesLevelQuestion) {
+  const auto key = quiz::standard_opt_truths();
+  quiz::OptSheet sheet;
+  sheet.tf_answers = {quiz::Answer::kFalse, quiz::Answer::kFalse,
+                      quiz::Answer::kTrue};  // all correct
+  sheet.level_choice = 0;                    // -O0: incorrect
+  const auto tally = quiz::score_opt_tf(sheet, key);
+  EXPECT_EQ(tally.correct, 3u);
+  EXPECT_EQ(tally.total(), quiz::kOptTrueFalseCount)
+      << "level question not in the T/F tally (Figure 12 note)";
+  EXPECT_EQ(quiz::grade_level_choice(sheet.level_choice),
+            quiz::Grade::kIncorrect);
+}
+
+TEST(Scoring, LevelChoiceGrading) {
+  EXPECT_EQ(quiz::grade_level_choice(quiz::kOptLevelCorrectChoice),
+            quiz::Grade::kCorrect);
+  EXPECT_EQ(quiz::grade_level_choice(0), quiz::Grade::kIncorrect);
+  EXPECT_EQ(quiz::grade_level_choice(4), quiz::Grade::kIncorrect);
+  EXPECT_EQ(quiz::grade_level_choice(quiz::kOptLevelDontKnow),
+            quiz::Grade::kDontKnow);
+  EXPECT_EQ(quiz::grade_level_choice(quiz::kOptLevelUnanswered),
+            quiz::Grade::kUnanswered);
+}
+
+TEST(Scoring, ChanceConstantsMatchPaper) {
+  EXPECT_DOUBLE_EQ(quiz::kCoreChanceScore, 7.5);
+  EXPECT_DOUBLE_EQ(quiz::kOptChanceScore, 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// The scoped hardware exception monitor: each IEEE condition raised in
+// isolation, nesting, sticky re-merging, and softfloat harvesting.
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <limits>
+
+#include "fpmon/monitor.hpp"
+#include "softfloat/ops.hpp"
+
+namespace mon = fpq::mon;
+namespace sf = fpq::softfloat;
+
+namespace {
+
+// Opaque operations that really execute on the FPU.
+[[gnu::noinline]] double op_div(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va / vb;
+  return r;
+}
+[[gnu::noinline]] double op_mul(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va * vb;
+  return r;
+}
+[[gnu::noinline]] double op_add(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va + vb;
+  return r;
+}
+
+TEST(Monitor, CleanRegionReportsNothing) {
+  const auto seen = mon::monitor_region([] { (void)op_add(1.0, 2.0); });
+  EXPECT_FALSE(seen.any());
+  EXPECT_EQ(seen.to_string(), "none");
+}
+
+TEST(Monitor, DetectsDivByZero) {
+  const auto seen = mon::monitor_region([] { (void)op_div(1.0, 0.0); });
+  EXPECT_TRUE(seen.test(mon::Condition::kDivByZero));
+  EXPECT_FALSE(seen.test(mon::Condition::kInvalid));
+}
+
+TEST(Monitor, DetectsInvalid) {
+  const auto seen = mon::monitor_region([] { (void)op_div(0.0, 0.0); });
+  EXPECT_TRUE(seen.test(mon::Condition::kInvalid));
+}
+
+TEST(Monitor, DetectsOverflowAndPrecision) {
+  const auto seen = mon::monitor_region([] { (void)op_mul(1e300, 1e300); });
+  EXPECT_TRUE(seen.test(mon::Condition::kOverflow));
+  EXPECT_TRUE(seen.test(mon::Condition::kPrecision));
+}
+
+TEST(Monitor, DetectsUnderflow) {
+  const auto seen = mon::monitor_region([] { (void)op_mul(1e-300, 1e-300); });
+  EXPECT_TRUE(seen.test(mon::Condition::kUnderflow));
+}
+
+TEST(Monitor, DetectsPrecisionAlone) {
+  const auto seen = mon::monitor_region([] { (void)op_div(1.0, 3.0); });
+  EXPECT_TRUE(seen.test(mon::Condition::kPrecision));
+  EXPECT_FALSE(seen.test(mon::Condition::kOverflow));
+  EXPECT_FALSE(seen.test(mon::Condition::kInvalid));
+}
+
+TEST(Monitor, DetectsDenormalOperandWhenSupported) {
+  mon::ScopedMonitor monitor;
+  if (!monitor.tracks_denormals()) GTEST_SKIP() << "no MXCSR on this host";
+  (void)op_mul(4.9406564584124654e-324, 2.0);  // subnormal operand
+  const auto seen = monitor.stop();
+  EXPECT_TRUE(seen.test(mon::Condition::kDenorm));
+}
+
+TEST(Monitor, InnerScopeDoesNotHideFromOuter) {
+  mon::ScopedMonitor outer;
+  {
+    mon::ScopedMonitor inner;
+    (void)op_div(1.0, 0.0);
+    const auto inner_seen = inner.stop();
+    EXPECT_TRUE(inner_seen.test(mon::Condition::kDivByZero));
+  }
+  const auto outer_seen = outer.stop();
+  EXPECT_TRUE(outer_seen.test(mon::Condition::kDivByZero))
+      << "sticky semantics must be re-merged on inner exit";
+}
+
+TEST(Monitor, InnerScopeStartsClean) {
+  mon::ScopedMonitor outer;
+  (void)op_div(1.0, 0.0);
+  {
+    mon::ScopedMonitor inner;
+    const auto inner_seen = inner.stop();
+    EXPECT_FALSE(inner_seen.any())
+        << "outer exceptions must not leak into the inner scope";
+  }
+  EXPECT_TRUE(outer.stop().test(mon::Condition::kDivByZero));
+}
+
+TEST(Monitor, RestoresPreexistingFlags) {
+  std::feclearexcept(FE_ALL_EXCEPT);
+  (void)op_div(1.0, 0.0);  // raise divbyzero before any monitor
+  {
+    mon::ScopedMonitor monitor;
+    (void)monitor.stop();
+  }
+  EXPECT_TRUE(std::fetestexcept(FE_DIVBYZERO))
+      << "the monitor must restore flags that were already pending";
+  std::feclearexcept(FE_ALL_EXCEPT);
+}
+
+TEST(Monitor, PeekWithoutStopping) {
+  mon::ScopedMonitor monitor;
+  (void)op_div(0.0, 0.0);
+  EXPECT_TRUE(monitor.peek().test(mon::Condition::kInvalid));
+  (void)op_div(1.0, 0.0);
+  const auto seen = monitor.stop();
+  EXPECT_TRUE(seen.test(mon::Condition::kInvalid));
+  EXPECT_TRUE(seen.test(mon::Condition::kDivByZero));
+}
+
+TEST(Monitor, StopIsIdempotent) {
+  mon::ScopedMonitor monitor;
+  (void)op_div(0.0, 0.0);
+  const auto first = monitor.stop();
+  (void)op_div(1.0, 0.0);  // after stop: not recorded
+  const auto second = monitor.stop();
+  EXPECT_EQ(first, second);
+  std::feclearexcept(FE_ALL_EXCEPT);
+}
+
+TEST(ConditionSet, MergeAndCount) {
+  mon::ConditionSet a, b;
+  a.set(mon::Condition::kOverflow);
+  b.set(mon::Condition::kInvalid);
+  b.set(mon::Condition::kPrecision);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(mon::Condition::kOverflow));
+  EXPECT_TRUE(a.test(mon::Condition::kInvalid));
+}
+
+TEST(ConditionSet, FromSoftfloatFlags) {
+  sf::Env env;
+  sf::div(sf::from_native(1.0), sf::from_native(0.0), env);
+  sf::div(sf::from_native(0.0), sf::from_native(0.0), env);
+  const auto seen = mon::ConditionSet::from_softfloat_flags(env.flags());
+  EXPECT_TRUE(seen.test(mon::Condition::kDivByZero));
+  EXPECT_TRUE(seen.test(mon::Condition::kInvalid));
+  EXPECT_FALSE(seen.test(mon::Condition::kOverflow));
+}
+
+TEST(ConditionSet, ToStringListsConditions) {
+  mon::ConditionSet set;
+  set.set(mon::Condition::kOverflow);
+  set.set(mon::Condition::kInvalid);
+  EXPECT_EQ(set.to_string(), "Overflow|Invalid");
+}
+
+TEST(Monitor, SuspicionQuizShape) {
+  // The paper's suspicion-quiz scenario: wrap a "simulation", then ask
+  // which of the five conditions occurred one or more times.
+  const auto seen = mon::monitor_region([] {
+    double acc = 1.0;
+    for (int i = 0; i < 400; ++i) acc = op_mul(acc, 10.0);   // -> overflow
+    (void)op_add(acc, -acc);                                  // inf - inf
+  });
+  EXPECT_TRUE(seen.test(mon::Condition::kOverflow));
+  EXPECT_TRUE(seen.test(mon::Condition::kInvalid));
+  EXPECT_TRUE(seen.test(mon::Condition::kPrecision));
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "fpmon/report.hpp"
+
+namespace mon = fpq::mon;
+
+namespace {
+
+TEST(Report, SeverityRankingMatchesPaper) {
+  // §IV-D: Invalid >> Overflow >> the rest.
+  EXPECT_EQ(mon::advised_severity(mon::Condition::kInvalid),
+            mon::Severity::kCritical);
+  EXPECT_EQ(mon::advised_severity(mon::Condition::kOverflow),
+            mon::Severity::kWarning);
+  EXPECT_EQ(mon::advised_severity(mon::Condition::kUnderflow),
+            mon::Severity::kInfo);
+  EXPECT_EQ(mon::advised_severity(mon::Condition::kPrecision),
+            mon::Severity::kInfo);
+  EXPECT_EQ(mon::advised_severity(mon::Condition::kDenorm),
+            mon::Severity::kInfo);
+}
+
+TEST(Report, AdvisedSuspicionLevels) {
+  EXPECT_EQ(mon::advised_suspicion_level(mon::Condition::kInvalid), 5);
+  EXPECT_EQ(mon::advised_suspicion_level(mon::Condition::kOverflow), 4);
+  EXPECT_EQ(mon::advised_suspicion_level(mon::Condition::kUnderflow), 2);
+  EXPECT_EQ(mon::advised_suspicion_level(mon::Condition::kDenorm), 2);
+  EXPECT_EQ(mon::advised_suspicion_level(mon::Condition::kPrecision), 1);
+}
+
+TEST(Report, VerdictCleanRun) {
+  const mon::Verdict v = mon::evaluate(mon::ConditionSet{});
+  EXPECT_TRUE(v.clean);
+  EXPECT_EQ(v.suspicion_level, 1);
+  EXPECT_EQ(v.worst, mon::Severity::kInfo);
+}
+
+TEST(Report, VerdictWorstConditionWins) {
+  mon::ConditionSet set;
+  set.set(mon::Condition::kPrecision);
+  set.set(mon::Condition::kInvalid);
+  const mon::Verdict v = mon::evaluate(set);
+  EXPECT_FALSE(v.clean);
+  EXPECT_EQ(v.worst, mon::Severity::kCritical);
+  EXPECT_EQ(v.suspicion_level, 5);
+}
+
+TEST(Report, VerdictOverflowOnly) {
+  mon::ConditionSet set;
+  set.set(mon::Condition::kOverflow);
+  const mon::Verdict v = mon::evaluate(set);
+  EXPECT_EQ(v.worst, mon::Severity::kWarning);
+  EXPECT_EQ(v.suspicion_level, 4);
+}
+
+TEST(Report, RenderMentionsEveryCondition) {
+  mon::ConditionSet set;
+  set.set(mon::Condition::kInvalid);
+  const std::string out = mon::render_report(set);
+  EXPECT_NE(out.find("Invalid: OCCURRED"), std::string::npos);
+  EXPECT_NE(out.find("Overflow: not observed"), std::string::npos);
+  EXPECT_NE(out.find("CRITICAL"), std::string::npos);
+  EXPECT_NE(out.find("suspicion level 5/5"), std::string::npos);
+}
+
+TEST(Report, RenderCleanVerdict) {
+  const std::string out = mon::render_report(mon::ConditionSet{});
+  EXPECT_NE(out.find("clean run"), std::string::npos);
+}
+
+}  // namespace

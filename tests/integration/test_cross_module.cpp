@@ -1,0 +1,132 @@
+// Cross-module consistency: three independent evaluators — the strict
+// binary64 pipeline (softfloat), the 256-bit shadow (bigfloat), and the
+// interval enclosure (directed softfloat rounding) — must agree on random
+// expression trees: the shadow value lies inside the enclosure, and the
+// binary64 result lies inside (or within one ulp of) the enclosure.
+// A violation in any pair indicts one of the three arithmetic cores.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analyze/shadow.hpp"
+#include "interval/interval.hpp"
+#include "optprobe/emulated_pipeline.hpp"
+#include "stats/prng.hpp"
+
+namespace sh = fpq::shadow;
+namespace iv = fpq::interval;
+namespace st = fpq::stats;
+using E = fpq::opt::Expr;
+
+namespace {
+
+double gen_value(st::Xoshiro256pp& g) {
+  const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+  const std::uint64_t exp = 1023 - 12 + st::uniform_below(g, 24);
+  const std::uint64_t sign = g() & 0x8000000000000000ULL;
+  return std::bit_cast<double>(sign | (exp << 52) | frac);
+}
+
+// Random expression tree of bounded depth. Division is biased toward
+// divisors away from zero so most trees stay finite.
+E gen_expr(st::Xoshiro256pp& g, int depth) {
+  if (depth == 0 || st::uniform_below(g, 4) == 0) {
+    return E::constant(gen_value(g));
+  }
+  switch (st::uniform_below(g, 5)) {
+    case 0:
+      return E::add(gen_expr(g, depth - 1), gen_expr(g, depth - 1));
+    case 1:
+      return E::sub(gen_expr(g, depth - 1), gen_expr(g, depth - 1));
+    case 2:
+      return E::mul(gen_expr(g, depth - 1), gen_expr(g, depth - 1));
+    case 3:
+      return E::div(gen_expr(g, depth - 1),
+                    E::constant(std::fabs(gen_value(g)) + 1.0));
+    default:
+      return E::sqrt(E::mul(gen_expr(g, depth - 1),
+                            gen_expr(g, depth - 1)));  // sqrt(x^2) >= 0
+  }
+}
+
+bool within_one_ulp_of_interval(double x, const iv::Interval& enc) {
+  if (enc.contains(x)) return true;
+  return enc.contains(std::nextafter(x, enc.lo())) ||
+         enc.contains(std::nextafter(x, enc.hi()));
+}
+
+TEST(CrossModule, ShadowValueInsideEnclosure) {
+  st::Xoshiro256pp g(0xC505);
+  int checked = 0;
+  for (int i = 0; i < 1500; ++i) {
+    const E expr = gen_expr(g, 4);
+    const auto enclosure = iv::evaluate(expr);
+    if (enclosure.is_invalid()) continue;
+    sh::Config cfg;
+    cfg.precision = 256;
+    const auto shadow = sh::analyze(expr, cfg);
+    if (shadow.shadow_is_exceptional) continue;
+    if (std::isinf(enclosure.width())) continue;  // unbounded: trivially true
+    ++checked;
+    ASSERT_TRUE(within_one_ulp_of_interval(shadow.shadow_result, enclosure))
+        << expr.to_string() << "\n shadow " << shadow.shadow_result
+        << " enclosure " << enclosure.to_string();
+  }
+  EXPECT_GT(checked, 500) << "most random trees must be checkable";
+}
+
+TEST(CrossModule, Binary64ResultInsideEnclosure) {
+  st::Xoshiro256pp g(0xC506);
+  int checked = 0;
+  for (int i = 0; i < 1500; ++i) {
+    const E expr = gen_expr(g, 4);
+    const auto report = iv::certify(expr);
+    if (report.enclosure.is_invalid()) continue;
+    if (std::isnan(report.double_result)) continue;
+    ++checked;
+    ASSERT_FALSE(report.double_escapes)
+        << expr.to_string() << "\n double " << report.double_result
+        << " enclosure " << report.enclosure.to_string();
+  }
+  EXPECT_GT(checked, 500);
+}
+
+TEST(CrossModule, ThreeWayAgreementOnCleanExpressions) {
+  // On expressions the analyzers both call clean, the three results agree
+  // to near machine precision.
+  st::Xoshiro256pp g(0xC507);
+  int agreements = 0;
+  for (int i = 0; i < 800; ++i) {
+    const E expr = gen_expr(g, 3);
+    const auto report = iv::certify(expr);
+    const auto shadow = sh::analyze(expr);
+    if (report.enclosure.is_invalid() || shadow.suspicious() ||
+        report.enclosure_is_wide || std::isnan(report.double_result) ||
+        std::isinf(report.double_result)) {
+      continue;
+    }
+    ++agreements;
+    if (report.double_result != 0.0) {
+      EXPECT_LT(std::fabs(report.double_result - shadow.shadow_result) /
+                    std::fabs(report.double_result),
+                1e-9)
+          << expr.to_string();
+    }
+  }
+  EXPECT_GT(agreements, 200);
+}
+
+TEST(CrossModule, WideEnclosureAndShadowFindingsCoincideOnCancellation) {
+  // The two analyses flag the same classic pathology.
+  const auto a = E::constant(1e16);
+  const auto expr = E::sub(E::add(a, E::constant(1.0)), a);
+  const auto cert = iv::certify(expr);
+  const auto shadow = sh::analyze(expr);
+  EXPECT_TRUE(cert.enclosure_is_wide);
+  EXPECT_TRUE(shadow.suspicious());
+  // And the enclosure contains the shadow's (correct) answer 1.0.
+  EXPECT_TRUE(cert.enclosure.contains(shadow.shadow_result));
+}
+
+}  // namespace

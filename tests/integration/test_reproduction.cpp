@@ -1,0 +1,193 @@
+// The reproduction claims, as tests: a synthetic 199-respondent cohort
+// analyzed by the pipeline reproduces the paper's published results within
+// sampling tolerance — means, per-question rates, factor trends, and
+// suspicion distributions. These are the same comparisons the bench
+// harness prints; here they gate the build.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "respondent/population.hpp"
+#include "survey/analysis.hpp"
+#include "survey/factor_analysis.hpp"
+#include "survey/suspicion_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+// A fixed seed; tolerances are set for n = 199 binomial noise
+// (sigma ~ 0.25 score points for the mean, ~3.5% for per-question rates).
+const std::vector<sv::SurveyRecord>& cohort() {
+  static const auto c = fpq::respondent::generate_main_cohort(0x1908, 199);
+  return c;
+}
+
+TEST(Reproduction, Figure12CoreAverages) {
+  const auto avg = sv::average_core(cohort(), quiz::standard_core_truths());
+  const auto paper = pd::core_quiz_averages();
+  EXPECT_NEAR(avg.correct, paper.correct, 0.6);
+  EXPECT_NEAR(avg.incorrect, paper.incorrect, 0.6);
+  EXPECT_NEAR(avg.dont_know, paper.dont_know, 0.6);
+  EXPECT_NEAR(avg.unanswered, paper.unanswered, 0.3);
+  // The headline: barely above chance.
+  EXPECT_GT(avg.correct, paper.chance);
+  EXPECT_LT(avg.correct, paper.chance + 2.0);
+}
+
+TEST(Reproduction, Figure12OptAverages) {
+  const auto avg = sv::average_opt_tf(cohort(), quiz::standard_opt_truths());
+  const auto paper = pd::opt_quiz_averages();
+  EXPECT_NEAR(avg.correct, paper.correct, 0.25);
+  EXPECT_NEAR(avg.dont_know, paper.dont_know, 0.35);
+  // The reassuring result: developers know they don't know — DK dominates
+  // and the correct count sits far below even chance.
+  EXPECT_GT(avg.dont_know, 1.5);
+  EXPECT_LT(avg.correct, paper.chance);
+}
+
+TEST(Reproduction, Figure13HistogramShape) {
+  const auto hist =
+      sv::core_score_histogram(cohort(), quiz::standard_core_truths());
+  EXPECT_NEAR(hist.mean(), pd::kCoreScoreMean, 0.6);
+  // Unimodal-ish bulk: most mass within [4, 13].
+  std::size_t bulk = 0;
+  for (int s = 4; s <= 13; ++s) bulk += hist.count(s);
+  EXPECT_GT(static_cast<double>(bulk) / hist.total(), 0.85);
+}
+
+TEST(Reproduction, Figure14PerQuestionRates) {
+  const auto rows =
+      sv::core_question_breakdown(cohort(), quiz::standard_core_truths());
+  const auto paper = pd::core_breakdown();
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    EXPECT_NEAR(rows[q].pct_correct, paper[q].pct_correct, 11.0)
+        << paper[q].label;
+    EXPECT_NEAR(rows[q].pct_dont_know, paper[q].pct_dont_know, 11.0)
+        << paper[q].label;
+  }
+}
+
+TEST(Reproduction, Figure14MajorityWrongQuestionsStayWrong) {
+  // Identity and Divide by Zero must be answered incorrectly by most of
+  // the cohort — the paper's most alarming rows.
+  const auto rows =
+      sv::core_question_breakdown(cohort(), quiz::standard_core_truths());
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    if (pd::core_breakdown()[q].majority_wrong) {
+      EXPECT_GT(rows[q].pct_incorrect, 50.0) << rows[q].label;
+      EXPECT_LT(rows[q].pct_correct, 30.0) << rows[q].label;
+    }
+  }
+}
+
+TEST(Reproduction, Figure15DontKnowDominates) {
+  const auto rows =
+      sv::opt_question_breakdown(cohort(), quiz::standard_opt_truths());
+  const auto paper = pd::opt_breakdown();
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    EXPECT_GT(rows[q].pct_dont_know, 50.0) << rows[q].label;
+    EXPECT_NEAR(rows[q].pct_correct, paper[q].pct_correct, 9.0)
+        << rows[q].label;
+  }
+}
+
+TEST(Reproduction, Figure16SizeTrendMonotoneAndSpread) {
+  const auto levels = sv::by_contributed_size(
+      cohort(), quiz::standard_core_truths(), quiz::standard_opt_truths());
+  const auto targets = pd::contributed_size_effect();
+  // Compare populated levels against targets; small bins get loose bounds.
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].n < 5) continue;
+    const double tol = levels[i].n >= 25 ? 1.0 : 2.0;
+    EXPECT_NEAR(levels[i].core.correct, targets[i].core_correct, tol)
+        << targets[i].label << " (n=" << levels[i].n << ")";
+  }
+  // The paper's qualitative claim: bigger codebases, better scores
+  // (checked on the well-populated middle bins).
+  EXPECT_LT(levels[0].core.correct, levels[2].core.correct + 0.5);
+  EXPECT_GT(sv::core_correct_spread(levels), 1.5);
+}
+
+TEST(Reproduction, Figure17AreaEffects) {
+  const auto levels = sv::by_area_group(
+      cohort(), quiz::standard_core_truths(), quiz::standard_opt_truths());
+  const auto targets = pd::area_effect();
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i].n < 15) continue;  // tiny groups are pure noise at n=199
+    EXPECT_NEAR(levels[i].core.correct, targets[i].core_correct, 1.2)
+        << targets[i].label;
+  }
+  // PhysSci (well populated) sits at chance.
+  EXPECT_NEAR(levels[4].core.correct, 7.5, 1.2);
+}
+
+TEST(Reproduction, Figure19TrainingEffectIsSmall) {
+  const auto levels = sv::by_formal_training(
+      cohort(), quiz::standard_core_truths(), quiz::standard_opt_truths());
+  EXPECT_LT(sv::core_correct_spread(levels), 3.5)
+      << "formal training is NOT a strong factor";
+  // ... but it is monotone in expectation: courses beat none.
+  EXPECT_GT(levels[3].core.correct, levels[0].core.correct - 0.5);
+}
+
+TEST(Reproduction, Figures20And21OptEffects) {
+  const auto by_role = sv::by_role(cohort(), quiz::standard_core_truths(),
+                                   quiz::standard_opt_truths());
+  // Primary software engineers do best on the optimization quiz.
+  EXPECT_GT(by_role[0].opt.correct, by_role[2].opt.correct);
+  const auto by_area = sv::by_area_group(
+      cohort(), quiz::standard_core_truths(), quiz::standard_opt_truths());
+  // CS (well populated) above PhysSci.
+  EXPECT_GT(by_area[2].opt.correct, by_area[4].opt.correct);
+}
+
+TEST(Reproduction, Figure22SuspicionBothCohorts) {
+  const auto main_dists = sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(cohort()));
+  const auto students_records =
+      fpq::respondent::generate_student_cohort(0x1908, 52);
+  const auto student_dists = sv::suspicion_distributions(
+      std::span<const sv::StudentRecord>(students_records));
+
+  const auto main_summary = sv::summarize_suspicion(main_dists);
+  const auto student_summary = sv::summarize_suspicion(student_dists);
+
+  EXPECT_TRUE(main_summary.expert_ordering_holds);
+  // ~1/3 below max suspicion for Invalid in both cohorts.
+  EXPECT_NEAR(main_summary.invalid_below_max, 1.0 / 3.0, 0.12);
+  EXPECT_NEAR(student_summary.invalid_below_max, 1.0 / 3.0, 0.17);
+  // Students less suspicious of Underflow and Denorm.
+  const auto uf = static_cast<std::size_t>(quiz::SuspicionItemId::kUnderflow);
+  const auto dn = static_cast<std::size_t>(quiz::SuspicionItemId::kDenorm);
+  EXPECT_LT(student_summary.mean_level[uf], main_summary.mean_level[uf] + 0.15);
+  EXPECT_LT(student_summary.mean_level[dn], main_summary.mean_level[dn] + 0.15);
+}
+
+TEST(Reproduction, BackgroundTablesWithinSamplingNoise) {
+  // Figure 1-11 shapes: compare the generated cohort's frequency tables
+  // against the published ones with a chi-square test.
+  const auto rows = sv::frequency_table(
+      cohort(), pd::formal_training(),
+      [](const sv::SurveyRecord& r) { return r.background.formal_training; });
+  double total = 0.0;
+  for (const auto& row : pd::formal_training()) {
+    total += static_cast<double>(row.n);
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double expected = static_cast<double>(pd::formal_training()[i].n) /
+                            total * static_cast<double>(cohort().size());
+    if (expected < 1.0) continue;
+    const double diff = static_cast<double>(rows[i].n) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 20.0) << "gross mismatch against Figure 3";
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Seed stability: the reproduction must not hinge on a lucky seed. Five
+// independent cohorts all land on the paper's headline quantities.
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "respondent/population.hpp"
+#include "survey/analysis.hpp"
+#include "survey/suspicion_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+class SeedStability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedStability, Figure12HoldsForEverySeed) {
+  const auto cohort =
+      fpq::respondent::generate_main_cohort(GetParam(), 199);
+  const auto avg = sv::average_core(cohort, quiz::standard_core_truths());
+  EXPECT_NEAR(avg.correct, 8.5, 0.7) << "seed " << GetParam();
+  EXPECT_GT(avg.correct, 7.5) << "always above chance";
+  const auto opt = sv::average_opt_tf(cohort, quiz::standard_opt_truths());
+  EXPECT_GT(opt.dont_know, 1.5) << "DK always dominates the opt quiz";
+  EXPECT_LT(opt.correct, 1.5) << "opt correct always below chance";
+}
+
+TEST_P(SeedStability, MajorityWrongRowsHoldForEverySeed) {
+  const auto cohort =
+      fpq::respondent::generate_main_cohort(GetParam(), 199);
+  const auto rows =
+      sv::core_question_breakdown(cohort, quiz::standard_core_truths());
+  const auto identity =
+      static_cast<std::size_t>(quiz::CoreQuestionId::kIdentity);
+  const auto div_zero =
+      static_cast<std::size_t>(quiz::CoreQuestionId::kDivideByZero);
+  EXPECT_GT(rows[identity].pct_incorrect, 60.0) << "seed " << GetParam();
+  EXPECT_GT(rows[div_zero].pct_incorrect, 60.0) << "seed " << GetParam();
+}
+
+TEST_P(SeedStability, SuspicionOrderingHoldsForEverySeed) {
+  const auto cohort =
+      fpq::respondent::generate_main_cohort(GetParam(), 199);
+  const auto summary = sv::summarize_suspicion(sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(cohort)));
+  EXPECT_TRUE(summary.expert_ordering_holds) << "seed " << GetParam();
+  EXPECT_NEAR(summary.invalid_below_max, 1.0 / 3.0, 0.15)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveSeeds, SeedStability,
+                         ::testing::Values(1ULL, 7ULL, 1234ULL,
+                                           0xDEADBEEFULL, 20180521ULL));
+
+}  // namespace

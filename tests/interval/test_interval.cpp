@@ -1,0 +1,170 @@
+// Interval arithmetic: the fundamental containment property (the exact
+// real result always lies inside the enclosure), endpoint rounding
+// direction, and the certify() verdicts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bigfloat/bigfloat.hpp"
+#include "interval/interval.hpp"
+#include "stats/prng.hpp"
+
+namespace iv = fpq::interval;
+namespace bf = fpq::bigfloat;
+namespace st = fpq::stats;
+using E = fpq::opt::Expr;
+
+namespace {
+
+TEST(Interval, PointAndBounds) {
+  const auto p = iv::Interval::point(1.5);
+  EXPECT_EQ(p.lo(), 1.5);
+  EXPECT_EQ(p.hi(), 1.5);
+  EXPECT_EQ(p.width(), 0.0);
+  EXPECT_TRUE(p.contains(1.5));
+  EXPECT_FALSE(p.contains(1.6));
+  EXPECT_TRUE(iv::Interval::point(std::nan("")).is_invalid());
+  const auto b = iv::Interval::bounds(-1.0, 2.0);
+  EXPECT_TRUE(b.contains(0.0));
+  EXPECT_FALSE(b.contains(3.0));
+}
+
+TEST(Interval, AdditionRoundsOutward) {
+  // 0.1 + 0.2 is not representable: the enclosure must strictly contain
+  // the double result with lo < hi.
+  const auto r = iv::Interval::add(iv::Interval::point(0.1),
+                                   iv::Interval::point(0.2));
+  EXPECT_LT(r.lo(), r.hi());
+  EXPECT_TRUE(r.contains(0.1 + 0.2));
+  EXPECT_LE(r.width(), 2e-16);
+}
+
+TEST(Interval, ExactOperationsStayDegenerate) {
+  const auto r = iv::Interval::add(iv::Interval::point(1.5),
+                                   iv::Interval::point(2.25));
+  EXPECT_EQ(r.lo(), 3.75);
+  EXPECT_EQ(r.hi(), 3.75);
+}
+
+TEST(Interval, MulSignCases) {
+  const auto pos = iv::Interval::bounds(2.0, 3.0);
+  const auto neg = iv::Interval::bounds(-3.0, -2.0);
+  const auto mixed = iv::Interval::bounds(-1.0, 2.0);
+  EXPECT_EQ(iv::Interval::mul(pos, pos).lo(), 4.0);
+  EXPECT_EQ(iv::Interval::mul(pos, pos).hi(), 9.0);
+  EXPECT_EQ(iv::Interval::mul(pos, neg).lo(), -9.0);
+  EXPECT_EQ(iv::Interval::mul(pos, neg).hi(), -4.0);
+  EXPECT_EQ(iv::Interval::mul(mixed, pos).lo(), -3.0);
+  EXPECT_EQ(iv::Interval::mul(mixed, pos).hi(), 6.0);
+  EXPECT_EQ(iv::Interval::mul(mixed, mixed).lo(), -2.0);
+  EXPECT_EQ(iv::Interval::mul(mixed, mixed).hi(), 4.0);
+}
+
+TEST(Interval, DivisionByZeroContainingInterval) {
+  const auto one = iv::Interval::point(1.0);
+  const auto through_zero = iv::Interval::bounds(-1.0, 1.0);
+  const auto r = iv::Interval::div(one, through_zero);
+  EXPECT_EQ(r.lo(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.hi(), std::numeric_limits<double>::infinity());
+  // [0,0]/[0,0] -> invalid; [1,1]/[0,0] -> unbounded (whole() is a sound
+  // enclosure for a division that cannot produce any finite value).
+  EXPECT_TRUE(iv::Interval::div(iv::Interval::point(0.0),
+                                iv::Interval::point(0.0))
+                  .is_invalid());
+  EXPECT_TRUE(std::isinf(
+      iv::Interval::div(one, iv::Interval::point(0.0)).width()));
+}
+
+TEST(Interval, SqrtClipsAndRejects) {
+  const auto r = iv::Interval::sqrt(iv::Interval::bounds(-1.0, 4.0));
+  EXPECT_EQ(r.lo(), 0.0);
+  EXPECT_EQ(r.hi(), 2.0);
+  EXPECT_TRUE(
+      iv::Interval::sqrt(iv::Interval::bounds(-4.0, -1.0)).is_invalid());
+}
+
+TEST(Interval, ContainmentPropertyRandomized) {
+  // The fundamental theorem: for random expressions over random doubles,
+  // the exact value (computed with 512-bit BigFloat) lies inside the
+  // evaluated enclosure.
+  st::Xoshiro256pp g(0x17E2);
+  const bf::Context wide{512, fpq::softfloat::Rounding::kNearestEven};
+  for (int i = 0; i < 4000; ++i) {
+    auto gen = [&g] {
+      const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+      const std::uint64_t exp = 1023 - 20 + st::uniform_below(g, 40);
+      const std::uint64_t sign = g() & 0x8000000000000000ULL;
+      return std::bit_cast<double>(sign | (exp << 52) | frac);
+    };
+    const double a = gen(), b = gen(), c = gen(), d = gen();
+    // ((a + b) * c) - (a / d)
+    const auto expr = E::sub(
+        E::mul(E::add(E::constant(a), E::constant(b)), E::constant(c)),
+        E::div(E::constant(a), E::constant(d)));
+    const auto enclosure = iv::evaluate(expr);
+    ASSERT_FALSE(enclosure.is_invalid());
+    // Exact value via BigFloat.
+    const auto exact = bf::BigFloat::sub(
+        bf::BigFloat::mul(
+            bf::BigFloat::add(bf::BigFloat::from_double(a),
+                              bf::BigFloat::from_double(b), wide),
+            bf::BigFloat::from_double(c), wide),
+        bf::BigFloat::div(bf::BigFloat::from_double(a),
+                          bf::BigFloat::from_double(d), wide),
+        wide);
+    const double exact_d = exact.to_double();
+    // to_double rounds, so test with one-ulp slack via containment of the
+    // rounded value or its neighbours.
+    const bool contained = enclosure.contains(exact_d) ||
+                           enclosure.contains(std::nextafter(
+                               exact_d, enclosure.lo())) ||
+                           enclosure.contains(std::nextafter(
+                               exact_d, enclosure.hi()));
+    ASSERT_TRUE(contained)
+        << "a=" << a << " b=" << b << " c=" << c << " d=" << d << " exact "
+        << exact_d << " enclosure " << enclosure.to_string();
+  }
+}
+
+TEST(Interval, CertifyCleanExpression) {
+  const auto report = iv::certify(
+      E::add(E::mul(E::constant(3.0), E::constant(4.0)), E::constant(5.0)));
+  EXPECT_EQ(report.double_result, 17.0);
+  EXPECT_FALSE(report.enclosure_is_wide);
+  EXPECT_FALSE(report.double_escapes);
+  EXPECT_TRUE(report.enclosure.contains(17.0));
+}
+
+TEST(Interval, CertifyFlagsCancellationAsWideEnclosure) {
+  // (1e16 + 1) - 1e16: the enclosure is [0, 2] — relative width 1 —
+  // because the inner rounding genuinely destroys the information.
+  const auto a = E::constant(1e16);
+  const auto report =
+      iv::certify(E::sub(E::add(a, E::constant(1.0)), a));
+  EXPECT_TRUE(report.enclosure_is_wide)
+      << report.enclosure.to_string();
+  EXPECT_TRUE(report.enclosure.contains(1.0)) << "true value enclosed";
+  EXPECT_TRUE(report.enclosure.contains(report.double_result));
+}
+
+TEST(Interval, CertifyQuietOnBenignRounding) {
+  const auto report =
+      iv::certify(E::div(E::constant(1.0), E::constant(3.0)));
+  EXPECT_FALSE(report.enclosure_is_wide);
+  EXPECT_LT(report.relative_width, 1e-15);
+}
+
+TEST(Interval, RelativeWidthOfUnboundedIsInfinite) {
+  const auto r = iv::Interval::div(iv::Interval::point(1.0),
+                                   iv::Interval::bounds(-1.0, 1.0));
+  EXPECT_TRUE(std::isinf(r.relative_width()));
+}
+
+TEST(Interval, ToStringRenders) {
+  EXPECT_EQ(iv::Interval::invalid().to_string(), "[invalid]");
+  EXPECT_NE(iv::Interval::point(1.5).to_string().find("1.5"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// The emulated optimization pipeline: contraction, reassociation, and
+// flush modes change results in exactly the documented ways.
+
+#include <gtest/gtest.h>
+
+#include "optprobe/emulated_pipeline.hpp"
+
+namespace opt = fpq::opt;
+namespace sf = fpq::softfloat;
+
+namespace {
+
+TEST(Pipeline, ConstantEvaluates) {
+  const auto r = opt::evaluate(opt::Expr::constant(2.5),
+                               opt::PipelineConfig::ieee_strict());
+  EXPECT_EQ(sf::to_native(r.value), 2.5);
+  EXPECT_EQ(r.flags, 0u);
+}
+
+TEST(Pipeline, BasicArithmetic) {
+  const auto e = opt::Expr::add(
+      opt::Expr::mul(opt::Expr::constant(3.0), opt::Expr::constant(4.0)),
+      opt::Expr::constant(5.0));
+  const auto r = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  EXPECT_EQ(sf::to_native(r.value), 17.0);
+}
+
+TEST(Pipeline, SqrtAndDiv) {
+  const auto e = opt::Expr::div(
+      opt::Expr::sqrt(opt::Expr::constant(9.0)), opt::Expr::constant(2.0));
+  const auto r = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  EXPECT_EQ(sf::to_native(r.value), 1.5);
+}
+
+TEST(Pipeline, FlagsPropagate) {
+  const auto e =
+      opt::Expr::div(opt::Expr::constant(1.0), opt::Expr::constant(0.0));
+  const auto r = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  EXPECT_TRUE(r.value.is_infinity());
+  EXPECT_TRUE((r.flags & sf::kFlagDivByZero) != 0);
+}
+
+TEST(Pipeline, ContractionChangesTheDemoExpression) {
+  const auto d = opt::diverge(opt::demo_contraction_sensitive(),
+                              opt::PipelineConfig::o3_like());
+  EXPECT_TRUE(d.value_differs)
+      << "strict: " << sf::describe(d.baseline.value)
+      << " contracted: " << sf::describe(d.optimized.value);
+  EXPECT_TRUE(d.baseline.value.is_zero())
+      << "uncontracted x*x - round(x*x) is exactly zero";
+  EXPECT_FALSE(d.optimized.value.is_zero())
+      << "contracted form exposes the multiply's rounding error";
+}
+
+TEST(Pipeline, ContractionLeavesPlainExpressionsAlone) {
+  const auto e =
+      opt::Expr::add(opt::Expr::constant(1.5), opt::Expr::constant(2.5));
+  const auto d = opt::diverge(e, opt::PipelineConfig::o3_like());
+  EXPECT_FALSE(d.value_differs);
+}
+
+TEST(Pipeline, ExplicitFmaIsIdenticalUnderAllConfigs) {
+  const auto x = opt::Expr::constant(1.0 + 0x1.0p-30);
+  const auto e = opt::Expr::fma(x, x, opt::Expr::constant(-1.0));
+  const auto d = opt::diverge(e, opt::PipelineConfig::o3_like());
+  EXPECT_FALSE(d.value_differs)
+      << "an explicit fma is already fused; contraction changes nothing";
+}
+
+TEST(Pipeline, ReassociationChangesLongSums) {
+  const auto d = opt::diverge(opt::demo_reassociation_sensitive(),
+                              opt::PipelineConfig::fast_math_like());
+  EXPECT_TRUE(d.value_differs);
+  // Left-to-right: the +1s all round away against 1e16.
+  EXPECT_EQ(sf::to_native(d.baseline.value), 1e16);
+  // Pairwise: the +1s combine with each other first and survive.
+  EXPECT_GT(sf::to_native(d.optimized.value), 1e16);
+}
+
+TEST(Pipeline, FtzChangesSubnormalFlow) {
+  opt::PipelineConfig ftz;
+  ftz.flush_to_zero = true;
+  const auto d = opt::diverge(opt::demo_flush_sensitive(), ftz);
+  EXPECT_TRUE(d.value_differs);
+  EXPECT_FALSE(d.baseline.value.is_zero())
+      << "gradual underflow preserves min_normal/2 * 2";
+  EXPECT_TRUE(d.optimized.value.is_zero()) << "FTZ kills the intermediate";
+  EXPECT_TRUE((d.optimized.flags & sf::kFlagUnderflow) != 0);
+}
+
+TEST(Pipeline, RoundingModeIsConfigurable) {
+  // 1/3's tail begins with a 0 bit, so nearest-even equals truncation
+  // here; round-up is the mode guaranteed to land one ulp higher.
+  opt::PipelineConfig ru;
+  ru.rounding = sf::Rounding::kUp;
+  const auto e =
+      opt::Expr::div(opt::Expr::constant(1.0), opt::Expr::constant(3.0));
+  const auto strict = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  const auto up = opt::evaluate(e, ru);
+  EXPECT_NE(strict.value.bits, up.value.bits);
+}
+
+TEST(Pipeline, ToStringRendersTree) {
+  const auto e = opt::Expr::add(
+      opt::Expr::mul(opt::Expr::constant(2.0), opt::Expr::constant(3.0)),
+      opt::Expr::constant(1.0));
+  EXPECT_EQ(e.to_string(), "((2 * 3) + 1)");
+  EXPECT_EQ(opt::Expr::sqrt(opt::Expr::constant(2.0)).to_string(),
+            "sqrt(2)");
+}
+
+TEST(Pipeline, SumBuildsLeftToRightChain) {
+  const auto e = opt::Expr::sum({1.0, 2.0, 3.0});
+  EXPECT_EQ(e.to_string(), "((1 + 2) + 3)");
+  const auto r = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  EXPECT_EQ(sf::to_native(r.value), 6.0);
+}
+
+TEST(Pipeline, ReassociationPreservesExactSums) {
+  // When everything is exactly representable, reassociation is harmless —
+  // the quiz's point is that you cannot know that in general.
+  const auto e = opt::Expr::sum({1.0, 2.0, 4.0, 8.0, 16.0});
+  const auto d = opt::diverge(e, opt::PipelineConfig::fast_math_like());
+  EXPECT_FALSE(d.value_differs);
+  EXPECT_EQ(sf::to_native(d.optimized.value), 31.0);
+}
+
+TEST(Pipeline, SubContractionUsesNegatedAddend) {
+  // mul(a,b) - c must contract to fma(a, b, -c) and stay correct.
+  const auto a = opt::Expr::constant(3.0);
+  const auto e = opt::Expr::sub(opt::Expr::mul(a, a), opt::Expr::constant(1.0));
+  const auto strict = opt::evaluate(e, opt::PipelineConfig::ieee_strict());
+  const auto contracted = opt::evaluate(e, opt::PipelineConfig::o3_like());
+  EXPECT_EQ(sf::to_native(strict.value), 8.0);
+  EXPECT_EQ(sf::to_native(contracted.value), 8.0);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// The flag audit is the optimization quiz's answer key as data; these
+// tests pin the classifications the paper's questions rely on.
+
+#include <gtest/gtest.h>
+
+#include "optprobe/flag_audit.hpp"
+
+namespace opt = fpq::opt;
+
+namespace {
+
+TEST(FlagAudit, HighestCompliantLevelIsO2) {
+  // Optimization quiz "Standard-compliant Level".
+  EXPECT_EQ(opt::highest_compliant_opt_level(), "-O2");
+  EXPECT_EQ(opt::find_flag("-O2")->compliance, opt::Compliance::kCompliant);
+  EXPECT_NE(opt::find_flag("-O3")->compliance, opt::Compliance::kCompliant);
+}
+
+TEST(FlagAudit, FastMathIsNonCompliant) {
+  // Optimization quiz "Fast-math".
+  const auto info = opt::find_flag("-ffast-math");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->compliance, opt::Compliance::kNonCompliant);
+  EXPECT_TRUE(opt::can_change_results("-ffast-math"));
+}
+
+TEST(FlagAudit, MaddIsIeee2008ButChangesResults) {
+  // Optimization quiz "MADD": part of the newer standard, not the original,
+  // and it can compute different results than separate mul + add.
+  const auto info = opt::find_flag("MADD");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->compliance, opt::Compliance::kMayDiverge);
+  EXPECT_NE(info->explanation.find("754-2008"), std::string_view::npos);
+  EXPECT_NE(info->explanation.find("754-1985"), std::string_view::npos);
+}
+
+TEST(FlagAudit, FtzDazAreNonStandardHardwareModes) {
+  // Optimization quiz "Flush to Zero".
+  for (const char* name : {"FTZ", "DAZ"}) {
+    const auto info = opt::find_flag(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_EQ(info->compliance, opt::Compliance::kNonCompliant) << name;
+    EXPECT_EQ(info->kind, "hardware") << name;
+  }
+}
+
+TEST(FlagAudit, LowOptLevelsCompliant) {
+  for (const char* name : {"-O0", "-O1", "-O2", "-ffp-contract=off"}) {
+    EXPECT_FALSE(opt::can_change_results(name)) << name;
+  }
+}
+
+TEST(FlagAudit, UnsafeFamilyNonCompliant) {
+  for (const char* name :
+       {"-Ofast", "-funsafe-math-optimizations", "-fassociative-math",
+        "-ffinite-math-only"}) {
+    const auto info = opt::find_flag(name);
+    ASSERT_TRUE(info.has_value()) << name;
+    EXPECT_EQ(info->compliance, opt::Compliance::kNonCompliant) << name;
+  }
+}
+
+TEST(FlagAudit, UnknownFlagNotFound) {
+  EXPECT_FALSE(opt::find_flag("-fmade-up").has_value());
+  EXPECT_FALSE(opt::can_change_results("-fmade-up"));
+}
+
+TEST(FlagAudit, RenderListsEverything) {
+  const std::string out = opt::render_audit();
+  for (const auto& f : opt::audited_flags()) {
+    EXPECT_NE(out.find(std::string(f.name)), std::string::npos)
+        << f.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "fpmon/hardware.hpp"
+#include "optprobe/mxcsr.hpp"
+
+namespace mon = fpq::mon;
+namespace opt = fpq::opt;
+
+namespace {
+
+TEST(Mxcsr, ScopedFlushModeRestores) {
+  if (!mon::mxcsr_supported()) GTEST_SKIP() << "no MXCSR";
+  const std::uint32_t before = mon::read_mxcsr();
+  {
+    mon::ScopedFlushMode guard(true, true);
+    ASSERT_TRUE(guard.active());
+    EXPECT_TRUE(mon::flush_to_zero_enabled());
+    EXPECT_TRUE(mon::denormals_are_zero_enabled());
+  }
+  EXPECT_EQ(mon::read_mxcsr(), before);
+}
+
+TEST(Mxcsr, ScopedFlushModeCanDisable) {
+  if (!mon::mxcsr_supported()) GTEST_SKIP() << "no MXCSR";
+  mon::ScopedFlushMode outer(true, false);
+  {
+    mon::ScopedFlushMode inner(false, false);
+    EXPECT_FALSE(mon::flush_to_zero_enabled());
+  }
+  EXPECT_TRUE(mon::flush_to_zero_enabled());
+}
+
+TEST(Mxcsr, FlushProbeDemonstratesBothModes) {
+  const opt::FlushProbeResult r = opt::probe_flush_modes();
+  if (!r.mxcsr_available) GTEST_SKIP() << "no MXCSR";
+  EXPECT_TRUE(r.ieee_gradual_underflow)
+      << "IEEE mode must preserve subnormals";
+  EXPECT_TRUE(r.ftz_flushes_results) << "FTZ must flush tiny results";
+  EXPECT_TRUE(r.daz_zeroes_operands) << "DAZ must zero subnormal operands";
+}
+
+TEST(Mxcsr, ProbeReportsEntryModes) {
+  if (!mon::mxcsr_supported()) GTEST_SKIP() << "no MXCSR";
+  // The library itself never leaves flush modes on.
+  const opt::FlushProbeResult r = opt::probe_flush_modes();
+  EXPECT_FALSE(r.ftz_default_on);
+  EXPECT_FALSE(r.daz_default_on);
+}
+
+TEST(Mxcsr, DescribeRendersOutcome) {
+  const opt::FlushProbeResult r = opt::probe_flush_modes();
+  const std::string out = opt::describe(r);
+  if (r.mxcsr_available) {
+    EXPECT_NE(out.find("FTZ"), std::string::npos);
+    EXPECT_NE(out.find("DAZ"), std::string::npos);
+  } else {
+    EXPECT_NE(out.find("not available"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Build-semantics probes. This TU is compiled with the repo's strict
+// flags, so the "here" probes must agree with the library baseline.
+
+#include <gtest/gtest.h>
+
+#include "optprobe/probes.hpp"
+
+namespace opt = fpq::opt;
+
+namespace {
+
+TEST(Probes, StrictTuReportsCompliant) {
+  const opt::SemanticsReport r = opt::probe_semantics_here();
+  EXPECT_FALSE(r.facts.fast_math);
+  EXPECT_FALSE(r.contracts_fma)
+      << "this TU is built with -ffp-contract=off";
+  EXPECT_TRUE(r.nan_semantics_ok);
+  EXPECT_TRUE(r.signed_zero_ok);
+  EXPECT_TRUE(r.appears_standard_compliant);
+}
+
+TEST(Probes, BaselineMatchesStrictTu) {
+  const opt::SemanticsReport baseline = opt::probe_semantics_baseline();
+  const opt::SemanticsReport here = opt::probe_semantics_here();
+  EXPECT_EQ(baseline.contracts_fma, here.contracts_fma);
+  EXPECT_EQ(baseline.appears_standard_compliant,
+            here.appears_standard_compliant);
+}
+
+TEST(Probes, NanProbeDetectsRealNanSemantics) {
+  EXPECT_TRUE(opt::nan_compares_unequal_here());
+}
+
+TEST(Probes, SignedZeroProbe) {
+  EXPECT_TRUE(opt::signed_zero_preserved_here());
+}
+
+TEST(Probes, BuildFactsConsistent) {
+  const opt::BuildFacts f = opt::build_facts();
+  EXPECT_FALSE(f.fast_math);
+  EXPECT_FALSE(f.finite_math_only);
+  // x86-64 SSE arithmetic evaluates in-type.
+  EXPECT_EQ(f.flt_eval_method, 0);
+}
+
+TEST(Probes, DescribeRendersVerdict) {
+  const std::string out = opt::describe(opt::probe_semantics_baseline());
+  EXPECT_NE(out.find("verdict"), std::string::npos);
+  EXPECT_NE(out.find("standard-compliant"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Internal consistency of the transcribed paper data: counts sum to the
+// cohort size, percents match counts, and the prose anchors hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "paperdata/paperdata.hpp"
+
+namespace pd = fpq::paperdata;
+
+namespace {
+
+double weighted_core_mean(std::span<const pd::FactorLevelTarget> levels) {
+  double num = 0.0, den = 0.0;
+  for (const auto& l : levels) {
+    num += static_cast<double>(l.n) * l.core_correct;
+    den += static_cast<double>(l.n);
+  }
+  return num / den;
+}
+
+double weighted_opt_mean(std::span<const pd::FactorLevelTarget> levels) {
+  double num = 0.0, den = 0.0;
+  for (const auto& l : levels) {
+    num += static_cast<double>(l.n) * l.opt_correct;
+    den += static_cast<double>(l.n);
+  }
+  return num / den;
+}
+
+std::size_t total_n(std::span<const pd::CategoryCount> rows) {
+  std::size_t n = 0;
+  for (const auto& r : rows) n += r.n;
+  return n;
+}
+
+TEST(PaperData, SingleSelectTablesSumTo199) {
+  // Figure 1 as printed sums to 200, not 199 — an inconsistency in the
+  // paper itself (the percents are 199-consistent). We transcribe it
+  // verbatim and pin the published total here.
+  EXPECT_EQ(total_n(pd::positions()), 200u);
+  EXPECT_EQ(total_n(pd::areas()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::formal_training()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::dev_roles()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::contributed_codebase_sizes()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::contributed_fp_extent()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::involved_codebase_sizes()), pd::kMainCohortSize);
+  EXPECT_EQ(total_n(pd::involved_fp_extent()), pd::kMainCohortSize);
+}
+
+TEST(PaperData, PercentsMatchCounts) {
+  for (const auto table :
+       {pd::positions(), pd::formal_training(), pd::dev_roles(),
+        pd::contributed_codebase_sizes(), pd::involved_codebase_sizes()}) {
+    for (const auto& row : table) {
+      const double expected =
+          100.0 * static_cast<double>(row.n) / pd::kMainCohortSize;
+      EXPECT_NEAR(row.percent, expected, 0.15) << row.label;
+    }
+  }
+}
+
+TEST(PaperData, MultiSelectTablesWithinCohort) {
+  for (const auto& row : pd::informal_training()) {
+    EXPECT_LE(row.n, pd::kMainCohortSize);
+  }
+  for (const auto& row : pd::fp_languages()) {
+    EXPECT_LE(row.n, pd::kMainCohortSize);
+    EXPECT_GE(row.n, 5u) << "Figure 6 lists languages with n >= 5";
+  }
+}
+
+TEST(PaperData, Figure12Averages) {
+  const auto core = pd::core_quiz_averages();
+  EXPECT_DOUBLE_EQ(core.correct, 8.5);
+  EXPECT_DOUBLE_EQ(core.chance, 7.5);
+  // The four outcome averages must account for all 15 questions.
+  EXPECT_NEAR(core.correct + core.incorrect + core.dont_know +
+                  core.unanswered,
+              15.0, 0.2);
+  const auto opt = pd::opt_quiz_averages();
+  EXPECT_DOUBLE_EQ(opt.chance, 1.5);
+  EXPECT_NEAR(opt.correct + opt.incorrect + opt.dont_know + opt.unanswered,
+              3.0, 0.15);
+}
+
+TEST(PaperData, Figure14RowsSumTo100) {
+  ASSERT_EQ(pd::core_breakdown().size(), 15u);
+  for (const auto& q : pd::core_breakdown()) {
+    EXPECT_NEAR(q.pct_correct + q.pct_incorrect + q.pct_dont_know +
+                    q.pct_unanswered,
+                100.0, 0.5)
+        << q.label;
+  }
+}
+
+TEST(PaperData, Figure14ChanceAndMajorityWrongFlags) {
+  std::size_t at_chance = 0, majority_wrong = 0;
+  for (const auto& q : pd::core_breakdown()) {
+    if (q.at_chance_level) ++at_chance;
+    if (q.majority_wrong) {
+      ++majority_wrong;
+      EXPECT_GT(q.pct_incorrect, 50.0) << q.label;
+    }
+  }
+  EXPECT_EQ(at_chance, 6u) << "6/15 answered at chance (§IV-A)";
+  EXPECT_EQ(majority_wrong, 2u) << "2/15 answered incorrectly by most";
+}
+
+TEST(PaperData, Figure14AverageCorrectMatchesFigure12) {
+  // The per-question correct rates must average to 8.5/15 = 56.7%.
+  double sum = 0.0;
+  for (const auto& q : pd::core_breakdown()) sum += q.pct_correct;
+  EXPECT_NEAR(sum / 15.0, 100.0 * 8.5 / 15.0, 1.0);
+}
+
+TEST(PaperData, Figure15DontKnowDominates) {
+  ASSERT_EQ(pd::opt_breakdown().size(), 4u);
+  for (const auto& q : pd::opt_breakdown()) {
+    EXPECT_GT(q.pct_dont_know, 50.0) << q.label;
+    EXPECT_NEAR(q.pct_correct + q.pct_incorrect + q.pct_dont_know +
+                    q.pct_unanswered,
+                100.0, 0.5)
+        << q.label;
+  }
+}
+
+TEST(PaperData, FactorTargetsReproduceOverallMeans) {
+  // Participant-weighted means must land on Figure 12's 8.5 (core) and
+  // 0.6 (opt) within transcription tolerance.
+  EXPECT_NEAR(weighted_core_mean(pd::contributed_size_effect()), 8.5, 0.1);
+  EXPECT_NEAR(weighted_core_mean(pd::area_effect()), 8.5, 0.15);
+  EXPECT_NEAR(weighted_core_mean(pd::role_effect()), 8.5, 0.15);
+  EXPECT_NEAR(weighted_core_mean(pd::training_effect()), 8.5, 0.1);
+  EXPECT_NEAR(weighted_opt_mean(pd::area_effect()), 0.6, 0.1);
+  EXPECT_NEAR(weighted_opt_mean(pd::role_effect()), 0.6, 0.1);
+}
+
+TEST(PaperData, FactorAnchorsFromProse) {
+  // Codebase size: monotone, best ~11, spread 4 (§IV-B).
+  const auto sizes = pd::contributed_size_effect();
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i].core_correct, sizes[i - 1].core_correct);
+  }
+  EXPECT_DOUBLE_EQ(sizes.back().core_correct, 11.0);
+  EXPECT_DOUBLE_EQ(
+      sizes.back().core_correct - sizes.front().core_correct, 4.0);
+
+  // Area: EE best at 11, PhysSci and Eng at chance 7.5, spread 3.5.
+  const auto areas = pd::area_effect();
+  double best = 0.0, worst = 15.0;
+  for (const auto& a : areas) {
+    best = std::max(best, a.core_correct);
+    worst = std::min(worst, a.core_correct);
+    if (a.label == "PhysSci" || a.label == "Eng") {
+      EXPECT_DOUBLE_EQ(a.core_correct, 7.5) << a.label << " at chance";
+    }
+  }
+  EXPECT_DOUBLE_EQ(best, 11.0);
+  EXPECT_DOUBLE_EQ(best - worst, 3.5);
+
+  // Training: spread ~2, max ~1 above the 8.5 overall mean.
+  const auto training = pd::training_effect();
+  EXPECT_NEAR(training.back().core_correct - training.front().core_correct,
+              2.0, 0.3);
+  EXPECT_NEAR(training.back().core_correct - 8.5, 1.0, 0.2);
+}
+
+TEST(PaperData, SuspicionAnchorsFromProse) {
+  const auto targets = pd::suspicion_targets();
+  ASSERT_EQ(targets.size(), 5u);
+
+  auto mean_level = [](const std::array<double, 5>& pct) {
+    double m = 0.0;
+    for (int i = 0; i < 5; ++i) m += pct[i] * (i + 1);
+    return m / 100.0;
+  };
+
+  const auto& overflow = targets[0];
+  const auto& underflow = targets[1];
+  const auto& precision = targets[2];
+  const auto& invalid = targets[3];
+  const auto& denorm = targets[4];
+
+  // Invalid > Overflow > the rest, in both cohorts.
+  EXPECT_GT(mean_level(invalid.percent_main),
+            mean_level(overflow.percent_main));
+  EXPECT_GT(mean_level(overflow.percent_main),
+            mean_level(underflow.percent_main));
+  EXPECT_GT(mean_level(overflow.percent_main),
+            mean_level(denorm.percent_main));
+  EXPECT_GT(mean_level(invalid.percent_students),
+            mean_level(overflow.percent_students));
+
+  // ~1/3 of both groups below max suspicion for Invalid.
+  EXPECT_NEAR(100.0 - invalid.percent_main[4], 33.3, 5.0);
+  EXPECT_NEAR(100.0 - invalid.percent_students[4], 33.3, 5.0);
+
+  // Students less suspicious of Underflow, Denorm, Overflow.
+  EXPECT_LT(mean_level(underflow.percent_students),
+            mean_level(underflow.percent_main));
+  EXPECT_LT(mean_level(denorm.percent_students),
+            mean_level(denorm.percent_main));
+  EXPECT_LT(mean_level(overflow.percent_students),
+            mean_level(overflow.percent_main));
+
+  // Precision similar across cohorts.
+  EXPECT_NEAR(mean_level(precision.percent_students),
+              mean_level(precision.percent_main), 0.2);
+
+  // Each row sums to 100% per cohort.
+  for (const auto& t : targets) {
+    double main_sum = 0.0, student_sum = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      main_sum += t.percent_main[i];
+      student_sum += t.percent_students[i];
+    }
+    EXPECT_NEAR(main_sum, 100.0, 0.1) << t.condition;
+    EXPECT_NEAR(student_sum, 100.0, 0.1) << t.condition;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "report/barchart.hpp"
+
+namespace rp = fpq::report;
+
+namespace {
+
+TEST(BarChart, ScalesToMaxWidth) {
+  const std::vector<rp::Bar> bars{{"a", 10.0}, {"b", 5.0}, {"c", 0.0}};
+  rp::BarChartOptions opts;
+  opts.max_width = 20;
+  const std::string out = rp::bar_chart(bars, opts);
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos)
+      << "largest bar uses full width";
+  EXPECT_NE(out.find(std::string(10, '#')), std::string::npos);
+  EXPECT_NE(out.find("c"), std::string::npos) << "zero bar still listed";
+}
+
+TEST(BarChart, ReferenceAnnotation) {
+  const std::vector<rp::Bar> bars{{"score", 8.5}};
+  rp::BarChartOptions opts;
+  opts.reference = 7.5;
+  opts.show_reference = true;
+  const std::string out = rp::bar_chart(bars, opts);
+  EXPECT_NE(out.find("+1.0"), std::string::npos);
+  EXPECT_NE(out.find("ref 7.5"), std::string::npos);
+}
+
+TEST(BarChart, LabelsAligned) {
+  const std::vector<rp::Bar> bars{{"x", 1.0}, {"much-longer", 2.0}};
+  rp::BarChartOptions opts;
+  const std::string out = rp::bar_chart(bars, opts);
+  const auto first_bar = out.find('|');
+  const auto second_line = out.find('\n') + 1;
+  const auto second_bar = out.find('|', second_line) - second_line;
+  EXPECT_EQ(first_bar, second_bar) << out;
+}
+
+TEST(IntHistogramChart, OneBarPerValue) {
+  fpq::stats::IntHistogram h(0, 3);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  const std::string out = rp::int_histogram_chart(h, 10);
+  // 4 lines: values 0..3.
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(GroupedSeries, RendersMatrix) {
+  const std::vector<std::string> x{"1", "2", "3", "4", "5"};
+  const std::vector<rp::GroupedSeries> series{
+      {"Overflow", {10.0, 20.0, 30.0, 25.0, 15.0}},
+      {"Invalid", {5.0, 5.0, 10.0, 20.0, 60.0}},
+  };
+  const std::string out = rp::grouped_series_chart(x, series, 1);
+  EXPECT_NE(out.find("Overflow"), std::string::npos);
+  EXPECT_NE(out.find("Invalid"), std::string::npos);
+  EXPECT_NE(out.find("60.0"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "report/compare.hpp"
+
+namespace rp = fpq::report;
+
+namespace {
+
+TEST(Compare, SummaryCountsWithinTolerance) {
+  const std::vector<rp::ComparisonRow> rows{
+      {"mean score", 8.5, 8.6, 0.5},
+      {"chance", 7.5, 7.5, 0.1},
+      {"way off", 1.0, 3.0, 0.5},
+  };
+  const auto s = rp::summarize_comparison(rows);
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.within_tolerance, 2u);
+  EXPECT_FALSE(s.all_within());
+  EXPECT_DOUBLE_EQ(s.max_abs_deviation, 2.0);
+}
+
+TEST(Compare, AllWithin) {
+  const std::vector<rp::ComparisonRow> rows{{"x", 1.0, 1.0, 0.0}};
+  EXPECT_TRUE(rp::summarize_comparison(rows).all_within());
+}
+
+TEST(Compare, RenderMarksVerdicts) {
+  const std::vector<rp::ComparisonRow> rows{
+      {"good", 10.0, 10.1, 0.5},
+      {"bad", 10.0, 15.0, 0.5},
+  };
+  const std::string out = rp::render_comparison("Figure 12", rows, 1);
+  EXPECT_NE(out.find("Figure 12"), std::string::npos);
+  EXPECT_NE(out.find("OK"), std::string::npos);
+  EXPECT_NE(out.find("DEVIATES"), std::string::npos);
+  EXPECT_NE(out.find("summary: 1/2 within tolerance"), std::string::npos);
+}
+
+TEST(Compare, EmptyBlockRenders) {
+  const std::vector<rp::ComparisonRow> rows;
+  const std::string out = rp::render_comparison("Empty", rows, 2);
+  EXPECT_NE(out.find("summary: 0/0"), std::string::npos);
+}
+
+}  // namespace

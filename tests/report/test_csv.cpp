@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/csv.hpp"
+
+namespace rp = fpq::report;
+
+namespace {
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(rp::csv_escape("hello"), "hello");
+  EXPECT_EQ(rp::csv_escape(""), "");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(rp::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(rp::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(rp::csv_escape("line1\nline2"), "\"line1\nline2\"");
+}
+
+TEST(Csv, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                        "", "multi\nline"};
+  const std::string line = rp::csv_join(fields);
+  std::vector<std::string> parsed;
+  ASSERT_TRUE(rp::csv_split(line, parsed));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(Csv, SplitSimpleLine) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(rp::csv_split("a,b,c", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Csv, SplitEmptyFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(rp::csv_split(",,", fields));
+  EXPECT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(Csv, SplitRejectsUnbalancedQuote) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(rp::csv_split("\"unterminated", fields));
+}
+
+TEST(Csv, WriterCountsRows) {
+  std::ostringstream out;
+  rp::CsvWriter w(out);
+  w.write_row({"h1", "h2"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(w.rows_written(), 2u);
+  EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace

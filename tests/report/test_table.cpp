@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace rp = fpq::report;
+
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  rp::Table t({"Position", "n", "%"});
+  t.add_row({"Ph.D. student", "73", "36.7"});
+  t.add_row({"Faculty", "49", "24.6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Position"), std::string::npos);
+  EXPECT_NE(out.find("Ph.D. student"), std::string::npos);
+  EXPECT_NE(out.find("36.7"), std::string::npos);
+  // Three rule lines: top, under header, bottom.
+  std::size_t rules = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    if (out[start] == '+') ++rules;
+    const std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  rp::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "100"});
+  const std::string out = t.render();
+  // Every line must have equal length.
+  std::size_t line_len = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (line_len == std::string::npos) line_len = len;
+    EXPECT_EQ(len, line_len);
+    start = end + 1;
+  }
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(rp::Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(rp::Table::fmt(3.0, 1), "3.0");
+  EXPECT_EQ(rp::Table::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(rp::Table::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(rp::Table::fmt(-7), "-7");
+  EXPECT_EQ(rp::Table::percent(0.367, 1), "36.7");
+  EXPECT_EQ(rp::Table::percent(1.0, 0), "100");
+}
+
+TEST(Table, RowAndColumnCounts) {
+  rp::Table t({"a", "b"});
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, LeftAlignmentPadsRight) {
+  rp::Table t({"label", "n"});
+  t.add_row({"ab", "1"});
+  t.add_row({"abcdef", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| ab     |"), std::string::npos)
+      << "first column is left-aligned by default:\n"
+      << out;
+}
+
+TEST(Section, TitleUnderlined) {
+  const std::string out = rp::section("Figure 1", "body\n");
+  EXPECT_NE(out.find("Figure 1\n========\n"), std::string::npos);
+}
+
+}  // namespace

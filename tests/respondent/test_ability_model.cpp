@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "paperdata/paperdata.hpp"
+#include "respondent/ability_model.hpp"
+#include "respondent/background_model.hpp"
+
+namespace rs = fpq::respondent;
+namespace pd = fpq::paperdata;
+
+namespace {
+
+TEST(AbilityModel, EffectsAreCentered) {
+  // Each factor's participant-weighted mean effect must be ~0 (so adding
+  // factors does not shift the overall mean).
+  double size_acc = 0.0;
+  for (std::size_t row = 0; row < pd::contributed_codebase_sizes().size();
+       ++row) {
+    size_acc += static_cast<double>(pd::contributed_codebase_sizes()[row].n) *
+                rs::core_effect_contributed_size(row);
+  }
+  EXPECT_NEAR(size_acc / 199.0, 0.0, 0.05);
+
+  double area_acc = 0.0;
+  for (std::size_t row = 0; row < pd::areas().size(); ++row) {
+    area_acc += static_cast<double>(pd::areas()[row].n) *
+                rs::core_effect_area(row);
+  }
+  EXPECT_NEAR(area_acc / 199.0, 0.0, 0.05);
+
+  double role_acc = 0.0;
+  for (std::size_t row = 0; row < pd::dev_roles().size(); ++row) {
+    role_acc += static_cast<double>(pd::dev_roles()[row].n) *
+                rs::core_effect_role(row);
+  }
+  EXPECT_NEAR(role_acc / 199.0, 0.0, 0.08);
+}
+
+TEST(AbilityModel, EffectSignsMatchTheProse) {
+  // Million-line contributors above the mean; sub-1K below.
+  EXPECT_GT(rs::core_effect_contributed_size(4), 2.0);  // >1M
+  EXPECT_LT(rs::core_effect_contributed_size(2), -1.0);  // 100-1K
+  // EE above; PhysSci below.
+  EXPECT_GT(rs::core_effect_area(5), 2.0);
+  EXPECT_LT(rs::core_effect_area(1), -0.5);
+  // Primary software engineers slightly above.
+  EXPECT_GT(rs::core_effect_role(1), 0.5);
+  // Training monotone.
+  EXPECT_LT(rs::core_effect_training(1), rs::core_effect_training(3));
+}
+
+TEST(AbilityModel, UnchartedLevelsHaveZeroEffect) {
+  EXPECT_DOUBLE_EQ(rs::core_effect_contributed_size(6), 0.0);  // Not Rep.
+  EXPECT_DOUBLE_EQ(rs::core_effect_role(4), 0.0);
+  EXPECT_DOUBLE_EQ(rs::core_effect_training(4), 0.0);
+}
+
+TEST(AbilityModel, PopulationMeansMatchFigure12) {
+  fpq::stats::Xoshiro256pp g(2024);
+  double core_sum = 0.0, opt_sum = 0.0, dk_sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const auto background = rs::sample_background(g);
+    const auto a = rs::derive_ability(background, g);
+    core_sum += a.core_target;
+    opt_sum += a.opt_target;
+    dk_sum += a.dont_know_propensity;
+  }
+  EXPECT_NEAR(core_sum / kN, 8.5, 0.1);
+  // The opt target is clamped below at 0, which shifts the mean slightly
+  // above the 0.6 center.
+  EXPECT_NEAR(opt_sum / kN, 0.6, 0.12);
+  EXPECT_NEAR(dk_sum / kN, 1.0, 0.03);
+}
+
+TEST(AbilityModel, TargetsStayInRange) {
+  fpq::stats::Xoshiro256pp g(99);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = rs::derive_ability(rs::sample_background(g), g);
+    EXPECT_GE(a.core_target, 0.0);
+    EXPECT_LE(a.core_target, 15.0);
+    EXPECT_GE(a.opt_target, 0.0);
+    EXPECT_LE(a.opt_target, 3.0);
+    EXPECT_GT(a.dont_know_propensity, 0.0);
+  }
+}
+
+TEST(AbilityModel, ConditionalMeansTrackFactorTargets) {
+  // E[core_target | size bin] must reproduce the Figure 16 targets,
+  // because factors are independent and effects centered.
+  fpq::stats::Xoshiro256pp g(555);
+  std::array<double, 5> sum{};
+  std::array<int, 5> count{};
+  for (int i = 0; i < 40000; ++i) {
+    const auto background = rs::sample_background(g);
+    const auto a = rs::derive_ability(background, g);
+    const auto bin =
+        fpq::survey::contributed_size_bin(background.contributed_size);
+    if (bin == fpq::survey::kNoSizeBin) continue;
+    sum[bin] += a.core_target;
+    ++count[bin];
+  }
+  const auto targets = pd::contributed_size_effect();
+  for (std::size_t b = 0; b < 5; ++b) {
+    ASSERT_GT(count[b], 100);
+    EXPECT_NEAR(sum[b] / count[b], targets[b].core_correct, 0.25)
+        << targets[b].label;
+  }
+}
+
+}  // namespace

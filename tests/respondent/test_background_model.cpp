@@ -1,0 +1,112 @@
+// The background sampler must reproduce the published marginals: checked
+// with chi-square goodness of fit on a large sample.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "paperdata/paperdata.hpp"
+#include "respondent/background_model.hpp"
+#include "stats/chi_square.hpp"
+
+namespace rs = fpq::respondent;
+namespace pd = fpq::paperdata;
+
+namespace {
+
+constexpr std::size_t kSample = 20000;
+
+std::vector<fpq::survey::BackgroundProfile> sample_many(std::uint64_t seed) {
+  fpq::stats::Xoshiro256pp g(seed);
+  std::vector<fpq::survey::BackgroundProfile> out;
+  out.reserve(kSample);
+  for (std::size_t i = 0; i < kSample; ++i) {
+    out.push_back(rs::sample_background(g));
+  }
+  return out;
+}
+
+void expect_marginal_fit(std::span<const pd::CategoryCount> table,
+                         const std::vector<std::size_t>& observed,
+                         const char* what) {
+  double total = 0.0;
+  for (const auto& row : table) total += static_cast<double>(row.n);
+  std::vector<double> probs;
+  for (const auto& row : table) {
+    probs.push_back(static_cast<double>(row.n) / total);
+  }
+  const auto result =
+      fpq::stats::chi_square_goodness_of_fit(observed, probs);
+  EXPECT_GT(result.p_value, 1e-4) << what << " chi2=" << result.statistic;
+}
+
+TEST(BackgroundModel, PositionMarginal) {
+  const auto sample = sample_many(101);
+  std::vector<std::size_t> counts(pd::positions().size(), 0);
+  for (const auto& b : sample) ++counts[b.position];
+  expect_marginal_fit(pd::positions(), counts, "positions");
+}
+
+TEST(BackgroundModel, AreaMarginal) {
+  const auto sample = sample_many(102);
+  std::vector<std::size_t> counts(pd::areas().size(), 0);
+  for (const auto& b : sample) ++counts[b.area];
+  expect_marginal_fit(pd::areas(), counts, "areas");
+}
+
+TEST(BackgroundModel, TrainingAndRoleMarginals) {
+  const auto sample = sample_many(103);
+  std::vector<std::size_t> training(pd::formal_training().size(), 0);
+  std::vector<std::size_t> roles(pd::dev_roles().size(), 0);
+  for (const auto& b : sample) {
+    ++training[b.formal_training];
+    ++roles[b.dev_role];
+  }
+  expect_marginal_fit(pd::formal_training(), training, "formal training");
+  expect_marginal_fit(pd::dev_roles(), roles, "roles");
+}
+
+TEST(BackgroundModel, CodebaseMarginals) {
+  const auto sample = sample_many(104);
+  std::vector<std::size_t> contributed(
+      pd::contributed_codebase_sizes().size(), 0);
+  std::vector<std::size_t> involved(pd::involved_codebase_sizes().size(), 0);
+  for (const auto& b : sample) {
+    ++contributed[b.contributed_size];
+    ++involved[b.involved_size];
+  }
+  expect_marginal_fit(pd::contributed_codebase_sizes(), contributed,
+                      "contributed sizes");
+  expect_marginal_fit(pd::involved_codebase_sizes(), involved,
+                      "involved sizes");
+}
+
+TEST(BackgroundModel, MultiSelectRates) {
+  const auto sample = sample_many(105);
+  const auto langs = pd::fp_languages();
+  std::vector<std::size_t> counts(langs.size(), 0);
+  for (const auto& b : sample) {
+    for (std::size_t idx : b.fp_languages) ++counts[idx];
+  }
+  for (std::size_t i = 0; i < langs.size(); ++i) {
+    const double expected = static_cast<double>(langs[i].n) /
+                            static_cast<double>(pd::kMainCohortSize);
+    const double observed = static_cast<double>(counts[i]) /
+                            static_cast<double>(kSample);
+    EXPECT_NEAR(observed, expected, 0.012) << langs[i].label;
+  }
+}
+
+TEST(BackgroundModel, DeterministicUnderSeed) {
+  fpq::stats::Xoshiro256pp g1(7), g2(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = rs::sample_background(g1);
+    const auto b = rs::sample_background(g2);
+    EXPECT_EQ(a.position, b.position);
+    EXPECT_EQ(a.area, b.area);
+    EXPECT_EQ(a.fp_languages, b.fp_languages);
+    EXPECT_EQ(a.contributed_size, b.contributed_size);
+  }
+}
+
+}  // namespace

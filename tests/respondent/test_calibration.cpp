@@ -1,0 +1,148 @@
+// The calibrated item-response model: per-question marginals and the
+// unit-slope property.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "respondent/background_model.hpp"
+#include "respondent/calibration.hpp"
+
+namespace rs = fpq::respondent;
+namespace pd = fpq::paperdata;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+const rs::CalibratedQuizModel& model() {
+  static const auto m = rs::CalibratedQuizModel::fit(0xF17);
+  return m;
+}
+
+TEST(Calibration, FitIsDeterministic) {
+  const auto a = rs::CalibratedQuizModel::fit(0xF17);
+  const auto b = rs::CalibratedQuizModel::fit(0xF17);
+  EXPECT_EQ(a.gamma_core(), b.gamma_core());
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    EXPECT_EQ(a.core_beta(q), b.core_beta(q));
+  }
+}
+
+TEST(Calibration, GammaIsPositiveAndSane) {
+  EXPECT_GT(model().gamma_core(), 0.1);
+  EXPECT_LT(model().gamma_core(), 2.0);
+}
+
+TEST(Calibration, OptModelIsLinearInTarget) {
+  rs::Ability lo, mid, hi;
+  lo.opt_target = 0.3;
+  mid.opt_target = 0.6;
+  hi.opt_target = 1.2;
+  EXPECT_NEAR(model().expected_opt_score(mid), 0.58, 0.05)
+      << "population center reproduces Figure 12's 0.6";
+  EXPECT_NEAR(model().expected_opt_score(lo),
+              model().expected_opt_score(mid) / 2.0, 0.05);
+  EXPECT_NEAR(model().expected_opt_score(hi),
+              model().expected_opt_score(mid) * 2.0, 0.1);
+}
+
+TEST(Calibration, PerQuestionCorrectRatesMatchFigure14) {
+  // Generate a large population and compare each question's correct rate
+  // against the published percentage.
+  fpq::stats::Xoshiro256pp g(11);
+  constexpr int kN = 20000;
+  std::array<int, quiz::kCoreQuestionCount> correct{};
+  std::array<int, quiz::kCoreQuestionCount> dont_know{};
+  const auto truths = quiz::standard_core_truths();
+  for (int i = 0; i < kN; ++i) {
+    const auto background = rs::sample_background(g);
+    const auto ability = rs::derive_ability(background, g);
+    const auto sheet = model().sample_core(ability, g);
+    for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+      const auto grade = quiz::grade_answer(sheet.answers[q], truths[q]);
+      if (grade == quiz::Grade::kCorrect) ++correct[q];
+      if (grade == quiz::Grade::kDontKnow) ++dont_know[q];
+    }
+  }
+  const auto rows = pd::core_breakdown();
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    const double pct = 100.0 * correct[q] / kN;
+    EXPECT_NEAR(pct, rows[q].pct_correct, 2.5) << rows[q].label;
+    const double dk_pct = 100.0 * dont_know[q] / kN;
+    EXPECT_NEAR(dk_pct, rows[q].pct_dont_know, 3.0) << rows[q].label;
+  }
+}
+
+TEST(Calibration, OptQuizRatesMatchFigure15) {
+  fpq::stats::Xoshiro256pp g(12);
+  constexpr int kN = 20000;
+  std::array<int, quiz::kOptTrueFalseCount> correct{};
+  std::array<int, quiz::kOptTrueFalseCount> dont_know{};
+  int level_correct = 0;
+  int level_dk = 0;
+  const auto truths = quiz::standard_opt_truths();
+  for (int i = 0; i < kN; ++i) {
+    const auto background = rs::sample_background(g);
+    const auto ability = rs::derive_ability(background, g);
+    const auto sheet = model().sample_opt(ability, g);
+    for (std::size_t q = 0; q < quiz::kOptTrueFalseCount; ++q) {
+      const auto grade = quiz::grade_answer(sheet.tf_answers[q], truths[q]);
+      if (grade == quiz::Grade::kCorrect) ++correct[q];
+      if (grade == quiz::Grade::kDontKnow) ++dont_know[q];
+    }
+    const auto lg = quiz::grade_level_choice(sheet.level_choice);
+    if (lg == quiz::Grade::kCorrect) ++level_correct;
+    if (lg == quiz::Grade::kDontKnow) ++level_dk;
+  }
+  const auto rows = pd::opt_breakdown();
+  const std::array<std::size_t, 3> row_of{0, 1, 3};
+  for (std::size_t q = 0; q < quiz::kOptTrueFalseCount; ++q) {
+    EXPECT_NEAR(100.0 * correct[q] / kN, rows[row_of[q]].pct_correct, 2.5)
+        << rows[row_of[q]].label;
+    EXPECT_NEAR(100.0 * dont_know[q] / kN, rows[row_of[q]].pct_dont_know,
+                3.0)
+        << rows[row_of[q]].label;
+  }
+  EXPECT_NEAR(100.0 * level_correct / kN, rows[2].pct_correct, 2.5);
+  EXPECT_NEAR(100.0 * level_dk / kN, rows[2].pct_dont_know, 3.0);
+}
+
+TEST(Calibration, ExpectedScoreHasUnitSlopeNearCenter) {
+  rs::Ability low, high;
+  low.core_target = 7.0;
+  high.core_target = 10.0;
+  const double gap = model().expected_core_score(high) -
+                     model().expected_core_score(low);
+  EXPECT_NEAR(gap, 3.0, 0.6) << "one target point ~ one expected point";
+}
+
+TEST(Calibration, ExpectedScoreTracksTargetAbsolutely) {
+  for (double target : {6.0, 8.5, 11.0}) {
+    rs::Ability a;
+    a.core_target = target;
+    EXPECT_NEAR(model().expected_core_score(a), target, 0.9)
+        << "target " << target;
+  }
+}
+
+TEST(Calibration, HigherDkPropensityLowersScore) {
+  rs::Ability hedger, confident;
+  hedger.dont_know_propensity = 2.0;
+  confident.dont_know_propensity = 0.3;
+  EXPECT_LT(model().expected_core_score(hedger),
+            model().expected_core_score(confident));
+}
+
+TEST(Calibration, SamplingIsDeterministicUnderSeed) {
+  rs::Ability a;
+  fpq::stats::Xoshiro256pp g1(5), g2(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model().sample_core(a, g1).answers,
+              model().sample_core(a, g2).answers);
+  }
+}
+
+}  // namespace

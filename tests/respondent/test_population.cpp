@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "respondent/population.hpp"
+
+namespace rs = fpq::respondent;
+
+namespace {
+
+TEST(Population, GeneratesRequestedSizes) {
+  const auto main_cohort = rs::generate_main_cohort(1);
+  EXPECT_EQ(main_cohort.size(), 199u);
+  const auto students = rs::generate_student_cohort(1);
+  EXPECT_EQ(students.size(), 52u);
+}
+
+TEST(Population, RespondentIdsSequential) {
+  const auto cohort = rs::generate_main_cohort(2, 10);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(cohort[i].respondent_id, i + 1);
+  }
+}
+
+TEST(Population, DeterministicUnderSeed) {
+  const auto a = rs::generate_main_cohort(42, 50);
+  const auto b = rs::generate_main_cohort(42, 50);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].background.area, b[i].background.area);
+    EXPECT_EQ(a[i].core.answers, b[i].core.answers);
+    EXPECT_EQ(a[i].opt.level_choice, b[i].opt.level_choice);
+    EXPECT_EQ(a[i].suspicion, b[i].suspicion);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  const auto a = rs::generate_main_cohort(1, 50);
+  const auto b = rs::generate_main_cohort(2, 50);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].core.answers == b[i].core.answers) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Population, SuspicionLevelsInRange) {
+  const auto cohort = rs::generate_main_cohort(3);
+  for (const auto& r : cohort) {
+    for (int level : r.suspicion) {
+      EXPECT_GE(level, 1);
+      EXPECT_LE(level, 5);
+    }
+  }
+  const auto students = rs::generate_student_cohort(3);
+  for (const auto& s : students) {
+    for (int level : s.suspicion) {
+      EXPECT_GE(level, 1);
+      EXPECT_LE(level, 5);
+    }
+  }
+}
+
+TEST(Population, BackgroundIndicesInRange) {
+  const auto cohort = rs::generate_main_cohort(4);
+  for (const auto& r : cohort) {
+    EXPECT_LT(r.background.position, 10u);
+    EXPECT_LT(r.background.area, 19u);
+    EXPECT_LT(r.background.formal_training, 5u);
+    EXPECT_LT(r.background.dev_role, 5u);
+    EXPECT_LT(r.background.contributed_size, 7u);
+    EXPECT_LT(r.background.involved_size, 7u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "paperdata/paperdata.hpp"
+#include "respondent/suspicion_model.hpp"
+#include "stats/likert.hpp"
+
+namespace rs = fpq::respondent;
+namespace pd = fpq::paperdata;
+
+namespace {
+
+TEST(SuspicionModel, MainCohortMatchesFigure22a) {
+  fpq::stats::Xoshiro256pp g(77);
+  std::array<fpq::stats::LikertAccumulator, 5> acc;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    const auto levels = rs::sample_suspicion(rs::Cohort::kMain, g);
+    for (std::size_t c = 0; c < 5; ++c) acc[c].add(levels[c]);
+  }
+  const auto targets = pd::suspicion_targets();
+  for (std::size_t c = 0; c < 5; ++c) {
+    const auto dist = acc[c].distribution();
+    for (int level = 1; level <= 5; ++level) {
+      EXPECT_NEAR(dist.percent(level),
+                  targets[c].percent_main[level - 1], 1.0)
+          << targets[c].condition << " level " << level;
+    }
+  }
+}
+
+TEST(SuspicionModel, StudentCohortMatchesFigure22b) {
+  fpq::stats::Xoshiro256pp g(78);
+  std::array<fpq::stats::LikertAccumulator, 5> acc;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    const auto levels = rs::sample_suspicion(rs::Cohort::kStudents, g);
+    for (std::size_t c = 0; c < 5; ++c) acc[c].add(levels[c]);
+  }
+  const auto targets = pd::suspicion_targets();
+  for (std::size_t c = 0; c < 5; ++c) {
+    const auto dist = acc[c].distribution();
+    for (int level = 1; level <= 5; ++level) {
+      EXPECT_NEAR(dist.percent(level),
+                  targets[c].percent_students[level - 1], 1.0)
+          << targets[c].condition << " level " << level;
+    }
+  }
+}
+
+TEST(SuspicionModel, CohortsDifferWhereThePaperSaysTheyDo) {
+  fpq::stats::Xoshiro256pp g(79);
+  double main_underflow = 0.0, student_underflow = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    main_underflow += rs::sample_suspicion(rs::Cohort::kMain, g)[1];
+    student_underflow += rs::sample_suspicion(rs::Cohort::kStudents, g)[1];
+  }
+  EXPECT_LT(student_underflow / kN, main_underflow / kN)
+      << "students less suspicious of Underflow";
+}
+
+TEST(SuspicionModel, LevelsAlwaysValid) {
+  fpq::stats::Xoshiro256pp g(80);
+  for (int i = 0; i < 1000; ++i) {
+    for (int level : rs::sample_suspicion(rs::Cohort::kMain, g)) {
+      EXPECT_GE(level, 1);
+      EXPECT_LE(level, 5);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,353 @@
+// Directed arithmetic tests: special values, signed zeros, saturation,
+// exception flags — the behaviors the paper's core quiz is about, asserted
+// against the engine directly.
+
+#include <gtest/gtest.h>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+
+namespace sf = fpq::softfloat;
+
+namespace {
+
+using F64 = sf::Float64;
+using F32 = sf::Float32;
+
+F64 d(double x) { return sf::from_native(x); }
+
+TEST(ArithBasic, SimpleExactSums) {
+  sf::Env env;
+  EXPECT_EQ(sf::add(d(1.0), d(2.0), env).bits, d(3.0).bits);
+  EXPECT_EQ(sf::add(d(-1.0), d(1.0), env).bits, d(0.0).bits);
+  EXPECT_EQ(sf::sub(d(5.0), d(3.0), env).bits, d(2.0).bits);
+  EXPECT_EQ(sf::mul(d(3.0), d(4.0), env).bits, d(12.0).bits);
+  EXPECT_EQ(sf::div(d(1.0), d(4.0), env).bits, d(0.25).bits);
+  EXPECT_EQ(env.flags(), 0u) << "all of the above are exact";
+}
+
+TEST(ArithBasic, InexactRaisesOnlyInexact) {
+  sf::Env env;
+  const F64 r = sf::div(d(1.0), d(3.0), env);
+  EXPECT_EQ(r.bits, d(1.0 / 3.0).bits);
+  EXPECT_EQ(env.flags(), sf::kFlagInexact);
+}
+
+TEST(ArithBasic, DivideByZeroGivesInfinityNotNaN) {
+  // Core quiz "Divide By Zero": 1.0/0.0 is an infinity — a non-NaN value
+  // that can silently propagate into output.
+  sf::Env env;
+  const F64 r = sf::div(d(1.0), d(0.0), env);
+  EXPECT_TRUE(r.is_infinity());
+  EXPECT_FALSE(r.sign());
+  EXPECT_FALSE(r.is_nan());
+  EXPECT_EQ(env.flags(), sf::kFlagDivByZero);
+
+  sf::Env env2;
+  EXPECT_TRUE(sf::div(d(-1.0), d(0.0), env2).is_infinity());
+  EXPECT_TRUE(sf::div(d(-1.0), d(0.0), env2).sign());
+}
+
+TEST(ArithBasic, ZeroDivZeroIsNaN) {
+  // Core quiz "Zero Divide By Zero": 0.0/0.0 IS a NaN.
+  sf::Env env;
+  const F64 r = sf::div(d(0.0), d(0.0), env);
+  EXPECT_TRUE(r.is_nan());
+  EXPECT_EQ(env.flags(), sf::kFlagInvalid);
+}
+
+TEST(ArithBasic, InfMinusInfIsInvalid) {
+  sf::Env env;
+  const F64 r = sf::sub(F64::infinity(), F64::infinity(), env);
+  EXPECT_TRUE(r.is_nan());
+  EXPECT_TRUE(env.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, InfPlusInfSameSign) {
+  sf::Env env;
+  EXPECT_TRUE(sf::add(F64::infinity(), F64::infinity(), env).is_infinity());
+  EXPECT_EQ(env.flags(), 0u);
+}
+
+TEST(ArithBasic, ZeroTimesInfIsInvalid) {
+  sf::Env env;
+  EXPECT_TRUE(sf::mul(d(0.0), F64::infinity(), env).is_nan());
+  EXPECT_TRUE(env.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, InfOverInfIsInvalid) {
+  sf::Env env;
+  EXPECT_TRUE(sf::div(F64::infinity(), F64::infinity(), env).is_nan());
+  EXPECT_TRUE(env.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, SaturationPlusOne) {
+  // Core quiz "Saturation Plus": (a + 1.0) == a is possible — at infinity
+  // and for large finite magnitudes where 1.0 is below half an ulp.
+  sf::Env env;
+  const F64 inf = F64::infinity();
+  EXPECT_EQ(sf::add(inf, d(1.0), env).bits, inf.bits);
+
+  const F64 big = d(1e300);
+  EXPECT_EQ(sf::add(big, d(1.0), env).bits, big.bits);
+  EXPECT_TRUE(env.test(sf::kFlagInexact));
+}
+
+TEST(ArithBasic, SaturationMinusCannotBackOffInfinity) {
+  // Core quiz "Saturation Minus": inf - 1.0 == inf; you cannot "back off".
+  sf::Env env;
+  EXPECT_EQ(sf::sub(F64::infinity(), d(1.0), env).bits, F64::infinity().bits);
+  EXPECT_EQ(sf::sub(F64::infinity(true), d(-1.0), env).bits,
+            F64::infinity(true).bits);
+}
+
+TEST(ArithBasic, OverflowSaturatesToInfinity) {
+  // Core quiz "Overflow": floating point overflow saturates at infinity,
+  // unlike integer wrap-around.
+  sf::Env env;
+  const F64 r = sf::mul(F64::max_finite(), d(2.0), env);
+  EXPECT_TRUE(r.is_infinity());
+  EXPECT_FALSE(r.sign());
+  EXPECT_TRUE(env.test(sf::kFlagOverflow));
+  EXPECT_TRUE(env.test(sf::kFlagInexact));
+
+  sf::Env env2;
+  const F64 sum = sf::add(F64::max_finite(), F64::max_finite(), env2);
+  EXPECT_TRUE(sum.is_infinity());
+}
+
+TEST(ArithBasic, SquareOfFiniteIsNonNegative) {
+  // Core quiz "Square": x*x >= 0 always holds for non-NaN floating point
+  // (no integer-style wrap to negative).
+  sf::Env env;
+  const double samples[] = {0.0, -0.0, 1.5, -2.5, 1e300, -1e300, 1e-320};
+  for (double x : samples) {
+    const F64 sq = sf::mul(d(x), d(x), env);
+    EXPECT_FALSE(sq.sign()) << "x = " << x;
+    EXPECT_FALSE(sq.is_nan()) << "x = " << x;
+  }
+  // Even when the square overflows, the result is +inf, still >= 0.
+  EXPECT_FALSE(sf::mul(F64::max_finite(true), F64::max_finite(true), env)
+                   .sign());
+}
+
+TEST(ArithBasic, SignedZeroRules) {
+  sf::Env env;
+  // x - x = +0 (round-to-nearest).
+  EXPECT_EQ(sf::sub(d(1.0), d(1.0), env).bits, d(+0.0).bits);
+  // (+0) + (-0) = +0; (-0) + (-0) = -0.
+  EXPECT_EQ(sf::add(d(+0.0), d(-0.0), env).bits, d(+0.0).bits);
+  EXPECT_EQ(sf::add(d(-0.0), d(-0.0), env).bits, d(-0.0).bits);
+  // Negative zero from multiplication sign rules.
+  EXPECT_EQ(sf::mul(d(-1.0), d(0.0), env).bits, d(-0.0).bits);
+  EXPECT_EQ(sf::div(d(0.0), d(-4.0), env).bits, d(-0.0).bits);
+}
+
+TEST(ArithBasic, XMinusXIsMinusZeroWhenRoundingDown) {
+  sf::Env env(sf::Rounding::kDown);
+  EXPECT_EQ(sf::sub(d(1.0), d(1.0), env).bits, d(-0.0).bits);
+  EXPECT_EQ(sf::add(d(1.0), d(-1.0), env).bits, d(-0.0).bits);
+}
+
+TEST(ArithBasic, NegativeZeroEqualsPositiveZero) {
+  // Core quiz "Negative Zero": two zero values are never unequal.
+  sf::Env env;
+  EXPECT_TRUE(sf::equal(d(+0.0), d(-0.0), env));
+  EXPECT_FALSE(sf::less(d(-0.0), d(+0.0), env));
+  EXPECT_EQ(env.flags(), 0u);
+}
+
+TEST(ArithBasic, NaNNeverEqualsItself) {
+  // Core quiz "Identity": a == a is false when a is NaN.
+  sf::Env env;
+  const F64 nan = F64::quiet_nan();
+  EXPECT_FALSE(sf::equal(nan, nan, env));
+  EXPECT_EQ(env.flags(), 0u) << "quiet compare of qNaN raises nothing";
+  EXPECT_FALSE(sf::less(nan, nan, env));
+  EXPECT_TRUE(env.test(sf::kFlagInvalid)) << "signaling compare raises";
+}
+
+TEST(ArithBasic, SignalingNaNRaisesOnQuietCompare) {
+  sf::Env env;
+  EXPECT_FALSE(sf::equal(F64::signaling_nan(), d(1.0), env));
+  EXPECT_TRUE(env.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, NaNPropagatesThroughArithmetic) {
+  sf::Env env;
+  EXPECT_TRUE(sf::add(F64::quiet_nan(), d(1.0), env).is_nan());
+  EXPECT_TRUE(sf::mul(d(2.0), F64::quiet_nan(), env).is_nan());
+  EXPECT_TRUE(sf::div(F64::quiet_nan(), d(0.0), env).is_nan());
+  EXPECT_TRUE(sf::sqrt(F64::quiet_nan(), env).is_nan());
+  EXPECT_EQ(env.flags(), 0u) << "quiet NaNs propagate without flags";
+
+  sf::Env env2;
+  EXPECT_TRUE(sf::add(F64::signaling_nan(), d(1.0), env2).is_quiet_nan());
+  EXPECT_TRUE(env2.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, SqrtSpecials) {
+  sf::Env env;
+  EXPECT_EQ(sf::sqrt(d(4.0), env).bits, d(2.0).bits);
+  EXPECT_EQ(sf::sqrt(d(0.0), env).bits, d(0.0).bits);
+  EXPECT_EQ(sf::sqrt(d(-0.0), env).bits, d(-0.0).bits);  // sqrt(-0) = -0 (!)
+  EXPECT_TRUE(sf::sqrt(F64::infinity(), env).is_infinity());
+  EXPECT_EQ(env.flags(), 0u);
+
+  sf::Env env2;
+  EXPECT_TRUE(sf::sqrt(d(-1.0), env2).is_nan());
+  EXPECT_TRUE(env2.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, SqrtExactAndInexact) {
+  sf::Env env;
+  EXPECT_EQ(sf::sqrt(d(2.25), env).bits, d(1.5).bits);
+  EXPECT_EQ(env.flags(), 0u);
+  EXPECT_EQ(sf::sqrt(d(2.0), env).bits, d(1.4142135623730951).bits);
+  EXPECT_EQ(env.flags(), sf::kFlagInexact);
+}
+
+TEST(ArithBasic, GradualUnderflowProducesSubnormals) {
+  sf::Env env;
+  const F64 tiny = F64::min_normal();
+  const F64 r = sf::div(tiny, d(2.0), env);
+  EXPECT_TRUE(r.is_subnormal());
+  EXPECT_EQ(env.flags(), 0u) << "exact subnormal result: no underflow flag";
+}
+
+TEST(ArithBasic, InexactTinyResultRaisesUnderflow) {
+  sf::Env env;
+  const F64 r = sf::mul(d(1e-300), d(1e-300), env);  // 1e-600 underflows
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(env.test(sf::kFlagUnderflow));
+  EXPECT_TRUE(env.test(sf::kFlagInexact));
+}
+
+TEST(ArithBasic, FmaDiffersFromMulThenAdd) {
+  // The MADD question: one rounding vs two can change the result.
+  // Construct: a*a - a*a' where the product needs more than 53 bits.
+  const F64 a = d(1.0 + 0x1.0p-52);
+  sf::Env env;
+  const F64 prod = sf::mul(a, a, env);                 // rounded product
+  const F64 fused = sf::fma(a, a, prod.negated(), env);  // exact residual
+  EXPECT_FALSE(fused.is_zero())
+      << "fma exposes the rounding error of the multiply";
+  const F64 unfused = sf::sub(prod, prod, env);
+  EXPECT_TRUE(unfused.is_zero());
+}
+
+TEST(ArithBasic, FmaBasics) {
+  sf::Env env;
+  EXPECT_EQ(sf::fma(d(2.0), d(3.0), d(4.0), env).bits, d(10.0).bits);
+  EXPECT_EQ(sf::fma(d(2.0), d(3.0), d(-6.0), env).bits, d(0.0).bits);
+  EXPECT_EQ(env.flags(), 0u);
+  // inf handling: 0*inf + c invalid; inf*x + (-inf) invalid.
+  sf::Env env2;
+  EXPECT_TRUE(sf::fma(d(0.0), F64::infinity(), d(1.0), env2).is_nan());
+  EXPECT_TRUE(env2.test(sf::kFlagInvalid));
+  sf::Env env3;
+  EXPECT_TRUE(
+      sf::fma(d(1.0), F64::infinity(), F64::infinity(true), env3).is_nan());
+  EXPECT_TRUE(env3.test(sf::kFlagInvalid));
+}
+
+TEST(ArithBasic, StickyFlagsAccumulate) {
+  sf::Env env;
+  sf::div(d(1.0), d(3.0), env);          // inexact
+  sf::div(d(1.0), d(0.0), env);          // divbyzero
+  sf::mul(d(1e-300), d(1e-300), env);    // underflow + inexact
+  sf::mul(d(1e300), d(1e300), env);      // overflow + inexact
+  EXPECT_TRUE(env.test(sf::kFlagInexact));
+  EXPECT_TRUE(env.test(sf::kFlagDivByZero));
+  EXPECT_TRUE(env.test(sf::kFlagUnderflow));
+  EXPECT_TRUE(env.test(sf::kFlagOverflow));
+  EXPECT_FALSE(env.test(sf::kFlagInvalid));
+  env.clear_flags();
+  EXPECT_EQ(env.flags(), 0u);
+}
+
+TEST(ArithBasic, AssociativityCounterexample) {
+  // Core quiz "Associativity": (a+b)+c != a+(b+c) in general.
+  sf::Env env;
+  const F64 a = d(1e16), b = d(-1e16), c = d(1.0);
+  const F64 left = sf::add(sf::add(a, b, env), c, env);
+  const F64 right = sf::add(a, sf::add(b, c, env), env);
+  EXPECT_EQ(sf::to_native(left), 1.0);
+  // b + c = -9999999999999999 is an exact tie; 1e16's even significand
+  // wins, so the inner sum rounds back to -1e16 and the total is 0.
+  EXPECT_EQ(sf::to_native(right), 0.0);
+  EXPECT_NE(left.bits, right.bits);
+}
+
+TEST(ArithBasic, OrderingCounterexample) {
+  // Core quiz "Ordering": ((a+b)-a) == b is not always true.
+  sf::Env env;
+  const F64 a = d(1e16), b = d(1.0);
+  const F64 r = sf::sub(sf::add(a, b, env), a, env);
+  EXPECT_NE(r.bits, b.bits);
+  EXPECT_EQ(sf::to_native(r), 0.0);
+}
+
+TEST(ArithBasic, DistributivityCounterexample) {
+  // Core quiz "Distributivity": a*(b+c) != a*b + a*c in general.
+  sf::Env env;
+  // Extreme case: a*(b+c) is exactly 0 while a*b + a*c is inf - inf = NaN.
+  const F64 a = d(1e308), b = d(1e308), c = d(-1e308);
+  const F64 left = sf::mul(a, sf::add(b, c, env), env);
+  const F64 right = sf::add(sf::mul(a, b, env), sf::mul(a, c, env), env);
+  EXPECT_TRUE(left.is_zero());
+  EXPECT_TRUE(right.is_nan());
+  EXPECT_NE(left.bits, right.bits);
+
+  // Ordinary rounding case: 0.1 * (0.7 + 0.1) vs 0.1*0.7 + 0.1*0.1.
+  sf::Env env2;
+  const F64 x = d(0.1), y = d(0.7), z = d(0.1);
+  const F64 l2 = sf::mul(x, sf::add(y, z, env2), env2);
+  const F64 r2 = sf::add(sf::mul(x, y, env2), sf::mul(x, z, env2), env2);
+  EXPECT_EQ(l2.bits, sf::from_native(0.1 * (0.7 + 0.1)).bits);
+  EXPECT_EQ(r2.bits, sf::from_native(0.1 * 0.7 + 0.1 * 0.1).bits);
+}
+
+TEST(ArithBasic, CommutativityHolds) {
+  // Core quiz "Commutativity": a+b == b+a for floating point (non-NaN).
+  sf::Env env;
+  const double xs[] = {0.1, -3.5, 1e300, 1e-320, 0.0, -0.0, 7.25};
+  for (double x : xs) {
+    for (double y : xs) {
+      EXPECT_EQ(sf::add(d(x), d(y), env).bits, sf::add(d(y), d(x), env).bits);
+      EXPECT_EQ(sf::mul(d(x), d(y), env).bits, sf::mul(d(y), d(x), env).bits);
+    }
+  }
+}
+
+TEST(ArithBasic, Binary32Arithmetic) {
+  sf::Env env;
+  const F32 a = sf::from_native(0.1f);
+  const F32 b = sf::from_native(0.2f);
+  const F32 sum = sf::add(a, b, env);
+  EXPECT_EQ(sum.bits, sf::from_native(0.1f + 0.2f).bits);
+}
+
+TEST(ArithBasic, Binary16Arithmetic) {
+  sf::Env env;
+  using F16 = sf::Float16;
+  const F16 one = F16::one();
+  const F16 two = sf::add(one, one, env);
+  EXPECT_EQ(two.bits, 0x4000u);
+  // 1/3 in binary16, known value 0x3555 (0.333251953125).
+  const F16 three = sf::from_int64<16>(3, env);
+  EXPECT_EQ(sf::div(one, three, env).bits, 0x3555u);
+  // binary16 saturates quickly: 65504 + 15 rounds back down to 65504, but
+  // 65504 + 16 is the tie at 65520, and the even significand is 65536's,
+  // so the tie rounds UP and overflows to infinity.
+  const F16 maxf = F16::max_finite();
+  sf::Env env2;
+  const F16 fifteen = sf::from_int64<16>(15, env2);
+  EXPECT_EQ(sf::add(maxf, fifteen, env2).bits, maxf.bits);
+  sf::Env env3;
+  const F16 sixteen = sf::from_int64<16>(16, env3);
+  EXPECT_TRUE(sf::add(maxf, sixteen, env3).is_infinity());
+  EXPECT_TRUE(env3.test(sf::kFlagOverflow));
+}
+
+}  // namespace

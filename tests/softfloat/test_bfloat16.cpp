@@ -1,0 +1,182 @@
+// bfloat16: the truncated-binary32 ML format. Known encodings, the
+// "binary32 range with almost no precision" trade-off, and an exact
+// arithmetic oracle through binary64 (7-bit significands make every
+// add/sub/mul exact in double).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+#include "stats/prng.hpp"
+
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+
+namespace {
+
+using BF = sf::BFloat16;
+
+constexpr int kB = sf::kBFloat16;
+
+TEST(BFloat16, Layout) {
+  EXPECT_EQ(BF::one().bits, 0x3F80u) << "same as binary32's top 16 bits";
+  EXPECT_EQ(BF::infinity().bits, 0x7F80u);
+  EXPECT_EQ(BF::quiet_nan().bits, 0x7FC0u);
+  EXPECT_EQ(BF::max_finite().bits, 0x7F7Fu);
+  EXPECT_EQ(BF::min_normal().bits, 0x0080u);
+  EXPECT_EQ(sf::format_name<kB>(), std::string("bfloat16"));
+}
+
+TEST(BFloat16, SharesBinary32ExponentRange) {
+  sf::Env env;
+  // max finite ~ 3.39e38, like binary32's magnitude range.
+  const double maxf = sf::to_native(sf::convert<64>(BF::max_finite(), env));
+  EXPECT_GT(maxf, 3e38);
+  EXPECT_LT(maxf, 4e38);
+  // ... but 1 + eps jumps straight to 1.0078125 (7 fraction bits).
+  const BF above_one = sf::next_up(BF::one());
+  EXPECT_EQ(sf::to_native(sf::convert<64>(above_one, env)), 1.0078125);
+}
+
+TEST(BFloat16, ConversionFromBinary32IsTopHalfRounded) {
+  // Round-to-nearest of the low 16 bits of the binary32 encoding.
+  st::Xoshiro256pp g(0xBF01);
+  sf::Env env;
+  for (int i = 0; i < 50000; ++i) {
+    const auto fbits = static_cast<std::uint32_t>(g());
+    const sf::Float32 f{fbits};
+    if (f.is_nan()) continue;
+    const BF b = sf::convert<kB>(f, env);
+    // Manual reference: round the 32-bit encoding to its top 16 bits
+    // (round-to-nearest-even on the dropped half) — the classic bfloat16
+    // truncate-with-rounding, valid because the layouts nest.
+    const std::uint32_t lower = fbits & 0xFFFFu;
+    std::uint32_t top = fbits >> 16;
+    if (lower > 0x8000u || (lower == 0x8000u && (top & 1u))) top += 1;
+    // (top may carry into inf, which is correct overflow behavior)
+    EXPECT_EQ(b.bits, static_cast<std::uint16_t>(top))
+        << sf::describe(f);
+  }
+}
+
+TEST(BFloat16, WideningToBinary32AppendsZeros) {
+  st::Xoshiro256pp g(0xBF02);
+  sf::Env env;
+  for (int i = 0; i < 50000; ++i) {
+    const BF b{static_cast<std::uint16_t>(g())};
+    if (b.is_nan()) continue;
+    const sf::Float32 f = sf::convert<32>(b, env);
+    EXPECT_EQ(f.bits, static_cast<std::uint32_t>(b.bits) << 16)
+        << sf::describe(b);
+  }
+}
+
+enum class Op { kAdd, kSub, kMul };
+
+class BFloat16Oracle : public ::testing::TestWithParam<Op> {};
+
+TEST_P(BFloat16Oracle, ExactThroughBinary64) {
+  // 8-bit significands: sums/products are exact in binary64, so one
+  // final rounding gives the correct bfloat16 answer.
+  st::Xoshiro256pp g(0xBF03 + static_cast<int>(GetParam()));
+  for (int i = 0; i < 60000; ++i) {
+    const BF a{static_cast<std::uint16_t>(g())};
+    const BF b{static_cast<std::uint16_t>(g())};
+    sf::Env env;
+    BF direct;
+    switch (GetParam()) {
+      case Op::kAdd:
+        direct = sf::add(a, b, env);
+        break;
+      case Op::kSub:
+        direct = sf::sub(a, b, env);
+        break;
+      case Op::kMul:
+        direct = sf::mul(a, b, env);
+        break;
+    }
+    sf::Env wide_env;
+    const sf::Float64 wa = sf::convert<64>(a, wide_env);
+    const sf::Float64 wb = sf::convert<64>(b, wide_env);
+    sf::Float64 wide;
+    switch (GetParam()) {
+      case Op::kAdd:
+        wide = sf::add(wa, wb, wide_env);
+        break;
+      case Op::kSub:
+        wide = sf::sub(wa, wb, wide_env);
+        break;
+      case Op::kMul:
+        wide = sf::mul(wa, wb, wide_env);
+        break;
+    }
+    sf::Env narrow;
+    const BF via = sf::convert<kB>(wide, narrow);
+    const bool both_nan = direct.is_nan() && via.is_nan();
+    ASSERT_TRUE(both_nan || direct.bits == via.bits)
+        << sf::describe(a) << " op " << sf::describe(b) << " direct "
+        << sf::describe(direct) << " oracle " << sf::describe(via);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, BFloat16Oracle,
+                         ::testing::Values(Op::kAdd, Op::kSub, Op::kMul),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Op::kAdd:
+                               return "add";
+                             case Op::kSub:
+                               return "sub";
+                             default:
+                               return "mul";
+                           }
+                         });
+
+TEST(BFloat16, PrecisionGotchasAreWorseThanBinary16) {
+  // The Saturation Plus threshold arrives at 256 (!) in bfloat16: ulp(256)
+  // = 2, so 256 + 1 rounds back down.
+  sf::Env env;
+  const BF one = BF::one();
+  const BF bf256 = sf::from_int64<kB>(256, env);
+  EXPECT_EQ(sf::add(bf256, one, env).bits, bf256.bits)
+      << "256 + 1 == 256 in bfloat16";
+  // Compare: binary16 holds on until 2048.
+  const auto h2048 = sf::from_int64<16>(2048, env);
+  const auto hone = sf::Float16::one();
+  EXPECT_EQ(sf::add(h2048, hone, env).bits, h2048.bits);
+  const auto h1024 = sf::from_int64<16>(1024, env);
+  EXPECT_NE(sf::add(h1024, hone, env).bits, h1024.bits);
+}
+
+TEST(BFloat16, QuizGotchasHoldInBfloat16Too) {
+  // The core-quiz behaviors are format-independent: spot-check the
+  // headline ones on bfloat16.
+  sf::Env env;
+  const BF zero = BF::zero();
+  const BF one = BF::one();
+  const BF nan = sf::div(zero, zero, env);
+  EXPECT_TRUE(nan.is_nan()) << "0/0 invalid";
+  EXPECT_FALSE(sf::equal(nan, nan, env)) << "Identity fails";
+  EXPECT_TRUE(sf::div(one, zero, env).is_infinity()) << "1/0 is inf";
+  EXPECT_TRUE(sf::equal(zero, zero.negated(), env)) << "-0 == +0";
+  const BF big = BF::max_finite();
+  EXPECT_TRUE(sf::add(big, big, env).is_infinity()) << "saturating overflow";
+}
+
+TEST(BFloat16, UtilitiesWork) {
+  EXPECT_EQ(sf::next_up(BF::max_finite()).bits, BF::infinity().bits);
+  EXPECT_EQ(sf::next_up(BF::zero()).bits, BF::min_subnormal().bits);
+  sf::Env env;
+  EXPECT_EQ(sf::min_num(BF::quiet_nan(), BF::one(), env).bits,
+            BF::one().bits);
+  EXPECT_EQ(sf::to_native(sf::convert<64>(
+                sf::round_to_integral(sf::convert<kB>(
+                                          sf::from_native(2.5), env),
+                                      env),
+                env)),
+            2.0);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Exhaustive unary sweeps over ALL 65536 binary16 encodings: total
+// coverage of sqrt, roundToIntegralExact, and the encoding-order
+// utilities on a complete format. (Binary ops are covered by the random
+// oracle in test_binary16_oracle.cpp; 2^32 pairs would be exhaustive but
+// slow — 2^16 unary is free.)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+
+namespace sf = fpq::softfloat;
+
+namespace {
+
+using F16 = sf::Float16;
+
+double widen(F16 x) {
+  sf::Env env;
+  return sf::to_native(sf::convert<64>(x, env));
+}
+
+TEST(Binary16Exhaustive, SqrtWithinOneUlpOfWideSqrtAndExactWhenSquare) {
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    const F16 x{static_cast<std::uint16_t>(raw)};
+    sf::Env env;
+    const F16 r = sf::sqrt(x, env);
+    if (x.is_nan() || (x.sign() && !x.is_zero())) {
+      ASSERT_TRUE(r.is_nan()) << sf::describe(x);
+      continue;
+    }
+    if (x.is_zero() || x.is_infinity()) {
+      ASSERT_EQ(r.bits, x.bits) << sf::describe(x);
+      continue;
+    }
+    // Reference: binary64 sqrt of the widened value, narrowed. Double
+    // rounding can differ from the directly rounded result by at most one
+    // ulp; and when the input is an exact square the result is exact.
+    const double wide = std::sqrt(widen(x));
+    sf::Env narrow;
+    const F16 via = sf::convert<16>(sf::from_native(wide), narrow);
+    const bool close = r.bits == via.bits || r.bits + 1 == via.bits ||
+                       via.bits + 1 == r.bits;
+    ASSERT_TRUE(close) << sf::describe(x) << " -> " << sf::describe(r)
+                       << " vs " << sf::describe(via);
+    // Exactness invariant: sqrt(r)^2 == x implies no inexact flag.
+    const double back = widen(r) * widen(r);
+    if (back == widen(x)) {
+      ASSERT_FALSE(env.test(sf::kFlagInexact)) << sf::describe(x);
+    }
+  }
+}
+
+TEST(Binary16Exhaustive, RoundToIntegralContract) {
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    const F16 x{static_cast<std::uint16_t>(raw)};
+    sf::Env env;
+    const F16 r = sf::round_to_integral(x, env);
+    if (x.is_nan()) {
+      ASSERT_TRUE(r.is_nan());
+      continue;
+    }
+    if (x.is_infinity()) {
+      ASSERT_EQ(r.bits, x.bits);
+      continue;
+    }
+    const double xv = widen(x);
+    const double rv = widen(r);
+    // Result is integral...
+    ASSERT_EQ(rv, std::nearbyint(rv)) << sf::describe(x);
+    // ... within 0.5 of the input (nearest-even mode) ...
+    ASSERT_LE(std::fabs(rv - xv), 0.5) << sf::describe(x);
+    // ... matches the host's nearbyint ...
+    ASSERT_EQ(rv, std::nearbyint(xv)) << sf::describe(x);
+    // ... preserves sign of zero results ...
+    if (rv == 0.0) {
+      ASSERT_EQ(std::signbit(rv), x.sign()) << sf::describe(x);
+    }
+    // ... and raises inexact exactly when the value changed.
+    ASSERT_EQ(env.test(sf::kFlagInexact), rv != xv) << sf::describe(x);
+  }
+}
+
+TEST(Binary16Exhaustive, NextUpIsTheSuccessorInValueOrder) {
+  // For every finite x (except the largest), next_up(x) is strictly
+  // greater and nothing fits strictly between (checked through the exact
+  // binary64 widening).
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    const F16 x{static_cast<std::uint16_t>(raw)};
+    if (x.is_nan() || x.is_infinity()) continue;
+    const F16 up = sf::next_up(x);
+    if (up.is_infinity()) {
+      ASSERT_EQ(x.bits, F16::max_finite().bits);
+      continue;
+    }
+    ASSERT_GT(widen(up), widen(x)) << sf::describe(x);
+    // Successor property: the midpoint narrows to one of the two.
+    sf::Env env;
+    const double mid = (widen(x) + widen(up)) / 2.0;
+    const F16 narrowed = sf::convert<16>(sf::from_native(mid), env);
+    ASSERT_TRUE(narrowed.bits == x.bits || narrowed.bits == up.bits ||
+                (narrowed.is_zero() && x.is_zero()))
+        << sf::describe(x);
+  }
+}
+
+TEST(Binary16Exhaustive, UlpMatchesNeighbourGap) {
+  for (std::uint32_t raw = 0; raw <= 0x7BFE; ++raw) {  // positive finite
+    const F16 x{static_cast<std::uint16_t>(raw)};
+    const F16 up = sf::next_up(x);
+    const double gap = widen(up) - widen(x);
+    const double u = widen(sf::ulp(x));
+    // ulp(x) equals the gap to the next value away from zero; at binade
+    // boundaries next_up crosses into the wider gap, so allow gap or
+    // half-gap... for positive x going up IS away from zero: exact match
+    // except where x is a power of two (the gap above is the larger one).
+    ASSERT_TRUE(u == gap || 2.0 * u == gap) << sf::describe(x);
+  }
+}
+
+TEST(Binary16Exhaustive, NegationRoundTripsAndAbsClearsSign) {
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    const F16 x{static_cast<std::uint16_t>(raw)};
+    ASSERT_EQ(x.negated().negated().bits, x.bits);
+    ASSERT_FALSE(x.abs().sign());
+    ASSERT_EQ(x.abs().abs().bits, x.abs().bits);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Exact-oracle testing for binary16 arithmetic.
+//
+// binary16 operands have 11-bit significands and 5-bit exponents, so the
+// EXACT sum/difference/product of any two of them is representable in
+// binary64 with plenty of room (sums need <= ~36 significant bits,
+// products <= 22). Therefore:
+//
+//     convert16(  exact-op-in-binary64( widen(a), widen(b) )  )
+//
+// rounds exactly once and is the correctly rounded binary16 answer. This
+// gives a perfect independent reference for add/sub/mul that exercises the
+// engine's binary16 instantiation far beyond the directed tests — across
+// all five rounding modes, over both random and exhaustive-boundary
+// operand sets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "stats/prng.hpp"
+
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+
+namespace {
+
+using F16 = sf::Float16;
+using F64 = sf::Float64;
+
+const sf::Rounding kAllModes[] = {
+    sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+    sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway,
+};
+
+enum class Op { kAdd, kSub, kMul };
+
+F16 run_f16(Op op, F16 a, F16 b, sf::Env& env) {
+  switch (op) {
+    case Op::kAdd:
+      return sf::add(a, b, env);
+    case Op::kSub:
+      return sf::sub(a, b, env);
+    case Op::kMul:
+      return sf::mul(a, b, env);
+  }
+  return F16{};
+}
+
+F64 run_f64(Op op, F64 a, F64 b, sf::Env& env) {
+  switch (op) {
+    case Op::kAdd:
+      return sf::add(a, b, env);
+    case Op::kSub:
+      return sf::sub(a, b, env);
+    case Op::kMul:
+      return sf::mul(a, b, env);
+  }
+  return F64{};
+}
+
+// Computes the oracle result: exact op in binary64, one rounding to
+// binary16. Returns true when the binary64 step was indeed exact (it must
+// be for add/sub/mul of binary16 values).
+F16 oracle(Op op, F16 a, F16 b, sf::Rounding mode, bool& exact64) {
+  sf::Env widen;  // widening is exact
+  const F64 wa = sf::convert<64>(a, widen);
+  const F64 wb = sf::convert<64>(b, widen);
+  // The wide op must run under the target mode: even exact results carry
+  // mode dependence through the sign of exact zeros (x + (-x) is -0 under
+  // roundTowardNegative).
+  sf::Env exact_env(mode);
+  const F64 wide = run_f64(op, wa, wb, exact_env);
+  exact64 = !exact_env.test(sf::kFlagInexact);
+  sf::Env narrow(mode);
+  return sf::convert<16>(wide, narrow);
+}
+
+void check_pair(Op op, std::uint16_t abits, std::uint16_t bbits,
+                sf::Rounding mode, const char* what) {
+  const F16 a{abits}, b{bbits};
+  sf::Env env(mode);
+  const F16 direct = run_f16(op, a, b, env);
+  bool exact64 = false;
+  const F16 via = oracle(op, a, b, mode, exact64);
+  if (a.is_finite() && b.is_finite()) {
+    ASSERT_TRUE(exact64) << what << ": binary64 intermediate must be exact";
+  }
+  const bool both_nan = direct.is_nan() && via.is_nan();
+  ASSERT_TRUE(both_nan || direct.bits == via.bits)
+      << what << " op=" << static_cast<int>(op)
+      << " mode=" << sf::rounding_to_string(mode) << " a="
+      << sf::describe(a) << " b=" << sf::describe(b) << " direct="
+      << sf::describe(direct) << " oracle=" << sf::describe(via);
+}
+
+class Binary16Oracle : public ::testing::TestWithParam<Op> {};
+
+TEST_P(Binary16Oracle, RandomPairsAllModes) {
+  st::Xoshiro256pp g(0x160A + static_cast<int>(GetParam()));
+  for (sf::Rounding mode : kAllModes) {
+    for (int i = 0; i < 40000; ++i) {
+      const auto abits = static_cast<std::uint16_t>(g());
+      const auto bbits = static_cast<std::uint16_t>(g());
+      check_pair(GetParam(), abits, bbits, mode, "random");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_P(Binary16Oracle, BoundaryPairsAllModes) {
+  // Exhaustive over a boundary set: values around the subnormal/normal
+  // border, the overflow border, powers of two, and specials.
+  std::vector<std::uint16_t> boundary;
+  for (std::uint16_t base : {
+           std::uint16_t{0x0000},  // +0
+           std::uint16_t{0x0001},  // min subnormal
+           std::uint16_t{0x03FF},  // max subnormal
+           std::uint16_t{0x0400},  // min normal
+           std::uint16_t{0x3C00},  // 1.0
+           std::uint16_t{0x7BFF},  // max finite
+           std::uint16_t{0x7C00},  // +inf
+           std::uint16_t{0x7E00},  // qNaN
+           std::uint16_t{0x4000},  // 2.0
+           std::uint16_t{0x3555},  // ~1/3
+       }) {
+    for (int delta : {-2, -1, 0, 1, 2}) {
+      const int v = static_cast<int>(base) + delta;
+      if (v < 0 || v > 0xFFFF) continue;
+      boundary.push_back(static_cast<std::uint16_t>(v));
+      boundary.push_back(
+          static_cast<std::uint16_t>(v | 0x8000));  // negative twin
+    }
+  }
+  for (sf::Rounding mode : kAllModes) {
+    for (std::uint16_t a : boundary) {
+      for (std::uint16_t b : boundary) {
+        check_pair(GetParam(), a, b, mode, "boundary");
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, Binary16Oracle,
+                         ::testing::Values(Op::kAdd, Op::kSub, Op::kMul),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Op::kAdd:
+                               return "add";
+                             case Op::kSub:
+                               return "sub";
+                             default:
+                               return "mul";
+                           }
+                         });
+
+TEST(Binary16OracleDiv, QuotientWithinOneUlpOfWideQuotient) {
+  // Division is not exact in binary64, so the oracle is weaker: the
+  // binary16 quotient must be one of the two binary16 neighbours of the
+  // correctly rounded binary64 quotient (single- vs double-rounding can
+  // differ by at most the final ulp).
+  st::Xoshiro256pp g(0xD16);
+  for (int i = 0; i < 40000; ++i) {
+    const F16 a{static_cast<std::uint16_t>(g())};
+    const F16 b{static_cast<std::uint16_t>(g())};
+    sf::Env env;
+    const F16 direct = sf::div(a, b, env);
+    sf::Env wide_env;
+    const F64 wide = sf::div(sf::convert<64>(a, wide_env),
+                             sf::convert<64>(b, wide_env), wide_env);
+    sf::Env narrow;
+    const F16 via = sf::convert<16>(wide, narrow);
+    if (direct.is_nan()) {
+      ASSERT_TRUE(via.is_nan());
+      continue;
+    }
+    const bool close = direct.bits == via.bits ||
+                       direct.bits + 1 == via.bits ||
+                       via.bits + 1 == direct.bits;
+    ASSERT_TRUE(close) << sf::describe(a) << " / " << sf::describe(b)
+                       << " -> " << sf::describe(direct) << " vs "
+                       << sf::describe(via);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// The non-standard x86 flush modes, emulated: FTZ (flush tiny results to
+// zero) and DAZ (treat subnormal inputs as zero). These are the subject of
+// the paper's "Flush to Zero" optimization-quiz question — NOT part of the
+// IEEE standard, and a source of silent result changes.
+
+#include <gtest/gtest.h>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+
+namespace sf = fpq::softfloat;
+
+namespace {
+
+using F64 = sf::Float64;
+using F32 = sf::Float32;
+
+F64 d(double x) { return sf::from_native(x); }
+
+sf::Env ftz_env() {
+  sf::Env env;
+  env.set_flush_to_zero(true);
+  return env;
+}
+
+sf::Env daz_env() {
+  sf::Env env;
+  env.set_denormals_are_zero(true);
+  return env;
+}
+
+TEST(Ftz, SubnormalResultFlushesToSignedZero) {
+  sf::Env env = ftz_env();
+  const F64 r = sf::div(F64::min_normal(), d(2.0), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_FALSE(r.sign());
+  EXPECT_TRUE(env.test(sf::kFlagUnderflow));
+  EXPECT_TRUE(env.test(sf::kFlagInexact));
+
+  sf::Env env2 = ftz_env();
+  const F64 neg = sf::div(F64::min_normal(true), d(2.0), env2);
+  EXPECT_TRUE(neg.is_zero());
+  EXPECT_TRUE(neg.sign()) << "flush preserves the sign";
+}
+
+TEST(Ftz, SameOperationWithoutFtzIsExactSubnormal) {
+  sf::Env env;  // IEEE default
+  const F64 r = sf::div(F64::min_normal(), d(2.0), env);
+  EXPECT_TRUE(r.is_subnormal());
+  EXPECT_EQ(env.flags(), 0u) << "gradual underflow, exact: no flags at all";
+}
+
+TEST(Ftz, NormalResultsUnaffected) {
+  sf::Env env = ftz_env();
+  EXPECT_EQ(sf::add(d(1.0), d(2.0), env).bits, d(3.0).bits);
+  EXPECT_EQ(sf::mul(d(1.5), d(2.0), env).bits, d(3.0).bits);
+  EXPECT_EQ(env.flags(), 0u);
+}
+
+TEST(Ftz, SmallestNormalResultSurvives) {
+  sf::Env env = ftz_env();
+  const F64 r = sf::mul(F64::min_normal(), d(1.0), env);
+  EXPECT_EQ(r.bits, F64::min_normal().bits);
+}
+
+TEST(Daz, SubnormalInputTreatedAsZero) {
+  sf::Env env = daz_env();
+  const F64 sub = F64::min_subnormal();
+  // subnormal + 0 == +0 under DAZ (the operand itself vanishes).
+  EXPECT_TRUE(sf::add(sub, d(0.0), env).is_zero());
+  // subnormal * huge == 0 under DAZ instead of a normal value.
+  EXPECT_TRUE(sf::mul(sub, d(1e300), env).is_zero());
+
+  sf::Env ieee;
+  EXPECT_FALSE(sf::mul(sub, d(1e300), ieee).is_zero())
+      << "without DAZ the product is a representable normal";
+}
+
+TEST(Daz, DivisionByDazedSubnormalIsDivByZero) {
+  // A dramatic DAZ consequence: x / subnormal becomes x / 0 -> infinity
+  // with the divide-by-zero flag, where IEEE gives a huge finite quotient.
+  const F64 max_subnormal{0x000FFFFFFFFFFFFFULL};
+  sf::Env env = daz_env();
+  const F64 r = sf::div(d(1.0), max_subnormal, env);
+  EXPECT_TRUE(r.is_infinity());
+  EXPECT_TRUE(env.test(sf::kFlagDivByZero));
+
+  sf::Env ieee;
+  const F64 honest = sf::div(d(1.0), max_subnormal, ieee);
+  EXPECT_TRUE(honest.is_finite());
+  EXPECT_FALSE(ieee.test(sf::kFlagDivByZero));
+}
+
+TEST(Daz, ComparisonSeesFlushedOperands) {
+  sf::Env env = daz_env();
+  EXPECT_TRUE(sf::equal(F64::min_subnormal(), d(0.0), env))
+      << "under DAZ a subnormal compares equal to zero";
+  sf::Env ieee;
+  EXPECT_FALSE(sf::equal(F64::min_subnormal(), d(0.0), ieee));
+}
+
+TEST(Daz, SignOfFlushedOperandPreserved) {
+  sf::Env env = daz_env();
+  const F64 r = sf::add(F64::min_subnormal(true), F64::zero(true), env);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.sign());
+}
+
+TEST(FtzDaz, DenormalInputFlagMirrorsX86DE) {
+  // Without DAZ, consuming a subnormal raises the diagnostic
+  // denormal-input flag; with DAZ, x86 does not set DE and neither do we.
+  sf::Env ieee;
+  sf::mul(F64::min_subnormal(), d(2.0), ieee);
+  EXPECT_TRUE(ieee.test(sf::kFlagDenormalInput));
+
+  sf::Env env = daz_env();
+  sf::mul(F64::min_subnormal(), d(2.0), env);
+  EXPECT_FALSE(env.test(sf::kFlagDenormalInput));
+}
+
+TEST(FtzDaz, Binary32FlushBehavesLikeBinary64) {
+  sf::Env env = ftz_env();
+  const F32 tiny = F32::min_normal();
+  const F32 half = sf::from_native(0.5f);
+  EXPECT_TRUE(sf::mul(tiny, half, env).is_zero());
+  EXPECT_TRUE(env.test(sf::kFlagUnderflow));
+}
+
+TEST(FtzDaz, FtzChangesIterativeDecayResult) {
+  // The "very small magnitude numbers matter" scenario from the paper's
+  // Denormal Precision discussion: repeated halving under IEEE reaches the
+  // smallest subnormal and only then zero; under FTZ it hits zero as soon
+  // as the result leaves the normal range.
+  sf::Env ieee;
+  sf::Env ftz = ftz_env();
+  F64 x_ieee = F64::min_normal();
+  F64 x_ftz = F64::min_normal();
+  const F64 half = d(0.5);
+  int ieee_steps = 0, ftz_steps = 0;
+  while (!x_ieee.is_zero() && ieee_steps < 200) {
+    x_ieee = sf::mul(x_ieee, half, ieee);
+    ++ieee_steps;
+  }
+  while (!x_ftz.is_zero() && ftz_steps < 200) {
+    x_ftz = sf::mul(x_ftz, half, ftz);
+    ++ftz_steps;
+  }
+  EXPECT_EQ(ftz_steps, 1) << "FTZ kills the value on the first tiny result";
+  EXPECT_EQ(ieee_steps, 53) << "gradual underflow walks down 52 subnormal "
+                               "bits before reaching zero";
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// Algebraic property sweeps over random operands: which real-arithmetic
+// laws floating point keeps, and which it provably loses — the exact
+// subject matter of the paper's core quiz, verified as properties of the
+// engine rather than of human belief.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+#include "stats/prng.hpp"
+
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+
+namespace {
+
+using F64 = sf::Float64;
+
+F64 d(double x) { return sf::from_native(x); }
+
+std::uint64_t gen_any(st::Xoshiro256pp& g) { return g(); }
+
+std::uint64_t gen_nonnan(st::Xoshiro256pp& g) {
+  for (;;) {
+    const std::uint64_t bits = g();
+    if (!F64{bits}.is_nan()) return bits;
+  }
+}
+
+constexpr int kSweep = 20000;
+
+TEST(Properties, AdditionIsCommutativeEvenForSpecials) {
+  // Core quiz "Commutativity": value-level commutativity holds; with NaNs
+  // the *payload* may differ but the class does not.
+  st::Xoshiro256pp g(0xC0331);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_any(g)}, b{gen_any(g)};
+    sf::Env e1, e2;
+    const F64 ab = sf::add(a, b, e1);
+    const F64 ba = sf::add(b, a, e2);
+    if (ab.is_nan()) {
+      EXPECT_TRUE(ba.is_nan());
+    } else {
+      EXPECT_EQ(ab.bits, ba.bits)
+          << sf::describe(a) << " + " << sf::describe(b);
+    }
+    EXPECT_EQ(e1.flags(), e2.flags());
+  }
+}
+
+TEST(Properties, MultiplicationIsCommutative) {
+  st::Xoshiro256pp g(0xC0332);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_any(g)}, b{gen_any(g)};
+    sf::Env e1, e2;
+    const F64 ab = sf::mul(a, b, e1);
+    const F64 ba = sf::mul(b, a, e2);
+    if (ab.is_nan()) {
+      EXPECT_TRUE(ba.is_nan());
+    } else {
+      EXPECT_EQ(ab.bits, ba.bits);
+    }
+    EXPECT_EQ(e1.flags(), e2.flags());
+  }
+}
+
+TEST(Properties, AssociativityFailsMeasurablyOften) {
+  // Core quiz "Associativity": count how often (a+b)+c != a+(b+c) over
+  // random normal operands — it must fail for a sizeable fraction.
+  st::Xoshiro256pp g(0xA5501);
+  // Moderate exponents: with fully random exponents one operand dominates
+  // and both association orders collapse to it.
+  auto gen_moderate = [&g] {
+    const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp = 1023 - 8 + st::uniform_below(g, 16);
+    const std::uint64_t sign = g() & 0x8000000000000000ULL;
+    return F64{sign | (exp << 52) | frac};
+  };
+  int mismatches = 0;
+  int comparable = 0;
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a = gen_moderate(), b = gen_moderate(), c = gen_moderate();
+    sf::Env env;
+    const F64 left = sf::add(sf::add(a, b, env), c, env);
+    const F64 right = sf::add(a, sf::add(b, c, env), env);
+    if (left.is_nan() || right.is_nan()) continue;
+    ++comparable;
+    if (left.bits != right.bits) ++mismatches;
+  }
+  ASSERT_GT(comparable, kSweep / 2);
+  EXPECT_GT(mismatches, comparable / 20)
+      << "associativity should fail for >5% of random triples";
+}
+
+TEST(Properties, DistributivityFailsMeasurablyOften) {
+  st::Xoshiro256pp g(0xD1507);
+  // Moderate exponents so both sides stay finite and the roundings of
+  // (b+c), a*b and a*c actually interact.
+  auto gen_moderate = [&g] {
+    const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp = 1023 - 8 + st::uniform_below(g, 16);
+    const std::uint64_t sign = g() & 0x8000000000000000ULL;
+    return F64{sign | (exp << 52) | frac};
+  };
+  int mismatches = 0;
+  int comparable = 0;
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a = gen_moderate(), b = gen_moderate(), c = gen_moderate();
+    sf::Env env;
+    const F64 left = sf::mul(a, sf::add(b, c, env), env);
+    const F64 right =
+        sf::add(sf::mul(a, b, env), sf::mul(a, c, env), env);
+    if (left.is_nan() || right.is_nan()) continue;
+    ++comparable;
+    if (left.bits != right.bits) ++mismatches;
+  }
+  ASSERT_GT(comparable, kSweep / 4);
+  EXPECT_GT(mismatches, comparable / 20);
+}
+
+TEST(Properties, SubtractionOfEqualsIsZeroForFinite) {
+  st::Xoshiro256pp g(0x5E10);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_nonnan(g)};
+    if (!a.is_finite()) continue;
+    sf::Env env;
+    EXPECT_TRUE(sf::sub(a, a, env).is_zero()) << sf::describe(a);
+  }
+}
+
+TEST(Properties, SquareIsNeverNegative) {
+  // Core quiz "Square": for every non-NaN x, x*x has a clear sign bit.
+  st::Xoshiro256pp g(0x50AE);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_nonnan(g)};
+    sf::Env env;
+    const F64 sq = sf::mul(a, a, env);
+    EXPECT_FALSE(sq.sign()) << sf::describe(a);
+    EXPECT_FALSE(sq.is_nan()) << sf::describe(a);
+  }
+}
+
+TEST(Properties, SqrtOfSquareWithinOneUlpOfAbs) {
+  st::Xoshiro256pp g(0x5C27);
+  for (int i = 0; i < kSweep; ++i) {
+    // Keep exponents small enough that the square neither overflows nor
+    // slips into the subnormal range.
+    const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp = 1023 - 100 + st::uniform_below(g, 200);
+    const F64 a{(exp << 52) | frac};
+    sf::Env env;
+    const F64 back = sf::sqrt(sf::mul(a, a, env), env);
+    // Two roundings: |back - a| <= 1 ulp.
+    EXPECT_TRUE(back.bits == a.bits || back.bits == sf::next_up(a).bits ||
+                back.bits == sf::next_down(a).bits)
+        << sf::describe(a) << " -> " << sf::describe(back);
+  }
+}
+
+TEST(Properties, SqrtIsMonotone) {
+  st::Xoshiro256pp g(0x3010);
+  for (int i = 0; i < kSweep; ++i) {
+    const std::uint64_t bits = g() & 0x7FEFFFFFFFFFFFFFULL;  // finite >= 0
+    const F64 a{bits};
+    const F64 b = sf::next_up(a);
+    sf::Env env;
+    const F64 ra = sf::sqrt(a, env);
+    const F64 rb = sf::sqrt(b, env);
+    EXPECT_TRUE(sf::total_order(ra, rb)) << sf::describe(a);
+  }
+}
+
+TEST(Properties, FmaMatchesExactMulWhenAddendZero) {
+  st::Xoshiro256pp g(0xF3A9);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_nonnan(g)}, b{gen_nonnan(g)};
+    sf::Env e1, e2;
+    const F64 fused = sf::fma(a, b, F64::zero(), e1);
+    const F64 plain = sf::mul(a, b, e2);
+    if (fused.is_nan()) {
+      EXPECT_TRUE(plain.is_nan());
+      continue;
+    }
+    if (plain.is_zero() && plain.sign()) {
+      // -0 + +0 = +0: the only sign difference between fma(a,b,0) and mul.
+      EXPECT_TRUE(fused.is_zero());
+    } else {
+      EXPECT_EQ(fused.bits, plain.bits)
+          << sf::describe(a) << " * " << sf::describe(b);
+    }
+  }
+}
+
+TEST(Properties, FmaResidualRecoversRoundingError) {
+  // fma(a, b, -round(a*b)) is the exact rounding error of the multiply —
+  // the key identity behind double-double arithmetic (only valid where the
+  // exact error is representable: keep exponents moderate).
+  st::Xoshiro256pp g(0xE1107);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t fa = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t fb = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t ea = 1023 - 15 + st::uniform_below(g, 30);
+    const std::uint64_t eb = 1023 - 15 + st::uniform_below(g, 30);
+    const F64 a{(ea << 52) | fa};
+    const F64 b{(eb << 52) | fb};
+    sf::Env env;
+    const F64 prod = sf::mul(a, b, env);
+    sf::Env env2;
+    const F64 residual = sf::fma(a, b, prod.negated(), env2);
+    EXPECT_FALSE(env2.test(sf::kFlagInexact))
+        << "the residual must be exact: " << sf::describe(a) << " * "
+        << sf::describe(b);
+    if (!env.test(sf::kFlagInexact)) {
+      EXPECT_TRUE(residual.is_zero());
+    }
+  }
+}
+
+TEST(Properties, CompareAgreesWithSubtractionSign) {
+  st::Xoshiro256pp g(0xC03B4);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_nonnan(g)}, b{gen_nonnan(g)};
+    sf::Env env;
+    const sf::Ordering ord = sf::compare_quiet(a, b, env);
+    sf::Env env2;
+    const F64 diff = sf::sub(a, b, env2);
+    if (diff.is_nan()) continue;  // inf - inf
+    switch (ord) {
+      case sf::Ordering::kLess:
+        EXPECT_TRUE(diff.sign() && !diff.is_zero());
+        break;
+      case sf::Ordering::kGreater:
+        EXPECT_TRUE(!diff.sign() && !diff.is_zero());
+        break;
+      case sf::Ordering::kEqual:
+        EXPECT_TRUE(diff.is_zero());
+        break;
+      case sf::Ordering::kUnordered:
+        ADD_FAILURE() << "non-NaN operands compared unordered";
+    }
+  }
+}
+
+TEST(Properties, AdditionIsMonotoneNonDecreasing) {
+  // If a <= b then a + c <= b + c (finite results, same rounding).
+  st::Xoshiro256pp g(0x30003);
+  for (int i = 0; i < kSweep; ++i) {
+    const F64 a{gen_nonnan(g)};
+    const F64 b = sf::next_up(a);
+    const F64 c{gen_nonnan(g)};
+    if (!a.is_finite() || !b.is_finite() || !c.is_finite()) continue;
+    sf::Env env;
+    const F64 ac = sf::add(a, c, env);
+    const F64 bc = sf::add(b, c, env);
+    if (ac.is_nan() || bc.is_nan()) continue;
+    EXPECT_TRUE(sf::total_order(ac, bc) || (ac.is_zero() && bc.is_zero()))
+        << sf::describe(a) << " " << sf::describe(c);
+  }
+}
+
+TEST(Properties, DivisionByPowerOfTwoIsExactWhenInRange) {
+  st::Xoshiro256pp g(0xD1F2);
+  const F64 two = d(2.0);
+  for (int i = 0; i < kSweep; ++i) {
+    const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp = 100 + st::uniform_below(g, 1800);
+    const F64 a{(exp << 52) | frac};
+    sf::Env env;
+    sf::div(a, two, env);
+    if (exp > 53) {  // result stays normal: must be exact
+      EXPECT_FALSE(env.test(sf::kFlagInexact)) << sf::describe(a);
+    }
+  }
+}
+
+TEST(Properties, NaNsAbsorbEverything) {
+  st::Xoshiro256pp g(0x4A42);
+  const F64 nan = F64::quiet_nan();
+  for (int i = 0; i < 2000; ++i) {
+    const F64 a{gen_any(g)};
+    sf::Env env;
+    EXPECT_TRUE(sf::add(nan, a, env).is_nan());
+    EXPECT_TRUE(sf::sub(a, nan, env).is_nan());
+    EXPECT_TRUE(sf::mul(nan, a, env).is_nan());
+    EXPECT_TRUE(sf::div(a, nan, env).is_nan());
+    EXPECT_TRUE(sf::fma(nan, a, a, env).is_nan());
+  }
+}
+
+}  // namespace

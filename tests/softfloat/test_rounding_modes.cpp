@@ -1,0 +1,177 @@
+// Rounding-direction properties that hold for every operation, checked as
+// parameterized property sweeps (no hardware needed, so roundTiesToAway is
+// covered here too).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/util.hpp"
+#include "stats/prng.hpp"
+
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+
+namespace {
+
+using F64 = sf::Float64;
+
+F64 d(double x) { return sf::from_native(x); }
+
+std::uint64_t gen_finite(st::Xoshiro256pp& g) {
+  // Finite normal values of moderate exponent.
+  const std::uint64_t frac = g() & 0x000FFFFFFFFFFFFFULL;
+  const std::uint64_t exp = 1023 - 30 + st::uniform_below(g, 60);
+  const std::uint64_t sign = g() & 0x8000000000000000ULL;
+  return sign | (exp << 52) | frac;
+}
+
+enum class Op { kAdd, kMul, kDiv };
+
+class RoundingEnvelope : public ::testing::TestWithParam<Op> {};
+
+// For finite operands the roundTowardNegative and roundTowardPositive
+// results bracket the exact value; toward-zero picks the endpoint closer to
+// zero and both nearest modes return one of the two endpoints.
+TEST_P(RoundingEnvelope, DirectedResultsBracketNearest) {
+  st::Xoshiro256pp g(0xE4E70 + static_cast<int>(GetParam()));
+  for (int i = 0; i < 5000; ++i) {
+    const F64 a{gen_finite(g)};
+    const F64 b{gen_finite(g)};
+    auto run = [&](sf::Rounding r) {
+      sf::Env env(r);
+      switch (GetParam()) {
+        case Op::kAdd:
+          return sf::add(a, b, env);
+        case Op::kMul:
+          return sf::mul(a, b, env);
+        case Op::kDiv:
+          return sf::div(a, b, env);
+      }
+      return F64{};
+    };
+    const F64 down = run(sf::Rounding::kDown);
+    const F64 up = run(sf::Rounding::kUp);
+    const F64 near_even = run(sf::Rounding::kNearestEven);
+    const F64 near_away = run(sf::Rounding::kNearestAway);
+    const F64 trunc = run(sf::Rounding::kTowardZero);
+
+    if (down.is_nan()) {
+      EXPECT_TRUE(up.is_nan());
+      continue;
+    }
+    EXPECT_TRUE(sf::total_order(down, up))
+        << "a=" << sf::describe(a) << " b=" << sf::describe(b);
+    EXPECT_TRUE(near_even.bits == down.bits || near_even.bits == up.bits);
+    EXPECT_TRUE(near_away.bits == down.bits || near_away.bits == up.bits);
+    const F64 expected_trunc = down.sign() ? up : down;
+    EXPECT_TRUE(trunc.bits == expected_trunc.bits || down.bits == up.bits)
+        << "a=" << sf::describe(a) << " b=" << sf::describe(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, RoundingEnvelope,
+                         ::testing::Values(Op::kAdd, Op::kMul, Op::kDiv),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Op::kAdd:
+                               return "add";
+                             case Op::kMul:
+                               return "mul";
+                             default:
+                               return "div";
+                           }
+                         });
+
+TEST(RoundingModes, ExactOperationsIgnoreMode) {
+  // 1.5 + 2.25 is exact: every mode must agree and raise nothing.
+  for (sf::Rounding r :
+       {sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+        sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway}) {
+    sf::Env env(r);
+    EXPECT_EQ(sf::add(d(1.5), d(2.25), env).bits, d(3.75).bits);
+    EXPECT_EQ(env.flags(), 0u) << sf::rounding_to_string(r);
+  }
+}
+
+TEST(RoundingModes, OneThirdRoundsByMode) {
+  // 1/3 = 0.0101...b: toward-zero and down truncate, up goes one ulp above.
+  sf::Env rn(sf::Rounding::kNearestEven);
+  sf::Env rz(sf::Rounding::kTowardZero);
+  sf::Env rd(sf::Rounding::kDown);
+  sf::Env ru(sf::Rounding::kUp);
+  const F64 third_rn = sf::div(d(1.0), d(3.0), rn);
+  const F64 third_rz = sf::div(d(1.0), d(3.0), rz);
+  const F64 third_rd = sf::div(d(1.0), d(3.0), rd);
+  const F64 third_ru = sf::div(d(1.0), d(3.0), ru);
+  EXPECT_EQ(third_rz.bits, third_rd.bits) << "positive: RZ == RD";
+  EXPECT_EQ(sf::next_up(third_rd).bits, third_ru.bits) << "one ulp apart";
+  EXPECT_TRUE(third_rn.bits == third_rd.bits ||
+              third_rn.bits == third_ru.bits);
+}
+
+TEST(RoundingModes, NegativeOneThirdMirrors) {
+  sf::Env rz(sf::Rounding::kTowardZero);
+  sf::Env rd(sf::Rounding::kDown);
+  sf::Env ru(sf::Rounding::kUp);
+  const F64 rz_v = sf::div(d(-1.0), d(3.0), rz);
+  const F64 rd_v = sf::div(d(-1.0), d(3.0), rd);
+  const F64 ru_v = sf::div(d(-1.0), d(3.0), ru);
+  EXPECT_EQ(rz_v.bits, ru_v.bits) << "negative: RZ == RU";
+  EXPECT_EQ(sf::next_down(ru_v).bits, rd_v.bits);
+}
+
+TEST(RoundingModes, TiesToEvenVsAway) {
+  // 2^53 + 1 is an exact tie in binary64.
+  sf::Env even(sf::Rounding::kNearestEven);
+  sf::Env away(sf::Rounding::kNearestAway);
+  const F64 big = d(9007199254740992.0);  // 2^53
+  const F64 one = d(1.0);
+  EXPECT_EQ(sf::to_native(sf::add(big, one, even)), 9007199254740992.0)
+      << "tie to even stays at 2^53";
+  EXPECT_EQ(sf::to_native(sf::add(big, one, away)), 9007199254740994.0)
+      << "tie away from zero goes up";
+}
+
+TEST(RoundingModes, OverflowRespectsDirectedModes) {
+  const F64 max = F64::max_finite();
+  {
+    sf::Env env(sf::Rounding::kTowardZero);
+    EXPECT_EQ(sf::mul(max, d(2.0), env).bits, max.bits)
+        << "RZ overflow clamps to max finite";
+  }
+  {
+    sf::Env env(sf::Rounding::kDown);
+    EXPECT_EQ(sf::mul(max, d(2.0), env).bits, max.bits);
+    EXPECT_TRUE(sf::mul(max.negated(), d(2.0), env).is_infinity())
+        << "RD overflow to -inf on the negative side";
+  }
+  {
+    sf::Env env(sf::Rounding::kUp);
+    EXPECT_TRUE(sf::mul(max, d(2.0), env).is_infinity());
+    EXPECT_EQ(sf::mul(max.negated(), d(2.0), env).bits, max.negated().bits);
+  }
+  {
+    sf::Env env(sf::Rounding::kNearestAway);
+    EXPECT_TRUE(sf::mul(max, d(2.0), env).is_infinity());
+  }
+}
+
+TEST(RoundingModes, DirectedUnderflowProducesMinSubnormal) {
+  // A positive value far below the subnormal range rounds to min_subnormal
+  // under RU but to zero under RZ/RD.
+  const F64 tiny = F64::min_subnormal();
+  sf::Env ru(sf::Rounding::kUp);
+  const F64 r_up = sf::mul(tiny, d(0.25), ru);
+  EXPECT_EQ(r_up.bits, tiny.bits);
+  EXPECT_TRUE(ru.test(sf::kFlagUnderflow));
+
+  sf::Env rd(sf::Rounding::kDown);
+  EXPECT_TRUE(sf::mul(tiny, d(0.25), rd).is_zero());
+
+  sf::Env rz(sf::Rounding::kTowardZero);
+  EXPECT_TRUE(sf::mul(tiny, d(0.25), rz).is_zero());
+}
+
+}  // namespace

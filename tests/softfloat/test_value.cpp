@@ -1,0 +1,163 @@
+// Classification, named constants, and encoding utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "softfloat/util.hpp"
+#include "softfloat/value.hpp"
+
+namespace sf = fpq::softfloat;
+
+namespace {
+
+TEST(Value, NamedConstantsBinary64) {
+  EXPECT_EQ(sf::Float64::zero().bits, 0u);
+  EXPECT_EQ(sf::Float64::zero(true).bits, 0x8000000000000000ULL);
+  EXPECT_EQ(sf::Float64::one().bits, 0x3FF0000000000000ULL);
+  EXPECT_EQ(sf::Float64::infinity().bits, 0x7FF0000000000000ULL);
+  EXPECT_EQ(sf::Float64::infinity(true).bits, 0xFFF0000000000000ULL);
+  EXPECT_EQ(sf::Float64::quiet_nan().bits, 0x7FF8000000000000ULL);
+  EXPECT_EQ(sf::Float64::max_finite().bits, 0x7FEFFFFFFFFFFFFFULL);
+  EXPECT_EQ(sf::Float64::min_normal().bits, 0x0010000000000000ULL);
+  EXPECT_EQ(sf::Float64::min_subnormal().bits, 0x0000000000000001ULL);
+}
+
+TEST(Value, NamedConstantsBinary32) {
+  EXPECT_EQ(sf::Float32::one().bits, 0x3F800000u);
+  EXPECT_EQ(sf::Float32::infinity().bits, 0x7F800000u);
+  EXPECT_EQ(sf::Float32::quiet_nan().bits, 0x7FC00000u);
+  EXPECT_EQ(sf::Float32::max_finite().bits, 0x7F7FFFFFu);
+  EXPECT_EQ(sf::Float32::min_normal().bits, 0x00800000u);
+}
+
+TEST(Value, NamedConstantsBinary16) {
+  EXPECT_EQ(sf::Float16::one().bits, 0x3C00u);
+  EXPECT_EQ(sf::Float16::infinity().bits, 0x7C00u);
+  EXPECT_EQ(sf::Float16::quiet_nan().bits, 0x7E00u);
+  EXPECT_EQ(sf::Float16::max_finite().bits, 0x7BFFu);  // 65504
+  EXPECT_EQ(sf::Float16::min_normal().bits, 0x0400u);
+}
+
+TEST(Value, NativeInteropRoundTrips) {
+  EXPECT_EQ(sf::from_native(1.0).bits, sf::Float64::one().bits);
+  EXPECT_EQ(sf::to_native(sf::Float64::one()), 1.0);
+  EXPECT_EQ(sf::from_native(1.0f).bits, sf::Float32::one().bits);
+  EXPECT_EQ(sf::to_native(sf::from_native(-0.0)), -0.0);
+  EXPECT_TRUE(std::signbit(sf::to_native(sf::from_native(-0.0))));
+}
+
+TEST(Value, Classification) {
+  EXPECT_EQ(sf::Float64::zero().classify(), sf::ValueClass::kZero);
+  EXPECT_EQ(sf::Float64::zero(true).classify(), sf::ValueClass::kZero);
+  EXPECT_EQ(sf::Float64::one().classify(), sf::ValueClass::kNormal);
+  EXPECT_EQ(sf::Float64::min_subnormal().classify(),
+            sf::ValueClass::kSubnormal);
+  EXPECT_EQ(sf::Float64::infinity().classify(), sf::ValueClass::kInfinite);
+  EXPECT_EQ(sf::Float64::quiet_nan().classify(), sf::ValueClass::kQuietNaN);
+  EXPECT_EQ(sf::Float64::signaling_nan().classify(),
+            sf::ValueClass::kSignalingNaN);
+}
+
+TEST(Value, NaNPredicates) {
+  EXPECT_TRUE(sf::Float64::quiet_nan().is_nan());
+  EXPECT_TRUE(sf::Float64::signaling_nan().is_nan());
+  EXPECT_TRUE(sf::Float64::quiet_nan().is_quiet_nan());
+  EXPECT_FALSE(sf::Float64::quiet_nan().is_signaling_nan());
+  EXPECT_TRUE(sf::Float64::signaling_nan().is_signaling_nan());
+  EXPECT_FALSE(sf::Float64::infinity().is_nan());
+  EXPECT_EQ(sf::Float64::signaling_nan().quieted().classify(),
+            sf::ValueClass::kQuietNaN);
+}
+
+TEST(Value, SignOperations) {
+  const auto one = sf::Float64::one();
+  EXPECT_TRUE(one.negated().sign());
+  EXPECT_FALSE(one.negated().negated().sign());
+  EXPECT_FALSE(one.negated().abs().sign());
+  EXPECT_TRUE(one.with_sign(true).sign());
+  // Negation of NaN flips only the sign bit and never quiets.
+  const auto snan = sf::Float64::signaling_nan();
+  EXPECT_TRUE(snan.negated().is_signaling_nan());
+}
+
+TEST(Value, NextUpBasics) {
+  const auto one = sf::Float64::one();
+  const auto up = sf::next_up(one);
+  EXPECT_EQ(up.bits, one.bits + 1);
+  EXPECT_EQ(sf::next_down(up).bits, one.bits);
+
+  EXPECT_EQ(sf::next_up(sf::Float64::zero()).bits,
+            sf::Float64::min_subnormal().bits);
+  EXPECT_EQ(sf::next_up(sf::Float64::max_finite()).bits,
+            sf::Float64::infinity().bits);
+  EXPECT_EQ(sf::next_up(sf::Float64::infinity()).bits,
+            sf::Float64::infinity().bits);
+  EXPECT_EQ(sf::next_up(sf::Float64::infinity(true)).bits,
+            sf::Float64::max_finite(true).bits);
+  // nextUp(-min_subnormal) == -0.
+  EXPECT_EQ(sf::next_up(sf::Float64::min_subnormal(true)).bits,
+            sf::Float64::zero(true).bits);
+}
+
+TEST(Value, NextUpAgreesWithNativeNextafter) {
+  const double samples[] = {1.0,    -1.0,   0.5,     3.14159, 1e300,
+                            -1e300, 1e-308, -1e-308, 65536.0, -0.125};
+  for (double x : samples) {
+    const double expected = std::nextafter(x, std::numeric_limits<double>::infinity());  // toward +inf
+    EXPECT_EQ(sf::next_up(sf::from_native(x)).bits,
+              sf::from_native(expected).bits)
+        << "x = " << x;
+  }
+}
+
+TEST(Value, UlpMatchesNeighbourGap) {
+  const double samples[] = {1.0, 2.0, 1.5, 1e10, 1e-300, 4096.0};
+  for (double x : samples) {
+    const double gap = std::nextafter(x, std::numeric_limits<double>::infinity()) - x;
+    EXPECT_EQ(sf::to_native(sf::ulp(sf::from_native(x))), gap) << "x = " << x;
+  }
+  EXPECT_EQ(sf::ulp(sf::Float64::zero()).bits,
+            sf::Float64::min_subnormal().bits);
+  EXPECT_TRUE(sf::ulp(sf::Float64::infinity()).is_nan());
+  EXPECT_TRUE(sf::ulp(sf::Float64::quiet_nan()).is_nan());
+}
+
+TEST(Value, UlpOfSubnormalIsMinSubnormal) {
+  EXPECT_EQ(sf::ulp(sf::Float64::min_subnormal()).bits,
+            sf::Float64::min_subnormal().bits);
+  EXPECT_EQ(sf::ulp(sf::Float64::min_normal()).bits,
+            sf::from_native(std::nextafter(
+                                sf::to_native(sf::Float64::min_normal()),
+                                1.0) -
+                            sf::to_native(sf::Float64::min_normal()))
+                .bits);
+}
+
+TEST(Value, TotalOrder) {
+  using F = sf::Float64;
+  EXPECT_TRUE(sf::total_order(F::infinity(true), F::max_finite(true)));
+  EXPECT_TRUE(sf::total_order(F::max_finite(true), F::zero(true)));
+  EXPECT_TRUE(sf::total_order(F::zero(true), F::zero(false)));  // -0 < +0
+  EXPECT_FALSE(sf::total_order(F::zero(false), F::zero(true)));
+  EXPECT_TRUE(sf::total_order(F::zero(false), F::min_subnormal()));
+  EXPECT_TRUE(sf::total_order(F::max_finite(), F::infinity()));
+  EXPECT_TRUE(sf::total_order(F::infinity(), F::quiet_nan()));
+  EXPECT_TRUE(sf::total_order(F::one(), F::one()));
+}
+
+TEST(Value, DescribeRendersClassAndBits) {
+  EXPECT_NE(sf::describe(sf::Float64::one()).find("normal"),
+            std::string::npos);
+  EXPECT_NE(sf::describe(sf::Float64::quiet_nan()).find("qNaN"),
+            std::string::npos);
+  EXPECT_NE(sf::describe(sf::Float16::min_subnormal()).find("subnormal"),
+            std::string::npos);
+  EXPECT_NE(sf::describe(sf::Float32::infinity(true)).find("-inf"),
+            std::string::npos);
+  EXPECT_NE(sf::describe(sf::Float64::one()).find("0x3FF0000000000000"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/categorical.hpp"
+#include "stats/prng.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(Categorical, NormalizesWeights) {
+  const std::vector<double> w{2.0, 6.0, 2.0};
+  st::CategoricalDistribution dist(w);
+  EXPECT_EQ(dist.category_count(), 3u);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(dist.probability(1), 0.6);
+  EXPECT_DOUBLE_EQ(dist.probability(2), 0.2);
+}
+
+TEST(Categorical, SamplingMatchesProbabilities) {
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.4};
+  st::CategoricalDistribution dist(w);
+  st::Xoshiro256pp g(17);
+  const st::FrequencyTable table = st::sample_frequency(dist, 100000, g);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(table.proportion(i), dist.probability(i), 0.01) << i;
+  }
+}
+
+TEST(Categorical, ZeroWeightCategoryNeverSampled) {
+  const std::vector<double> w{0.5, 0.0, 0.5};
+  st::CategoricalDistribution dist(w);
+  st::Xoshiro256pp g(18);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(dist.sample(g), 1u);
+}
+
+TEST(Categorical, SingleCategoryAlwaysSampled) {
+  const std::vector<double> w{3.0};
+  st::CategoricalDistribution dist(w);
+  st::Xoshiro256pp g(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(g), 0u);
+}
+
+TEST(Categorical, DeterministicUnderSeed) {
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  st::CategoricalDistribution dist(w);
+  st::Xoshiro256pp g1(7), g2(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dist.sample(g1), dist.sample(g2));
+}
+
+TEST(FrequencyTable, BasicCounting) {
+  st::FrequencyTable t(3);
+  t.add(0);
+  t.add(2);
+  t.add(2);
+  EXPECT_EQ(t.total(), 3u);
+  EXPECT_EQ(t.count(2), 2u);
+  EXPECT_DOUBLE_EQ(t.proportion(0), 1.0 / 3.0);
+  const auto props = t.proportions();
+  EXPECT_DOUBLE_EQ(props[1], 0.0);
+}
+
+TEST(FrequencyTable, OutOfRangeDropped) {
+  st::FrequencyTable t(2);
+  t.add(5);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(FrequencyTable, EmptyProportionsAreZero) {
+  st::FrequencyTable t(4);
+  for (double p : t.proportions()) EXPECT_EQ(p, 0.0);
+  EXPECT_EQ(t.proportion(1), 0.0);
+}
+
+TEST(TotalVariation, KnownDistances) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(st::total_variation_distance(p, q), 0.0);
+  const std::vector<double> r{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(st::total_variation_distance(p, r), 0.5);
+  const std::vector<double> s{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(st::total_variation_distance(r, s), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/chi_square.hpp"
+#include "stats/prng.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(Gamma, RegularizedGammaKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(st::regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(st::regularized_gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-10);
+  // P + Q = 1.
+  for (double s : {0.5, 1.5, 4.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(st::regularized_gamma_p(s, x) + st::regularized_gamma_q(s, x),
+                  1.0, 1e-12);
+    }
+  }
+  EXPECT_EQ(st::regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_EQ(st::regularized_gamma_q(2.0, 0.0), 1.0);
+}
+
+TEST(ChiSquare, SurvivalFunctionKnownValues) {
+  // chi2 with 1 dof at 3.841 -> p ~ 0.05; with 2 dof sf(x) = e^{-x/2}.
+  EXPECT_NEAR(st::chi_square_sf(3.841, 1.0), 0.05, 0.001);
+  EXPECT_NEAR(st::chi_square_sf(5.991, 2.0), 0.05, 0.001);
+  EXPECT_NEAR(st::chi_square_sf(4.0, 2.0), std::exp(-2.0), 1e-9);
+  EXPECT_EQ(st::chi_square_sf(0.0, 3.0), 1.0);
+}
+
+TEST(ChiSquare, GoodnessOfFitPerfectMatch) {
+  const std::vector<std::size_t> obs{25, 25, 25, 25};
+  const std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const auto r = st::chi_square_goodness_of_fit(obs, probs);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.dof, 3.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(ChiSquare, GoodnessOfFitDetectsGrossMismatch) {
+  const std::vector<std::size_t> obs{100, 0, 0, 0};
+  const std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const auto r = st::chi_square_goodness_of_fit(obs, probs);
+  EXPECT_GT(r.statistic, 100.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquare, GoodnessOfFitAcceptsSampledData) {
+  // Sample from the hypothesized distribution; p-value should not be tiny.
+  st::Xoshiro256pp g(777);
+  const std::vector<double> probs{0.1, 0.4, 0.3, 0.2};
+  std::vector<std::size_t> obs(4, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = st::uniform01(g);
+    if (u < 0.1) {
+      ++obs[0];
+    } else if (u < 0.5) {
+      ++obs[1];
+    } else if (u < 0.8) {
+      ++obs[2];
+    } else {
+      ++obs[3];
+    }
+  }
+  const auto r = st::chi_square_goodness_of_fit(obs, probs);
+  EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(ChiSquare, SparseCellsCounted) {
+  const std::vector<std::size_t> obs{2, 3, 95};
+  const std::vector<double> probs{0.02, 0.03, 0.95};
+  const auto r = st::chi_square_goodness_of_fit(obs, probs);
+  EXPECT_EQ(r.sparse_cells, 2u);
+}
+
+TEST(ChiSquare, ImpossibleCellWithObservationIsInfiniteStatistic) {
+  const std::vector<std::size_t> obs{50, 50, 1};
+  const std::vector<double> probs{0.5, 0.5, 0.0};
+  const auto r = st::chi_square_goodness_of_fit(obs, probs);
+  EXPECT_TRUE(std::isinf(r.statistic));
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(ChiSquare, IndependenceOnIndependentTable) {
+  // Rows exactly proportional: statistic 0.
+  const std::vector<std::size_t> table{10, 20, 30, 20, 40, 60};
+  const auto r = st::chi_square_independence(table, 2, 3);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-9);
+  EXPECT_EQ(r.dof, 2.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquare, IndependenceDetectsAssociation) {
+  const std::vector<std::size_t> table{90, 10, 10, 90};
+  const auto r = st::chi_square_independence(table, 2, 2);
+  EXPECT_GT(r.statistic, 100.0);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquare, IndependenceEmptyTable) {
+  const std::vector<std::size_t> table{0, 0, 0, 0};
+  const auto r = st::chi_square_independence(table, 2, 2);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(ChiSquare, IndependenceIgnoresDeadRows) {
+  // A zero row must not inflate dof.
+  const std::vector<std::size_t> table{10, 20, 0, 0, 30, 60};
+  const auto r = st::chi_square_independence(table, 3, 2);
+  EXPECT_EQ(r.dof, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Descriptive statistics: exact small cases plus numerical-robustness
+// checks (the stats layer must not itself fall into FP gotchas).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(Descriptive, MeanExactSmallCases) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(st::mean(xs), 2.5);
+  const std::vector<double> one{7.5};
+  EXPECT_EQ(st::mean(one), 7.5);
+}
+
+TEST(Descriptive, MeanIsCompensated) {
+  // Naive summation of 1e16 + many 1.0s loses the ones entirely;
+  // compensated summation must not.
+  std::vector<double> xs{1e16};
+  for (int i = 0; i < 1000; ++i) xs.push_back(1.0);
+  const double m = st::mean(xs);
+  const double expected = (1e16 + 1000.0) / 1001.0;
+  EXPECT_NEAR(m, expected, 1.0);
+  EXPECT_NE(m, 1e16 / 1001.0) << "the ones must not vanish";
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance (n-1) of this classic dataset is 32/7.
+  EXPECT_NEAR(st::sample_variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st::sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, VarianceIsShiftStable) {
+  // Welford must survive a large common offset (catastrophic cancellation
+  // kills the naive two-pass sum-of-squares formula).
+  const std::vector<double> base{4.0, 7.0, 13.0, 16.0};
+  std::vector<double> shifted;
+  for (double x : base) shifted.push_back(x + 1e9);
+  EXPECT_NEAR(st::sample_variance(shifted), st::sample_variance(base), 1e-3);
+}
+
+TEST(Descriptive, StandardError) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_NEAR(st::standard_error(xs),
+              st::sample_stddev(xs) / std::sqrt(5.0), 1e-12);
+}
+
+TEST(Descriptive, QuantileType7) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(st::quantile(xs, 0.0), 1.0);
+  EXPECT_EQ(st::quantile(xs, 1.0), 4.0);
+  EXPECT_EQ(st::quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(st::quantile(xs, 0.25), 1.75, 1e-12);
+  EXPECT_NEAR(st::quantile(xs, 0.75), 3.25, 1e-12);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_EQ(st::median(xs), 5.0);
+  EXPECT_EQ(st::min_value(xs), 1.0);
+  EXPECT_EQ(st::max_value(xs), 9.0);
+}
+
+TEST(Descriptive, SummaryFields) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const st::Summary s = st::summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.median, 3.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.q25, 2.0);
+  EXPECT_EQ(s.q75, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Descriptive, SummaryOfSingleton) {
+  const std::vector<double> xs{42.0};
+  const st::Summary s = st::summarize(xs);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.median, 42.0);
+}
+
+TEST(Descriptive, MeanOfCounts) {
+  const std::vector<int> xs{8, 9, 10, 7};
+  EXPECT_EQ(st::mean_of_counts(xs), 8.5);
+}
+
+TEST(Descriptive, PearsonCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0, 10.0};
+  EXPECT_NEAR(st::pearson_correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg;
+  for (double y : ys) neg.push_back(-y);
+  EXPECT_NEAR(st::pearson_correlation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> flat{3.0, 3.0, 3.0, 3.0, 3.0};
+  EXPECT_EQ(st::pearson_correlation(xs, flat), 0.0) << "degenerate -> 0";
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(IntHistogram, CountsAndProportions) {
+  st::IntHistogram h(0, 15);
+  EXPECT_EQ(h.bin_count(), 16u);
+  h.add(0);
+  h.add(7);
+  h.add(7);
+  h.add(15);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(7), 2u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.proportion(7), 0.5);
+}
+
+TEST(IntHistogram, OutOfRangeGoesToOverflowCounters) {
+  st::IntHistogram h(0, 10);
+  h.add(-1);
+  h.add(11);
+  h.add(5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(-1), 0u);
+}
+
+TEST(IntHistogram, MeanOfRecordedValues) {
+  st::IntHistogram h(0, 15);
+  const std::vector<int> scores{8, 9, 8, 9};
+  h.add_all(scores);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.5);
+}
+
+TEST(IntHistogram, EmptyHistogramSafeAccessors) {
+  st::IntHistogram h(0, 5);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.proportion(2), 0.0);
+}
+
+TEST(IntHistogram, NegativeRange) {
+  st::IntHistogram h(-5, 5);
+  h.add(-5);
+  h.add(0);
+  h.add(5);
+  EXPECT_EQ(h.count(-5), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BinPlacement) {
+  st::Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.999);
+  h.add(9.999);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UpperBoundIsExclusive) {
+  st::Histogram h(0.0, 1.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NaNGoesToUnderflow) {
+  st::Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  st::Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_upper(3), 4.0);
+}
+
+}  // namespace

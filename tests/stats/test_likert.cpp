@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "stats/likert.hpp"
+#include "stats/prng.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(Likert, DefaultIsUniform) {
+  const st::LikertDistribution d;
+  for (int level = 1; level <= 5; ++level) {
+    EXPECT_DOUBLE_EQ(d.proportion(level), 0.2);
+  }
+  EXPECT_DOUBLE_EQ(d.mean_level(), 3.0);
+}
+
+TEST(Likert, NormalizesWeights) {
+  const st::LikertDistribution d({1.0, 1.0, 1.0, 1.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.proportion(5), 0.6);
+  EXPECT_DOUBLE_EQ(d.proportion(1), 0.1);
+  EXPECT_DOUBLE_EQ(d.percent(5), 60.0);
+}
+
+TEST(Likert, FromCounts) {
+  const auto d = st::LikertDistribution::from_counts({10, 0, 0, 0, 30});
+  EXPECT_DOUBLE_EQ(d.proportion(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.proportion(5), 0.75);
+  EXPECT_DOUBLE_EQ(d.mean_level(), 0.25 * 1 + 0.75 * 5);
+}
+
+TEST(Likert, ProportionBelowMax) {
+  const st::LikertDistribution d({0.0, 0.0, 0.0, 1.0, 2.0});
+  EXPECT_NEAR(d.proportion_below_max(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Likert, SamplingMatchesDistribution) {
+  const st::LikertDistribution d({0.05, 0.1, 0.15, 0.3, 0.4});
+  st::Xoshiro256pp g(73);
+  st::LikertAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(d.sample(g));
+  const auto observed = acc.distribution();
+  for (int level = 1; level <= 5; ++level) {
+    EXPECT_NEAR(observed.proportion(level), d.proportion(level), 0.01)
+        << level;
+  }
+}
+
+TEST(Likert, AccumulatorDropsOutOfRange) {
+  st::LikertAccumulator acc;
+  acc.add(0);
+  acc.add(6);
+  acc.add(3);
+  EXPECT_EQ(acc.total(), 1u);
+  EXPECT_EQ(acc.dropped(), 2u);
+  EXPECT_EQ(acc.count(3), 1u);
+}
+
+TEST(Likert, DistanceIsTotalVariation) {
+  const st::LikertDistribution a({1.0, 0.0, 0.0, 0.0, 0.0});
+  const st::LikertDistribution b({0.0, 0.0, 0.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.distance(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+  const st::LikertDistribution c({0.5, 0.0, 0.0, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(a.distance(c), 0.5);
+}
+
+}  // namespace

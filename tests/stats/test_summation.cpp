@@ -1,0 +1,119 @@
+// Summation algorithms: exactness of the reference, and the expected
+// accuracy ranking on ill-conditioned data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/prng.hpp"
+#include "stats/summation.hpp"
+
+namespace st = fpq::stats;
+
+namespace {
+
+TEST(Summation, AllAgreeOnExactData) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 0.5, 0.25};
+  const double expected = 15.75;
+  EXPECT_EQ(st::naive_sum(xs), expected);
+  EXPECT_EQ(st::pairwise_sum(xs), expected);
+  EXPECT_EQ(st::kahan_sum(xs), expected);
+  EXPECT_EQ(st::neumaier_sum(xs), expected);
+  EXPECT_EQ(st::exact_sum(xs), expected);
+}
+
+TEST(Summation, EmptyAndSingleton) {
+  const std::vector<double> none;
+  EXPECT_EQ(st::naive_sum(none), 0.0);
+  EXPECT_EQ(st::exact_sum(none), 0.0);
+  const std::vector<double> one{3.25};
+  EXPECT_EQ(st::pairwise_sum(one), 3.25);
+  EXPECT_EQ(st::kahan_sum(one), 3.25);
+}
+
+TEST(Summation, ExactSumIsCorrectlyRounded) {
+  // 1e16 + 1 + ... + 1 (1000 ones): exact total is 1e16 + 1000, which is
+  // representable (ulp at 1e16 is 2, and 1000 is a multiple of... check:
+  // 1e16 + 1000 is representable because 1000 is even and within range).
+  std::vector<double> xs{1e16};
+  for (int i = 0; i < 1000; ++i) xs.push_back(1.0);
+  EXPECT_EQ(st::exact_sum(xs), 1e16 + 1000.0);
+  // Classic cancellation: huge + tiny - huge.
+  const std::vector<double> c{1e100, 1.0, -1e100};
+  EXPECT_EQ(st::exact_sum(c), 1.0);
+}
+
+TEST(Summation, NaiveLosesWhatCompensatedKeeps) {
+  std::vector<double> xs{1e16};
+  for (int i = 0; i < 999; ++i) xs.push_back(1.0);
+  // Naive: each +1 is absorbed (ties at 1e16 round to even).
+  EXPECT_EQ(st::naive_sum(xs), 1e16);
+  // Both compensated sums keep all of it: Kahan's running compensation
+  // accumulates the absorbed ones and reinjects them.
+  EXPECT_EQ(st::neumaier_sum(xs), st::exact_sum(xs));
+  EXPECT_EQ(st::kahan_sum(xs), st::exact_sum(xs));
+  // Kahan's documented weakness is a TERM larger than the running sum:
+  // the compensation of the small prefix is wiped, Neumaier survives.
+  const std::vector<double> swamped{1.0, 1e100, 1.0, -1e100};
+  EXPECT_EQ(st::exact_sum(swamped), 2.0);
+  EXPECT_EQ(st::neumaier_sum(swamped), 2.0);
+  EXPECT_NE(st::kahan_sum(swamped), 2.0);
+}
+
+TEST(Summation, ErrorRankingOnRandomIllConditionedData) {
+  // Mixed magnitudes with cancellation: naive must be at least as bad as
+  // pairwise, and Neumaier essentially exact.
+  st::Xoshiro256pp g(0x50B3);
+  double naive_worst = 0.0, pairwise_worst = 0.0, neumaier_worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i) {
+      const double mag = std::ldexp(1.0, static_cast<int>(
+                                             st::uniform_below(g, 100)) -
+                                             50);
+      xs.push_back(st::bernoulli(g, 0.5) ? mag : -mag);
+    }
+    naive_worst = std::max(
+        naive_worst, st::summation_relative_error(st::naive_sum(xs), xs));
+    pairwise_worst = std::max(
+        pairwise_worst,
+        st::summation_relative_error(st::pairwise_sum(xs), xs));
+    neumaier_worst = std::max(
+        neumaier_worst,
+        st::summation_relative_error(st::neumaier_sum(xs), xs));
+  }
+  EXPECT_GE(naive_worst, pairwise_worst * 0.1)
+      << "naive should not beat pairwise by an order of magnitude";
+  EXPECT_LT(neumaier_worst, 1e-13);
+  EXPECT_GT(naive_worst, 0.0) << "data must actually be ill-conditioned";
+}
+
+TEST(Summation, PairwiseMatchesReassociationStory) {
+  // The emulated pipeline's fast-math reassociation is pairwise: the two
+  // implementations agree on the demo input.
+  const std::vector<double> xs{1e16, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(st::naive_sum(xs), 1e16) << "left-to-right absorbs the ones";
+  EXPECT_GT(st::pairwise_sum(xs), 1e16) << "pairwise preserves them";
+}
+
+TEST(Summation, ExactSumRandomizedAgainstLongDouble) {
+  // Spot-check exact_sum against a simple 80-bit accumulation for data
+  // where long double's 64-bit significand is provably sufficient.
+  st::Xoshiro256pp g(0xE5AC);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> xs;
+    long double acc = 0.0L;
+    for (int i = 0; i < 100; ++i) {
+      // Small integers: sums are exact in both representations.
+      const double v = static_cast<double>(
+                           st::uniform_below(g, 1 << 20)) -
+                       (1 << 19);
+      xs.push_back(v);
+      acc += v;
+    }
+    EXPECT_EQ(st::exact_sum(xs), static_cast<double>(acc));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "respondent/population.hpp"
+#include "survey/csv_io.hpp"
+
+namespace sv = fpq::survey;
+
+namespace {
+
+sv::SurveyRecord sample_record() {
+  sv::SurveyRecord r;
+  r.respondent_id = 42;
+  r.background.position = 1;
+  r.background.area = 3;
+  r.background.formal_training = 2;
+  r.background.informal_training = {0, 2};
+  r.background.dev_role = 0;
+  r.background.fp_languages = {0, 1, 2};
+  r.background.arb_prec_languages = {};
+  r.background.contributed_size = 4;
+  r.background.contributed_extent = 1;
+  r.background.involved_size = 2;
+  r.background.involved_extent = 0;
+  r.core[fpq::quiz::CoreQuestionId::kIdentity] = fpq::quiz::Answer::kFalse;
+  r.core[fpq::quiz::CoreQuestionId::kSquare] = fpq::quiz::Answer::kDontKnow;
+  r.opt.tf_answers = {fpq::quiz::Answer::kTrue, fpq::quiz::Answer::kDontKnow,
+                      fpq::quiz::Answer::kTrue};
+  r.opt.level_choice = 2;
+  r.suspicion = {4, 2, 1, 5, 2};
+  return r;
+}
+
+TEST(CsvIo, RoundTripsOneRecord) {
+  const sv::SurveyRecord original = sample_record();
+  std::ostringstream out;
+  sv::write_csv(out, std::vector<sv::SurveyRecord>{original});
+
+  std::istringstream in(out.str());
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(sv::read_csv(in, parsed, error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  const auto& r = parsed[0];
+  EXPECT_EQ(r.respondent_id, 42u);
+  EXPECT_EQ(r.background.area, 3u);
+  EXPECT_EQ(r.background.informal_training,
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(r.background.arb_prec_languages.empty());
+  EXPECT_EQ(r.core[fpq::quiz::CoreQuestionId::kIdentity],
+            fpq::quiz::Answer::kFalse);
+  EXPECT_EQ(r.core[fpq::quiz::CoreQuestionId::kSquare],
+            fpq::quiz::Answer::kDontKnow);
+  EXPECT_EQ(r.core[fpq::quiz::CoreQuestionId::kOrdering],
+            fpq::quiz::Answer::kUnanswered);
+  EXPECT_EQ(r.opt.level_choice, 2u);
+  EXPECT_EQ(r.suspicion, (std::array<int, 5>{4, 2, 1, 5, 2}));
+}
+
+TEST(CsvIo, RoundTripsAFullCohort) {
+  const auto cohort = fpq::respondent::generate_main_cohort(7, 199);
+  std::ostringstream out;
+  sv::write_csv(out, cohort);
+
+  std::istringstream in(out.str());
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(sv::read_csv(in, parsed, error)) << error;
+  ASSERT_EQ(parsed.size(), cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(parsed[i].respondent_id, cohort[i].respondent_id);
+    EXPECT_EQ(parsed[i].background.area, cohort[i].background.area);
+    EXPECT_EQ(parsed[i].core.answers, cohort[i].core.answers);
+    EXPECT_EQ(parsed[i].opt.tf_answers, cohort[i].opt.tf_answers);
+    EXPECT_EQ(parsed[i].opt.level_choice, cohort[i].opt.level_choice);
+    EXPECT_EQ(parsed[i].suspicion, cohort[i].suspicion);
+  }
+}
+
+TEST(CsvIo, LevelSentinelsRoundTrip) {
+  sv::SurveyRecord r = sample_record();
+  r.opt.level_choice = fpq::quiz::kOptLevelDontKnow;
+  std::ostringstream out;
+  sv::write_csv(out, std::vector<sv::SurveyRecord>{r});
+  std::istringstream in(out.str());
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(sv::read_csv(in, parsed, error)) << error;
+  EXPECT_EQ(parsed[0].opt.level_choice, fpq::quiz::kOptLevelDontKnow);
+}
+
+TEST(CsvIo, RejectsBadHeader) {
+  std::istringstream in("id,wrong\n");
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  EXPECT_FALSE(sv::read_csv(in, parsed, error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(CsvIo, RejectsWrongFieldCount) {
+  std::istringstream in(sv::csv_header() + "\n1,2,3\n");
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  EXPECT_FALSE(sv::read_csv(in, parsed, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(CsvIo, RejectsInvalidSuspicionLevel) {
+  const sv::SurveyRecord r = sample_record();
+  std::ostringstream out;
+  sv::write_csv(out, std::vector<sv::SurveyRecord>{r});
+  std::string text = out.str();
+  // Break the last suspicion value.
+  text.replace(text.rfind(",2"), 2, ",9");
+  std::istringstream in(text);
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  EXPECT_FALSE(sv::read_csv(in, parsed, error));
+}
+
+TEST(CsvIo, StudentCohortRoundTrips) {
+  const auto students = fpq::respondent::generate_student_cohort(9, 52);
+  std::ostringstream out;
+  sv::write_student_csv(out, students);
+  std::istringstream in(out.str());
+  std::vector<sv::StudentRecord> parsed;
+  std::string error;
+  ASSERT_TRUE(sv::read_student_csv(in, parsed, error)) << error;
+  ASSERT_EQ(parsed.size(), students.size());
+  for (std::size_t i = 0; i < students.size(); ++i) {
+    EXPECT_EQ(parsed[i].respondent_id, students[i].respondent_id);
+    EXPECT_EQ(parsed[i].suspicion, students[i].suspicion);
+  }
+}
+
+TEST(CsvIo, StudentCsvRejectsBadLevel) {
+  std::istringstream in(sv::student_csv_header() + "\n1,1,2,3,4,9\n");
+  std::vector<sv::StudentRecord> parsed;
+  std::string error;
+  EXPECT_FALSE(sv::read_student_csv(in, parsed, error));
+}
+
+TEST(CsvIo, EmptyInputRejected) {
+  std::istringstream in("");
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  EXPECT_FALSE(sv::read_csv(in, parsed, error));
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ground_truth.hpp"
+#include "survey/factor_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+quiz::CoreSheet sheet_with_score(std::size_t correct) {
+  const auto key = quiz::standard_core_truths();
+  quiz::CoreSheet sheet;
+  for (std::size_t i = 0; i < quiz::kCoreQuestionCount; ++i) {
+    if (i < correct) {
+      sheet.answers[i] = quiz::to_answer(key[i]);
+    } else {
+      sheet.answers[i] = key[i] == quiz::Truth::kTrue
+                             ? quiz::Answer::kFalse
+                             : quiz::Answer::kTrue;
+    }
+  }
+  return sheet;
+}
+
+TEST(FactorAnalysis, ConditionsBySizeBin) {
+  std::vector<sv::SurveyRecord> records(3);
+  records[0].background.contributed_size = 4;  // >1M bin
+  records[0].core = sheet_with_score(12);
+  records[1].background.contributed_size = 4;
+  records[1].core = sheet_with_score(10);
+  records[2].background.contributed_size = 2;  // 100-1K bin
+  records[2].core = sheet_with_score(6);
+
+  const auto levels = sv::by_contributed_size(
+      records, quiz::standard_core_truths(), quiz::standard_opt_truths());
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_EQ(levels[4].label, ">1M");
+  EXPECT_EQ(levels[4].n, 2u);
+  EXPECT_DOUBLE_EQ(levels[4].core.correct, 11.0);
+  EXPECT_EQ(levels[0].n, 1u);
+  EXPECT_DOUBLE_EQ(levels[0].core.correct, 6.0);
+  EXPECT_EQ(levels[1].n, 0u);
+}
+
+TEST(FactorAnalysis, SkipsUnchartedLevels) {
+  std::vector<sv::SurveyRecord> records(1);
+  records[0].background.contributed_size = 6;  // Not Reported
+  const auto levels = sv::by_contributed_size(
+      records, quiz::standard_core_truths(), quiz::standard_opt_truths());
+  for (const auto& level : levels) EXPECT_EQ(level.n, 0u);
+}
+
+TEST(FactorAnalysis, ConditionsByAreaGroup) {
+  std::vector<sv::SurveyRecord> records(2);
+  records[0].background.area = 5;  // EE
+  records[0].core = sheet_with_score(11);
+  records[1].background.area = 1;  // PhysSci
+  records[1].core = sheet_with_score(7);
+  const auto levels = sv::by_area_group(
+      records, quiz::standard_core_truths(), quiz::standard_opt_truths());
+  ASSERT_EQ(levels.size(), sv::kAreaGroupCount);
+  EXPECT_EQ(levels[0].label, "EE");
+  EXPECT_DOUBLE_EQ(levels[0].core.correct, 11.0);
+  EXPECT_EQ(levels[4].label, "PhysSci");
+  EXPECT_DOUBLE_EQ(levels[4].core.correct, 7.0);
+}
+
+TEST(FactorAnalysis, OptTallyConditioned) {
+  std::vector<sv::SurveyRecord> records(1);
+  records[0].background.dev_role = 1;  // main-role SWE
+  records[0].opt.tf_answers = {quiz::Answer::kFalse, quiz::Answer::kDontKnow,
+                               quiz::Answer::kTrue};
+  const auto levels = sv::by_role(records, quiz::standard_core_truths(),
+                                  quiz::standard_opt_truths());
+  EXPECT_DOUBLE_EQ(levels[0].opt.correct, 2.0);
+  EXPECT_DOUBLE_EQ(levels[0].opt.dont_know, 1.0);
+}
+
+TEST(FactorAnalysis, TrainingOrderIsIncreasing) {
+  std::vector<sv::SurveyRecord> records(2);
+  records[0].background.formal_training = 1;  // None
+  records[0].core = sheet_with_score(5);
+  records[1].background.formal_training = 3;  // Courses
+  records[1].core = sheet_with_score(12);
+  const auto levels = sv::by_formal_training(
+      records, quiz::standard_core_truths(), quiz::standard_opt_truths());
+  EXPECT_EQ(levels[0].label, "None");
+  EXPECT_DOUBLE_EQ(levels[0].core.correct, 5.0);
+  EXPECT_EQ(levels[3].label, "One or more courses");
+  EXPECT_DOUBLE_EQ(levels[3].core.correct, 12.0);
+}
+
+TEST(FactorAnalysis, SpreadIgnoresEmptyLevels) {
+  std::vector<sv::SurveyRecord> records(2);
+  records[0].background.contributed_size = 4;
+  records[0].core = sheet_with_score(11);
+  records[1].background.contributed_size = 2;
+  records[1].core = sheet_with_score(7);
+  const auto levels = sv::by_contributed_size(
+      records, quiz::standard_core_truths(), quiz::standard_opt_truths());
+  EXPECT_DOUBLE_EQ(sv::core_correct_spread(levels), 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "survey/suspicion_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace quiz = fpq::quiz;
+
+namespace {
+
+TEST(SuspicionAnalysis, DistributionsCountLevels) {
+  std::vector<sv::SurveyRecord> records(4);
+  for (auto& r : records) r.suspicion = {5, 1, 1, 5, 1};
+  records[3].suspicion = {1, 1, 1, 4, 1};
+  const auto dists = sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records));
+  const auto overflow =
+      static_cast<std::size_t>(quiz::SuspicionItemId::kOverflow);
+  EXPECT_DOUBLE_EQ(dists[overflow].proportion(5), 0.75);
+  EXPECT_DOUBLE_EQ(dists[overflow].proportion(1), 0.25);
+}
+
+TEST(SuspicionAnalysis, SummaryComputesMeansAndOrdering) {
+  std::vector<sv::SurveyRecord> records(10);
+  for (auto& r : records) r.suspicion = {4, 2, 1, 5, 2};
+  const auto dists = sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records));
+  const auto summary = sv::summarize_suspicion(dists);
+  EXPECT_DOUBLE_EQ(summary.mean_level[0], 4.0);  // Overflow
+  EXPECT_DOUBLE_EQ(summary.mean_level[3], 5.0);  // Invalid
+  EXPECT_TRUE(summary.expert_ordering_holds);
+  EXPECT_DOUBLE_EQ(summary.invalid_below_max, 0.0);
+}
+
+TEST(SuspicionAnalysis, DetectsBrokenOrdering) {
+  std::vector<sv::SurveyRecord> records(10);
+  for (auto& r : records) r.suspicion = {5, 5, 5, 1, 5};  // inverted world
+  const auto summary = sv::summarize_suspicion(sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records)));
+  EXPECT_FALSE(summary.expert_ordering_holds);
+}
+
+TEST(SuspicionAnalysis, InvalidBelowMaxFraction) {
+  std::vector<sv::SurveyRecord> records(3);
+  records[0].suspicion = {1, 1, 1, 5, 1};
+  records[1].suspicion = {1, 1, 1, 4, 1};
+  records[2].suspicion = {1, 1, 1, 3, 1};
+  const auto summary = sv::summarize_suspicion(sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records)));
+  EXPECT_NEAR(summary.invalid_below_max, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SuspicionAnalysis, StudentRecordsWorkToo) {
+  std::vector<sv::StudentRecord> students(5);
+  for (auto& s : students) s.suspicion = {3, 2, 2, 5, 1};
+  const auto dists = sv::suspicion_distributions(
+      std::span<const sv::StudentRecord>(students));
+  EXPECT_DOUBLE_EQ(dists[3].proportion(5), 1.0);
+}
+
+TEST(SuspicionAnalysis, DistanceFromAdvice) {
+  // A cohort answering exactly the advised levels has distance 0.
+  std::vector<sv::SurveyRecord> records(5);
+  for (auto& r : records) r.suspicion = {4, 2, 1, 5, 2};
+  const auto summary = sv::summarize_suspicion(sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records)));
+  EXPECT_DOUBLE_EQ(sv::distance_from_advice(summary), 0.0);
+
+  // A uniformly unsuspicious cohort is far from advice.
+  for (auto& r : records) r.suspicion = {1, 1, 1, 1, 1};
+  const auto lax = sv::summarize_suspicion(sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(records)));
+  EXPECT_GT(sv::distance_from_advice(lax), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// The workload catalogue: every variant's condition contract must hold
+// under the monitor — the suspicion quiz as a regression suite.
+
+#include <gtest/gtest.h>
+
+#include "fpmon/report.hpp"
+#include "workloads/workloads.hpp"
+
+namespace wl = fpq::workloads;
+namespace mon = fpq::mon;
+
+namespace {
+
+class WorkloadContract
+    : public ::testing::TestWithParam<const wl::Workload*> {};
+
+TEST_P(WorkloadContract, ObservedConditionsMatchContract) {
+  const wl::Workload& w = *GetParam();
+  const auto observed = wl::observe(w);
+  EXPECT_TRUE(wl::contract_holds(w, observed))
+      << w.name << ": observed " << observed.to_string() << ", expected "
+      << w.expected.to_string() << ", forbidden " << w.forbidden.to_string();
+}
+
+TEST_P(WorkloadContract, ObservationIsRepeatable) {
+  const wl::Workload& w = *GetParam();
+  EXPECT_EQ(wl::observe(w), wl::observe(w)) << w.name;
+}
+
+std::vector<const wl::Workload*> all_workloads() {
+  std::vector<const wl::Workload*> out;
+  for (const auto& w : wl::catalogue()) out.push_back(&w);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, WorkloadContract,
+                         ::testing::ValuesIn(all_workloads()),
+                         [](const auto& info) {
+                           std::string n = info.param->name;
+                           for (auto& c : n)
+                             if (c == '/') c = '_';
+                           return n;
+                         });
+
+TEST(Workloads, CatalogueShape) {
+  const auto cat = wl::catalogue();
+  EXPECT_GE(cat.size(), 8u);
+  // Every broken variant has a healthy sibling.
+  for (const auto& w : cat) {
+    if (w.name.find("/broken") == std::string::npos) continue;
+    const std::string healthy =
+        w.name.substr(0, w.name.find('/')) + "/healthy";
+    bool found = false;
+    for (const auto& other : cat) {
+      if (other.name == healthy) found = true;
+    }
+    EXPECT_TRUE(found) << "no healthy sibling for " << w.name;
+  }
+}
+
+TEST(Workloads, BrokenVariantsLookSuspiciousHealthyOnesDoNot) {
+  // fpmon's verdict machinery must separate the pairs: every broken
+  // variant reaches at least warning severity; healthy ones stay at
+  // advised suspicion <= 2 (rounding/underflow only).
+  for (const auto& w : wl::catalogue()) {
+    const auto verdict = mon::evaluate(wl::observe(w));
+    if (w.name.find("/broken") != std::string::npos) {
+      EXPECT_GE(verdict.suspicion_level, 4) << w.name;
+    } else {
+      EXPECT_LE(verdict.suspicion_level, 2) << w.name;
+    }
+  }
+}
+
+TEST(Workloads, ContractCheckerRejectsViolations) {
+  const wl::Workload& lorenz_ok = wl::catalogue()[0];
+  mon::ConditionSet with_nan;
+  with_nan.set(mon::Condition::kPrecision);
+  with_nan.set(mon::Condition::kInvalid);  // forbidden for healthy lorenz
+  EXPECT_FALSE(wl::contract_holds(lorenz_ok, with_nan));
+  mon::ConditionSet missing;  // expected Precision absent
+  EXPECT_FALSE(wl::contract_holds(lorenz_ok, missing));
+}
+
+}  // namespace
