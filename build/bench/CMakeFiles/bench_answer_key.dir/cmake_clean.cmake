@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_answer_key.dir/bench_answer_key.cpp.o"
+  "CMakeFiles/bench_answer_key.dir/bench_answer_key.cpp.o.d"
+  "bench_answer_key"
+  "bench_answer_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_answer_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

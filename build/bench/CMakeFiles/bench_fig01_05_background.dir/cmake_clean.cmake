@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_05_background.dir/bench_fig01_05_background.cpp.o"
+  "CMakeFiles/bench_fig01_05_background.dir/bench_fig01_05_background.cpp.o.d"
+  "bench_fig01_05_background"
+  "bench_fig01_05_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_05_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_07_languages.dir/bench_fig06_07_languages.cpp.o"
+  "CMakeFiles/bench_fig06_07_languages.dir/bench_fig06_07_languages.cpp.o.d"
+  "bench_fig06_07_languages"
+  "bench_fig06_07_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_07_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_11_codebases.dir/bench_fig08_11_codebases.cpp.o"
+  "CMakeFiles/bench_fig08_11_codebases.dir/bench_fig08_11_codebases.cpp.o.d"
+  "bench_fig08_11_codebases"
+  "bench_fig08_11_codebases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_11_codebases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_quiz_averages.dir/bench_fig12_quiz_averages.cpp.o"
+  "CMakeFiles/bench_fig12_quiz_averages.dir/bench_fig12_quiz_averages.cpp.o.d"
+  "bench_fig12_quiz_averages"
+  "bench_fig12_quiz_averages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_quiz_averages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

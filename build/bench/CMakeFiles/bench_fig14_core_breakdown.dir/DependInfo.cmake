@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_core_breakdown.cpp" "bench/CMakeFiles/bench_fig14_core_breakdown.dir/bench_fig14_core_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_core_breakdown.dir/bench_fig14_core_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_respondent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_bigfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_suspicion.dir/bench_fig22_suspicion.cpp.o"
+  "CMakeFiles/bench_fig22_suspicion.dir/bench_fig22_suspicion.cpp.o.d"
+  "bench_fig22_suspicion"
+  "bench_fig22_suspicion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_suspicion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_monitor.dir/bench_perf_monitor.cpp.o"
+  "CMakeFiles/bench_perf_monitor.dir/bench_perf_monitor.cpp.o.d"
+  "bench_perf_monitor"
+  "bench_perf_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_softfloat.dir/bench_perf_softfloat.cpp.o"
+  "CMakeFiles/bench_perf_softfloat.dir/bench_perf_softfloat.cpp.o.d"
+  "bench_perf_softfloat"
+  "bench_perf_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_analysis.dir/bench_power_analysis.cpp.o"
+  "CMakeFiles/bench_power_analysis.dir/bench_power_analysis.cpp.o.d"
+  "bench_power_analysis"
+  "bench_power_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

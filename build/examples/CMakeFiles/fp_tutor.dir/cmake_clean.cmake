@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_tutor.dir/fp_tutor.cpp.o"
+  "CMakeFiles/fp_tutor.dir/fp_tutor.cpp.o.d"
+  "fp_tutor"
+  "fp_tutor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_tutor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

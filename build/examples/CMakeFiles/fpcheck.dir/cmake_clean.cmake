@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpcheck.dir/fpcheck.cpp.o"
+  "CMakeFiles/fpcheck.dir/fpcheck.cpp.o.d"
+  "fpcheck"
+  "fpcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

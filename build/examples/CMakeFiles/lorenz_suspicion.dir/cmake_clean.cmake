@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorenz_suspicion.dir/lorenz_suspicion.cpp.o"
+  "CMakeFiles/lorenz_suspicion.dir/lorenz_suspicion.cpp.o.d"
+  "lorenz_suspicion"
+  "lorenz_suspicion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorenz_suspicion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

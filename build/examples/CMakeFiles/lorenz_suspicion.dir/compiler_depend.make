@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lorenz_suspicion.
+# This may be replaced when dependencies are built.

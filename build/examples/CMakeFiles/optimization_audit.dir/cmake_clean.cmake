@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_audit.dir/optimization_audit.cpp.o"
+  "CMakeFiles/optimization_audit.dir/optimization_audit.cpp.o.d"
+  "optimization_audit"
+  "optimization_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_simulation.dir/survey_simulation.cpp.o"
+  "CMakeFiles/survey_simulation.dir/survey_simulation.cpp.o.d"
+  "survey_simulation"
+  "survey_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

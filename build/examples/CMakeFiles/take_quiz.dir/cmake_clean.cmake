@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/take_quiz.dir/take_quiz.cpp.o"
+  "CMakeFiles/take_quiz.dir/take_quiz.cpp.o.d"
+  "take_quiz"
+  "take_quiz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/take_quiz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

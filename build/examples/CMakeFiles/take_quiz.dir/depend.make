@@ -1,0 +1,2 @@
+# Empty dependencies file for take_quiz.
+# This may be replaced when dependencies are built.

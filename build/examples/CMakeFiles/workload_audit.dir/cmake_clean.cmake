@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_audit.dir/workload_audit.cpp.o"
+  "CMakeFiles/workload_audit.dir/workload_audit.cpp.o.d"
+  "workload_audit"
+  "workload_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_analyze.dir/analyze/shadow.cpp.o"
+  "CMakeFiles/fpq_analyze.dir/analyze/shadow.cpp.o.d"
+  "libfpq_analyze.a"
+  "libfpq_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_bigfloat.dir/bigfloat/bigfloat.cpp.o"
+  "CMakeFiles/fpq_bigfloat.dir/bigfloat/bigfloat.cpp.o.d"
+  "libfpq_bigfloat.a"
+  "libfpq_bigfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_bigfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cpp" "src/CMakeFiles/fpq_core.dir/core/backend.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/backend.cpp.o.d"
+  "/root/repo/src/core/backend_native.cpp" "src/CMakeFiles/fpq_core.dir/core/backend_native.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/backend_native.cpp.o.d"
+  "/root/repo/src/core/backend_soft.cpp" "src/CMakeFiles/fpq_core.dir/core/backend_soft.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/backend_soft.cpp.o.d"
+  "/root/repo/src/core/ground_truth.cpp" "src/CMakeFiles/fpq_core.dir/core/ground_truth.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/ground_truth.cpp.o.d"
+  "/root/repo/src/core/question_bank.cpp" "src/CMakeFiles/fpq_core.dir/core/question_bank.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/question_bank.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/CMakeFiles/fpq_core.dir/core/scoring.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/scoring.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/fpq_core.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/witness.cpp" "src/CMakeFiles/fpq_core.dir/core/witness.cpp.o" "gcc" "src/CMakeFiles/fpq_core.dir/core/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_core.dir/core/backend.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/backend.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/backend_native.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/backend_native.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/backend_soft.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/backend_soft.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/ground_truth.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/ground_truth.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/question_bank.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/question_bank.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/scoring.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/scoring.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/session.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/session.cpp.o.d"
+  "CMakeFiles/fpq_core.dir/core/witness.cpp.o"
+  "CMakeFiles/fpq_core.dir/core/witness.cpp.o.d"
+  "libfpq_core.a"
+  "libfpq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

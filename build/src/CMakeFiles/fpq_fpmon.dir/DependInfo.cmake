@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpmon/hardware.cpp" "src/CMakeFiles/fpq_fpmon.dir/fpmon/hardware.cpp.o" "gcc" "src/CMakeFiles/fpq_fpmon.dir/fpmon/hardware.cpp.o.d"
+  "/root/repo/src/fpmon/monitor.cpp" "src/CMakeFiles/fpq_fpmon.dir/fpmon/monitor.cpp.o" "gcc" "src/CMakeFiles/fpq_fpmon.dir/fpmon/monitor.cpp.o.d"
+  "/root/repo/src/fpmon/report.cpp" "src/CMakeFiles/fpq_fpmon.dir/fpmon/report.cpp.o" "gcc" "src/CMakeFiles/fpq_fpmon.dir/fpmon/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

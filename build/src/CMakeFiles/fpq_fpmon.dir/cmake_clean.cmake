@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_fpmon.dir/fpmon/hardware.cpp.o"
+  "CMakeFiles/fpq_fpmon.dir/fpmon/hardware.cpp.o.d"
+  "CMakeFiles/fpq_fpmon.dir/fpmon/monitor.cpp.o"
+  "CMakeFiles/fpq_fpmon.dir/fpmon/monitor.cpp.o.d"
+  "CMakeFiles/fpq_fpmon.dir/fpmon/report.cpp.o"
+  "CMakeFiles/fpq_fpmon.dir/fpmon/report.cpp.o.d"
+  "libfpq_fpmon.a"
+  "libfpq_fpmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_fpmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

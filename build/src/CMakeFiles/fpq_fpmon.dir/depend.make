@@ -1,0 +1,2 @@
+# Empty dependencies file for fpq_fpmon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/interval.cpp" "src/CMakeFiles/fpq_interval.dir/interval/interval.cpp.o" "gcc" "src/CMakeFiles/fpq_interval.dir/interval/interval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_interval.dir/interval/interval.cpp.o"
+  "CMakeFiles/fpq_interval.dir/interval/interval.cpp.o.d"
+  "libfpq_interval.a"
+  "libfpq_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

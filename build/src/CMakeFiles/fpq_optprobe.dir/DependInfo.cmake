@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optprobe/emulated_pipeline.cpp" "src/CMakeFiles/fpq_optprobe.dir/optprobe/emulated_pipeline.cpp.o" "gcc" "src/CMakeFiles/fpq_optprobe.dir/optprobe/emulated_pipeline.cpp.o.d"
+  "/root/repo/src/optprobe/flag_audit.cpp" "src/CMakeFiles/fpq_optprobe.dir/optprobe/flag_audit.cpp.o" "gcc" "src/CMakeFiles/fpq_optprobe.dir/optprobe/flag_audit.cpp.o.d"
+  "/root/repo/src/optprobe/mxcsr.cpp" "src/CMakeFiles/fpq_optprobe.dir/optprobe/mxcsr.cpp.o" "gcc" "src/CMakeFiles/fpq_optprobe.dir/optprobe/mxcsr.cpp.o.d"
+  "/root/repo/src/optprobe/probes.cpp" "src/CMakeFiles/fpq_optprobe.dir/optprobe/probes.cpp.o" "gcc" "src/CMakeFiles/fpq_optprobe.dir/optprobe/probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

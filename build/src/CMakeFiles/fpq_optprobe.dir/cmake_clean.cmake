@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_optprobe.dir/optprobe/emulated_pipeline.cpp.o"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/emulated_pipeline.cpp.o.d"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/flag_audit.cpp.o"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/flag_audit.cpp.o.d"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/mxcsr.cpp.o"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/mxcsr.cpp.o.d"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/probes.cpp.o"
+  "CMakeFiles/fpq_optprobe.dir/optprobe/probes.cpp.o.d"
+  "libfpq_optprobe.a"
+  "libfpq_optprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_optprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

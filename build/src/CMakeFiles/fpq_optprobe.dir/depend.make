@@ -1,0 +1,2 @@
+# Empty dependencies file for fpq_optprobe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paperdata/background.cpp" "src/CMakeFiles/fpq_paperdata.dir/paperdata/background.cpp.o" "gcc" "src/CMakeFiles/fpq_paperdata.dir/paperdata/background.cpp.o.d"
+  "/root/repo/src/paperdata/factors.cpp" "src/CMakeFiles/fpq_paperdata.dir/paperdata/factors.cpp.o" "gcc" "src/CMakeFiles/fpq_paperdata.dir/paperdata/factors.cpp.o.d"
+  "/root/repo/src/paperdata/quiz_results.cpp" "src/CMakeFiles/fpq_paperdata.dir/paperdata/quiz_results.cpp.o" "gcc" "src/CMakeFiles/fpq_paperdata.dir/paperdata/quiz_results.cpp.o.d"
+  "/root/repo/src/paperdata/suspicion.cpp" "src/CMakeFiles/fpq_paperdata.dir/paperdata/suspicion.cpp.o" "gcc" "src/CMakeFiles/fpq_paperdata.dir/paperdata/suspicion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_paperdata.dir/paperdata/background.cpp.o"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/background.cpp.o.d"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/factors.cpp.o"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/factors.cpp.o.d"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/quiz_results.cpp.o"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/quiz_results.cpp.o.d"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/suspicion.cpp.o"
+  "CMakeFiles/fpq_paperdata.dir/paperdata/suspicion.cpp.o.d"
+  "libfpq_paperdata.a"
+  "libfpq_paperdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_report.dir/report/barchart.cpp.o"
+  "CMakeFiles/fpq_report.dir/report/barchart.cpp.o.d"
+  "CMakeFiles/fpq_report.dir/report/compare.cpp.o"
+  "CMakeFiles/fpq_report.dir/report/compare.cpp.o.d"
+  "CMakeFiles/fpq_report.dir/report/csv.cpp.o"
+  "CMakeFiles/fpq_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/fpq_report.dir/report/table.cpp.o"
+  "CMakeFiles/fpq_report.dir/report/table.cpp.o.d"
+  "libfpq_report.a"
+  "libfpq_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

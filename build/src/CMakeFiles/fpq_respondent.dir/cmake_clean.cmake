@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_respondent.dir/respondent/ability_model.cpp.o"
+  "CMakeFiles/fpq_respondent.dir/respondent/ability_model.cpp.o.d"
+  "CMakeFiles/fpq_respondent.dir/respondent/background_model.cpp.o"
+  "CMakeFiles/fpq_respondent.dir/respondent/background_model.cpp.o.d"
+  "CMakeFiles/fpq_respondent.dir/respondent/calibration.cpp.o"
+  "CMakeFiles/fpq_respondent.dir/respondent/calibration.cpp.o.d"
+  "CMakeFiles/fpq_respondent.dir/respondent/population.cpp.o"
+  "CMakeFiles/fpq_respondent.dir/respondent/population.cpp.o.d"
+  "CMakeFiles/fpq_respondent.dir/respondent/suspicion_model.cpp.o"
+  "CMakeFiles/fpq_respondent.dir/respondent/suspicion_model.cpp.o.d"
+  "libfpq_respondent.a"
+  "libfpq_respondent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_respondent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

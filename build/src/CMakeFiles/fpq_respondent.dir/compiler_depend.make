@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpq_respondent.
+# This may be replaced when dependencies are built.

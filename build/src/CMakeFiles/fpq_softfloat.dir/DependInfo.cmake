@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softfloat/add_sub.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/add_sub.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/add_sub.cpp.o.d"
+  "/root/repo/src/softfloat/compare.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/compare.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/compare.cpp.o.d"
+  "/root/repo/src/softfloat/convert.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/convert.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/convert.cpp.o.d"
+  "/root/repo/src/softfloat/div.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/div.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/div.cpp.o.d"
+  "/root/repo/src/softfloat/env.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/env.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/env.cpp.o.d"
+  "/root/repo/src/softfloat/fma.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/fma.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/fma.cpp.o.d"
+  "/root/repo/src/softfloat/mul.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/mul.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/mul.cpp.o.d"
+  "/root/repo/src/softfloat/round_int_minmax.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/round_int_minmax.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/round_int_minmax.cpp.o.d"
+  "/root/repo/src/softfloat/round_pack.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/round_pack.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/round_pack.cpp.o.d"
+  "/root/repo/src/softfloat/sqrt.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/sqrt.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/sqrt.cpp.o.d"
+  "/root/repo/src/softfloat/value.cpp" "src/CMakeFiles/fpq_softfloat.dir/softfloat/value.cpp.o" "gcc" "src/CMakeFiles/fpq_softfloat.dir/softfloat/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_softfloat.dir/softfloat/add_sub.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/add_sub.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/compare.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/compare.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/convert.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/convert.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/div.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/div.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/env.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/env.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/fma.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/fma.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/mul.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/mul.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/round_int_minmax.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/round_int_minmax.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/round_pack.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/round_pack.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/sqrt.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/sqrt.cpp.o.d"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/value.cpp.o"
+  "CMakeFiles/fpq_softfloat.dir/softfloat/value.cpp.o.d"
+  "libfpq_softfloat.a"
+  "libfpq_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

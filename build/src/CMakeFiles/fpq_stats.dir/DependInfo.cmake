@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/fpq_stats.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/categorical.cpp" "src/CMakeFiles/fpq_stats.dir/stats/categorical.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/categorical.cpp.o.d"
+  "/root/repo/src/stats/chi_square.cpp" "src/CMakeFiles/fpq_stats.dir/stats/chi_square.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/chi_square.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/fpq_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/fpq_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/likert.cpp" "src/CMakeFiles/fpq_stats.dir/stats/likert.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/likert.cpp.o.d"
+  "/root/repo/src/stats/prng.cpp" "src/CMakeFiles/fpq_stats.dir/stats/prng.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/prng.cpp.o.d"
+  "/root/repo/src/stats/summation.cpp" "src/CMakeFiles/fpq_stats.dir/stats/summation.cpp.o" "gcc" "src/CMakeFiles/fpq_stats.dir/stats/summation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_stats.dir/stats/bootstrap.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/bootstrap.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/categorical.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/categorical.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/chi_square.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/chi_square.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/likert.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/likert.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/prng.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/prng.cpp.o.d"
+  "CMakeFiles/fpq_stats.dir/stats/summation.cpp.o"
+  "CMakeFiles/fpq_stats.dir/stats/summation.cpp.o.d"
+  "libfpq_stats.a"
+  "libfpq_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/survey/analysis.cpp" "src/CMakeFiles/fpq_survey.dir/survey/analysis.cpp.o" "gcc" "src/CMakeFiles/fpq_survey.dir/survey/analysis.cpp.o.d"
+  "/root/repo/src/survey/csv_io.cpp" "src/CMakeFiles/fpq_survey.dir/survey/csv_io.cpp.o" "gcc" "src/CMakeFiles/fpq_survey.dir/survey/csv_io.cpp.o.d"
+  "/root/repo/src/survey/factor_analysis.cpp" "src/CMakeFiles/fpq_survey.dir/survey/factor_analysis.cpp.o" "gcc" "src/CMakeFiles/fpq_survey.dir/survey/factor_analysis.cpp.o.d"
+  "/root/repo/src/survey/record.cpp" "src/CMakeFiles/fpq_survey.dir/survey/record.cpp.o" "gcc" "src/CMakeFiles/fpq_survey.dir/survey/record.cpp.o.d"
+  "/root/repo/src/survey/suspicion_analysis.cpp" "src/CMakeFiles/fpq_survey.dir/survey/suspicion_analysis.cpp.o" "gcc" "src/CMakeFiles/fpq_survey.dir/survey/suspicion_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

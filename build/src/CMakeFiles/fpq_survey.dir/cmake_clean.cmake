@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_survey.dir/survey/analysis.cpp.o"
+  "CMakeFiles/fpq_survey.dir/survey/analysis.cpp.o.d"
+  "CMakeFiles/fpq_survey.dir/survey/csv_io.cpp.o"
+  "CMakeFiles/fpq_survey.dir/survey/csv_io.cpp.o.d"
+  "CMakeFiles/fpq_survey.dir/survey/factor_analysis.cpp.o"
+  "CMakeFiles/fpq_survey.dir/survey/factor_analysis.cpp.o.d"
+  "CMakeFiles/fpq_survey.dir/survey/record.cpp.o"
+  "CMakeFiles/fpq_survey.dir/survey/record.cpp.o.d"
+  "CMakeFiles/fpq_survey.dir/survey/suspicion_analysis.cpp.o"
+  "CMakeFiles/fpq_survey.dir/survey/suspicion_analysis.cpp.o.d"
+  "libfpq_survey.a"
+  "libfpq_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

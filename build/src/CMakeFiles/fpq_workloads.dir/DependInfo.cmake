@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/workloads.cpp" "src/CMakeFiles/fpq_workloads.dir/workloads/workloads.cpp.o" "gcc" "src/CMakeFiles/fpq_workloads.dir/workloads/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpq_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/fpq_workloads.dir/workloads/workloads.cpp.o.d"
+  "libfpq_workloads.a"
+  "libfpq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigfloat.dir/bigfloat/test_bigfloat.cpp.o"
+  "CMakeFiles/test_bigfloat.dir/bigfloat/test_bigfloat.cpp.o.d"
+  "test_bigfloat"
+  "test_bigfloat.pdb"
+  "test_bigfloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_ground_truth.cpp" "tests/CMakeFiles/test_core.dir/core/test_ground_truth.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ground_truth.cpp.o.d"
+  "/root/repo/tests/core/test_question_bank.cpp" "tests/CMakeFiles/test_core.dir/core/test_question_bank.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_question_bank.cpp.o.d"
+  "/root/repo/tests/core/test_scoring.cpp" "tests/CMakeFiles/test_core.dir/core/test_scoring.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scoring.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_witness.cpp" "tests/CMakeFiles/test_core.dir/core/test_witness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_respondent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_bigfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

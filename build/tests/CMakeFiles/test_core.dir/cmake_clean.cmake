@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_ground_truth.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ground_truth.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_question_bank.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_question_bank.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scoring.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scoring.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_witness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_witness.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpmon.dir/fpmon/test_monitor.cpp.o"
+  "CMakeFiles/test_fpmon.dir/fpmon/test_monitor.cpp.o.d"
+  "CMakeFiles/test_fpmon.dir/fpmon/test_report.cpp.o"
+  "CMakeFiles/test_fpmon.dir/fpmon/test_report.cpp.o.d"
+  "test_fpmon"
+  "test_fpmon.pdb"
+  "test_fpmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optprobe.dir/optprobe/test_emulated_pipeline.cpp.o"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_emulated_pipeline.cpp.o.d"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_flag_audit.cpp.o"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_flag_audit.cpp.o.d"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_mxcsr.cpp.o"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_mxcsr.cpp.o.d"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_probes.cpp.o"
+  "CMakeFiles/test_optprobe.dir/optprobe/test_probes.cpp.o.d"
+  "test_optprobe"
+  "test_optprobe.pdb"
+  "test_optprobe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paperdata.dir/paperdata/test_paperdata.cpp.o"
+  "CMakeFiles/test_paperdata.dir/paperdata/test_paperdata.cpp.o.d"
+  "test_paperdata"
+  "test_paperdata.pdb"
+  "test_paperdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paperdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

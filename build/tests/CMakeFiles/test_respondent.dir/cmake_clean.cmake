@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_respondent.dir/respondent/test_ability_model.cpp.o"
+  "CMakeFiles/test_respondent.dir/respondent/test_ability_model.cpp.o.d"
+  "CMakeFiles/test_respondent.dir/respondent/test_background_model.cpp.o"
+  "CMakeFiles/test_respondent.dir/respondent/test_background_model.cpp.o.d"
+  "CMakeFiles/test_respondent.dir/respondent/test_calibration.cpp.o"
+  "CMakeFiles/test_respondent.dir/respondent/test_calibration.cpp.o.d"
+  "CMakeFiles/test_respondent.dir/respondent/test_population.cpp.o"
+  "CMakeFiles/test_respondent.dir/respondent/test_population.cpp.o.d"
+  "CMakeFiles/test_respondent.dir/respondent/test_suspicion_model.cpp.o"
+  "CMakeFiles/test_respondent.dir/respondent/test_suspicion_model.cpp.o.d"
+  "test_respondent"
+  "test_respondent.pdb"
+  "test_respondent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_respondent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

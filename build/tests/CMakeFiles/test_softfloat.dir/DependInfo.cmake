@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/softfloat/test_arith_basic.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_arith_basic.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_arith_basic.cpp.o.d"
+  "/root/repo/tests/softfloat/test_bfloat16.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_bfloat16.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_bfloat16.cpp.o.d"
+  "/root/repo/tests/softfloat/test_binary16_exhaustive.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_binary16_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_binary16_exhaustive.cpp.o.d"
+  "/root/repo/tests/softfloat/test_binary16_oracle.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_binary16_oracle.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_binary16_oracle.cpp.o.d"
+  "/root/repo/tests/softfloat/test_convert.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_convert.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_convert.cpp.o.d"
+  "/root/repo/tests/softfloat/test_differential.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_differential.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_differential.cpp.o.d"
+  "/root/repo/tests/softfloat/test_ftz_daz.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_ftz_daz.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_ftz_daz.cpp.o.d"
+  "/root/repo/tests/softfloat/test_properties.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_properties.cpp.o.d"
+  "/root/repo/tests/softfloat/test_round_int_minmax.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_round_int_minmax.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_round_int_minmax.cpp.o.d"
+  "/root/repo/tests/softfloat/test_rounding_modes.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_rounding_modes.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_rounding_modes.cpp.o.d"
+  "/root/repo/tests/softfloat/test_value.cpp" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_value.cpp.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_respondent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_bigfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat.dir/softfloat/test_arith_basic.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_arith_basic.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_bfloat16.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_bfloat16.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_binary16_exhaustive.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_binary16_exhaustive.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_binary16_oracle.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_binary16_oracle.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_convert.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_convert.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_differential.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_differential.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_ftz_daz.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_ftz_daz.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_properties.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_properties.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_round_int_minmax.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_round_int_minmax.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_rounding_modes.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_rounding_modes.cpp.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_value.cpp.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_value.cpp.o.d"
+  "test_softfloat"
+  "test_softfloat.pdb"
+  "test_softfloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

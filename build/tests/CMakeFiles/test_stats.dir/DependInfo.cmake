@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_bootstrap.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/stats/test_categorical.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_categorical.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_categorical.cpp.o.d"
+  "/root/repo/tests/stats/test_chi_square.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_chi_square.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_chi_square.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_likert.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_likert.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_likert.cpp.o.d"
+  "/root/repo/tests/stats/test_prng.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_prng.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_prng.cpp.o.d"
+  "/root/repo/tests/stats/test_summation.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_summation.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_summation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpq_respondent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_paperdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_analyze.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_bigfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_optprobe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_fpmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpq_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_categorical.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_categorical.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_chi_square.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_chi_square.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_likert.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_likert.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_prng.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_prng.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_summation.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_summation.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

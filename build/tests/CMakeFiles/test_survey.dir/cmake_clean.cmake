@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_survey.dir/survey/test_analysis.cpp.o"
+  "CMakeFiles/test_survey.dir/survey/test_analysis.cpp.o.d"
+  "CMakeFiles/test_survey.dir/survey/test_csv_io.cpp.o"
+  "CMakeFiles/test_survey.dir/survey/test_csv_io.cpp.o.d"
+  "CMakeFiles/test_survey.dir/survey/test_factor_analysis.cpp.o"
+  "CMakeFiles/test_survey.dir/survey/test_factor_analysis.cpp.o.d"
+  "CMakeFiles/test_survey.dir/survey/test_record.cpp.o"
+  "CMakeFiles/test_survey.dir/survey/test_record.cpp.o.d"
+  "CMakeFiles/test_survey.dir/survey/test_suspicion_analysis.cpp.o"
+  "CMakeFiles/test_survey.dir/survey/test_suspicion_analysis.cpp.o.d"
+  "test_survey"
+  "test_survey.pdb"
+  "test_survey[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_fpmon[1]_include.cmake")
+include("/root/repo/build/tests/test_optprobe[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_paperdata[1]_include.cmake")
+include("/root/repo/build/tests/test_survey[1]_include.cmake")
+include("/root/repo/build/tests/test_respondent[1]_include.cmake")
+include("/root/repo/build/tests/test_bigfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_analyze[1]_include.cmake")
+include("/root/repo/build/tests/test_interval[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
