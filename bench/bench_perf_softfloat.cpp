@@ -1,12 +1,23 @@
-// Performance of the softfloat engine vs host hardware (google-benchmark).
+// Performance of the softfloat engine vs host hardware (google-benchmark),
+// plus the sharded exhaustive binary16 differential sweep at several
+// thread counts (the parallel engine's scaling benchmark).
+//
 // Not a paper figure — an engineering characterization of the substrate:
 // how much slower is the bit-exact software implementation, per operation
 // and format, and what FTZ/emulation modes cost.
+//
+// Usage: bench_perf_softfloat [--threads N[,N...]] [google-benchmark args]
+// The default sweep registers thread counts 1, 2, 4 and 8.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "parallel/oracle_sweep.hpp"
+#include "parallel/thread_pool.hpp"
 #include "softfloat/ops.hpp"
 #include "stats/prng.hpp"
 
@@ -127,6 +138,85 @@ BENCHMARK(BM_SoftAdd64Ftz);
 BENCHMARK(BM_HardwareAdd64);
 BENCHMARK(BM_HardwareDiv64);
 
+// The sharded exhaustive binary16 differential sweep (all 2^16 first
+// operands x sampled partners, six ops, five rounding modes). Same work
+// at every thread count, so the reported real times give the scaling
+// curve directly.
+void BM_ExhaustiveBinary16Sweep(benchmark::State& state, int threads) {
+  fpq::parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+  fpq::parallel::ExhaustiveConfig config;
+  config.samples_per_operand = 2;  // bench-sized; tests use more
+  std::uint64_t checked = 0;
+  for (auto _ : state) {
+    const auto report = fpq::parallel::run_exhaustive_binary16(pool, config);
+    if (report.mismatches != 0) {
+      const std::string msg =
+          "differential mismatch: " + report.first_mismatch;
+      state.SkipWithError(msg.c_str());
+      return;
+    }
+    checked += report.checked;
+    benchmark::DoNotOptimize(report.checked);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+}
+
+std::vector<int> parse_thread_list(std::string_view spec) {
+  std::vector<int> out;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    const std::string item(spec.substr(0, comma));
+    const int n = std::atoi(item.c_str());
+    if (n > 0) out.push_back(n);
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so
+// --threads is stripped from argv before Initialize sees it.
+int main(int argc, char** argv) {
+  std::vector<char*> bench_args;
+  std::vector<int> thread_counts;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      const auto parsed = parse_thread_list(argv[++i]);
+      thread_counts.insert(thread_counts.end(), parsed.begin(),
+                           parsed.end());
+      continue;
+    }
+    if (arg.starts_with("--threads=")) {
+      const auto parsed = parse_thread_list(arg.substr(10));
+      thread_counts.insert(thread_counts.end(), parsed.begin(),
+                           parsed.end());
+      continue;
+    }
+    bench_args.push_back(argv[i]);
+  }
+  if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+
+  for (const int t : thread_counts) {
+    const std::string name =
+        "BM_ExhaustiveBinary16Sweep/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [t](benchmark::State& state) { BM_ExhaustiveBinary16Sweep(state, t); })
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,10 +11,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
+#include "parallel/shard.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/table.hpp"
 #include "respondent/population.hpp"
 #include "survey/record.hpp"
@@ -89,20 +93,34 @@ bool detects(const std::vector<sv::SurveyRecord>& cohort, Bucket bucket) {
   return std::fabs(b.mean - a.mean) / se > 1.96;
 }
 
-double power_at(std::size_t n, Bucket bucket, std::uint64_t seed_base) {
-  constexpr int kTrials = 60;
-  int hits = 0;
-  for (int t = 0; t < kTrials; ++t) {
-    const auto cohort =
-        fpq::respondent::generate_main_cohort(seed_base + t, n);
-    if (detects(cohort, bucket)) ++hits;
-  }
-  return static_cast<double>(hits) / kTrials;
+// Each trial's cohort is seeded seed_base + t, so trials shard cleanly:
+// the hit count (and thus the power) is identical at every thread count.
+double power_at(std::size_t n, Bucket bucket, std::uint64_t seed_base,
+                fpq::parallel::ThreadPool& pool) {
+  constexpr std::size_t kTrials = 60;
+  const auto hits = fpq::parallel::parallel_map(
+      pool, kTrials, [&](std::size_t t) {
+        const auto cohort =
+            fpq::respondent::generate_main_cohort(seed_base + t, n);
+        return detects(cohort, bucket) ? 1 : 0;
+      });
+  int total = 0;
+  for (const int h : hits) total += h;
+  return static_cast<double>(total) / static_cast<double>(kTrials);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    }
+  }
+  fpq::parallel::ThreadPool pool(threads == 0 ? 0 : threads);
   const std::size_t sizes[] = {50, 100, 199, 400, 800};
   struct Factor {
     const char* name;
@@ -121,7 +139,7 @@ int main() {
   for (const Factor& f : factors) {
     std::vector<std::string> row{f.name};
     for (std::size_t n : sizes) {
-      const double p = power_at(n, f.bucket, f.seed + n);
+      const double p = power_at(n, f.bucket, f.seed + n, pool);
       if (n == 199) power_199[fi] = p;
       row.push_back(rp::Table::fmt(p, 2));
     }

@@ -3,7 +3,9 @@
 namespace fpq::quiz {
 
 QuizSession::QuizSession(ArithmeticBackend& backend)
-    : key_(derive_answer_key(backend)) {}
+    // Repeated sessions on the same backend configuration hit the memoized
+    // ground truth instead of re-running every demonstration snippet.
+    : key_(derive_answer_key_cached(backend)) {}
 
 namespace {
 

@@ -1,0 +1,94 @@
+// fpq::parallel — the per-shard differential-result cache.
+//
+// A sweep shard is fully described by (backend, format, op, rounding mode,
+// operand class, task index): its operand stream is derived
+// deterministically from shard_seed, so its outcome is a pure function of
+// the key. Caching the outcome lets repeated sweeps (quiz-session scoring
+// re-deriving ground truth, benchmark reruns, test retries) skip
+// re-executing millions of softfloat operations and hit memoized results
+// instead.
+//
+// The cache is a striped hash map: lookups hash to one of kStripes
+// independently-locked segments, so concurrent shards rarely contend.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace fpq::parallel {
+
+/// Identity of one differential-sweep shard.
+struct OracleKey {
+  std::string backend;          ///< e.g. "softfloat"
+  std::uint8_t format_bits = 0;    ///< 16 / 32 / 64
+  std::uint8_t op = 0;             ///< SweepOp
+  std::uint8_t rounding = 0;       ///< softfloat::Rounding
+  std::uint8_t operand_class = 0;  ///< OperandClass
+  std::uint32_t task = 0;          ///< shard index within the axis
+
+  bool operator==(const OracleKey&) const = default;
+};
+
+struct OracleKeyHash {
+  std::size_t operator()(const OracleKey& k) const noexcept {
+    std::size_t h = std::hash<std::string>{}(k.backend);
+    const std::uint64_t packed =
+        (std::uint64_t{k.format_bits} << 56) | (std::uint64_t{k.op} << 48) |
+        (std::uint64_t{k.rounding} << 40) |
+        (std::uint64_t{k.operand_class} << 32) | k.task;
+    // 64-bit mix of the packed fields folded into the string hash.
+    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL * (h + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return static_cast<std::size_t>(z ^ (z >> 27));
+  }
+};
+
+/// Outcome of one shard: how many cases ran, how many diverged from the
+/// reference, and a diagnostic for the first divergence (empty if none).
+struct ShardResult {
+  std::uint64_t checked = 0;
+  std::uint64_t mismatches = 0;
+  std::string first_mismatch;
+};
+
+class ResultCache {
+ public:
+  ResultCache() = default;
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the memoized result, counting a hit/miss.
+  std::optional<ShardResult> find(const OracleKey& key);
+
+  /// Memoizes (first writer wins; identical by determinism anyway).
+  void insert(const OracleKey& key, const ShardResult& result);
+
+  std::size_t size() const;
+  std::uint64_t hits() const noexcept { return hits_.load(); }
+  std::uint64_t misses() const noexcept { return misses_.load(); }
+  void clear();
+
+  /// Process-wide cache shared by sessions, benches, and tests.
+  static ResultCache& global();
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<OracleKey, ShardResult, OracleKeyHash> map;
+  };
+  Stripe& stripe_of(const OracleKey& key) {
+    return stripes_[OracleKeyHash{}(key) % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace fpq::parallel

@@ -1,0 +1,49 @@
+#include "parallel/shard.hpp"
+
+#include <algorithm>
+
+namespace fpq::parallel {
+
+namespace {
+
+// splitmix64 finalizer (Steele/Lea/Flood), identical to the one in
+// stats/prng.cpp. Duplicated five lines keep fpq_parallel a leaf library
+// that fpq_stats itself can link against.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t shard_seed(std::uint64_t base_seed,
+                         std::uint64_t shard_index) noexcept {
+  // Mix the shard index into the stream position, then finalize twice so
+  // that even base_seed == shard_index patterns decorrelate.
+  std::uint64_t state = base_seed ^ (0x9E3779B97F4A7C15ULL * (shard_index + 1));
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+ChunkRange chunk_range(std::size_t total, std::size_t chunks,
+                       std::size_t chunk) noexcept {
+  ChunkRange r;
+  r.begin = total * chunk / chunks;
+  r.end = total * (chunk + 1) / chunks;
+  return r;
+}
+
+std::size_t recommended_chunks(const ThreadPool& pool, std::size_t total,
+                               std::size_t min_per_chunk) noexcept {
+  if (total == 0) return 0;
+  if (min_per_chunk == 0) min_per_chunk = 1;
+  // 4 chunks per lane leaves enough slack for stealing to even out load
+  // imbalance without drowning in per-chunk overhead.
+  const std::size_t by_lanes = pool.lanes() * 4;
+  const std::size_t by_grain = (total + min_per_chunk - 1) / min_per_chunk;
+  return std::clamp<std::size_t>(std::min(by_lanes, by_grain), 1, total);
+}
+
+}  // namespace fpq::parallel

@@ -1,0 +1,61 @@
+// fpq::parallel — a fork/join work-stealing thread pool.
+//
+// The pool exists for one job shape: "run body(shard) exactly once for
+// every shard in [0, N), as fast as the hardware allows, with results that
+// are bit-identical to a single-threaded run".  Determinism is achieved by
+// construction, not by luck:
+//
+//   * every shard index is claimed by exactly one lane (atomic cursors),
+//   * shard bodies write only to their own slot of a pre-sized output,
+//   * reductions happen on the caller's thread afterwards, in fixed shard
+//     order (see shard.hpp's tree_reduce) — never via shared FP
+//     accumulators or atomics on floating point.
+//
+// Scheduling is work-stealing at the shard level: run_shards() splits the
+// index space into one contiguous block per lane; each lane drains its own
+// block first and then steals remaining indices from other lanes' blocks,
+// so an unlucky lane stuck on expensive shards never leaves the rest of
+// the machine idle.  The calling thread participates as lane 0, which
+// makes ThreadPool(1) a zero-thread, purely inline executor — the
+// determinism baseline the tests compare against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace fpq::parallel {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` execution lanes. The calling thread of
+  /// run_shards() is always one of the lanes, so `threads == 1` spawns no
+  /// background workers at all and `threads == 0` picks
+  /// default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (background workers + the calling thread).
+  std::size_t lanes() const noexcept;
+
+  /// Invokes body(shard) exactly once for every shard in [0, shard_count),
+  /// distributed across the lanes, and blocks until every shard has
+  /// finished. The calling thread participates. The first exception thrown
+  /// by a shard body is rethrown here (remaining shards still run, so the
+  /// index space is always fully consumed). Not reentrant: shard bodies
+  /// must not call run_shards on the same pool.
+  void run_shards(std::size_t shard_count,
+                  const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency with a sane floor of 1.
+  static std::size_t default_thread_count() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fpq::parallel

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "parallel/shard.hpp"
 #include "stats/descriptive.hpp"
 
 namespace fpq::stats {
@@ -41,6 +42,52 @@ BootstrapInterval bootstrap_mean(std::span<const double> data,
   return bootstrap_interval(
       data, [](std::span<const double> xs) { return mean(xs); }, replicates,
       confidence, g);
+}
+
+BootstrapInterval bootstrap_interval(std::span<const double> data,
+                                     const Statistic& statistic,
+                                     std::size_t replicates,
+                                     double confidence, std::uint64_t seed,
+                                     parallel::ThreadPool& pool) {
+  assert(!data.empty());
+  assert(replicates >= 100);
+  assert(confidence > 0.0 && confidence < 1.0);
+
+  BootstrapInterval out;
+  out.confidence = confidence;
+  out.estimate = statistic(data);
+
+  // Chunked so each shard reuses one resample buffer; replicate r's stream
+  // depends only on (seed, r), so the chunk count (and thread count) never
+  // changes which samples replicate r draws.
+  std::vector<double> estimates(replicates);
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, replicates, 16);
+  pool.run_shards(chunks, [&](std::size_t chunk) {
+    const auto range = parallel::chunk_range(replicates, chunks, chunk);
+    std::vector<double> resample(data.size());
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      Xoshiro256pp g(parallel::shard_seed(seed, r));
+      for (auto& slot : resample) {
+        slot = data[uniform_below(g, data.size())];
+      }
+      estimates[r] = statistic(resample);
+    }
+  });
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lower = quantile(estimates, alpha);
+  out.upper = quantile(estimates, 1.0 - alpha);
+  return out;
+}
+
+BootstrapInterval bootstrap_mean(std::span<const double> data,
+                                 std::size_t replicates, double confidence,
+                                 std::uint64_t seed,
+                                 parallel::ThreadPool& pool) {
+  return bootstrap_interval(
+      data, [](std::span<const double> xs) { return mean(xs); }, replicates,
+      confidence, seed, pool);
 }
 
 }  // namespace fpq::stats

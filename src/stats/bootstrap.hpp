@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 
+#include "parallel/thread_pool.hpp"
 #include "stats/prng.hpp"
 
 namespace fpq::stats {
@@ -36,5 +38,24 @@ BootstrapInterval bootstrap_interval(std::span<const double> data,
 BootstrapInterval bootstrap_mean(std::span<const double> data,
                                  std::size_t replicates, double confidence,
                                  Xoshiro256pp& g);
+
+/// Sharded percentile bootstrap. Replicate r draws from its own generator
+/// seeded with parallel::shard_seed(seed, r), so the result is a pure
+/// function of (data, statistic, replicates, confidence, seed) —
+/// bit-identical for every thread count, including 1. Note the resampling
+/// streams differ from the sequential overload above, which threads one
+/// generator through all replicates and therefore cannot be parallelized
+/// without changing its answers. The statistic is invoked concurrently
+/// and must be a pure function of its input span.
+BootstrapInterval bootstrap_interval(std::span<const double> data,
+                                     const Statistic& statistic,
+                                     std::size_t replicates,
+                                     double confidence, std::uint64_t seed,
+                                     parallel::ThreadPool& pool);
+
+BootstrapInterval bootstrap_mean(std::span<const double> data,
+                                 std::size_t replicates, double confidence,
+                                 std::uint64_t seed,
+                                 parallel::ThreadPool& pool);
 
 }  // namespace fpq::stats

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parallel/shard.hpp"
+
 namespace fpq::survey {
 
 std::vector<TableRow> frequency_table(
@@ -174,6 +176,158 @@ std::vector<BreakdownRow> opt_question_breakdown(
     row.pct_incorrect *= scale;
     row.pct_dont_know *= scale;
     row.pct_unanswered *= scale;
+  }
+  return rows;
+}
+
+namespace {
+
+// Per-chunk integer partial sums for the four outcome kinds. Combining
+// these in chunk order matches the serial loops exactly because every
+// count fits a binary64 integer.
+struct PartialTally {
+  std::size_t correct = 0;
+  std::size_t incorrect = 0;
+  std::size_t dont_know = 0;
+  std::size_t unanswered = 0;
+  void add(const quiz::QuizTally& t) noexcept {
+    correct += t.correct;
+    incorrect += t.incorrect;
+    dont_know += t.dont_know;
+    unanswered += t.unanswered;
+  }
+};
+
+AverageTally finish_average(const std::vector<PartialTally>& partials,
+                            std::size_t n) {
+  PartialTally total;
+  for (const auto& p : partials) {
+    total.correct += p.correct;
+    total.incorrect += p.incorrect;
+    total.dont_know += p.dont_know;
+    total.unanswered += p.unanswered;
+  }
+  const auto dn = static_cast<double>(n);
+  AverageTally avg;
+  avg.correct = static_cast<double>(total.correct) / dn;
+  avg.incorrect = static_cast<double>(total.incorrect) / dn;
+  avg.dont_know = static_cast<double>(total.dont_know) / dn;
+  avg.unanswered = static_cast<double>(total.unanswered) / dn;
+  return avg;
+}
+
+}  // namespace
+
+AverageTally average_core(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool) {
+  if (records.empty()) return AverageTally{};
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  std::vector<PartialTally> partials(chunks);
+  parallel::parallel_map_chunks(
+      pool, records.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          partials[chunk].add(quiz::score_core(records[i].core, key));
+        }
+      });
+  return finish_average(partials, records.size());
+}
+
+AverageTally average_opt_tf(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key,
+    parallel::ThreadPool& pool) {
+  if (records.empty()) return AverageTally{};
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  std::vector<PartialTally> partials(chunks);
+  parallel::parallel_map_chunks(
+      pool, records.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          partials[chunk].add(quiz::score_opt_tf(records[i].opt, key));
+        }
+      });
+  return finish_average(partials, records.size());
+}
+
+stats::IntHistogram core_score_histogram(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool) {
+  // Score every record in parallel (each shard writes only its own slot),
+  // then bin serially: the histogram is insertion-order independent.
+  std::vector<int> scores(records.size());
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  parallel::parallel_map_chunks(
+      pool, records.size(), chunks,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          scores[i] =
+              static_cast<int>(quiz::score_core(records[i].core, key).correct);
+        }
+      });
+  stats::IntHistogram hist(0, static_cast<int>(quiz::kCoreQuestionCount));
+  hist.add_all(scores);
+  return hist;
+}
+
+std::vector<BreakdownRow> core_question_breakdown(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool) {
+  std::vector<BreakdownRow> rows(quiz::kCoreQuestionCount);
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    rows[q].label =
+        quiz::core_question_label(static_cast<quiz::CoreQuestionId>(q));
+  }
+  if (records.empty()) return rows;
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  // partials[chunk][question] counts, combined in chunk order below.
+  std::vector<std::array<PartialTally, quiz::kCoreQuestionCount>> partials(
+      chunks);
+  parallel::parallel_map_chunks(
+      pool, records.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+            quiz::QuizTally one;
+            switch (quiz::grade_answer(records[i].core.answers[q], key[q])) {
+              case quiz::Grade::kCorrect:
+                one.correct = 1;
+                break;
+              case quiz::Grade::kIncorrect:
+                one.incorrect = 1;
+                break;
+              case quiz::Grade::kDontKnow:
+                one.dont_know = 1;
+                break;
+              case quiz::Grade::kUnanswered:
+                one.unanswered = 1;
+                break;
+            }
+            partials[chunk][q].add(one);
+          }
+        }
+      });
+  const auto scale = 100.0 / static_cast<double>(records.size());
+  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+    PartialTally total;
+    for (const auto& p : partials) {
+      total.correct += p[q].correct;
+      total.incorrect += p[q].incorrect;
+      total.dont_know += p[q].dont_know;
+      total.unanswered += p[q].unanswered;
+    }
+    rows[q].pct_correct = static_cast<double>(total.correct) * scale;
+    rows[q].pct_incorrect = static_cast<double>(total.incorrect) * scale;
+    rows[q].pct_dont_know = static_cast<double>(total.dont_know) * scale;
+    rows[q].pct_unanswered = static_cast<double>(total.unanswered) * scale;
   }
   return rows;
 }

@@ -16,6 +16,7 @@
 
 #include "core/ground_truth.hpp"
 #include "paperdata/paperdata.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/histogram.hpp"
 #include "survey/record.hpp"
 
@@ -86,5 +87,29 @@ std::vector<BreakdownRow> core_question_breakdown(
 std::vector<BreakdownRow> opt_question_breakdown(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key);
+
+// Sharded overloads. Per-record tallies are small integers, and integer
+// sums are exact in binary64 far past any cohort size we handle, so the
+// per-chunk partials combined in chunk order reproduce the serial results
+// bit for bit at every thread count.
+AverageTally average_core(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool);
+
+AverageTally average_opt_tf(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key,
+    parallel::ThreadPool& pool);
+
+stats::IntHistogram core_score_histogram(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool);
+
+std::vector<BreakdownRow> core_question_breakdown(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
+    parallel::ThreadPool& pool);
 
 }  // namespace fpq::survey

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "paperdata/paperdata.hpp"
+#include "parallel/shard.hpp"
 
 namespace fpq::survey {
 
@@ -45,6 +46,74 @@ std::vector<FactorLevelResult> condition_on(
     level.opt.incorrect /= n;
     level.opt.dont_know /= n;
     level.opt.unanswered /= n;
+  }
+  return out;
+}
+
+// Sharded condition_on: each chunk accumulates integer partial tallies per
+// level, combined in chunk order so the result matches the serial loop bit
+// for bit (the per-record counts are small integers, exact in binary64).
+struct LevelPartial {
+  std::size_t n = 0;
+  std::size_t core[4] = {0, 0, 0, 0};  // correct/incorrect/dk/unanswered
+  std::size_t opt[4] = {0, 0, 0, 0};
+};
+
+std::vector<FactorLevelResult> condition_on_parallel(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key, std::span<const std::string> labels,
+    const std::function<std::size_t(const SurveyRecord&)>& bucket_of,
+    parallel::ThreadPool& pool) {
+  std::vector<FactorLevelResult> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) out[i].label = labels[i];
+  if (records.empty()) return out;
+
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  std::vector<std::vector<LevelPartial>> partials(
+      chunks, std::vector<LevelPartial>(labels.size()));
+  parallel::parallel_map_chunks(
+      pool, records.size(), chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t bucket = bucket_of(records[i]);
+          if (bucket >= labels.size()) continue;
+          LevelPartial& p = partials[chunk][bucket];
+          ++p.n;
+          const auto core = quiz::score_core(records[i].core, core_key);
+          p.core[0] += core.correct;
+          p.core[1] += core.incorrect;
+          p.core[2] += core.dont_know;
+          p.core[3] += core.unanswered;
+          const auto opt = quiz::score_opt_tf(records[i].opt, opt_key);
+          p.opt[0] += opt.correct;
+          p.opt[1] += opt.incorrect;
+          p.opt[2] += opt.dont_know;
+          p.opt[3] += opt.unanswered;
+        }
+      });
+
+  for (std::size_t level = 0; level < out.size(); ++level) {
+    LevelPartial total;
+    for (const auto& chunk : partials) {
+      const LevelPartial& p = chunk[level];
+      total.n += p.n;
+      for (int k = 0; k < 4; ++k) {
+        total.core[k] += p.core[k];
+        total.opt[k] += p.opt[k];
+      }
+    }
+    out[level].n = total.n;
+    if (total.n == 0) continue;
+    const auto n = static_cast<double>(total.n);
+    out[level].core.correct = static_cast<double>(total.core[0]) / n;
+    out[level].core.incorrect = static_cast<double>(total.core[1]) / n;
+    out[level].core.dont_know = static_cast<double>(total.core[2]) / n;
+    out[level].core.unanswered = static_cast<double>(total.core[3]) / n;
+    out[level].opt.correct = static_cast<double>(total.opt[0]) / n;
+    out[level].opt.incorrect = static_cast<double>(total.opt[1]) / n;
+    out[level].opt.dont_know = static_cast<double>(total.opt[2]) / n;
+    out[level].opt.unanswered = static_cast<double>(total.opt[3]) / n;
   }
   return out;
 }
@@ -99,6 +168,54 @@ std::vector<FactorLevelResult> by_formal_training(
                       [](const SurveyRecord& r) {
                         return training_index(r.background.formal_training);
                       });
+}
+
+std::vector<FactorLevelResult> by_contributed_size(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key, parallel::ThreadPool& pool) {
+  const auto labels = labels_from(fpq::paperdata::contributed_size_effect());
+  return condition_on_parallel(records, core_key, opt_key, labels,
+                               [](const SurveyRecord& r) {
+                                 return contributed_size_bin(
+                                     r.background.contributed_size);
+                               },
+                               pool);
+}
+
+std::vector<FactorLevelResult> by_area_group(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key, parallel::ThreadPool& pool) {
+  const auto labels = labels_from(fpq::paperdata::area_effect());
+  return condition_on_parallel(records, core_key, opt_key, labels,
+                               [](const SurveyRecord& r) {
+                                 return static_cast<std::size_t>(
+                                     area_group_of(r.background.area));
+                               },
+                               pool);
+}
+
+std::vector<FactorLevelResult> by_role(std::span<const SurveyRecord> records,
+                                       const CoreKey& core_key,
+                                       const OptKey& opt_key,
+                                       parallel::ThreadPool& pool) {
+  const auto labels = labels_from(fpq::paperdata::role_effect());
+  return condition_on_parallel(records, core_key, opt_key, labels,
+                               [](const SurveyRecord& r) {
+                                 return role_index(r.background.dev_role);
+                               },
+                               pool);
+}
+
+std::vector<FactorLevelResult> by_formal_training(
+    std::span<const SurveyRecord> records, const CoreKey& core_key,
+    const OptKey& opt_key, parallel::ThreadPool& pool) {
+  const auto labels = labels_from(fpq::paperdata::training_effect());
+  return condition_on_parallel(records, core_key, opt_key, labels,
+                               [](const SurveyRecord& r) {
+                                 return training_index(
+                                     r.background.formal_training);
+                               },
+                               pool);
 }
 
 double core_correct_spread(std::span<const FactorLevelResult> levels) {

@@ -3,12 +3,20 @@
 // utilities on a complete format. (Binary ops are covered by the random
 // oracle in test_binary16_oracle.cpp; 2^32 pairs would be exhaustive but
 // slow — 2^16 unary is free.)
+//
+// The sharded differential sweeps at the bottom extend the coverage to
+// sqrt and fma under ALL FIVE rounding modes (including roundTiesToAway,
+// which no host FPU expresses): sqrt exhausts the full encoding space per
+// mode, fma pairs every first operand with seeded partners, both checked
+// against the exact references in parallel/oracle_sweep.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdint>
 
+#include "parallel/oracle_sweep.hpp"
+#include "parallel/thread_pool.hpp"
 #include "softfloat/ops.hpp"
 #include "softfloat/util.hpp"
 
@@ -128,6 +136,43 @@ TEST(Binary16Exhaustive, NegationRoundTripsAndAbsClearsSign) {
     ASSERT_FALSE(x.abs().sign());
     ASSERT_EQ(x.abs().abs().bits, x.abs().bits);
   }
+}
+
+TEST(Binary16Exhaustive, SqrtExhaustiveUnderAllFiveRoundingModes) {
+  // All 2^16 encodings, all five modes, against the double-rounding-safe
+  // hardware reference (shards aggregate failures; the assert runs here
+  // on the main thread only).
+  fpq::parallel::ThreadPool pool;
+  fpq::parallel::ExhaustiveConfig config;
+  config.ops = {fpq::parallel::SweepOp::kSqrt};
+  const auto report = fpq::parallel::run_exhaustive_binary16(pool, config);
+  EXPECT_EQ(report.mismatches, 0u) << report.first_mismatch;
+  EXPECT_EQ(report.checked, 5ull * 0x10000ull);
+}
+
+TEST(Binary16Exhaustive, FmaAllFirstOperandsUnderAllFiveRoundingModes) {
+  // Every first-operand encoding x seeded (b, c) partners x five modes,
+  // against the exact product + TwoSum + round-to-odd reference.
+  fpq::parallel::ThreadPool pool;
+  fpq::parallel::ExhaustiveConfig config;
+  config.ops = {fpq::parallel::SweepOp::kFma};
+  config.samples_per_operand = 4;
+  const auto report = fpq::parallel::run_exhaustive_binary16(pool, config);
+  EXPECT_EQ(report.mismatches, 0u) << report.first_mismatch;
+  EXPECT_EQ(report.checked, 5ull * 0x10000ull * 4ull);
+}
+
+TEST(Binary16Exhaustive, AddMulDivExhaustiveFirstOperandSweep) {
+  // The remaining binary ops through the same sharded engine: every first
+  // operand, sampled partners, all five modes.
+  fpq::parallel::ThreadPool pool;
+  fpq::parallel::ExhaustiveConfig config;
+  config.ops = {fpq::parallel::SweepOp::kAdd, fpq::parallel::SweepOp::kSub,
+                fpq::parallel::SweepOp::kMul, fpq::parallel::SweepOp::kDiv};
+  config.samples_per_operand = 2;
+  const auto report = fpq::parallel::run_exhaustive_binary16(pool, config);
+  EXPECT_EQ(report.mismatches, 0u) << report.first_mismatch;
+  EXPECT_EQ(report.checked, 4ull * 5ull * 0x10000ull * 2ull);
 }
 
 }  // namespace
