@@ -11,17 +11,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "ir/ir.hpp"
 #include "parallel/oracle_sweep.hpp"
 #include "parallel/thread_pool.hpp"
 #include "softfloat/ops.hpp"
 #include "stats/prng.hpp"
 
 namespace sf = fpq::softfloat;
+namespace ir = fpq::ir;
 
 namespace {
 
@@ -129,6 +133,74 @@ void BM_HardwareDiv64(benchmark::State& state) {
   }
 }
 
+// -- fpq::ir evaluation overhead and batch/memoization throughput -------
+//
+// The same degree-8 Horner polynomial four ways: a hand-rolled softfloat
+// loop (what the pre-IR modules did), a per-call IR tree walk (virtual
+// dispatch + traversal overhead on top of the same 16 softfloat ops), the
+// batched evaluate_many path sharded over the pool, and the batched path
+// hitting the memo cache on every sweep after the first.
+
+constexpr std::array<double, 9> kPolyCoeffs{1.25,  -0.5,  3.0,   0.125,
+                                            -2.75, 0.875, -1.5,  2.0,
+                                            -0.0625};
+
+ir::Expr poly_tree() {
+  return ir::Expr::horner(std::span<const double>(kPolyCoeffs),
+                          ir::Expr::variable("x", 0));
+}
+
+void BM_DirectSoftHorner64(benchmark::State& state) {
+  const auto xs = make_operands(kN, 9);
+  sf::Env env;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto x = sf::from_native(xs[i]);
+    auto acc = sf::from_native(kPolyCoeffs[0]);
+    for (std::size_t k = 1; k < kPolyCoeffs.size(); ++k) {
+      acc = sf::add(sf::mul(acc, x, env), sf::from_native(kPolyCoeffs[k]),
+                    env);
+    }
+    benchmark::DoNotOptimize(acc.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+void BM_IrTreeWalkHorner64(benchmark::State& state) {
+  const auto tree = poly_tree();
+  const auto xs = make_operands(kN, 9);
+  const auto cfg = ir::EvalConfig::ieee_strict();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::array<double, 1> binding{xs[i]};
+    const auto r = ir::evaluate(tree, cfg, binding);
+    benchmark::DoNotOptimize(r.value.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+void BM_IrBatchHorner64(benchmark::State& state, int threads, bool memoize) {
+  fpq::parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+  const auto tree = poly_tree();
+  ir::BindingTable table;
+  table.width = 1;
+  table.values = make_operands(kN, 10);
+  ir::BatchOptions opts;
+  opts.memoize = memoize;
+  const auto cfg = ir::EvalConfig::ieee_strict();
+  if (memoize) {
+    // Warm the cache so every timed sweep is the all-hits path.
+    benchmark::DoNotOptimize(
+        ir::evaluate_many(pool, tree, table, cfg, opts).data());
+  }
+  for (auto _ : state) {
+    auto out = ir::evaluate_many(pool, tree, table, cfg, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+}
+
 BENCHMARK(BM_SoftAdd64);
 BENCHMARK(BM_SoftMul64);
 BENCHMARK(BM_SoftDiv64);
@@ -137,6 +209,8 @@ BENCHMARK(BM_SoftSqrt64);
 BENCHMARK(BM_SoftAdd64Ftz);
 BENCHMARK(BM_HardwareAdd64);
 BENCHMARK(BM_HardwareDiv64);
+BENCHMARK(BM_DirectSoftHorner64);
+BENCHMARK(BM_IrTreeWalkHorner64);
 
 // The sharded exhaustive binary16 differential sweep (all 2^16 first
 // operands x sampled partners, six ops, five rounding modes). Same work
@@ -208,6 +282,20 @@ int main(int argc, char** argv) {
         [t](benchmark::State& state) { BM_ExhaustiveBinary16Sweep(state, t); })
         ->UseRealTime()
         ->Unit(benchmark::kMillisecond);
+    const std::string batch_name =
+        "BM_IrBatchHorner64/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(batch_name.c_str(),
+                                 [t](benchmark::State& state) {
+                                   BM_IrBatchHorner64(state, t, false);
+                                 })
+        ->UseRealTime();
+    const std::string memo_name =
+        "BM_IrBatchHorner64Memoized/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(memo_name.c_str(),
+                                 [t](benchmark::State& state) {
+                                   BM_IrBatchHorner64(state, t, true);
+                                 })
+        ->UseRealTime();
   }
 
   int bench_argc = static_cast<int>(bench_args.size());

@@ -13,10 +13,11 @@
 
 #include "analyze/shadow.hpp"
 #include "interval/interval.hpp"
+#include "ir/expr.hpp"
 
 namespace sh = fpq::shadow;
 namespace iv = fpq::interval;
-using E = fpq::opt::Expr;
+using E = fpq::ir::Expr;
 
 namespace {
 

@@ -3,152 +3,214 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "ir/evaluator.hpp"
+#include "softfloat/ops.hpp"
 
 namespace fpq::shadow {
 
 namespace {
 
 namespace bf = fpq::bigfloat;
-namespace opt = fpq::opt;
 namespace sf = fpq::softfloat;
 
-struct Walk {
-  const Config* config = nullptr;
-  bf::Context ctx;
-  std::vector<Finding>* findings = nullptr;
-};
-
+// The shadow value domain: binary64 and high-precision, side by side.
 struct NodeValues {
   double d = 0.0;        // binary64 value at this node
   bf::BigFloat shadow;   // high-precision value at this node
 };
 
-NodeValues eval(const opt::Expr& e, Walk& walk) {
-  const opt::Expr::Node& n = e.node();
-  sf::Env env;  // per-node binary64 evaluation (strict IEEE)
-
-  auto child = [&](std::size_t i) { return eval(n.children[i], walk); };
-
-  NodeValues out;
-  switch (n.kind) {
-    case opt::ExprKind::kConst:
-      out.d = sf::to_native(n.value);
-      out.shadow = bf::BigFloat::from_double(out.d);
-      return out;
-    case opt::ExprKind::kAdd:
-    case opt::ExprKind::kSub: {
-      const NodeValues a = child(0);
-      const NodeValues b = child(1);
-      const bool subtract = n.kind == opt::ExprKind::kSub;
-      out.d = subtract
-                  ? sf::to_native(sf::sub(sf::from_native(a.d),
-                                          sf::from_native(b.d), env))
-                  : sf::to_native(sf::add(sf::from_native(a.d),
-                                          sf::from_native(b.d), env));
-      out.shadow = subtract
-                       ? bf::BigFloat::sub(a.shadow, b.shadow, walk.ctx)
-                       : bf::BigFloat::add(a.shadow, b.shadow, walk.ctx);
-      // Cancellation: the result's magnitude collapsed far below the
-      // larger operand's — leading bits annihilated, relative precision
-      // amplified.
-      if (a.shadow.is_finite() && !a.shadow.is_zero() &&
-          b.shadow.is_finite() && !b.shadow.is_zero() &&
-          out.shadow.is_finite() && !out.shadow.is_zero()) {
-        const std::int64_t in_msb =
-            std::max(a.shadow.msb_exponent(), b.shadow.msb_exponent());
-        const std::int64_t lost = in_msb - out.shadow.msb_exponent();
-        if (lost >= walk.config->cancellation_bits_threshold) {
-          Finding f;
-          f.expression = e.to_string();
-          f.reason =
-              "cancellation of " + std::to_string(lost) + " leading bits";
-          f.double_value = out.d;
-          f.shadow_value = out.shadow.to_double();
-          f.cancelled_bits = static_cast<int>(lost);
-          f.relative_error =
-              bf::relative_error(out.d, out.shadow, walk.ctx);
-          walk.findings->push_back(std::move(f));
-        }
-      }
-      break;
-    }
-    case opt::ExprKind::kMul: {
-      const NodeValues a = child(0);
-      const NodeValues b = child(1);
-      out.d = sf::to_native(
-          sf::mul(sf::from_native(a.d), sf::from_native(b.d), env));
-      out.shadow = bf::BigFloat::mul(a.shadow, b.shadow, walk.ctx);
-      break;
-    }
-    case opt::ExprKind::kDiv: {
-      const NodeValues a = child(0);
-      const NodeValues b = child(1);
-      out.d = sf::to_native(
-          sf::div(sf::from_native(a.d), sf::from_native(b.d), env));
-      out.shadow = bf::BigFloat::div(a.shadow, b.shadow, walk.ctx);
-      break;
-    }
-    case opt::ExprKind::kSqrt: {
-      const NodeValues a = child(0);
-      out.d = sf::to_native(sf::sqrt(sf::from_native(a.d), env));
-      out.shadow = bf::BigFloat::sqrt(a.shadow, walk.ctx);
-      break;
-    }
-    case opt::ExprKind::kFma: {
-      const NodeValues a = child(0);
-      const NodeValues b = child(1);
-      const NodeValues c = child(2);
-      out.d = sf::to_native(sf::fma(sf::from_native(a.d),
-                                    sf::from_native(b.d),
-                                    sf::from_native(c.d), env));
-      out.shadow =
-          bf::BigFloat::fma(a.shadow, b.shadow, c.shadow, walk.ctx);
-      break;
-    }
+// One ir::Evaluator computes both executions in lock-step and files the
+// findings as it goes: cancellation inside the add/sub hook (it needs the
+// operands), format-induced-exception and relative-error checks in
+// on_result (they apply to every node).
+class ShadowEvaluator final : public ir::Evaluator<NodeValues> {
+ public:
+  ShadowEvaluator(const Config& config, std::vector<Finding>& findings)
+      : config_(config), findings_(findings) {
+    ctx_.precision = config.precision;
   }
 
-  // Format-induced exceptional values: binary64 went NaN/inf where the
-  // high-precision value is an ordinary number.
-  const bool d_exceptional = std::isnan(out.d) || std::isinf(out.d);
-  const bool s_exceptional = out.shadow.is_nan() || out.shadow.is_infinity();
-  if (d_exceptional && !s_exceptional) {
-    Finding f;
-    f.expression = e.to_string();
-    f.reason = std::isnan(out.d)
-                   ? "binary64 produced NaN where the exact value is finite"
-                   : "binary64 overflowed where the exact value is finite";
-    f.double_value = out.d;
-    f.shadow_value = out.shadow.to_double();
-    f.relative_error = std::numeric_limits<double>::infinity();
-    walk.findings->push_back(std::move(f));
-  } else if (!d_exceptional && !s_exceptional && out.d != 0.0) {
-    const double rel = bf::relative_error(out.d, out.shadow, walk.ctx);
-    if (rel > walk.config->relative_error_threshold) {
+  const bf::Context& ctx() const noexcept { return ctx_; }
+
+  NodeValues constant(const ir::Expr& e) override {
+    NodeValues out;
+    out.d = sf::to_native(e.node().value);
+    out.shadow = bf::BigFloat::from_double(out.d);
+    return out;
+  }
+  NodeValues variable(const ir::Expr& e, double bound) override {
+    (void)e;
+    NodeValues out;
+    out.d = bound;
+    out.shadow = bf::BigFloat::from_double(bound);
+    return out;
+  }
+  NodeValues neg(const ir::Expr& e, const NodeValues& a) override {
+    (void)e;
+    NodeValues out;
+    out.d = sf::to_native(sf::from_native(a.d).negated());
+    out.shadow = a.shadow.negated();
+    return out;
+  }
+  NodeValues add(const ir::Expr& e, const NodeValues& a,
+                 const NodeValues& b) override {
+    return add_sub(e, a, b, /*subtract=*/false);
+  }
+  NodeValues sub(const ir::Expr& e, const NodeValues& a,
+                 const NodeValues& b) override {
+    return add_sub(e, a, b, /*subtract=*/true);
+  }
+  NodeValues mul(const ir::Expr& e, const NodeValues& a,
+                 const NodeValues& b) override {
+    (void)e;
+    sf::Env env;  // per-node binary64 evaluation (strict IEEE)
+    NodeValues out;
+    out.d = sf::to_native(
+        sf::mul(sf::from_native(a.d), sf::from_native(b.d), env));
+    out.shadow = bf::BigFloat::mul(a.shadow, b.shadow, ctx_);
+    return out;
+  }
+  NodeValues div(const ir::Expr& e, const NodeValues& a,
+                 const NodeValues& b) override {
+    (void)e;
+    sf::Env env;
+    NodeValues out;
+    out.d = sf::to_native(
+        sf::div(sf::from_native(a.d), sf::from_native(b.d), env));
+    out.shadow = bf::BigFloat::div(a.shadow, b.shadow, ctx_);
+    return out;
+  }
+  NodeValues sqrt(const ir::Expr& e, const NodeValues& a) override {
+    (void)e;
+    sf::Env env;
+    NodeValues out;
+    out.d = sf::to_native(sf::sqrt(sf::from_native(a.d), env));
+    out.shadow = bf::BigFloat::sqrt(a.shadow, ctx_);
+    return out;
+  }
+  NodeValues fma(const ir::Expr& e, const NodeValues& a,
+                 const NodeValues& b, const NodeValues& c) override {
+    (void)e;
+    sf::Env env;
+    NodeValues out;
+    out.d = sf::to_native(sf::fma(sf::from_native(a.d),
+                                  sf::from_native(b.d),
+                                  sf::from_native(c.d), env));
+    out.shadow = bf::BigFloat::fma(a.shadow, b.shadow, c.shadow, ctx_);
+    return out;
+  }
+  NodeValues cmp_eq(const ir::Expr& e, const NodeValues& a,
+                    const NodeValues& b) override {
+    (void)e;
+    sf::Env env;
+    NodeValues out;
+    const bool d_eq =
+        sf::equal(sf::from_native(a.d), sf::from_native(b.d), env);
+    out.d = d_eq ? 1.0 : 0.0;
+    out.shadow = bf::BigFloat::from_int(
+        bf::BigFloat::compare(a.shadow, b.shadow) == 0 ? 1 : 0);
+    return out;
+  }
+  NodeValues cmp_lt(const ir::Expr& e, const NodeValues& a,
+                    const NodeValues& b) override {
+    (void)e;
+    sf::Env env;
+    NodeValues out;
+    const bool d_lt =
+        sf::less(sf::from_native(a.d), sf::from_native(b.d), env);
+    out.d = d_lt ? 1.0 : 0.0;
+    out.shadow = bf::BigFloat::from_int(
+        bf::BigFloat::compare(a.shadow, b.shadow) == -1 ? 1 : 0);
+    return out;
+  }
+
+  void on_result(const ir::Expr& e, const NodeValues& out) override {
+    // Format-induced exceptional values: binary64 went NaN/inf where the
+    // high-precision value is an ordinary number.
+    const bool d_exceptional = std::isnan(out.d) || std::isinf(out.d);
+    const bool s_exceptional =
+        out.shadow.is_nan() || out.shadow.is_infinity();
+    if (d_exceptional && !s_exceptional) {
       Finding f;
       f.expression = e.to_string();
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "relative error %.3g", rel);
-      f.reason = buf;
+      f.reason =
+          std::isnan(out.d)
+              ? "binary64 produced NaN where the exact value is finite"
+              : "binary64 overflowed where the exact value is finite";
       f.double_value = out.d;
       f.shadow_value = out.shadow.to_double();
-      f.relative_error = rel;
-      walk.findings->push_back(std::move(f));
+      f.relative_error = std::numeric_limits<double>::infinity();
+      findings_.push_back(std::move(f));
+    } else if (!d_exceptional && !s_exceptional && out.d != 0.0) {
+      const double rel = bf::relative_error(out.d, out.shadow, ctx_);
+      if (rel > config_.relative_error_threshold) {
+        Finding f;
+        f.expression = e.to_string();
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "relative error %.3g", rel);
+        f.reason = buf;
+        f.double_value = out.d;
+        f.shadow_value = out.shadow.to_double();
+        f.relative_error = rel;
+        findings_.push_back(std::move(f));
+      }
     }
   }
-  return out;
-}
+
+ private:
+  NodeValues add_sub(const ir::Expr& e, const NodeValues& a,
+                     const NodeValues& b, bool subtract) {
+    sf::Env env;
+    NodeValues out;
+    out.d = subtract
+                ? sf::to_native(sf::sub(sf::from_native(a.d),
+                                        sf::from_native(b.d), env))
+                : sf::to_native(sf::add(sf::from_native(a.d),
+                                        sf::from_native(b.d), env));
+    out.shadow = subtract
+                     ? bf::BigFloat::sub(a.shadow, b.shadow, ctx_)
+                     : bf::BigFloat::add(a.shadow, b.shadow, ctx_);
+    // Cancellation: the result's magnitude collapsed far below the
+    // larger operand's — leading bits annihilated, relative precision
+    // amplified.
+    if (a.shadow.is_finite() && !a.shadow.is_zero() &&
+        b.shadow.is_finite() && !b.shadow.is_zero() &&
+        out.shadow.is_finite() && !out.shadow.is_zero()) {
+      const std::int64_t in_msb =
+          std::max(a.shadow.msb_exponent(), b.shadow.msb_exponent());
+      const std::int64_t lost = in_msb - out.shadow.msb_exponent();
+      if (lost >= config_.cancellation_bits_threshold) {
+        Finding f;
+        f.expression = e.to_string();
+        f.reason =
+            "cancellation of " + std::to_string(lost) + " leading bits";
+        f.double_value = out.d;
+        f.shadow_value = out.shadow.to_double();
+        f.cancelled_bits = static_cast<int>(lost);
+        f.relative_error = bf::relative_error(out.d, out.shadow, ctx_);
+        findings_.push_back(std::move(f));
+      }
+    }
+    return out;
+  }
+
+  const Config& config_;
+  std::vector<Finding>& findings_;
+  bf::Context ctx_;
+};
 
 }  // namespace
 
-Report analyze(const opt::Expr& expr, const Config& config) {
+Report analyze(const ir::Expr& expr, const Config& config,
+               std::span<const double> bindings) {
   Report report;
   std::vector<Finding> findings;
-  Walk walk;
-  walk.config = &config;
-  walk.ctx.precision = config.precision;
-  walk.findings = &findings;
+  ShadowEvaluator evaluator(config, findings);
 
-  const NodeValues top = eval(expr, walk);
+  const NodeValues top =
+      ir::evaluate_tree<NodeValues>(expr, evaluator, bindings);
   report.double_result = top.d;
   report.shadow_result = top.shadow.to_double();
   report.double_is_exceptional =
@@ -158,7 +220,7 @@ Report analyze(const opt::Expr& expr, const Config& config) {
   report.format_induced_exception =
       report.double_is_exceptional && !report.shadow_is_exceptional;
   report.relative_error =
-      bf::relative_error(top.d, top.shadow, walk.ctx);
+      bf::relative_error(top.d, top.shadow, evaluator.ctx());
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

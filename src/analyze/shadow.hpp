@@ -2,9 +2,10 @@
 //
 // The second tool the paper's §V asks for: "static and dynamic analysis
 // tools that can examine existing codebases and point developers to
-// potentially suspicious code." This module re-executes an expression tree
-// in binary64 (through the emulated pipeline) AND in high-precision
-// BigFloat arithmetic, then reports, per node:
+// potentially suspicious code." This module re-executes an fpq::ir
+// expression tree in strict-IEEE binary64 AND in high-precision BigFloat
+// arithmetic — one ir::Evaluator whose value domain is the PAIR of both
+// results — then reports, per node:
 //
 //   * the relative error the double-precision path accumulated,
 //   * catastrophic cancellation (additions/subtractions whose result
@@ -17,11 +18,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bigfloat/bigfloat.hpp"
-#include "optprobe/emulated_pipeline.hpp"
+#include "ir/expr.hpp"
 
 namespace fpq::shadow {
 
@@ -58,8 +60,10 @@ struct Report {
   }
 };
 
-/// Runs the analysis on an expression tree.
-Report analyze(const opt::Expr& expr, const Config& config = {});
+/// Runs the analysis on an ir::Expr tree (opt::Expr is the same type).
+/// `bindings` feeds any kVar nodes in the tree, row-major by var_index.
+Report analyze(const ir::Expr& expr, const Config& config = {},
+               std::span<const double> bindings = {});
 
 /// Human-readable rendering of a report.
 std::string render(const Report& report);

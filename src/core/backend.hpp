@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,9 @@ class ArithmeticBackend {
   virtual double sub(double a, double b) = 0;
   virtual double mul(double a, double b) = 0;
   virtual double div(double a, double b) = 0;
+  virtual double sqrt(double a) = 0;
+  /// Fused multiply-add: a*b + c with one rounding.
+  virtual double fma(double a, double b, double c) = 0;
 
   // IEEE comparison semantics in the backend's format.
   virtual bool equal(double a, double b) = 0;
@@ -55,7 +59,24 @@ class ArithmeticBackend {
   virtual bool ieee_compliant() const = 0;
 };
 
-/// Factories.
+/// One row of the backend catalogue: everything needed to construct a
+/// backend. `make_all_backends()` and the per-format factories all build
+/// from this single table, so a new format is one new row.
+struct BackendDescriptor {
+  const char* name;        ///< display name, unique across the registry
+  int format_bits;         ///< 64, 32, 16, or softfloat::kBFloat16
+  bool native;             ///< host FPU instead of the softfloat engine
+  bool flush_to_zero;
+  bool denormals_are_zero;
+};
+
+/// The full catalogue, in the order `make_all_backends()` returns.
+std::span<const BackendDescriptor> backend_registry();
+
+/// Constructs the backend a descriptor names.
+std::unique_ptr<ArithmeticBackend> make_backend(const BackendDescriptor& d);
+
+/// Factories (each resolves its descriptor from backend_registry()).
 std::unique_ptr<ArithmeticBackend> make_native_double_backend();
 std::unique_ptr<ArithmeticBackend> make_native_float_backend();
 std::unique_ptr<ArithmeticBackend> make_soft_backend_64();

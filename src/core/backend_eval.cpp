@@ -1,0 +1,81 @@
+#include "core/backend_eval.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "softfloat/value.hpp"
+
+namespace fpq::quiz {
+
+double BackendEvaluator::constant(const ir::Expr& e) {
+  // Raw literal: the backend rounds it into its format on operand entry,
+  // exactly as a source literal reaches a hardware op.
+  return softfloat::to_native(e.node().value);
+}
+
+double BackendEvaluator::variable(const ir::Expr& e, double bound) {
+  (void)e;
+  return bound;
+}
+
+double BackendEvaluator::neg(const ir::Expr& e, const double& a) {
+  (void)e;
+  // IEEE negate: sign-bit flip, no arithmetic, no conditions.
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) ^
+                               (std::uint64_t{1} << 63));
+}
+
+double BackendEvaluator::add(const ir::Expr& e, const double& a,
+                             const double& b) {
+  (void)e;
+  return b_.add(a, b);
+}
+
+double BackendEvaluator::sub(const ir::Expr& e, const double& a,
+                             const double& b) {
+  (void)e;
+  return b_.sub(a, b);
+}
+
+double BackendEvaluator::mul(const ir::Expr& e, const double& a,
+                             const double& b) {
+  (void)e;
+  return b_.mul(a, b);
+}
+
+double BackendEvaluator::div(const ir::Expr& e, const double& a,
+                             const double& b) {
+  (void)e;
+  return b_.div(a, b);
+}
+
+double BackendEvaluator::sqrt(const ir::Expr& e, const double& a) {
+  (void)e;
+  return b_.sqrt(a);
+}
+
+double BackendEvaluator::fma(const ir::Expr& e, const double& a,
+                             const double& b, const double& c) {
+  (void)e;
+  return b_.fma(a, b, c);
+}
+
+double BackendEvaluator::cmp_eq(const ir::Expr& e, const double& a,
+                                const double& b) {
+  (void)e;
+  return b_.equal(a, b) ? 1.0 : 0.0;
+}
+
+double BackendEvaluator::cmp_lt(const ir::Expr& e, const double& a,
+                                const double& b) {
+  (void)e;
+  return b_.less(a, b) ? 1.0 : 0.0;
+}
+
+double evaluate_on_backend(ArithmeticBackend& backend, const ir::Expr& expr,
+                           std::span<const double> bindings) {
+  BackendEvaluator evaluator(backend);
+  return ir::evaluate_tree<double>(expr, evaluator, bindings);
+}
+
+}  // namespace fpq::quiz

@@ -1,0 +1,50 @@
+// fpq::quiz — evaluating fpq::ir trees on an ArithmeticBackend.
+//
+// The bridge that puts the quiz's ground-truth derivation on the unified
+// IR: a BackendEvaluator's per-node arithmetic IS the backend's virtual
+// ops, so whatever trees the witness generators build execute with the
+// exact value model (round-on-entry, widen-on-exit, host double carrier)
+// and condition accounting the backend already implements.
+#pragma once
+
+#include <span>
+
+#include "core/backend.hpp"
+#include "ir/evaluator.hpp"
+#include "ir/expr.hpp"
+
+namespace fpq::quiz {
+
+/// ir::Evaluator whose hooks delegate to one ArithmeticBackend. The value
+/// domain is host double — the backend's own value model. Comparisons
+/// yield 1.0/0.0.
+class BackendEvaluator final : public ir::Evaluator<double> {
+ public:
+  explicit BackendEvaluator(ArithmeticBackend& backend) : b_(backend) {}
+
+  double constant(const ir::Expr& e) override;
+  double variable(const ir::Expr& e, double bound) override;
+  double neg(const ir::Expr& e, const double& a) override;
+  double add(const ir::Expr& e, const double& a, const double& b) override;
+  double sub(const ir::Expr& e, const double& a, const double& b) override;
+  double mul(const ir::Expr& e, const double& a, const double& b) override;
+  double div(const ir::Expr& e, const double& a, const double& b) override;
+  double sqrt(const ir::Expr& e, const double& a) override;
+  double fma(const ir::Expr& e, const double& a, const double& b,
+             const double& c) override;
+  double cmp_eq(const ir::Expr& e, const double& a,
+                const double& b) override;
+  double cmp_lt(const ir::Expr& e, const double& a,
+                const double& b) override;
+
+ private:
+  ArithmeticBackend& b_;
+};
+
+/// Evaluates `expr` on `backend`; `bindings` feeds kVar nodes by
+/// var_index. Conditions accumulate in the backend as usual (harvest with
+/// backend.take_conditions()).
+double evaluate_on_backend(ArithmeticBackend& backend, const ir::Expr& expr,
+                           std::span<const double> bindings = {});
+
+}  // namespace fpq::quiz

@@ -31,6 +31,16 @@ namespace {
   volatile double r = va / vb;
   return r;
 }
+[[gnu::noinline]] double n_sqrt(double a) {
+  volatile double va = a;
+  volatile double r = __builtin_sqrt(va);
+  return r;
+}
+[[gnu::noinline]] double n_fma(double a, double b, double c) {
+  volatile double va = a, vb = b, vc = c;
+  volatile double r = __builtin_fma(va, vb, vc);
+  return r;
+}
 [[gnu::noinline]] bool n_eq(double a, double b) {
   volatile double va = a, vb = b;
   return va == vb;
@@ -58,6 +68,16 @@ namespace {
 [[gnu::noinline]] float f_div(float a, float b) {
   volatile float va = a, vb = b;
   volatile float r = va / vb;
+  return r;
+}
+[[gnu::noinline]] float f_sqrt(float a) {
+  volatile float va = a;
+  volatile float r = __builtin_sqrtf(va);
+  return r;
+}
+[[gnu::noinline]] float f_fma(float a, float b, float c) {
+  volatile float va = a, vb = b, vc = c;
+  volatile float r = __builtin_fmaf(va, vb, vc);
   return r;
 }
 [[gnu::noinline]] float f_narrow(double x) {
@@ -91,6 +111,12 @@ class NativeDoubleBackend final : public ArithmeticBackend {
   }
   double div(double a, double b) override {
     return watched(*this, [&] { return n_div(a, b); });
+  }
+  double sqrt(double a) override {
+    return watched(*this, [&] { return n_sqrt(a); });
+  }
+  double fma(double a, double b, double c) override {
+    return watched(*this, [&] { return n_fma(a, b, c); });
   }
   bool equal(double a, double b) override { return n_eq(a, b); }
   bool less(double a, double b) override { return n_lt(a, b); }
@@ -135,6 +161,16 @@ class NativeFloatBackend final : public ArithmeticBackend {
   double div(double a, double b) override {
     return watched(*this, [&] {
       return static_cast<double>(f_div(f_narrow(a), f_narrow(b)));
+    });
+  }
+  double sqrt(double a) override {
+    return watched(*this,
+                   [&] { return static_cast<double>(f_sqrt(f_narrow(a))); });
+  }
+  double fma(double a, double b, double c) override {
+    return watched(*this, [&] {
+      return static_cast<double>(
+          f_fma(f_narrow(a), f_narrow(b), f_narrow(c)));
     });
   }
   bool equal(double a, double b) override {

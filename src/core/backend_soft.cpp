@@ -2,6 +2,8 @@
 // precisions plus a non-standard FTZ/DAZ variant. Because the engine's Env
 // carries the sticky flags, condition harvesting is exact and portable.
 
+#include <string_view>
+
 #include "core/backend.hpp"
 #include "softfloat/ops.hpp"
 
@@ -35,6 +37,12 @@ class SoftBackend final : public ArithmeticBackend {
   }
   double div(double a, double b) override {
     return widen(sf::div(narrow(a), narrow(b), env_));
+  }
+  double sqrt(double a) override {
+    return widen(sf::sqrt(narrow(a), env_));
+  }
+  double fma(double a, double b, double c) override {
+    return widen(sf::fma(narrow(a), narrow(b), narrow(c), env_));
   }
   bool equal(double a, double b) override {
     return sf::equal(narrow(a), narrow(b), env_);
@@ -86,38 +94,74 @@ class SoftBackend final : public ArithmeticBackend {
   sf::Env env_;
 };
 
+// The one format-descriptor table every construction path shares. Order
+// is the make_all_backends() order the sweeps and reports rely on.
+constexpr BackendDescriptor kBackendRegistry[] = {
+    {"native-binary64", 64, true, false, false},
+    {"native-binary32", 32, true, false, false},
+    {"softfloat-binary64", 64, false, false, false},
+    {"softfloat-binary32", 32, false, false, false},
+    {"softfloat-binary16", 16, false, false, false},
+    {"softfloat-bfloat16", sf::kBFloat16, false, false, false},
+    {"softfloat-binary64-ftz-daz", 64, false, true, true},
+};
+
+std::unique_ptr<ArithmeticBackend> from_registry(std::string_view name) {
+  for (const BackendDescriptor& d : backend_registry()) {
+    if (name == d.name) return make_backend(d);
+  }
+  return nullptr;
+}
+
 }  // namespace
 
+std::span<const BackendDescriptor> backend_registry() {
+  return kBackendRegistry;
+}
+
+std::unique_ptr<ArithmeticBackend> make_backend(const BackendDescriptor& d) {
+  if (d.native) {
+    return d.format_bits == 64 ? make_native_double_backend()
+                               : make_native_float_backend();
+  }
+  switch (d.format_bits) {
+    case 64:
+      return std::make_unique<SoftBackend<64>>(d.name, d.flush_to_zero,
+                                               d.denormals_are_zero);
+    case 32:
+      return std::make_unique<SoftBackend<32>>(d.name, d.flush_to_zero,
+                                               d.denormals_are_zero);
+    case 16:
+      return std::make_unique<SoftBackend<16>>(d.name, d.flush_to_zero,
+                                               d.denormals_are_zero);
+    case sf::kBFloat16:
+      return std::make_unique<SoftBackend<sf::kBFloat16>>(
+          d.name, d.flush_to_zero, d.denormals_are_zero);
+  }
+  return nullptr;
+}
+
 std::unique_ptr<ArithmeticBackend> make_soft_backend_64() {
-  return std::make_unique<SoftBackend<64>>("softfloat-binary64", false,
-                                           false);
+  return from_registry("softfloat-binary64");
 }
 std::unique_ptr<ArithmeticBackend> make_soft_backend_32() {
-  return std::make_unique<SoftBackend<32>>("softfloat-binary32", false,
-                                           false);
+  return from_registry("softfloat-binary32");
 }
 std::unique_ptr<ArithmeticBackend> make_soft_backend_16() {
-  return std::make_unique<SoftBackend<16>>("softfloat-binary16", false,
-                                           false);
+  return from_registry("softfloat-binary16");
 }
 std::unique_ptr<ArithmeticBackend> make_soft_backend_bf16() {
-  return std::make_unique<SoftBackend<sf::kBFloat16>>("softfloat-bfloat16",
-                                                      false, false);
+  return from_registry("softfloat-bfloat16");
 }
 std::unique_ptr<ArithmeticBackend> make_soft_backend_64_ftz() {
-  return std::make_unique<SoftBackend<64>>("softfloat-binary64-ftz-daz",
-                                           true, true);
+  return from_registry("softfloat-binary64-ftz-daz");
 }
 
 std::vector<std::unique_ptr<ArithmeticBackend>> make_all_backends() {
   std::vector<std::unique_ptr<ArithmeticBackend>> out;
-  out.push_back(make_native_double_backend());
-  out.push_back(make_native_float_backend());
-  out.push_back(make_soft_backend_64());
-  out.push_back(make_soft_backend_32());
-  out.push_back(make_soft_backend_16());
-  out.push_back(make_soft_backend_bf16());
-  out.push_back(make_soft_backend_64_ftz());
+  for (const BackendDescriptor& d : backend_registry()) {
+    out.push_back(make_backend(d));
+  }
   return out;
 }
 

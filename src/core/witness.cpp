@@ -3,7 +3,10 @@
 #include <array>
 #include <cassert>
 #include <cstdio>
+#include <span>
 
+#include "core/backend_eval.hpp"
+#include "ir/expr.hpp"
 #include "optprobe/emulated_pipeline.hpp"
 #include "optprobe/flag_audit.hpp"
 #include "optprobe/mxcsr.hpp"
@@ -16,6 +19,15 @@ std::string num(double x) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", x);
   return buf;
+}
+
+// Every demonstration's arithmetic is an fpq::ir tree executed on the
+// backend through BackendEvaluator; only the sweep loops and verdict
+// branches stay in C++. `ev` is the one evaluation entry point.
+double ev(ArithmeticBackend& b, const ir::Expr& e,
+          std::initializer_list<double> binds = {}) {
+  return evaluate_on_backend(
+      b, e, std::span<const double>(binds.begin(), binds.size()));
 }
 
 // Directed operand pool: interesting magnitudes canonicalized into the
@@ -31,12 +43,16 @@ std::array<double, 12> operand_pool(ArithmeticBackend& b) {
 
 Demonstration demo_commutativity(ArithmeticBackend& b) {
   const auto pool = operand_pool(b);
-  for (double x : pool) {
-    for (double y : pool) {
-      if (!b.equal(b.add(x, y), b.add(y, x)) ||
-          !b.equal(b.mul(x, y), b.mul(y, x))) {
-        return {Truth::kFalse, "counterexample: x=" + num(x) +
-                                   " y=" + num(y) +
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr y = ir::Expr::variable("y", 1);
+  const ir::Expr add_xy = ir::Expr::add(x, y);
+  const ir::Expr mul_xy = ir::Expr::mul(x, y);
+  for (double xv : pool) {
+    for (double yv : pool) {
+      if (!b.equal(ev(b, add_xy, {xv, yv}), ev(b, add_xy, {yv, xv})) ||
+          !b.equal(ev(b, mul_xy, {xv, yv}), ev(b, mul_xy, {yv, xv}))) {
+        return {Truth::kFalse, "counterexample: x=" + num(xv) +
+                                   " y=" + num(yv) +
                                    " (commutativity violated?!)"};
       }
     }
@@ -48,22 +64,31 @@ Demonstration demo_commutativity(ArithmeticBackend& b) {
 }
 
 Demonstration demo_associativity(ArithmeticBackend& b) {
-  const double one = b.canonicalize(1.0);
+  const ir::Expr a = ir::Expr::variable("a", 0);
+  const ir::Expr n = ir::Expr::variable("n", 1);
+  const ir::Expr one_c = ir::Expr::constant(1.0);
+  const ir::Expr neg_tree = ir::Expr::sub(ir::Expr::constant(0.0), a);
+  const ir::Expr left_tree = ir::Expr::add(ir::Expr::add(a, n), one_c);
+  const ir::Expr right_tree = ir::Expr::add(a, ir::Expr::add(n, one_c));
+  const ir::Expr grow = ir::Expr::mul(a, ir::Expr::constant(2.0));
+  const ir::Expr doubled = ir::Expr::add(a, a);
   // Walk 2^k until the rounding of (big + 1) eats the 1.
+  const double one = b.canonicalize(1.0);
   double big = b.canonicalize(2.0);
   for (int k = 1; k < 1100; ++k) {
-    const double neg = b.sub(b.canonicalize(0.0), big);  // -big
-    const double left = b.add(b.add(big, neg), one);     // (a+b)+c = 1
-    const double right = b.add(big, b.add(neg, one));    // a+(b+c)
+    const double neg = ev(b, neg_tree, {big});             // -big
+    const double left = ev(b, left_tree, {big, neg});      // (a+b)+c = 1
+    const double right = ev(b, right_tree, {big, neg});    // a+(b+c)
     if (!b.equal(left, right)) {
       return {Truth::kFalse,
               "counterexample: a=" + num(big) + " b=" + num(-big) +
                   " c=1: (a+b)+c = " + num(left) +
                   " but a+(b+c) = " + num(right)};
     }
-    big = b.mul(big, b.canonicalize(2.0));
-    if (b.equal(big, b.add(big, big))) break;  // saturated at inf
+    big = ev(b, grow, {big});
+    if (b.equal(big, ev(b, doubled, {big}))) break;  // saturated at inf
   }
+  (void)one;
   return {Truth::kTrue, "no counterexample found (unexpected)"};
 }
 
@@ -71,26 +96,35 @@ Demonstration demo_distributivity(ArithmeticBackend& b) {
   // a*(b+c) vs a*b + a*c with a = max_finite, b = 2, c = -2:
   // the left side is exactly 0 while the right side overflows both
   // products and collapses to inf + (-inf) = invalid.
+  const ir::Expr x = ir::Expr::variable("a", 0);
+  const ir::Expr two = ir::Expr::constant(2.0);
+  const ir::Expr neg_two = ir::Expr::constant(-2.0);
   const double a = b.max_finite();
-  const double lhs = b.mul(a, b.add(b.canonicalize(2.0),
-                                    b.canonicalize(-2.0)));
+  const double lhs = ev(b, ir::Expr::mul(x, ir::Expr::add(two, neg_two)),
+                        {a});
   const double rhs =
-      b.add(b.mul(a, b.canonicalize(2.0)), b.mul(a, b.canonicalize(-2.0)));
+      ev(b, ir::Expr::add(ir::Expr::mul(x, two), ir::Expr::mul(x, neg_two)),
+         {a});
   if (!b.equal(lhs, rhs)) {
     return {Truth::kFalse,
             "counterexample: a=max_finite, b=2, c=-2: a*(b+c) = 0 but "
             "a*b + a*c = inf + (-inf) = invalid"};
   }
   // Fallback: rounding-level counterexample sweep.
+  const ir::Expr vy = ir::Expr::variable("b", 1);
+  const ir::Expr vz = ir::Expr::variable("c", 2);
+  const ir::Expr l_tree = ir::Expr::mul(x, ir::Expr::add(vy, vz));
+  const ir::Expr r_tree =
+      ir::Expr::add(ir::Expr::mul(x, vy), ir::Expr::mul(x, vz));
   const auto pool = operand_pool(b);
-  for (double x : pool) {
-    for (double y : pool) {
-      for (double z : pool) {
-        const double l = b.mul(x, b.add(y, z));
-        const double r = b.add(b.mul(x, y), b.mul(x, z));
+  for (double xv : pool) {
+    for (double yv : pool) {
+      for (double zv : pool) {
+        const double l = ev(b, l_tree, {xv, yv, zv});
+        const double r = ev(b, r_tree, {xv, yv, zv});
         if (!b.equal(l, r)) {
-          return {Truth::kFalse, "counterexample: a=" + num(x) +
-                                     " b=" + num(y) + " c=" + num(z)};
+          return {Truth::kFalse, "counterexample: a=" + num(xv) +
+                                     " b=" + num(yv) + " c=" + num(zv)};
         }
       }
     }
@@ -99,23 +133,29 @@ Demonstration demo_distributivity(ArithmeticBackend& b) {
 }
 
 Demonstration demo_ordering(ArithmeticBackend& b) {
+  const ir::Expr a = ir::Expr::variable("a", 0);
+  const ir::Expr recovered_tree =
+      ir::Expr::sub(ir::Expr::add(a, ir::Expr::constant(1.0)), a);
+  const ir::Expr grow = ir::Expr::mul(a, ir::Expr::constant(2.0));
+  const ir::Expr doubled = ir::Expr::add(a, a);
   const double one = b.canonicalize(1.0);
   double big = b.canonicalize(2.0);
   for (int k = 1; k < 1100; ++k) {
-    const double recovered = b.sub(b.add(big, one), big);
+    const double recovered = ev(b, recovered_tree, {big});
     if (!b.equal(recovered, one)) {
       return {Truth::kFalse, "counterexample: a=" + num(big) +
                                  " b=1: ((a+b)-a) = " + num(recovered) +
                                  " != 1"};
     }
-    big = b.mul(big, b.canonicalize(2.0));
-    if (b.equal(big, b.add(big, big))) break;
+    big = ev(b, grow, {big});
+    if (b.equal(big, ev(b, doubled, {big}))) break;
   }
   return {Truth::kTrue, "no counterexample found (unexpected)"};
 }
 
 Demonstration demo_identity(ArithmeticBackend& b) {
-  const double nan = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
+  const double nan = ev(
+      b, ir::Expr::div(ir::Expr::constant(0.0), ir::Expr::constant(0.0)));
   if (!b.equal(nan, nan)) {
     return {Truth::kFalse,
             "counterexample: a = 0.0/0.0 gives a == a false"};
@@ -134,15 +174,17 @@ Demonstration demo_negative_zero(ArithmeticBackend& b) {
 }
 
 Demonstration demo_square(ArithmeticBackend& b) {
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr sq_tree = ir::Expr::mul(x, x);
   const auto pool = operand_pool(b);
-  for (double x : pool) {
-    const double sq = b.mul(x, x);
+  for (double xv : pool) {
+    const double sq = ev(b, sq_tree, {xv});
     if (b.less(sq, b.canonicalize(0.0)) || !b.equal(sq, sq)) {
-      return {Truth::kFalse, "counterexample: x=" + num(x)};
+      return {Truth::kFalse, "counterexample: x=" + num(xv)};
     }
   }
   // Overflowing square saturates at +inf, still >= 0.
-  const double big_sq = b.mul(b.max_finite(), b.max_finite());
+  const double big_sq = ev(b, sq_tree, {b.max_finite()});
   if (b.less(big_sq, b.canonicalize(0.0))) {
     return {Truth::kFalse, "max_finite^2 came out negative (wrapped?)"};
   }
@@ -152,8 +194,8 @@ Demonstration demo_square(ArithmeticBackend& b) {
 }
 
 Demonstration demo_overflow(ArithmeticBackend& b) {
-  const double a = b.max_finite();
-  const double doubled = b.add(a, a);
+  const ir::Expr a = ir::Expr::variable("a", 0);
+  const double doubled = ev(b, ir::Expr::add(a, a), {b.max_finite()});
   if (b.less(doubled, b.canonicalize(0.0))) {
     return {Truth::kTrue,
             "max_finite + max_finite wrapped to a negative value"};
@@ -163,7 +205,8 @@ Demonstration demo_overflow(ArithmeticBackend& b) {
 }
 
 Demonstration demo_divide_by_zero(ArithmeticBackend& b) {
-  const double r = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  const double r = ev(
+      b, ir::Expr::div(ir::Expr::constant(1.0), ir::Expr::constant(0.0)));
   if (b.equal(r, r)) {
     return {Truth::kTrue, "1.0/0.0 = " + num(r) +
                               ": an infinity — an ordinary comparable "
@@ -173,7 +216,8 @@ Demonstration demo_divide_by_zero(ArithmeticBackend& b) {
 }
 
 Demonstration demo_zero_divide_by_zero(ArithmeticBackend& b) {
-  const double r = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
+  const double r = ev(
+      b, ir::Expr::div(ir::Expr::constant(0.0), ir::Expr::constant(0.0)));
   if (!b.equal(r, r)) {
     return {Truth::kFalse,
             "0.0/0.0 is an invalid result (it compares unequal to "
@@ -184,24 +228,28 @@ Demonstration demo_zero_divide_by_zero(ArithmeticBackend& b) {
 }
 
 Demonstration demo_saturation_plus(ArithmeticBackend& b) {
-  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
-  const double one = b.canonicalize(1.0);
-  if (b.equal(b.add(inf, one), inf)) {
+  const ir::Expr a = ir::Expr::variable("a", 0);
+  const ir::Expr plus_one = ir::Expr::add(a, ir::Expr::constant(1.0));
+  const double inf = ev(
+      b, ir::Expr::div(ir::Expr::constant(1.0), ir::Expr::constant(0.0)));
+  if (b.equal(ev(b, plus_one, {inf}), inf)) {
     return {Truth::kTrue,
             "witness: a = +infinity has (a + 1.0) == a; also a = "
             "max_finite (" +
                 num(b.max_finite()) + ") where 1.0 is below half an ulp"};
   }
-  if (b.equal(b.add(b.max_finite(), one), b.max_finite())) {
+  if (b.equal(ev(b, plus_one, {b.max_finite()}), b.max_finite())) {
     return {Truth::kTrue, "witness: a = max_finite absorbs + 1.0"};
   }
   return {Truth::kFalse, "no witness found (unexpected)"};
 }
 
 Demonstration demo_saturation_minus(ArithmeticBackend& b) {
-  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
-  const double one = b.canonicalize(1.0);
-  if (b.equal(b.sub(inf, one), inf)) {
+  const ir::Expr a = ir::Expr::variable("a", 0);
+  const ir::Expr minus_one = ir::Expr::sub(a, ir::Expr::constant(1.0));
+  const double inf = ev(
+      b, ir::Expr::div(ir::Expr::constant(1.0), ir::Expr::constant(0.0)));
+  if (b.equal(ev(b, minus_one, {inf}), inf)) {
     return {Truth::kTrue,
             "witness: a = +infinity has (a - 1.0) == a — you cannot back "
             "off from an infinity"};
@@ -220,9 +268,11 @@ Demonstration demo_denormal_precision(ArithmeticBackend& b) {
   // At normal scale x * 1.75 is exact; at the bottom of the subnormal
   // range the same multiply must round (only 1 significand bit is left).
   const double scale = b.canonicalize(1.75);
-  const double near_zero_ratio = b.div(b.mul(tiny, scale), tiny);
-  const double normal_ratio =
-      b.div(b.mul(b.canonicalize(1.0), scale), b.canonicalize(1.0));
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr ratio_tree = ir::Expr::div(
+      ir::Expr::mul(x, ir::Expr::constant(1.75)), x);
+  const double near_zero_ratio = ev(b, ratio_tree, {tiny});
+  const double normal_ratio = ev(b, ratio_tree, {b.canonicalize(1.0)});
   if (b.equal(normal_ratio, scale) && !b.equal(near_zero_ratio, scale)) {
     return {Truth::kTrue,
             "witness: x*1.75/x == 1.75 at x = 1.0 but == " +
@@ -236,7 +286,8 @@ Demonstration demo_denormal_precision(ArithmeticBackend& b) {
 
 Demonstration demo_operation_precision(ArithmeticBackend& b) {
   (void)b.take_conditions();
-  const double r = b.div(b.canonicalize(1.0), b.canonicalize(3.0));
+  const double r = ev(
+      b, ir::Expr::div(ir::Expr::constant(1.0), ir::Expr::constant(3.0)));
   const auto seen = b.take_conditions();
   if (seen.test(mon::Condition::kPrecision)) {
     return {Truth::kTrue, "witness: 1.0/3.0 = " + num(r) +
@@ -249,8 +300,10 @@ Demonstration demo_operation_precision(ArithmeticBackend& b) {
 
 Demonstration demo_exception_signal(ArithmeticBackend& b) {
   (void)b.take_conditions();
-  const double nan = b.div(b.canonicalize(0.0), b.canonicalize(0.0));
-  const double inf = b.div(b.canonicalize(1.0), b.canonicalize(0.0));
+  const double nan = ev(
+      b, ir::Expr::div(ir::Expr::constant(0.0), ir::Expr::constant(0.0)));
+  const double inf = ev(
+      b, ir::Expr::div(ir::Expr::constant(1.0), ir::Expr::constant(0.0)));
   (void)nan;
   (void)inf;
   const auto seen = b.take_conditions();

@@ -4,9 +4,11 @@
 // (Dinda & Hetland, IPDPS 2018) as a production C++ library:
 //
 //   fpq::softfloat   — from-scratch IEEE 754-2008 engine (16/32/64-bit)
+//   fpq::ir          — unified expression IR: one tree, every evaluator
 //   fpq::quiz        — the canonical quiz harness with executable keys
 //   fpq::mon         — runtime FP exception monitor (the §V tool)
 //   fpq::opt         — optimization/hardware semantics probes & emulation
+//   fpq::parallel    — deterministic sharded execution + result caches
 //   fpq::stats       — deterministic statistics substrate
 //   fpq::survey      — survey data model and analysis pipeline
 //   fpq::respondent  — calibrated synthetic participant population
@@ -29,6 +31,7 @@
 #include "interval/interval.hpp"     // IWYU pragma: export
 #include "fpmon/monitor.hpp"         // IWYU pragma: export
 #include "fpmon/report.hpp"          // IWYU pragma: export
+#include "ir/ir.hpp"                 // IWYU pragma: export
 #include "optprobe/emulated_pipeline.hpp"  // IWYU pragma: export
 #include "optprobe/flag_audit.hpp"   // IWYU pragma: export
 #include "optprobe/mxcsr.hpp"        // IWYU pragma: export

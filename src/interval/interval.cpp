@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "ir/evaluator.hpp"
+#include "ir/evaluators.hpp"
+
 namespace fpq::interval {
 
 namespace {
@@ -181,38 +184,88 @@ Interval Interval::sqrt(const Interval& a) {
   return bounds(lo, hi);
 }
 
-Interval evaluate(const opt::Expr& expr) {
-  const opt::Expr::Node& n = expr.node();
-  switch (n.kind) {
-    case opt::ExprKind::kConst:
-      return Interval::point(sf::to_native(n.value));
-    case opt::ExprKind::kAdd:
-      return Interval::add(evaluate(n.children[0]), evaluate(n.children[1]));
-    case opt::ExprKind::kSub:
-      return Interval::sub(evaluate(n.children[0]), evaluate(n.children[1]));
-    case opt::ExprKind::kMul:
-      return Interval::mul(evaluate(n.children[0]), evaluate(n.children[1]));
-    case opt::ExprKind::kDiv:
-      return Interval::div(evaluate(n.children[0]), evaluate(n.children[1]));
-    case opt::ExprKind::kSqrt:
-      return Interval::sqrt(evaluate(n.children[0]));
-    case opt::ExprKind::kFma: {
-      // Enclosure of a*b + c (no single-rounding advantage needed:
-      // enclosures only widen).
-      const Interval prod =
-          Interval::mul(evaluate(n.children[0]), evaluate(n.children[1]));
-      return Interval::add(prod, evaluate(n.children[2]));
-    }
+namespace {
+
+// The interval semantics of every IR node, as one ir::Evaluator whose
+// value domain is the enclosure itself.
+class IntervalEvaluator final : public ir::Evaluator<Interval> {
+ public:
+  Interval constant(const ir::Expr& e) override {
+    return Interval::point(sf::to_native(e.node().value));
   }
-  return Interval::invalid();
+  Interval variable(const ir::Expr& e, double bound) override {
+    (void)e;
+    return Interval::point(bound);
+  }
+  Interval neg(const ir::Expr& e, const Interval& a) override {
+    (void)e;
+    if (a.is_invalid()) return Interval::invalid();
+    // Endpoint negation is exact in binary64: no directed rounding needed.
+    return Interval::bounds(-a.hi(), -a.lo());
+  }
+  Interval add(const ir::Expr& e, const Interval& a,
+               const Interval& b) override {
+    (void)e;
+    return Interval::add(a, b);
+  }
+  Interval sub(const ir::Expr& e, const Interval& a,
+               const Interval& b) override {
+    (void)e;
+    return Interval::sub(a, b);
+  }
+  Interval mul(const ir::Expr& e, const Interval& a,
+               const Interval& b) override {
+    (void)e;
+    return Interval::mul(a, b);
+  }
+  Interval div(const ir::Expr& e, const Interval& a,
+               const Interval& b) override {
+    (void)e;
+    return Interval::div(a, b);
+  }
+  Interval sqrt(const ir::Expr& e, const Interval& a) override {
+    (void)e;
+    return Interval::sqrt(a);
+  }
+  Interval fma(const ir::Expr& e, const Interval& a, const Interval& b,
+               const Interval& c) override {
+    (void)e;
+    // Enclosure of a*b + c (no single-rounding advantage needed:
+    // enclosures only widen).
+    return Interval::add(Interval::mul(a, b), c);
+  }
+  Interval cmp_eq(const ir::Expr& e, const Interval& a,
+                  const Interval& b) override {
+    (void)e;
+    if (a.is_invalid() || b.is_invalid()) return Interval::invalid();
+    if (a.hi() < b.lo() || b.hi() < a.lo()) return Interval::point(0.0);
+    if (a.lo() == a.hi() && b.lo() == b.hi() && a.lo() == b.lo())
+      return Interval::point(1.0);
+    return Interval::bounds(0.0, 1.0);  // undecidable from the enclosures
+  }
+  Interval cmp_lt(const ir::Expr& e, const Interval& a,
+                  const Interval& b) override {
+    (void)e;
+    if (a.is_invalid() || b.is_invalid()) return Interval::invalid();
+    if (a.hi() < b.lo()) return Interval::point(1.0);
+    if (b.hi() <= a.lo()) return Interval::point(0.0);
+    return Interval::bounds(0.0, 1.0);
+  }
+};
+
+}  // namespace
+
+Interval evaluate(const ir::Expr& expr, std::span<const double> bindings) {
+  IntervalEvaluator evaluator;
+  return ir::evaluate_tree<Interval>(expr, evaluator, bindings);
 }
 
-EnclosureReport certify(const opt::Expr& expr, double wide_threshold) {
+EnclosureReport certify(const ir::Expr& expr, double wide_threshold,
+                        std::span<const double> bindings) {
   EnclosureReport report;
-  report.double_result =
-      sf::to_native(opt::evaluate(expr, opt::PipelineConfig::ieee_strict())
-                        .value);
-  report.enclosure = evaluate(expr);
+  report.double_result = sf::to_native(
+      ir::evaluate(expr, ir::EvalConfig::ieee_strict(), bindings).value);
+  report.enclosure = evaluate(expr, bindings);
   report.relative_width = report.enclosure.relative_width();
   report.enclosure_is_wide = report.relative_width > wide_threshold;
   report.double_escapes =

@@ -11,9 +11,10 @@
 // are representable; NaN operands produce the "invalid" interval.
 #pragma once
 
+#include <span>
 #include <string>
 
-#include "optprobe/emulated_pipeline.hpp"
+#include "ir/expr.hpp"
 #include "softfloat/ops.hpp"
 #include "softfloat/value.hpp"
 
@@ -68,9 +69,12 @@ class Interval {
   bool invalid_ = false;
 };
 
-/// Evaluates an expression tree (optprobe Expr) to a guaranteed enclosure
-/// of its exact real value given exact constants.
-Interval evaluate(const opt::Expr& expr);
+/// Evaluates an fpq::ir expression tree (opt::Expr is the same type) to a
+/// guaranteed enclosure of its exact real value given exact constants.
+/// `bindings` feeds any kVar nodes, indexed by var_index; each bound value
+/// enters as the degenerate interval [x, x].
+Interval evaluate(const ir::Expr& expr,
+                  std::span<const double> bindings = {});
 
 /// Combined verdict: the binary64 result, its guaranteed enclosure, and
 /// whether the enclosure certifies / indicts the double result.
@@ -87,8 +91,10 @@ struct EnclosureReport {
   double relative_width = 0.0;
 };
 
-/// Runs both the strict binary64 pipeline and the interval evaluation.
-EnclosureReport certify(const opt::Expr& expr,
-                        double wide_threshold = 1e-6);
+/// Runs both the strict binary64 evaluation (through fpq::ir) and the
+/// interval evaluation.
+EnclosureReport certify(const ir::Expr& expr,
+                        double wide_threshold = 1e-6,
+                        std::span<const double> bindings = {});
 
 }  // namespace fpq::interval

@@ -1,0 +1,100 @@
+#include "ir/batch.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "parallel/result_cache.hpp"
+#include "parallel/shard.hpp"
+
+namespace fpq::ir {
+
+namespace {
+
+// Content hash of a span of binding values (by bit pattern, so -0.0 and
+// NaN payloads are distinguished like the evaluation distinguishes them).
+std::uint64_t hash_bindings(std::span<const double> xs,
+                            std::size_t width) noexcept {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ (xs.size() + (width << 32));
+  for (const double x : xs) {
+    std::uint64_t z =
+        h ^ (std::bit_cast<std::uint64_t>(x) + 0x9E3779B97F4A7C15ULL +
+             (h << 6) + (h >> 2));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = z ^ (z >> 27);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Outcome> evaluate_many(parallel::ThreadPool& pool,
+                                   const Expr& expr,
+                                   const BindingTable& bindings,
+                                   const EvalConfig& config,
+                                   const BatchOptions& options) {
+  const std::size_t n = bindings.rows();
+  std::vector<Outcome> out(n);
+  if (n == 0) return out;
+
+  // Rewrite once up front; per-row evaluation then runs the already-
+  // optimized tree under a config with the rewrite flags stripped.
+  const Expr tree = pipeline_rewrite(expr, config.contract_mul_add,
+                                     config.reassociate);
+  EvalConfig row_config = config;
+  row_config.contract_mul_add = false;
+  row_config.reassociate = false;
+
+  // The memoization key still names the ORIGINAL request: callers asking
+  // for the same (expr, config, bindings) must hit, and the rewritten
+  // tree is a pure function of (expr, config).
+  const std::uint64_t tree_hash = expr.hash();
+  const std::uint64_t config_fp = config.fingerprint();
+
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, n, options.min_rows_per_chunk);
+  auto& cache = parallel::BatchResultCache::global();
+
+  parallel::parallel_map_chunks(
+      pool, n, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        const std::span<const double> chunk_values =
+            std::span<const double>(bindings.values)
+                .subspan(begin * bindings.width,
+                         (end - begin) * bindings.width);
+        parallel::BatchKey key;
+        key.tree_hash = tree_hash;
+        key.config_fingerprint = config_fp;
+        key.bindings_hash = hash_bindings(chunk_values, bindings.width);
+        key.chunk = static_cast<std::uint32_t>(chunk);
+
+        if (options.memoize) {
+          if (const auto hit = cache.find(key);
+              hit.has_value() && hit->outcomes.size() == end - begin) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const auto& [value_bits, flags] = hit->outcomes[i - begin];
+              out[i].value = softfloat::Float64{value_bits};
+              out[i].flags = flags;
+            }
+            return;
+          }
+        }
+
+        for (std::size_t i = begin; i < end; ++i) {
+          // Fresh evaluator per row: sticky flags are per-row state.
+          out[i] = evaluate(tree, row_config, bindings.row(i));
+        }
+
+        if (options.memoize) {
+          parallel::BatchChunkResult result;
+          result.outcomes.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            result.outcomes.emplace_back(out[i].value.bits, out[i].flags);
+          }
+          cache.insert(key, result);
+        }
+      });
+
+  return out;
+}
+
+}  // namespace fpq::ir

@@ -1,0 +1,60 @@
+// fpq::ir — batched evaluation: one tree, many operand bindings, sharded
+// over fpq::parallel with memoization.
+//
+// Variables make a tree a function of its bindings, so sweeps ("this
+// kernel over 10k inputs", "this question's probe over the operand pool")
+// become ONE tree plus a binding table. evaluate_many shards the rows
+// over the pool's work-stealing lanes; every row gets a fresh evaluator
+// (its own sticky-flag accounting), each chunk writes only its own output
+// slots, and the result is bit-identical at every thread count.
+//
+// Memoization: a chunk's outcome is a pure function of (tree hash, config
+// fingerprint, bindings content hash, chunk index) — hash consing gives
+// the tree a stable fingerprint for free — so repeated sweeps hit
+// parallel::BatchResultCache instead of re-walking the tree.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ir/evaluators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fpq::ir {
+
+/// Row-major table of operand bindings: row r binds the tree's variables
+/// var_index 0..width-1.
+struct BindingTable {
+  std::size_t width = 0;
+  std::vector<double> values;  ///< rows() * width, row-major
+
+  std::size_t rows() const noexcept {
+    return width == 0 ? 0 : values.size() / width;
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return std::span<const double>(values).subspan(r * width, width);
+  }
+  void push_row(std::span<const double> xs) {
+    values.insert(values.end(), xs.begin(), xs.end());
+  }
+};
+
+struct BatchOptions {
+  /// Memoize chunk outcomes in parallel::BatchResultCache::global().
+  bool memoize = true;
+  /// Lower bound on rows per chunk (amortizes task overhead).
+  std::size_t min_rows_per_chunk = 64;
+};
+
+/// Evaluates `expr` under `config` once per binding row. Outcome i
+/// corresponds to row i; per-row flags are isolated (fresh evaluator per
+/// row). Deterministic: the same inputs give bit-identical outcomes at
+/// every thread count, memoized or not.
+std::vector<Outcome> evaluate_many(parallel::ThreadPool& pool,
+                                   const Expr& expr,
+                                   const BindingTable& bindings,
+                                   const EvalConfig& config = {},
+                                   const BatchOptions& options = {});
+
+}  // namespace fpq::ir

@@ -1,0 +1,246 @@
+#include "ir/evaluators.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace fpq::ir {
+
+namespace sf = fpq::softfloat;
+
+std::uint64_t EvalConfig::fingerprint() const noexcept {
+  std::uint64_t packed = static_cast<std::uint64_t>(format_bits);
+  packed = (packed << 3) | static_cast<std::uint64_t>(rounding);
+  packed = (packed << 1) | static_cast<std::uint64_t>(contract_mul_add);
+  packed = (packed << 1) | static_cast<std::uint64_t>(reassociate);
+  packed = (packed << 1) | static_cast<std::uint64_t>(flush_to_zero);
+  packed = (packed << 1) | static_cast<std::uint64_t>(denormals_are_zero);
+  // splitmix64 finalizer so distinct configs land in distinct stripes.
+  std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// Opaque ops: evaluation must observe real FPU behavior, not constant
+// folds (same discipline as the native quiz backends and workloads).
+[[gnu::noinline]] double h_add(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va + vb;
+  return r;
+}
+[[gnu::noinline]] double h_sub(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va - vb;
+  return r;
+}
+[[gnu::noinline]] double h_mul(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va * vb;
+  return r;
+}
+[[gnu::noinline]] double h_div(double a, double b) {
+  volatile double va = a, vb = b;
+  volatile double r = va / vb;
+  return r;
+}
+[[gnu::noinline]] double h_sqrt(double a) {
+  volatile double va = a;
+  volatile double r = __builtin_sqrt(va);
+  return r;
+}
+[[gnu::noinline]] double h_fma(double a, double b, double c) {
+  volatile double va = a, vb = b, vc = c;
+  volatile double r = __builtin_fma(va, vb, vc);
+  return r;
+}
+[[gnu::noinline]] bool h_eq(double a, double b) {
+  volatile double va = a, vb = b;
+  return va == vb;
+}
+[[gnu::noinline]] bool h_lt(double a, double b) {
+  volatile double va = a, vb = b;
+  return va < vb;
+}
+
+[[gnu::noinline]] float hf_add(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va + vb;
+  return r;
+}
+[[gnu::noinline]] float hf_sub(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va - vb;
+  return r;
+}
+[[gnu::noinline]] float hf_mul(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va * vb;
+  return r;
+}
+[[gnu::noinline]] float hf_div(float a, float b) {
+  volatile float va = a, vb = b;
+  volatile float r = va / vb;
+  return r;
+}
+[[gnu::noinline]] float hf_sqrt(float a) {
+  volatile float va = a;
+  volatile float r = __builtin_sqrtf(va);
+  return r;
+}
+[[gnu::noinline]] float hf_fma(float a, float b, float c) {
+  volatile float va = a, vb = b, vc = c;
+  volatile float r = __builtin_fmaf(va, vb, vc);
+  return r;
+}
+[[gnu::noinline]] float hf_narrow(double x) {
+  volatile double vx = x;
+  volatile float r = static_cast<float>(vx);
+  return r;
+}
+
+// Exact sign-bit flip, including for NaN (a host `-x` is also a pure
+// sign-bit operation, but the bit_cast spelling cannot be folded into
+// anything value-changing).
+double flip_sign(double x) {
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
+                               (std::uint64_t{1} << 63));
+}
+
+}  // namespace
+
+double NativeEvaluator64::constant(const Expr& e) {
+  return sf::to_native(e.node().value);
+}
+double NativeEvaluator64::variable(const Expr& e, double bound) {
+  (void)e;
+  return bound;
+}
+double NativeEvaluator64::neg(const Expr& e, const double& a) {
+  (void)e;
+  return flip_sign(a);
+}
+double NativeEvaluator64::add(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return h_add(a, b);
+}
+double NativeEvaluator64::sub(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return h_sub(a, b);
+}
+double NativeEvaluator64::mul(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return h_mul(a, b);
+}
+double NativeEvaluator64::div(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return h_div(a, b);
+}
+double NativeEvaluator64::sqrt(const Expr& e, const double& a) {
+  (void)e;
+  return h_sqrt(a);
+}
+double NativeEvaluator64::fma(const Expr& e, const double& a,
+                              const double& b, const double& c) {
+  (void)e;
+  return h_fma(a, b, c);
+}
+double NativeEvaluator64::cmp_eq(const Expr& e, const double& a,
+                                 const double& b) {
+  (void)e;
+  return h_eq(a, b) ? 1.0 : 0.0;
+}
+double NativeEvaluator64::cmp_lt(const Expr& e, const double& a,
+                                 const double& b) {
+  (void)e;
+  return h_lt(a, b) ? 1.0 : 0.0;
+}
+
+double NativeEvaluator32::constant(const Expr& e) {
+  return static_cast<double>(hf_narrow(sf::to_native(e.node().value)));
+}
+double NativeEvaluator32::variable(const Expr& e, double bound) {
+  (void)e;
+  return static_cast<double>(hf_narrow(bound));
+}
+double NativeEvaluator32::neg(const Expr& e, const double& a) {
+  (void)e;
+  return flip_sign(a);
+}
+double NativeEvaluator32::add(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return static_cast<double>(hf_add(hf_narrow(a), hf_narrow(b)));
+}
+double NativeEvaluator32::sub(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return static_cast<double>(hf_sub(hf_narrow(a), hf_narrow(b)));
+}
+double NativeEvaluator32::mul(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return static_cast<double>(hf_mul(hf_narrow(a), hf_narrow(b)));
+}
+double NativeEvaluator32::div(const Expr& e, const double& a,
+                              const double& b) {
+  (void)e;
+  return static_cast<double>(hf_div(hf_narrow(a), hf_narrow(b)));
+}
+double NativeEvaluator32::sqrt(const Expr& e, const double& a) {
+  (void)e;
+  return static_cast<double>(hf_sqrt(hf_narrow(a)));
+}
+double NativeEvaluator32::fma(const Expr& e, const double& a,
+                              const double& b, const double& c) {
+  (void)e;
+  return static_cast<double>(
+      hf_fma(hf_narrow(a), hf_narrow(b), hf_narrow(c)));
+}
+double NativeEvaluator32::cmp_eq(const Expr& e, const double& a,
+                                 const double& b) {
+  (void)e;
+  return h_eq(hf_narrow(a), hf_narrow(b)) ? 1.0 : 0.0;
+}
+double NativeEvaluator32::cmp_lt(const Expr& e, const double& a,
+                                 const double& b) {
+  (void)e;
+  return h_lt(hf_narrow(a), hf_narrow(b)) ? 1.0 : 0.0;
+}
+
+namespace {
+
+template <int kBits>
+Outcome evaluate_soft(const Expr& tree, const EvalConfig& config,
+                      std::span<const double> bindings, TraceSink* trace) {
+  SoftEvaluator<kBits> ev(config, trace);
+  Outcome out;
+  out.value = sf::from_native(evaluate_tree<double>(tree, ev, bindings));
+  out.flags = ev.flags();
+  return out;
+}
+
+}  // namespace
+
+Outcome evaluate(const Expr& expr, const EvalConfig& config,
+                 std::span<const double> bindings, TraceSink* trace) {
+  const Expr tree = pipeline_rewrite(expr, config.contract_mul_add,
+                                     config.reassociate);
+  switch (config.format_bits) {
+    case 16:
+      return evaluate_soft<16>(tree, config, bindings, trace);
+    case 32:
+      return evaluate_soft<32>(tree, config, bindings, trace);
+    case sf::kBFloat16:
+      return evaluate_soft<sf::kBFloat16>(tree, config, bindings, trace);
+    default:
+      return evaluate_soft<64>(tree, config, bindings, trace);
+  }
+}
+
+}  // namespace fpq::ir

@@ -1,0 +1,236 @@
+#include "ir/expr.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fpq::ir {
+
+namespace sf = fpq::softfloat;
+
+using Kind = ExprKind;
+
+namespace {
+
+// splitmix64 finalizer: the same mixer the parallel substrate uses for
+// shard seeds, applied here to structural node fingerprints.
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t structural_hash(const Expr::Node& n) {
+  std::uint64_t h = mix(static_cast<std::uint64_t>(n.kind) + 1);
+  switch (n.kind) {
+    case Kind::kConst:
+      h = combine(h, n.value.bits);
+      break;
+    case Kind::kVar:
+      h = combine(h, n.var_index);
+      for (const char c : n.var_name) {
+        h = combine(h, static_cast<unsigned char>(c));
+      }
+      break;
+    default:
+      for (const Expr& c : n.children) h = combine(h, c.hash());
+      break;
+  }
+  return h;
+}
+
+bool structurally_equal(const Expr::Node& a, const Expr::Node& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kConst:
+      return a.value.bits == b.value.bits;
+    case Kind::kVar:
+      return a.var_index == b.var_index && a.var_name == b.var_name;
+    default:
+      if (a.children.size() != b.children.size()) return false;
+      // Children are interned already, so identity equality suffices.
+      for (std::size_t i = 0; i < a.children.size(); ++i) {
+        if (!(a.children[i] == b.children[i])) return false;
+      }
+      return true;
+  }
+}
+
+// The process-wide intern pool. Nodes are never evicted: the trees in
+// this codebase are demonstration-sized, and stable lifetimes keep the
+// hash → node mapping race-free under the striped readers in evaluate_many.
+class InternPool {
+ public:
+  Expr intern(Expr::Node&& candidate) {
+    candidate.hash = structural_hash(candidate);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [lo, hi] = nodes_.equal_range(candidate.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (structurally_equal(*it->second, candidate)) {
+        return Expr{it->second};
+      }
+    }
+    auto node =
+        std::make_shared<const Expr::Node>(std::move(candidate));
+    nodes_.emplace(node->hash, node);
+    return Expr{std::move(node)};
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nodes_.size();
+  }
+
+  static InternPool& global() {
+    static InternPool pool;
+    return pool;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_multimap<std::uint64_t,
+                          std::shared_ptr<const Expr::Node>>
+      nodes_;
+};
+
+Expr make_node(Kind kind, std::vector<Expr> children) {
+  Expr::Node n;
+  n.kind = kind;
+  n.children = std::move(children);
+  return InternPool::global().intern(std::move(n));
+}
+
+}  // namespace
+
+Expr Expr::constant(double v) { return constant(sf::from_native(v)); }
+
+Expr Expr::constant(sf::Float64 v) {
+  Node n;
+  n.kind = Kind::kConst;
+  n.value = v;
+  return InternPool::global().intern(std::move(n));
+}
+
+Expr Expr::variable(std::string name, std::uint32_t index) {
+  Node n;
+  n.kind = Kind::kVar;
+  n.var_name = std::move(name);
+  n.var_index = index;
+  return InternPool::global().intern(std::move(n));
+}
+
+Expr Expr::neg(Expr a) { return make_node(Kind::kNeg, {a}); }
+Expr Expr::add(Expr a, Expr b) { return make_node(Kind::kAdd, {a, b}); }
+Expr Expr::sub(Expr a, Expr b) { return make_node(Kind::kSub, {a, b}); }
+Expr Expr::mul(Expr a, Expr b) { return make_node(Kind::kMul, {a, b}); }
+Expr Expr::div(Expr a, Expr b) { return make_node(Kind::kDiv, {a, b}); }
+Expr Expr::sqrt(Expr a) { return make_node(Kind::kSqrt, {a}); }
+Expr Expr::fma(Expr a, Expr b, Expr c) {
+  return make_node(Kind::kFma, {a, b, c});
+}
+Expr Expr::cmp_eq(Expr a, Expr b) {
+  return make_node(Kind::kCmpEq, {a, b});
+}
+Expr Expr::cmp_lt(Expr a, Expr b) {
+  return make_node(Kind::kCmpLt, {a, b});
+}
+
+Expr Expr::sum(std::span<const double> xs) {
+  assert(!xs.empty());
+  Expr acc = constant(xs[0]);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc = add(acc, constant(xs[i]));
+  }
+  return acc;
+}
+
+Expr Expr::sum(std::initializer_list<double> xs) {
+  return sum(std::span<const double>(xs.begin(), xs.size()));
+}
+
+Expr Expr::sum(std::span<const Expr> xs) {
+  assert(!xs.empty());
+  Expr acc = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) acc = add(acc, xs[i]);
+  return acc;
+}
+
+Expr Expr::dot(std::span<const Expr> xs, std::span<const Expr> ys) {
+  assert(!xs.empty() && xs.size() == ys.size());
+  Expr acc = mul(xs[0], ys[0]);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc = add(acc, mul(xs[i], ys[i]));
+  }
+  return acc;
+}
+
+Expr Expr::dot(std::span<const double> xs, std::span<const double> ys) {
+  assert(!xs.empty() && xs.size() == ys.size());
+  Expr acc = mul(constant(xs[0]), constant(ys[0]));
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    acc = add(acc, mul(constant(xs[i]), constant(ys[i])));
+  }
+  return acc;
+}
+
+Expr Expr::horner(std::span<const double> coeffs, Expr x) {
+  assert(!coeffs.empty());
+  Expr acc = constant(coeffs[0]);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    acc = add(mul(acc, x), constant(coeffs[i]));
+  }
+  return acc;
+}
+
+std::string Expr::to_string() const {
+  const Node& n = *node_;
+  switch (n.kind) {
+    case Kind::kConst: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", sf::to_native(n.value));
+      return buf;
+    }
+    case Kind::kVar:
+      return n.var_name;
+    case Kind::kNeg:
+      return "-" + n.children[0].to_string();
+    case Kind::kAdd:
+      return "(" + n.children[0].to_string() + " + " +
+             n.children[1].to_string() + ")";
+    case Kind::kSub:
+      return "(" + n.children[0].to_string() + " - " +
+             n.children[1].to_string() + ")";
+    case Kind::kMul:
+      return "(" + n.children[0].to_string() + " * " +
+             n.children[1].to_string() + ")";
+    case Kind::kDiv:
+      return "(" + n.children[0].to_string() + " / " +
+             n.children[1].to_string() + ")";
+    case Kind::kSqrt:
+      return "sqrt(" + n.children[0].to_string() + ")";
+    case Kind::kFma:
+      return "fma(" + n.children[0].to_string() + ", " +
+             n.children[1].to_string() + ", " + n.children[2].to_string() +
+             ")";
+    case Kind::kCmpEq:
+      return "(" + n.children[0].to_string() + " == " +
+             n.children[1].to_string() + ")";
+    case Kind::kCmpLt:
+      return "(" + n.children[0].to_string() + " < " +
+             n.children[1].to_string() + ")";
+  }
+  return "?";
+}
+
+std::size_t Expr::intern_pool_size() {
+  return InternPool::global().size();
+}
+
+}  // namespace fpq::ir

@@ -1,0 +1,119 @@
+#include "ir/rewrite.hpp"
+
+#include <vector>
+
+namespace fpq::ir {
+
+namespace {
+
+using Kind = ExprKind;
+
+// Flattens a maximal chain of + into its addend expressions.
+void flatten_add_chain(const Expr& e, std::vector<Expr>& out) {
+  const Expr::Node& n = e.node();
+  if (n.kind == Kind::kAdd) {
+    flatten_add_chain(n.children[0], out);
+    flatten_add_chain(n.children[1], out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+// Balanced pairwise association over already-rewritten addends: the same
+// mid = lo + (hi - lo) / 2 split the legacy pairwise_sum used, so the
+// synthesized tree reproduces its association order exactly.
+Expr pairwise_tree(const std::vector<Expr>& xs, std::size_t lo,
+                   std::size_t hi) {
+  if (hi - lo == 1) return xs[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return Expr::add(pairwise_tree(xs, lo, mid), pairwise_tree(xs, mid, hi));
+}
+
+Expr apply(const Expr& e, bool contract, bool reassociate) {
+  const Expr::Node& n = e.node();
+  switch (n.kind) {
+    case Kind::kConst:
+    case Kind::kVar:
+      return e;
+    case Kind::kAdd: {
+      if (reassociate) {
+        std::vector<Expr> addends;
+        flatten_add_chain(e, addends);
+        if (addends.size() > 2) {
+          // The synthesized adds are NOT contraction candidates: the
+          // pipeline reassociates a long chain instead of fusing into it.
+          for (Expr& a : addends) a = apply(a, contract, reassociate);
+          return pairwise_tree(addends, 0, addends.size());
+        }
+      }
+      if (contract) {
+        // add(mul(a,b), c) or add(c, mul(a,b)) -> fused. The pattern
+        // match looks at the ORIGINAL children; no rewrite changes
+        // whether a root is a mul, so this is equivalent to matching
+        // after their rewrite — and mirrors the legacy evaluator.
+        const Expr::Node& l = n.children[0].node();
+        const Expr::Node& r = n.children[1].node();
+        if (l.kind == Kind::kMul) {
+          return Expr::fma(apply(l.children[0], contract, reassociate),
+                           apply(l.children[1], contract, reassociate),
+                           apply(n.children[1], contract, reassociate));
+        }
+        if (r.kind == Kind::kMul) {
+          return Expr::fma(apply(r.children[0], contract, reassociate),
+                           apply(r.children[1], contract, reassociate),
+                           apply(n.children[0], contract, reassociate));
+        }
+      }
+      return Expr::add(apply(n.children[0], contract, reassociate),
+                       apply(n.children[1], contract, reassociate));
+    }
+    case Kind::kSub: {
+      if (contract) {
+        const Expr::Node& l = n.children[0].node();
+        if (l.kind == Kind::kMul) {
+          // mul(a,b) - c -> fma(a, b, -c).
+          return Expr::fma(
+              apply(l.children[0], contract, reassociate),
+              apply(l.children[1], contract, reassociate),
+              Expr::neg(apply(n.children[1], contract, reassociate)));
+        }
+      }
+      return Expr::sub(apply(n.children[0], contract, reassociate),
+                       apply(n.children[1], contract, reassociate));
+    }
+    case Kind::kNeg:
+      return Expr::neg(apply(n.children[0], contract, reassociate));
+    case Kind::kMul:
+      return Expr::mul(apply(n.children[0], contract, reassociate),
+                       apply(n.children[1], contract, reassociate));
+    case Kind::kDiv:
+      return Expr::div(apply(n.children[0], contract, reassociate),
+                       apply(n.children[1], contract, reassociate));
+    case Kind::kSqrt:
+      return Expr::sqrt(apply(n.children[0], contract, reassociate));
+    case Kind::kFma:
+      return Expr::fma(apply(n.children[0], contract, reassociate),
+                       apply(n.children[1], contract, reassociate),
+                       apply(n.children[2], contract, reassociate));
+    case Kind::kCmpEq:
+      return Expr::cmp_eq(apply(n.children[0], contract, reassociate),
+                          apply(n.children[1], contract, reassociate));
+    case Kind::kCmpLt:
+      return Expr::cmp_lt(apply(n.children[0], contract, reassociate),
+                          apply(n.children[1], contract, reassociate));
+  }
+  return e;
+}
+
+}  // namespace
+
+Expr contract_mul_add(const Expr& e) { return apply(e, true, false); }
+
+Expr reassociate_sums(const Expr& e) { return apply(e, false, true); }
+
+Expr pipeline_rewrite(const Expr& e, bool contract, bool reassociate) {
+  if (!contract && !reassociate) return e;
+  return apply(e, contract, reassociate);
+}
+
+}  // namespace fpq::ir

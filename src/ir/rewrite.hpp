@@ -1,0 +1,38 @@
+// fpq::ir — IR→IR rewrite passes: the optimizations the emulated pipeline
+// models, expressed as tree transforms that return a NEW tree.
+//
+// Making the transform a value (instead of behavior buried in an
+// evaluator's switch) means it is inspectable — tests can assert the
+// rewritten shape, to_string() shows the program the "compiler" actually
+// ran, and any evaluator (softfloat, shadow, interval) can evaluate the
+// optimized program.
+//
+// Semantics notes, pinned by the differential tests:
+//  * Contraction fuses add(mul(a,b), c), add(c, mul(a,b)) and
+//    sub(mul(a,b), c) — the last becomes fma(a, b, neg(c)), where neg is
+//    the sign-bit flip (NOT 0-c, which differs for c = ±0).
+//  * Reassociation flattens a maximal chain of + with more than two
+//    addends into a balanced pairwise tree (the association a vectorizing
+//    compiler effectively chooses under -fassociative-math).
+//  * When both are enabled, reassociation takes precedence at a chain
+//    head and NO contraction happens at the synthesized adds — matching
+//    how the emulated pipeline has always evaluated, which the quiz's
+//    divergence demos depend on.
+#pragma once
+
+#include "ir/expr.hpp"
+
+namespace fpq::ir {
+
+/// Fuse mul-then-add/sub patterns into fma nodes, everywhere.
+Expr contract_mul_add(const Expr& e);
+
+/// Rebalance +-chains of length > 2 into pairwise trees, everywhere.
+Expr reassociate_sums(const Expr& e);
+
+/// The combined pass the emulated pipeline applies: both transforms with
+/// the precedence described above. With a single flag set it degenerates
+/// to the corresponding individual pass; with none it is the identity.
+Expr pipeline_rewrite(const Expr& e, bool contract, bool reassociate);
+
+}  // namespace fpq::ir

@@ -1,0 +1,56 @@
+#include "ir/trace.hpp"
+
+#include <cstdio>
+
+#include "softfloat/env.hpp"
+
+namespace fpq::ir {
+
+void ProvenanceTrace::on_op(const Expr& expr, double value,
+                            unsigned flags) {
+  TraceEvent ev;
+  ev.index = events_.size();
+  ev.kind = expr.node().kind;
+  ev.expression = expr.to_string();
+  ev.value = value;
+  ev.flags = flags;
+  events_.push_back(std::move(ev));
+}
+
+unsigned ProvenanceTrace::cumulative_flags() const noexcept {
+  unsigned out = 0;
+  for (const TraceEvent& ev : events_) out |= ev.flags;
+  return out;
+}
+
+const TraceEvent* ProvenanceTrace::first_raiser(
+    unsigned flag) const noexcept {
+  for (const TraceEvent& ev : events_) {
+    if ((ev.flags & flag) != 0) return &ev;
+  }
+  return nullptr;
+}
+
+std::string ProvenanceTrace::render() const {
+  namespace sf = fpq::softfloat;
+  std::string out = "operation-level exception provenance (" +
+                    std::to_string(events_.size()) + " ops)\n";
+  for (const TraceEvent& ev : events_) {
+    char line[64];
+    std::snprintf(line, sizeof line, "  [%3zu] %-12.17g  ", ev.index,
+                  ev.value);
+    out += line;
+    out += sf::flags_to_string(ev.flags);
+    out += "  " + ev.expression + "\n";
+  }
+  const unsigned seen = cumulative_flags();
+  for (unsigned bit = 1; bit <= sf::kFlagDenormalInput; bit <<= 1) {
+    if ((seen & bit) == 0) continue;
+    const TraceEvent* first = first_raiser(bit);
+    out += "  first " + sf::flags_to_string(bit) + ": op #" +
+           std::to_string(first->index) + " " + first->expression + "\n";
+  }
+  return out;
+}
+
+}  // namespace fpq::ir

@@ -1,0 +1,52 @@
+// fpq::ir — operation-level exception provenance.
+//
+// fpmon answers "did anything bad happen in this region?"; a provenance
+// trace answers "WHICH operation raised WHICH flag, computing WHAT value"
+// — the FlowFPX-style upgrade the paper's §V tooling discussion points
+// toward. ProvenanceTrace is the standard TraceSink: it records one event
+// per executed operation (in execution order) and can render a report
+// plus the first-raiser of each exception flag.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/evaluator.hpp"
+
+namespace fpq::ir {
+
+/// One executed operation.
+struct TraceEvent {
+  std::size_t index = 0;     ///< execution order, from 0
+  ExprKind kind = ExprKind::kConst;
+  std::string expression;    ///< rendering of the subtree that ran
+  double value = 0.0;        ///< the operation's (widened) result
+  unsigned flags = 0;        ///< softfloat flags THIS operation raised
+};
+
+class ProvenanceTrace final : public TraceSink {
+ public:
+  void on_op(const Expr& expr, double value, unsigned flags) override;
+
+  const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// The union of all per-op flags (equals the Env's sticky set).
+  unsigned cumulative_flags() const noexcept;
+
+  /// The first event that raised `flag`, or nullptr. This is the
+  /// provenance question: "where did the overflow COME from?"
+  const TraceEvent* first_raiser(unsigned flag) const noexcept;
+
+  /// Human-readable rendering: one line per op, flag names included,
+  /// followed by a first-raiser summary per flag seen.
+  std::string render() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace fpq::ir

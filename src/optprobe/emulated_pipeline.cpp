@@ -1,184 +1,26 @@
 #include "optprobe/emulated_pipeline.hpp"
 
-#include <cassert>
-#include <cstdio>
-
 namespace fpq::opt {
 
-namespace sf = fpq::softfloat;
-
-using Kind = ExprKind;
-
-namespace {
-
-Expr make_node(Kind kind, std::vector<Expr> children) {
-  auto node = std::make_shared<Expr::Node>();
-  node->kind = kind;
-  node->children = std::move(children);
-  return Expr{std::move(node)};
+ir::EvalConfig ir_config(const PipelineConfig& config) {
+  ir::EvalConfig c;
+  c.format_bits = 64;
+  c.rounding = config.rounding;
+  c.contract_mul_add = config.contract_mul_add;
+  c.reassociate = config.reassociate;
+  c.flush_to_zero = config.flush_to_zero;
+  c.denormals_are_zero = config.denormals_are_zero;
+  return c;
 }
 
-}  // namespace
-
-Expr Expr::constant(double v) { return constant(sf::from_native(v)); }
-
-Expr Expr::constant(sf::Float64 v) {
-  auto node = std::make_shared<Node>();
-  node->kind = Kind::kConst;
-  node->value = v;
-  return Expr{std::move(node)};
+Expr optimized_tree(const Expr& expr, const PipelineConfig& config) {
+  return ir::pipeline_rewrite(expr, config.contract_mul_add,
+                              config.reassociate);
 }
-
-Expr Expr::add(Expr a, Expr b) { return make_node(Kind::kAdd, {a, b}); }
-Expr Expr::sub(Expr a, Expr b) { return make_node(Kind::kSub, {a, b}); }
-Expr Expr::mul(Expr a, Expr b) { return make_node(Kind::kMul, {a, b}); }
-Expr Expr::div(Expr a, Expr b) { return make_node(Kind::kDiv, {a, b}); }
-Expr Expr::sqrt(Expr a) { return make_node(Kind::kSqrt, {a}); }
-Expr Expr::fma(Expr a, Expr b, Expr c) {
-  return make_node(Kind::kFma, {a, b, c});
-}
-
-Expr Expr::sum(const std::vector<double>& xs) {
-  assert(!xs.empty());
-  Expr acc = constant(xs[0]);
-  for (std::size_t i = 1; i < xs.size(); ++i) {
-    acc = add(acc, constant(xs[i]));
-  }
-  return acc;
-}
-
-std::string Expr::to_string() const {
-  const Node& n = *node_;
-  switch (n.kind) {
-    case Kind::kConst: {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%g", sf::to_native(n.value));
-      return buf;
-    }
-    case Kind::kAdd:
-      return "(" + n.children[0].to_string() + " + " +
-             n.children[1].to_string() + ")";
-    case Kind::kSub:
-      return "(" + n.children[0].to_string() + " - " +
-             n.children[1].to_string() + ")";
-    case Kind::kMul:
-      return "(" + n.children[0].to_string() + " * " +
-             n.children[1].to_string() + ")";
-    case Kind::kDiv:
-      return "(" + n.children[0].to_string() + " / " +
-             n.children[1].to_string() + ")";
-    case Kind::kSqrt:
-      return "sqrt(" + n.children[0].to_string() + ")";
-    case Kind::kFma:
-      return "fma(" + n.children[0].to_string() + ", " +
-             n.children[1].to_string() + ", " + n.children[2].to_string() +
-             ")";
-  }
-  return "?";
-}
-
-namespace {
-
-// Flattens a maximal chain of + into its addend expressions.
-void flatten_add_chain(const Expr& e, std::vector<Expr>& out) {
-  const Expr::Node& n = e.node();
-  if (n.kind == Kind::kAdd) {
-    flatten_add_chain(n.children[0], out);
-    flatten_add_chain(n.children[1], out);
-  } else {
-    out.push_back(e);
-  }
-}
-
-sf::Float64 eval_node(const Expr& e, const PipelineConfig& cfg, sf::Env& env);
-
-// Pairwise (tree) reduction: the association order a vectorizing compiler
-// effectively chooses under -fassociative-math.
-sf::Float64 pairwise_sum(const std::vector<sf::Float64>& xs, std::size_t lo,
-                         std::size_t hi, sf::Env& env) {
-  if (hi - lo == 1) return xs[lo];
-  const std::size_t mid = lo + (hi - lo) / 2;
-  return sf::add(pairwise_sum(xs, lo, mid, env),
-                 pairwise_sum(xs, mid, hi, env), env);
-}
-
-sf::Float64 eval_node(const Expr& e, const PipelineConfig& cfg,
-                      sf::Env& env) {
-  const Expr::Node& n = e.node();
-  switch (n.kind) {
-    case Kind::kConst:
-      return n.value;
-    case Kind::kAdd: {
-      if (cfg.reassociate) {
-        std::vector<Expr> addends;
-        flatten_add_chain(e, addends);
-        if (addends.size() > 2) {
-          std::vector<sf::Float64> values;
-          values.reserve(addends.size());
-          for (const Expr& a : addends) {
-            values.push_back(eval_node(a, cfg, env));
-          }
-          return pairwise_sum(values, 0, values.size(), env);
-        }
-      }
-      if (cfg.contract_mul_add) {
-        // add(mul(a,b), c) or add(c, mul(a,b)) -> fused.
-        const Expr::Node& l = n.children[0].node();
-        const Expr::Node& r = n.children[1].node();
-        if (l.kind == Kind::kMul) {
-          return sf::fma(eval_node(l.children[0], cfg, env),
-                         eval_node(l.children[1], cfg, env),
-                         eval_node(n.children[1], cfg, env), env);
-        }
-        if (r.kind == Kind::kMul) {
-          return sf::fma(eval_node(r.children[0], cfg, env),
-                         eval_node(r.children[1], cfg, env),
-                         eval_node(n.children[0], cfg, env), env);
-        }
-      }
-      return sf::add(eval_node(n.children[0], cfg, env),
-                     eval_node(n.children[1], cfg, env), env);
-    }
-    case Kind::kSub: {
-      if (cfg.contract_mul_add) {
-        const Expr::Node& l = n.children[0].node();
-        if (l.kind == Kind::kMul) {
-          // mul(a,b) - c -> fma(a, b, -c).
-          return sf::fma(
-              eval_node(l.children[0], cfg, env),
-              eval_node(l.children[1], cfg, env),
-              eval_node(n.children[1], cfg, env).negated(), env);
-        }
-      }
-      return sf::sub(eval_node(n.children[0], cfg, env),
-                     eval_node(n.children[1], cfg, env), env);
-    }
-    case Kind::kMul:
-      return sf::mul(eval_node(n.children[0], cfg, env),
-                     eval_node(n.children[1], cfg, env), env);
-    case Kind::kDiv:
-      return sf::div(eval_node(n.children[0], cfg, env),
-                     eval_node(n.children[1], cfg, env), env);
-    case Kind::kSqrt:
-      return sf::sqrt(eval_node(n.children[0], cfg, env), env);
-    case Kind::kFma:
-      return sf::fma(eval_node(n.children[0], cfg, env),
-                     eval_node(n.children[1], cfg, env),
-                     eval_node(n.children[2], cfg, env), env);
-  }
-  return sf::Float64::quiet_nan();
-}
-
-}  // namespace
 
 EvalResult evaluate(const Expr& expr, const PipelineConfig& config) {
-  sf::Env env(config.rounding);
-  env.set_flush_to_zero(config.flush_to_zero);
-  env.set_denormals_are_zero(config.denormals_are_zero);
-  EvalResult r;
-  r.value = eval_node(expr, config, env);
-  r.flags = env.flags();
-  return r;
+  const ir::Outcome outcome = ir::evaluate(expr, ir_config(config));
+  return EvalResult{outcome.value, outcome.flags};
 }
 
 Divergence diverge(const Expr& expr, const PipelineConfig& optimized) {

@@ -8,56 +8,29 @@
 // and observe whether — and how — the bits diverge. Because the arithmetic
 // is the softfloat engine, the demonstration works identically on any
 // host, including ones whose real compiler/hardware would not cooperate.
+//
+// The expression tree and the evaluation core live in fpq::ir (the
+// unified IR every analyzer shares); this module keeps its historical
+// names — opt::Expr IS ir::Expr — and contributes the pipeline-shaped
+// configuration plus the canned divergence demonstrations. Contraction
+// and reassociation are ir::pipeline_rewrite passes: the optimized
+// program is a real tree you can print and inspect, not a side effect of
+// evaluation.
 #pragma once
 
-#include <memory>
 #include <string>
-#include <vector>
 
+#include "ir/evaluators.hpp"
+#include "ir/expr.hpp"
+#include "ir/rewrite.hpp"
 #include "softfloat/env.hpp"
-#include "softfloat/ops.hpp"
 #include "softfloat/value.hpp"
 
 namespace fpq::opt {
 
-/// Expression node kinds (exposed so analyzers — e.g. fpq::shadow — can
-/// walk trees structurally).
-enum class ExprKind { kConst, kAdd, kSub, kMul, kDiv, kSqrt, kFma };
-
-/// A value-semantic expression tree over binary64 values.
-class Expr {
- public:
-  /// Leaf constant.
-  static Expr constant(double v);
-  static Expr constant(softfloat::Float64 v);
-
-  static Expr add(Expr a, Expr b);
-  static Expr sub(Expr a, Expr b);
-  static Expr mul(Expr a, Expr b);
-  static Expr div(Expr a, Expr b);
-  static Expr sqrt(Expr a);
-  /// Explicitly fused multiply-add (what IEEE 754-2008 added).
-  static Expr fma(Expr a, Expr b, Expr c);
-
-  /// Convenience: left-to-right sum of a list, as C source order implies.
-  static Expr sum(const std::vector<double>& xs);
-
-  /// Renders the tree, e.g. "((a*b)+c)"; constants print as %g.
-  std::string to_string() const;
-
-  struct Node {
-    ExprKind kind = ExprKind::kConst;
-    softfloat::Float64 value;
-    std::vector<Expr> children;
-  };
-  const Node& node() const { return *node_; }
-
-  /// Internal: wraps a node. Use the named factories above instead.
-  explicit Expr(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
-
- private:
-  std::shared_ptr<const Node> node_;
-};
+/// The unified IR's expression tree, under its historical name here.
+using Expr = ir::Expr;
+using ExprKind = ir::ExprKind;
 
 /// What the emulated pipeline is allowed to do to the program.
 struct PipelineConfig {
@@ -92,13 +65,20 @@ struct PipelineConfig {
   }
 };
 
+/// The ir::EvalConfig (binary64) this pipeline configuration denotes.
+ir::EvalConfig ir_config(const PipelineConfig& config);
+
+/// The program the pipeline actually runs: the config's rewrite passes
+/// applied to `expr` (identity for strict configs).
+Expr optimized_tree(const Expr& expr, const PipelineConfig& config);
+
 /// Evaluation outcome: the value plus the softfloat sticky flags raised.
 struct EvalResult {
   softfloat::Float64 value;
   unsigned flags = 0;
 };
 
-/// Evaluates the expression under the configuration.
+/// Evaluates the expression under the configuration (through fpq::ir).
 EvalResult evaluate(const Expr& expr, const PipelineConfig& config);
 
 /// Result of running the same expression under two configurations.

@@ -43,4 +43,47 @@ ResultCache& ResultCache::global() {
   return cache;
 }
 
+std::optional<BatchChunkResult> BatchResultCache::find(
+    const BatchKey& key) {
+  Stripe& s = stripe_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void BatchResultCache::insert(const BatchKey& key,
+                              const BatchChunkResult& result) {
+  Stripe& s = stripe_of(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.map.try_emplace(key, result);
+}
+
+std::size_t BatchResultCache::size() const {
+  std::size_t total = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.map.size();
+  }
+  return total;
+}
+
+void BatchResultCache::clear() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.map.clear();
+  }
+  hits_.store(0);
+  misses_.store(0);
+}
+
+BatchResultCache& BatchResultCache::global() {
+  static BatchResultCache cache;
+  return cache;
+}
+
 }  // namespace fpq::parallel

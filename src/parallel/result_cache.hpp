@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace fpq::parallel {
 
@@ -84,6 +86,73 @@ class ResultCache {
   };
   Stripe& stripe_of(const OracleKey& key) {
     return stripes_[OracleKeyHash{}(key) % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Identity of one chunk of a batched IR evaluation: the (hash-consed)
+/// tree's structural fingerprint, the EvalConfig fingerprint, a content
+/// hash of the chunk's operand bindings, and the chunk index. The outcome
+/// of such a chunk is a pure function of this key — exactly the same
+/// determinism contract as OracleKey, applied to expression evaluation.
+struct BatchKey {
+  std::uint64_t tree_hash = 0;
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t bindings_hash = 0;
+  std::uint32_t chunk = 0;
+
+  bool operator==(const BatchKey&) const = default;
+};
+
+struct BatchKeyHash {
+  std::size_t operator()(const BatchKey& k) const noexcept {
+    std::uint64_t z = k.tree_hash;
+    z ^= k.config_fingerprint + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+    z ^= k.bindings_hash + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+    z ^= k.chunk + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return static_cast<std::size_t>(z ^ (z >> 27));
+  }
+};
+
+/// Memoized outcome of one chunk: (value bits, flags) per binding row.
+/// Stored as raw bits so the parallel substrate stays independent of the
+/// IR's value types.
+struct BatchChunkResult {
+  std::vector<std::pair<std::uint64_t, unsigned>> outcomes;
+};
+
+/// Striped memoization cache for batched expression evaluation, same
+/// locking structure as ResultCache (first writer wins; identical by
+/// determinism anyway).
+class BatchResultCache {
+ public:
+  BatchResultCache() = default;
+  BatchResultCache(const BatchResultCache&) = delete;
+  BatchResultCache& operator=(const BatchResultCache&) = delete;
+
+  std::optional<BatchChunkResult> find(const BatchKey& key);
+  void insert(const BatchKey& key, const BatchChunkResult& result);
+
+  std::size_t size() const;
+  std::uint64_t hits() const noexcept { return hits_.load(); }
+  std::uint64_t misses() const noexcept { return misses_.load(); }
+  void clear();
+
+  /// Process-wide cache shared by sessions, benches, and tests.
+  static BatchResultCache& global();
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<BatchKey, BatchChunkResult, BatchKeyHash> map;
+  };
+  Stripe& stripe_of(const BatchKey& key) {
+    return stripes_[BatchKeyHash{}(key) % kStripes];
   }
 
   std::array<Stripe, kStripes> stripes_;

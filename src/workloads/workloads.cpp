@@ -2,50 +2,52 @@
 
 #include <array>
 #include <cmath>
+#include <span>
+#include <vector>
+
+#include "ir/evaluators.hpp"
+#include "ir/expr.hpp"
 
 namespace fpq::workloads {
 
 namespace {
 
-// All kernels route arithmetic through opaque helpers so the FPU really
-// executes them under the caller's monitor.
-[[gnu::noinline]] double op(double a, char o, double b) {
-  volatile double va = a, vb = b;
-  volatile double r = 0.0;
-  switch (o) {
-    case '+':
-      r = va + vb;
-      break;
-    case '-':
-      r = va - vb;
-      break;
-    case '*':
-      r = va * vb;
-      break;
-    case '/':
-      r = va / vb;
-      break;
-  }
-  return r;
+// Every kernel expresses its arithmetic as an fpq::ir tree executed by
+// the host-FPU evaluator. NativeEvaluator64 routes each operation through
+// opaque noinline helpers, so the real FPU raises exceptions under the
+// caller's monitor exactly as the old hand-rolled loops did; only the
+// iteration/branch structure stays in C++.
+double ev(const ir::Expr& e, std::initializer_list<double> binds = {}) {
+  ir::NativeEvaluator64 native;
+  return ir::evaluate_tree<double>(
+      e, native, std::span<const double>(binds.begin(), binds.size()));
 }
 
-[[gnu::noinline]] double op_sqrt(double a) {
-  volatile double va = a;
-  volatile double r = __builtin_sqrt(va);
-  return r;
-}
+using E = ir::Expr;
 
 // -- ODE integration (Lorenz) ------------------------------------------
 
 void lorenz(double dt, int steps) {
-  double x = 1.0, y = 1.0, z = 1.0;
+  const E x = E::variable("x", 0);
+  const E y = E::variable("y", 1);
+  const E z = E::variable("z", 2);
+  const E dx = E::mul(E::constant(10.0), E::sub(y, x));
+  const E dy = E::sub(E::mul(x, E::sub(E::constant(28.0), z)), y);
+  const E dz = E::sub(E::mul(x, y), E::mul(E::constant(8.0 / 3.0), z));
+  const E h = E::constant(dt);
+  // One tree per state component: x' = x + dt*dx(x,y,z), built once and
+  // re-evaluated each step with fresh bindings.
+  const E xn = E::add(x, E::mul(h, dx));
+  const E yn = E::add(y, E::mul(h, dy));
+  const E zn = E::add(z, E::mul(h, dz));
+  double xv = 1.0, yv = 1.0, zv = 1.0;
   for (int i = 0; i < steps; ++i) {
-    const double dx = op(10.0, '*', op(y, '-', x));
-    const double dy = op(op(x, '*', op(28.0, '-', z)), '-', y);
-    const double dz = op(op(x, '*', y), '-', op(8.0 / 3.0, '*', z));
-    x = op(x, '+', op(dt, '*', dx));
-    y = op(y, '+', op(dt, '*', dy));
-    z = op(z, '+', op(dt, '*', dz));
+    const double nx = ev(xn, {xv, yv, zv});
+    const double ny = ev(yn, {xv, yv, zv});
+    const double nz = ev(zn, {xv, yv, zv});
+    xv = nx;
+    yv = ny;
+    zv = nz;
   }
 }
 
@@ -59,15 +61,21 @@ void variance(double offset, int n) {
   // E[x^2] - E[x]^2 cancels catastrophically and goes NEGATIVE (at
   // offset 1e12, n=7 the value is about -2.7e8), so the final sqrt of it
   // is an invalid operation.
-  double sum = 0.0, sum_sq = 0.0;
+  std::vector<double> xs(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    const double x = op(offset, '+', 1e-8 * i);
-    sum = op(sum, '+', x);
-    sum_sq = op(sum_sq, '+', op(x, '*', x));
+    xs[static_cast<std::size_t>(i)] =
+        ev(E::add(E::constant(offset), E::constant(1e-8 * i)));
   }
-  const double mean = op(sum, '/', n);
-  const double var = op(op(sum_sq, '/', n), '-', op(mean, '*', mean));
-  (void)op_sqrt(var);  // stddev; sqrt(negative) when cancellation bites
+  const std::span<const double> data(xs);
+  const double sum = ev(E::sum(data));          // left-to-right chain
+  const double sum_sq = ev(E::dot(data, data)); // naive sum of squares
+  const E a = E::variable("a", 0);
+  const E b = E::variable("b", 1);
+  const double mean = ev(E::div(a, b), {sum, static_cast<double>(n)});
+  const double var = ev(E::sub(E::div(a, b), E::mul(E::variable("m", 2),
+                                                    E::variable("m", 2))),
+                        {sum_sq, static_cast<double>(n), mean});
+  (void)ev(E::sqrt(a), {var});  // stddev; sqrt(negative) when cancellation bites
 }
 
 void variance_healthy() { variance(0.0, 64); }
@@ -78,10 +86,14 @@ void variance_broken() { variance(1e12, 7); }
 void geometric_series_healthy() {
   // sum of (1/2)^k: converges cleanly to 2, only rounding occurs; the
   // terms are deliberately stopped before the subnormal range.
+  const E s = E::variable("s", 0);
+  const E t = E::variable("t", 1);
+  const E accumulate = E::add(s, t);
+  const E halve = E::mul(t, E::constant(0.5));
   double term = 1.0, sum = 0.0;
   for (int k = 0; k < 900; ++k) {
-    sum = op(sum, '+', term);
-    term = op(term, '*', 0.5);
+    sum = ev(accumulate, {sum, term});
+    term = ev(halve, {0.0, term});
   }
   (void)sum;
 }
@@ -89,12 +101,16 @@ void geometric_series_healthy() {
 void geometric_series_broken() {
   // Growing series without a bound check: overflows to +inf, then the
   // "normalization" inf/inf manufactures a NaN.
+  const E s = E::variable("s", 0);
+  const E t = E::variable("t", 1);
+  const E accumulate = E::add(s, t);
+  const E grow = E::mul(t, E::constant(10.0));
   double term = 1.0, sum = 0.0;
   for (int k = 0; k < 800; ++k) {
-    sum = op(sum, '+', term);
-    term = op(term, '*', 10.0);
+    sum = ev(accumulate, {sum, term});
+    term = ev(grow, {0.0, term});
   }
-  (void)op(sum, '/', term);  // inf / inf
+  (void)ev(E::div(s, t), {sum, term});  // inf / inf
 }
 
 // -- Geometry: normalizing a vector ----------------------------------
@@ -103,11 +119,16 @@ void normalize(double scale) {
   // Normalize (3s, 4s): naive |v| = sqrt(x^2 + y^2) squares first, so a
   // large scale overflows the squares even though the normalized result
   // (0.6, 0.8) is perfectly representable.
-  const double x = op(3.0, '*', scale);
-  const double y = op(4.0, '*', scale);
-  const double len = op_sqrt(op(op(x, '*', x), '+', op(y, '*', y)));
-  (void)op(x, '/', len);
-  (void)op(y, '/', len);
+  const E s = E::variable("s", 0);
+  const double x = ev(E::mul(E::constant(3.0), s), {scale});
+  const double y = ev(E::mul(E::constant(4.0), s), {scale});
+  const std::array<double, 2> v{x, y};
+  const double len = ev(E::sqrt(E::dot(std::span<const double>(v),
+                                       std::span<const double>(v))));
+  const E a = E::variable("a", 0);
+  const E b = E::variable("b", 1);
+  (void)ev(E::div(a, b), {x, len});
+  (void)ev(E::div(a, b), {y, len});
 }
 
 void normalize_healthy() { normalize(1.0); }
@@ -119,9 +140,35 @@ void decay_healthy() {
   // Exponential decay crossing into the subnormal range: denormal and
   // underflow traffic is EXPECTED here and is not a bug (the suspicion
   // quiz's point about Underflow/Denorm being usually benign).
+  const E t = E::variable("t", 0);
+  const E halve = E::mul(t, E::constant(0.5));
   double x = 1.0;
-  for (int i = 0; i < 1100; ++i) x = op(x, '*', 0.5);
-  (void)op(x, '+', 1.0);
+  for (int i = 0; i < 1100; ++i) x = ev(halve, {x});
+  (void)ev(E::add(t, E::constant(1.0)), {x});
+}
+
+// -- Polynomial evaluation (Horner) -----------------------------------
+
+void poly(std::span<const double> coeffs, double lo, double step, int n) {
+  // Horner's rule as one IR tree in a free variable, swept over n points.
+  const E p = E::horner(coeffs, E::variable("x", 0));
+  for (int i = 0; i < n; ++i) {
+    (void)ev(p, {lo + step * i});
+  }
+}
+
+void poly_healthy() {
+  // Well-scaled cubic on [-1, 1]: rounding only.
+  const std::array<double, 4> c{2.0, -3.0, 1.0, 5.0};
+  poly(c, -1.0, 0.01, 201);
+}
+
+void poly_broken() {
+  // Astronomically scaled coefficients: the leading term overflows at
+  // moderate |x| although the polynomial's ROOTS are tame — the classic
+  // un-normalized-model bug.
+  const std::array<double, 3> c{1e300, 1e300, 1e300};
+  poly(c, 1e4, 1e4, 10);
 }
 
 mon::ConditionSet set_of(std::initializer_list<mon::Condition> cs) {
@@ -132,7 +179,7 @@ mon::ConditionSet set_of(std::initializer_list<mon::Condition> cs) {
 
 using C = mon::Condition;
 
-const std::array<Workload, 9> kCatalogue{{
+const std::array<Workload, 11> kCatalogue{{
     {"lorenz/healthy",
      "Lorenz attractor, stable step size: rounding only",
      set_of({C::kPrecision}),
@@ -173,6 +220,15 @@ const std::array<Workload, 9> kCatalogue{{
      "denormal traffic is expected and benign here",
      set_of({C::kPrecision, C::kUnderflow}),
      set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &decay_healthy},
+    {"poly/healthy",
+     "well-scaled cubic via Horner's rule on [-1, 1]: rounding only",
+     set_of({C::kPrecision}),
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &poly_healthy},
+    {"poly/broken",
+     "Horner evaluation with 1e300-scaled coefficients: the leading term "
+     "overflows at moderate |x|",
+     set_of({C::kPrecision, C::kOverflow}),
+     set_of({C::kInvalid, C::kDivByZero}), &poly_broken},
 }};
 
 }  // namespace

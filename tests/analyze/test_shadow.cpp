@@ -6,10 +6,10 @@
 #include <cmath>
 
 #include "analyze/shadow.hpp"
+#include "ir/expr.hpp"
 
 namespace sh = fpq::shadow;
-namespace opt = fpq::opt;
-using E = opt::Expr;
+using E = fpq::ir::Expr;
 
 namespace {
 

@@ -8,12 +8,13 @@
 
 #include "bigfloat/bigfloat.hpp"
 #include "interval/interval.hpp"
+#include "ir/expr.hpp"
 #include "stats/prng.hpp"
 
 namespace iv = fpq::interval;
 namespace bf = fpq::bigfloat;
 namespace st = fpq::stats;
-using E = fpq::opt::Expr;
+using E = fpq::ir::Expr;
 
 namespace {
 

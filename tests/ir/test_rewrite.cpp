@@ -1,0 +1,185 @@
+// IR→IR rewrite passes: the rewritten tree's SHAPE (contraction fuses the
+// exact patterns the emulated pipeline always fused, reassociation builds
+// the same pairwise tree), identity behavior (untouched trees come back
+// pointer-equal), and the semantics question the optimization quiz asks:
+// rewrites change results exactly when the quiz says they may.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+
+#include "ir/ir.hpp"
+#include "optprobe/emulated_pipeline.hpp"
+#include "softfloat/env.hpp"
+
+namespace ir = fpq::ir;
+namespace sf = fpq::softfloat;
+namespace opt = fpq::opt;
+using E = ir::Expr;
+using K = ir::ExprKind;
+
+namespace {
+
+TEST(ContractMulAdd, FusesLeftMulOfAdd) {
+  const auto e = E::add(E::mul(E::variable("a", 0), E::variable("b", 1)),
+                        E::variable("c", 2));
+  const auto r = ir::contract_mul_add(e);
+  ASSERT_EQ(r.node().kind, K::kFma);
+  EXPECT_EQ(r.to_string(), "fma(a, b, c)");
+}
+
+TEST(ContractMulAdd, FusesRightMulOfAdd) {
+  const auto e = E::add(E::variable("c", 2),
+                        E::mul(E::variable("a", 0), E::variable("b", 1)));
+  const auto r = ir::contract_mul_add(e);
+  ASSERT_EQ(r.node().kind, K::kFma);
+  // add(c, mul(a,b)) fuses as fma(a, b, c) — multiplicands first, exactly
+  // as the emulated pipeline always evaluated it.
+  EXPECT_EQ(r.to_string(), "fma(a, b, c)");
+}
+
+TEST(ContractMulAdd, SubFusesOnlyLeftMulWithNegatedAddend) {
+  const auto sub_left =
+      E::sub(E::mul(E::variable("a", 0), E::variable("b", 1)),
+             E::variable("c", 2));
+  const auto r = ir::contract_mul_add(sub_left);
+  ASSERT_EQ(r.node().kind, K::kFma);
+  // The addend is the sign-bit flip of c, NOT sub(0, c).
+  EXPECT_EQ(r.node().children[2].node().kind, K::kNeg);
+  // c - a*b does NOT fuse (the pipeline never rewrote that side).
+  const auto sub_right =
+      E::sub(E::variable("c", 2),
+             E::mul(E::variable("a", 0), E::variable("b", 1)));
+  EXPECT_EQ(ir::contract_mul_add(sub_right).node().kind, K::kSub);
+}
+
+TEST(ContractMulAdd, UntouchedTreeIsPointerEqual) {
+  const auto e = E::div(E::add(E::variable("x", 0), E::constant(1.0)),
+                        E::constant(3.0));
+  EXPECT_TRUE(ir::contract_mul_add(e) == e)
+      << "identity rewrites return the interned tree itself";
+}
+
+TEST(ContractMulAdd, RewritesInsideSubtrees) {
+  const auto inner = E::add(E::mul(E::variable("a", 0), E::variable("b", 1)),
+                            E::constant(1.0));
+  const auto e = E::sqrt(E::div(inner, E::constant(2.0)));
+  const auto r = ir::contract_mul_add(e);
+  EXPECT_EQ(r.node().children[0].node().children[0].node().kind, K::kFma);
+}
+
+TEST(ReassociateSums, ChainOfFourBecomesBalancedTree) {
+  const auto chain = E::sum({1.0, 2.0, 3.0, 4.0});  // ((1+2)+3)+4
+  const auto r = ir::reassociate_sums(chain);
+  // Pairwise with mid = lo + (hi-lo)/2: (1+2) + (3+4).
+  EXPECT_EQ(r.to_string(), "((1 + 2) + (3 + 4))");
+}
+
+TEST(ReassociateSums, ChainOfThreeSplitsOneTwo) {
+  const auto chain = E::sum({1.0, 2.0, 3.0});  // (1+2)+3
+  const auto r = ir::reassociate_sums(chain);
+  // mid = 0 + 3/2 = 1: 1 + (2+3).
+  EXPECT_EQ(r.to_string(), "(1 + (2 + 3))");
+}
+
+TEST(ReassociateSums, PlainTwoAddendAddIsUntouched) {
+  const auto e = E::add(E::constant(1.0), E::constant(2.0));
+  EXPECT_TRUE(ir::reassociate_sums(e) == e);
+}
+
+TEST(PipelineRewrite, ReassociationTakesPrecedenceAtChainHead) {
+  // a*b + c + d is a 3-addend chain whose first addend is a mul. With
+  // both passes on, the chain head reassociates and NO fma appears at the
+  // synthesized adds — the precedence the divergence demos pin down.
+  const auto chain =
+      E::add(E::add(E::mul(E::variable("a", 0), E::variable("b", 1)),
+                    E::variable("c", 2)),
+             E::variable("d", 3));
+  const auto r = ir::pipeline_rewrite(chain, /*contract=*/true,
+                                      /*reassociate=*/true);
+  EXPECT_EQ(r.to_string(), "((a * b) + (c + d))")
+      << "pairwise over 3 addends, multiply left un-fused";
+  // With only contraction on, the very same tree DOES fuse.
+  const auto c = ir::pipeline_rewrite(chain, true, false);
+  EXPECT_EQ(c.node().children[0].node().kind, K::kFma);
+}
+
+TEST(PipelineRewrite, TwoAddendChainStillContractsUnderBothFlags) {
+  const auto e = E::add(E::mul(E::variable("a", 0), E::variable("b", 1)),
+                        E::variable("c", 2));
+  const auto r = ir::pipeline_rewrite(e, true, true);
+  EXPECT_EQ(r.node().kind, K::kFma)
+      << "a 2-addend chain falls through to contraction";
+}
+
+TEST(PipelineRewrite, NoFlagsIsIdentity) {
+  const auto e = E::sum({1.0, 2.0, 3.0, 4.0});
+  EXPECT_TRUE(ir::pipeline_rewrite(e, false, false) == e);
+}
+
+// -- Semantics: rewrites change bits exactly when the quiz says so ------
+
+ir::Outcome run(const E& e, bool contract, bool reassociate) {
+  ir::EvalConfig cfg;
+  cfg.contract_mul_add = contract;
+  cfg.reassociate = reassociate;
+  return ir::evaluate(e, cfg);
+}
+
+TEST(RewriteSemantics, ContractionChangesContractionSensitiveDemo) {
+  // The optimization quiz's "-O3 may contract to MADD" ground truth:
+  // x*x - x_squared_rounded is 0 strictly, nonzero contracted.
+  const auto e = opt::demo_contraction_sensitive();
+  const auto strict = run(e, false, false);
+  const auto fused = run(e, true, false);
+  EXPECT_NE(strict.value.bits, fused.value.bits);
+  EXPECT_EQ(sf::to_native(strict.value), 0.0);
+}
+
+TEST(RewriteSemantics, ContractionPreservesExactArithmetic) {
+  // 2*3 + 4 is exact either way: fusing must NOT change the answer —
+  // contraction is only observable through the eliminated rounding.
+  const auto e = E::add(E::mul(E::constant(2.0), E::constant(3.0)),
+                        E::constant(4.0));
+  EXPECT_EQ(run(e, false, false).value.bits, run(e, true, false).value.bits);
+}
+
+TEST(RewriteSemantics, ReassociationChangesAbsorptionChain) {
+  // 1 + u + u + u with u = 2^-53 (half an ulp of 1): left-to-right, every
+  // u is absorbed by ties-to-even and the sum stays exactly 1; pairwise,
+  // u + u = 2^-52 is a whole ulp and survives — the "-ffast-math may
+  // change results" truth as a two-answer experiment.
+  const auto e = E::sum({1.0, 0x1.0p-53, 0x1.0p-53, 0x1.0p-53});
+  const auto strict = run(e, false, false);
+  const auto fast = run(e, false, true);
+  EXPECT_EQ(sf::to_native(strict.value), 1.0);
+  EXPECT_EQ(sf::to_native(fast.value), 1.0 + 0x1.0p-52);
+  EXPECT_NE(strict.value.bits, fast.value.bits);
+}
+
+TEST(RewriteSemantics, ReassociationPreservesExactChains) {
+  const auto e = E::sum({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(run(e, false, false).value.bits,
+            run(e, false, true).value.bits);
+}
+
+TEST(RewriteSemantics, OptimizedTreeIsWhatThePipelineEvaluates) {
+  // Evaluating the REWRITTEN tree under a strict config gives the same
+  // bits as evaluating the original under the optimized config: the
+  // rewrite pass IS the optimization.
+  const auto e = opt::demo_contraction_sensitive();
+  const auto direct = run(e, true, false);
+  const auto rewritten = run(ir::pipeline_rewrite(e, true, false),
+                             false, false);
+  EXPECT_EQ(direct.value.bits, rewritten.value.bits);
+  EXPECT_EQ(direct.flags, rewritten.flags);
+}
+
+TEST(RewriteSemantics, FlushSensitiveDemoDivergesUnderFtz) {
+  const auto d = opt::diverge(opt::demo_flush_sensitive(),
+                              opt::PipelineConfig::fast_math_like());
+  EXPECT_TRUE(d.value_differs || d.flags_differ);
+}
+
+}  // namespace
