@@ -1,0 +1,55 @@
+// The detector gauntlet (§V's monitoring question turned adversarial):
+// every workloads kernel runs under every fault class of fpq::inject and
+// every detector fpqual ships is scored on whether it noticed. Prints the
+// detection-coverage matrix, the probe contract table and the list of
+// faults nobody caught.
+//
+//   bench_fault_coverage [--seed N] [--trials N] [--threads N]
+//
+// Exits nonzero if any fault class is all-miss (a detector blind spot the
+// suite promises not to have) or a probe breaks its exception contract.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "inject/gauntlet.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace inj = fpq::inject;
+
+int main(int argc, char** argv) {
+  inj::GauntletConfig config;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--seed") == 0 && value) {
+      config.seed = std::strtoull(value, nullptr, 0);
+      ++i;
+    } else if (std::strcmp(arg, "--trials") == 0 && value) {
+      config.trials = std::strtoull(value, nullptr, 0);
+      ++i;
+    } else if (std::strcmp(arg, "--threads") == 0 && value) {
+      threads = std::strtoull(value, nullptr, 0);
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--trials N] [--threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  fpq::parallel::ThreadPool pool(threads);
+  const inj::GauntletResult result = inj::run_gauntlet(pool, config);
+  std::fputs(inj::render(result).c_str(), stdout);
+
+  bool ok = true;
+  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+    ok = ok && result.class_covered(static_cast<inj::FaultClass>(c));
+  }
+  for (const auto& row : result.contracts) ok = ok && row.holds;
+  return ok ? 0 : 1;
+}

@@ -108,4 +108,20 @@ ConditionSet monitor_region(Fn&& fn) {
   return monitor.stop();
 }
 
+/// Exception-safe variant: runs `fn` under a fresh monitor and writes the
+/// harvested conditions into `out` EVEN WHEN `fn` throws — the harvest
+/// (and the fenv/MXCSR restoration ScopedMonitor always performs) happens
+/// during unwinding, before the exception escapes this frame. The caller
+/// keeps the observation of everything the scope raised up to the throw.
+template <typename Fn>
+void monitor_region(Fn&& fn, ConditionSet& out) {
+  struct Harvest {
+    explicit Harvest(ConditionSet* o) noexcept : out(o) {}
+    ~Harvest() { *out = monitor.stop(); }
+    ScopedMonitor monitor;
+    ConditionSet* out;
+  } harvest(&out);
+  fn();
+}
+
 }  // namespace fpq::mon

@@ -8,6 +8,7 @@
 //   fpq::quiz        — the canonical quiz harness with executable keys
 //   fpq::mon         — runtime FP exception monitor (the §V tool)
 //   fpq::opt         — optimization/hardware semantics probes & emulation
+//   fpq::inject      — deterministic fault injection + detector gauntlet
 //   fpq::parallel    — deterministic sharded execution + result caches
 //   fpq::stats       — deterministic statistics substrate
 //   fpq::survey      — survey data model and analysis pipeline
@@ -31,6 +32,7 @@
 #include "interval/interval.hpp"     // IWYU pragma: export
 #include "fpmon/monitor.hpp"         // IWYU pragma: export
 #include "fpmon/report.hpp"          // IWYU pragma: export
+#include "inject/inject.hpp"         // IWYU pragma: export
 #include "ir/ir.hpp"                 // IWYU pragma: export
 #include "optprobe/emulated_pipeline.hpp"  // IWYU pragma: export
 #include "optprobe/flag_audit.hpp"   // IWYU pragma: export

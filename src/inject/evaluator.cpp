@@ -1,0 +1,236 @@
+#include "inject/evaluator.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "softfloat/ops.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::inject {
+
+namespace {
+
+bool bits_equal(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool is_subnormal(double x) noexcept {
+  return x != 0.0 && std::fpclassify(x) == FP_SUBNORMAL;
+}
+
+double flip_mantissa_bit(double x, unsigned bit) noexcept {
+  // Only finite nonzero values flip: NaN payload and infinity bit
+  // tampering would change nothing observable (or denormalize an inf
+  // into a different exceptional shape than the model promises).
+  if (!std::isfinite(x) || x == 0.0) return x;
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
+                               (std::uint64_t{1} << bit));
+}
+
+}  // namespace
+
+InjectingEvaluator::InjectingEvaluator(ir::Evaluator<double>& inner,
+                                       Injector& injector)
+    : inner_(inner),
+      flags_(dynamic_cast<ir::FlagControl*>(&inner)),
+      injector_(&injector) {}
+
+double InjectingEvaluator::constant(const ir::Expr& e) {
+  return inner_.constant(e);
+}
+
+double InjectingEvaluator::variable(const ir::Expr& e, double bound) {
+  return inner_.variable(e, bound);
+}
+
+double InjectingEvaluator::neg(const ir::Expr& e, const double& a) {
+  // Not an injection site (sign flips raise nothing and round nothing),
+  // but sticky flag swallowing still applies.
+  const double r = inner_.neg(e, a);
+  swallow_flags();
+  return r;
+}
+
+double InjectingEvaluator::add(const ir::Expr& e, const double& a,
+                               const double& b) {
+  return inject(Op::kAdd, e, a, b, 0.0);
+}
+double InjectingEvaluator::sub(const ir::Expr& e, const double& a,
+                               const double& b) {
+  return inject(Op::kSub, e, a, b, 0.0);
+}
+double InjectingEvaluator::mul(const ir::Expr& e, const double& a,
+                               const double& b) {
+  return inject(Op::kMul, e, a, b, 0.0);
+}
+double InjectingEvaluator::div(const ir::Expr& e, const double& a,
+                               const double& b) {
+  return inject(Op::kDiv, e, a, b, 0.0);
+}
+double InjectingEvaluator::sqrt(const ir::Expr& e, const double& a) {
+  return inject(Op::kSqrt, e, a, 0.0, 0.0);
+}
+double InjectingEvaluator::fma(const ir::Expr& e, const double& a,
+                               const double& b, const double& c) {
+  return inject(Op::kFma, e, a, b, c);
+}
+
+double InjectingEvaluator::cmp_eq(const ir::Expr& e, const double& a,
+                                  const double& b) {
+  const double r = inner_.cmp_eq(e, a, b);
+  swallow_flags();
+  return r;
+}
+double InjectingEvaluator::cmp_lt(const ir::Expr& e, const double& a,
+                                  const double& b) {
+  const double r = inner_.cmp_lt(e, a, b);
+  swallow_flags();
+  return r;
+}
+
+double InjectingEvaluator::forward(Op op, const ir::Expr& e, double a,
+                                   double b, double c) {
+  switch (op) {
+    case Op::kAdd:
+      return inner_.add(e, a, b);
+    case Op::kSub:
+      return inner_.sub(e, a, b);
+    case Op::kMul:
+      return inner_.mul(e, a, b);
+    case Op::kDiv:
+      return inner_.div(e, a, b);
+    case Op::kSqrt:
+      return inner_.sqrt(e, a);
+    case Op::kFma:
+      return inner_.fma(e, a, b, c);
+  }
+  return 0.0;
+}
+
+double InjectingEvaluator::inject(Op op, const ir::Expr& e, double a,
+                                  double b, double c) {
+  const std::optional<FaultPlan> plan = injector_->plan_next_op();
+
+  double ia = a, ib = b, ic = c;
+  bool pre_mutated = false;
+  if (plan) {
+    switch (plan->fault_class) {
+      case FaultClass::kPoison:
+        if (plan->poison_operand) {
+          pre_mutated = !bits_equal(ia, plan->poison_value);
+          ia = plan->poison_value;
+        }
+        break;
+      case FaultClass::kForceFtz:
+        // DAZ half: subnormal operands read as (signed) zero.
+        if (is_subnormal(ia)) {
+          ia = std::copysign(0.0, ia);
+          pre_mutated = true;
+        }
+        if (is_subnormal(ib)) {
+          ib = std::copysign(0.0, ib);
+          pre_mutated = true;
+        }
+        if (is_subnormal(ic)) {
+          ic = std::copysign(0.0, ic);
+          pre_mutated = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const double raw = forward(op, e, ia, ib, ic);
+  double r = raw;
+
+  if (plan) {
+    switch (plan->fault_class) {
+      case FaultClass::kPoison:
+        if (plan->poison_operand) {
+          injector_->note_applied(a, ia, pre_mutated);
+        } else {
+          r = plan->poison_value;
+          injector_->note_applied(raw, r, !bits_equal(raw, r));
+        }
+        break;
+      case FaultClass::kForceFtz:
+        // FTZ half: a subnormal result flushes to (signed) zero.
+        if (is_subnormal(r)) r = std::copysign(0.0, r);
+        injector_->note_applied(raw, r,
+                                pre_mutated || !bits_equal(raw, r));
+        break;
+      case FaultClass::kBitFlip:
+        r = flip_mantissa_bit(raw, plan->bit_index);
+        injector_->note_applied(raw, r, !bits_equal(raw, r));
+        break;
+      case FaultClass::kFlagSwallow:
+      case FaultClass::kRoundingPerturb:
+        // Sticky classes: arming recorded the site; effectiveness is
+        // reported by the sticky pass when something actually changes.
+        injector_->note_applied(raw, raw, false);
+        break;
+    }
+  }
+
+  return sticky_pass(op, ia, ib, ic, r, /*recomputable=*/!plan ||
+                         plan->fault_class == FaultClass::kRoundingPerturb);
+}
+
+double InjectingEvaluator::sticky_pass(Op op, double a, double b, double c,
+                                       double r, bool recomputable) {
+  if (const auto mode = injector_->perturb_rounding();
+      mode.has_value() && recomputable) {
+    // Recompute the operation in the perturbed rounding-direction
+    // attribute through the softfloat binary64 engine; value-level
+    // perturbation only — the inner evaluator's flag accounting for the
+    // nearest-even execution stands (the leaked-mode bug changes results
+    // long before it changes which flags are raised).
+    softfloat::Env env(*mode);
+    using softfloat::from_native;
+    using softfloat::to_native;
+    const softfloat::Float64 fa = from_native(a);
+    const softfloat::Float64 fb = from_native(b);
+    double perturbed = r;
+    switch (op) {
+      case Op::kAdd:
+        perturbed = to_native(softfloat::add(fa, fb, env));
+        break;
+      case Op::kSub:
+        perturbed = to_native(softfloat::sub(fa, fb, env));
+        break;
+      case Op::kMul:
+        perturbed = to_native(softfloat::mul(fa, fb, env));
+        break;
+      case Op::kDiv:
+        perturbed = to_native(softfloat::div(fa, fb, env));
+        break;
+      case Op::kSqrt:
+        perturbed = to_native(softfloat::sqrt(fa, env));
+        break;
+      case Op::kFma:
+        perturbed =
+            to_native(softfloat::fma(fa, fb, from_native(c), env));
+        break;
+    }
+    if (!bits_equal(perturbed, r)) {
+      injector_->note_perturbed();
+      r = perturbed;
+    }
+  }
+
+  swallow_flags();
+  return r;
+}
+
+void InjectingEvaluator::swallow_flags() {
+  const unsigned mask = injector_->swallow_mask();
+  if (mask == 0 || flags_ == nullptr) return;
+  const unsigned sticky = flags_->sticky_flags();
+  if ((sticky & mask) == 0) return;
+  flags_->override_sticky_flags(sticky & ~mask);
+  injector_->note_swallowed(sticky & mask);
+}
+
+}  // namespace fpq::inject

@@ -1,0 +1,66 @@
+// fpq::inject — the fault-injecting evaluator decorator.
+//
+// InjectingEvaluator wraps any ir::Evaluator<double> working in binary64
+// and applies an Injector's campaign to its operation stream: operands
+// are mutated before the inner evaluator sees them, results after it
+// produced them, and — when the inner evaluator exposes ir::FlagControl —
+// sticky exception flags are tampered with in place. The wrapped
+// evaluator cannot tell it is being lied to, which is exactly the threat
+// model: the detectors downstream get no hint either.
+//
+// Injectable operations are the value-producing arithmetic ops (add, sub,
+// mul, div, sqrt, fma). neg and the comparisons pass through un-mutated
+// (they still feel sticky flag swallowing); constants and variable reads
+// are not operations.
+//
+// Binary64 only: rounding-mode perturbation recomputes operations through
+// the softfloat binary64 engine, so wrapping a narrower-format evaluator
+// would perturb in the wrong format. The gauntlet always wraps
+// ir::SoftEvaluator<64>.
+#pragma once
+
+#include "inject/fault.hpp"
+#include "ir/evaluator.hpp"
+
+namespace fpq::inject {
+
+class InjectingEvaluator final : public ir::Evaluator<double> {
+ public:
+  /// `inner` must outlive this evaluator and evaluate in binary64.
+  /// Flag-swallow faults require the inner evaluator to implement
+  /// ir::FlagControl (discovered via dynamic_cast); without it they are
+  /// inert and the campaign degrades to control trials.
+  InjectingEvaluator(ir::Evaluator<double>& inner, Injector& injector);
+
+  double constant(const ir::Expr& e) override;
+  double variable(const ir::Expr& e, double bound) override;
+  double neg(const ir::Expr& e, const double& a) override;
+  double add(const ir::Expr& e, const double& a, const double& b) override;
+  double sub(const ir::Expr& e, const double& a, const double& b) override;
+  double mul(const ir::Expr& e, const double& a, const double& b) override;
+  double div(const ir::Expr& e, const double& a, const double& b) override;
+  double sqrt(const ir::Expr& e, const double& a) override;
+  double fma(const ir::Expr& e, const double& a, const double& b,
+             const double& c) override;
+  double cmp_eq(const ir::Expr& e, const double& a,
+                const double& b) override;
+  double cmp_lt(const ir::Expr& e, const double& a,
+                const double& b) override;
+
+ private:
+  enum class Op { kAdd, kSub, kMul, kDiv, kSqrt, kFma };
+
+  double inject(Op op, const ir::Expr& e, double a, double b, double c);
+  double forward(Op op, const ir::Expr& e, double a, double b, double c);
+  /// Applies the sticky classes (rounding recompute, flag swallowing)
+  /// that act on EVERY operation once armed.
+  double sticky_pass(Op op, double a, double b, double c, double r,
+                     bool recomputable);
+  void swallow_flags();
+
+  ir::Evaluator<double>& inner_;
+  ir::FlagControl* flags_;  // null when inner has no flag control
+  Injector* injector_;
+};
+
+}  // namespace fpq::inject

@@ -1,0 +1,155 @@
+// fpq::inject — deterministic, seeded numerical fault injection.
+//
+// The paper's §V argues developers cannot be trusted to notice
+// exceptional FP behavior; fpqual's detectors (fpmon, shadow execution,
+// interval enclosures) exist for that reason — but a detector is only
+// evidence if it has been shown to CATCH faults it never saw coming.
+// This module supplies the faults: FlowFPX-style exception coverage
+// testing, where NaN/Inf poisoning, flag swallowing, forced FTZ,
+// rounding-mode perturbation, and mantissa bit flips are injected into
+// real kernel executions at PRNG-chosen sites.
+//
+// Everything is reproducible by construction. A campaign is fully
+// described by (seed, CampaignConfig): each potential fault site —
+// operation `op` of kernel call `call` — gets its own PRNG seeded from a
+// splitmix64 mix of (seed, call, op), so whether a site arms and which
+// variant it draws is a pure function of the campaign identity, never of
+// thread count, chunk shape, or execution history. The one exception is
+// the max_faults cap, which is consumed in (call, op) order — also
+// deterministic, because a single Injector serves one sequential kernel
+// run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "softfloat/env.hpp"
+
+namespace fpq::inject {
+
+/// The five fault classes the coverage matrix is over.
+enum class FaultClass {
+  /// Replace an operand or a result with NaN or ±infinity.
+  kPoison = 0,
+  /// Silently eat exception flags: from the armed site onward the
+  /// evaluator's sticky flags are cleared after every operation (models
+  /// library code that calls feclearexcept and hides what happened).
+  kFlagSwallow = 1,
+  /// Force FTZ/DAZ on individual operations: subnormal operands read as
+  /// zero, subnormal results flush to zero.
+  kForceFtz = 2,
+  /// Perturb the rounding mode: from the armed site onward every
+  /// operation's RESULT is recomputed in a different rounding-direction
+  /// attribute (models fesetround left set — the classic leak).
+  kRoundingPerturb = 3,
+  /// XOR one low-order mantissa bit of a result (bits 8..15, so the
+  /// relative perturbation is ~1e-14..1e-12: silent data corruption well
+  /// below eyeball visibility).
+  kBitFlip = 4,
+};
+
+inline constexpr std::size_t kFaultClassCount = 5;
+
+/// "poison", "flag-swallow", "force-ftz", "rounding-perturb", "bit-flip".
+std::string fault_class_name(FaultClass c);
+
+/// One injection campaign over one kernel run.
+struct CampaignConfig {
+  std::uint64_t seed = 0;
+  FaultClass fault_class = FaultClass::kPoison;
+  /// Per-operation arming probability.
+  double rate = 0.01;
+  /// Cap on armed sites per run; 0 = unbounded. Persistent classes
+  /// (kFlagSwallow, kRoundingPerturb) arm at most once regardless.
+  std::size_t max_faults = 1;
+};
+
+/// A fault that armed at operation `op` of kernel call `call`.
+struct FaultSite {
+  std::uint64_t call = 0;
+  std::uint64_t op = 0;
+  FaultClass fault_class = FaultClass::kPoison;
+  /// Whether the fault actually changed a value or ate a flag. An armed
+  /// site can be inert (FTZ on a normal result, a bit flip on an
+  /// infinity); inert-only runs are the campaign's control trials.
+  bool effective = false;
+  double original = 0.0;  ///< value before mutation (mutating classes)
+  double injected = 0.0;  ///< value after mutation
+};
+
+/// Order-independent content hash of a site list (bit-exact over the
+/// doubles, so NaN payloads count). Two campaigns are "the same" iff
+/// their fingerprints match — the reproducibility tests' currency.
+std::uint64_t sites_fingerprint(std::span<const FaultSite> sites) noexcept;
+
+/// What an armed site does, as drawn from its site PRNG.
+struct FaultPlan {
+  FaultClass fault_class = FaultClass::kPoison;
+  double poison_value = 0.0;      ///< NaN, +inf or -inf
+  bool poison_operand = false;    ///< mutate operand a instead of result
+  unsigned bit_index = 8;         ///< mantissa bit to flip (8..15)
+};
+
+/// Per-run fault state machine. One Injector serves one sequential kernel
+/// run (one trial): the evaluator asks it for a plan before every
+/// injectable operation and reports back what actually changed. Not
+/// thread-safe; campaigns parallelize by giving every trial its own
+/// Injector.
+class Injector {
+ public:
+  explicit Injector(const CampaignConfig& config);
+
+  const CampaignConfig& config() const noexcept { return config_; }
+
+  /// Marks the start of the next kernel call; resets the op counter.
+  /// Must be called before the first operation of every call.
+  void begin_call() noexcept;
+
+  /// Arming decision for the next operation of the current call;
+  /// advances the op counter. Returns the plan when the site armed.
+  std::optional<FaultPlan> plan_next_op();
+
+  /// Reports what the LAST armed plan did to its operation.
+  void note_applied(double original, double injected, bool effective);
+
+  /// Sticky swallow mask: softfloat flag bits to erase after every
+  /// operation (0 until a kFlagSwallow site arms; then all flags).
+  unsigned swallow_mask() const noexcept { return swallow_mask_; }
+  /// Reports flag bits the evaluator actually erased.
+  void note_swallowed(unsigned bits) noexcept;
+
+  /// Sticky perturbed rounding mode (empty until a kRoundingPerturb site
+  /// arms).
+  std::optional<softfloat::Rounding> perturb_rounding() const noexcept {
+    return perturb_;
+  }
+  /// Reports that a recomputation under the perturbed mode changed a
+  /// result.
+  void note_perturbed() noexcept;
+
+  /// Every site that armed, in (call, op) order.
+  const std::vector<FaultSite>& sites() const noexcept { return sites_; }
+  std::size_t effective_count() const noexcept;
+  /// Union of flag bits erased by swallow faults over the whole run.
+  unsigned swallowed_flags() const noexcept { return swallowed_; }
+
+ private:
+  CampaignConfig config_;
+  // call_ is one-past: 0 means begin_call has not run yet; the first call
+  // is index 0.
+  std::uint64_t call_ = 0;
+  std::uint64_t op_ = 0;
+  unsigned swallow_mask_ = 0;
+  unsigned swallowed_ = 0;
+  std::optional<softfloat::Rounding> perturb_;
+  std::vector<FaultSite> sites_;
+  // Index into sites_ of the site a sticky class armed at, so later
+  // note_swallowed/note_perturbed calls can mark it effective.
+  std::size_t sticky_site_ = 0;
+};
+
+}  // namespace fpq::inject

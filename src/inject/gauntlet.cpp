@@ -1,0 +1,363 @@
+#include "inject/gauntlet.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "analyze/shadow.hpp"
+#include "inject/evaluator.hpp"
+#include "interval/interval.hpp"
+#include "ir/evaluators.hpp"
+#include "report/table.hpp"
+#include "stats/prng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fpq::inject {
+
+std::string detector_name(Detector d) {
+  switch (d) {
+    case Detector::kFpmon:
+      return "fpmon";
+    case Detector::kShadow:
+      return "shadow";
+    case Detector::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+bool GauntletResult::class_covered(FaultClass c) const noexcept {
+  const auto& row = cells[static_cast<std::size_t>(c)];
+  for (const CellStats& cell : row) {
+    if (cell.hits > 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  std::uint64_t s = h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+  return stats::splitmix64_next(s);
+}
+
+/// Per-class campaign shape: single-shot corruptions arm rarely (one
+/// fault per run); FTZ arms densely because it only bites on subnormal
+/// traffic; the sticky classes arm once early and persist.
+CampaignConfig campaign_for(FaultClass cls, std::uint64_t cell_seed) {
+  CampaignConfig cc;
+  cc.seed = cell_seed;
+  cc.fault_class = cls;
+  switch (cls) {
+    case FaultClass::kPoison:
+      cc.rate = 0.02;
+      cc.max_faults = 1;
+      break;
+    case FaultClass::kFlagSwallow:
+      cc.rate = 0.05;
+      cc.max_faults = 1;
+      break;
+    case FaultClass::kForceFtz:
+      cc.rate = 0.5;
+      cc.max_faults = 0;
+      break;
+    case FaultClass::kRoundingPerturb:
+      cc.rate = 0.05;
+      cc.max_faults = 1;
+      break;
+    case FaultClass::kBitFlip:
+      cc.rate = 0.02;
+      cc.max_faults = 1;
+      break;
+  }
+  return cc;
+}
+
+struct CallRecord {
+  ir::Expr expr;
+  std::vector<double> bindings;
+  double result = 0.0;
+};
+
+/// Runs a kernel on the softfloat engine (optionally through the
+/// injector), recording every call for the per-call detectors and
+/// accumulating the run-level sticky condition union the fpmon detector
+/// compares.
+class RecordingContext final : public workloads::EvalContext {
+ public:
+  explicit RecordingContext(Injector* injector) : injector_(injector) {}
+
+  double call(const ir::Expr& expr,
+              std::span<const double> bindings) override {
+    ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
+    double r;
+    if (injector_ != nullptr) {
+      injector_->begin_call();
+      InjectingEvaluator inj(soft, *injector_);
+      r = ir::evaluate_tree<double>(expr, inj, bindings);
+    } else {
+      r = ir::evaluate_tree<double>(expr, soft, bindings);
+    }
+    observed_.merge(mon::ConditionSet::from_softfloat_flags(soft.flags()));
+    records_.push_back(
+        {expr, std::vector<double>(bindings.begin(), bindings.end()), r});
+    return r;
+  }
+
+  const mon::ConditionSet& observed() const noexcept { return observed_; }
+  const std::vector<CallRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  Injector* injector_;
+  mon::ConditionSet observed_;
+  std::vector<CallRecord> records_;
+};
+
+/// Per-call detector verdicts for one whole run.
+struct RunSignals {
+  mon::ConditionSet observed;
+  std::vector<bool> shadow_fired;
+  std::vector<bool> interval_fired;
+};
+
+RunSignals signals_for(const RecordingContext& run,
+                       const GauntletConfig& cfg) {
+  RunSignals out;
+  out.observed = run.observed();
+  out.shadow_fired.reserve(run.records().size());
+  out.interval_fired.reserve(run.records().size());
+
+  shadow::Config scfg;
+  scfg.precision = cfg.shadow_precision;
+
+  for (const CallRecord& rec : run.records()) {
+    const shadow::Report rep = shadow::analyze(rec.expr, scfg, rec.bindings);
+    bool sfired = false;
+    if (!std::isfinite(rec.result)) {
+      // Exceptional primary, unexceptional shadow: the fault (or the
+      // format) manufactured it.
+      sfired = !rep.shadow_is_exceptional;
+    } else if (!rep.shadow_is_exceptional) {
+      const double denom = std::max(std::fabs(rep.shadow_result),
+                                    std::numeric_limits<double>::min());
+      sfired = std::fabs(rec.result - rep.shadow_result) / denom >
+               cfg.shadow_relative_error;
+    }
+    out.shadow_fired.push_back(sfired);
+
+    const interval::Interval iv =
+        interval::evaluate(rec.expr, rec.bindings);
+    // An invalid enclosure means the mathematics itself went exceptional
+    // on these inputs; the clean baseline sees the same and the per-call
+    // comparison nets it out.
+    const bool ifired =
+        !iv.is_invalid() && (!iv.contains(rec.result) ||
+                             iv.relative_width() > cfg.interval_wide);
+    out.interval_fired.push_back(ifired);
+  }
+  return out;
+}
+
+/// True when the injected run fired on some call the clean run did not.
+bool fired_beyond(const std::vector<bool>& injected,
+                  const std::vector<bool>& clean) {
+  const std::size_t common = std::min(injected.size(), clean.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (injected[i] && !clean[i]) return true;
+  }
+  for (std::size_t i = common; i < injected.size(); ++i) {
+    if (injected[i]) return true;
+  }
+  return false;
+}
+
+struct TrialOut {
+  bool armed = false;
+  bool effective = false;
+  std::size_t sites = 0;
+  std::size_t effective_sites = 0;
+  std::array<bool, kDetectorCount> fired{};
+  std::uint64_t sites_fp = 0;
+};
+
+}  // namespace
+
+GauntletResult run_gauntlet(parallel::ThreadPool& pool,
+                            const GauntletConfig& config) {
+  GauntletResult result;
+  result.config = config;
+
+  const std::span<const workloads::Workload> cat = workloads::catalogue();
+  const std::size_t n_workloads = cat.size();
+  const std::size_t per_workload = kFaultClassCount * config.trials;
+
+  // Phase 1: clean baselines, one shard per workload. Also verifies the
+  // probe contracts — a probe that broke its contract would poison every
+  // comparison below.
+  std::vector<RunSignals> baselines(n_workloads);
+  pool.run_shards(n_workloads, [&](std::size_t w) {
+    RecordingContext ctx(nullptr);
+    cat[w].probe(ctx);
+    baselines[w] = signals_for(ctx, config);
+  });
+  for (std::size_t w = 0; w < n_workloads; ++w) {
+    result.contracts.push_back(
+        {cat[w].name, baselines[w].observed,
+         workloads::contract_holds(cat[w], baselines[w].observed)});
+  }
+
+  // Phase 2: one shard per (workload, fault class, trial). Each trial
+  // owns its Injector and writes only its slot.
+  const std::size_t total = n_workloads * per_workload;
+  std::vector<TrialOut> trials(total);
+  pool.run_shards(total, [&](std::size_t idx) {
+    const std::size_t w = idx / per_workload;
+    const std::size_t rest = idx % per_workload;
+    const std::size_t cls_index = rest / config.trials;
+    const std::size_t trial = rest % config.trials;
+    const FaultClass cls = static_cast<FaultClass>(cls_index);
+
+    const std::uint64_t cell_seed =
+        mix(mix(mix(config.seed, w), cls_index), trial);
+    Injector injector(campaign_for(cls, cell_seed));
+    RecordingContext ctx(&injector);
+    cat[w].probe(ctx);
+    const RunSignals sig = signals_for(ctx, config);
+
+    TrialOut& t = trials[idx];
+    t.armed = !injector.sites().empty();
+    t.sites = injector.sites().size();
+    t.effective_sites = injector.effective_count();
+    t.effective = t.effective_sites > 0;
+    t.sites_fp = sites_fingerprint(injector.sites());
+    t.fired[static_cast<std::size_t>(Detector::kFpmon)] =
+        !(sig.observed == baselines[w].observed);
+    t.fired[static_cast<std::size_t>(Detector::kShadow)] =
+        fired_beyond(sig.shadow_fired, baselines[w].shadow_fired);
+    t.fired[static_cast<std::size_t>(Detector::kInterval)] =
+        fired_beyond(sig.interval_fired, baselines[w].interval_fired);
+  });
+
+  // Fixed-order aggregation: the matrix, the undetected list and the
+  // fingerprint are pure functions of the slot vector.
+  std::uint64_t fp = mix(config.seed, total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    const TrialOut& t = trials[idx];
+    const std::size_t w = idx / per_workload;
+    const std::size_t rest = idx % per_workload;
+    const std::size_t cls_index = rest / config.trials;
+    const std::size_t trial = rest % config.trials;
+
+    result.total_trials += 1;
+    result.total_sites += t.sites;
+    result.total_effective += t.effective_sites;
+
+    bool any_fired = false;
+    for (std::size_t d = 0; d < kDetectorCount; ++d) {
+      CellStats& cell = result.cells[cls_index][d];
+      cell.trials += 1;
+      if (t.effective) {
+        if (t.fired[d]) {
+          cell.hits += 1;
+          any_fired = true;
+        } else {
+          cell.misses += 1;
+        }
+      } else {
+        cell.controls += 1;
+        if (t.fired[d]) cell.false_positives += 1;
+      }
+    }
+    if (t.effective && !any_fired) {
+      result.undetected.push_back({cat[w].name,
+                                   static_cast<FaultClass>(cls_index),
+                                   trial, t.effective_sites});
+    }
+
+    fp = mix(fp, t.sites_fp);
+    fp = mix(fp, (t.effective ? 1u : 0u) | (t.armed ? 2u : 0u) |
+                     (t.fired[0] ? 4u : 0u) | (t.fired[1] ? 8u : 0u) |
+                     (t.fired[2] ? 16u : 0u));
+  }
+  for (const auto& row : result.cells) {
+    for (const CellStats& cell : row) {
+      fp = mix(fp, cell.hits);
+      fp = mix(fp, cell.misses);
+      fp = mix(fp, cell.false_positives);
+      fp = mix(fp, cell.controls);
+    }
+  }
+  result.fingerprint = fp;
+  return result;
+}
+
+std::string render(const GauntletResult& result) {
+  std::string out;
+
+  report::Table matrix({"fault class", "fpmon", "shadow", "interval",
+                        "effective", "controls"});
+  for (std::size_t c = 0; c < kFaultClassCount; ++c) {
+    const auto cls = static_cast<FaultClass>(c);
+    std::vector<std::string> row;
+    row.push_back(fault_class_name(cls) +
+                  (result.class_covered(cls) ? "" : "  [UNCOVERED]"));
+    std::size_t effective = 0, controls = 0;
+    for (std::size_t d = 0; d < kDetectorCount; ++d) {
+      const CellStats& cell = result.cells[c][d];
+      std::string text = report::Table::fmt(cell.hits) + "/" +
+                         report::Table::fmt(cell.misses);
+      if (cell.false_positives > 0) {
+        text += " fp:" + report::Table::fmt(cell.false_positives);
+      }
+      row.push_back(text);
+      effective = cell.hits + cell.misses;
+      controls = cell.controls;
+    }
+    row.push_back(report::Table::fmt(effective));
+    row.push_back(report::Table::fmt(controls));
+    matrix.add_row(std::move(row));
+  }
+  out += report::section(
+      "Detection coverage (hits/misses per detector, " +
+          report::Table::fmt(result.config.trials) +
+          " trials per workload x class, seed " +
+          report::Table::fmt(static_cast<std::size_t>(result.config.seed)) +
+          ")",
+      matrix.render());
+
+  report::Table contracts({"workload probe", "observed", "contract"});
+  for (const ContractRow& row : result.contracts) {
+    contracts.add_row({row.workload, row.observed.to_string(),
+                       row.holds ? "holds" : "VIOLATED"});
+  }
+  out += report::section("Clean probe contracts", contracts.render());
+
+  std::string misses;
+  if (result.undetected.empty()) {
+    misses = "(none — every effective fault was caught by at least one "
+             "detector)\n";
+  } else {
+    for (const MissRecord& m : result.undetected) {
+      misses += "  " + m.workload + " / " +
+                fault_class_name(m.fault_class) + " trial " +
+                report::Table::fmt(m.trial) + " (" +
+                report::Table::fmt(m.effective_sites) +
+                " effective site(s))\n";
+    }
+  }
+  out += report::section("Undetected effective faults", misses);
+
+  out += "total trials: " + report::Table::fmt(result.total_trials) +
+         ", armed sites: " + report::Table::fmt(result.total_sites) +
+         ", effective: " + report::Table::fmt(result.total_effective) +
+         ", fingerprint: " +
+         report::Table::fmt(static_cast<std::size_t>(result.fingerprint)) +
+         "\n";
+  return out;
+}
+
+}  // namespace fpq::inject

@@ -1,0 +1,121 @@
+// fpq::inject — the detector gauntlet.
+//
+// Runs every workloads kernel probe under every fault class and scores
+// every detector fpqual ships:
+//
+//   * fpmon     — the sticky ConditionSet the monitored run reports,
+//                 compared against the clean run's set (either direction:
+//                 new conditions OR swallowed ones),
+//   * shadow    — per-call high-precision re-execution; fires when the
+//                 primary result drifts from the shadow result beyond a
+//                 threshold, or is exceptional when the shadow is not,
+//   * interval  — per-call guaranteed enclosure; fires when the primary
+//                 result escapes the enclosure or the enclosure blows up.
+//
+// Shadow and interval signals are evaluated per call against the SAME
+// call of the clean baseline run, so a workload's inherent anomalies (the
+// broken variants exist to have them) never count as detections — only
+// firing the clean run did not fire counts. Trials whose campaign armed
+// no effective fault are control trials; a detector firing on one is a
+// false positive.
+//
+// Everything is a pure function of (GauntletConfig, workload catalogue):
+// per-trial campaign seeds are splitmix64-derived from (seed, workload,
+// class, trial), trials run as independent shards writing their own
+// slots, and aggregation walks the slots in fixed order — so the coverage
+// matrix and the full fault-site fingerprint are bit-identical at every
+// thread count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpmon/monitor.hpp"
+#include "inject/fault.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace fpq::inject {
+
+enum class Detector { kFpmon = 0, kShadow = 1, kInterval = 2 };
+inline constexpr std::size_t kDetectorCount = 3;
+
+/// "fpmon", "shadow", "interval".
+std::string detector_name(Detector d);
+
+struct GauntletConfig {
+  std::uint64_t seed = 0x1DFA;
+  /// Trials per (workload, fault class) cell.
+  std::size_t trials = 6;
+  /// Shadow detector: fire when |primary - shadow| / |shadow| exceeds
+  /// this. Shadow re-seeds from the recorded bindings each call, so only
+  /// within-call drift is visible: a sticky perturbed rounding mode biases
+  /// every op the same way (≈ ops · ½ulp ≈ 5e-16 for a ~10-op call) while
+  /// clean nearest-even error random-walks (≲ √ops · ½ulp ≈ 1.7e-16), and
+  /// the threshold sits between the two.
+  double shadow_relative_error = 4e-16;
+  /// Shadow significand bits.
+  unsigned shadow_precision = 192;
+  /// Interval detector: fire when the enclosure's relative width exceeds
+  /// this (in addition to firing on enclosure escape).
+  double interval_wide = 1e-6;
+};
+
+/// One (fault class, detector) cell of the coverage matrix, aggregated
+/// over all workloads and trials.
+struct CellStats {
+  std::size_t trials = 0;           ///< all trials scored for this cell
+  std::size_t hits = 0;             ///< effective fault, detector fired
+  std::size_t misses = 0;           ///< effective fault, detector silent
+  std::size_t false_positives = 0;  ///< control trial, detector fired
+  std::size_t controls = 0;         ///< trials with no effective fault
+};
+
+/// An effective fault NO detector saw — the gauntlet's real product.
+struct MissRecord {
+  std::string workload;
+  FaultClass fault_class = FaultClass::kPoison;
+  std::size_t trial = 0;
+  std::size_t effective_sites = 0;
+};
+
+/// Clean-probe contract verification: the reduced-scale probe must honor
+/// the same exception contract as the full workload, or the baselines
+/// (and therefore the whole matrix) are meaningless.
+struct ContractRow {
+  std::string workload;
+  mon::ConditionSet observed;
+  bool holds = false;
+};
+
+struct GauntletResult {
+  GauntletConfig config;
+  /// cells[fault class][detector].
+  std::array<std::array<CellStats, kDetectorCount>, kFaultClassCount>
+      cells{};
+  /// Effective-fault trials missed by every detector, in deterministic
+  /// (workload, class, trial) order.
+  std::vector<MissRecord> undetected;
+  std::vector<ContractRow> contracts;
+  std::size_t total_trials = 0;
+  std::size_t total_sites = 0;      ///< armed fault sites across all trials
+  std::size_t total_effective = 0;  ///< effective fault sites
+  /// Content hash over every trial's fault-site list and every cell —
+  /// the bit-reproducibility witness.
+  std::uint64_t fingerprint = 0;
+
+  /// Whether any detector ever caught this fault class (row not all-miss).
+  bool class_covered(FaultClass c) const noexcept;
+};
+
+/// Runs the full campaign. Deterministic for a fixed config at any
+/// thread count.
+GauntletResult run_gauntlet(parallel::ThreadPool& pool,
+                            const GauntletConfig& config = {});
+
+/// Coverage matrix + contract table + undetected-fault list as text.
+std::string render(const GauntletResult& result);
+
+}  // namespace fpq::inject

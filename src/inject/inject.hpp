@@ -1,0 +1,8 @@
+// fpq::inject — umbrella header: deterministic fault injection and the
+// detector gauntlet. See docs/inject.md for the fault model and the
+// campaign-reproducibility contract.
+#pragma once
+
+#include "inject/evaluator.hpp"  // IWYU pragma: export
+#include "inject/fault.hpp"      // IWYU pragma: export
+#include "inject/gauntlet.hpp"   // IWYU pragma: export

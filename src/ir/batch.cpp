@@ -85,6 +85,15 @@ std::vector<Outcome> evaluate_many(parallel::ThreadPool& pool,
         }
 
         if (options.memoize) {
+          // Cache-consistency guard: a chunk is memoized ONLY after every
+          // one of its rows evaluated cleanly. A row that throws (hostile
+          // evaluator, resource failure) aborts the chunk body above this
+          // line, lands in the pool's ShardFailureReport, and the
+          // partially-built chunk is dropped — a faulted chunk must never
+          // become a cache hit for a later clean sweep. Fault-injection
+          // sweeps (fpq::inject) bypass memoization entirely for the same
+          // reason: their outcomes are functions of the campaign, not of
+          // (tree, config, bindings).
           parallel::BatchChunkResult result;
           result.outcomes.reserve(end - begin);
           for (std::size_t i = begin; i < end; ++i) {

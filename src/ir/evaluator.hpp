@@ -30,6 +30,22 @@ class TraceSink {
   virtual void on_op(const Expr& expr, double value, unsigned flags) = 0;
 };
 
+/// Optional evaluator capability: expose and overwrite the evaluator's
+/// sticky exception-flag state mid-evaluation. Softfloat-backed
+/// evaluators implement this; native-FPU evaluators deliberately do not
+/// (draining fenv mid-run would corrupt an enclosing fpmon monitor).
+/// Decorators that need to tamper with flags — fault injection's
+/// flag-swallowing class — discover it via dynamic_cast and degrade
+/// gracefully when absent.
+class FlagControl {
+ public:
+  virtual ~FlagControl() = default;
+  /// The sticky softfloat flag union accumulated so far.
+  virtual unsigned sticky_flags() const noexcept = 0;
+  /// Replaces the sticky union wholesale (clear + raise).
+  virtual void override_sticky_flags(unsigned flags) noexcept = 0;
+};
+
 template <typename V>
 class Evaluator {
  public:

@@ -53,7 +53,7 @@ struct Outcome {
 /// TraceSink sees each node's own contribution while the Env's sticky
 /// union stays identical to an uninstrumented run.
 template <int kBits>
-class SoftEvaluator final : public Evaluator<double> {
+class SoftEvaluator final : public Evaluator<double>, public FlagControl {
  public:
   explicit SoftEvaluator(const EvalConfig& config,
                          TraceSink* trace = nullptr)
@@ -64,6 +64,12 @@ class SoftEvaluator final : public Evaluator<double> {
 
   unsigned flags() const noexcept { return env_.flags(); }
   void clear_flags() noexcept { env_.clear_flags(); }
+
+  unsigned sticky_flags() const noexcept override { return env_.flags(); }
+  void override_sticky_flags(unsigned flags) noexcept override {
+    env_.clear_flags();
+    env_.raise(flags);
+  }
 
   double constant(const Expr& e) override {
     // Literal conversion into the format is quiet, as on real hardware.

@@ -1,14 +1,50 @@
 #include "parallel/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
+#include <utility>
 
 namespace fpq::parallel {
+
+std::string failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kException:
+      return "exception";
+    case FailureKind::kCancelled:
+      return "cancelled";
+    case FailureKind::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+std::size_t ShardFailureReport::count(FailureKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : failures) n += f.kind == kind ? 1 : 0;
+  return n;
+}
+
+std::string ShardFailureReport::to_string() const {
+  if (failures.empty()) return "no shard failures";
+  std::string out = std::to_string(failures.size()) + " shard(s) failed:";
+  for (const auto& f : failures) {
+    out += " #" + std::to_string(f.shard) + " (" +
+           failure_kind_name(f.kind);
+    if (!f.message.empty()) out += ": " + f.message;
+    if (f.attempts > 1) {
+      out += ", " + std::to_string(f.attempts) + " attempts";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+ShardFailuresError::ShardFailuresError(ShardFailureReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
 
 namespace {
 
@@ -32,38 +68,79 @@ struct Block {
 struct Job {
   std::vector<Block> blocks;
   std::size_t shard_count = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t, const CancelToken&)>* body = nullptr;
+  bool cancel_on_failure = false;
+
+  // Cancellation is the one cross-lane signal outside the mutex: lanes
+  // read it before every claim, the failure policy and the deadline
+  // watchdog write it.
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> deadline_expired{false};
 
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  std::size_t done = 0;  // guarded by done_mutex
-  std::exception_ptr first_exception;  // guarded by done_mutex
+  std::size_t done = 0;                  // guarded by done_mutex
+  std::vector<ShardFailure> failures;    // guarded by done_mutex
 
-  void run_lane(std::size_t lane) {
-    const std::size_t n = blocks.size();
-    // Own block first, then steal from the others in cyclic order.
-    for (std::size_t offset = 0; offset < n; ++offset) {
-      drain(blocks[(lane + offset) % n]);
-    }
-  }
+  void run_lane(std::size_t lane);
+  void drain(Block& block);
+};
 
-  void drain(Block& block) {
-    for (;;) {
-      const std::size_t i =
-          block.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= block.end) return;
-      std::exception_ptr error;
-      try {
-        (*body)(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::lock_guard<std::mutex> lock(done_mutex);
-      if (error && !first_exception) first_exception = error;
-      if (++done == shard_count) done_cv.notify_all();
-    }
+// Mints CancelTokens (their constructor is private so arbitrary code
+// cannot fabricate one pointing at a dead flag).
+struct JobAccess {
+  static CancelToken token_of(const Job& job) noexcept {
+    return CancelToken(&job.cancel);
   }
 };
+
+void Job::run_lane(std::size_t lane) {
+  const std::size_t n = blocks.size();
+  // Own block first, then steal from the others in cyclic order.
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    drain(blocks[(lane + offset) % n]);
+  }
+}
+
+void Job::drain(Block& block) {
+  const CancelToken token = JobAccess::token_of(*this);
+  for (;;) {
+    const std::size_t i = block.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= block.end) return;
+
+    ShardFailure failure;
+    bool failed = false;
+    if (cancel.load(std::memory_order_acquire)) {
+      // Honour cancellation at claim boundaries: the shard is consumed
+      // from the index space but its body never runs.
+      failed = true;
+      failure.shard = i;
+      failure.kind = deadline_expired.load(std::memory_order_acquire)
+                         ? FailureKind::kDeadline
+                         : FailureKind::kCancelled;
+      failure.attempts = 0;
+    } else {
+      try {
+        (*body)(i, token);
+      } catch (const std::exception& e) {
+        failed = true;
+        failure = {i, FailureKind::kException, e.what(), 1};
+      } catch (...) {
+        failed = true;
+        failure = {i, FailureKind::kException, "non-standard exception", 1};
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (failed) {
+      if (cancel_on_failure && failure.kind == FailureKind::kException) {
+        cancel.store(true, std::memory_order_release);
+      }
+      failures.push_back(std::move(failure));
+    }
+    if (++done == shard_count) done_cv.notify_all();
+  }
+}
 
 struct ThreadPool::Impl {
   std::size_t lane_count = 1;
@@ -115,17 +192,48 @@ std::size_t ThreadPool::lanes() const noexcept { return impl_->lane_count; }
 void ThreadPool::run_shards(
     std::size_t shard_count,
     const std::function<void(std::size_t)>& body) {
-  if (shard_count == 0) return;
+  ShardRunReport report = run_shards(
+      shard_count, RunOptions{},
+      [&body](std::size_t shard, const CancelToken&) { body(shard); });
+  if (report.failures.any()) {
+    throw ShardFailuresError(std::move(report.failures));
+  }
+}
+
+ShardRunReport ThreadPool::run_shards(
+    std::size_t shard_count, const RunOptions& options,
+    const std::function<void(std::size_t, const CancelToken&)>& body) {
+  ShardRunReport report;
+  report.shard_count = shard_count;
+  if (shard_count == 0) return report;
 
   auto job = std::make_shared<Job>();
   job->shard_count = shard_count;
   job->body = &body;
+  job->cancel_on_failure = options.cancel_on_failure;
   const std::size_t lanes = impl_->lane_count;
   job->blocks = std::vector<Block>(lanes);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const std::size_t begin = shard_count * lane / lanes;
     job->blocks[lane].next.store(begin, std::memory_order_relaxed);
     job->blocks[lane].end = shard_count * (lane + 1) / lanes;
+  }
+
+  // Per-job deadline watchdog: one thread that sleeps until completion or
+  // expiry. On expiry it requests cancellation; lanes then skip every
+  // still-unclaimed shard (reported as kDeadline). Cooperative: a body
+  // that never returns still blocks the join below.
+  std::thread watchdog;
+  if (options.deadline.count() > 0) {
+    watchdog = std::thread([job, deadline = options.deadline] {
+      std::unique_lock<std::mutex> lock(job->done_mutex);
+      const bool finished = job->done_cv.wait_for(
+          lock, deadline, [&] { return job->done == job->shard_count; });
+      if (!finished) {
+        job->deadline_expired.store(true, std::memory_order_release);
+        job->cancel.store(true, std::memory_order_release);
+      }
+    });
   }
 
   if (lanes > 1) {
@@ -142,6 +250,7 @@ void ThreadPool::run_shards(
     job->done_cv.wait(lock,
                       [&] { return job->done == job->shard_count; });
   }
+  if (watchdog.joinable()) watchdog.join();
   if (lanes > 1) {
     // Detach the job so late-waking workers see a null job; stragglers
     // already inside run_lane keep the Job alive via their shared_ptr but
@@ -149,7 +258,60 @@ void ThreadPool::run_shards(
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->current = nullptr;
   }
-  if (job->first_exception) std::rethrow_exception(job->first_exception);
+
+  // From here on the job is quiescent: no lane touches it again, so its
+  // state can be read without the mutex.
+  report.deadline_expired =
+      job->deadline_expired.load(std::memory_order_acquire);
+  report.cancelled = job->cancel.load(std::memory_order_acquire);
+  std::vector<ShardFailure> failures = std::move(job->failures);
+
+  // Deterministic order: failures were appended in claim order (schedule-
+  // dependent); the report is sorted by shard index so the same set of
+  // failing shards yields the same report at every thread count.
+  std::sort(failures.begin(), failures.end(),
+            [](const ShardFailure& a, const ShardFailure& b) {
+              return a.shard < b.shard;
+            });
+
+  // Quarantine pass: throwing shards re-run sequentially on the caller's
+  // thread, in shard-index order, up to max_retries extra attempts each.
+  // Sequential + index-ordered keeps recovery deterministic for any body
+  // whose behaviour is a function of the shard index.
+  if (options.max_retries > 0) {
+    const CancelToken token = JobAccess::token_of(*job);
+    std::vector<ShardFailure> remaining;
+    remaining.reserve(failures.size());
+    for (ShardFailure& f : failures) {
+      if (f.kind != FailureKind::kException) {
+        remaining.push_back(std::move(f));
+        continue;
+      }
+      bool recovered = false;
+      for (std::size_t attempt = 0;
+           attempt < options.max_retries && !recovered; ++attempt) {
+        ++f.attempts;
+        try {
+          body(f.shard, token);
+          recovered = true;
+        } catch (const std::exception& e) {
+          f.message = e.what();
+        } catch (...) {
+          f.message = "non-standard exception";
+        }
+      }
+      if (recovered) {
+        ++report.recovered;
+      } else {
+        remaining.push_back(std::move(f));
+      }
+    }
+    failures = std::move(remaining);
+  }
+
+  report.completed = shard_count - failures.size();
+  report.failures.failures = std::move(failures);
+  return report;
 }
 
 std::size_t ThreadPool::default_thread_count() noexcept {

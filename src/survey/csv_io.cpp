@@ -3,7 +3,9 @@
 #include <charconv>
 #include <istream>
 #include <ostream>
+#include <utility>
 
+#include "paperdata/paperdata.hpp"
 #include "report/csv.hpp"
 
 namespace fpq::survey {
@@ -51,42 +53,180 @@ bool parse_size(const std::string& s, std::size_t& out) {
   return ec == std::errc{} && ptr == end;
 }
 
-bool parse_indices(const std::string& s, std::vector<std::size_t>& out) {
-  out.clear();
-  if (s.empty()) return true;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t sep = s.find(';', start);
-    const std::string part =
-        s.substr(start, sep == std::string::npos ? sep : sep - start);
-    std::size_t value = 0;
-    if (!parse_size(part, value)) return false;
-    out.push_back(value);
-    if (sep == std::string::npos) break;
-    start = sep + 1;
-  }
-  return true;
-}
-
 std::string level_to_string(std::size_t level) {
   if (level == quiz::kOptLevelDontKnow) return "D";
   if (level >= quiz::kOptLevelChoiceCount) return "U";
   return std::to_string(level);
 }
 
-bool string_to_level(const std::string& s, std::size_t& out) {
-  if (s == "D") {
-    out = quiz::kOptLevelDontKnow;
-    return true;
+/// Column names of csv_header(), split out once so parse errors can name
+/// the offending column without hand-maintaining a second list.
+std::vector<std::string> split_names(const std::string& header) {
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= header.size()) {
+    const std::size_t sep = header.find(',', start);
+    names.push_back(header.substr(
+        start, sep == std::string::npos ? sep : sep - start));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
   }
-  if (s == "U") {
-    out = quiz::kOptLevelUnanswered;
-    return true;
+  return names;
+}
+
+/// Accumulates the first error for one row; every parse_* helper is a
+/// no-op once an error is set, so the happy path reads straight through.
+class RowParser {
+ public:
+  RowParser(const std::vector<std::string>& fields,
+            const std::vector<std::string>& names, std::size_t line)
+      : fields_(fields), names_(names), line_(line) {}
+
+  bool failed() const { return error_.has_value(); }
+  ParseError take_error() { return std::move(*error_); }
+
+  void parse_count(const char* what, std::size_t& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    if (!parse_size(fields_[next_], out)) {
+      fail("not a " + std::string(what) + ": '" + fields_[next_] + "'");
+      return;
+    }
+    ++next_;
   }
-  return parse_size(s, out) && out < quiz::kOptLevelChoiceCount;
+
+  void parse_enum(std::span<const paperdata::CategoryCount> table,
+                  const char* table_name, std::size_t& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    if (!parse_size(fields_[next_], out)) {
+      fail("not an index: '" + fields_[next_] + "'");
+      return;
+    }
+    if (out >= table.size()) {
+      fail("index " + std::to_string(out) + " out of range for " +
+           table_name + " (" + std::to_string(table.size()) + " rows)");
+      return;
+    }
+    ++next_;
+  }
+
+  void parse_enum_list(std::span<const paperdata::CategoryCount> table,
+                       const char* table_name,
+                       std::vector<std::size_t>& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    out.clear();
+    const std::string& s = fields_[next_];
+    std::size_t start = 0;
+    while (!s.empty() && start <= s.size()) {
+      const std::size_t sep = s.find(';', start);
+      const std::string part =
+          s.substr(start, sep == std::string::npos ? sep : sep - start);
+      std::size_t value = 0;
+      if (!parse_size(part, value)) {
+        fail("not an index list: '" + s + "'");
+        return;
+      }
+      if (value >= table.size()) {
+        fail("index " + std::to_string(value) + " out of range for " +
+             table_name + " (" + std::to_string(table.size()) + " rows)");
+        return;
+      }
+      out.push_back(value);
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+    ++next_;
+  }
+
+  void parse_answer(quiz::Answer& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    if (fields_[next_].size() != 1 ||
+        !char_to_answer(fields_[next_][0], out)) {
+      fail("expected T, F, D or U, got '" + fields_[next_] + "'");
+      return;
+    }
+    ++next_;
+  }
+
+  void parse_level(std::size_t& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    const std::string& s = fields_[next_];
+    if (s == "D") {
+      out = quiz::kOptLevelDontKnow;
+    } else if (s == "U") {
+      out = quiz::kOptLevelUnanswered;
+    } else if (!parse_size(s, out) || out >= quiz::kOptLevelChoiceCount) {
+      fail("expected a level index below " +
+           std::to_string(quiz::kOptLevelChoiceCount) + ", D or U, got '" +
+           s + "'");
+      return;
+    }
+    ++next_;
+  }
+
+  void parse_likert(int& out) {
+    if (error_) {
+      ++next_;
+      return;
+    }
+    std::size_t level = 0;
+    if (!parse_size(fields_[next_], level) || level < 1 || level > 5) {
+      fail("Likert level must be 1..5, got '" + fields_[next_] + "'");
+      return;
+    }
+    out = static_cast<int>(level);
+    ++next_;
+  }
+
+ private:
+  void fail(std::string message) {
+    error_ = ParseError{line_, names_[next_], std::move(message)};
+  }
+
+  const std::vector<std::string>& fields_;
+  const std::vector<std::string>& names_;
+  std::size_t line_;
+  std::size_t next_ = 0;
+  std::optional<ParseError> error_;
+};
+
+ParseError row_shape_error(std::size_t line, std::size_t expected,
+                           std::size_t got, bool split_ok) {
+  if (!split_ok) {
+    return {line, "", "unterminated quoted field"};
+  }
+  return {line, "",
+          "expected " + std::to_string(expected) + " fields, got " +
+              std::to_string(got) +
+              (got < expected ? " (truncated row?)" : "")};
 }
 
 }  // namespace
+
+std::string ParseError::to_string() const {
+  std::string out;
+  if (line != 0) out = "line " + std::to_string(line);
+  if (!field.empty()) {
+    out += out.empty() ? "field '" : ", field '";
+    out += field + "'";
+  }
+  if (!out.empty()) out += ": ";
+  return out + message;
+}
 
 std::string csv_header() {
   std::string out =
@@ -132,20 +272,18 @@ void write_csv(std::ostream& out, std::span<const SurveyRecord> records) {
   }
 }
 
-bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
-              std::string& error) {
+std::optional<ParseError> read_csv(std::istream& in,
+                                   std::vector<SurveyRecord>& records) {
   std::string line;
   if (!std::getline(in, line)) {
-    error = "empty input";
-    return false;
+    return ParseError{0, "", "empty input"};
   }
-  if (line != csv_header()) {
-    error = "unexpected header";
-    return false;
+  const std::string header = csv_header();
+  if (line != header) {
+    return ParseError{1, "", "unexpected header"};
   }
-  const std::size_t expected_fields =
-      12 + quiz::kCoreQuestionCount + quiz::kOptTrueFalseCount + 1 +
-      quiz::kSuspicionItemCount;
+  const std::vector<std::string> names = split_names(header);
+  const std::size_t expected_fields = names.size();
 
   std::vector<SurveyRecord> parsed;
   std::vector<std::string> fields;
@@ -153,50 +291,66 @@ bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    if (!fpq::report::csv_split(line, fields) ||
-        fields.size() != expected_fields) {
-      error = "malformed row at line " + std::to_string(line_no);
-      return false;
+    const bool split_ok = fpq::report::csv_split(line, fields);
+    if (!split_ok || fields.size() != expected_fields) {
+      return row_shape_error(line_no, expected_fields, fields.size(),
+                             split_ok);
     }
     SurveyRecord r;
-    std::size_t f = 0;
+    RowParser p(fields, names, line_no);
     std::size_t id = 0;
-    bool ok = parse_size(fields[f++], id);
+    p.parse_count("respondent id", id);
     r.respondent_id = id;
-    ok = ok && parse_size(fields[f++], r.background.position);
-    ok = ok && parse_size(fields[f++], r.background.area);
-    ok = ok && parse_size(fields[f++], r.background.formal_training);
-    ok = ok && parse_indices(fields[f++], r.background.informal_training);
-    ok = ok && parse_size(fields[f++], r.background.dev_role);
-    ok = ok && parse_indices(fields[f++], r.background.fp_languages);
-    ok = ok && parse_indices(fields[f++], r.background.arb_prec_languages);
-    ok = ok && parse_size(fields[f++], r.background.contributed_size);
-    ok = ok && parse_size(fields[f++], r.background.contributed_extent);
-    ok = ok && parse_size(fields[f++], r.background.involved_size);
-    ok = ok && parse_size(fields[f++], r.background.involved_extent);
-    for (std::size_t q = 0; ok && q < quiz::kCoreQuestionCount; ++q) {
-      ok = fields[f].size() == 1 &&
-           char_to_answer(fields[f][0], r.core.answers[q]);
-      ++f;
+    p.parse_enum(paperdata::positions(), "positions (Fig 1)",
+                 r.background.position);
+    p.parse_enum(paperdata::areas(), "areas (Fig 2)", r.background.area);
+    p.parse_enum(paperdata::formal_training(), "formal training (Fig 3)",
+                 r.background.formal_training);
+    p.parse_enum_list(paperdata::informal_training(),
+                      "informal training (Fig 4)",
+                      r.background.informal_training);
+    p.parse_enum(paperdata::dev_roles(), "dev roles (Fig 5)",
+                 r.background.dev_role);
+    p.parse_enum_list(paperdata::fp_languages(), "FP languages (Fig 6)",
+                      r.background.fp_languages);
+    p.parse_enum_list(paperdata::arb_prec_languages(),
+                      "arbitrary-precision languages (Fig 7)",
+                      r.background.arb_prec_languages);
+    p.parse_enum(paperdata::contributed_codebase_sizes(),
+                 "contributed codebase sizes (Fig 8)",
+                 r.background.contributed_size);
+    p.parse_enum(paperdata::contributed_fp_extent(),
+                 "contributed FP extent (Fig 9)",
+                 r.background.contributed_extent);
+    p.parse_enum(paperdata::involved_codebase_sizes(),
+                 "involved codebase sizes (Fig 10)",
+                 r.background.involved_size);
+    p.parse_enum(paperdata::involved_fp_extent(),
+                 "involved FP extent (Fig 11)",
+                 r.background.involved_extent);
+    for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
+      p.parse_answer(r.core.answers[q]);
     }
-    for (std::size_t q = 0; ok && q < quiz::kOptTrueFalseCount; ++q) {
-      ok = fields[f].size() == 1 &&
-           char_to_answer(fields[f][0], r.opt.tf_answers[q]);
-      ++f;
+    for (std::size_t q = 0; q < quiz::kOptTrueFalseCount; ++q) {
+      p.parse_answer(r.opt.tf_answers[q]);
     }
-    ok = ok && string_to_level(fields[f++], r.opt.level_choice);
-    for (std::size_t c = 0; ok && c < quiz::kSuspicionItemCount; ++c) {
-      std::size_t level = 0;
-      ok = parse_size(fields[f++], level) && level >= 1 && level <= 5;
-      if (ok) r.suspicion[c] = static_cast<int>(level);
+    p.parse_level(r.opt.level_choice);
+    for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+      p.parse_likert(r.suspicion[c]);
     }
-    if (!ok) {
-      error = "invalid field at line " + std::to_string(line_no);
-      return false;
-    }
+    if (p.failed()) return p.take_error();
     parsed.push_back(std::move(r));
   }
   records = std::move(parsed);
+  return std::nullopt;
+}
+
+bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
+              std::string& error) {
+  if (auto err = read_csv(in, records)) {
+    error = err->to_string();
+    return false;
+  }
   return true;
 }
 
@@ -220,44 +374,50 @@ void write_student_csv(std::ostream& out,
   }
 }
 
-bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,
-                      std::string& error) {
+std::optional<ParseError> read_student_csv(
+    std::istream& in, std::vector<StudentRecord>& records) {
   std::string line;
   if (!std::getline(in, line)) {
-    error = "empty input";
-    return false;
+    return ParseError{0, "", "empty input"};
   }
-  if (line != student_csv_header()) {
-    error = "unexpected header";
-    return false;
+  const std::string header = student_csv_header();
+  if (line != header) {
+    return ParseError{1, "", "unexpected header"};
   }
+  const std::vector<std::string> names = split_names(header);
+
   std::vector<StudentRecord> parsed;
   std::vector<std::string> fields;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    if (!fpq::report::csv_split(line, fields) ||
-        fields.size() != 1 + quiz::kSuspicionItemCount) {
-      error = "malformed row at line " + std::to_string(line_no);
-      return false;
+    const bool split_ok = fpq::report::csv_split(line, fields);
+    if (!split_ok || fields.size() != names.size()) {
+      return row_shape_error(line_no, names.size(), fields.size(),
+                             split_ok);
     }
     StudentRecord r;
+    RowParser p(fields, names, line_no);
     std::size_t id = 0;
-    bool ok = parse_size(fields[0], id);
+    p.parse_count("respondent id", id);
     r.respondent_id = id;
-    for (std::size_t c = 0; ok && c < quiz::kSuspicionItemCount; ++c) {
-      std::size_t level = 0;
-      ok = parse_size(fields[1 + c], level) && level >= 1 && level <= 5;
-      if (ok) r.suspicion[c] = static_cast<int>(level);
+    for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+      p.parse_likert(r.suspicion[c]);
     }
-    if (!ok) {
-      error = "invalid field at line " + std::to_string(line_no);
-      return false;
-    }
+    if (p.failed()) return p.take_error();
     parsed.push_back(r);
   }
   records = std::move(parsed);
+  return std::nullopt;
+}
+
+bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,
+                      std::string& error) {
+  if (auto err = read_student_csv(in, records)) {
+    error = err->to_string();
+    return false;
+  }
   return true;
 }
 

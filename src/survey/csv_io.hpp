@@ -4,9 +4,15 @@
 // come back. One row per respondent; multi-select fields are
 // semicolon-joined index lists inside one CSV field; quiz answers are
 // single characters (T/F/D/U); the level choice is its index (or D/U).
+//
+// The readers are hardened against hostile input: truncated rows,
+// non-numeric fields, and enum codes outside the paperdata category
+// tables all produce a structured ParseError naming the line and the
+// offending column — never UB, never a partially-parsed record set.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,11 +21,30 @@
 
 namespace fpq::survey {
 
+/// Where and why a CSV read failed. `line` is 1-based (line 1 is the
+/// header); 0 means the failure is not tied to a line (e.g. empty
+/// input). `field` is the column name from the header, empty for
+/// row-level failures (wrong field count, unterminated quote).
+struct ParseError {
+  std::size_t line = 0;
+  std::string field;
+  std::string message;
+
+  /// "line 7, field 'area': index 23 out of range ..." — what the
+  /// legacy bool API reports as its error string.
+  std::string to_string() const;
+};
+
 /// Writes the header plus one row per record.
 void write_csv(std::ostream& out, std::span<const SurveyRecord> records);
 
-/// Parses records written by write_csv. Returns false (and sets `error`)
-/// on malformed input; on success replaces `records`.
+/// Parses records written by write_csv. Returns the first parse error,
+/// or nullopt on success (and only then replaces `records`). Background
+/// enum codes are validated against the fpq::paperdata category tables.
+std::optional<ParseError> read_csv(std::istream& in,
+                                   std::vector<SurveyRecord>& records);
+
+/// Legacy form: false + flattened error string on malformed input.
 bool read_csv(std::istream& in, std::vector<SurveyRecord>& records,
               std::string& error);
 
@@ -29,6 +54,8 @@ std::string csv_header();
 /// Student-cohort variant (§III: suspicion responses only).
 void write_student_csv(std::ostream& out,
                        std::span<const StudentRecord> records);
+std::optional<ParseError> read_student_csv(
+    std::istream& in, std::vector<StudentRecord>& records);
 bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,
                       std::string& error);
 std::string student_csv_header();

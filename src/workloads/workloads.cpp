@@ -10,24 +10,25 @@
 
 namespace fpq::workloads {
 
-namespace {
-
-// Every kernel expresses its arithmetic as an fpq::ir tree executed by
-// the host-FPU evaluator. NativeEvaluator64 routes each operation through
-// opaque noinline helpers, so the real FPU raises exceptions under the
-// caller's monitor exactly as the old hand-rolled loops did; only the
-// iteration/branch structure stays in C++.
-double ev(const ir::Expr& e, std::initializer_list<double> binds = {}) {
+double NativeContext::call(const ir::Expr& expr,
+                           std::span<const double> bindings) {
+  // NativeEvaluator64 routes each operation through opaque noinline
+  // helpers, so the real FPU raises exceptions under the caller's monitor
+  // exactly as a hand-rolled loop would.
   ir::NativeEvaluator64 native;
-  return ir::evaluate_tree<double>(
-      e, native, std::span<const double>(binds.begin(), binds.size()));
+  return ir::evaluate_tree<double>(expr, native, bindings);
 }
+
+namespace {
 
 using E = ir::Expr;
 
+// Every kernel takes its execution context plus the scale knobs; the
+// run()/probe() entry points below only differ in context and scale.
+
 // -- ODE integration (Lorenz) ------------------------------------------
 
-void lorenz(double dt, int steps) {
+void lorenz(EvalContext& ctx, double dt, int steps) {
   const E x = E::variable("x", 0);
   const E y = E::variable("y", 1);
   const E z = E::variable("z", 2);
@@ -42,21 +43,23 @@ void lorenz(double dt, int steps) {
   const E zn = E::add(z, E::mul(h, dz));
   double xv = 1.0, yv = 1.0, zv = 1.0;
   for (int i = 0; i < steps; ++i) {
-    const double nx = ev(xn, {xv, yv, zv});
-    const double ny = ev(yn, {xv, yv, zv});
-    const double nz = ev(zn, {xv, yv, zv});
+    const double nx = ctx.call(xn, {xv, yv, zv});
+    const double ny = ctx.call(yn, {xv, yv, zv});
+    const double nz = ctx.call(zn, {xv, yv, zv});
     xv = nx;
     yv = ny;
     zv = nz;
   }
 }
 
-void lorenz_healthy() { lorenz(0.005, 5000); }
-void lorenz_broken() { lorenz(1.0, 100); }  // unstable: blows up to NaN
+void lorenz_healthy() { NativeContext c; lorenz(c, 0.005, 5000); }
+void lorenz_broken() { NativeContext c; lorenz(c, 1.0, 100); }  // NaN blowup
+void lorenz_healthy_probe(EvalContext& c) { lorenz(c, 0.005, 40); }
+void lorenz_broken_probe(EvalContext& c) { lorenz(c, 1.0, 40); }
 
 // -- Statistics: naive variance ------------------------------------------
 
-void variance(double offset, int n) {
+void variance(EvalContext& ctx, double offset, int n) {
   // Naive sum-of-squares variance; with a huge offset the subtraction
   // E[x^2] - E[x]^2 cancels catastrophically and goes NEGATIVE (at
   // offset 1e12, n=7 the value is about -2.7e8), so the final sqrt of it
@@ -64,26 +67,29 @@ void variance(double offset, int n) {
   std::vector<double> xs(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     xs[static_cast<std::size_t>(i)] =
-        ev(E::add(E::constant(offset), E::constant(1e-8 * i)));
+        ctx.call(E::add(E::constant(offset), E::constant(1e-8 * i)));
   }
   const std::span<const double> data(xs);
-  const double sum = ev(E::sum(data));          // left-to-right chain
-  const double sum_sq = ev(E::dot(data, data)); // naive sum of squares
+  const double sum = ctx.call(E::sum(data));          // left-to-right chain
+  const double sum_sq = ctx.call(E::dot(data, data)); // naive sum of squares
   const E a = E::variable("a", 0);
   const E b = E::variable("b", 1);
-  const double mean = ev(E::div(a, b), {sum, static_cast<double>(n)});
-  const double var = ev(E::sub(E::div(a, b), E::mul(E::variable("m", 2),
-                                                    E::variable("m", 2))),
-                        {sum_sq, static_cast<double>(n), mean});
-  (void)ev(E::sqrt(a), {var});  // stddev; sqrt(negative) when cancellation bites
+  const double mean = ctx.call(E::div(a, b), {sum, static_cast<double>(n)});
+  const double var =
+      ctx.call(E::sub(E::div(a, b),
+                      E::mul(E::variable("m", 2), E::variable("m", 2))),
+               {sum_sq, static_cast<double>(n), mean});
+  (void)ctx.call(E::sqrt(a), {var});  // sqrt(negative) when cancellation bites
 }
 
-void variance_healthy() { variance(0.0, 64); }
-void variance_broken() { variance(1e12, 7); }
+void variance_healthy() { NativeContext c; variance(c, 0.0, 64); }
+void variance_broken() { NativeContext c; variance(c, 1e12, 7); }
+void variance_healthy_probe(EvalContext& c) { variance(c, 0.0, 16); }
+void variance_broken_probe(EvalContext& c) { variance(c, 1e12, 7); }
 
 // -- Series summation -------------------------------------------------
 
-void geometric_series_healthy() {
+void geometric_series(EvalContext& ctx, int terms) {
   // sum of (1/2)^k: converges cleanly to 2, only rounding occurs; the
   // terms are deliberately stopped before the subnormal range.
   const E s = E::variable("s", 0);
@@ -91,14 +97,14 @@ void geometric_series_healthy() {
   const E accumulate = E::add(s, t);
   const E halve = E::mul(t, E::constant(0.5));
   double term = 1.0, sum = 0.0;
-  for (int k = 0; k < 900; ++k) {
-    sum = ev(accumulate, {sum, term});
-    term = ev(halve, {0.0, term});
+  for (int k = 0; k < terms; ++k) {
+    sum = ctx.call(accumulate, {sum, term});
+    term = ctx.call(halve, {0.0, term});
   }
   (void)sum;
 }
 
-void geometric_series_broken() {
+void growing_series(EvalContext& ctx, int terms) {
   // Growing series without a bound check: overflows to +inf, then the
   // "normalization" inf/inf manufactures a NaN.
   const E s = E::variable("s", 0);
@@ -106,61 +112,77 @@ void geometric_series_broken() {
   const E accumulate = E::add(s, t);
   const E grow = E::mul(t, E::constant(10.0));
   double term = 1.0, sum = 0.0;
-  for (int k = 0; k < 800; ++k) {
-    sum = ev(accumulate, {sum, term});
-    term = ev(grow, {0.0, term});
+  for (int k = 0; k < terms; ++k) {
+    sum = ctx.call(accumulate, {sum, term});
+    term = ctx.call(grow, {0.0, term});
   }
-  (void)ev(E::div(s, t), {sum, term});  // inf / inf
+  (void)ctx.call(E::div(s, t), {sum, term});  // inf / inf
 }
+
+void geometric_series_healthy() { NativeContext c; geometric_series(c, 900); }
+void geometric_series_broken() { NativeContext c; growing_series(c, 800); }
+void series_healthy_probe(EvalContext& c) { geometric_series(c, 120); }
+// 10^k overflows binary64 just past k = 308; 320 terms guarantees the
+// overflow AND the closing inf/inf even at probe scale.
+void series_broken_probe(EvalContext& c) { growing_series(c, 320); }
 
 // -- Geometry: normalizing a vector ----------------------------------
 
-void normalize(double scale) {
+void normalize(EvalContext& ctx, double scale) {
   // Normalize (3s, 4s): naive |v| = sqrt(x^2 + y^2) squares first, so a
   // large scale overflows the squares even though the normalized result
   // (0.6, 0.8) is perfectly representable.
   const E s = E::variable("s", 0);
-  const double x = ev(E::mul(E::constant(3.0), s), {scale});
-  const double y = ev(E::mul(E::constant(4.0), s), {scale});
+  const double x = ctx.call(E::mul(E::constant(3.0), s), {scale});
+  const double y = ctx.call(E::mul(E::constant(4.0), s), {scale});
   const std::array<double, 2> v{x, y};
-  const double len = ev(E::sqrt(E::dot(std::span<const double>(v),
-                                       std::span<const double>(v))));
+  const double len = ctx.call(E::sqrt(E::dot(std::span<const double>(v),
+                                             std::span<const double>(v))));
   const E a = E::variable("a", 0);
   const E b = E::variable("b", 1);
-  (void)ev(E::div(a, b), {x, len});
-  (void)ev(E::div(a, b), {y, len});
+  (void)ctx.call(E::div(a, b), {x, len});
+  (void)ctx.call(E::div(a, b), {y, len});
 }
 
-void normalize_healthy() { normalize(1.0); }
-void normalize_broken() { normalize(1e200); }  // x*x overflows
+void normalize_healthy() { NativeContext c; normalize(c, 1.0); }
+void normalize_broken() { NativeContext c; normalize(c, 1e200); }
+void normalize_healthy_probe(EvalContext& c) { normalize(c, 1.0); }
+void normalize_broken_probe(EvalContext& c) { normalize(c, 1e200); }
 
 // -- Decay into the subnormal range ----------------------------------
 
-void decay_healthy() {
+void decay(EvalContext& ctx, int halvings) {
   // Exponential decay crossing into the subnormal range: denormal and
   // underflow traffic is EXPECTED here and is not a bug (the suspicion
   // quiz's point about Underflow/Denorm being usually benign).
   const E t = E::variable("t", 0);
   const E halve = E::mul(t, E::constant(0.5));
   double x = 1.0;
-  for (int i = 0; i < 1100; ++i) x = ev(halve, {x});
-  (void)ev(E::add(t, E::constant(1.0)), {x});
+  for (int i = 0; i < halvings; ++i) x = ctx.call(halve, {x});
+  (void)ctx.call(E::add(t, E::constant(1.0)), {x});
 }
+
+void decay_healthy() { NativeContext c; decay(c, 1100); }
+// The subnormal crossing needs ~1075 halvings; the probe cannot shrink
+// below that without changing the contract.
+void decay_healthy_probe(EvalContext& c) { decay(c, 1100); }
 
 // -- Polynomial evaluation (Horner) -----------------------------------
 
-void poly(std::span<const double> coeffs, double lo, double step, int n) {
+void poly(EvalContext& ctx, std::span<const double> coeffs, double lo,
+          double step, int n) {
   // Horner's rule as one IR tree in a free variable, swept over n points.
   const E p = E::horner(coeffs, E::variable("x", 0));
   for (int i = 0; i < n; ++i) {
-    (void)ev(p, {lo + step * i});
+    (void)ctx.call(p, {lo + step * i});
   }
 }
 
 void poly_healthy() {
   // Well-scaled cubic on [-1, 1]: rounding only.
   const std::array<double, 4> c{2.0, -3.0, 1.0, 5.0};
-  poly(c, -1.0, 0.01, 201);
+  NativeContext ctx;
+  poly(ctx, c, -1.0, 0.01, 201);
 }
 
 void poly_broken() {
@@ -168,7 +190,18 @@ void poly_broken() {
   // moderate |x| although the polynomial's ROOTS are tame — the classic
   // un-normalized-model bug.
   const std::array<double, 3> c{1e300, 1e300, 1e300};
-  poly(c, 1e4, 1e4, 10);
+  NativeContext ctx;
+  poly(ctx, c, 1e4, 1e4, 10);
+}
+
+void poly_healthy_probe(EvalContext& ctx) {
+  const std::array<double, 4> c{2.0, -3.0, 1.0, 5.0};
+  poly(ctx, c, -1.0, 0.08, 25);
+}
+
+void poly_broken_probe(EvalContext& ctx) {
+  const std::array<double, 3> c{1e300, 1e300, 1e300};
+  poly(ctx, c, 1e4, 1e4, 10);
 }
 
 mon::ConditionSet set_of(std::initializer_list<mon::Condition> cs) {
@@ -183,52 +216,56 @@ const std::array<Workload, 11> kCatalogue{{
     {"lorenz/healthy",
      "Lorenz attractor, stable step size: rounding only",
      set_of({C::kPrecision}),
-     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &lorenz_healthy},
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &lorenz_healthy,
+     &lorenz_healthy_probe},
     {"lorenz/broken",
      "Lorenz attractor, dt=1.0: divergence through overflow into NaN",
      set_of({C::kPrecision, C::kOverflow, C::kInvalid}), mon::ConditionSet{},
-     &lorenz_broken},
+     &lorenz_broken, &lorenz_broken_probe},
     {"variance/healthy",
      "naive variance on small data: rounding only",
      set_of({C::kPrecision}), set_of({C::kInvalid, C::kOverflow}),
-     &variance_healthy},
+     &variance_healthy, &variance_healthy_probe},
     {"variance/broken",
      "naive variance with offset 1e12: cancellation drives the variance "
      "negative and sqrt of it invalid",
      set_of({C::kPrecision, C::kInvalid}), set_of({C::kOverflow}),
-     &variance_broken},
+     &variance_broken, &variance_broken_probe},
     {"series/healthy",
      "geometric series 1/2^k within the normal range: rounding only",
      set_of({C::kPrecision}),
      set_of({C::kInvalid, C::kOverflow, C::kUnderflow}),
-     &geometric_series_healthy},
+     &geometric_series_healthy, &series_healthy_probe},
     {"series/broken",
      "unbounded growing series: overflow, then inf/inf invalid",
      set_of({C::kPrecision, C::kOverflow, C::kInvalid}),
-     mon::ConditionSet{}, &geometric_series_broken},
+     mon::ConditionSet{}, &geometric_series_broken, &series_broken_probe},
     {"normalize/healthy",
      "2-vector normalization at ordinary scale",
      set_of({C::kPrecision}), set_of({C::kInvalid, C::kOverflow}),
-     &normalize_healthy},
+     &normalize_healthy, &normalize_healthy_probe},
     {"normalize/broken",
      "naive normalization at scale 1e200: the squares overflow although "
      "the answer (0.6, 0.8) is representable",
      set_of({C::kPrecision, C::kOverflow}), set_of({C::kInvalid}),
-     &normalize_broken},
+     &normalize_broken, &normalize_broken_probe},
     {"decay/healthy",
      "exponential decay through the subnormal range: underflow and "
      "denormal traffic is expected and benign here",
      set_of({C::kPrecision, C::kUnderflow}),
-     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &decay_healthy},
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &decay_healthy,
+     &decay_healthy_probe},
     {"poly/healthy",
      "well-scaled cubic via Horner's rule on [-1, 1]: rounding only",
      set_of({C::kPrecision}),
-     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &poly_healthy},
+     set_of({C::kInvalid, C::kOverflow, C::kDivByZero}), &poly_healthy,
+     &poly_healthy_probe},
     {"poly/broken",
      "Horner evaluation with 1e300-scaled coefficients: the leading term "
      "overflows at moderate |x|",
      set_of({C::kPrecision, C::kOverflow}),
-     set_of({C::kInvalid, C::kDivByZero}), &poly_broken},
+     set_of({C::kInvalid, C::kDivByZero}), &poly_broken,
+     &poly_broken_probe},
 }};
 
 }  // namespace

@@ -8,15 +8,53 @@
 // quiz's hypothetical into a regression suite for the monitor — and into
 // teaching material: each workload's doc says which conditions SHOULD
 // worry you.
+//
+// Kernels express every arithmetic step as an fpq::ir call routed through
+// an EvalContext, so the SAME kernel can execute on the host FPU (run(),
+// observed by fpmon), on the softfloat engine, or under a fault-injecting
+// evaluator (probe(), the detector gauntlet's entry point) without any
+// per-kernel plumbing.
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <span>
 #include <string>
 
 #include "fpmon/monitor.hpp"
+#include "ir/expr.hpp"
 
 namespace fpq::workloads {
+
+/// Where a kernel's arithmetic actually executes. Kernels call back here
+/// for every expression evaluation; the context decides the evaluator
+/// (host FPU, softfloat, fault-injected, ...) and may record the call
+/// stream. Kernels are straight-line in their call sequence — fixed loop
+/// counts, no data-dependent branching on results — so two contexts run
+/// over the same kernel see call-for-call aligned streams, which is what
+/// lets a clean run serve as the baseline for an injected one.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+  virtual double call(const ir::Expr& expr,
+                      std::span<const double> bindings) = 0;
+
+  double call(const ir::Expr& expr, std::initializer_list<double> binds) {
+    return call(expr,
+                std::span<const double>(binds.begin(), binds.size()));
+  }
+  double call(const ir::Expr& expr) {
+    return call(expr, std::span<const double>{});
+  }
+};
+
+/// Host-FPU context: the real FPU executes every operation, so an
+/// enclosing fpmon::ScopedMonitor observes genuine hardware exceptions.
+class NativeContext final : public EvalContext {
+ public:
+  double call(const ir::Expr& expr,
+              std::span<const double> bindings) override;
+};
 
 /// One runnable workload variant.
 struct Workload {
@@ -27,8 +65,13 @@ struct Workload {
   /// Conditions that must NOT appear (the difference between the healthy
   /// and broken variant).
   mon::ConditionSet forbidden;
-  /// Executes the kernel (pure compute; observation is the caller's job).
+  /// Executes the kernel at full scale on the host FPU (pure compute;
+  /// observation is the caller's job).
   void (*run)();
+  /// The same kernel at reduced scale under a caller-supplied context,
+  /// with the SAME exception contract (expected/forbidden) — sized for
+  /// fault-injection campaigns that re-run it hundreds of times.
+  void (*probe)(EvalContext& ctx);
 };
 
 /// The full catalogue: healthy/broken pairs across domains (ODE

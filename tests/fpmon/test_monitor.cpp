@@ -6,6 +6,7 @@
 #include <cfenv>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "fpmon/monitor.hpp"
 #include "softfloat/ops.hpp"
@@ -158,6 +159,53 @@ TEST(ConditionSet, ToStringListsConditions) {
   set.set(mon::Condition::kOverflow);
   set.set(mon::Condition::kInvalid);
   EXPECT_EQ(set.to_string(), "Overflow|Invalid");
+}
+
+TEST(Monitor, ThrowInsideNestedMonitorUnwindsSafely) {
+  // A throw between construction and stop() must run the inner monitor's
+  // destructor harvest: the outer scope still sees the inner conditions
+  // (sticky re-merge) and the host flag state is left balanced.
+  std::feclearexcept(FE_ALL_EXCEPT);
+  mon::ScopedMonitor outer;
+  try {
+    mon::ScopedMonitor inner;
+    (void)op_div(1.0, 0.0);
+    throw std::runtime_error("mid-region failure");
+  } catch (const std::runtime_error&) {
+  }
+  (void)op_div(1.0, 3.0);  // the outer region keeps monitoring after unwind
+  const auto outer_seen = outer.stop();
+  EXPECT_TRUE(outer_seen.test(mon::Condition::kDivByZero))
+      << "inner conditions must survive exceptional unwind";
+  EXPECT_TRUE(outer_seen.test(mon::Condition::kPrecision));
+  std::feclearexcept(FE_ALL_EXCEPT);
+}
+
+TEST(Monitor, MonitorRegionCaptureOverloadSurvivesThrow) {
+  // The capture overload harvests into `out` even when the region body
+  // throws — the throwing path of the §V wrapper question.
+  mon::ConditionSet seen;
+  bool caught = false;
+  try {
+    mon::monitor_region(
+        [] {
+          (void)op_div(0.0, 0.0);
+          throw std::runtime_error("simulation blew up");
+        },
+        seen);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(seen.test(mon::Condition::kInvalid))
+      << "conditions raised before the throw must be harvested";
+}
+
+TEST(Monitor, MonitorRegionCaptureMatchesReturningOverload) {
+  mon::ConditionSet captured;
+  mon::monitor_region([] { (void)op_div(1.0, 0.0); }, captured);
+  const auto returned = mon::monitor_region([] { (void)op_div(1.0, 0.0); });
+  EXPECT_EQ(captured, returned);
 }
 
 TEST(Monitor, SuspicionQuizShape) {

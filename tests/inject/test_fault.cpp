@@ -1,0 +1,237 @@
+// fpq::inject unit tests: the Injector state machine and the
+// InjectingEvaluator decorator, verified directly against a softfloat
+// inner evaluator — arming determinism, every fault class's value-level
+// effect, and the sticky classes' flag/rounding tampering.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "inject/evaluator.hpp"
+#include "inject/fault.hpp"
+#include "ir/evaluators.hpp"
+#include "ir/expr.hpp"
+#include "softfloat/env.hpp"
+
+namespace inj = fpq::inject;
+namespace ir = fpq::ir;
+namespace sf = fpq::softfloat;
+
+namespace {
+
+// Drives `ops` injectable operations through an InjectingEvaluator
+// wrapped around a fresh softfloat engine and returns the results.
+// x_{n+1} = (x_n + step) * scale, one call per iteration, two ops each.
+struct DriveResult {
+  std::vector<double> values;
+  unsigned flags = 0;
+};
+
+// step and scale are deliberately not exactly representable, so every
+// add and mul rounds — a perturbed rounding mode has something to bite.
+DriveResult drive(inj::Injector& injector, std::size_t calls,
+                  double x0 = 1.0, double step = 0.1,
+                  double scale = 1.0000001) {
+  const ir::Expr expr =
+      ir::Expr::mul(ir::Expr::add(ir::Expr::variable("x", 0),
+                                  ir::Expr::variable("step", 1)),
+                    ir::Expr::variable("scale", 2));
+  ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
+  inj::InjectingEvaluator ev(soft, injector);
+  DriveResult out;
+  double x = x0;
+  for (std::size_t i = 0; i < calls; ++i) {
+    injector.begin_call();
+    const double binds[] = {x, step, scale};
+    x = ir::evaluate_tree<double>(expr, ev, binds);
+    out.values.push_back(x);
+  }
+  out.flags = soft.flags();
+  return out;
+}
+
+inj::CampaignConfig campaign(inj::FaultClass cls, std::uint64_t seed,
+                             double rate = 0.2, std::size_t max_faults = 1) {
+  inj::CampaignConfig c;
+  c.seed = seed;
+  c.fault_class = cls;
+  c.rate = rate;
+  c.max_faults = max_faults;
+  return c;
+}
+
+TEST(Injector, ArmingIsAPureFunctionOfCampaignIdentity) {
+  for (const auto cls :
+       {inj::FaultClass::kPoison, inj::FaultClass::kFlagSwallow,
+        inj::FaultClass::kForceFtz, inj::FaultClass::kRoundingPerturb,
+        inj::FaultClass::kBitFlip}) {
+    inj::Injector a(campaign(cls, 42, 0.3, 0));
+    inj::Injector b(campaign(cls, 42, 0.3, 0));
+    drive(a, 40);
+    drive(b, 40);
+    ASSERT_EQ(a.sites().size(), b.sites().size());
+    EXPECT_EQ(inj::sites_fingerprint(a.sites()),
+              inj::sites_fingerprint(b.sites()));
+  }
+}
+
+TEST(Injector, DifferentSeedsDrawDifferentSites) {
+  inj::Injector a(campaign(inj::FaultClass::kBitFlip, 1, 0.3, 0));
+  inj::Injector b(campaign(inj::FaultClass::kBitFlip, 2, 0.3, 0));
+  drive(a, 40);
+  drive(b, 40);
+  EXPECT_NE(inj::sites_fingerprint(a.sites()),
+            inj::sites_fingerprint(b.sites()));
+}
+
+TEST(Injector, RateZeroNeverArms) {
+  inj::Injector i(campaign(inj::FaultClass::kPoison, 7, 0.0, 0));
+  const DriveResult injected = drive(i, 60);
+  inj::Injector none(campaign(inj::FaultClass::kPoison, 7, 0.0, 0));
+  // A rate-0 campaign is byte-for-byte the clean run.
+  EXPECT_TRUE(i.sites().empty());
+  EXPECT_EQ(i.effective_count(), 0u);
+  const DriveResult again = drive(none, 60);
+  EXPECT_EQ(injected.values, again.values);
+  EXPECT_EQ(injected.flags, again.flags);
+}
+
+TEST(Injector, MaxFaultsCapsArmedSites) {
+  inj::Injector i(campaign(inj::FaultClass::kBitFlip, 11, 1.0, 3));
+  drive(i, 30);
+  EXPECT_EQ(i.sites().size(), 3u);
+}
+
+TEST(Injector, StickyClassesArmAtMostOnce) {
+  for (const auto cls : {inj::FaultClass::kFlagSwallow,
+                         inj::FaultClass::kRoundingPerturb}) {
+    inj::Injector i(campaign(cls, 13, 1.0, 0));
+    drive(i, 30);
+    EXPECT_EQ(i.sites().size(), 1u) << inj::fault_class_name(cls);
+  }
+}
+
+TEST(InjectingEvaluator, PoisonProducesNonFinite) {
+  inj::Injector i(campaign(inj::FaultClass::kPoison, 3, 1.0, 1));
+  const DriveResult r = drive(i, 10);
+  ASSERT_EQ(i.sites().size(), 1u);
+  const inj::FaultSite& site = i.sites().front();
+  EXPECT_TRUE(site.effective);
+  EXPECT_FALSE(std::isfinite(site.injected));
+  // The poison value must reach the call stream (directly, or laundered
+  // through the rest of the call's arithmetic).
+  bool saw_nonfinite = false;
+  for (double v : r.values) saw_nonfinite = saw_nonfinite || !std::isfinite(v);
+  EXPECT_TRUE(saw_nonfinite);
+}
+
+TEST(InjectingEvaluator, BitFlipTouchesOneLowMantissaBit) {
+  inj::Injector i(campaign(inj::FaultClass::kBitFlip, 5, 1.0, 1));
+  drive(i, 10);
+  ASSERT_EQ(i.sites().size(), 1u);
+  const inj::FaultSite& site = i.sites().front();
+  ASSERT_TRUE(site.effective);
+  const std::uint64_t diff = std::bit_cast<std::uint64_t>(site.original) ^
+                             std::bit_cast<std::uint64_t>(site.injected);
+  EXPECT_TRUE(std::has_single_bit(diff));
+  const unsigned bit = static_cast<unsigned>(std::countr_zero(diff));
+  EXPECT_GE(bit, 8u);
+  EXPECT_LE(bit, 15u);
+}
+
+TEST(InjectingEvaluator, FlagSwallowErasesStickyFlags) {
+  // 1/3 raises inexact on every call; a swallow campaign must leave the
+  // engine's sticky set empty afterwards and confess what it ate.
+  const ir::Expr expr = ir::Expr::div(ir::Expr::constant(1.0),
+                                      ir::Expr::constant(3.0));
+  ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
+  inj::Injector injector(campaign(inj::FaultClass::kFlagSwallow, 17, 1.0));
+  inj::InjectingEvaluator ev(soft, injector);
+  for (int c = 0; c < 4; ++c) {
+    injector.begin_call();
+    ir::evaluate_tree<double>(expr, ev);
+  }
+  EXPECT_EQ(soft.flags(), 0u);
+  EXPECT_NE(injector.swallowed_flags() & sf::kFlagInexact, 0u);
+  ASSERT_EQ(injector.sites().size(), 1u);
+  EXPECT_TRUE(injector.sites().front().effective);
+}
+
+TEST(InjectingEvaluator, ForceFtzFlushesSubnormalResults) {
+  // min_normal / 4 is subnormal: under forced FTZ the result must flush
+  // to zero (and the arming site must be marked effective).
+  const ir::Expr expr = ir::Expr::div(
+      ir::Expr::constant(std::numeric_limits<double>::min()),
+      ir::Expr::constant(4.0));
+  ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
+  inj::Injector injector(campaign(inj::FaultClass::kForceFtz, 23, 1.0, 0));
+  inj::InjectingEvaluator ev(soft, injector);
+  injector.begin_call();
+  const double r = ir::evaluate_tree<double>(expr, ev);
+  EXPECT_EQ(r, 0.0);
+  ASSERT_FALSE(injector.sites().empty());
+  EXPECT_TRUE(injector.sites().front().effective);
+}
+
+TEST(InjectingEvaluator, RoundingPerturbBiasesEveryLaterOp) {
+  inj::Injector injector(
+      campaign(inj::FaultClass::kRoundingPerturb, 29, 1.0));
+  const DriveResult injected = drive(injector, 20);
+  ASSERT_EQ(injector.sites().size(), 1u);
+  EXPECT_TRUE(injector.sites().front().effective);
+
+  inj::Injector quiet(campaign(inj::FaultClass::kRoundingPerturb, 29, 0.0));
+  const DriveResult clean = drive(quiet, 20);
+  // Sticky: once armed, results diverge and STAY diverged.
+  std::size_t diverged = 0;
+  for (std::size_t c = 0; c < injected.values.size(); ++c) {
+    if (injected.values[c] != clean.values[c]) ++diverged;
+  }
+  EXPECT_GT(diverged, 10u);
+  // Value-only tampering: the flag accounting is untouched.
+  EXPECT_EQ(injected.flags, clean.flags);
+}
+
+TEST(InjectingEvaluator, ControlTrialsAreBitIdenticalToClean) {
+  // An armed-but-inert campaign (FTZ over a workload with no subnormals)
+  // must reproduce the clean run exactly — that is what makes control
+  // trials meaningful.
+  inj::Injector armed(campaign(inj::FaultClass::kForceFtz, 31, 1.0, 0));
+  const DriveResult injected = drive(armed, 40);
+  inj::Injector quiet(campaign(inj::FaultClass::kForceFtz, 31, 0.0));
+  const DriveResult clean = drive(quiet, 40);
+  EXPECT_EQ(armed.effective_count(), 0u);
+  for (std::size_t c = 0; c < clean.values.size(); ++c) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(injected.values[c]),
+              std::bit_cast<std::uint64_t>(clean.values[c]))
+        << "call " << c;
+  }
+  EXPECT_EQ(injected.flags, clean.flags);
+}
+
+TEST(Injector, FingerprintIsOrderIndependentContentHash) {
+  inj::Injector i(campaign(inj::FaultClass::kBitFlip, 37, 0.5, 0));
+  drive(i, 30);
+  ASSERT_GE(i.sites().size(), 2u);
+  std::vector<inj::FaultSite> reversed(i.sites().rbegin(),
+                                       i.sites().rend());
+  EXPECT_EQ(inj::sites_fingerprint(i.sites()),
+            inj::sites_fingerprint(reversed));
+}
+
+TEST(Injector, FaultClassNamesAreStable) {
+  EXPECT_EQ(inj::fault_class_name(inj::FaultClass::kPoison), "poison");
+  EXPECT_EQ(inj::fault_class_name(inj::FaultClass::kFlagSwallow),
+            "flag-swallow");
+  EXPECT_EQ(inj::fault_class_name(inj::FaultClass::kForceFtz), "force-ftz");
+  EXPECT_EQ(inj::fault_class_name(inj::FaultClass::kRoundingPerturb),
+            "rounding-perturb");
+  EXPECT_EQ(inj::fault_class_name(inj::FaultClass::kBitFlip), "bit-flip");
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Detector-gauntlet tests: the coverage matrix is bit-reproducible at
+// every thread count, every fault class is caught by at least one
+// detector, control trials never read as detections, and the probe
+// contracts hold — the acceptance criteria of the fault-injection
+// subsystem, as tests.
+
+#include <cstddef>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "inject/gauntlet.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace inj = fpq::inject;
+namespace par = fpq::parallel;
+
+namespace {
+
+inj::GauntletConfig small_campaign() {
+  inj::GauntletConfig config;
+  config.seed = 0xC0FFEE;
+  config.trials = 3;
+  return config;
+}
+
+TEST(Gauntlet, MatrixIsBitIdenticalAcrossThreadCounts) {
+  const inj::GauntletConfig config = small_campaign();
+  par::ThreadPool one(1);
+  const inj::GauntletResult base = inj::run_gauntlet(one, config);
+  ASSERT_GT(base.total_trials, 0u);
+  ASSERT_GT(base.total_effective, 0u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    par::ThreadPool pool(threads);
+    const inj::GauntletResult r = inj::run_gauntlet(pool, config);
+    EXPECT_EQ(r.fingerprint, base.fingerprint) << threads << " threads";
+    EXPECT_EQ(r.total_trials, base.total_trials);
+    EXPECT_EQ(r.total_sites, base.total_sites);
+    EXPECT_EQ(r.total_effective, base.total_effective);
+    ASSERT_EQ(r.undetected.size(), base.undetected.size());
+    for (std::size_t u = 0; u < r.undetected.size(); ++u) {
+      EXPECT_EQ(r.undetected[u].workload, base.undetected[u].workload);
+      EXPECT_EQ(r.undetected[u].fault_class,
+                base.undetected[u].fault_class);
+      EXPECT_EQ(r.undetected[u].trial, base.undetected[u].trial);
+    }
+    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+      for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+        EXPECT_EQ(r.cells[c][d].hits, base.cells[c][d].hits);
+        EXPECT_EQ(r.cells[c][d].misses, base.cells[c][d].misses);
+        EXPECT_EQ(r.cells[c][d].false_positives,
+                  base.cells[c][d].false_positives);
+        EXPECT_EQ(r.cells[c][d].controls, base.cells[c][d].controls);
+      }
+    }
+  }
+}
+
+TEST(Gauntlet, DifferentSeedsProduceDifferentCampaigns) {
+  par::ThreadPool pool(4);
+  inj::GauntletConfig config = small_campaign();
+  const inj::GauntletResult a = inj::run_gauntlet(pool, config);
+  config.seed ^= 0x9E3779B97F4A7C15ull;
+  const inj::GauntletResult b = inj::run_gauntlet(pool, config);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Gauntlet, EveryFaultClassIsCaughtBySomeDetector) {
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+    const auto cls = static_cast<inj::FaultClass>(c);
+    EXPECT_TRUE(r.class_covered(cls)) << inj::fault_class_name(cls);
+  }
+}
+
+TEST(Gauntlet, ControlTrialsNeverFireAnyDetector) {
+  // Control trials replay the clean record stream bit-for-bit, so a
+  // baseline-compared detector firing on one would mean the comparison
+  // itself is broken.
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+    for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+      EXPECT_EQ(r.cells[c][d].false_positives, 0u)
+          << inj::fault_class_name(static_cast<inj::FaultClass>(c)) << " / "
+          << inj::detector_name(static_cast<inj::Detector>(d));
+    }
+  }
+}
+
+TEST(Gauntlet, ProbeContractsHold) {
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  ASSERT_FALSE(r.contracts.empty());
+  for (const auto& row : r.contracts) {
+    EXPECT_TRUE(row.holds) << row.workload;
+  }
+}
+
+TEST(Gauntlet, CellAccountingIsConsistent) {
+  par::ThreadPool pool(2);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  std::size_t scored = 0;
+  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+    // Every detector scores every trial of the class, so each detector
+    // column of a class row accounts for the same trial total.
+    const auto& row = r.cells[c];
+    for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+      EXPECT_EQ(row[d].trials, row[0].trials);
+      EXPECT_EQ(row[d].hits + row[d].misses + row[d].controls,
+                row[d].trials);
+      EXPECT_EQ(row[d].controls, row[0].controls);
+    }
+    scored += row[0].trials;
+  }
+  EXPECT_EQ(scored, r.total_trials);
+}
+
+TEST(Gauntlet, RenderNamesEveryClassAndDetector) {
+  par::ThreadPool pool(2);
+  inj::GauntletConfig config = small_campaign();
+  config.trials = 1;
+  const std::string text = inj::render(inj::run_gauntlet(pool, config));
+  for (const char* needle :
+       {"poison", "flag-swallow", "force-ftz", "rounding-perturb",
+        "bit-flip", "fpmon", "shadow", "interval", "fingerprint"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace

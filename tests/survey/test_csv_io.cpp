@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "respondent/population.hpp"
 #include "survey/csv_io.hpp"
@@ -146,6 +149,171 @@ TEST(CsvIo, EmptyInputRejected) {
   std::vector<sv::SurveyRecord> parsed;
   std::string error;
   EXPECT_FALSE(sv::read_csv(in, parsed, error));
+}
+
+// -- Corrupt-corpus tests: the structured ParseError API -------------------
+
+// One valid header+row CSV document to mutate.
+std::string valid_csv_text() {
+  std::ostringstream out;
+  sv::write_csv(out, std::vector<sv::SurveyRecord>{sample_record()});
+  return out.str();
+}
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t sep = line.find(',', start);
+    fields.push_back(line.substr(
+        start, sep == std::string::npos ? sep : sep - start));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return fields;
+}
+
+// Replaces the named column of the first data row with `value`.
+std::string corrupt_field(const std::string& column,
+                          const std::string& value) {
+  const std::string text = valid_csv_text();
+  const std::size_t header_end = text.find('\n');
+  const std::string header = text.substr(0, header_end);
+  std::string row = text.substr(header_end + 1);
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+
+  const std::vector<std::string> names = split_csv(header);
+  std::vector<std::string> fields = split_csv(row);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == column) fields[i] = value;
+  }
+  std::string out = header + "\n";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fields[i];
+  }
+  return out + "\n";
+}
+
+std::optional<sv::ParseError> parse_of(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<sv::SurveyRecord> parsed;
+  return sv::read_csv(in, parsed);
+}
+
+TEST(CsvIoCorrupt, TruncatedRowNamesLineNotField) {
+  const std::string text = valid_csv_text();
+  // Drop everything after the 5th comma of the data row.
+  const std::size_t header_end = text.find('\n');
+  std::size_t cut = header_end + 1;
+  for (int commas = 0; commas < 5; ++commas) {
+    cut = text.find(',', cut + 1);
+  }
+  const auto err = parse_of(text.substr(0, cut) + "\n");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->line, 2u);
+  EXPECT_TRUE(err->field.empty());
+  EXPECT_NE(err->message.find("truncated"), std::string::npos)
+      << err->message;
+  EXPECT_NE(err->to_string().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIoCorrupt, OutOfRangeEnumCodeNamesTheColumn) {
+  const auto err = parse_of(corrupt_field("area", "99"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->line, 2u);
+  EXPECT_EQ(err->field, "area");
+  EXPECT_NE(err->message.find("out of range"), std::string::npos)
+      << err->message;
+}
+
+TEST(CsvIoCorrupt, OutOfRangeMultiSelectIndexNamesTheColumn) {
+  const auto err = parse_of(corrupt_field("fp_languages", "0;99"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "fp_languages");
+  EXPECT_NE(err->message.find("out of range"), std::string::npos);
+}
+
+TEST(CsvIoCorrupt, NonNumericFieldNamesTheColumn) {
+  const auto err = parse_of(corrupt_field("position", "senior"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "position");
+
+  const auto id_err = parse_of(corrupt_field("id", "4x2"));
+  ASSERT_TRUE(id_err.has_value());
+  EXPECT_EQ(id_err->field, "id");
+}
+
+TEST(CsvIoCorrupt, BadAnswerCharNamesTheQuestionColumn) {
+  const auto err = parse_of(corrupt_field("core_q3", "X"));
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "core_q3");
+  EXPECT_NE(err->message.find("T, F, D or U"), std::string::npos);
+}
+
+TEST(CsvIoCorrupt, BadLevelAndLikertNameTheirColumns) {
+  const auto level = parse_of(corrupt_field("opt_level", "17"));
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(level->field, "opt_level");
+
+  const auto likert = parse_of(corrupt_field("suspicion_3", "0"));
+  ASSERT_TRUE(likert.has_value());
+  EXPECT_EQ(likert->field, "suspicion_3");
+  EXPECT_NE(likert->message.find("1..5"), std::string::npos);
+}
+
+TEST(CsvIoCorrupt, ErrorOnLaterRowReportsItsLineNumber) {
+  const std::string text = valid_csv_text();
+  const std::size_t header_end = text.find('\n');
+  const std::string good_row =
+      text.substr(header_end + 1, text.size() - header_end - 2);
+  const std::string bad =
+      corrupt_field("dev_role", "99");  // header + corrupt row
+  // Good row first (line 2), corrupt row second (line 3).
+  const std::string bad_row = bad.substr(bad.find('\n') + 1);
+  const auto err =
+      parse_of(text.substr(0, header_end + 1) + good_row + "\n" + bad_row);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->line, 3u);
+  EXPECT_EQ(err->field, "dev_role");
+}
+
+TEST(CsvIoCorrupt, FailedParseLeavesRecordsUntouched) {
+  std::vector<sv::SurveyRecord> parsed(3);
+  std::istringstream in(corrupt_field("area", "99"));
+  ASSERT_TRUE(sv::read_csv(in, parsed).has_value());
+  EXPECT_EQ(parsed.size(), 3u) << "a failed read must not clobber records";
+}
+
+TEST(CsvIoCorrupt, LegacyApiFlattensTheStructuredError) {
+  std::vector<sv::SurveyRecord> parsed;
+  std::string error;
+  std::istringstream in(corrupt_field("area", "99"));
+  EXPECT_FALSE(sv::read_csv(in, parsed, error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("area"), std::string::npos) << error;
+}
+
+TEST(CsvIoCorrupt, ValidCorpusStillParsesAfterHardening) {
+  // Boundary values: the largest valid index of every enum table must
+  // still be accepted (the range checks are exclusive upper bounds).
+  const auto err = parse_of(valid_csv_text());
+  EXPECT_FALSE(err.has_value()) << err->to_string();
+}
+
+TEST(CsvIoCorrupt, StudentReaderReportsStructuredErrors) {
+  std::istringstream in(sv::student_csv_header() + "\n1,1,2,3,4,9\n");
+  std::vector<sv::StudentRecord> parsed;
+  const auto err = sv::read_student_csv(in, parsed);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->line, 2u);
+  EXPECT_EQ(err->field, "suspicion_5");
+
+  std::istringstream truncated(sv::student_csv_header() + "\n1,1,2\n");
+  const auto terr = sv::read_student_csv(truncated, parsed);
+  ASSERT_TRUE(terr.has_value());
+  EXPECT_EQ(terr->line, 2u);
+  EXPECT_TRUE(terr->field.empty());
 }
 
 }  // namespace
