@@ -1,8 +1,12 @@
 // Shared plumbing for the reproduction benches: the fixed evaluation
-// cohorts and comparison-row helpers. Every bench uses the same seed so
-// EXPERIMENTS.md quotes one consistent synthetic dataset.
+// cohorts, comparison-row helpers, and the machine-readable perf emitter
+// every perf bench can write (BENCH_perf.json — archived by CI). Every
+// bench uses the same seed so EXPERIMENTS.md quotes one consistent
+// synthetic dataset.
 #pragma once
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -13,6 +17,62 @@
 #include "survey/record.hpp"
 
 namespace fpq::bench {
+
+/// One measured configuration of a perf bench.
+struct PerfRow {
+  std::string name;          ///< engine/workload, e.g. "tape-batched/binary16-sweep"
+  double ns_per_op = 0.0;
+  double ops_per_s = 0.0;
+  int threads = 1;
+  /// Content identity of the measured campaign: the tape fingerprint for
+  /// tape engines, an injection campaign's sites_fingerprint, or 0 when
+  /// the workload has no content hash.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Accumulates PerfRows and renders/writes them as JSON, so CI can
+/// archive BENCH_perf.json and regression tooling can diff runs without
+/// scraping bench stdout.
+class PerfJson {
+ public:
+  void add(PerfRow row) { rows_.push_back(std::move(row)); }
+
+  std::string render() const {
+    std::string out = "{\n  \"bench\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const PerfRow& r = rows_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+                    "\"ops_per_s\": %.1f, \"threads\": %d, "
+                    "\"fingerprint\": \"0x%016" PRIx64 "\"}%s\n",
+                    r.name.c_str(), r.ns_per_op, r.ops_per_s, r.threads,
+                    r.fingerprint, i + 1 < rows_.size() ? "," : "");
+      out += buf;
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Returns false (and prints to stderr) if the file cannot be written.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "PerfJson: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string text = render();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    std::fclose(f);
+    return ok;
+  }
+
+  bool empty() const noexcept { return rows_.empty(); }
+
+ private:
+  std::vector<PerfRow> rows_;
+};
 
 inline constexpr std::uint64_t kCohortSeed = 20180521;  // IPDPS 2018
 

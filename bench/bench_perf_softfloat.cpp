@@ -8,16 +8,30 @@
 //
 // Usage: bench_perf_softfloat [--threads N[,N...]] [google-benchmark args]
 // The default sweep registers thread counts 1, 2, 4 and 8.
+//
+// --tape-gate[=PATH] switches to the CI perf-smoke mode instead of
+// google-benchmark: the exhaustive binary16 IR sweep workload is timed on
+// the virtual tree walk, the scalar tape runner, and the batched SoA tape
+// executor side by side (verifying bit-identical values and flag unions
+// across all engines), machine-readable results are written to PATH
+// (default BENCH_perf.json), and the process exits nonzero if the tape
+// runner is slower than the tree walk. --gate-samples=N and
+// --gate-modes=N shrink the sweep for CI.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "ir/ir.hpp"
 #include "parallel/oracle_sweep.hpp"
 #include "parallel/thread_pool.hpp"
@@ -201,6 +215,38 @@ void BM_IrBatchHorner64(benchmark::State& state, int threads, bool memoize) {
                           static_cast<std::int64_t>(kN));
 }
 
+// The same Horner polynomial on the compiled tape: scalar runner (one
+// row at a time, no virtual dispatch) and the batched SoA executor.
+// Registered next to BM_IrTreeWalkHorner64 so one run reports tree walk
+// vs tape vs batched tape side by side.
+void BM_IrTapeHorner64(benchmark::State& state) {
+  const auto tape = ir::Tape::cached(poly_tree());
+  const auto xs = make_operands(kN, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::array<double, 1> binding{xs[i]};
+    const auto r = ir::execute(*tape, binding);
+    benchmark::DoNotOptimize(r.value.bits);
+    i = (i + 1) % kN;
+  }
+}
+
+void BM_IrTapeBatchHorner64(benchmark::State& state, int threads) {
+  fpq::parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+  const auto tape = ir::Tape::cached(poly_tree());
+  ir::BindingTable table;
+  table.width = 1;
+  table.values = make_operands(kN, 10);
+  ir::BatchOptions opts;
+  opts.memoize = false;
+  for (auto _ : state) {
+    auto out = ir::execute_batch(pool, *tape, table, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+}
+
 BENCHMARK(BM_SoftAdd64);
 BENCHMARK(BM_SoftMul64);
 BENCHMARK(BM_SoftDiv64);
@@ -211,6 +257,7 @@ BENCHMARK(BM_HardwareAdd64);
 BENCHMARK(BM_HardwareDiv64);
 BENCHMARK(BM_DirectSoftHorner64);
 BENCHMARK(BM_IrTreeWalkHorner64);
+BENCHMARK(BM_IrTapeHorner64);
 
 // The sharded exhaustive binary16 differential sweep (all 2^16 first
 // operands x sampled partners, six ops, five rounding modes). Same work
@@ -235,6 +282,174 @@ void BM_ExhaustiveBinary16Sweep(benchmark::State& state, int threads) {
   state.SetItemsProcessed(static_cast<std::int64_t>(checked));
 }
 
+// -- The --tape-gate perf-smoke mode -------------------------------------
+//
+// One workload, three engines, hard parity checks, machine-readable
+// output. The workload is the paper's exhaustive binary16 differential
+// sweep reshaped as IR programs: every 2^16 first-operand encoding x
+// sampled partners, through add/sub/mul/div/sqrt/fma trees, per rounding
+// mode, format binary16.
+
+using GateClock = std::chrono::steady_clock;
+
+double seconds_since(GateClock::time_point t0) {
+  return std::chrono::duration<double>(GateClock::now() - t0).count();
+}
+
+int run_tape_gate(const std::string& json_path, int samples, int mode_limit,
+                  int max_threads) {
+  namespace par = fpq::parallel;
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr y = ir::Expr::variable("y", 1);
+  const ir::Expr z = ir::Expr::variable("z", 2);
+  const ir::Expr trees[] = {ir::Expr::add(x, y),  ir::Expr::sub(x, y),
+                            ir::Expr::mul(x, y),  ir::Expr::div(x, y),
+                            ir::Expr::sqrt(x),    ir::Expr::fma(x, y, z)};
+  const sf::Rounding all_modes[] = {
+      sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+      sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway};
+  const int modes =
+      std::max(1, std::min(mode_limit, static_cast<int>(std::size(all_modes))));
+
+  // Binding table: every binary16 encoding as first operand, seeded
+  // binary16-valued partners (so all operands are exactly representable).
+  sf::Env quiet;
+  const auto widen16 = [&quiet](std::uint16_t bits) {
+    return sf::to_native(sf::convert<64>(sf::Float16{bits}, quiet));
+  };
+  fpq::stats::Xoshiro256pp g(20180521);
+  ir::BindingTable table;
+  table.width = 3;
+  table.values.reserve(3u * 0x10000u * static_cast<unsigned>(samples));
+  for (int s = 0; s < samples; ++s) {
+    for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+      table.values.push_back(widen16(static_cast<std::uint16_t>(raw)));
+      table.values.push_back(widen16(static_cast<std::uint16_t>(g())));
+      table.values.push_back(widen16(static_cast<std::uint16_t>(g())));
+    }
+  }
+  const std::size_t rows = table.rows();
+
+  par::ThreadPool pool_one(1);
+  par::ThreadPool pool_many(static_cast<std::size_t>(std::max(1, max_threads)));
+  ir::BatchOptions opts;
+  opts.memoize = false;
+
+  double walk_s = 0, scalar_s = 0, batch1_s = 0, batchn_s = 0;
+  std::size_t total_rows = 0;
+  std::uint64_t campaign = 0;
+  std::vector<ir::Outcome> ref(rows), got(rows);
+  for (int m = 0; m < modes; ++m) {
+    ir::EvalConfig cfg;
+    cfg.format_bits = 16;
+    cfg.rounding = all_modes[m];
+    for (const ir::Expr& tree : trees) {
+      const ir::Tape tape = ir::Tape::compile(tree, cfg);
+      campaign ^= tape.fingerprint();
+      total_rows += rows;
+
+      auto t0 = GateClock::now();
+      for (std::size_t r = 0; r < rows; ++r) {
+        ref[r] = ir::evaluate(tree, cfg, table.row(r));
+      }
+      walk_s += seconds_since(t0);
+
+      t0 = GateClock::now();
+      for (std::size_t r = 0; r < rows; ++r) {
+        got[r] = ir::execute(tape, table.row(r));
+      }
+      scalar_s += seconds_since(t0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (ref[r].value.bits != got[r].value.bits ||
+            ref[r].flags != got[r].flags) {
+          std::fprintf(stderr,
+                       "tape-gate: scalar tape diverges from tree walk "
+                       "(%s row %zu)\n",
+                       tree.to_string().c_str(), r);
+          return 2;
+        }
+      }
+
+      t0 = GateClock::now();
+      auto batched = ir::execute_batch(pool_one, tape, table, opts);
+      batch1_s += seconds_since(t0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (ref[r].value.bits != batched[r].value.bits ||
+            ref[r].flags != batched[r].flags) {
+          std::fprintf(stderr,
+                       "tape-gate: batched tape diverges from tree walk "
+                       "(%s row %zu)\n",
+                       tree.to_string().c_str(), r);
+          return 2;
+        }
+      }
+
+      t0 = GateClock::now();
+      auto wide = ir::execute_batch(pool_many, tape, table, opts);
+      batchn_s += seconds_since(t0);
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (batched[r].value.bits != wide[r].value.bits ||
+            batched[r].flags != wide[r].flags) {
+          std::fprintf(stderr,
+                       "tape-gate: batched tape not thread-count invariant "
+                       "(%s row %zu)\n",
+                       tree.to_string().c_str(), r);
+          return 2;
+        }
+      }
+    }
+  }
+
+  const auto row_of = [&](const char* name, double secs, int threads) {
+    fpq::bench::PerfRow r;
+    r.name = name;
+    r.ns_per_op = secs * 1e9 / static_cast<double>(total_rows);
+    r.ops_per_s = static_cast<double>(total_rows) / secs;
+    r.threads = threads;
+    r.fingerprint = campaign;
+    return r;
+  };
+  fpq::bench::PerfJson json;
+  json.add(row_of("tree-walk/binary16-sweep", walk_s, 1));
+  json.add(row_of("tape-scalar/binary16-sweep", scalar_s, 1));
+  json.add(row_of("tape-batched/binary16-sweep", batch1_s, 1));
+  json.add(row_of("tape-batched/binary16-sweep", batchn_s,
+                  std::max(1, max_threads)));
+  if (!json.write(json_path)) return 2;
+
+  std::printf(
+      "tape-gate: %zu rows (%d sample(s), %d mode(s)), campaign "
+      "%016llx\n",
+      total_rows, samples, modes,
+      static_cast<unsigned long long>(campaign));
+  std::printf("  %-28s %10s %14s %9s\n", "engine", "ns/op", "ops/s",
+              "vs walk");
+  const auto line = [&](const char* name, double secs) {
+    std::printf("  %-28s %10.1f %14.0f %8.2fx\n", name,
+                secs * 1e9 / static_cast<double>(total_rows),
+                static_cast<double>(total_rows) / secs, walk_s / secs);
+  };
+  line("tree-walk (reference)", walk_s);
+  line("tape-scalar", scalar_s);
+  line("tape-batched x1", batch1_s);
+  const std::string wide_name =
+      "tape-batched x" + std::to_string(std::max(1, max_threads));
+  line(wide_name.c_str(), batchn_s);
+  std::printf("  parity: all engines bit- and flag-identical\n");
+  std::printf("  wrote %s\n", json_path.c_str());
+
+  // The coarse CI gate: the scalar tape runner must not be slower than
+  // the virtual tree walk it replaces.
+  if (scalar_s > walk_s) {
+    std::fprintf(stderr,
+                 "tape-gate: FAIL — tape runner slower than tree walk "
+                 "(%.2fx)\n",
+                 walk_s / scalar_s);
+    return 1;
+  }
+  return 0;
+}
+
 std::vector<int> parse_thread_list(std::string_view spec) {
   std::vector<int> out;
   while (!spec.empty()) {
@@ -255,6 +470,10 @@ std::vector<int> parse_thread_list(std::string_view spec) {
 int main(int argc, char** argv) {
   std::vector<char*> bench_args;
   std::vector<int> thread_counts;
+  bool tape_gate = false;
+  std::string gate_path = "BENCH_perf.json";
+  int gate_samples = 2;
+  int gate_modes = 5;
   bench_args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -270,9 +489,33 @@ int main(int argc, char** argv) {
                            parsed.end());
       continue;
     }
+    if (arg == "--tape-gate") {
+      tape_gate = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') gate_path = argv[++i];
+      continue;
+    }
+    if (arg.starts_with("--tape-gate=")) {
+      tape_gate = true;
+      gate_path = std::string(arg.substr(12));
+      continue;
+    }
+    if (arg.starts_with("--gate-samples=")) {
+      gate_samples = std::max(1, std::atoi(arg.substr(15).data()));
+      continue;
+    }
+    if (arg.starts_with("--gate-modes=")) {
+      gate_modes = std::max(1, std::atoi(arg.substr(13).data()));
+      continue;
+    }
     bench_args.push_back(argv[i]);
   }
   if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+
+  if (tape_gate) {
+    const int max_threads =
+        *std::max_element(thread_counts.begin(), thread_counts.end());
+    return run_tape_gate(gate_path, gate_samples, gate_modes, max_threads);
+  }
 
   for (const int t : thread_counts) {
     const std::string name =
@@ -294,6 +537,13 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(memo_name.c_str(),
                                  [t](benchmark::State& state) {
                                    BM_IrBatchHorner64(state, t, true);
+                                 })
+        ->UseRealTime();
+    const std::string tape_name =
+        "BM_IrTapeBatchHorner64/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(tape_name.c_str(),
+                                 [t](benchmark::State& state) {
+                                   BM_IrTapeBatchHorner64(state, t);
                                  })
         ->UseRealTime();
   }

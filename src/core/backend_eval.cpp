@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "ir/tape.hpp"
 #include "softfloat/value.hpp"
 
 namespace fpq::quiz {
@@ -75,7 +76,13 @@ double BackendEvaluator::cmp_lt(const ir::Expr& e, const double& a,
 double evaluate_on_backend(ArithmeticBackend& backend, const ir::Expr& expr,
                            std::span<const double> bindings) {
   BackendEvaluator evaluator(backend);
-  return ir::evaluate_tree<double>(expr, evaluator, bindings);
+  // Ground truth runs the compiled tape (process-wide compile memo) with
+  // exact_trace options: the backend must execute the tree walk's op
+  // sequence verbatim — no CSE, no folding — because its semantics are
+  // not the tape config's softfloat arithmetic.
+  const std::shared_ptr<const ir::Tape> tape =
+      ir::Tape::cached(expr, {}, ir::TapeOptions::exact_trace());
+  return ir::run_tape<double>(*tape, evaluator, bindings);
 }
 
 }  // namespace fpq::quiz

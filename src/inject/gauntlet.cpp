@@ -10,6 +10,7 @@
 #include "inject/evaluator.hpp"
 #include "interval/interval.hpp"
 #include "ir/evaluators.hpp"
+#include "ir/tape.hpp"
 #include "report/table.hpp"
 #include "stats/prng.hpp"
 #include "workloads/workloads.hpp"
@@ -91,16 +92,27 @@ class RecordingContext final : public workloads::EvalContext {
 
   double call(const ir::Expr& expr,
               std::span<const double> bindings) override {
-    ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
     double r;
     if (injector_ != nullptr) {
+      // Injected runs stay on the tree walk: the injector arms fault
+      // sites by op index in the VISIT sequence, which the reference
+      // walk defines.
+      ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
       injector_->begin_call();
       InjectingEvaluator inj(soft, *injector_);
       r = ir::evaluate_tree<double>(expr, inj, bindings);
+      observed_.merge(mon::ConditionSet::from_softfloat_flags(soft.flags()));
     } else {
-      r = ir::evaluate_tree<double>(expr, soft, bindings);
+      // Baseline runs the compiled tape — bit- and sticky-flag-identical
+      // to the tree walk, so detector ground truth (and the campaign
+      // fingerprints derived from it) is unchanged while repeated probe
+      // evaluations skip the virtual walk.
+      const std::shared_ptr<const ir::Tape> tape =
+          ir::Tape::cached(expr, ir::EvalConfig::ieee_strict());
+      const ir::Outcome out = ir::execute(*tape, bindings);
+      r = softfloat::to_native(out.value);
+      observed_.merge(mon::ConditionSet::from_softfloat_flags(out.flags));
     }
-    observed_.merge(mon::ConditionSet::from_softfloat_flags(soft.flags()));
     records_.push_back(
         {expr, std::vector<double>(bindings.begin(), bindings.end()), r});
     return r;

@@ -3,15 +3,11 @@
 #include <bit>
 #include <cstdint>
 
-#include "parallel/result_cache.hpp"
-#include "parallel/shard.hpp"
+#include "ir/tape.hpp"
+#include "ir/tape_batch.hpp"
 
 namespace fpq::ir {
 
-namespace {
-
-// Content hash of a span of binding values (by bit pattern, so -0.0 and
-// NaN payloads are distinguished like the evaluation distinguishes them).
 std::uint64_t hash_bindings(std::span<const double> xs,
                             std::size_t width) noexcept {
   std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ (xs.size() + (width << 32));
@@ -25,85 +21,18 @@ std::uint64_t hash_bindings(std::span<const double> xs,
   return h;
 }
 
-}  // namespace
-
 std::vector<Outcome> evaluate_many(parallel::ThreadPool& pool,
                                    const Expr& expr,
                                    const BindingTable& bindings,
                                    const EvalConfig& config,
                                    const BatchOptions& options) {
-  const std::size_t n = bindings.rows();
-  std::vector<Outcome> out(n);
-  if (n == 0) return out;
-
-  // Rewrite once up front; per-row evaluation then runs the already-
-  // optimized tree under a config with the rewrite flags stripped.
-  const Expr tree = pipeline_rewrite(expr, config.contract_mul_add,
-                                     config.reassociate);
-  EvalConfig row_config = config;
-  row_config.contract_mul_add = false;
-  row_config.reassociate = false;
-
-  // The memoization key still names the ORIGINAL request: callers asking
-  // for the same (expr, config, bindings) must hit, and the rewritten
-  // tree is a pure function of (expr, config).
-  const std::uint64_t tree_hash = expr.hash();
-  const std::uint64_t config_fp = config.fingerprint();
-
-  const std::size_t chunks =
-      parallel::recommended_chunks(pool, n, options.min_rows_per_chunk);
-  auto& cache = parallel::BatchResultCache::global();
-
-  parallel::parallel_map_chunks(
-      pool, n, chunks,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        const std::span<const double> chunk_values =
-            std::span<const double>(bindings.values)
-                .subspan(begin * bindings.width,
-                         (end - begin) * bindings.width);
-        parallel::BatchKey key;
-        key.tree_hash = tree_hash;
-        key.config_fingerprint = config_fp;
-        key.bindings_hash = hash_bindings(chunk_values, bindings.width);
-        key.chunk = static_cast<std::uint32_t>(chunk);
-
-        if (options.memoize) {
-          if (const auto hit = cache.find(key);
-              hit.has_value() && hit->outcomes.size() == end - begin) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const auto& [value_bits, flags] = hit->outcomes[i - begin];
-              out[i].value = softfloat::Float64{value_bits};
-              out[i].flags = flags;
-            }
-            return;
-          }
-        }
-
-        for (std::size_t i = begin; i < end; ++i) {
-          // Fresh evaluator per row: sticky flags are per-row state.
-          out[i] = evaluate(tree, row_config, bindings.row(i));
-        }
-
-        if (options.memoize) {
-          // Cache-consistency guard: a chunk is memoized ONLY after every
-          // one of its rows evaluated cleanly. A row that throws (hostile
-          // evaluator, resource failure) aborts the chunk body above this
-          // line, lands in the pool's ShardFailureReport, and the
-          // partially-built chunk is dropped — a faulted chunk must never
-          // become a cache hit for a later clean sweep. Fault-injection
-          // sweeps (fpq::inject) bypass memoization entirely for the same
-          // reason: their outcomes are functions of the campaign, not of
-          // (tree, config, bindings).
-          parallel::BatchChunkResult result;
-          result.outcomes.reserve(end - begin);
-          for (std::size_t i = begin; i < end; ++i) {
-            result.outcomes.emplace_back(out[i].value.bits, out[i].flags);
-          }
-          cache.insert(key, result);
-        }
-      });
-
-  return out;
+  // Compile (or fetch the cached tape for) the rewritten program once;
+  // the batched executor then runs one opcode across a stride of rows at
+  // a time instead of re-walking the tree per row. Memoization keys on
+  // the tape's content fingerprint — no per-query tree re-hash — and
+  // Tape::compile applies the config's pipeline rewrite itself.
+  const std::shared_ptr<const Tape> tape = Tape::cached(expr, config);
+  return execute_batch(pool, *tape, bindings, options);
 }
 
 }  // namespace fpq::ir

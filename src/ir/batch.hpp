@@ -15,13 +15,37 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ir/evaluators.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace fpq::ir {
+
+/// A batch's binding table is narrower than the program requires. Batched
+/// entry points validate the width ONCE per batch and throw this instead
+/// of quiet-NaN-poisoning every row (the per-node quiet-NaN contract for a
+/// single out-of-range `variable` still holds in the scalar evaluators).
+struct BindingWidthError : std::invalid_argument {
+  std::size_t required;
+  std::size_t provided;
+  BindingWidthError(std::size_t required_width, std::size_t provided_width)
+      : std::invalid_argument(
+            "binding table width " + std::to_string(provided_width) +
+            " < required width " + std::to_string(required_width)),
+        required(required_width),
+        provided(provided_width) {}
+};
+
+/// Content hash of a span of binding values (by bit pattern, so -0.0 and
+/// NaN payloads are distinguished like the evaluation distinguishes them).
+/// Shared by the memoizing batch engines.
+std::uint64_t hash_bindings(std::span<const double> xs,
+                            std::size_t width) noexcept;
 
 /// Row-major table of operand bindings: row r binds the tree's variables
 /// var_index 0..width-1.

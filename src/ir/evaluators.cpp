@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "ir/native_ops.hpp"
+
 namespace fpq::ir {
 
 namespace sf = fpq::softfloat;
@@ -21,10 +23,13 @@ std::uint64_t EvalConfig::fingerprint() const noexcept {
   return z ^ (z >> 31);
 }
 
-namespace {
-
 // Opaque ops: evaluation must observe real FPU behavior, not constant
 // folds (same discipline as the native quiz backends and workloads).
+// Shared with the tape's native batch kernels via native_ops.hpp.
+namespace native {
+
+namespace {
+
 [[gnu::noinline]] double h_add(double a, double b) {
   volatile double va = a, vb = b;
   volatile double r = va + vb;
@@ -100,15 +105,34 @@ namespace {
   return r;
 }
 
+}  // namespace
+
+double add64(double a, double b) noexcept { return h_add(a, b); }
+double sub64(double a, double b) noexcept { return h_sub(a, b); }
+double mul64(double a, double b) noexcept { return h_mul(a, b); }
+double div64(double a, double b) noexcept { return h_div(a, b); }
+double sqrt64(double a) noexcept { return h_sqrt(a); }
+double fma64(double a, double b, double c) noexcept { return h_fma(a, b, c); }
+bool eq64(double a, double b) noexcept { return h_eq(a, b); }
+bool lt64(double a, double b) noexcept { return h_lt(a, b); }
+
+float add32(float a, float b) noexcept { return hf_add(a, b); }
+float sub32(float a, float b) noexcept { return hf_sub(a, b); }
+float mul32(float a, float b) noexcept { return hf_mul(a, b); }
+float div32(float a, float b) noexcept { return hf_div(a, b); }
+float sqrt32(float a) noexcept { return hf_sqrt(a); }
+float fma32(float a, float b, float c) noexcept { return hf_fma(a, b, c); }
+float narrow32(double x) noexcept { return hf_narrow(x); }
+
 // Exact sign-bit flip, including for NaN (a host `-x` is also a pure
 // sign-bit operation, but the bit_cast spelling cannot be folded into
 // anything value-changing).
-double flip_sign(double x) {
+double flip_sign(double x) noexcept {
   return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
                                (std::uint64_t{1} << 63));
 }
 
-}  // namespace
+}  // namespace native
 
 double NativeEvaluator64::constant(const Expr& e) {
   return sf::to_native(e.node().value);
@@ -119,98 +143,98 @@ double NativeEvaluator64::variable(const Expr& e, double bound) {
 }
 double NativeEvaluator64::neg(const Expr& e, const double& a) {
   (void)e;
-  return flip_sign(a);
+  return native::flip_sign(a);
 }
 double NativeEvaluator64::add(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return h_add(a, b);
+  return native::add64(a, b);
 }
 double NativeEvaluator64::sub(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return h_sub(a, b);
+  return native::sub64(a, b);
 }
 double NativeEvaluator64::mul(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return h_mul(a, b);
+  return native::mul64(a, b);
 }
 double NativeEvaluator64::div(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return h_div(a, b);
+  return native::div64(a, b);
 }
 double NativeEvaluator64::sqrt(const Expr& e, const double& a) {
   (void)e;
-  return h_sqrt(a);
+  return native::sqrt64(a);
 }
 double NativeEvaluator64::fma(const Expr& e, const double& a,
                               const double& b, const double& c) {
   (void)e;
-  return h_fma(a, b, c);
+  return native::fma64(a, b, c);
 }
 double NativeEvaluator64::cmp_eq(const Expr& e, const double& a,
                                  const double& b) {
   (void)e;
-  return h_eq(a, b) ? 1.0 : 0.0;
+  return native::eq64(a, b) ? 1.0 : 0.0;
 }
 double NativeEvaluator64::cmp_lt(const Expr& e, const double& a,
                                  const double& b) {
   (void)e;
-  return h_lt(a, b) ? 1.0 : 0.0;
+  return native::lt64(a, b) ? 1.0 : 0.0;
 }
 
 double NativeEvaluator32::constant(const Expr& e) {
-  return static_cast<double>(hf_narrow(sf::to_native(e.node().value)));
+  return static_cast<double>(native::narrow32(sf::to_native(e.node().value)));
 }
 double NativeEvaluator32::variable(const Expr& e, double bound) {
   (void)e;
-  return static_cast<double>(hf_narrow(bound));
+  return static_cast<double>(native::narrow32(bound));
 }
 double NativeEvaluator32::neg(const Expr& e, const double& a) {
   (void)e;
-  return flip_sign(a);
+  return native::flip_sign(a);
 }
 double NativeEvaluator32::add(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return static_cast<double>(hf_add(hf_narrow(a), hf_narrow(b)));
+  return static_cast<double>(native::add32(native::narrow32(a), native::narrow32(b)));
 }
 double NativeEvaluator32::sub(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return static_cast<double>(hf_sub(hf_narrow(a), hf_narrow(b)));
+  return static_cast<double>(native::sub32(native::narrow32(a), native::narrow32(b)));
 }
 double NativeEvaluator32::mul(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return static_cast<double>(hf_mul(hf_narrow(a), hf_narrow(b)));
+  return static_cast<double>(native::mul32(native::narrow32(a), native::narrow32(b)));
 }
 double NativeEvaluator32::div(const Expr& e, const double& a,
                               const double& b) {
   (void)e;
-  return static_cast<double>(hf_div(hf_narrow(a), hf_narrow(b)));
+  return static_cast<double>(native::div32(native::narrow32(a), native::narrow32(b)));
 }
 double NativeEvaluator32::sqrt(const Expr& e, const double& a) {
   (void)e;
-  return static_cast<double>(hf_sqrt(hf_narrow(a)));
+  return static_cast<double>(native::sqrt32(native::narrow32(a)));
 }
 double NativeEvaluator32::fma(const Expr& e, const double& a,
                               const double& b, const double& c) {
   (void)e;
   return static_cast<double>(
-      hf_fma(hf_narrow(a), hf_narrow(b), hf_narrow(c)));
+      native::fma32(native::narrow32(a), native::narrow32(b), native::narrow32(c)));
 }
 double NativeEvaluator32::cmp_eq(const Expr& e, const double& a,
                                  const double& b) {
   (void)e;
-  return h_eq(hf_narrow(a), hf_narrow(b)) ? 1.0 : 0.0;
+  return native::eq64(native::narrow32(a), native::narrow32(b)) ? 1.0 : 0.0;
 }
 double NativeEvaluator32::cmp_lt(const Expr& e, const double& a,
                                  const double& b) {
   (void)e;
-  return h_lt(hf_narrow(a), hf_narrow(b)) ? 1.0 : 0.0;
+  return native::lt64(native::narrow32(a), native::narrow32(b)) ? 1.0 : 0.0;
 }
 
 namespace {

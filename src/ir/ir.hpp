@@ -6,6 +6,9 @@
 //   rewrite.hpp    — contraction/reassociation IR→IR passes
 //   trace.hpp      — ProvenanceTrace (per-op exception provenance)
 //   batch.hpp      — evaluate_many over fpq::parallel, memoized
+//   tape.hpp       — Tape: Expr → flat bytecode (CSE, constant folding,
+//                    content fingerprint), scalar engines
+//   tape_batch.hpp — batched SoA tape executor over fpq::parallel
 #pragma once
 
 #include "ir/batch.hpp"       // IWYU pragma: export
@@ -13,4 +16,6 @@
 #include "ir/evaluators.hpp"  // IWYU pragma: export
 #include "ir/expr.hpp"        // IWYU pragma: export
 #include "ir/rewrite.hpp"     // IWYU pragma: export
+#include "ir/tape.hpp"        // IWYU pragma: export
+#include "ir/tape_batch.hpp"  // IWYU pragma: export
 #include "ir/trace.hpp"       // IWYU pragma: export

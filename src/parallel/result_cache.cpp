@@ -2,83 +2,9 @@
 
 namespace fpq::parallel {
 
-std::optional<ShardResult> ResultCache::find(const OracleKey& key) {
-  Stripe& s = stripe_of(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-void ResultCache::insert(const OracleKey& key, const ShardResult& result) {
-  Stripe& s = stripe_of(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  s.map.try_emplace(key, result);
-}
-
-std::size_t ResultCache::size() const {
-  std::size_t total = 0;
-  for (const Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    total += s.map.size();
-  }
-  return total;
-}
-
-void ResultCache::clear() {
-  for (Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    s.map.clear();
-  }
-  hits_.store(0);
-  misses_.store(0);
-}
-
 ResultCache& ResultCache::global() {
   static ResultCache cache;
   return cache;
-}
-
-std::optional<BatchChunkResult> BatchResultCache::find(
-    const BatchKey& key) {
-  Stripe& s = stripe_of(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-void BatchResultCache::insert(const BatchKey& key,
-                              const BatchChunkResult& result) {
-  Stripe& s = stripe_of(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  s.map.try_emplace(key, result);
-}
-
-std::size_t BatchResultCache::size() const {
-  std::size_t total = 0;
-  for (const Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    total += s.map.size();
-  }
-  return total;
-}
-
-void BatchResultCache::clear() {
-  for (Stripe& s : stripes_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    s.map.clear();
-  }
-  hits_.store(0);
-  misses_.store(0);
 }
 
 BatchResultCache& BatchResultCache::global() {

@@ -12,6 +12,7 @@
 // independently-locked segments, so concurrent shards rarely contend.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -24,9 +25,42 @@
 
 namespace fpq::parallel {
 
+/// Interned backend name: the string plus a content tag precomputed at
+/// assignment, so key hashing never re-walks the string per query.
+class BackendName {
+ public:
+  BackendName() = default;
+  BackendName(std::string name)  // NOLINT(google-explicit-constructor)
+      : name_(std::move(name)), tag_(tag_of(name_)) {}
+  BackendName(const char* name)  // NOLINT(google-explicit-constructor)
+      : BackendName(std::string(name)) {}
+
+  const std::string& str() const noexcept { return name_; }
+  std::uint64_t tag() const noexcept { return tag_; }
+
+  bool operator==(const BackendName& other) const noexcept {
+    return tag_ == other.tag_ && name_ == other.name_;
+  }
+
+ private:
+  static std::uint64_t tag_of(const std::string& s) noexcept {
+    // FNV-1a; the empty string hashes to the offset basis, matching the
+    // default-constructed tag below.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+
+  std::string name_;
+  std::uint64_t tag_ = 0xCBF29CE484222325ULL;
+};
+
 /// Identity of one differential-sweep shard.
 struct OracleKey {
-  std::string backend;          ///< e.g. "softfloat"
+  BackendName backend;             ///< e.g. "softfloat"
   std::uint8_t format_bits = 0;    ///< 16 / 32 / 64
   std::uint8_t op = 0;             ///< SweepOp
   std::uint8_t rounding = 0;       ///< softfloat::Rounding
@@ -38,13 +72,12 @@ struct OracleKey {
 
 struct OracleKeyHash {
   std::size_t operator()(const OracleKey& k) const noexcept {
-    std::size_t h = std::hash<std::string>{}(k.backend);
     const std::uint64_t packed =
         (std::uint64_t{k.format_bits} << 56) | (std::uint64_t{k.op} << 48) |
         (std::uint64_t{k.rounding} << 40) |
         (std::uint64_t{k.operand_class} << 32) | k.task;
-    // 64-bit mix of the packed fields folded into the string hash.
-    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL * (h + 1);
+    // 64-bit mix of the packed fields folded into the precomputed tag.
+    std::uint64_t z = packed + 0x9E3779B97F4A7C15ULL * (k.backend.tag() + 1);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     return static_cast<std::size_t>(z ^ (z >> 27));
   }
@@ -58,49 +91,130 @@ struct ShardResult {
   std::string first_mismatch;
 };
 
-class ResultCache {
+/// Counter snapshot for benches and diagnostics.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// CRTP-free shared shape for the two caches below: striped unordered
+/// maps, hit/miss/eviction counters, optional capacity bound. Kept as a
+/// template over (Key, Hash, Value) so the parallel substrate stays
+/// independent of the IR's types.
+template <typename Key, typename Hash, typename Value>
+class StripedCache {
  public:
-  ResultCache() = default;
-  ResultCache(const ResultCache&) = delete;
-  ResultCache& operator=(const ResultCache&) = delete;
+  StripedCache() = default;
+  StripedCache(const StripedCache&) = delete;
+  StripedCache& operator=(const StripedCache&) = delete;
 
   /// Returns the memoized result, counting a hit/miss.
-  std::optional<ShardResult> find(const OracleKey& key);
+  std::optional<Value> find(const Key& key) {
+    Stripe& s = stripe_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
 
-  /// Memoizes (first writer wins; identical by determinism anyway).
-  void insert(const OracleKey& key, const ShardResult& result);
+  /// Memoizes (first writer wins; identical by determinism anyway). If a
+  /// capacity is set and the stripe overflows, an arbitrary OTHER entry is
+  /// evicted — safe for a pure memoization cache, where eviction only
+  /// costs recomputation.
+  void insert(const Key& key, const Value& result) {
+    Stripe& s = stripe_of(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.map.try_emplace(key, result);
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    if (cap == 0) return;
+    const std::size_t per_stripe =
+        std::max<std::size_t>(1, cap / kStripes);
+    while (s.map.size() > per_stripe) {
+      auto victim = s.map.begin();
+      if (victim->first == key) ++victim;
+      if (victim == s.map.end()) break;
+      s.map.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 
-  std::size_t size() const;
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      total += s.map.size();
+    }
+    return total;
+  }
+
   std::uint64_t hits() const noexcept { return hits_.load(); }
   std::uint64_t misses() const noexcept { return misses_.load(); }
-  void clear();
+  std::uint64_t evictions() const noexcept { return evictions_.load(); }
 
-  /// Process-wide cache shared by sessions, benches, and tests.
-  static ResultCache& global();
+  CacheStats stats() const {
+    CacheStats st;
+    st.hits = hits();
+    st.misses = misses();
+    st.evictions = evictions();
+    st.entries = size();
+    return st;
+  }
+
+  /// Bounds the total entry count (approximately: cap/kStripes per
+  /// stripe). 0 restores the default unbounded behavior.
+  void set_capacity(std::size_t max_entries) noexcept {
+    capacity_.store(max_entries, std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.map.clear();
+    }
+    hits_.store(0);
+    misses_.store(0);
+    evictions_.store(0);
+  }
 
  private:
   static constexpr std::size_t kStripes = 16;
   struct Stripe {
     mutable std::mutex mutex;
-    std::unordered_map<OracleKey, ShardResult, OracleKeyHash> map;
+    std::unordered_map<Key, Value, Hash> map;
   };
-  Stripe& stripe_of(const OracleKey& key) {
-    return stripes_[OracleKeyHash{}(key) % kStripes];
+  Stripe& stripe_of(const Key& key) {
+    return stripes_[Hash{}(key) % kStripes];
   }
 
   std::array<Stripe, kStripes> stripes_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> capacity_{0};
 };
 
-/// Identity of one chunk of a batched IR evaluation: the (hash-consed)
-/// tree's structural fingerprint, the EvalConfig fingerprint, a content
+class ResultCache : public StripedCache<OracleKey, OracleKeyHash, ShardResult> {
+ public:
+  /// Process-wide cache shared by sessions, benches, and tests.
+  static ResultCache& global();
+};
+
+/// Identity of one chunk of a batched IR evaluation: the compiled tape's
+/// content fingerprint (which already names the rewritten program AND the
+/// numeric config — format, rounding, FTZ/DAZ, constant pool), a content
 /// hash of the chunk's operand bindings, and the chunk index. The outcome
 /// of such a chunk is a pure function of this key — exactly the same
 /// determinism contract as OracleKey, applied to expression evaluation.
+/// Keying on the fingerprint means NO per-query tree re-hash: the
+/// fingerprint is computed once at tape compile.
 struct BatchKey {
-  std::uint64_t tree_hash = 0;
-  std::uint64_t config_fingerprint = 0;
+  std::uint64_t tape_fingerprint = 0;
   std::uint64_t bindings_hash = 0;
   std::uint32_t chunk = 0;
 
@@ -109,8 +223,7 @@ struct BatchKey {
 
 struct BatchKeyHash {
   std::size_t operator()(const BatchKey& k) const noexcept {
-    std::uint64_t z = k.tree_hash;
-    z ^= k.config_fingerprint + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+    std::uint64_t z = k.tape_fingerprint;
     z ^= k.bindings_hash + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
     z ^= k.chunk + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -125,39 +238,11 @@ struct BatchChunkResult {
   std::vector<std::pair<std::uint64_t, unsigned>> outcomes;
 };
 
-/// Striped memoization cache for batched expression evaluation, same
-/// locking structure as ResultCache (first writer wins; identical by
-/// determinism anyway).
-class BatchResultCache {
+class BatchResultCache
+    : public StripedCache<BatchKey, BatchKeyHash, BatchChunkResult> {
  public:
-  BatchResultCache() = default;
-  BatchResultCache(const BatchResultCache&) = delete;
-  BatchResultCache& operator=(const BatchResultCache&) = delete;
-
-  std::optional<BatchChunkResult> find(const BatchKey& key);
-  void insert(const BatchKey& key, const BatchChunkResult& result);
-
-  std::size_t size() const;
-  std::uint64_t hits() const noexcept { return hits_.load(); }
-  std::uint64_t misses() const noexcept { return misses_.load(); }
-  void clear();
-
   /// Process-wide cache shared by sessions, benches, and tests.
   static BatchResultCache& global();
-
- private:
-  static constexpr std::size_t kStripes = 16;
-  struct Stripe {
-    mutable std::mutex mutex;
-    std::unordered_map<BatchKey, BatchChunkResult, BatchKeyHash> map;
-  };
-  Stripe& stripe_of(const BatchKey& key) {
-    return stripes_[BatchKeyHash{}(key) % kStripes];
-  }
-
-  std::array<Stripe, kStripes> stripes_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace fpq::parallel

@@ -1,0 +1,231 @@
+#include "softfloat/batch.hpp"
+
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+// One binary-op lane loop; the op itself is the scalar entry point, so
+// per-lane semantics (rounding, FTZ/DAZ, flags) are the scalar engine's
+// by construction.
+template <int kBits, typename Op>
+void binary_lanes(const Float<kBits>* a, const Float<kBits>* b,
+                  Float<kBits>* out, unsigned* flags, std::size_t n,
+                  Env& env, Op op) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    out[i] = op(a[i], b[i], env);
+    flags[i] |= env.flags();
+  }
+}
+
+}  // namespace
+
+template <int kBits>
+void add_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept {
+  binary_lanes<kBits>(a, b, out, flags, n, env,
+                      [](Float<kBits> x, Float<kBits> y, Env& e) {
+                        return add(x, y, e);
+                      });
+}
+
+template <int kBits>
+void sub_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept {
+  binary_lanes<kBits>(a, b, out, flags, n, env,
+                      [](Float<kBits> x, Float<kBits> y, Env& e) {
+                        return sub(x, y, e);
+                      });
+}
+
+template <int kBits>
+void mul_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept {
+  binary_lanes<kBits>(a, b, out, flags, n, env,
+                      [](Float<kBits> x, Float<kBits> y, Env& e) {
+                        return mul(x, y, e);
+                      });
+}
+
+template <int kBits>
+void div_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept {
+  binary_lanes<kBits>(a, b, out, flags, n, env,
+                      [](Float<kBits> x, Float<kBits> y, Env& e) {
+                        return div(x, y, e);
+                      });
+}
+
+template <int kBits>
+void sqrt_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
+            std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    out[i] = sqrt(a[i], env);
+    flags[i] |= env.flags();
+  }
+}
+
+template <int kBits>
+void fma_n(const Float<kBits>* a, const Float<kBits>* b,
+           const Float<kBits>* c, Float<kBits>* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    out[i] = fma(a[i], b[i], c[i], env);
+    flags[i] |= env.flags();
+  }
+}
+
+template <int kBits>
+void equal_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+             unsigned* flags, std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    const bool r = equal(a[i], b[i], env);
+    flags[i] |= env.flags();
+    out[i] = r ? Float<kBits>::one() : Float<kBits>::zero();
+  }
+}
+
+template <int kBits>
+void less_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+            unsigned* flags, std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    const bool r = less(a[i], b[i], env);
+    flags[i] |= env.flags();
+    out[i] = r ? Float<kBits>::one() : Float<kBits>::zero();
+  }
+}
+
+template <int kBits>
+void neg_n(const Float<kBits>* a, Float<kBits>* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i].negated();
+}
+
+template <int kBits>
+void narrow_from_double_n(const double* in, std::size_t stride,
+                          Float<kBits>* out, std::size_t n,
+                          const Env& env) noexcept {
+  if constexpr (kBits == 64) {
+    (void)env;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = from_native(in[i * stride]);
+    }
+  } else {
+    // Quiet conversion with the caller's rounding and DAZ modes: flags a
+    // narrowing raises are discarded, like the evaluators' literal and
+    // operand narrowing.
+    Env quiet(env.rounding());
+    quiet.set_denormals_are_zero(env.denormals_are_zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = convert<kBits>(from_native(in[i * stride]), quiet);
+    }
+  }
+}
+
+template <int kBits>
+void widen_to_double_n(const Float<kBits>* in, double* out,
+                       std::size_t n) noexcept {
+  if constexpr (kBits == 64) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = to_native(in[i]);
+  } else {
+    Env quiet;  // widening is exact
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = to_native(convert<64>(in[i], quiet));
+    }
+  }
+}
+
+template void add_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void add_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void add_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void add_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+template void sub_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void sub_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void sub_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void sub_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+template void mul_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void mul_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void mul_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void mul_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+template void div_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void div_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void div_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                        std::size_t, Env&) noexcept;
+template void div_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+template void sqrt_n<16>(const Float16*, Float16*, unsigned*, std::size_t,
+                         Env&) noexcept;
+template void sqrt_n<32>(const Float32*, Float32*, unsigned*, std::size_t,
+                         Env&) noexcept;
+template void sqrt_n<64>(const Float64*, Float64*, unsigned*, std::size_t,
+                         Env&) noexcept;
+template void sqrt_n<kBFloat16>(const BFloat16*, BFloat16*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void fma_n<16>(const Float16*, const Float16*, const Float16*,
+                        Float16*, unsigned*, std::size_t, Env&) noexcept;
+template void fma_n<32>(const Float32*, const Float32*, const Float32*,
+                        Float32*, unsigned*, std::size_t, Env&) noexcept;
+template void fma_n<64>(const Float64*, const Float64*, const Float64*,
+                        Float64*, unsigned*, std::size_t, Env&) noexcept;
+template void fma_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                               const BFloat16*, BFloat16*, unsigned*,
+                               std::size_t, Env&) noexcept;
+template void equal_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                          std::size_t, Env&) noexcept;
+template void equal_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                          std::size_t, Env&) noexcept;
+template void equal_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                          std::size_t, Env&) noexcept;
+template void equal_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                                 unsigned*, std::size_t, Env&) noexcept;
+template void less_n<16>(const Float16*, const Float16*, Float16*, unsigned*,
+                         std::size_t, Env&) noexcept;
+template void less_n<32>(const Float32*, const Float32*, Float32*, unsigned*,
+                         std::size_t, Env&) noexcept;
+template void less_n<64>(const Float64*, const Float64*, Float64*, unsigned*,
+                         std::size_t, Env&) noexcept;
+template void less_n<kBFloat16>(const BFloat16*, const BFloat16*, BFloat16*,
+                                unsigned*, std::size_t, Env&) noexcept;
+template void neg_n<16>(const Float16*, Float16*, std::size_t) noexcept;
+template void neg_n<32>(const Float32*, Float32*, std::size_t) noexcept;
+template void neg_n<64>(const Float64*, Float64*, std::size_t) noexcept;
+template void neg_n<kBFloat16>(const BFloat16*, BFloat16*,
+                               std::size_t) noexcept;
+template void narrow_from_double_n<16>(const double*, std::size_t, Float16*,
+                                       std::size_t, const Env&) noexcept;
+template void narrow_from_double_n<32>(const double*, std::size_t, Float32*,
+                                       std::size_t, const Env&) noexcept;
+template void narrow_from_double_n<64>(const double*, std::size_t, Float64*,
+                                       std::size_t, const Env&) noexcept;
+template void narrow_from_double_n<kBFloat16>(const double*, std::size_t,
+                                              BFloat16*, std::size_t,
+                                              const Env&) noexcept;
+template void widen_to_double_n<16>(const Float16*, double*,
+                                    std::size_t) noexcept;
+template void widen_to_double_n<32>(const Float32*, double*,
+                                    std::size_t) noexcept;
+template void widen_to_double_n<64>(const Float64*, double*,
+                                    std::size_t) noexcept;
+template void widen_to_double_n<kBFloat16>(const BFloat16*, double*,
+                                           std::size_t) noexcept;
+
+}  // namespace fpq::softfloat

@@ -1,0 +1,174 @@
+// fpq::softfloat — batch (SoA) entry points: one operation across a
+// stride of lanes.
+//
+// The per-lane semantics are EXACTLY the scalar operations' — same
+// correctly-rounded results, same sticky flags — run in a tight loop so a
+// batched executor (fpq::ir's tape engine) pays the softfloat arithmetic
+// and nothing else per lane. Each lane's flags are captured individually:
+// the Env's sticky state is used as scratch (cleared before every lane)
+// and each lane's raised flags are OR-ed into flags[i]. Callers that need
+// the Env's own union afterwards must re-accumulate from the flag array.
+#pragma once
+
+#include <cstddef>
+
+#include "softfloat/env.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::softfloat {
+
+/// out[i] = op(a[i], b[i]); flags[i] |= the flags lane i raised. The Env's
+/// sticky flags are clobbered (used as per-lane scratch). `out` may alias
+/// `a` or `b`: lane i's operands are read before lane i's result is
+/// written, and lanes are processed in order.
+template <int kBits>
+void add_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept;
+template <int kBits>
+void sub_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept;
+template <int kBits>
+void mul_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept;
+template <int kBits>
+void div_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept;
+template <int kBits>
+void sqrt_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
+            std::size_t n, Env& env) noexcept;
+template <int kBits>
+void fma_n(const Float<kBits>* a, const Float<kBits>* b,
+           const Float<kBits>* c, Float<kBits>* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept;
+
+/// C-operator comparison lanes, producing in-format 1.0 / 0.0 (1.0 is
+/// exactly representable in every supported format). equal is the quiet
+/// ==; less the signaling <.
+template <int kBits>
+void equal_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+             unsigned* flags, std::size_t n, Env& env) noexcept;
+template <int kBits>
+void less_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
+            unsigned* flags, std::size_t n, Env& env) noexcept;
+
+/// Sign-bit negation lanes: never raises flags (IEEE 5.5.1), no Env.
+template <int kBits>
+void neg_n(const Float<kBits>* a, Float<kBits>* out, std::size_t n) noexcept;
+
+/// Narrows host doubles (read with `stride` between lanes — a column of a
+/// row-major binding table) into the format. Quiet: conversion flags are
+/// discarded, but the Env's rounding and DAZ modes apply — exactly the
+/// evaluators' operand/literal narrowing semantics. kBits == 64 is a pure
+/// bit copy.
+template <int kBits>
+void narrow_from_double_n(const double* in, std::size_t stride,
+                          Float<kBits>* out, std::size_t n,
+                          const Env& env) noexcept;
+
+/// Widens lanes back to binary64 (exact for every supported format).
+template <int kBits>
+void widen_to_double_n(const Float<kBits>* in, double* out,
+                       std::size_t n) noexcept;
+
+extern template void add_n<16>(const Float16*, const Float16*, Float16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void add_n<32>(const Float32*, const Float32*, Float32*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void add_n<64>(const Float64*, const Float64*, Float64*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void add_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                      BFloat16*, unsigned*, std::size_t,
+                                      Env&) noexcept;
+extern template void sub_n<16>(const Float16*, const Float16*, Float16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void sub_n<32>(const Float32*, const Float32*, Float32*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void sub_n<64>(const Float64*, const Float64*, Float64*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void sub_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                      BFloat16*, unsigned*, std::size_t,
+                                      Env&) noexcept;
+extern template void mul_n<16>(const Float16*, const Float16*, Float16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void mul_n<32>(const Float32*, const Float32*, Float32*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void mul_n<64>(const Float64*, const Float64*, Float64*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void mul_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                      BFloat16*, unsigned*, std::size_t,
+                                      Env&) noexcept;
+extern template void div_n<16>(const Float16*, const Float16*, Float16*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void div_n<32>(const Float32*, const Float32*, Float32*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void div_n<64>(const Float64*, const Float64*, Float64*,
+                               unsigned*, std::size_t, Env&) noexcept;
+extern template void div_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                      BFloat16*, unsigned*, std::size_t,
+                                      Env&) noexcept;
+extern template void sqrt_n<16>(const Float16*, Float16*, unsigned*,
+                                std::size_t, Env&) noexcept;
+extern template void sqrt_n<32>(const Float32*, Float32*, unsigned*,
+                                std::size_t, Env&) noexcept;
+extern template void sqrt_n<64>(const Float64*, Float64*, unsigned*,
+                                std::size_t, Env&) noexcept;
+extern template void sqrt_n<kBFloat16>(const BFloat16*, BFloat16*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void fma_n<16>(const Float16*, const Float16*, const Float16*,
+                               Float16*, unsigned*, std::size_t,
+                               Env&) noexcept;
+extern template void fma_n<32>(const Float32*, const Float32*, const Float32*,
+                               Float32*, unsigned*, std::size_t,
+                               Env&) noexcept;
+extern template void fma_n<64>(const Float64*, const Float64*, const Float64*,
+                               Float64*, unsigned*, std::size_t,
+                               Env&) noexcept;
+extern template void fma_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                      const BFloat16*, BFloat16*, unsigned*,
+                                      std::size_t, Env&) noexcept;
+extern template void equal_n<16>(const Float16*, const Float16*, Float16*,
+                                 unsigned*, std::size_t, Env&) noexcept;
+extern template void equal_n<32>(const Float32*, const Float32*, Float32*,
+                                 unsigned*, std::size_t, Env&) noexcept;
+extern template void equal_n<64>(const Float64*, const Float64*, Float64*,
+                                 unsigned*, std::size_t, Env&) noexcept;
+extern template void equal_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                        BFloat16*, unsigned*, std::size_t,
+                                        Env&) noexcept;
+extern template void less_n<16>(const Float16*, const Float16*, Float16*,
+                                unsigned*, std::size_t, Env&) noexcept;
+extern template void less_n<32>(const Float32*, const Float32*, Float32*,
+                                unsigned*, std::size_t, Env&) noexcept;
+extern template void less_n<64>(const Float64*, const Float64*, Float64*,
+                                unsigned*, std::size_t, Env&) noexcept;
+extern template void less_n<kBFloat16>(const BFloat16*, const BFloat16*,
+                                       BFloat16*, unsigned*, std::size_t,
+                                       Env&) noexcept;
+extern template void neg_n<16>(const Float16*, Float16*, std::size_t) noexcept;
+extern template void neg_n<32>(const Float32*, Float32*, std::size_t) noexcept;
+extern template void neg_n<64>(const Float64*, Float64*, std::size_t) noexcept;
+extern template void neg_n<kBFloat16>(const BFloat16*, BFloat16*,
+                                      std::size_t) noexcept;
+extern template void narrow_from_double_n<16>(const double*, std::size_t,
+                                              Float16*, std::size_t,
+                                              const Env&) noexcept;
+extern template void narrow_from_double_n<32>(const double*, std::size_t,
+                                              Float32*, std::size_t,
+                                              const Env&) noexcept;
+extern template void narrow_from_double_n<64>(const double*, std::size_t,
+                                              Float64*, std::size_t,
+                                              const Env&) noexcept;
+extern template void narrow_from_double_n<kBFloat16>(const double*,
+                                                     std::size_t, BFloat16*,
+                                                     std::size_t,
+                                                     const Env&) noexcept;
+extern template void widen_to_double_n<16>(const Float16*, double*,
+                                           std::size_t) noexcept;
+extern template void widen_to_double_n<32>(const Float32*, double*,
+                                           std::size_t) noexcept;
+extern template void widen_to_double_n<64>(const Float64*, double*,
+                                           std::size_t) noexcept;
+extern template void widen_to_double_n<kBFloat16>(const BFloat16*, double*,
+                                                  std::size_t) noexcept;
+
+}  // namespace fpq::softfloat

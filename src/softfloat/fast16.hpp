@@ -1,0 +1,185 @@
+// fpq::softfloat — binary16 fast-path primitives for the batched tape
+// executor.
+//
+// Lanes hold binary16 VALUES as native doubles; arithmetic runs on the
+// host FPU (pinned to round-to-nearest by the caller) and each result is
+// folded back in-format through the same detail::round_pack<16> core the
+// scalar engine uses, so values and flags are bit-identical to the
+// softfloat operations by construction rather than by reimplementation:
+//
+//  - add/sub/mul of binary16 values are EXACT in binary64 (11-bit
+//    significands, |exponent| <= 24 quanta against a 53-bit target), so
+//    the native result is the infinitely precise result and the one
+//    round_pack rounding is the only rounding that ever happens.
+//  - div/sqrt are correctly rounded in binary64, and with 53 >= 2*11 + 2
+//    the extra binary64 rounding is innocuous in every rounding mode: a
+//    quotient (root) of binary16 values is either exactly a binary16
+//    rounding boundary or separated from every boundary by far more than
+//    the binary64 rounding error, so the boundary comparisons inside
+//    round_pack come out the same as for the exact value.
+//  - fma residues CAN land closer to a boundary than binary64 can
+//    represent (e.g. 65504 + 2^-48), so the caller compresses the exact
+//    sum through TwoSum + round-to-odd before handing it to round16().
+//
+// Anything special — NaN or infinity operands, division by zero, sqrt of
+// a negative — is expected to take the scalar softfloat operation for
+// that lane instead (see tape_batch.cpp), which also keeps NaN payload
+// propagation canonical. This header is internal to the softfloat module.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "softfloat/detail.hpp"
+#include "softfloat/ops.hpp"
+
+namespace fpq::softfloat::fast16 {
+
+inline constexpr std::uint64_t kExpMask64 = 0x7FF0000000000000ull;
+inline constexpr std::uint64_t kFracMask64 = 0x000FFFFFFFFFFFFFull;
+
+inline bool is_finite(double v) noexcept {
+  return (std::bit_cast<std::uint64_t>(v) & kExpMask64) != kExpMask64;
+}
+
+/// True for a value in binary16's subnormal range (0 < |v| < 2^-14) —
+/// the operands that raise kFlagDenormalInput / get flushed by DAZ.
+inline bool is_subnormal16(double v) noexcept {
+  return v != 0.0 && std::fabs(v) < 0x1p-14;
+}
+
+/// DAZ operand flush: binary16-subnormal magnitudes become signed zero.
+inline double daz16(double v) noexcept {
+  return std::fabs(v) < 0x1p-14 ? std::copysign(0.0, v) : v;
+}
+
+/// Exact widening of a binary16 encoding to its double value (including
+/// NaN payloads, which land in the same bits convert<64,16> puts them in).
+inline double widen(Float16 x) noexcept {
+  const auto be = static_cast<std::uint64_t>(x.biased_exponent());
+  const std::uint64_t sign = x.sign() ? (std::uint64_t{1} << 63) : 0;
+  const auto frac = static_cast<std::uint64_t>(x.fraction());
+  if (be == 0x1F) {  // infinity / NaN: payload shifts into the top bits
+    return std::bit_cast<double>(sign | kExpMask64 | (frac << 42));
+  }
+  if (be != 0) {  // normal: rebias 15 -> 1023
+    return std::bit_cast<double>(sign | ((be - 15 + 1023) << 52) |
+                                 (frac << 42));
+  }
+  if (frac == 0) return std::bit_cast<double>(sign);
+  // Subnormal: value = frac * 2^-24, normalized into a double.
+  const int top = 63 - std::countl_zero(frac);  // 0..9
+  const std::uint64_t mant = (frac ^ (std::uint64_t{1} << top)) << (52 - top);
+  const auto bexp = static_cast<std::uint64_t>(top - 24 + 1023);
+  return std::bit_cast<double>(sign | (bexp << 52) | mant);
+}
+
+/// Rounds a NORMAL nonzero double into binary16 through the scalar
+/// engine's round/pack core (all five modes, FTZ, tininess-after-rounding,
+/// per-mode overflow results) and returns the value re-widened to double.
+/// Flags accumulate on `env` exactly as the softfloat operation would
+/// raise them. The caller guarantees `x` is finite, nonzero, and not a
+/// double-subnormal (every nonzero result of binary16 arithmetic is a
+/// normal double: the smallest magnitude any op can produce is 2^-48).
+inline double round16(double x, Env& env) noexcept {
+  const std::uint64_t b = std::bit_cast<std::uint64_t>(x);
+  const bool sign = (b >> 63) != 0;
+  const auto exp = static_cast<std::int32_t>((b >> 52) & 0x7FF) - 1023;
+  const std::uint64_t sig = ((b & kFracMask64) | (std::uint64_t{1} << 52))
+                            << 11;
+  return widen(detail::round_pack<16>(sign, exp, sig, false, env));
+}
+
+/// Bit pattern of the largest finite binary16 value (65504) widened to
+/// double, sign cleared: anything above it after rounding overflowed.
+inline constexpr std::uint64_t kMaxMag16 =
+    (std::uint64_t{1038} << 52) | (std::uint64_t{0x3FF} << 42);
+
+/// Value-only narrowing of a NORMAL nonzero double to the nearest
+/// binary16 value under `mode`, returned re-widened to double. Computes
+/// no flags — it exists for operand narrowing (tape kVar lanes), where
+/// flags are discarded by contract, and is several times cheaper than
+/// round16(). Works by add-and-mask rounding on the double's bit
+/// pattern: within the binary16 value set, consecutive values are a
+/// fixed pattern step apart (2^42 for normals, 2^(42+shift) in the
+/// subnormal range) and the carry out of the fraction walks binades, so
+/// one masked integer add rounds correctly in every mode; the kept lsb
+/// of the pattern is the parity ties-to-even needs.
+inline double narrow16_value(double x, Rounding mode) noexcept {
+  const std::uint64_t b = std::bit_cast<std::uint64_t>(x);
+  const std::uint64_t sign = b & (std::uint64_t{1} << 63);
+  std::uint64_t mag = b ^ sign;
+  const int e = static_cast<int>(mag >> 52) - 1023;
+  if (e <= -25) {
+    // At or below half the smallest subnormal (2^-25): the candidates
+    // are 0 and 2^-24, decided by mode and which side of half we're on.
+    bool away = false;
+    switch (mode) {
+      case Rounding::kNearestEven:
+        away = e == -25 && (mag & kFracMask64) != 0;  // ties go to 0
+        break;
+      case Rounding::kNearestAway: away = e == -25; break;
+      case Rounding::kTowardZero: break;
+      case Rounding::kUp: away = sign == 0; break;
+      case Rounding::kDown: away = sign != 0; break;
+    }
+    return std::bit_cast<double>(
+        sign | (away ? std::bit_cast<std::uint64_t>(0x1p-24) : 0));
+  }
+  const int q = e < -14 ? 42 + (-14 - e) : 42;  // first discarded bit
+  const std::uint64_t low = (std::uint64_t{1} << q) - 1;
+  switch (mode) {
+    case Rounding::kNearestEven:
+      mag += (low >> 1) + ((mag >> q) & 1);
+      break;
+    case Rounding::kNearestAway:
+      mag += (low >> 1) + 1;  // exactly half: ties carry away
+      break;
+    case Rounding::kTowardZero: break;
+    case Rounding::kUp:
+      if (sign == 0) mag += low;
+      break;
+    case Rounding::kDown:
+      if (sign != 0) mag += low;
+      break;
+  }
+  mag &= ~low;
+  if (mag > kMaxMag16) {  // per-mode overflow saturation
+    const bool to_inf = mode == Rounding::kNearestEven ||
+                        mode == Rounding::kNearestAway ||
+                        (mode == Rounding::kUp && sign == 0) ||
+                        (mode == Rounding::kDown && sign != 0);
+    mag = to_inf ? kExpMask64 : kMaxMag16;
+  }
+  return std::bit_cast<double>(sign | mag);
+}
+
+/// Exact narrowing of an in-format (binary16-valued) double back to the
+/// encoding, for handing a lane to a scalar softfloat fallback.
+inline Float16 to_f16(double v) noexcept {
+  Env quiet;
+  return convert<16>(from_native(v), quiet);
+}
+
+/// Deterministic sign-bit flip (IEEE negate: no flags, NaN sign flips).
+inline double flip_sign(double v) noexcept {
+  return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
+                               (std::uint64_t{1} << 63));
+}
+
+/// One ulp step toward the sign of `dir` (caller guarantees the step
+/// cannot cross zero or leave the finite range).
+inline double step_toward(double s, double dir) noexcept {
+  std::uint64_t b = std::bit_cast<std::uint64_t>(s);
+  b += ((dir > 0.0) == (s > 0.0)) ? 1u : std::uint64_t(-1);
+  return std::bit_cast<double>(b);
+}
+
+/// The sign of an exact-zero sum (IEEE 754-2008 §6.3): positive in every
+/// rounding mode except roundTowardNegative.
+inline bool exact_zero_sign(Rounding mode) noexcept {
+  return mode == Rounding::kDown;
+}
+
+}  // namespace fpq::softfloat::fast16

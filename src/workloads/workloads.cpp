@@ -7,6 +7,7 @@
 
 #include "ir/evaluators.hpp"
 #include "ir/expr.hpp"
+#include "ir/tape.hpp"
 
 namespace fpq::workloads {
 
@@ -14,9 +15,15 @@ double NativeContext::call(const ir::Expr& expr,
                            std::span<const double> bindings) {
   // NativeEvaluator64 routes each operation through opaque noinline
   // helpers, so the real FPU raises exceptions under the caller's monitor
-  // exactly as a hand-rolled loop would.
+  // exactly as a hand-rolled loop would. The tape is compiled with
+  // exact_trace options so every source-level operation still reaches the
+  // hardware (CSE/folding would elide real FPU ops a monitor counts);
+  // kernels re-evaluate the same trees thousands of times, so the
+  // process-wide compile memo amortizes linearization to zero.
   ir::NativeEvaluator64 native;
-  return ir::evaluate_tree<double>(expr, native, bindings);
+  const std::shared_ptr<const ir::Tape> tape =
+      ir::Tape::cached(expr, {}, ir::TapeOptions::exact_trace());
+  return ir::run_tape<double>(*tape, native, bindings);
 }
 
 namespace {

@@ -212,6 +212,28 @@ TEST(IrVsLegacy, RandomTreesBitIdenticalAcrossConfigsAndRoundings) {
   }
 }
 
+TEST(IrVsLegacy, TapeMatchesLegacyAcrossConfigsAndRoundings) {
+  // Third leg of the differential: the compiled tape (with CSE and
+  // constant folding enabled) must agree with the LEGACY evaluator too,
+  // not just with the tree walk it was pinned against.
+  st::Xoshiro256pp g(0x7A9ED1);
+  const auto configs = pipeline_configs();
+  for (int i = 0; i < 60; ++i) {
+    const E tree = random_tree(g, 5);
+    for (const auto& cfg : configs) {
+      const auto legacy = legacy_evaluate(tree, cfg);
+      const auto taped = ir::execute(ir::Tape::compile(tree, cfg));
+      ASSERT_EQ(legacy.value.bits, taped.value.bits)
+          << tree.to_string() << "\n  rounding "
+          << sf::rounding_to_string(cfg.rounding) << " contract "
+          << cfg.contract_mul_add << " reassoc " << cfg.reassociate;
+      ASSERT_EQ(legacy.flags, taped.flags)
+          << tree.to_string() << ": " << sf::flags_to_string(legacy.flags)
+          << " vs " << sf::flags_to_string(taped.flags);
+    }
+  }
+}
+
 TEST(IrVsLegacy, DeepAdditionChainsExerciseReassociation) {
   // Long +-chains are the reassociation pass's whole reason to exist;
   // sweep lengths 3..24 so every pairwise split shape appears.

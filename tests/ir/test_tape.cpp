@@ -1,0 +1,331 @@
+// The tape differential-parity suite: compiling an Expr to bytecode and
+// executing it — scalar engine or generic run_tape — must be BIT-identical
+// (values) and sticky-flag-identical to the reference tree walk across
+// every format, every rounding mode, FTZ/DAZ, and both option sets; the
+// per-op trace on an exact_trace tape must be the tree walk's op sequence
+// verbatim; and CSE/folding must change neither values nor flag unions,
+// only (documentedly) how often shared nodes appear in the trace.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "softfloat/env.hpp"
+#include "stats/prng.hpp"
+
+namespace ir = fpq::ir;
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+using E = ir::Expr;
+
+namespace {
+
+// Random trees over constants AND variables, seeded with the values that
+// exercise every flag class (zeros, subnormals, huge, inexact fractions).
+const double kPool[] = {
+    0.0,     -0.0,    1.0,    -1.0,   0.5,     3.0,
+    0.1,     1.0 / 3, -2.5,   7.25,   1e16,    -1e16,
+    1e300,   -1e300,  1e-300, 5e-324, 2.2250738585072014e-308,
+    1.0 + 0x1.0p-30, 1.7976931348623157e308};
+
+constexpr std::size_t kVars = 3;
+
+E random_tree(st::Xoshiro256pp& g, int depth) {
+  if (depth <= 0 || st::uniform_below(g, 5) == 0) {
+    if (st::uniform_below(g, 2) == 0) {
+      const auto i = st::uniform_below(g, kVars);
+      return E::variable("v", static_cast<std::size_t>(i));
+    }
+    return E::constant(kPool[st::uniform_below(g, std::size(kPool))]);
+  }
+  switch (st::uniform_below(g, 8)) {
+    case 0:
+      return E::add(random_tree(g, depth - 1), random_tree(g, depth - 1));
+    case 1:
+      return E::sub(random_tree(g, depth - 1), random_tree(g, depth - 1));
+    case 2:
+      return E::mul(random_tree(g, depth - 1), random_tree(g, depth - 1));
+    case 3:
+      return E::div(random_tree(g, depth - 1), random_tree(g, depth - 1));
+    case 4:
+      return E::sqrt(random_tree(g, depth - 1));
+    case 5:
+      return E::neg(random_tree(g, depth - 1));
+    case 6:
+      return E::cmp_lt(random_tree(g, depth - 1), random_tree(g, depth - 1));
+    default:
+      return E::fma(random_tree(g, depth - 1), random_tree(g, depth - 1),
+                    random_tree(g, depth - 1));
+  }
+}
+
+std::vector<double> random_bindings(st::Xoshiro256pp& g) {
+  std::vector<double> out(kVars);
+  for (double& x : out) x = kPool[st::uniform_below(g, std::size(kPool))];
+  return out;
+}
+
+std::vector<ir::EvalConfig> all_configs() {
+  std::vector<ir::EvalConfig> out;
+  const int formats[] = {16, 32, 64, sf::kBFloat16};
+  const sf::Rounding modes[] = {
+      sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+      sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway};
+  for (const int fmt : formats) {
+    for (const auto r : modes) {
+      ir::EvalConfig cfg;
+      cfg.format_bits = fmt;
+      cfg.rounding = r;
+      out.push_back(cfg);
+    }
+    // One flush-mode and one rewrite configuration per format keeps the
+    // matrix dense without exploding the runtime.
+    ir::EvalConfig flush;
+    flush.format_bits = fmt;
+    flush.flush_to_zero = true;
+    flush.denormals_are_zero = true;
+    out.push_back(flush);
+    ir::EvalConfig fast;
+    fast.format_bits = fmt;
+    fast.contract_mul_add = true;
+    fast.reassociate = true;
+    out.push_back(fast);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Compile shape: what CSE and folding are allowed (and not allowed) to do.
+// ---------------------------------------------------------------------
+
+TEST(TapeCompile, SharedSubtreeEmittedOnceUnderCse) {
+  const E x = E::variable("x", 0);
+  const E y = E::variable("y", 1);
+  const E m = E::mul(x, y);
+  const E t = E::add(m, m);  // hash consing makes both children one node
+  const ir::Tape cse = ir::Tape::compile(t);
+  EXPECT_EQ(cse.cse_reuses(), 1u);
+  EXPECT_EQ(cse.code().size(), 4u);  // x, y, mul, add
+  const ir::Tape exact =
+      ir::Tape::compile(t, {}, ir::TapeOptions::exact_trace());
+  EXPECT_EQ(exact.cse_reuses(), 0u);
+  EXPECT_EQ(exact.code().size(), 7u);  // x, y, mul, x, y, mul, add
+}
+
+TEST(TapeCompile, FlagCleanConstantTreeFoldsToOneLoad) {
+  const E t = E::add(E::mul(E::constant(2.0), E::constant(4.0)),
+                     E::constant(1.0));
+  const ir::Tape tape = ir::Tape::compile(t);
+  ASSERT_EQ(tape.code().size(), 1u);
+  EXPECT_EQ(tape.code()[0].op, ir::TapeOp::kConst);
+  EXPECT_EQ(tape.folded_ops(), 2u);
+  EXPECT_EQ(sf::to_native(tape.constants()[tape.code()[0].a]), 9.0);
+}
+
+TEST(TapeCompile, InexactConstantOperationDoesNotFold) {
+  // 1/3 raises inexact: folding it would silently discard the flag the
+  // program is entitled to observe, so the division must stay on tape.
+  const E t = E::div(E::constant(1.0), E::constant(3.0));
+  const ir::Tape tape = ir::Tape::compile(t);
+  EXPECT_EQ(tape.folded_ops(), 0u);
+  ASSERT_EQ(tape.code().size(), 3u);
+  EXPECT_EQ(tape.code()[2].op, ir::TapeOp::kDiv);
+}
+
+TEST(TapeCompile, FoldingLegalityDependsOnTheFormat) {
+  // 1024 + 1 is exact in binary64/32 but rounds (inexact) in binary16's
+  // 11-bit significand at that magnitude? No: 1025 needs 11 bits — still
+  // exact. Use 2048 + 1 = 2049, which needs 12 bits: exact in 32/64,
+  // inexact in binary16, so it folds there and only there.
+  const E t = E::add(E::constant(2048.0), E::constant(1.0));
+  ir::EvalConfig wide;
+  wide.format_bits = 64;
+  EXPECT_EQ(ir::Tape::compile(t, wide).folded_ops(), 1u);
+  ir::EvalConfig half;
+  half.format_bits = 16;
+  EXPECT_EQ(ir::Tape::compile(t, half).folded_ops(), 0u);
+}
+
+TEST(TapeCompile, RegistersAreReusedAcrossAChain) {
+  E chain = E::variable("x", 0);
+  for (int i = 1; i <= 10; ++i) {
+    chain = E::add(chain, E::constant(static_cast<double>(i)));
+  }
+  const ir::Tape tape =
+      ir::Tape::compile(chain, {}, ir::TapeOptions::exact_trace());
+  EXPECT_EQ(tape.code().size(), 21u);
+  // A left-leaning chain needs only the accumulator and one operand slot.
+  EXPECT_LE(tape.register_count(), 3u);
+}
+
+TEST(TapeCompile, RequiredWidthIsOnePastTheLargestVarIndex) {
+  const E t = E::add(E::variable("a", 0), E::variable("d", 3));
+  EXPECT_EQ(ir::Tape::compile(t).required_width(), 4u);
+  EXPECT_EQ(ir::Tape::compile(E::constant(1.0)).required_width(), 0u);
+}
+
+TEST(TapeCompile, FingerprintSeparatesProgramConfigAndOptions) {
+  const E a = E::add(E::variable("x", 0), E::constant(0.1));
+  const E b = E::sub(E::variable("x", 0), E::constant(0.1));
+  ir::EvalConfig nearest;
+  ir::EvalConfig upward;
+  upward.rounding = sf::Rounding::kUp;
+  const auto fp = [](const E& e, const ir::EvalConfig& c,
+                     const ir::TapeOptions& o = {}) {
+    return ir::Tape::compile(e, c, o).fingerprint();
+  };
+  EXPECT_EQ(fp(a, nearest), fp(a, nearest));  // deterministic
+  EXPECT_NE(fp(a, nearest), fp(b, nearest));  // program
+  EXPECT_NE(fp(a, nearest), fp(a, upward));   // rounding
+  // Options change the fingerprint only through the emitted code; a tree
+  // with a shared subtree compiles to different code with CSE off.
+  const E m = E::mul(E::variable("x", 0), E::variable("x", 0));
+  const E shared = E::add(m, m);
+  EXPECT_NE(fp(shared, nearest),
+            fp(shared, nearest, ir::TapeOptions::exact_trace()));
+}
+
+TEST(TapeCompile, ProcessWideCacheReturnsTheSameTape) {
+  ir::Tape::clear_cache();
+  const E t = E::add(E::variable("x", 0), E::constant(1.5));
+  const auto first = ir::Tape::cached(t);
+  const auto second = ir::Tape::cached(t);
+  EXPECT_EQ(first.get(), second.get());
+  const auto stats = ir::Tape::cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Different options are a different cache line.
+  const auto exact = ir::Tape::cached(t, {}, ir::TapeOptions::exact_trace());
+  EXPECT_NE(first.get(), exact.get());
+}
+
+// ---------------------------------------------------------------------
+// Differential parity: tape execution vs the reference tree walk.
+// ---------------------------------------------------------------------
+
+TEST(TapeParity, ScalarEngineMatchesEvaluateEverywhere) {
+  st::Xoshiro256pp g(0x7A9E);
+  const auto configs = all_configs();
+  for (int i = 0; i < 60; ++i) {
+    const E tree = random_tree(g, 4);
+    const auto bindings = random_bindings(g);
+    for (const auto& cfg : configs) {
+      const ir::Outcome ref = ir::evaluate(tree, cfg, bindings);
+      for (const auto& options :
+           {ir::TapeOptions{}, ir::TapeOptions::exact_trace()}) {
+        const ir::Tape tape = ir::Tape::compile(tree, cfg, options);
+        const ir::Outcome got = ir::execute(tape, bindings);
+        ASSERT_EQ(ref.value.bits, got.value.bits)
+            << tree.to_string() << "\n  format " << cfg.format_bits
+            << " rounding " << sf::rounding_to_string(cfg.rounding)
+            << " cse " << options.cse << " fold " << options.fold_constants;
+        ASSERT_EQ(ref.flags, got.flags)
+            << tree.to_string() << ": " << sf::flags_to_string(ref.flags)
+            << " vs " << sf::flags_to_string(got.flags) << "\n  format "
+            << cfg.format_bits << " cse " << options.cse;
+      }
+    }
+  }
+}
+
+TEST(TapeParity, RunTapeDrivesAnEvaluatorLikeTheTreeWalk) {
+  st::Xoshiro256pp g(0xBEA7);
+  for (int i = 0; i < 40; ++i) {
+    const E tree = random_tree(g, 4);
+    const auto bindings = random_bindings(g);
+    ir::SoftEvaluator<64> walk_ev{ir::EvalConfig::ieee_strict()};
+    const double walk = ir::evaluate_tree<double>(tree, walk_ev, bindings);
+    const auto tape =
+        ir::Tape::cached(tree, {}, ir::TapeOptions::exact_trace());
+    ir::SoftEvaluator<64> tape_ev{ir::EvalConfig::ieee_strict()};
+    const double got = ir::run_tape<double>(*tape, tape_ev, bindings);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(walk),
+              std::bit_cast<std::uint64_t>(got))
+        << tree.to_string();
+    ASSERT_EQ(walk_ev.flags(), tape_ev.flags()) << tree.to_string();
+  }
+}
+
+TEST(TapeParity, ShortBindingsKeepThePerNodeQuietNanContract) {
+  // Scalar tape paths preserve evaluate_tree's per-node fallback: a
+  // variable beyond the span reads quiet NaN (batched execution instead
+  // throws BindingWidthError up front — see the batch suite).
+  const E t = E::add(E::variable("a", 0), E::variable("far", 5));
+  const std::vector<double> bindings = {2.0};
+  const ir::Outcome ref = ir::evaluate(t, {}, bindings);
+  const ir::Outcome got = ir::execute(ir::Tape::compile(t), bindings);
+  EXPECT_EQ(ref.value.bits, got.value.bits);
+  EXPECT_EQ(ref.flags, got.flags);
+}
+
+// ---------------------------------------------------------------------
+// Trace semantics: op sequences and CSE'd-node provenance.
+// ---------------------------------------------------------------------
+
+struct RecordedOp {
+  const void* node;
+  std::uint64_t value_bits;
+  unsigned flags;
+
+  bool operator==(const RecordedOp&) const = default;
+};
+
+class Recorder final : public ir::TraceSink {
+ public:
+  void on_op(const E& e, double value, unsigned flags) override {
+    ops.push_back({&e.node(), std::bit_cast<std::uint64_t>(value), flags});
+  }
+  std::vector<RecordedOp> ops;
+};
+
+TEST(TapeTrace, ExactTapeReproducesTheTreeWalkOpSequence) {
+  st::Xoshiro256pp g(0x17ACE);
+  const auto configs = all_configs();
+  for (int i = 0; i < 20; ++i) {
+    const E tree = random_tree(g, 4);
+    const auto bindings = random_bindings(g);
+    for (const auto& cfg : configs) {
+      Recorder walk;
+      const ir::Outcome ref = ir::evaluate(tree, cfg, bindings, &walk);
+      Recorder tape;
+      const ir::Outcome got = ir::execute(
+          ir::Tape::compile(tree, cfg, ir::TapeOptions::exact_trace()),
+          bindings, &tape);
+      ASSERT_EQ(ref.value.bits, got.value.bits) << tree.to_string();
+      ASSERT_EQ(ref.flags, got.flags) << tree.to_string();
+      ASSERT_EQ(walk.ops, tape.ops)
+          << tree.to_string() << " format " << cfg.format_bits;
+    }
+  }
+}
+
+TEST(TapeTrace, CseTapeTracesSharedNodesOnceWithUnchangedUnion) {
+  const E x = E::variable("x", 0);
+  const E shared = E::add(x, E::constant(0.1));  // inexact every time
+  const E t = E::mul(shared, shared);
+  const std::vector<double> bindings = {1.0};
+
+  Recorder walk;
+  const ir::Outcome ref = ir::evaluate(t, {}, bindings, &walk);
+  ASSERT_EQ(walk.ops.size(), 3u);  // add, add, mul
+
+  Recorder tape;
+  const ir::Outcome got =
+      ir::execute(ir::Tape::compile(t), bindings, &tape);
+  // The shared add fires once; values, flags and the sticky union are
+  // unchanged (duplicate subtrees raise identical flags).
+  ASSERT_EQ(tape.ops.size(), 2u);
+  EXPECT_EQ(tape.ops[0], walk.ops[0]);
+  EXPECT_EQ(tape.ops[1], walk.ops[2]);
+  EXPECT_EQ(ref.value.bits, got.value.bits);
+  EXPECT_EQ(ref.flags, got.flags);
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// The batched tape executor's contract: SoA execution over the thread
+// pool is bit- and flag-identical to per-row reference evaluation, at
+// EVERY thread count; memoization keys on the tape's content fingerprint
+// and never changes results; short binding tables fail structurally
+// (BindingWidthError) instead of quiet-NaN-poisoning rows; and the native
+// SoA kernels reproduce the NativeEvaluator tree walks bitwise.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "parallel/result_cache.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/prng.hpp"
+
+namespace ir = fpq::ir;
+namespace par = fpq::parallel;
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+using E = ir::Expr;
+
+namespace {
+
+const double kPool[] = {
+    0.0,     -0.0,    1.0,    -1.0,   0.5,     3.0,
+    0.1,     1.0 / 3, -2.5,   7.25,   1e16,    -1e16,
+    1e300,   -1e300,  1e-300, 5e-324, 2.2250738585072014e-308,
+    1.0 + 0x1.0p-30, 1.7976931348623157e308};
+
+E horner_poly() {
+  // Degree-4 Horner over x: enough structure to need several registers
+  // and raise inexact/overflow/underflow across the operand pool.
+  const E x = E::variable("x", 0);
+  E acc = E::constant(1.25);
+  const double coeffs[] = {-0.5, 0.1, 2.0, -1.0 / 3};
+  for (const double c : coeffs) {
+    acc = E::add(E::mul(acc, x), E::constant(c));
+  }
+  return acc;
+}
+
+E two_var_tree() {
+  const E x = E::variable("x", 0);
+  const E y = E::variable("y", 1);
+  return E::add(E::div(E::sqrt(E::mul(x, x)), E::add(y, E::constant(0.1))),
+                E::fma(x, y, E::neg(x)));
+}
+
+ir::BindingTable random_table(std::size_t rows, std::size_t width,
+                              std::uint64_t seed) {
+  st::Xoshiro256pp g(seed);
+  ir::BindingTable table;
+  table.width = width;
+  for (std::size_t r = 0; r < rows * width; ++r) {
+    table.values.push_back(kPool[st::uniform_below(g, std::size(kPool))]);
+  }
+  return table;
+}
+
+std::vector<ir::EvalConfig> batch_configs() {
+  std::vector<ir::EvalConfig> out;
+  for (const int fmt : {16, 32, 64, sf::kBFloat16}) {
+    ir::EvalConfig cfg;
+    cfg.format_bits = fmt;
+    out.push_back(cfg);
+    ir::EvalConfig fast;
+    fast.format_bits = fmt;
+    fast.rounding = sf::Rounding::kTowardZero;
+    fast.contract_mul_add = true;
+    fast.reassociate = true;
+    fast.flush_to_zero = true;
+    fast.denormals_are_zero = true;
+    out.push_back(fast);
+  }
+  return out;
+}
+
+TEST(TapeBatch, MatchesPerRowEvaluateAcrossFormatsAndConfigs) {
+  par::ThreadPool pool(4);
+  const ir::BindingTable table = random_table(257, 2, 0xB17C);
+  ir::BatchOptions options;
+  options.memoize = false;
+  for (const E& tree : {two_var_tree(), horner_poly()}) {
+    for (const auto& cfg : batch_configs()) {
+      const ir::Tape tape = ir::Tape::compile(tree, cfg);
+      const auto got = ir::execute_batch(pool, tape, table, options);
+      ASSERT_EQ(got.size(), table.rows());
+      for (std::size_t r = 0; r < table.rows(); ++r) {
+        const ir::Outcome ref = ir::evaluate(tree, cfg, table.row(r));
+        ASSERT_EQ(ref.value.bits, got[r].value.bits)
+            << "row " << r << " format " << cfg.format_bits;
+        ASSERT_EQ(ref.flags, got[r].flags)
+            << "row " << r << " format " << cfg.format_bits;
+      }
+    }
+  }
+}
+
+TEST(TapeBatch, BitIdenticalAtOneTwoFourEightThreads) {
+  const ir::BindingTable table = random_table(1023, 1, 0xDE7);
+  const ir::Tape tape = ir::Tape::compile(horner_poly());
+  ir::BatchOptions options;
+  options.memoize = false;
+  options.min_rows_per_chunk = 32;
+  par::ThreadPool one(1);
+  const auto ref = ir::execute_batch(one, tape, table, options);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    par::ThreadPool pool(threads);
+    const auto got = ir::execute_batch(pool, tape, table, options);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t r = 0; r < ref.size(); ++r) {
+      ASSERT_EQ(ref[r].value.bits, got[r].value.bits)
+          << "threads " << threads << " row " << r;
+      ASSERT_EQ(ref[r].flags, got[r].flags)
+          << "threads " << threads << " row " << r;
+    }
+  }
+}
+
+TEST(TapeBatch, SecondSweepHitsTheFingerprintKeyedCache) {
+  par::ThreadPool pool(4);
+  auto& cache = par::BatchResultCache::global();
+  cache.clear();
+  const ir::BindingTable table = random_table(512, 1, 0xCAC4E);
+  const ir::Tape tape = ir::Tape::compile(horner_poly());
+  const auto first = ir::execute_batch(pool, tape, table);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.stats().entries, 0u);
+  const auto second = ir::execute_batch(pool, tape, table);
+  EXPECT_GT(cache.hits(), 0u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t r = 0; r < first.size(); ++r) {
+    ASSERT_EQ(first[r].value.bits, second[r].value.bits);
+    ASSERT_EQ(first[r].flags, second[r].flags);
+  }
+  // A different rounding mode compiles a different tape, whose
+  // fingerprint must not collide with the first one's entries.
+  ir::EvalConfig upward;
+  upward.rounding = sf::Rounding::kUp;
+  const ir::Tape other = ir::Tape::compile(horner_poly(), upward);
+  ASSERT_NE(other.fingerprint(), tape.fingerprint());
+  const std::uint64_t hits_before = cache.hits();
+  (void)ir::execute_batch(pool, other, table);
+  EXPECT_EQ(cache.hits(), hits_before);
+  cache.clear();
+}
+
+TEST(TapeBatch, EvaluateManyRidesTheTapeAndStillMatches) {
+  par::ThreadPool pool(4);
+  par::BatchResultCache::global().clear();
+  const ir::BindingTable table = random_table(300, 2, 0x914D);
+  const E tree = two_var_tree();
+  for (const auto& cfg : batch_configs()) {
+    const auto many = ir::evaluate_many(pool, tree, table, cfg);
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      const ir::Outcome ref = ir::evaluate(tree, cfg, table.row(r));
+      ASSERT_EQ(ref.value.bits, many[r].value.bits) << "row " << r;
+      ASSERT_EQ(ref.flags, many[r].flags) << "row " << r;
+    }
+  }
+  par::BatchResultCache::global().clear();
+}
+
+TEST(TapeBatch, ShortTableThrowsStructuredWidthError) {
+  par::ThreadPool pool(2);
+  const E tree = two_var_tree();  // needs width 2
+  const ir::BindingTable narrow = random_table(64, 1, 0x5407);
+  try {
+    (void)ir::evaluate_many(pool, tree, narrow);
+    FAIL() << "expected BindingWidthError";
+  } catch (const ir::BindingWidthError& e) {
+    EXPECT_EQ(e.required, 2u);
+    EXPECT_EQ(e.provided, 1u);
+  }
+  const ir::Tape tape = ir::Tape::compile(tree);
+  std::vector<ir::Outcome> out(narrow.rows());
+  EXPECT_THROW(ir::execute_range(tape, narrow, 0, narrow.rows(), out),
+               ir::BindingWidthError);
+  // An empty table never validates: there is nothing to evaluate.
+  const ir::BindingTable empty;
+  EXPECT_TRUE(ir::evaluate_many(pool, tree, empty).empty());
+}
+
+TEST(TapeBatch, NativeKernelsMatchTheNativeTreeWalks) {
+  const ir::BindingTable table = random_table(200, 2, 0xFA57);
+  const E tree = two_var_tree();
+  const auto tape =
+      ir::Tape::cached(tree, {}, ir::TapeOptions::exact_trace());
+  std::vector<double> batch64(table.rows());
+  ir::execute_range_native64(*tape, table, 0, table.rows(), batch64);
+  std::vector<double> batch32(table.rows());
+  {
+    ir::EvalConfig cfg32;
+    cfg32.format_bits = 32;
+    const auto tape32 =
+        ir::Tape::cached(tree, cfg32, ir::TapeOptions::exact_trace());
+    ir::execute_range_native32(*tape32, table, 0, table.rows(), batch32);
+  }
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    ir::NativeEvaluator64 n64;
+    const double ref64 = ir::evaluate_tree<double>(tree, n64, table.row(r));
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(ref64),
+              std::bit_cast<std::uint64_t>(batch64[r]))
+        << "row " << r;
+    ir::NativeEvaluator32 n32;
+    const double ref32 = ir::evaluate_tree<double>(tree, n32, table.row(r));
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(ref32),
+              std::bit_cast<std::uint64_t>(batch32[r]))
+        << "row " << r;
+  }
+}
+
+TEST(TapeBatch, CacheCapacityEvictsAndCounts) {
+  par::BatchResultCache cache;
+  cache.set_capacity(32);
+  par::BatchChunkResult payload;
+  payload.outcomes.emplace_back(0x3FF0000000000000ULL, 0u);
+  for (std::uint32_t i = 0; i < 512; ++i) {
+    par::BatchKey key;
+    key.tape_fingerprint = 0x7EA9 + i;
+    key.bindings_hash = i * 0x9E3779B97F4A7C15ULL;
+    key.chunk = i;
+    cache.insert(key, payload);
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // Per-stripe bound is capacity/16 = 2, so 16 stripes * 2 entries max.
+  EXPECT_LE(stats.entries, 32u);
+  cache.set_capacity(0);
+}
+
+}  // namespace

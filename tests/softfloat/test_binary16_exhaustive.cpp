@@ -15,8 +15,10 @@
 #include <cmath>
 #include <cstdint>
 
+#include "ir/ir.hpp"
 #include "parallel/oracle_sweep.hpp"
 #include "parallel/thread_pool.hpp"
+#include "softfloat/fast16.hpp"
 #include "softfloat/ops.hpp"
 #include "softfloat/util.hpp"
 
@@ -160,6 +162,185 @@ TEST(Binary16Exhaustive, FmaAllFirstOperandsUnderAllFiveRoundingModes) {
   const auto report = fpq::parallel::run_exhaustive_binary16(pool, config);
   EXPECT_EQ(report.mismatches, 0u) << report.first_mismatch;
   EXPECT_EQ(report.checked, 5ull * 0x10000ull * 4ull);
+}
+
+TEST(Binary16Exhaustive, BatchedTapeMatchesDirectSoftfloatExhaustively) {
+  // The batched SoA tape executor against DIRECT softfloat calls (no IR
+  // reference in the loop at all): op(x, partner) for every one of the
+  // 2^16 first-operand encodings, bit-identical values AND per-row flag
+  // unions. This is the perf-path's ground-truth anchor: the engine the
+  // benches race is pinned to the scalar ops it claims to batch.
+  namespace ir = fpq::ir;
+  fpq::parallel::ThreadPool pool;
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr y = ir::Expr::variable("y", 1);
+  const double partner = 1.0 / 3;  // inexact in binary16, finite, normal
+  sf::Env quiet;
+  const F16 partner16 = sf::convert<16>(sf::from_native(partner), quiet);
+
+  struct Case {
+    ir::Expr tree;
+    F16 (*direct)(F16, F16, sf::Env&);
+  };
+  const Case cases[] = {
+      {ir::Expr::add(x, y),
+       +[](F16 a, F16 b, sf::Env& e) { return sf::add(a, b, e); }},
+      {ir::Expr::mul(x, y),
+       +[](F16 a, F16 b, sf::Env& e) { return sf::mul(a, b, e); }},
+      {ir::Expr::div(x, y),
+       +[](F16 a, F16 b, sf::Env& e) { return sf::div(a, b, e); }},
+  };
+
+  ir::BindingTable table;
+  table.width = 2;
+  table.values.reserve(2 * 0x10000);
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    table.values.push_back(widen(F16{static_cast<std::uint16_t>(raw)}));
+    table.values.push_back(partner);
+  }
+
+  ir::EvalConfig half;
+  half.format_bits = 16;
+  ir::BatchOptions options;
+  options.memoize = false;
+  for (const Case& c : cases) {
+    const ir::Tape tape = ir::Tape::compile(c.tree, half);
+    const auto got = ir::execute_batch(pool, tape, table, options);
+    ASSERT_EQ(got.size(), std::size_t{0x10000});
+    for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+      // Bindings are doubles, so the engine sees the operand after a
+      // widen→narrow round trip — bit-identity for every encoding except
+      // sNaN, which quiets on operand entry (the documented semantics of
+      // every evaluator's `variable`). Feed the reference the same value.
+      const F16 a = sf::convert<16>(
+          sf::from_native(widen(F16{static_cast<std::uint16_t>(raw)})),
+          quiet);
+      sf::Env env;
+      const F16 direct = c.direct(a, partner16, env);
+      ASSERT_EQ(got[raw].value.bits,
+                sf::convert<64>(direct, quiet).bits)
+          << sf::describe(a) << " " << c.tree.to_string();
+      ASSERT_EQ(got[raw].flags, env.flags())
+          << sf::describe(a) << " " << c.tree.to_string();
+    }
+  }
+}
+
+TEST(Binary16Exhaustive, FastNarrowMatchesConvertAtEveryBoundary) {
+  // fast16::narrow16_value (the batched tape's flag-free operand narrow)
+  // against softfloat convert<16>, all five rounding modes, probing every
+  // adjacent pair of finite binary16 values at the points where rounding
+  // decisions flip: the lower value itself, the exact midpoint, and one
+  // binary64 ulp to either side of the midpoint. Also the overflow band
+  // above max_finite and the underflow band below the smallest subnormal.
+  namespace f16 = sf::fast16;
+  const sf::Rounding modes[] = {
+      sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+      sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway};
+  auto check = [&](double x) {
+    if (x == 0.0 || !f16::is_finite(x)) return;
+    const std::uint64_t xb = std::bit_cast<std::uint64_t>(x);
+    if (((xb >> 52) & 0x7FF) == 0) return;  // double-subnormal: not ours
+    for (sf::Rounding mode : modes) {
+      sf::Env env(mode);
+      const double want = widen(sf::convert<16>(sf::from_native(x), env));
+      const double got = f16::narrow16_value(x, mode);
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got),
+                std::bit_cast<std::uint64_t>(want))
+          << x << " mode " << static_cast<int>(mode);
+    }
+  };
+  for (std::uint32_t raw = 0; raw < 0x7C00; ++raw) {  // positive finite
+    const F16 lo{static_cast<std::uint16_t>(raw)};
+    const F16 hi = sf::next_up(lo);
+    const double lov = widen(lo);
+    const double hiv = hi.is_infinity() ? 2.0 * widen(F16::max_finite())
+                                        : widen(hi);
+    const double mid = (lov + hiv) / 2.0;  // exact: adjacent significands
+    for (double p : {lov, mid, std::nextafter(mid, lov),
+                     std::nextafter(mid, hiv)}) {
+      check(p);
+      check(-p);
+    }
+  }
+  // Deep underflow, the overflow threshold (max_finite + half an ulp =
+  // 65520), and far overflow.
+  for (double p : {0x1p-26, 0x1p-100, 0x1.8p-25, 65520.0,
+                   std::nextafter(65520.0, 0.0),
+                   std::nextafter(65520.0, 1.0e9), 65536.0, 1.0e5,
+                   1.0e300}) {
+    check(p);
+    check(-p);
+  }
+}
+
+TEST(Binary16Exhaustive, BatchedTapeFlushModesMatchDirectSoftfloat) {
+  // The batched executor's FTZ/DAZ and directed-rounding behaviour
+  // against direct softfloat calls, swept over every first-operand
+  // encoding with a subnormal partner so flush semantics actually fire.
+  namespace ir = fpq::ir;
+  fpq::parallel::ThreadPool pool;
+  const ir::Expr x = ir::Expr::variable("x", 0);
+  const ir::Expr y = ir::Expr::variable("y", 1);
+  sf::Env quiet;
+  const F16 partner16{0x02ABu};  // a subnormal: exercises DE/DAZ paths
+  const double partner = widen(partner16);
+
+  struct Config {
+    sf::Rounding mode;
+    bool ftz;
+    bool daz;
+  };
+  const Config configs[] = {
+      {sf::Rounding::kNearestEven, true, true},
+      {sf::Rounding::kDown, true, false},
+      {sf::Rounding::kUp, false, true},
+  };
+
+  ir::BindingTable table;
+  table.width = 2;
+  table.values.reserve(2 * 0x10000);
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    table.values.push_back(widen(F16{static_cast<std::uint16_t>(raw)}));
+    table.values.push_back(partner);
+  }
+
+  ir::BatchOptions options;
+  options.memoize = false;
+  for (const Config& fc : configs) {
+    ir::EvalConfig half;
+    half.format_bits = 16;
+    half.rounding = fc.mode;
+    half.flush_to_zero = fc.ftz;
+    half.denormals_are_zero = fc.daz;
+    for (int op = 0; op < 3; ++op) {
+      const ir::Expr tree = op == 0   ? ir::Expr::add(x, y)
+                            : op == 1 ? ir::Expr::mul(x, y)
+                                      : ir::Expr::div(x, y);
+      const ir::Tape tape = ir::Tape::compile(tree, half);
+      const auto got = ir::execute_batch(pool, tape, table, options);
+      ASSERT_EQ(got.size(), std::size_t{0x10000});
+      for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+        const F16 a = sf::convert<16>(
+            sf::from_native(widen(F16{static_cast<std::uint16_t>(raw)})),
+            quiet);
+        sf::Env env(fc.mode);
+        env.set_flush_to_zero(fc.ftz);
+        env.set_denormals_are_zero(fc.daz);
+        const F16 direct = op == 0   ? sf::add(a, partner16, env)
+                           : op == 1 ? sf::mul(a, partner16, env)
+                                     : sf::div(a, partner16, env);
+        ASSERT_EQ(got[raw].value.bits, sf::convert<64>(direct, quiet).bits)
+            << sf::describe(a) << " op " << op << " mode "
+            << static_cast<int>(fc.mode) << " ftz " << fc.ftz << " daz "
+            << fc.daz;
+        ASSERT_EQ(got[raw].flags, env.flags())
+            << sf::describe(a) << " op " << op << " mode "
+            << static_cast<int>(fc.mode) << " ftz " << fc.ftz << " daz "
+            << fc.daz;
+      }
+    }
+  }
 }
 
 TEST(Binary16Exhaustive, AddMulDivExhaustiveFirstOperandSweep) {
