@@ -1,0 +1,222 @@
+#include "inject/context.hpp"
+
+#include <cfenv>
+#include <string>
+
+#include "fpmon/hardware.hpp"
+#include "ir/native_ops.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::inject {
+
+unsigned fenv_to_softfloat_flags(int excepts,
+                                 bool denormal_operand) noexcept {
+  unsigned f = 0;
+  if ((excepts & FE_INVALID) != 0) f |= softfloat::kFlagInvalid;
+  if ((excepts & FE_DIVBYZERO) != 0) f |= softfloat::kFlagDivByZero;
+  if ((excepts & FE_OVERFLOW) != 0) f |= softfloat::kFlagOverflow;
+  if ((excepts & FE_UNDERFLOW) != 0) f |= softfloat::kFlagUnderflow;
+  if ((excepts & FE_INEXACT) != 0) f |= softfloat::kFlagInexact;
+  if (denormal_operand) f |= softfloat::kFlagDenormalInput;
+  return f;
+}
+
+int softfloat_flags_to_fenv(unsigned flags) noexcept {
+  int e = 0;
+  if ((flags & softfloat::kFlagInvalid) != 0) e |= FE_INVALID;
+  if ((flags & softfloat::kFlagDivByZero) != 0) e |= FE_DIVBYZERO;
+  if ((flags & softfloat::kFlagOverflow) != 0) e |= FE_OVERFLOW;
+  if ((flags & softfloat::kFlagUnderflow) != 0) e |= FE_UNDERFLOW;
+  if ((flags & softfloat::kFlagInexact) != 0) e |= FE_INEXACT;
+  return e;
+}
+
+namespace {
+
+std::string tape_options_string(const ir::TapeOptions& o) {
+  return std::string("cse=") + (o.cse ? "on" : "off") +
+         ", fold_constants=" + (o.fold_constants ? "on" : "off");
+}
+
+/// Maps a perturbed rounding-direction attribute onto its fenv encoding;
+/// -1 when the attribute has none (roundTiesToAway) or the platform lacks
+/// the macro.
+int fenv_rounding(softfloat::Rounding mode) noexcept {
+  switch (mode) {
+    case softfloat::Rounding::kNearestEven:
+#ifdef FE_TONEAREST
+      return FE_TONEAREST;
+#else
+      return -1;
+#endif
+    case softfloat::Rounding::kTowardZero:
+#ifdef FE_TOWARDZERO
+      return FE_TOWARDZERO;
+#else
+      return -1;
+#endif
+    case softfloat::Rounding::kDown:
+#ifdef FE_DOWNWARD
+      return FE_DOWNWARD;
+#else
+      return -1;
+#endif
+    case softfloat::Rounding::kUp:
+#ifdef FE_UPWARD
+      return FE_UPWARD;
+#else
+      return -1;
+#endif
+    case softfloat::Rounding::kNearestAway:
+      return -1;  // no fenv encoding exists
+  }
+  return -1;
+}
+
+/// RAII snapshot of the complete floating-point environment — rounding
+/// mode, sticky exception flags, and (on x86) the raw MXCSR including the
+/// DE bit — restored on destruction, so any excursion inside the scope is
+/// invisible afterwards no matter how the scope exits.
+class FenvSnapshot {
+ public:
+  FenvSnapshot() noexcept {
+    std::fegetenv(&env_);
+    if (mon::mxcsr_supported()) mxcsr_ = mon::read_mxcsr();
+  }
+  ~FenvSnapshot() {
+    std::fesetenv(&env_);
+    // Explicit MXCSR restore after fesetenv: on targets whose fenv_t
+    // does not carry MXCSR this is the only thing restoring DE.
+    if (mon::mxcsr_supported()) mon::write_mxcsr(mxcsr_);
+  }
+  FenvSnapshot(const FenvSnapshot&) = delete;
+  FenvSnapshot& operator=(const FenvSnapshot&) = delete;
+
+ private:
+  std::fenv_t env_;
+  std::uint32_t mxcsr_ = 0;
+};
+
+/// RAII rounding-mode guard: saves fegetround() and restores it on every
+/// exit path. Flags are deliberately NOT restored — an injected run's
+/// flag damage is the fault model's observable product.
+class ScopedRounding {
+ public:
+  ScopedRounding() noexcept : mode_(std::fegetround()) {}
+  ~ScopedRounding() {
+    if (mode_ >= 0) std::fesetround(mode_);
+  }
+  ScopedRounding(const ScopedRounding&) = delete;
+  ScopedRounding& operator=(const ScopedRounding&) = delete;
+
+ private:
+  int mode_;
+};
+
+}  // namespace
+
+TapeTraceError::TapeTraceError(std::uint64_t tape_fingerprint,
+                               const ir::TapeOptions& options)
+    : std::runtime_error(
+          "injected campaign handed a non-exact-trace tape (fingerprint " +
+          std::to_string(tape_fingerprint) + ", " +
+          tape_options_string(options) +
+          "): fault-site numbering requires TapeOptions::exact_trace()"),
+      fingerprint_(tape_fingerprint),
+      options_(options) {}
+
+double SoftContext::call(const ir::Expr& expr,
+                         std::span<const double> bindings) {
+  const std::shared_ptr<const ir::Tape> tape = ir::Tape::cached(expr, {});
+  const ir::Outcome out = ir::execute(*tape, bindings);
+  flags_ |= out.flags;
+  return softfloat::to_native(out.value);
+}
+
+SoftInjectingContext::SoftInjectingContext(Injector& injector)
+    : soft_(ir::EvalConfig::ieee_strict()),
+      inj_(soft_, injector),
+      injector_(&injector) {}
+
+double SoftInjectingContext::call(const ir::Expr& expr,
+                                  std::span<const double> bindings) {
+  injector_->begin_call();
+  return ir::evaluate_tree<double>(expr, inj_, bindings);
+}
+
+NativeInjectingEvaluator::NativeInjectingEvaluator(
+    ir::Evaluator<double>& inner, Injector& injector)
+    : InjectingEvaluator(inner, injector) {}
+
+void NativeInjectingEvaluator::swallow_flags() {
+  const unsigned mask = injector().swallow_mask();
+  if (mask == 0) return;
+  const bool track_de =
+      mon::mxcsr_supported() && (mask & softfloat::kFlagDenormalInput) != 0;
+  const unsigned sticky = fenv_to_softfloat_flags(
+      std::fetestexcept(FE_ALL_EXCEPT),
+      track_de && mon::denormal_operand_seen());
+  const unsigned eaten = sticky & mask;
+  if (eaten == 0) return;
+  std::feclearexcept(softfloat_flags_to_fenv(eaten));
+  if ((eaten & softfloat::kFlagDenormalInput) != 0) {
+    mon::write_mxcsr(mon::read_mxcsr() & ~mon::kMxcsrFlagDenormal);
+  }
+  injector().note_swallowed(eaten);
+}
+
+double NativeInjectingEvaluator::recompute_rounded(
+    Op op, double a, double b, double c, softfloat::Rounding mode) {
+  const int fe_mode = fenv_rounding(mode);
+  if (fe_mode < 0) {
+    // roundTiesToAway (or a platform without the macro): the softfloat
+    // engine's correctly-rounded binary64 recompute produces the value
+    // the hardware would have, and touches no fenv state at all.
+    return InjectingEvaluator::recompute_rounded(op, a, b, c, mode);
+  }
+  // The snapshot makes the excursion value-only: the perturbed-mode
+  // recompute raises real flags and leaves a real rounding mode behind,
+  // and the destructor erases both before the result is even returned —
+  // matching the softfloat base class's contract that the nearest-even
+  // execution's flag accounting stands.
+  FenvSnapshot snapshot;
+  std::fesetround(fe_mode);
+  switch (op) {
+    case Op::kAdd:
+      return ir::native::add64(a, b);
+    case Op::kSub:
+      return ir::native::sub64(a, b);
+    case Op::kMul:
+      return ir::native::mul64(a, b);
+    case Op::kDiv:
+      return ir::native::div64(a, b);
+    case Op::kSqrt:
+      return ir::native::sqrt64(a);
+    case Op::kFma:
+      return ir::native::fma64(a, b, c);
+  }
+  return 0.0;
+}
+
+NativeInjectingContext::NativeInjectingContext(Injector& injector)
+    : inj_(native_, injector), injector_(&injector) {}
+
+NativeInjectingContext::NativeInjectingContext(Injector& injector,
+                                               const ir::TapeOptions& options)
+    : inj_(native_, injector), injector_(&injector), options_(options) {}
+
+double NativeInjectingContext::call(const ir::Expr& expr,
+                                    std::span<const double> bindings) {
+  const std::shared_ptr<const ir::Tape> tape =
+      ir::Tape::cached(expr, {}, options_);
+  if (tape->options() != ir::TapeOptions::exact_trace()) {
+    // Guard BEFORE begin_call so a refused tape does not advance the
+    // campaign's call counter.
+    throw TapeTraceError(tape->fingerprint(), tape->options());
+  }
+  ScopedRounding guard;
+  injector_->begin_call();
+  return ir::run_tape<double>(*tape, inj_, bindings);
+}
+
+}  // namespace fpq::inject

@@ -16,14 +16,21 @@ bool bits_equal(double a, double b) noexcept {
 }
 
 bool is_subnormal(double x) noexcept {
-  return x != 0.0 && std::fpclassify(x) == FP_SUBNORMAL;
+  // Bit-level on purpose: an FPU comparison against a subnormal would set
+  // the hardware denormal-operand flag, and the injector must not perturb
+  // the very flag state it is attacking.
+  const std::uint64_t magnitude =
+      std::bit_cast<std::uint64_t>(x) & 0x7FFFFFFFFFFFFFFFULL;
+  return magnitude != 0 && magnitude < 0x0010000000000000ULL;
 }
 
 double flip_mantissa_bit(double x, unsigned bit) noexcept {
   // Only finite nonzero values flip: NaN payload and infinity bit
   // tampering would change nothing observable (or denormalize an inf
   // into a different exceptional shape than the model promises).
-  if (!std::isfinite(x) || x == 0.0) return x;
+  const std::uint64_t magnitude =
+      std::bit_cast<std::uint64_t>(x) & 0x7FFFFFFFFFFFFFFFULL;
+  if (magnitude == 0 || magnitude >= 0x7FF0000000000000ULL) return x;
   return std::bit_cast<double>(std::bit_cast<std::uint64_t>(x) ^
                                (std::uint64_t{1} << bit));
 }
@@ -117,9 +124,16 @@ double InjectingEvaluator::inject(Op op, const ir::Expr& e, double a,
   if (plan) {
     switch (plan->fault_class) {
       case FaultClass::kPoison:
+        // Ineffective poison (NaN over NaN, inf over the same inf) must
+        // not replace the value at all: on the native substrate a
+        // replacement would swap the hardware's NaN bit pattern for the
+        // plan's and change the downstream value stream even though the
+        // site is recorded inert — breaking control-trial bit-identity
+        // with the clean baseline. same_value (NaN-canonical) keeps the
+        // effectiveness decision substrate-independent.
         if (plan->poison_operand) {
-          pre_mutated = !bits_equal(ia, plan->poison_value);
-          ia = plan->poison_value;
+          pre_mutated = !same_value(ia, plan->poison_value);
+          if (pre_mutated) ia = plan->poison_value;
         }
         break;
       case FaultClass::kForceFtz:
@@ -151,8 +165,9 @@ double InjectingEvaluator::inject(Op op, const ir::Expr& e, double a,
         if (plan->poison_operand) {
           injector_->note_applied(a, ia, pre_mutated);
         } else {
-          r = plan->poison_value;
-          injector_->note_applied(raw, r, !bits_equal(raw, r));
+          const bool eff = !same_value(raw, plan->poison_value);
+          if (eff) r = plan->poison_value;
+          injector_->note_applied(raw, r, eff);
         }
         break;
       case FaultClass::kForceFtz:
@@ -182,39 +197,13 @@ double InjectingEvaluator::sticky_pass(Op op, double a, double b, double c,
                                        double r, bool recomputable) {
   if (const auto mode = injector_->perturb_rounding();
       mode.has_value() && recomputable) {
-    // Recompute the operation in the perturbed rounding-direction
-    // attribute through the softfloat binary64 engine; value-level
-    // perturbation only — the inner evaluator's flag accounting for the
-    // nearest-even execution stands (the leaked-mode bug changes results
-    // long before it changes which flags are raised).
-    softfloat::Env env(*mode);
-    using softfloat::from_native;
-    using softfloat::to_native;
-    const softfloat::Float64 fa = from_native(a);
-    const softfloat::Float64 fb = from_native(b);
-    double perturbed = r;
-    switch (op) {
-      case Op::kAdd:
-        perturbed = to_native(softfloat::add(fa, fb, env));
-        break;
-      case Op::kSub:
-        perturbed = to_native(softfloat::sub(fa, fb, env));
-        break;
-      case Op::kMul:
-        perturbed = to_native(softfloat::mul(fa, fb, env));
-        break;
-      case Op::kDiv:
-        perturbed = to_native(softfloat::div(fa, fb, env));
-        break;
-      case Op::kSqrt:
-        perturbed = to_native(softfloat::sqrt(fa, env));
-        break;
-      case Op::kFma:
-        perturbed =
-            to_native(softfloat::fma(fa, fb, from_native(c), env));
-        break;
-    }
-    if (!bits_equal(perturbed, r)) {
+    const double perturbed = recompute_rounded(op, a, b, c, *mode);
+    // NaN-canonical on purpose: rounding direction never changes whether
+    // an operation manufactures a NaN, only which representable neighbor
+    // a finite result lands on — so a recompute that differs from r only
+    // in NaN bit pattern (native 0xFFF8... vs softfloat 0x7FF8...) is NOT
+    // a perturbation and must not replace the substrate's own NaN.
+    if (!same_value(perturbed, r)) {
       injector_->note_perturbed();
       r = perturbed;
     }
@@ -222,6 +211,36 @@ double InjectingEvaluator::sticky_pass(Op op, double a, double b, double c,
 
   swallow_flags();
   return r;
+}
+
+double InjectingEvaluator::recompute_rounded(Op op, double a, double b,
+                                             double c,
+                                             softfloat::Rounding mode) {
+  // Recompute the operation in the perturbed rounding-direction attribute
+  // through the softfloat binary64 engine; value-level perturbation only
+  // — the inner evaluator's flag accounting for the nearest-even
+  // execution stands (the leaked-mode bug changes results long before it
+  // changes which flags are raised).
+  softfloat::Env env(mode);
+  using softfloat::from_native;
+  using softfloat::to_native;
+  const softfloat::Float64 fa = from_native(a);
+  const softfloat::Float64 fb = from_native(b);
+  switch (op) {
+    case Op::kAdd:
+      return to_native(softfloat::add(fa, fb, env));
+    case Op::kSub:
+      return to_native(softfloat::sub(fa, fb, env));
+    case Op::kMul:
+      return to_native(softfloat::mul(fa, fb, env));
+    case Op::kDiv:
+      return to_native(softfloat::div(fa, fb, env));
+    case Op::kSqrt:
+      return to_native(softfloat::sqrt(fa, env));
+    case Op::kFma:
+      return to_native(softfloat::fma(fa, fb, from_native(c), env));
+  }
+  return 0.0;
 }
 
 void InjectingEvaluator::swallow_flags() {

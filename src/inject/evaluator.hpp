@@ -13,10 +13,25 @@
 // (they still feel sticky flag swallowing); constants and variable reads
 // are not operations.
 //
-// Binary64 only: rounding-mode perturbation recomputes operations through
-// the softfloat binary64 engine, so wrapping a narrower-format evaluator
-// would perturb in the wrong format. The gauntlet always wraps
-// ir::SoftEvaluator<64>.
+// Site numbering assumes every source-level operation executes in tree
+// order, which the reference tree walk and an exact_trace() tape provide
+// verbatim; a CSE/folded tape would silently mis-number sites, so the
+// context decorators (context.hpp) guard against it with TapeTraceError.
+//
+// The two sticky fault classes touch substrate-specific machinery —
+// flag swallowing erases the evaluator's sticky exception state, rounding
+// perturbation recomputes a result under a leaked rounding mode — so both
+// are protected virtual hooks. The base class implements the softfloat
+// substrate (FlagControl tampering, softfloat binary64 recompute);
+// NativeInjectingEvaluator (context.hpp) overrides them with real
+// feclearexcept / fesetround against the host FPU. Arming, value-level
+// mutation and effectiveness accounting stay in the base class, which is
+// what makes the two substrates draw identical campaigns.
+//
+// Binary64 only: rounding-mode perturbation recomputes operations in
+// binary64, so wrapping a narrower-format evaluator would perturb in the
+// wrong format. The gauntlet wraps ir::SoftEvaluator<64> and
+// ir::NativeEvaluator64.
 #pragma once
 
 #include "inject/fault.hpp"
@@ -24,7 +39,7 @@
 
 namespace fpq::inject {
 
-class InjectingEvaluator final : public ir::Evaluator<double> {
+class InjectingEvaluator : public ir::Evaluator<double> {
  public:
   /// `inner` must outlive this evaluator and evaluate in binary64.
   /// Flag-swallow faults require the inner evaluator to implement
@@ -47,16 +62,34 @@ class InjectingEvaluator final : public ir::Evaluator<double> {
   double cmp_lt(const ir::Expr& e, const double& a,
                 const double& b) override;
 
- private:
+ protected:
   enum class Op { kAdd, kSub, kMul, kDiv, kSqrt, kFma };
 
+  /// Substrate hook for the sticky kFlagSwallow class: when the campaign
+  /// has a swallow mask armed, erase whatever sticky exception state the
+  /// substrate carries and report the eaten bits (softfloat Flag bits)
+  /// via injector().note_swallowed(). The base class tampers with the
+  /// inner evaluator's ir::FlagControl.
+  virtual void swallow_flags();
+
+  /// Substrate hook for the sticky kRoundingPerturb class: recompute the
+  /// operation under the perturbed rounding-direction attribute and
+  /// return the result. Value-level only — the hook must leave the
+  /// substrate's exception-flag accounting exactly as it found it (the
+  /// leaked-mode bug changes results long before it changes flags). The
+  /// base class recomputes through the softfloat binary64 engine.
+  virtual double recompute_rounded(Op op, double a, double b, double c,
+                                   softfloat::Rounding mode);
+
+  Injector& injector() noexcept { return *injector_; }
+
+ private:
   double inject(Op op, const ir::Expr& e, double a, double b, double c);
   double forward(Op op, const ir::Expr& e, double a, double b, double c);
   /// Applies the sticky classes (rounding recompute, flag swallowing)
   /// that act on EVERY operation once armed.
   double sticky_pass(Op op, double a, double b, double c, double r,
                      bool recomputable);
-  void swallow_flags();
 
   ir::Evaluator<double>& inner_;
   ir::FlagControl* flags_;  // null when inner has no flag control

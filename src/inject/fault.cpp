@@ -43,6 +43,21 @@ constexpr std::array<softfloat::Rounding, 4> kPerturbModes{
 
 }  // namespace
 
+std::uint64_t canonical_value_bits(double x) noexcept {
+  // Canonical quiet NaN for binary64: positive sign, quiet bit, zero
+  // payload. Everything else (including infinities and signed zeros)
+  // keeps its exact bits.
+  constexpr std::uint64_t kCanonicalNaN = 0x7FF8000000000000ULL;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const std::uint64_t magnitude = bits & 0x7FFFFFFFFFFFFFFFULL;
+  const bool is_nan = magnitude > 0x7FF0000000000000ULL;
+  return is_nan ? kCanonicalNaN : bits;
+}
+
+bool same_value(double a, double b) noexcept {
+  return canonical_value_bits(a) == canonical_value_bits(b);
+}
+
 std::uint64_t sites_fingerprint(std::span<const FaultSite> sites) noexcept {
   // Per-site hashes combine by addition so the fingerprint is a function
   // of the site SET, not of enumeration order.
@@ -52,8 +67,8 @@ std::uint64_t sites_fingerprint(std::span<const FaultSite> sites) noexcept {
     sh = mix(sh, s.op);
     sh = mix(sh, static_cast<std::uint64_t>(s.fault_class));
     sh = mix(sh, s.effective ? 1 : 0);
-    sh = mix(sh, std::bit_cast<std::uint64_t>(s.original));
-    sh = mix(sh, std::bit_cast<std::uint64_t>(s.injected));
+    sh = mix(sh, canonical_value_bits(s.original));
+    sh = mix(sh, canonical_value_bits(s.injected));
     h += sh;
   }
   return h;

@@ -81,9 +81,25 @@ struct FaultSite {
   double injected = 0.0;  ///< value after mutation
 };
 
+/// Bit pattern of `x` with every NaN collapsed to the IEEE canonical
+/// quiet NaN. Substrates disagree on manufactured NaN bits — the
+/// softfloat engine emits 0x7FF8... while x86 invalid operations emit the
+/// negative indefinite 0xFFF8... — so any cross-substrate identity over
+/// recorded values must compare through this view.
+std::uint64_t canonical_value_bits(double x) noexcept;
+
+/// True when `a` and `b` are bitwise identical after NaN
+/// canonicalization: the value-identity the injector uses to decide
+/// whether a mutation was effective, chosen so the decision is a pure
+/// function of the campaign and the kernel, never of which substrate
+/// manufactured a NaN.
+bool same_value(double a, double b) noexcept;
+
 /// Order-independent content hash of a site list (bit-exact over the
-/// doubles, so NaN payloads count). Two campaigns are "the same" iff
-/// their fingerprints match — the reproducibility tests' currency.
+/// doubles except that NaNs are canonicalized — see canonical_value_bits
+/// — so the softfloat and native substrates agree on identical
+/// campaigns). Two campaigns are "the same" iff their fingerprints match
+/// — the reproducibility tests' currency.
 std::uint64_t sites_fingerprint(std::span<const FaultSite> sites) noexcept;
 
 /// What an armed site does, as drawn from its site PRNG.

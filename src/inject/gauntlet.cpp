@@ -7,6 +7,7 @@
 #include <span>
 
 #include "analyze/shadow.hpp"
+#include "inject/context.hpp"
 #include "inject/evaluator.hpp"
 #include "interval/interval.hpp"
 #include "ir/evaluators.hpp"
@@ -29,12 +30,31 @@ std::string detector_name(Detector d) {
   return "unknown";
 }
 
-bool GauntletResult::class_covered(FaultClass c) const noexcept {
-  const auto& row = cells[static_cast<std::size_t>(c)];
+std::string substrate_name(Substrate s) {
+  switch (s) {
+    case Substrate::kSoftfloat:
+      return "softfloat";
+    case Substrate::kNative:
+      return "native";
+  }
+  return "unknown";
+}
+
+bool GauntletResult::class_covered(Substrate s,
+                                   FaultClass c) const noexcept {
+  const auto& row = cells[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(c)];
   for (const CellStats& cell : row) {
     if (cell.hits > 0) return true;
   }
   return false;
+}
+
+bool GauntletResult::class_covered(FaultClass c) const noexcept {
+  for (std::size_t s = 0; s < kSubstrateCount; ++s) {
+    if (!class_covered(static_cast<Substrate>(s), c)) return false;
+  }
+  return true;
 }
 
 namespace {
@@ -76,59 +96,6 @@ CampaignConfig campaign_for(FaultClass cls, std::uint64_t cell_seed) {
   return cc;
 }
 
-struct CallRecord {
-  ir::Expr expr;
-  std::vector<double> bindings;
-  double result = 0.0;
-};
-
-/// Runs a kernel on the softfloat engine (optionally through the
-/// injector), recording every call for the per-call detectors and
-/// accumulating the run-level sticky condition union the fpmon detector
-/// compares.
-class RecordingContext final : public workloads::EvalContext {
- public:
-  explicit RecordingContext(Injector* injector) : injector_(injector) {}
-
-  double call(const ir::Expr& expr,
-              std::span<const double> bindings) override {
-    double r;
-    if (injector_ != nullptr) {
-      // Injected runs stay on the tree walk: the injector arms fault
-      // sites by op index in the VISIT sequence, which the reference
-      // walk defines.
-      ir::SoftEvaluator<64> soft{ir::EvalConfig::ieee_strict()};
-      injector_->begin_call();
-      InjectingEvaluator inj(soft, *injector_);
-      r = ir::evaluate_tree<double>(expr, inj, bindings);
-      observed_.merge(mon::ConditionSet::from_softfloat_flags(soft.flags()));
-    } else {
-      // Baseline runs the compiled tape — bit- and sticky-flag-identical
-      // to the tree walk, so detector ground truth (and the campaign
-      // fingerprints derived from it) is unchanged while repeated probe
-      // evaluations skip the virtual walk.
-      const std::shared_ptr<const ir::Tape> tape =
-          ir::Tape::cached(expr, ir::EvalConfig::ieee_strict());
-      const ir::Outcome out = ir::execute(*tape, bindings);
-      r = softfloat::to_native(out.value);
-      observed_.merge(mon::ConditionSet::from_softfloat_flags(out.flags));
-    }
-    records_.push_back(
-        {expr, std::vector<double>(bindings.begin(), bindings.end()), r});
-    return r;
-  }
-
-  const mon::ConditionSet& observed() const noexcept { return observed_; }
-  const std::vector<CallRecord>& records() const noexcept {
-    return records_;
-  }
-
- private:
-  Injector* injector_;
-  mon::ConditionSet observed_;
-  std::vector<CallRecord> records_;
-};
-
 /// Per-call detector verdicts for one whole run.
 struct RunSignals {
   mon::ConditionSet observed;
@@ -136,17 +103,18 @@ struct RunSignals {
   std::vector<bool> interval_fired;
 };
 
-RunSignals signals_for(const RecordingContext& run,
+RunSignals signals_for(std::span<const CallRecord> records,
+                       const mon::ConditionSet& observed,
                        const GauntletConfig& cfg) {
   RunSignals out;
-  out.observed = run.observed();
-  out.shadow_fired.reserve(run.records().size());
-  out.interval_fired.reserve(run.records().size());
+  out.observed = observed;
+  out.shadow_fired.reserve(records.size());
+  out.interval_fired.reserve(records.size());
 
   shadow::Config scfg;
   scfg.precision = cfg.shadow_precision;
 
-  for (const CallRecord& rec : run.records()) {
+  for (const CallRecord& rec : records) {
     const shadow::Report rep = shadow::analyze(rec.expr, scfg, rec.bindings);
     bool sfired = false;
     if (!std::isfinite(rec.result)) {
@@ -196,6 +164,45 @@ struct TrialOut {
   std::uint64_t sites_fp = 0;
 };
 
+/// Runs one injected trial of `wl` on one substrate and scores every
+/// detector against that substrate's clean baseline.
+TrialOut run_trial(const workloads::Workload& wl, FaultClass cls,
+                   std::uint64_t cell_seed, Substrate substrate,
+                   const RunSignals& baseline, const GauntletConfig& cfg) {
+  Injector injector(campaign_for(cls, cell_seed));
+  RunSignals sig;
+  if (substrate == Substrate::kSoftfloat) {
+    SoftInjectingContext inj_ctx(injector);
+    RecordingContext rec(inj_ctx);
+    wl.probe(rec);
+    sig = signals_for(rec.records(), inj_ctx.observed(), cfg);
+  } else {
+    // The real FPU under a real monitor: the monitor clears the sticky
+    // hardware flags on entry (giving the run the same empty-union start
+    // the softfloat substrate's fresh Env has) and harvests whatever the
+    // injected kernel — minus anything a swallow fault ate — left behind.
+    NativeInjectingContext inj_ctx(injector);
+    RecordingContext rec(inj_ctx);
+    mon::ConditionSet observed;
+    mon::monitor_region([&] { wl.probe(rec); }, observed);
+    sig = signals_for(rec.records(), observed, cfg);
+  }
+
+  TrialOut t;
+  t.armed = !injector.sites().empty();
+  t.sites = injector.sites().size();
+  t.effective_sites = injector.effective_count();
+  t.effective = t.effective_sites > 0;
+  t.sites_fp = sites_fingerprint(injector.sites());
+  t.fired[static_cast<std::size_t>(Detector::kFpmon)] =
+      !(sig.observed == baseline.observed);
+  t.fired[static_cast<std::size_t>(Detector::kShadow)] =
+      fired_beyond(sig.shadow_fired, baseline.shadow_fired);
+  t.fired[static_cast<std::size_t>(Detector::kInterval)] =
+      fired_beyond(sig.interval_fired, baseline.interval_fired);
+  return t;
+}
+
 }  // namespace
 
 GauntletResult run_gauntlet(parallel::ThreadPool& pool,
@@ -207,60 +214,72 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
   const std::size_t n_workloads = cat.size();
   const std::size_t per_workload = kFaultClassCount * config.trials;
 
-  // Phase 1: clean baselines, one shard per workload. Also verifies the
-  // probe contracts — a probe that broke its contract would poison every
-  // comparison below.
-  std::vector<RunSignals> baselines(n_workloads);
-  pool.run_shards(n_workloads, [&](std::size_t w) {
-    RecordingContext ctx(nullptr);
-    cat[w].probe(ctx);
-    baselines[w] = signals_for(ctx, config);
+  // Phase 1: clean baselines, one shard per (workload, substrate). Also
+  // verifies the probe contracts on both substrates — a probe that broke
+  // its contract would poison every comparison below.
+  std::vector<RunSignals> baselines(n_workloads * kSubstrateCount);
+  pool.run_shards(n_workloads * kSubstrateCount, [&](std::size_t idx) {
+    const std::size_t w = idx / kSubstrateCount;
+    const Substrate substrate =
+        static_cast<Substrate>(idx % kSubstrateCount);
+    if (substrate == Substrate::kSoftfloat) {
+      SoftContext soft;
+      RecordingContext rec(soft);
+      cat[w].probe(rec);
+      baselines[idx] =
+          signals_for(rec.records(), soft.observed(), config);
+    } else {
+      workloads::NativeContext native;
+      RecordingContext rec(native);
+      mon::ConditionSet observed;
+      mon::monitor_region([&] { cat[w].probe(rec); }, observed);
+      baselines[idx] = signals_for(rec.records(), observed, config);
+    }
   });
   for (std::size_t w = 0; w < n_workloads; ++w) {
-    result.contracts.push_back(
-        {cat[w].name, baselines[w].observed,
-         workloads::contract_holds(cat[w], baselines[w].observed)});
+    for (std::size_t s = 0; s < kSubstrateCount; ++s) {
+      const RunSignals& base = baselines[w * kSubstrateCount + s];
+      result.contracts.push_back(
+          {cat[w].name, static_cast<Substrate>(s), base.observed,
+           workloads::contract_holds(cat[w], base.observed)});
+    }
   }
 
-  // Phase 2: one shard per (workload, fault class, trial). Each trial
-  // owns its Injector and writes only its slot.
-  const std::size_t total = n_workloads * per_workload;
+  // Phase 2: one shard per (workload, fault class, trial, substrate).
+  // The same cell seed feeds both substrate shards of a campaign, which
+  // is what the parity check below verifies. Each shard owns its
+  // Injector and writes only its slot.
+  const std::size_t campaigns = n_workloads * per_workload;
+  const std::size_t total = campaigns * kSubstrateCount;
   std::vector<TrialOut> trials(total);
   pool.run_shards(total, [&](std::size_t idx) {
-    const std::size_t w = idx / per_workload;
-    const std::size_t rest = idx % per_workload;
+    const std::size_t campaign = idx / kSubstrateCount;
+    const Substrate substrate =
+        static_cast<Substrate>(idx % kSubstrateCount);
+    const std::size_t w = campaign / per_workload;
+    const std::size_t rest = campaign % per_workload;
     const std::size_t cls_index = rest / config.trials;
     const std::size_t trial = rest % config.trials;
     const FaultClass cls = static_cast<FaultClass>(cls_index);
 
     const std::uint64_t cell_seed =
         mix(mix(mix(config.seed, w), cls_index), trial);
-    Injector injector(campaign_for(cls, cell_seed));
-    RecordingContext ctx(&injector);
-    cat[w].probe(ctx);
-    const RunSignals sig = signals_for(ctx, config);
-
-    TrialOut& t = trials[idx];
-    t.armed = !injector.sites().empty();
-    t.sites = injector.sites().size();
-    t.effective_sites = injector.effective_count();
-    t.effective = t.effective_sites > 0;
-    t.sites_fp = sites_fingerprint(injector.sites());
-    t.fired[static_cast<std::size_t>(Detector::kFpmon)] =
-        !(sig.observed == baselines[w].observed);
-    t.fired[static_cast<std::size_t>(Detector::kShadow)] =
-        fired_beyond(sig.shadow_fired, baselines[w].shadow_fired);
-    t.fired[static_cast<std::size_t>(Detector::kInterval)] =
-        fired_beyond(sig.interval_fired, baselines[w].interval_fired);
+    trials[idx] = run_trial(
+        cat[w], cls, cell_seed, substrate,
+        baselines[w * kSubstrateCount + static_cast<std::size_t>(substrate)],
+        config);
   });
 
-  // Fixed-order aggregation: the matrix, the undetected list and the
-  // fingerprint are pure functions of the slot vector.
+  // Fixed-order aggregation: the matrices, the undetected list, the
+  // parity verdicts and the fingerprint are pure functions of the slot
+  // vector.
   std::uint64_t fp = mix(config.seed, total);
   for (std::size_t idx = 0; idx < total; ++idx) {
     const TrialOut& t = trials[idx];
-    const std::size_t w = idx / per_workload;
-    const std::size_t rest = idx % per_workload;
+    const std::size_t campaign = idx / kSubstrateCount;
+    const std::size_t s = idx % kSubstrateCount;
+    const std::size_t w = campaign / per_workload;
+    const std::size_t rest = campaign % per_workload;
     const std::size_t cls_index = rest / config.trials;
     const std::size_t trial = rest % config.trials;
 
@@ -270,7 +289,7 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
 
     bool any_fired = false;
     for (std::size_t d = 0; d < kDetectorCount; ++d) {
-      CellStats& cell = result.cells[cls_index][d];
+      CellStats& cell = result.cells[s][cls_index][d];
       cell.trials += 1;
       if (t.effective) {
         if (t.fired[d]) {
@@ -285,9 +304,17 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
       }
     }
     if (t.effective && !any_fired) {
-      result.undetected.push_back({cat[w].name,
+      result.undetected.push_back({cat[w].name, static_cast<Substrate>(s),
                                    static_cast<FaultClass>(cls_index),
                                    trial, t.effective_sites});
+    }
+    if (s == static_cast<std::size_t>(Substrate::kNative)) {
+      const TrialOut& soft = trials[idx - 1];  // same campaign, softfloat
+      if (soft.sites_fp != t.sites_fp) {
+        result.parity_mismatches.push_back(
+            {cat[w].name, static_cast<FaultClass>(cls_index), trial,
+             soft.sites_fp, t.sites_fp});
+      }
     }
 
     fp = mix(fp, t.sites_fp);
@@ -295,12 +322,14 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
                      (t.fired[0] ? 4u : 0u) | (t.fired[1] ? 8u : 0u) |
                      (t.fired[2] ? 16u : 0u));
   }
-  for (const auto& row : result.cells) {
-    for (const CellStats& cell : row) {
-      fp = mix(fp, cell.hits);
-      fp = mix(fp, cell.misses);
-      fp = mix(fp, cell.false_positives);
-      fp = mix(fp, cell.controls);
+  for (const auto& substrate_cells : result.cells) {
+    for (const auto& row : substrate_cells) {
+      for (const CellStats& cell : row) {
+        fp = mix(fp, cell.hits);
+        fp = mix(fp, cell.misses);
+        fp = mix(fp, cell.false_positives);
+        fp = mix(fp, cell.controls);
+      }
     }
   }
   result.fingerprint = fp;
@@ -310,43 +339,69 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
 std::string render(const GauntletResult& result) {
   std::string out;
 
-  report::Table matrix({"fault class", "fpmon", "shadow", "interval",
-                        "effective", "controls"});
-  for (std::size_t c = 0; c < kFaultClassCount; ++c) {
-    const auto cls = static_cast<FaultClass>(c);
-    std::vector<std::string> row;
-    row.push_back(fault_class_name(cls) +
-                  (result.class_covered(cls) ? "" : "  [UNCOVERED]"));
-    std::size_t effective = 0, controls = 0;
-    for (std::size_t d = 0; d < kDetectorCount; ++d) {
-      const CellStats& cell = result.cells[c][d];
-      std::string text = report::Table::fmt(cell.hits) + "/" +
-                         report::Table::fmt(cell.misses);
-      if (cell.false_positives > 0) {
-        text += " fp:" + report::Table::fmt(cell.false_positives);
+  for (std::size_t s = 0; s < kSubstrateCount; ++s) {
+    const auto substrate = static_cast<Substrate>(s);
+    report::Table matrix({"fault class", "fpmon", "shadow", "interval",
+                          "effective", "controls"});
+    for (std::size_t c = 0; c < kFaultClassCount; ++c) {
+      const auto cls = static_cast<FaultClass>(c);
+      std::vector<std::string> row;
+      row.push_back(
+          fault_class_name(cls) +
+          (result.class_covered(substrate, cls) ? "" : "  [UNCOVERED]"));
+      std::size_t effective = 0, controls = 0;
+      for (std::size_t d = 0; d < kDetectorCount; ++d) {
+        const CellStats& cell = result.cells[s][c][d];
+        std::string text = report::Table::fmt(cell.hits) + "/" +
+                           report::Table::fmt(cell.misses);
+        if (cell.false_positives > 0) {
+          text += " fp:" + report::Table::fmt(cell.false_positives);
+        }
+        row.push_back(text);
+        effective = cell.hits + cell.misses;
+        controls = cell.controls;
       }
-      row.push_back(text);
-      effective = cell.hits + cell.misses;
-      controls = cell.controls;
+      row.push_back(report::Table::fmt(effective));
+      row.push_back(report::Table::fmt(controls));
+      matrix.add_row(std::move(row));
     }
-    row.push_back(report::Table::fmt(effective));
-    row.push_back(report::Table::fmt(controls));
-    matrix.add_row(std::move(row));
+    out += report::section(
+        "Detection coverage on " + substrate_name(substrate) +
+            " (hits/misses per detector, " +
+            report::Table::fmt(result.config.trials) +
+            " trials per workload x class, seed " +
+            report::Table::fmt(
+                static_cast<std::size_t>(result.config.seed)) +
+            ")",
+        matrix.render());
   }
-  out += report::section(
-      "Detection coverage (hits/misses per detector, " +
-          report::Table::fmt(result.config.trials) +
-          " trials per workload x class, seed " +
-          report::Table::fmt(static_cast<std::size_t>(result.config.seed)) +
-          ")",
-      matrix.render());
 
-  report::Table contracts({"workload probe", "observed", "contract"});
+  report::Table contracts(
+      {"workload probe", "substrate", "observed", "contract"});
   for (const ContractRow& row : result.contracts) {
-    contracts.add_row({row.workload, row.observed.to_string(),
+    contracts.add_row({row.workload, substrate_name(row.substrate),
+                       row.observed.to_string(),
                        row.holds ? "holds" : "VIOLATED"});
   }
   out += report::section("Clean probe contracts", contracts.render());
+
+  std::string parity;
+  if (result.parity_mismatches.empty()) {
+    parity = "(all campaigns bit-identical across substrates)\n";
+  } else {
+    for (const ParityRecord& p : result.parity_mismatches) {
+      parity += "  " + p.workload + " / " +
+                fault_class_name(p.fault_class) + " trial " +
+                report::Table::fmt(p.trial) + ": softfloat " +
+                report::Table::fmt(
+                    static_cast<std::size_t>(p.softfloat_fingerprint)) +
+                " != native " +
+                report::Table::fmt(
+                    static_cast<std::size_t>(p.native_fingerprint)) +
+                "\n";
+    }
+  }
+  out += report::section("Cross-substrate campaign parity", parity);
 
   std::string misses;
   if (result.undetected.empty()) {
@@ -354,8 +409,8 @@ std::string render(const GauntletResult& result) {
              "detector)\n";
   } else {
     for (const MissRecord& m : result.undetected) {
-      misses += "  " + m.workload + " / " +
-                fault_class_name(m.fault_class) + " trial " +
+      misses += "  " + m.workload + " [" + substrate_name(m.substrate) +
+                "] / " + fault_class_name(m.fault_class) + " trial " +
                 report::Table::fmt(m.trial) + " (" +
                 report::Table::fmt(m.effective_sites) +
                 " effective site(s))\n";

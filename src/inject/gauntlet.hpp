@@ -1,11 +1,14 @@
 // fpq::inject — the detector gauntlet.
 //
-// Runs every workloads kernel probe under every fault class and scores
-// every detector fpqual ships:
+// Runs every workloads kernel probe under every fault class ON BOTH
+// ARITHMETIC SUBSTRATES — the softfloat engine and the host FPU — and
+// scores every detector fpqual ships:
 //
 //   * fpmon     — the sticky ConditionSet the monitored run reports,
 //                 compared against the clean run's set (either direction:
-//                 new conditions OR swallowed ones),
+//                 new conditions OR swallowed ones). On the native
+//                 substrate this is a REAL fpmon::ScopedMonitor over the
+//                 real FPU; on softfloat it is the harvested Env union.
 //   * shadow    — per-call high-precision re-execution; fires when the
 //                 primary result drifts from the shadow result beyond a
 //                 threshold, or is exceptional when the shadow is not,
@@ -13,11 +16,19 @@
 //                 result escapes the enclosure or the enclosure blows up.
 //
 // Shadow and interval signals are evaluated per call against the SAME
-// call of the clean baseline run, so a workload's inherent anomalies (the
-// broken variants exist to have them) never count as detections — only
-// firing the clean run did not fire counts. Trials whose campaign armed
-// no effective fault are control trials; a detector firing on one is a
-// false positive.
+// call of the clean baseline run of the SAME substrate, so a workload's
+// inherent anomalies (the broken variants exist to have them) never count
+// as detections — only firing the clean run did not fire counts. Trials
+// whose campaign armed no effective fault are control trials; a detector
+// firing on one is a false positive.
+//
+// One campaign identity drives both substrates: the (workload, class,
+// trial) cell seed feeds the SAME CampaignConfig to a softfloat trial and
+// a native trial, and the two must report identical sites_fingerprint()s
+// — any disagreement lands in parity_mismatches, which a healthy run
+// leaves empty. That cross-substrate identity is what licenses reading
+// the softfloat and native matrix columns as the same experiment on two
+// machines.
 //
 // Everything is a pure function of (GauntletConfig, workload catalogue):
 // per-trial campaign seeds are splitmix64-derived from (seed, workload,
@@ -45,9 +56,17 @@ inline constexpr std::size_t kDetectorCount = 3;
 /// "fpmon", "shadow", "interval".
 std::string detector_name(Detector d);
 
+/// Which arithmetic engine executed the attacked kernel.
+enum class Substrate { kSoftfloat = 0, kNative = 1 };
+inline constexpr std::size_t kSubstrateCount = 2;
+
+/// "softfloat", "native".
+std::string substrate_name(Substrate s);
+
 struct GauntletConfig {
   std::uint64_t seed = 0x1DFA;
-  /// Trials per (workload, fault class) cell.
+  /// Trials per (workload, fault class) cell — each trial runs once per
+  /// substrate under the same campaign seed.
   std::size_t trials = 6;
   /// Shadow detector: fire when |primary - shadow| / |shadow| exceeds
   /// this. Shadow re-seeds from the recorded bindings each call, so only
@@ -63,8 +82,8 @@ struct GauntletConfig {
   double interval_wide = 1e-6;
 };
 
-/// One (fault class, detector) cell of the coverage matrix, aggregated
-/// over all workloads and trials.
+/// One (fault class, detector) cell of a substrate's coverage matrix,
+/// aggregated over all workloads and trials.
 struct CellStats {
   std::size_t trials = 0;           ///< all trials scored for this cell
   std::size_t hits = 0;             ///< effective fault, detector fired
@@ -76,37 +95,58 @@ struct CellStats {
 /// An effective fault NO detector saw — the gauntlet's real product.
 struct MissRecord {
   std::string workload;
+  Substrate substrate = Substrate::kSoftfloat;
   FaultClass fault_class = FaultClass::kPoison;
   std::size_t trial = 0;
   std::size_t effective_sites = 0;
 };
 
-/// Clean-probe contract verification: the reduced-scale probe must honor
-/// the same exception contract as the full workload, or the baselines
-/// (and therefore the whole matrix) are meaningless.
+/// Clean-probe contract verification, per substrate: the reduced-scale
+/// probe must honor the same exception contract as the full workload, or
+/// the baselines (and therefore the whole matrix) are meaningless.
 struct ContractRow {
   std::string workload;
+  Substrate substrate = Substrate::kSoftfloat;
   mon::ConditionSet observed;
   bool holds = false;
 };
 
+/// A (workload, class, trial) whose softfloat and native campaigns
+/// reported different site fingerprints — a broken reproducibility
+/// contract. A healthy gauntlet reports none.
+struct ParityRecord {
+  std::string workload;
+  FaultClass fault_class = FaultClass::kPoison;
+  std::size_t trial = 0;
+  std::uint64_t softfloat_fingerprint = 0;
+  std::uint64_t native_fingerprint = 0;
+};
+
 struct GauntletResult {
   GauntletConfig config;
-  /// cells[fault class][detector].
-  std::array<std::array<CellStats, kDetectorCount>, kFaultClassCount>
+  /// cells[substrate][fault class][detector].
+  std::array<
+      std::array<std::array<CellStats, kDetectorCount>, kFaultClassCount>,
+      kSubstrateCount>
       cells{};
   /// Effective-fault trials missed by every detector, in deterministic
-  /// (workload, class, trial) order.
+  /// (workload, class, trial, substrate) order.
   std::vector<MissRecord> undetected;
+  /// 2 rows per workload (softfloat first, then native).
   std::vector<ContractRow> contracts;
-  std::size_t total_trials = 0;
-  std::size_t total_sites = 0;      ///< armed fault sites across all trials
+  /// Cross-substrate fingerprint disagreements; empty on a healthy run.
+  std::vector<ParityRecord> parity_mismatches;
+  std::size_t total_trials = 0;     ///< substrate runs (2 per campaign)
+  std::size_t total_sites = 0;      ///< armed fault sites across all runs
   std::size_t total_effective = 0;  ///< effective fault sites
   /// Content hash over every trial's fault-site list and every cell —
   /// the bit-reproducibility witness.
   std::uint64_t fingerprint = 0;
 
-  /// Whether any detector ever caught this fault class (row not all-miss).
+  /// Whether any detector ever caught this fault class on this substrate
+  /// (row not all-miss).
+  bool class_covered(Substrate s, FaultClass c) const noexcept;
+  /// Covered on every substrate.
   bool class_covered(FaultClass c) const noexcept;
 };
 
@@ -115,7 +155,8 @@ struct GauntletResult {
 GauntletResult run_gauntlet(parallel::ThreadPool& pool,
                             const GauntletConfig& config = {});
 
-/// Coverage matrix + contract table + undetected-fault list as text.
+/// Per-substrate coverage matrices + contract table + parity verdict +
+/// undetected-fault list as text.
 std::string render(const GauntletResult& result);
 
 }  // namespace fpq::inject

@@ -59,8 +59,8 @@ void lorenz(EvalContext& ctx, double dt, int steps) {
   }
 }
 
-void lorenz_healthy() { NativeContext c; lorenz(c, 0.005, 5000); }
-void lorenz_broken() { NativeContext c; lorenz(c, 1.0, 100); }  // NaN blowup
+void lorenz_healthy(EvalContext& c) { lorenz(c, 0.005, 5000); }
+void lorenz_broken(EvalContext& c) { lorenz(c, 1.0, 100); }  // NaN blowup
 void lorenz_healthy_probe(EvalContext& c) { lorenz(c, 0.005, 40); }
 void lorenz_broken_probe(EvalContext& c) { lorenz(c, 1.0, 40); }
 
@@ -89,8 +89,8 @@ void variance(EvalContext& ctx, double offset, int n) {
   (void)ctx.call(E::sqrt(a), {var});  // sqrt(negative) when cancellation bites
 }
 
-void variance_healthy() { NativeContext c; variance(c, 0.0, 64); }
-void variance_broken() { NativeContext c; variance(c, 1e12, 7); }
+void variance_healthy(EvalContext& c) { variance(c, 0.0, 64); }
+void variance_broken(EvalContext& c) { variance(c, 1e12, 7); }
 void variance_healthy_probe(EvalContext& c) { variance(c, 0.0, 16); }
 void variance_broken_probe(EvalContext& c) { variance(c, 1e12, 7); }
 
@@ -126,8 +126,8 @@ void growing_series(EvalContext& ctx, int terms) {
   (void)ctx.call(E::div(s, t), {sum, term});  // inf / inf
 }
 
-void geometric_series_healthy() { NativeContext c; geometric_series(c, 900); }
-void geometric_series_broken() { NativeContext c; growing_series(c, 800); }
+void geometric_series_healthy(EvalContext& c) { geometric_series(c, 900); }
+void geometric_series_broken(EvalContext& c) { growing_series(c, 800); }
 void series_healthy_probe(EvalContext& c) { geometric_series(c, 120); }
 // 10^k overflows binary64 just past k = 308; 320 terms guarantees the
 // overflow AND the closing inf/inf even at probe scale.
@@ -151,8 +151,8 @@ void normalize(EvalContext& ctx, double scale) {
   (void)ctx.call(E::div(a, b), {y, len});
 }
 
-void normalize_healthy() { NativeContext c; normalize(c, 1.0); }
-void normalize_broken() { NativeContext c; normalize(c, 1e200); }
+void normalize_healthy(EvalContext& c) { normalize(c, 1.0); }
+void normalize_broken(EvalContext& c) { normalize(c, 1e200); }
 void normalize_healthy_probe(EvalContext& c) { normalize(c, 1.0); }
 void normalize_broken_probe(EvalContext& c) { normalize(c, 1e200); }
 
@@ -169,7 +169,7 @@ void decay(EvalContext& ctx, int halvings) {
   (void)ctx.call(E::add(t, E::constant(1.0)), {x});
 }
 
-void decay_healthy() { NativeContext c; decay(c, 1100); }
+void decay_healthy(EvalContext& c) { decay(c, 1100); }
 // The subnormal crossing needs ~1075 halvings; the probe cannot shrink
 // below that without changing the contract.
 void decay_healthy_probe(EvalContext& c) { decay(c, 1100); }
@@ -185,19 +185,17 @@ void poly(EvalContext& ctx, std::span<const double> coeffs, double lo,
   }
 }
 
-void poly_healthy() {
+void poly_healthy(EvalContext& ctx) {
   // Well-scaled cubic on [-1, 1]: rounding only.
   const std::array<double, 4> c{2.0, -3.0, 1.0, 5.0};
-  NativeContext ctx;
   poly(ctx, c, -1.0, 0.01, 201);
 }
 
-void poly_broken() {
+void poly_broken(EvalContext& ctx) {
   // Astronomically scaled coefficients: the leading term overflows at
   // moderate |x| although the polynomial's ROOTS are tame — the classic
   // un-normalized-model bug.
   const std::array<double, 3> c{1e300, 1e300, 1e300};
-  NativeContext ctx;
   poly(ctx, c, 1e4, 1e4, 10);
 }
 
@@ -280,8 +278,13 @@ const std::array<Workload, 11> kCatalogue{{
 std::span<const Workload> catalogue() { return kCatalogue; }
 
 mon::ConditionSet observe(const Workload& w) {
+  NativeContext ctx;
+  return observe(w, ctx);
+}
+
+mon::ConditionSet observe(const Workload& w, EvalContext& ctx) {
   mon::ScopedMonitor monitor;
-  w.run();
+  w.run(ctx);
   return monitor.stop();
 }
 

@@ -65,12 +65,14 @@ struct Workload {
   /// Conditions that must NOT appear (the difference between the healthy
   /// and broken variant).
   mon::ConditionSet forbidden;
-  /// Executes the kernel at full scale on the host FPU (pure compute;
-  /// observation is the caller's job).
-  void (*run)();
-  /// The same kernel at reduced scale under a caller-supplied context,
-  /// with the SAME exception contract (expected/forbidden) — sized for
-  /// fault-injection campaigns that re-run it hundreds of times.
+  /// Executes the kernel at full scale under a caller-supplied context
+  /// (pure compute; observation is the caller's job). Pass NativeContext
+  /// to put the real FPU under a monitor, or an injecting context to
+  /// attack the full-scale kernel.
+  void (*run)(EvalContext& ctx);
+  /// The same kernel at reduced scale, same signature, with the SAME
+  /// exception contract (expected/forbidden) — sized for fault-injection
+  /// campaigns that re-run it hundreds of times.
   void (*probe)(EvalContext& ctx);
 };
 
@@ -78,8 +80,14 @@ struct Workload {
 /// integration, statistics, series summation, geometry).
 std::span<const Workload> catalogue();
 
-/// Runs one workload under a fresh monitor and returns what was observed.
+/// Runs one workload at full scale on the host FPU (NativeContext) under
+/// a fresh monitor and returns what was observed.
 mon::ConditionSet observe(const Workload& w);
+
+/// Same, but through a caller-supplied context — the seam that lets a
+/// fault-injecting context attack the full-scale kernel while the monitor
+/// watches the real FPU.
+mon::ConditionSet observe(const Workload& w, EvalContext& ctx);
 
 /// True when the observation satisfies the workload's contract
 /// (all expected conditions present, no forbidden ones).

@@ -1,8 +1,9 @@
 // Detector-gauntlet tests: the coverage matrix is bit-reproducible at
 // every thread count, every fault class is caught by at least one
-// detector, control trials never read as detections, and the probe
-// contracts hold — the acceptance criteria of the fault-injection
-// subsystem, as tests.
+// detector ON EACH SUBSTRATE, the softfloat and native halves of every
+// campaign report identical fingerprints, control trials never read as
+// detections, and the probe contracts hold on both substrates — the
+// acceptance criteria of the fault-injection subsystem, as tests.
 
 #include <cstddef>
 #include <string>
@@ -38,23 +39,42 @@ TEST(Gauntlet, MatrixIsBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(r.total_trials, base.total_trials);
     EXPECT_EQ(r.total_sites, base.total_sites);
     EXPECT_EQ(r.total_effective, base.total_effective);
+    EXPECT_EQ(r.parity_mismatches.size(), base.parity_mismatches.size());
     ASSERT_EQ(r.undetected.size(), base.undetected.size());
     for (std::size_t u = 0; u < r.undetected.size(); ++u) {
       EXPECT_EQ(r.undetected[u].workload, base.undetected[u].workload);
+      EXPECT_EQ(r.undetected[u].substrate, base.undetected[u].substrate);
       EXPECT_EQ(r.undetected[u].fault_class,
                 base.undetected[u].fault_class);
       EXPECT_EQ(r.undetected[u].trial, base.undetected[u].trial);
     }
-    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
-      for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
-        EXPECT_EQ(r.cells[c][d].hits, base.cells[c][d].hits);
-        EXPECT_EQ(r.cells[c][d].misses, base.cells[c][d].misses);
-        EXPECT_EQ(r.cells[c][d].false_positives,
-                  base.cells[c][d].false_positives);
-        EXPECT_EQ(r.cells[c][d].controls, base.cells[c][d].controls);
+    for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+      for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+        for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+          EXPECT_EQ(r.cells[s][c][d].hits, base.cells[s][c][d].hits);
+          EXPECT_EQ(r.cells[s][c][d].misses, base.cells[s][c][d].misses);
+          EXPECT_EQ(r.cells[s][c][d].false_positives,
+                    base.cells[s][c][d].false_positives);
+          EXPECT_EQ(r.cells[s][c][d].controls,
+                    base.cells[s][c][d].controls);
+        }
       }
     }
   }
+}
+
+TEST(Gauntlet, SubstratesReportIdenticalCampaignFingerprints) {
+  // The acceptance criterion of the native substrate: one campaign
+  // identity, two machines, zero fingerprint disagreements.
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  EXPECT_TRUE(r.parity_mismatches.empty())
+      << r.parity_mismatches.size() << " campaigns diverged, first: "
+      << (r.parity_mismatches.empty()
+              ? ""
+              : r.parity_mismatches.front().workload + " / " +
+                    inj::fault_class_name(
+                        r.parity_mismatches.front().fault_class));
 }
 
 TEST(Gauntlet, DifferentSeedsProduceDifferentCampaigns) {
@@ -66,66 +86,84 @@ TEST(Gauntlet, DifferentSeedsProduceDifferentCampaigns) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
-TEST(Gauntlet, EveryFaultClassIsCaughtBySomeDetector) {
+TEST(Gauntlet, EveryFaultClassIsCaughtOnEverySubstrate) {
   par::ThreadPool pool(4);
   const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
-  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
-    const auto cls = static_cast<inj::FaultClass>(c);
-    EXPECT_TRUE(r.class_covered(cls)) << inj::fault_class_name(cls);
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+      const auto substrate = static_cast<inj::Substrate>(s);
+      const auto cls = static_cast<inj::FaultClass>(c);
+      EXPECT_TRUE(r.class_covered(substrate, cls))
+          << inj::substrate_name(substrate) << " / "
+          << inj::fault_class_name(cls);
+    }
   }
 }
 
 TEST(Gauntlet, ControlTrialsNeverFireAnyDetector) {
   // Control trials replay the clean record stream bit-for-bit, so a
   // baseline-compared detector firing on one would mean the comparison
-  // itself is broken.
+  // itself is broken — on either substrate.
   par::ThreadPool pool(4);
   const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
-  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
-    for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
-      EXPECT_EQ(r.cells[c][d].false_positives, 0u)
-          << inj::fault_class_name(static_cast<inj::FaultClass>(c)) << " / "
-          << inj::detector_name(static_cast<inj::Detector>(d));
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+      for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+        EXPECT_EQ(r.cells[s][c][d].false_positives, 0u)
+            << inj::substrate_name(static_cast<inj::Substrate>(s)) << " / "
+            << inj::fault_class_name(static_cast<inj::FaultClass>(c))
+            << " / " << inj::detector_name(static_cast<inj::Detector>(d));
+      }
     }
   }
 }
 
-TEST(Gauntlet, ProbeContractsHold) {
+TEST(Gauntlet, ProbeContractsHoldOnBothSubstrates) {
   par::ThreadPool pool(4);
   const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
   ASSERT_FALSE(r.contracts.empty());
+  std::size_t native_rows = 0;
   for (const auto& row : r.contracts) {
-    EXPECT_TRUE(row.holds) << row.workload;
+    EXPECT_TRUE(row.holds)
+        << row.workload << " [" << inj::substrate_name(row.substrate)
+        << "] observed " << row.observed.to_string();
+    if (row.substrate == inj::Substrate::kNative) ++native_rows;
   }
+  // Every workload must have been contract-checked on the real FPU too.
+  EXPECT_EQ(native_rows * inj::kSubstrateCount, r.contracts.size());
+  EXPECT_GT(native_rows, 0u);
 }
 
 TEST(Gauntlet, CellAccountingIsConsistent) {
   par::ThreadPool pool(2);
   const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
   std::size_t scored = 0;
-  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
-    // Every detector scores every trial of the class, so each detector
-    // column of a class row accounts for the same trial total.
-    const auto& row = r.cells[c];
-    for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
-      EXPECT_EQ(row[d].trials, row[0].trials);
-      EXPECT_EQ(row[d].hits + row[d].misses + row[d].controls,
-                row[d].trials);
-      EXPECT_EQ(row[d].controls, row[0].controls);
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+      // Every detector scores every trial of the class, so each detector
+      // column of a class row accounts for the same trial total.
+      const auto& row = r.cells[s][c];
+      for (std::size_t d = 0; d < inj::kDetectorCount; ++d) {
+        EXPECT_EQ(row[d].trials, row[0].trials);
+        EXPECT_EQ(row[d].hits + row[d].misses + row[d].controls,
+                  row[d].trials);
+        EXPECT_EQ(row[d].controls, row[0].controls);
+      }
+      scored += row[0].trials;
     }
-    scored += row[0].trials;
   }
   EXPECT_EQ(scored, r.total_trials);
 }
 
-TEST(Gauntlet, RenderNamesEveryClassAndDetector) {
+TEST(Gauntlet, RenderNamesEveryClassDetectorAndSubstrate) {
   par::ThreadPool pool(2);
   inj::GauntletConfig config = small_campaign();
   config.trials = 1;
   const std::string text = inj::render(inj::run_gauntlet(pool, config));
   for (const char* needle :
        {"poison", "flag-swallow", "force-ftz", "rounding-perturb",
-        "bit-flip", "fpmon", "shadow", "interval", "fingerprint"}) {
+        "bit-flip", "fpmon", "shadow", "interval", "fingerprint",
+        "softfloat", "native", "parity"}) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   }
 }

@@ -1,0 +1,171 @@
+// Cross-substrate campaign parity, as property tests: for every fault
+// class, the softfloat injecting context and the native (host-FPU)
+// injecting context — fed the same (seed, CampaignConfig, kernel) — must
+// arm the same sites, agree on which were effective, record the same
+// values (NaN-canonically: the substrates manufacture different NaN bit
+// patterns), and report identical sites_fingerprint()s. And all of it
+// must be bit-identical whether the campaigns run on 1, 2, 4 or 8
+// threads, because a campaign's identity is (seed, config, kernel) —
+// never the schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpmon/monitor.hpp"
+#include "inject/context.hpp"
+#include "inject/fault.hpp"
+#include "inject/gauntlet.hpp"
+#include "parallel/thread_pool.hpp"
+#include "workloads/workloads.hpp"
+
+namespace inj = fpq::inject;
+namespace mon = fpq::mon;
+namespace par = fpq::parallel;
+namespace wl = fpq::workloads;
+
+namespace {
+
+inj::CampaignConfig campaign(inj::FaultClass cls, std::uint64_t seed) {
+  inj::CampaignConfig cc;
+  cc.seed = seed;
+  cc.fault_class = cls;
+  // Dense enough that most campaigns arm within a probe; sticky classes
+  // and max_faults keep the site lists small anyway.
+  cc.rate = 0.1;
+  cc.max_faults = cls == inj::FaultClass::kForceFtz ? 0 : 1;
+  return cc;
+}
+
+struct CampaignRun {
+  std::vector<inj::FaultSite> sites;
+  std::uint64_t fingerprint = 0;
+};
+
+CampaignRun run_campaign(inj::Substrate substrate,
+                         const wl::Workload& workload,
+                         const inj::CampaignConfig& cc) {
+  inj::Injector injector(cc);
+  if (substrate == inj::Substrate::kSoftfloat) {
+    inj::SoftInjectingContext ctx(injector);
+    workload.probe(ctx);
+  } else {
+    // The monitor gives the native run the same empty sticky-flag start
+    // the softfloat run's fresh Env has — without it, leftover thread
+    // fenv state would feed the swallow fault's effectiveness decision.
+    inj::NativeInjectingContext ctx(injector);
+    mon::ConditionSet observed;
+    mon::monitor_region([&] { workload.probe(ctx); }, observed);
+  }
+  return {injector.sites(), inj::sites_fingerprint(injector.sites())};
+}
+
+TEST(NativeParity, SiteListsMatchFieldByFieldOnEveryClassAndWorkload) {
+  for (const wl::Workload& workload : wl::catalogue()) {
+    for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+      const auto cls = static_cast<inj::FaultClass>(c);
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const inj::CampaignConfig cc = campaign(cls, seed * 0x9E37);
+        const CampaignRun soft =
+            run_campaign(inj::Substrate::kSoftfloat, workload, cc);
+        const CampaignRun native =
+            run_campaign(inj::Substrate::kNative, workload, cc);
+
+        ASSERT_EQ(soft.sites.size(), native.sites.size())
+            << workload.name << " / " << inj::fault_class_name(cls)
+            << " seed " << seed;
+        for (std::size_t i = 0; i < soft.sites.size(); ++i) {
+          const inj::FaultSite& a = soft.sites[i];
+          const inj::FaultSite& b = native.sites[i];
+          EXPECT_EQ(a.call, b.call);
+          EXPECT_EQ(a.op, b.op);
+          EXPECT_EQ(a.fault_class, b.fault_class);
+          EXPECT_EQ(a.effective, b.effective)
+              << workload.name << " / " << inj::fault_class_name(cls)
+              << " seed " << seed << " site " << i << " (call " << a.call
+              << ", op " << a.op << ")";
+          EXPECT_EQ(inj::canonical_value_bits(a.original),
+                    inj::canonical_value_bits(b.original));
+          EXPECT_EQ(inj::canonical_value_bits(a.injected),
+                    inj::canonical_value_bits(b.injected));
+        }
+        EXPECT_EQ(soft.fingerprint, native.fingerprint)
+            << workload.name << " / " << inj::fault_class_name(cls)
+            << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(NativeParity, EveryClassArmsEffectivelySomewhereOnBothSubstrates) {
+  // The parity above would be vacuous if the campaigns never armed; make
+  // sure each class produces at least one EFFECTIVE site on each
+  // substrate across the catalogue sweep.
+  for (std::size_t c = 0; c < inj::kFaultClassCount; ++c) {
+    const auto cls = static_cast<inj::FaultClass>(c);
+    for (const auto substrate :
+         {inj::Substrate::kSoftfloat, inj::Substrate::kNative}) {
+      bool effective = false;
+      for (const wl::Workload& workload : wl::catalogue()) {
+        for (std::uint64_t seed = 1; seed <= 3 && !effective; ++seed) {
+          const CampaignRun run = run_campaign(
+              substrate, workload, campaign(cls, seed * 0x9E37));
+          for (const inj::FaultSite& s : run.sites) {
+            effective = effective || s.effective;
+          }
+        }
+        if (effective) break;
+      }
+      EXPECT_TRUE(effective) << inj::substrate_name(substrate) << " / "
+                             << inj::fault_class_name(cls);
+    }
+  }
+}
+
+TEST(NativeParity, FingerprintsAreBitIdenticalAcrossThreadCounts) {
+  // Shards the (workload, class) campaign grid over the pool — each shard
+  // runs BOTH substrates — and demands the full fingerprint table be
+  // byte-identical at every thread count. Native trials flip real fenv
+  // state per thread; this is the proof none of it leaks across shards.
+  const std::span<const wl::Workload> cat = wl::catalogue();
+  const std::size_t total = cat.size() * inj::kFaultClassCount;
+
+  struct Pair {
+    std::uint64_t soft = 0;
+    std::uint64_t native = 0;
+  };
+  auto sweep = [&](std::size_t threads) {
+    std::vector<Pair> out(total);
+    par::ThreadPool pool(threads);
+    pool.run_shards(total, [&](std::size_t idx) {
+      const wl::Workload& workload = cat[idx / inj::kFaultClassCount];
+      const auto cls =
+          static_cast<inj::FaultClass>(idx % inj::kFaultClassCount);
+      const inj::CampaignConfig cc = campaign(cls, 0xFEED ^ idx);
+      out[idx].soft =
+          run_campaign(inj::Substrate::kSoftfloat, workload, cc)
+              .fingerprint;
+      out[idx].native =
+          run_campaign(inj::Substrate::kNative, workload, cc).fingerprint;
+    });
+    return out;
+  };
+
+  const std::vector<Pair> base = sweep(1);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(base[i].soft, base[i].native) << "campaign " << i;
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const std::vector<Pair> r = sweep(threads);
+    for (std::size_t i = 0; i < total; ++i) {
+      EXPECT_EQ(r[i].soft, base[i].soft)
+          << threads << " threads, campaign " << i;
+      EXPECT_EQ(r[i].native, base[i].native)
+          << threads << " threads, campaign " << i;
+    }
+  }
+}
+
+}  // namespace
