@@ -5,6 +5,7 @@
 // synthetic dataset.
 #pragma once
 
+#include <cfenv>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -12,11 +13,53 @@
 #include <string>
 #include <vector>
 
+#include "optprobe/mxcsr.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/compare.hpp"
 #include "respondent/population.hpp"
 #include "survey/record.hpp"
 
 namespace fpq::bench {
+
+/// The host floating-point environment a perf run was measured under.
+/// Perf numbers are meaningless to compare across runs if the rounding
+/// direction or the flush modes differed, so every BENCH_*.json records
+/// them alongside the rows.
+struct PerfEnv {
+  std::string rounding;        ///< fegetround() at capture time
+  bool mxcsr_available = false;
+  bool ftz = false;            ///< MXCSR flush-to-zero was set
+  bool daz = false;            ///< MXCSR denormals-are-zero was set
+  int hardware_threads = 1;    ///< ThreadPool::default_thread_count()
+
+  static PerfEnv capture() {
+    PerfEnv env;
+    switch (std::fegetround()) {
+      case FE_TONEAREST:
+        env.rounding = "nearest-even";
+        break;
+      case FE_TOWARDZERO:
+        env.rounding = "toward-zero";
+        break;
+      case FE_DOWNWARD:
+        env.rounding = "downward";
+        break;
+      case FE_UPWARD:
+        env.rounding = "upward";
+        break;
+      default:
+        env.rounding = "unknown";
+        break;
+    }
+    const opt::FlushProbeResult probe = opt::probe_flush_modes();
+    env.mxcsr_available = probe.mxcsr_available;
+    env.ftz = probe.ftz_default_on;
+    env.daz = probe.daz_default_on;
+    env.hardware_threads =
+        static_cast<int>(parallel::ThreadPool::default_thread_count());
+    return env;
+  }
+};
 
 /// One measured configuration of a perf bench.
 struct PerfRow {
@@ -35,10 +78,25 @@ struct PerfRow {
 /// scraping bench stdout.
 class PerfJson {
  public:
+  PerfJson() : env_(PerfEnv::capture()) {}
+
   void add(PerfRow row) { rows_.push_back(std::move(row)); }
 
   std::string render() const {
-    std::string out = "{\n  \"bench\": [\n";
+    std::string out = "{\n";
+    {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"env\": {\"rounding\": \"%s\", "
+                    "\"mxcsr_available\": %s, \"ftz\": %s, \"daz\": %s, "
+                    "\"hardware_threads\": %d},\n",
+                    env_.rounding.c_str(),
+                    env_.mxcsr_available ? "true" : "false",
+                    env_.ftz ? "true" : "false",
+                    env_.daz ? "true" : "false", env_.hardware_threads);
+      out += buf;
+    }
+    out += "  \"bench\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const PerfRow& r = rows_[i];
       char buf[256];
@@ -69,8 +127,10 @@ class PerfJson {
   }
 
   bool empty() const noexcept { return rows_.empty(); }
+  const PerfEnv& env() const noexcept { return env_; }
 
  private:
+  PerfEnv env_;
   std::vector<PerfRow> rows_;
 };
 

@@ -1,0 +1,222 @@
+// The 2^32 differential sweep driver: races the softfloat batch kernels
+// against the host FPU / independent references (and, for sqrt, the tape
+// engines) over the full binary32 pattern space, sharded and checkpointed
+// so a run can be killed and resumed, or time-boxed for CI slices.
+//
+//   bench_sweep32 [--op NAME] [--modes N] [--threads N] [--begin N]
+//                 [--end N] [--chunk-bits N] [--manifest FILE]
+//                 [--deadline-ms N] [--max-shards N] [--no-tape]
+//                 [--no-hardware] [--corpus N] [--json FILE]
+//
+// --op: sqrt (default), round_int, to_b16, to_b64, to_bf16, from_b16,
+//       from_bf16, corpus (corner corpus only), all (every sweep op).
+// --modes: how many of the five rounding modes to sweep (default all 5).
+// --corpus N: also run the corner corpus with N random cases per mode.
+// --json: PerfJson output path (default BENCH_sweep32.json).
+//
+// Exits nonzero on any lane mismatch — the sweep IS the assertion. An
+// interrupted run exits 0 with "incomplete" status as long as the shards
+// it DID verify all agreed; rerun with the same --manifest to continue.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/sweep32.hpp"
+
+namespace sw = fpq::parallel::sweep32;
+namespace sf = fpq::softfloat;
+
+namespace {
+
+struct Cli {
+  std::string op = "sqrt";
+  std::size_t modes = 5;
+  std::size_t threads = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  int chunk_bits = 18;
+  std::string manifest;
+  std::uint64_t deadline_ms = 0;
+  std::size_t max_shards = 0;
+  bool tape = true;
+  bool hardware = true;
+  std::size_t corpus = 0;
+  bool corpus_only = false;
+  std::string json = "BENCH_sweep32.json";
+};
+
+bool parse(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](std::uint64_t& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtoull(argv[++i], nullptr, 0);
+      return true;
+    };
+    std::uint64_t v = 0;
+    if (a == "--op" && i + 1 < argc) {
+      cli.op = argv[++i];
+    } else if (a == "--modes" && next(v)) {
+      cli.modes = static_cast<std::size_t>(v);
+    } else if (a == "--threads" && next(v)) {
+      cli.threads = static_cast<std::size_t>(v);
+    } else if (a == "--begin" && next(v)) {
+      cli.begin = v;
+    } else if (a == "--end" && next(v)) {
+      cli.end = v;
+    } else if (a == "--chunk-bits" && next(v)) {
+      cli.chunk_bits = static_cast<int>(v);
+    } else if (a == "--manifest" && i + 1 < argc) {
+      cli.manifest = argv[++i];
+    } else if (a == "--deadline-ms" && next(v)) {
+      cli.deadline_ms = v;
+    } else if (a == "--max-shards" && next(v)) {
+      cli.max_shards = static_cast<std::size_t>(v);
+    } else if (a == "--no-tape") {
+      cli.tape = false;
+    } else if (a == "--no-hardware") {
+      cli.hardware = false;
+    } else if (a == "--corpus" && next(v)) {
+      cli.corpus = static_cast<std::size_t>(v);
+    } else if (a == "--json" && i + 1 < argc) {
+      cli.json = argv[++i];
+    } else {
+      std::fprintf(stderr, "bench_sweep32: bad argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  if (cli.modes < 1 || cli.modes > 5) {
+    std::fprintf(stderr, "bench_sweep32: --modes must be 1..5\n");
+    return false;
+  }
+  return true;
+}
+
+bool op_from_name(const std::string& name, sw::UnaryOp32& out) {
+  for (const sw::UnaryOp32 op : sw::kAllUnaryOps32) {
+    if (name == sw::unary_op32_name(op)) {
+      out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Runs one op's sweep; returns false on mismatch. Appends a PerfRow.
+bool run_op(const Cli& cli, sw::UnaryOp32 op, fpq::bench::PerfJson& json) {
+  sw::Sweep32Config config;
+  config.op = op;
+  config.modes.assign(std::begin(fpq::parallel::kAllRoundings),
+                      std::begin(fpq::parallel::kAllRoundings) + cli.modes);
+  config.begin = cli.begin;
+  config.end = cli.end;
+  config.chunk_bits = cli.chunk_bits;
+  config.threads = cli.threads;
+  config.manifest_path = cli.manifest;
+  config.deadline = std::chrono::milliseconds(cli.deadline_ms);
+  config.max_shards = cli.max_shards;
+  config.race_hardware = cli.hardware;
+  config.race_tape = cli.tape;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const sw::Sweep32Report report = sw::run_sweep32(config);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double vps =
+      secs > 0.0 ? static_cast<double>(report.run_checked) / secs : 0.0;
+  std::printf(
+      "sweep32/%-9s shards %llu/%llu done (%llu this run)  "
+      "checked %llu (this run %llu, %.3g values/s)  mismatches %llu%s%s\n",
+      sw::unary_op32_name(op),
+      static_cast<unsigned long long>(report.done_shards),
+      static_cast<unsigned long long>(report.total_shards),
+      static_cast<unsigned long long>(report.run_shards),
+      static_cast<unsigned long long>(report.checked),
+      static_cast<unsigned long long>(report.run_checked), vps,
+      static_cast<unsigned long long>(report.mismatches),
+      report.deadline_expired ? "  [deadline]" : "",
+      report.complete ? "  [complete]" : "  [incomplete]");
+  if (report.complete) {
+    std::printf("sweep32/%-9s fingerprint 0x%016llx\n",
+                sw::unary_op32_name(op),
+                static_cast<unsigned long long>(report.fingerprint));
+  }
+  for (const std::string& s : report.mismatch_samples) {
+    std::printf("  MISMATCH %s\n", s.c_str());
+  }
+
+  fpq::bench::PerfRow row;
+  row.name = std::string("sweep32/") + sw::unary_op32_name(op);
+  row.ns_per_op = vps > 0.0 ? 1e9 / vps : 0.0;
+  row.ops_per_s = vps;
+  row.threads = static_cast<int>(
+      cli.threads != 0 ? cli.threads
+                       : fpq::parallel::ThreadPool::default_thread_count());
+  row.fingerprint = report.complete ? report.fingerprint : 0;
+  json.add(row);
+  return report.mismatches == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  fpq::bench::PerfJson json;
+  bool ok = true;
+  try {
+    if (cli.op == "corpus") {
+      cli.corpus_only = true;
+    } else if (cli.op == "all") {
+      for (const sw::UnaryOp32 op : sw::kAllUnaryOps32) {
+        ok = run_op(cli, op, json) && ok;
+      }
+    } else {
+      sw::UnaryOp32 op{};
+      if (!op_from_name(cli.op, op)) {
+        std::fprintf(stderr, "bench_sweep32: unknown --op '%s'\n",
+                     cli.op.c_str());
+        return 2;
+      }
+      ok = run_op(cli, op, json) && ok;
+    }
+
+    if (cli.corpus != 0 || cli.corpus_only) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const sw::CorpusReport corpus = sw::run_corner_corpus(cli.corpus);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      const double vps =
+          secs > 0.0 ? static_cast<double>(corpus.checked) / secs : 0.0;
+      std::printf("sweep32/corpus    checked %llu (%.3g checks/s)  "
+                  "mismatches %llu\n",
+                  static_cast<unsigned long long>(corpus.checked), vps,
+                  static_cast<unsigned long long>(corpus.mismatches));
+      for (const std::string& s : corpus.mismatch_samples) {
+        std::printf("  MISMATCH %s\n", s.c_str());
+      }
+      fpq::bench::PerfRow row;
+      row.name = "sweep32/corpus";
+      row.ns_per_op = vps > 0.0 ? 1e9 / vps : 0.0;
+      row.ops_per_s = vps;
+      row.threads = 1;
+      json.add(row);
+      ok = ok && corpus.mismatches == 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_sweep32: %s\n", e.what());
+    return 2;
+  }
+
+  if (!json.empty()) json.write(cli.json);
+  return ok ? 0 : 1;
+}

@@ -23,7 +23,7 @@ namespace {
 /// (widening is exact; re-narrowing an in-format value is exact and
 /// quiet; DAZ/FTZ act inside the ops either way).
 template <int kBits>
-void run_soft_lanes(const Tape& t, const BindingTable& table,
+void run_soft_lanes(const Tape& t, const double* values, std::size_t width,
                     std::size_t begin, std::size_t end, Outcome* out) {
   using F = sf::Float<kBits>;
   using Storage = typename F::Storage;
@@ -38,7 +38,6 @@ void run_soft_lanes(const Tape& t, const BindingTable& table,
   std::vector<F> regs(t.register_count() * lanes);
   std::vector<unsigned> flags(lanes, 0);
   const std::span<const std::uint64_t> pool = t.constant_bits();
-  const double* values = table.values.data();
 
   for (const TapeInst& in : t.code()) {
     F* d = regs.data() + std::size_t{in.dst} * lanes;
@@ -52,11 +51,10 @@ void run_soft_lanes(const Tape& t, const BindingTable& table,
         break;
       }
       case TapeOp::kVar:
-        // Column in.a of the row-major table, one stride per row.
-        // execute_range validated width > in.a, so no quiet-NaN lane.
-        sf::narrow_from_double_n<kBits>(
-            values + begin * table.width + in.a, table.width, d, lanes,
-            quiet);
+        // Column in.a of the row-major block, one stride per row.
+        // The entry points validated width > in.a, so no quiet-NaN lane.
+        sf::narrow_from_double_n<kBits>(values + begin * width + in.a, width,
+                                        d, lanes, quiet);
         break;
       case TapeOp::kNeg:
         sf::neg_n<kBits>(a, d, lanes);
@@ -108,7 +106,7 @@ void run_soft_lanes(const Tape& t, const BindingTable& table,
 // division by zero, sqrt of a negative) drop to the scalar softfloat op,
 // which keeps NaN payload propagation and invalid/divide-by-zero flags
 // canonical without slowing the overwhelmingly common finite lanes.
-void run_fast16_block(const Tape& t, const BindingTable& table,
+void run_fast16_block(const Tape& t, const double* values, std::size_t width,
                       std::size_t begin, std::size_t end, Outcome* out) {
   namespace f16 = sf::fast16;
   using F16 = sf::Float16;
@@ -125,7 +123,6 @@ void run_fast16_block(const Tape& t, const BindingTable& table,
   std::vector<double> regs(t.register_count() * lanes);
   std::vector<unsigned> flags(lanes, 0);
   const std::span<const std::uint64_t> pool = t.constant_bits();
-  const double* values = table.values.data();
 
   for (const TapeInst& in : t.code()) {
     double* d = regs.data() + std::size_t{in.dst} * lanes;
@@ -141,7 +138,7 @@ void run_fast16_block(const Tape& t, const BindingTable& table,
       }
       case TapeOp::kVar:
         for (std::size_t l = 0; l < lanes; ++l) {
-          const double x = values[(begin + l) * table.width + in.a];
+          const double x = values[(begin + l) * width + in.a];
           const std::uint64_t xb = std::bit_cast<std::uint64_t>(x);
           const auto be = (xb >> 52) & 0x7FF;
           if (be == 0) {  // signed zero or double-subnormal (DAZ range)
@@ -380,7 +377,7 @@ void run_fast16_block(const Tape& t, const BindingTable& table,
 // cannot change results. Native arithmetic in the blocks requires
 // round-to-nearest and must not leak host exception flags to the caller,
 // so the whole fenv is saved around the sweep and restored after.
-void run_fast16_lanes(const Tape& t, const BindingTable& table,
+void run_fast16_lanes(const Tape& t, const double* values, std::size_t width,
                       std::size_t begin, std::size_t end, Outcome* out) {
   constexpr std::size_t kBlock = 1024;
   fenv_t saved_fenv;
@@ -388,7 +385,7 @@ void run_fast16_lanes(const Tape& t, const BindingTable& table,
   std::fesetround(FE_TONEAREST);
   for (std::size_t b = begin; b < end; b += kBlock) {
     const std::size_t e = b + kBlock < end ? b + kBlock : end;
-    run_fast16_block(t, table, b, e, out + (b - begin));
+    run_fast16_block(t, values, width, b, e, out + (b - begin));
   }
   std::fesetenv(&saved_fenv);
 }
@@ -399,26 +396,50 @@ void check_width(const Tape& tape, const BindingTable& table) {
   }
 }
 
+/// Dispatch one row block [begin, end) of a row-major value array to the
+/// per-format interpreter. Callers have validated width.
+void dispatch_soft(const Tape& tape, const double* values, std::size_t width,
+                   std::size_t begin, std::size_t end, Outcome* out) {
+  switch (tape.config().format_bits) {
+    case 16:
+      run_fast16_lanes(tape, values, width, begin, end, out);
+      break;
+    case 32:
+      run_soft_lanes<32>(tape, values, width, begin, end, out);
+      break;
+    case sf::kBFloat16:
+      run_soft_lanes<sf::kBFloat16>(tape, values, width, begin, end, out);
+      break;
+    default:
+      run_soft_lanes<64>(tape, values, width, begin, end, out);
+      break;
+  }
+}
+
 }  // namespace
 
 void execute_range(const Tape& tape, const BindingTable& table,
                    std::size_t begin, std::size_t end,
                    std::span<Outcome> out) {
   check_width(tape, table);
-  switch (tape.config().format_bits) {
-    case 16:
-      run_fast16_lanes(tape, table, begin, end, out.data());
-      break;
-    case 32:
-      run_soft_lanes<32>(tape, table, begin, end, out.data());
-      break;
-    case sf::kBFloat16:
-      run_soft_lanes<sf::kBFloat16>(tape, table, begin, end, out.data());
-      break;
-    default:
-      run_soft_lanes<64>(tape, table, begin, end, out.data());
-      break;
+  dispatch_soft(tape, table.values.data(), table.width, begin, end,
+                out.data());
+}
+
+void execute_rows(const Tape& tape, std::span<const double> rows,
+                  std::size_t width, std::span<Outcome> out) {
+  if (width < tape.required_width()) {
+    throw BindingWidthError(tape.required_width(), width);
   }
+  if (width == 0 || rows.size() % width != 0) {
+    throw std::invalid_argument("execute_rows: rows.size() not a multiple "
+                                "of width");
+  }
+  const std::size_t n = rows.size() / width;
+  if (out.size() != n) {
+    throw std::invalid_argument("execute_rows: out.size() != row count");
+  }
+  dispatch_soft(tape, rows.data(), width, 0, n, out.data());
 }
 
 std::vector<Outcome> execute_batch(parallel::ThreadPool& pool,

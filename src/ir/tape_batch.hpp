@@ -28,6 +28,17 @@ void execute_range(const Tape& tape, const BindingTable& table,
                    std::size_t begin, std::size_t end,
                    std::span<Outcome> out);
 
+/// Span variant of execute_range: `rows` is a row-major block of
+/// rows.size() / width binding rows that the caller owns — no BindingTable
+/// (and no copy into one) required. out[i] receives row i. Requires
+/// width >= tape.required_width() (throws BindingWidthError), rows.size()
+/// divisible by width, and out.size() == rows.size() / width. This is the
+/// sweep32 hot-loop entry point: a shard body streams its chunk through
+/// the batched interpreter on the calling thread, which also keeps pool
+/// shards reentrancy-safe (execute_batch may not run inside run_shards).
+void execute_rows(const Tape& tape, std::span<const double> rows,
+                  std::size_t width, std::span<Outcome> out);
+
 /// The batched executor: shards the table's rows over the pool in
 /// deterministic chunks, memoizing per-chunk outcomes in
 /// parallel::BatchResultCache keyed on the tape's content fingerprint

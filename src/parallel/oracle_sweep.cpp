@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "parallel/shard.hpp"
+#include "parallel/sweep_util.hpp"
 #include "softfloat/ops.hpp"
 
 namespace sf = fpq::softfloat;
@@ -47,86 +48,17 @@ const char* operand_class_name(OperandClass c) noexcept {
 
 namespace {
 
-// Stateless-seedable splitmix64 stream for operand generation (the
-// parallel substrate cannot link fpq_stats; see shard.cpp).
-struct Sm64 {
-  std::uint64_t state;
-  explicit Sm64(std::uint64_t seed) noexcept : state(seed) {}
-  std::uint64_t next() noexcept {
-    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
-};
-
-/// RAII host rounding-direction guard (fenv state is thread-local, so
-/// concurrent shards flipping modes never interfere).
-class ScopedFenvRounding {
- public:
-  explicit ScopedFenvRounding(int mode) : saved_(std::fegetround()) {
-    std::fesetround(mode);
-  }
-  ~ScopedFenvRounding() { std::fesetround(saved_); }
-  ScopedFenvRounding(const ScopedFenvRounding&) = delete;
-  ScopedFenvRounding& operator=(const ScopedFenvRounding&) = delete;
-
- private:
-  int saved_;
-};
-
-/// Host fenv constant for a directed mode; ties modes map to the
-/// hardware's ties-to-even (the per-op comments justify where that is a
-/// valid stand-in for ties-to-away).
-int fenv_mode_of(sf::Rounding r) noexcept {
-  switch (r) {
-    case sf::Rounding::kTowardZero:
-      return FE_TOWARDZERO;
-    case sf::Rounding::kDown:
-      return FE_DOWNWARD;
-    case sf::Rounding::kUp:
-      return FE_UPWARD;
-    case sf::Rounding::kNearestEven:
-    case sf::Rounding::kNearestAway:
-      return FE_TONEAREST;
-  }
-  return FE_TONEAREST;
-}
-
-// Opaque host arithmetic: noinline + volatile defeat constant folding so
-// the operations execute under the runtime fenv state.
-template <typename T>
-[[gnu::noinline]] T hw_add(T a, T b) {
-  volatile T x = a, y = b, r = x + y;
-  return r;
-}
-template <typename T>
-[[gnu::noinline]] T hw_sub(T a, T b) {
-  volatile T x = a, y = b, r = x - y;
-  return r;
-}
-template <typename T>
-[[gnu::noinline]] T hw_mul(T a, T b) {
-  volatile T x = a, y = b, r = x * y;
-  return r;
-}
-template <typename T>
-[[gnu::noinline]] T hw_div(T a, T b) {
-  volatile T x = a, y = b, r = x / y;
-  return r;
-}
-template <typename T>
-[[gnu::noinline]] T hw_sqrt(T a) {
-  volatile T x = a;
-  volatile T r = std::sqrt(x);
-  return r;
-}
-template <typename T>
-[[gnu::noinline]] T hw_fma(T a, T b, T c) {
-  volatile T x = a, y = b, z = c;
-  volatile T r = std::fma(x, y, z);
-  return r;
-}
+// The operand PRNG, fenv rounding guard and opaque hardware arithmetic
+// are shared with sweep32 (parallel/sweep_util.hpp).
+using sweep_detail::fenv_mode_of;
+using sweep_detail::hw_add;
+using sweep_detail::hw_div;
+using sweep_detail::hw_fma;
+using sweep_detail::hw_mul;
+using sweep_detail::hw_sqrt;
+using sweep_detail::hw_sub;
+using sweep_detail::ScopedFenvRounding;
+using sweep_detail::Sm64;
 
 // -- Operand generation -----------------------------------------------------
 

@@ -1,0 +1,165 @@
+// fpq::parallel::sweep32 — exhaustive binary32 differential verification:
+// sharded 2^32 sweeps with a checkpointed, resumable manifest.
+//
+// The binary16 oracle (oracle_sweep.hpp) proves soft/hardware agreement
+// exhaustively at 2^16. This module pushes the same claim to the full
+// 2^32 encoding space for the unary operations — sqrt,
+// roundToIntegralExact, and the conversions binary32 <-> {binary16,
+// binary64, bfloat16} — racing, per pattern and rounding mode:
+//
+//   * the soft engine's batch kernels (softfloat/batch.hpp), which are
+//     the scalar operations by construction,
+//   * an independent reference (sweep32_ref.hpp): the host FPU under a
+//     matching fenv direction where the hardware op exists (sqrt,
+//     round-to-int, widening), or an integer/add-and-mask algorithm that
+//     shares no code with the soft converter (binary16/bfloat16
+//     narrowing and widening),
+//   * for sqrt, the tape engines: ir::execute_rows (the batched
+//     interpreter — the same code path execute_batch runs per chunk, but
+//     callable inside a pool shard) on every pattern, and the scalar
+//     Tape::execute on a configurable stride.
+//
+// Binary operations (div, fma) cannot be swept exhaustively at 2^64/2^96;
+// they are covered by run_corner_corpus: every sign-mirrored pair (and
+// corpus-pivoted triple) from the checked-in corner corpus plus
+// ULP-stratified random operands, against the exact references.
+//
+// Sharding and checkpointing: the pattern space is cut into fixed
+// 2^chunk_bits shards per rounding mode; shard identity, content and seed
+// are pure functions of the config (docs/parallel.md determinism rules),
+// so any subset of shards can run in any order on any thread count. A
+// manifest file records each completed shard's result fingerprint; it is
+// rewritten atomically (tmp + rename) every checkpoint_interval
+// completions, so a killed sweep resumes where it left off and CI can run
+// bounded slices (max_shards / deadline) of a full overnight job. The
+// whole-sweep fingerprint XORs a per-shard mix, making it independent of
+// completion order, thread count, and how many runs the sweep was split
+// across — "interrupted + resumed" is bit-identical to "uninterrupted"
+// by construction, which the sweep tests assert.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "parallel/oracle_sweep.hpp"
+#include "softfloat/env.hpp"
+
+namespace fpq::parallel::sweep32 {
+
+/// The unary operations whose full binary32 input space is swept.
+enum class UnaryOp32 : std::uint8_t {
+  kSqrt,            ///< sqrt(x), all five modes, raced against the tape too
+  kRoundToIntegral, ///< roundToIntegralExact(x)
+  kToBinary16,      ///< convert<16, 32>
+  kToBinary64,      ///< convert<64, 32> (exact widening)
+  kToBFloat16,      ///< convert<kBFloat16, 32>
+  kFromBinary16,    ///< convert<32, 16> (2^16 space)
+  kFromBFloat16,    ///< convert<32, kBFloat16> (2^16 space)
+};
+const char* unary_op32_name(UnaryOp32 op) noexcept;
+
+inline constexpr UnaryOp32 kAllUnaryOps32[] = {
+    UnaryOp32::kSqrt,        UnaryOp32::kRoundToIntegral,
+    UnaryOp32::kToBinary16,  UnaryOp32::kToBinary64,
+    UnaryOp32::kToBFloat16,  UnaryOp32::kFromBinary16,
+    UnaryOp32::kFromBFloat16,
+};
+
+/// Size of an op's input pattern space: 2^32, or 2^16 for the
+/// narrow-source conversions.
+std::uint64_t op_space_size(UnaryOp32 op) noexcept;
+
+struct Sweep32Config {
+  UnaryOp32 op = UnaryOp32::kSqrt;
+  std::vector<softfloat::Rounding> modes{std::begin(kAllRoundings),
+                                         std::end(kAllRoundings)};
+  /// Half-open pattern subrange to sweep; end == 0 means op_space_size.
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  /// Patterns per shard = 2^chunk_bits. The shard grid is part of the
+  /// sweep's identity: resuming with a different chunk_bits is an error.
+  int chunk_bits = 18;
+  /// Pool lanes; 0 picks ThreadPool::default_thread_count().
+  std::size_t threads = 0;
+  /// Checkpoint manifest path; empty runs the sweep without a checkpoint
+  /// (still sharded and fingerprinted identically).
+  std::string manifest_path;
+  /// Shard completions between atomic manifest rewrites. The manifest is
+  /// also written once at the end of every run.
+  std::size_t checkpoint_interval = 256;
+  /// Cap on shards THIS run executes (0 = all still pending) — the
+  /// deterministic way to split a sweep across runs, and what the
+  /// interruption tests use. Pending shards run in ascending shard order.
+  std::size_t max_shards = 0;
+  /// Wall-clock bound for this run (0 = none): shards not yet claimed
+  /// when it expires are left pending in the manifest (CI slice mode).
+  std::chrono::milliseconds deadline{0};
+  /// Race the independent reference / host FPU lane.
+  bool race_hardware = true;
+  /// Race the tape engines (sqrt only; other ops have no IR node).
+  bool race_tape = true;
+  /// Scalar Tape::execute is raced every this-many patterns (the batched
+  /// interpreter covers every pattern); 0 disables the scalar lane.
+  std::size_t tape_scalar_stride = 64;
+  /// Cap on human-readable mismatch samples collected per run.
+  std::size_t max_mismatch_reports = 8;
+};
+
+/// Stable identity of a sweep's shard grid: op, mode list, range and
+/// chunk size. A manifest written under a different identity refuses to
+/// resume (run_sweep32 throws std::runtime_error).
+std::uint64_t sweep32_identity(const Sweep32Config& config) noexcept;
+
+/// Total shards in the sweep's grid (modes x chunks).
+std::uint64_t sweep32_shard_count(const Sweep32Config& config) noexcept;
+
+struct Sweep32Report {
+  // -- Whole-sweep state (manifest union across every contributing run) --
+  std::uint64_t total_shards = 0;
+  std::uint64_t done_shards = 0;
+  std::uint64_t checked = 0;      ///< patterns verified (sum over shards)
+  std::uint64_t mismatches = 0;   ///< lane disagreements (sum over shards)
+  /// Order-independent fingerprint over every completed shard's soft-lane
+  /// results (values AND flags): XOR of a per-shard mix, so it is
+  /// invariant under thread count, completion order, and run splits. Only
+  /// comparable between runs once complete == true.
+  std::uint64_t fingerprint = 0;
+  bool complete = false;
+  // -- This run's contribution ------------------------------------------
+  std::uint64_t run_shards = 0;
+  std::uint64_t run_checked = 0;
+  std::uint64_t run_mismatches = 0;
+  bool deadline_expired = false;
+  /// Up to max_mismatch_reports human-readable samples from this run.
+  std::vector<std::string> mismatch_samples;
+};
+
+/// Runs (or resumes) a sweep. Throws std::runtime_error when the manifest
+/// exists but is malformed or was written for a different sweep identity.
+Sweep32Report run_sweep32(const Sweep32Config& config);
+
+// -- Corner-case corpus runner ----------------------------------------------
+
+struct CorpusReport {
+  std::uint64_t checked = 0;
+  std::uint64_t mismatches = 0;
+  std::vector<std::string> mismatch_samples;  ///< up to 8
+};
+
+/// Runs the checked-in corner corpus (sweep32_ref.hpp) against the exact
+/// references under all five rounding modes, single-threaded:
+///   * div: every sign-mirrored operand pair,
+///   * fma: every sign-mirrored (a, b) pair with deterministically
+///     corpus-pivoted addends,
+///   * sqrt, round-to-int and all five conversions: every sign-mirrored
+///     operand,
+/// plus `random_cases_per_mode` ULP-stratified random operand draws per
+/// (op, mode) cell seeded through shard_seed(seed, cell).
+CorpusReport run_corner_corpus(std::size_t random_cases_per_mode = 0,
+                               std::uint64_t seed = 0x5EE9'32);
+
+}  // namespace fpq::parallel::sweep32

@@ -1,0 +1,391 @@
+// fpq::parallel::sweep32 — reference strategies and corpus. See
+// sweep32_ref.hpp for the correctness arguments each reference leans on.
+
+#include "parallel/sweep32_ref.hpp"
+
+#include <array>
+#include <bit>
+#include <cfenv>
+#include <cmath>
+
+#include "softfloat/fast16.hpp"
+#include "softfloat/format.hpp"
+
+namespace fpq::parallel::sweep32 {
+
+namespace {
+
+using sweep_detail::fenv_mode_of;
+using sweep_detail::hw_div;
+using sweep_detail::hw_rint_f32;
+using sweep_detail::hw_round_away_f32;
+using sweep_detail::hw_sqrt;
+using sweep_detail::hw_widen_f32;
+using sweep_detail::ScopedFenvRounding;
+
+constexpr std::uint32_t kSign32 = 0x8000'0000u;
+constexpr std::uint32_t kQuiet32 = 0x0040'0000u;
+constexpr std::uint64_t kSign64 = std::uint64_t{1} << 63;
+
+/// NaN propagation matching detail::propagate_nan: first NaN operand in
+/// argument order, quieted (flags are out of scope for the value refs).
+sf::Float32 nan_of(sf::Float32 a, sf::Float32 b) noexcept {
+  return a.is_nan() ? a.quieted() : b.quieted();
+}
+
+/// Narrow a host double to binary32 through the soft converter, value
+/// only. The callers guarantee the double is the correctly rounded (or
+/// round-to-odd compressed) 53-bit image of the exact result, making the
+/// second rounding innocuous per the header notes.
+sf::Float32 narrow53(double wide, sf::Rounding mode) noexcept {
+  sf::Env env(mode);
+  return sf::convert<32, 64>(sf::from_native(wide), env);
+}
+
+/// Encode a double that is exactly a binary16 value (or ±inf) back into
+/// the binary16 format, by inverting fast16::widen with integer
+/// arithmetic. Never touches the soft round/pack pipeline.
+sf::Float16 encode16(double v) noexcept {
+  const std::uint64_t b = std::bit_cast<std::uint64_t>(v);
+  const auto sign = static_cast<std::uint16_t>((b >> 63) << 15);
+  const std::uint64_t mag = b & ~kSign64;
+  if (mag == 0) return sf::Float16{sign};
+  if ((mag & sf::fast16::kExpMask64) == sf::fast16::kExpMask64) {
+    return sf::Float16{static_cast<std::uint16_t>(sign | 0x7C00u)};
+  }
+  const int e = static_cast<int>(mag >> 52) - 1023;
+  const std::uint64_t frac52 = mag & ((std::uint64_t{1} << 52) - 1);
+  if (e >= -14) {  // normal in binary16: rebias 1023 -> 15
+    const auto be = static_cast<std::uint16_t>(e + 15);
+    return sf::Float16{static_cast<std::uint16_t>(
+        sign | (be << 10) | static_cast<std::uint16_t>(frac52 >> 42))};
+  }
+  // Subnormal: value = sig16 * 2^-24 with sig16 < 2^10.
+  const std::uint64_t sig = (frac52 | (std::uint64_t{1} << 52)) >>
+                            (42 + (-14 - e));
+  return sf::Float16{static_cast<std::uint16_t>(sign | sig)};
+}
+
+}  // namespace
+
+sf::Float32 ref_sqrt(sf::Float32 a, sf::Rounding mode) {
+  if (a.is_nan()) return a.quieted();
+  if (a.is_zero()) return a;                       // sqrt(±0) = ±0
+  if (a.sign()) return sf::Float32::quiet_nan();   // incl. sqrt(-inf)
+  if (a.is_infinity()) return a;                   // sqrt(+inf) = +inf
+  double wide;
+  {
+    ScopedFenvRounding guard(fenv_mode_of(mode));
+    wide = hw_sqrt<double>(hw_widen_f32(sf::to_native(a)));
+  }
+  return narrow53(wide, mode);
+}
+
+sf::Float32 ref_div(sf::Float32 a, sf::Float32 b, sf::Rounding mode) {
+  const bool sign = a.sign() != b.sign();
+  if (a.is_nan() || b.is_nan()) return nan_of(a, b);
+  if (a.is_infinity()) {
+    if (b.is_infinity()) return sf::Float32::quiet_nan();
+    return sf::Float32::infinity(sign);
+  }
+  if (b.is_infinity()) return sf::Float32::zero(sign);
+  if (b.is_zero()) {
+    if (a.is_zero()) return sf::Float32::quiet_nan();
+    return sf::Float32::infinity(sign);
+  }
+  if (a.is_zero()) return sf::Float32::zero(sign);
+  double wide;
+  {
+    ScopedFenvRounding guard(fenv_mode_of(mode));
+    wide = hw_div<double>(hw_widen_f32(sf::to_native(a)),
+                          hw_widen_f32(sf::to_native(b)));
+  }
+  return narrow53(wide, mode);
+}
+
+sf::Float32 ref_fma(sf::Float32 a, sf::Float32 b, sf::Float32 c,
+                    sf::Rounding mode) {
+  const bool prod_sign = a.sign() != b.sign();
+  const bool zero_times_inf = (a.is_zero() && b.is_infinity()) ||
+                              (a.is_infinity() && b.is_zero());
+  if (a.is_nan()) return a.quieted();
+  if (b.is_nan()) return b.quieted();
+  if (c.is_nan()) return c.quieted();
+  if (zero_times_inf) return sf::Float32::quiet_nan();
+  if (a.is_infinity() || b.is_infinity()) {
+    if (c.is_infinity() && c.sign() != prod_sign) {
+      return sf::Float32::quiet_nan();  // inf - inf
+    }
+    return sf::Float32::infinity(prod_sign);
+  }
+  if (c.is_infinity()) return c;
+
+  if (a.is_zero() || b.is_zero()) {  // exact product zero: result is 0 + c
+    if (!c.is_zero()) return c;
+    if (prod_sign == c.sign()) return sf::Float32::zero(prod_sign);
+    return sf::Float32::zero(mode == sf::Rounding::kDown);
+  }
+
+  double odd;  // round-to-odd 53-bit image of the exact a*b + c
+  {
+    // TwoSum needs round-to-nearest; the product and widenings are exact
+    // in any mode but run under the same guard for clarity.
+    ScopedFenvRounding guard(FE_TONEAREST);
+    const double pa = hw_widen_f32(sf::to_native(a)) *
+                      hw_widen_f32(sf::to_native(b));  // exact: <= 48 bits
+    const double cw = hw_widen_f32(sf::to_native(c));
+    const double s = pa + cw;
+    if (s == 0.0) {
+      // The exact sum is a multiple of 2^-298, so RN(sum) == 0 implies the
+      // sum is exactly zero: nonzero operands cancelled.
+      return sf::Float32::zero(mode == sf::Rounding::kDown);
+    }
+    const double bb = s - pa;
+    const double err = (pa - (s - bb)) + (cw - bb);
+    odd = s;
+    if (err != 0.0 && (std::bit_cast<std::uint64_t>(s) & 1) == 0) {
+      // s is the even neighbour of the exact sum: step one ulp toward the
+      // residual so the kept value is odd (round-to-odd).
+      odd = sf::fast16::step_toward(s, err);
+    }
+  }
+  return narrow53(odd, mode);
+}
+
+sf::Float32 ref_round_to_integral(sf::Float32 a, sf::Rounding mode) {
+  if (a.is_nan()) return a.quieted();
+  if (!a.is_finite() || a.is_zero()) return a;
+  if (mode == sf::Rounding::kNearestAway) {
+    return sf::from_native(hw_round_away_f32(sf::to_native(a)));
+  }
+  ScopedFenvRounding guard(fenv_mode_of(mode));
+  return sf::from_native(hw_rint_f32(sf::to_native(a)));
+}
+
+sf::Float64 ref_widen64(sf::Float32 a) {
+  if (a.is_nan()) {
+    const std::uint64_t bits =
+        (a.sign() ? kSign64 : 0) | sf::fast16::kExpMask64 |
+        (std::uint64_t{1} << 51) |  // quiet bit
+        (static_cast<std::uint64_t>(a.fraction()) << 29);
+    return sf::Float64{bits};
+  }
+  return sf::from_native(hw_widen_f32(sf::to_native(a)));
+}
+
+sf::Float16 ref_narrow16(sf::Float32 a, sf::Rounding mode) {
+  if (a.is_nan()) {
+    const auto frac = static_cast<std::uint16_t>((a.fraction() >> 13) |
+                                                 0x0200u);  // quiet bit
+    return sf::Float16{static_cast<std::uint16_t>(
+        (a.sign() ? 0x8000u : 0u) | 0x7C00u | frac)};
+  }
+  if (a.is_infinity()) {
+    return sf::Float16{
+        static_cast<std::uint16_t>((a.sign() ? 0x8000u : 0u) | 0x7C00u)};
+  }
+  if (a.is_zero()) {
+    return sf::Float16{static_cast<std::uint16_t>(a.sign() ? 0x8000u : 0u)};
+  }
+  // Finite nonzero binary32 values are normal doubles (min subnormal is
+  // 2^-149), so narrow16_value's precondition holds.
+  return encode16(
+      sf::fast16::narrow16_value(hw_widen_f32(sf::to_native(a)), mode));
+}
+
+sf::BFloat16 ref_narrow_bf16(sf::Float32 a, sf::Rounding mode) {
+  const std::uint32_t b = a.bits;
+  const std::uint32_t sign = b & kSign32;
+  if (a.is_nan()) {
+    const auto frac = static_cast<std::uint16_t>(((b & 0x007F'FFFFu) >> 16) |
+                                                 0x0040u);  // quiet bit
+    return sf::BFloat16{static_cast<std::uint16_t>(
+        (sign >> 16) | 0x7F80u | frac)};
+  }
+  if (a.is_infinity()) {
+    return sf::BFloat16{
+        static_cast<std::uint16_t>((sign >> 16) | 0x7F80u)};
+  }
+  // bfloat16 is binary32's sign/exponent layout with the low 16 fraction
+  // bits dropped, and the encodings order magnitudes monotonically, so
+  // one masked integer add on the binary32 pattern rounds correctly in
+  // every mode — the carry out of the fraction walks binades (subnormal
+  // boundary included) and anything past the largest finite pattern
+  // saturates per mode.
+  std::uint32_t mag = b ^ sign;
+  constexpr std::uint32_t kLow = 0xFFFFu;
+  constexpr std::uint32_t kMaxMag = 0x7F7F'0000u;  // bf16 max finite, widened
+  switch (mode) {
+    case sf::Rounding::kNearestEven:
+      mag += (kLow >> 1) + ((mag >> 16) & 1);
+      break;
+    case sf::Rounding::kNearestAway:
+      mag += (kLow >> 1) + 1;
+      break;
+    case sf::Rounding::kTowardZero:
+      break;
+    case sf::Rounding::kUp:
+      if (sign == 0) mag += kLow;
+      break;
+    case sf::Rounding::kDown:
+      if (sign != 0) mag += kLow;
+      break;
+  }
+  mag &= ~kLow;
+  if (mag > kMaxMag) {
+    const bool to_inf = mode == sf::Rounding::kNearestEven ||
+                        mode == sf::Rounding::kNearestAway ||
+                        (mode == sf::Rounding::kUp && sign == 0) ||
+                        (mode == sf::Rounding::kDown && sign != 0);
+    mag = to_inf ? 0x7F80'0000u : kMaxMag;
+  }
+  return sf::BFloat16{static_cast<std::uint16_t>((sign | mag) >> 16)};
+}
+
+sf::Float32 ref_widen_from16(sf::Float16 a) {
+  const std::uint32_t sign = a.sign() ? kSign32 : 0;
+  const auto be = static_cast<std::uint32_t>(a.biased_exponent());
+  const auto frac = static_cast<std::uint32_t>(a.fraction());
+  if (be == 0x1F) {  // inf / NaN: payload into the top fraction bits
+    std::uint32_t bits = sign | 0x7F80'0000u | (frac << 13);
+    if (frac != 0) bits |= kQuiet32;
+    return sf::Float32{bits};
+  }
+  if (be != 0) {  // normal: rebias 15 -> 127
+    return sf::Float32{sign | ((be - 15 + 127) << 23) | (frac << 13)};
+  }
+  if (frac == 0) return sf::Float32{sign};
+  // Subnormal: value = frac * 2^-24, normalized in binary32.
+  const int top = 31 - std::countl_zero(frac);  // 0..9
+  const std::uint32_t mant = (frac ^ (std::uint32_t{1} << top))
+                             << (23 - top);
+  const auto bexp = static_cast<std::uint32_t>(top - 24 + 127);
+  return sf::Float32{sign | (bexp << 23) | mant};
+}
+
+sf::Float32 ref_widen_from_bf16(sf::BFloat16 a) {
+  std::uint32_t bits = static_cast<std::uint32_t>(a.bits) << 16;
+  if (a.is_nan()) bits |= kQuiet32;
+  return sf::Float32{bits};
+}
+
+// -- Corner-case corpus -----------------------------------------------------
+
+namespace {
+
+// Positive binary32 encodings; the drivers mirror the sign bit. Grouped by
+// what they stress. See docs/sweep.md for the rationale per group.
+constexpr std::uint32_t kCorner32[] = {
+    // Zero and the subnormal border.
+    0x0000'0000u,  // +0
+    0x0000'0001u,  // min subnormal 2^-149
+    0x0000'0002u, 0x0000'0003u,
+    0x0000'8000u,               // bfloat16-tie generator in the subnormals
+    0x0001'8000u,               // odd-kept-bit bfloat16 tie
+    0x003F'FFFFu, 0x0040'0000u,  // mid-subnormal carry edge
+    0x007F'FFFEu, 0x007F'FFFFu,  // max subnormal
+    0x0080'0000u, 0x0080'0001u,  // min normal 2^-126 and successor
+    0x00FF'FFFFu, 0x0100'0000u,  // first binade edge
+    // Powers of two across the range (exact sqrt/div scaling, tie
+    // generators for div: 2^k / 3, 3 / 2^k land on repeating fractions).
+    0x0180'0000u,               // 2^-124
+    0x1000'0000u,               // 2^-95
+    0x2000'0000u,               // 2^-63
+    0x3000'0000u,               // 2^-31
+    0x3300'0000u,               // 2^-25 (half of binary16 min subnormal)
+    0x3300'0001u,               // just above that half
+    0x3380'0000u,               // 2^-24 = binary16 min subnormal
+    0x3380'0001u,
+    0x3800'0000u,               // 2^-15
+    0x3880'0000u,               // 2^-14 = binary16 min normal
+    0x387F'C000u,               // binary16 max subnormal, exactly
+    0x387F'E000u,               // tie between b16 max subnormal and min normal
+    0x3880'1000u,               // b16 normal tie (2^-14 + half b16-ulp)
+    0x3880'2000u,               // 2^-14 + one b16-ulp (exact in b16)
+    // Around one.
+    0x3F7F'FFFEu, 0x3F7F'FFFFu,  // just under 1
+    0x3F80'0000u, 0x3F80'0001u, 0x3F80'0002u,
+    0x3F80'8000u,               // 1 + 2^-8: bfloat16 tie above 1
+    0x3F81'8000u,               // odd-kept-bit bfloat16 tie above 1
+    0x3FC0'0000u,               // 1.5
+    0x3FFF'FFFFu,               // just under 2
+    0x4000'0000u,               // 2
+    0x4040'0000u,               // 3 (div ties: x/3 patterns)
+    0x4049'0FDBu,               // pi (inexact everything)
+    0x40C0'0000u,               // 6
+    0x4100'0000u,               // 8
+    0x4110'0000u,               // 9 (perfect square)
+    0x42C8'0000u,               // 100
+    0x447A'0000u,               // 1000
+    // Integer-boundary region for round-to-int.
+    0x4AFF'FFFFu,               // 8388607.5 (odd .5: ties differ by mode)
+    0x4B00'0000u,               // 2^23 (first all-integral binade)
+    0x4B00'0001u,
+    0x4B7F'FFFFu,
+    0x4B80'0000u,               // 2^24
+    0x4BFF'FFFFu,
+    0x4F00'0000u,               // 2^31
+    // binary16 overflow border (narrowing saturation per mode).
+    0x477F'E000u,               // 65504 = binary16 max finite
+    0x477F'EFFFu,               // below the overflow tie
+    0x477F'F000u,               // 65520: the exact b16 overflow tie
+    0x477F'F001u,               // just above the tie
+    0x4780'0000u,               // 65536 = 2^16
+    0x4980'0000u,               // 2^20 (well past b16 range)
+    // bfloat16 overflow border.
+    0x7F7F'0000u,               // bf16 max finite, widened
+    0x7F7F'7FFFu,               // below the bf16 overflow tie
+    0x7F7F'8000u,               // the exact bf16 overflow tie
+    0x7F7F'8001u,               // just above the tie
+    // Large normals and the top binade.
+    0x5F80'0000u,               // 2^64
+    0x7E80'0000u,               // 2^126
+    0x7F00'0000u,               // 2^127
+    0x7F7F'FFFEu, 0x7F7F'FFFFu,  // max finite
+    // Cancellation halves (fma residue stressors: 1 +/- ulp, 2^24 +/- 1).
+    0x4B80'0001u,               // 2^24 + 2
+    0x4B7F'FFFEu,               // 2^24 - 2
+    0x3F80'0003u,               // 1 + 3 ulp
+    0x3E80'0000u,               // 0.25
+    0x3EAA'AAABu,               // nearest to 1/3
+    0x3E99'999Au,               // nearest to 0.3 (paper's decimal trap)
+    0x3DCC'CCCDu,               // nearest to 0.1
+    0x4093'4A45u,               // 4.6027 (arbitrary dense pattern)
+    0x3C23'D70Au,               // nearest to 0.01
+    0x3300'0003u,               // deep subnormal neighbour
+    0x0B80'0000u,               // 2^-104 (fma product underflow range)
+    0x0B80'0001u,
+    0x1780'0000u,               // 2^-80
+    0x5A00'0000u,               // 2^53 (double-precision quantum edge)
+    0x5A80'0000u,               // 2^54
+    // Infinity and NaN payload variants.
+    0x7F80'0000u,               // +inf
+    0x7F80'0001u,               // sNaN, minimum payload
+    0x7FBF'FFFFu,               // sNaN, maximum payload
+    0x7FC0'0000u,               // default qNaN
+    0x7FC0'0001u,               // qNaN, low payload bit
+    0x7FC1'5555u,               // qNaN, patterned payload
+    0x7FFF'FFFFu,               // qNaN, maximum payload
+};
+
+}  // namespace
+
+std::span<const std::uint32_t> corner32_patterns() { return kCorner32; }
+
+std::size_t corner32_operand_count() {
+  return 2 * std::size(kCorner32);  // sign-mirrored; -0 is distinct from +0
+}
+
+std::uint32_t ulp_stratified_pattern(sweep_detail::Sm64& g) noexcept {
+  const std::uint64_t r = g.next();
+  // Exponent band uniform over [0, 254]: band 0 is the subnormals, 254 the
+  // top binade; 255 (inf/NaN) is excluded — the corpus covers specials
+  // deterministically. The modulo bias (2^41 % 255) is irrelevant for a
+  // stress sampler and keeps the draw a single next() call.
+  const auto band = static_cast<std::uint32_t>((r >> 23) % 255u);
+  const auto frac = static_cast<std::uint32_t>(r & 0x007F'FFFFu);
+  const auto sign = static_cast<std::uint32_t>(r >> 63) << 31;
+  return sign | (band << 23) | frac;
+}
+
+}  // namespace fpq::parallel::sweep32

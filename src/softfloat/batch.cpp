@@ -107,6 +107,26 @@ void neg_n(const Float<kBits>* a, Float<kBits>* out, std::size_t n) noexcept {
 }
 
 template <int kBits>
+void round_int_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
+                 std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    out[i] = round_to_integral(a[i], env);
+    flags[i] |= env.flags();
+  }
+}
+
+template <int kTo, int kFrom>
+void convert_n(const Float<kFrom>* a, Float<kTo>* out, unsigned* flags,
+               std::size_t n, Env& env) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    env.clear_flags();
+    out[i] = convert<kTo, kFrom>(a[i], env);
+    flags[i] |= env.flags();
+  }
+}
+
+template <int kBits>
 void narrow_from_double_n(const double* in, std::size_t stride,
                           Float<kBits>* out, std::size_t n,
                           const Env& env) noexcept {
@@ -210,6 +230,30 @@ template void neg_n<32>(const Float32*, Float32*, std::size_t) noexcept;
 template void neg_n<64>(const Float64*, Float64*, std::size_t) noexcept;
 template void neg_n<kBFloat16>(const BFloat16*, BFloat16*,
                                std::size_t) noexcept;
+template void round_int_n<16>(const Float16*, Float16*, unsigned*,
+                              std::size_t, Env&) noexcept;
+template void round_int_n<32>(const Float32*, Float32*, unsigned*,
+                              std::size_t, Env&) noexcept;
+template void round_int_n<64>(const Float64*, Float64*, unsigned*,
+                              std::size_t, Env&) noexcept;
+template void round_int_n<kBFloat16>(const BFloat16*, BFloat16*, unsigned*,
+                                     std::size_t, Env&) noexcept;
+template void convert_n<16, 32>(const Float32*, Float16*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void convert_n<64, 32>(const Float32*, Float64*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void convert_n<kBFloat16, 32>(const Float32*, BFloat16*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+template void convert_n<32, 16>(const Float16*, Float32*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void convert_n<32, kBFloat16>(const BFloat16*, Float32*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+template void convert_n<32, 64>(const Float64*, Float32*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void convert_n<16, 64>(const Float64*, Float16*, unsigned*,
+                                std::size_t, Env&) noexcept;
+template void convert_n<64, 16>(const Float16*, Float64*, unsigned*,
+                                std::size_t, Env&) noexcept;
 template void narrow_from_double_n<16>(const double*, std::size_t, Float16*,
                                        std::size_t, const Env&) noexcept;
 template void narrow_from_double_n<32>(const double*, std::size_t, Float32*,

@@ -55,6 +55,18 @@ void less_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
 template <int kBits>
 void neg_n(const Float<kBits>* a, Float<kBits>* out, std::size_t n) noexcept;
 
+/// roundToIntegralExact lanes (same per-lane semantics as the scalar
+/// round_to_integral: inexact iff the value changed).
+template <int kBits>
+void round_int_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
+                 std::size_t n, Env& env) noexcept;
+
+/// Format-conversion lanes: out[i] = convert<kTo, kFrom>(a[i]). The sweep32
+/// hot loops stream entire encoding spaces through these.
+template <int kTo, int kFrom>
+void convert_n(const Float<kFrom>* a, Float<kTo>* out, unsigned* flags,
+               std::size_t n, Env& env) noexcept;
+
 /// Narrows host doubles (read with `stride` between lanes — a column of a
 /// row-major binding table) into the format. Quiet: conversion flags are
 /// discarded, but the Env's rounding and DAZ modes apply — exactly the
@@ -149,6 +161,33 @@ extern template void neg_n<32>(const Float32*, Float32*, std::size_t) noexcept;
 extern template void neg_n<64>(const Float64*, Float64*, std::size_t) noexcept;
 extern template void neg_n<kBFloat16>(const BFloat16*, BFloat16*,
                                       std::size_t) noexcept;
+extern template void round_int_n<16>(const Float16*, Float16*, unsigned*,
+                                     std::size_t, Env&) noexcept;
+extern template void round_int_n<32>(const Float32*, Float32*, unsigned*,
+                                     std::size_t, Env&) noexcept;
+extern template void round_int_n<64>(const Float64*, Float64*, unsigned*,
+                                     std::size_t, Env&) noexcept;
+extern template void round_int_n<kBFloat16>(const BFloat16*, BFloat16*,
+                                            unsigned*, std::size_t,
+                                            Env&) noexcept;
+extern template void convert_n<16, 32>(const Float32*, Float16*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void convert_n<64, 32>(const Float32*, Float64*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void convert_n<kBFloat16, 32>(const Float32*, BFloat16*,
+                                              unsigned*, std::size_t,
+                                              Env&) noexcept;
+extern template void convert_n<32, 16>(const Float16*, Float32*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void convert_n<32, kBFloat16>(const BFloat16*, Float32*,
+                                              unsigned*, std::size_t,
+                                              Env&) noexcept;
+extern template void convert_n<32, 64>(const Float64*, Float32*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void convert_n<16, 64>(const Float64*, Float16*, unsigned*,
+                                       std::size_t, Env&) noexcept;
+extern template void convert_n<64, 16>(const Float16*, Float64*, unsigned*,
+                                       std::size_t, Env&) noexcept;
 extern template void narrow_from_double_n<16>(const double*, std::size_t,
                                               Float16*, std::size_t,
                                               const Env&) noexcept;

@@ -137,6 +137,8 @@ extern template bool less_equal<64>(Float64, Float64, Env&) noexcept;
 extern template Float16 round_to_integral<16>(Float16, Env&) noexcept;
 extern template Float32 round_to_integral<32>(Float32, Env&) noexcept;
 extern template Float64 round_to_integral<64>(Float64, Env&) noexcept;
+extern template BFloat16 round_to_integral<kBFloat16>(BFloat16,
+                                                      Env&) noexcept;
 extern template Float16 min_num<16>(Float16, Float16, Env&) noexcept;
 extern template Float32 min_num<32>(Float32, Float32, Env&) noexcept;
 extern template Float64 min_num<64>(Float64, Float64, Env&) noexcept;
@@ -152,6 +154,14 @@ extern template Float32 convert<32, 16>(Float16, Env&) noexcept;
 extern template Float32 convert<32, 64>(Float64, Env&) noexcept;
 extern template Float64 convert<64, 16>(Float16, Env&) noexcept;
 extern template Float64 convert<64, 32>(Float32, Env&) noexcept;
+extern template BFloat16 convert<kBFloat16, kBFloat16>(BFloat16,
+                                                       Env&) noexcept;
+extern template BFloat16 convert<kBFloat16, 16>(Float16, Env&) noexcept;
+extern template BFloat16 convert<kBFloat16, 32>(Float32, Env&) noexcept;
+extern template BFloat16 convert<kBFloat16, 64>(Float64, Env&) noexcept;
+extern template Float16 convert<16, kBFloat16>(BFloat16, Env&) noexcept;
+extern template Float32 convert<32, kBFloat16>(BFloat16, Env&) noexcept;
+extern template Float64 convert<64, kBFloat16>(BFloat16, Env&) noexcept;
 extern template Float16 from_int64<16>(std::int64_t, Env&) noexcept;
 extern template Float32 from_int64<32>(std::int64_t, Env&) noexcept;
 extern template Float64 from_int64<64>(std::int64_t, Env&) noexcept;

@@ -1,0 +1,284 @@
+// fpq::parallel::sweep32 — the 2^32 differential sweep's own contract.
+//
+// The full-space runs live in bench_sweep32 (hours of CPU); these tests
+// pin the machinery on small slices: zero mismatches on every op, the
+// whole-sweep fingerprint invariant under thread count and under
+// kill/resume splits (bit-identical to an uninterrupted run), manifest
+// identity/corruption refusal, deadline slicing, and the corner corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/sweep32.hpp"
+#include "parallel/sweep32_ref.hpp"
+#include "parallel/sweep_util.hpp"
+
+namespace sw = fpq::parallel::sweep32;
+namespace sf = fpq::softfloat;
+
+namespace {
+
+/// A unique manifest path under the build tree's temp dir, removed on
+/// destruction so test orders can't contaminate each other.
+class TempManifest {
+ public:
+  explicit TempManifest(const char* tag)
+      : path_(std::string(::testing::TempDir()) + "sweep32_" + tag +
+              ".manifest") {
+    std::remove(path_.c_str());
+  }
+  ~TempManifest() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A small but interesting sqrt slice: the last subnormal binade through
+/// the first normal one, plus room for a few chunks per mode.
+sw::Sweep32Config small_sqrt_config() {
+  sw::Sweep32Config config;
+  config.op = sw::UnaryOp32::kSqrt;
+  config.begin = 0x007F'F800;
+  config.end = 0x0080'4800;  // 5 chunks of 2^12 per mode
+  config.chunk_bits = 12;
+  config.checkpoint_interval = 4;
+  return config;
+}
+
+TEST(Sweep32, ShardGridAndIdentity) {
+  sw::Sweep32Config config = small_sqrt_config();
+  EXPECT_EQ(sw::sweep32_shard_count(config), 5u * 5u);
+
+  const std::uint64_t id = sw::sweep32_identity(config);
+  sw::Sweep32Config other = config;
+  other.chunk_bits = 13;
+  EXPECT_NE(sw::sweep32_identity(other), id);
+  other = config;
+  other.end += 0x1000;
+  EXPECT_NE(sw::sweep32_identity(other), id);
+  other = config;
+  other.op = sw::UnaryOp32::kRoundToIntegral;
+  EXPECT_NE(sw::sweep32_identity(other), id);
+  other = config;
+  other.modes.pop_back();
+  EXPECT_NE(sw::sweep32_identity(other), id);
+
+  // Thread count, manifest path and lane config are NOT identity: a
+  // resumed run may use any of them.
+  other = config;
+  other.threads = 7;
+  other.race_tape = false;
+  other.manifest_path = "elsewhere";
+  EXPECT_EQ(sw::sweep32_identity(other), id);
+}
+
+TEST(Sweep32, SqrtSliceCleanAndFingerprintThreadInvariant) {
+  sw::Sweep32Config config = small_sqrt_config();
+  std::uint64_t fingerprint = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    config.threads = threads;
+    const sw::Sweep32Report report = sw::run_sweep32(config);
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.mismatches, 0u)
+        << (report.mismatch_samples.empty() ? ""
+                                            : report.mismatch_samples[0]);
+    EXPECT_EQ(report.checked, 5u * (config.end - config.begin));
+    if (threads == 1) {
+      fingerprint = report.fingerprint;
+    } else {
+      EXPECT_EQ(report.fingerprint, fingerprint) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Sweep32, InterruptedResumeIsBitIdenticalToUninterrupted) {
+  sw::Sweep32Config config = small_sqrt_config();
+  config.threads = 1;
+  const sw::Sweep32Report oneshot = sw::run_sweep32(config);
+  ASSERT_TRUE(oneshot.complete);
+  ASSERT_EQ(oneshot.mismatches, 0u);
+
+  // Same sweep, killed after every few shards (max_shards caps a run the
+  // way a SIGKILL between checkpoints would) and resumed at a different
+  // thread count each time.
+  TempManifest manifest("resume");
+  config.manifest_path = manifest.path();
+  config.max_shards = 7;
+  const std::size_t thread_plan[] = {1, 2, 4, 8, 1, 2};
+  sw::Sweep32Report resumed;
+  std::size_t runs = 0;
+  for (const std::size_t threads : thread_plan) {
+    config.threads = threads;
+    resumed = sw::run_sweep32(config);
+    ++runs;
+    EXPECT_LE(resumed.run_shards, 7u);
+    if (resumed.complete) break;
+  }
+  EXPECT_EQ(runs, 4u);  // 25 shards at <=7 per run
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.checked, oneshot.checked);
+  EXPECT_EQ(resumed.mismatches, oneshot.mismatches);
+  EXPECT_EQ(resumed.fingerprint, oneshot.fingerprint);
+
+  // Resuming a COMPLETE sweep runs nothing and reports the same state.
+  config.threads = 1;
+  const sw::Sweep32Report again = sw::run_sweep32(config);
+  EXPECT_TRUE(again.complete);
+  EXPECT_EQ(again.run_shards, 0u);
+  EXPECT_EQ(again.fingerprint, oneshot.fingerprint);
+}
+
+TEST(Sweep32, ManifestIdentityMismatchRefusesToResume) {
+  TempManifest manifest("identity");
+  sw::Sweep32Config config = small_sqrt_config();
+  config.manifest_path = manifest.path();
+  config.max_shards = 3;
+  (void)sw::run_sweep32(config);
+
+  sw::Sweep32Config other = config;
+  other.chunk_bits = 13;
+  EXPECT_THROW((void)sw::run_sweep32(other), std::runtime_error);
+  other = config;
+  other.op = sw::UnaryOp32::kRoundToIntegral;
+  other.begin = 0;
+  other.end = 0x5000;
+  EXPECT_THROW((void)sw::run_sweep32(other), std::runtime_error);
+}
+
+TEST(Sweep32, MalformedManifestThrows) {
+  sw::Sweep32Config config = small_sqrt_config();
+  {
+    TempManifest manifest("garbage");
+    std::ofstream(manifest.path()) << "not a manifest\n";
+    config.manifest_path = manifest.path();
+    EXPECT_THROW((void)sw::run_sweep32(config), std::runtime_error);
+  }
+  {
+    TempManifest manifest("truncated");
+    std::ofstream(manifest.path())
+        << "fpq-sweep32-manifest v1\nop sqrt\ndone 0\n";
+    config.manifest_path = manifest.path();
+    EXPECT_THROW((void)sw::run_sweep32(config), std::runtime_error);
+  }
+}
+
+TEST(Sweep32, DeadlineSliceStaysResumable) {
+  TempManifest manifest("deadline");
+  sw::Sweep32Config config = small_sqrt_config();
+  config.manifest_path = manifest.path();
+  config.threads = 2;
+  config.deadline = std::chrono::milliseconds(1);
+  const sw::Sweep32Report slice = sw::run_sweep32(config);
+  EXPECT_EQ(slice.run_mismatches, 0u);
+  EXPECT_LE(slice.done_shards, slice.total_shards);
+
+  // Whatever the slice managed, finishing the sweep afterwards lands on
+  // the uninterrupted fingerprint.
+  config.deadline = std::chrono::milliseconds(0);
+  const sw::Sweep32Report finished = sw::run_sweep32(config);
+  ASSERT_TRUE(finished.complete);
+
+  sw::Sweep32Config fresh = small_sqrt_config();
+  fresh.threads = 1;
+  EXPECT_EQ(finished.fingerprint, sw::run_sweep32(fresh).fingerprint);
+}
+
+// Every op's engine lane agrees with its reference on a slice spanning
+// subnormals, normals and the inf/NaN band. The kFrom* ops are cheap
+// enough to sweep their ENTIRE 2^16 space here.
+TEST(Sweep32, EveryOpSliceClean) {
+  for (const sw::UnaryOp32 op : sw::kAllUnaryOps32) {
+    sw::Sweep32Config config;
+    config.op = op;
+    config.chunk_bits = 12;
+    if (sw::op_space_size(op) == (std::uint64_t{1} << 16)) {
+      config.begin = 0;
+      config.end = 0;  // full 2^16
+    } else {
+      config.begin = 0x7F7F'F000;  // top binade -> inf -> NaNs
+      config.end = 0x7F81'1000;
+    }
+    const sw::Sweep32Report report = sw::run_sweep32(config);
+    EXPECT_TRUE(report.complete) << sw::unary_op32_name(op);
+    EXPECT_EQ(report.mismatches, 0u)
+        << sw::unary_op32_name(op) << ": "
+        << (report.mismatch_samples.empty() ? ""
+                                            : report.mismatch_samples[0]);
+  }
+}
+
+TEST(Sweep32, SqrtSubnormalAndZeroBoundarySliceClean) {
+  sw::Sweep32Config config;
+  config.op = sw::UnaryOp32::kSqrt;
+  config.begin = 0;
+  config.end = 0x2000;  // +-0 neighbourhood: first subnormal chunks
+  config.chunk_bits = 12;
+  const sw::Sweep32Report report = sw::run_sweep32(config);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.mismatches, 0u)
+      << (report.mismatch_samples.empty() ? ""
+                                          : report.mismatch_samples[0]);
+}
+
+TEST(Sweep32, CornerCorpusCleanWithRandomTail) {
+  const sw::CorpusReport report = sw::run_corner_corpus(512);
+  EXPECT_GT(report.checked, 1'000'000u);
+  EXPECT_EQ(report.mismatches, 0u)
+      << (report.mismatch_samples.empty() ? ""
+                                          : report.mismatch_samples[0]);
+}
+
+TEST(Sweep32, CornerCorpusIsDeterministic) {
+  const sw::CorpusReport a = sw::run_corner_corpus(64, 123);
+  const sw::CorpusReport b = sw::run_corner_corpus(64, 123);
+  EXPECT_EQ(a.checked, b.checked);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+TEST(Sweep32, UlpStratifiedSamplerCoversBandsAndStaysFinite) {
+  fpq::parallel::sweep_detail::Sm64 g(42);
+  bool subnormal = false, small_normal = false, large_normal = false;
+  bool negative = false;
+  for (int i = 0; i < 20000; ++i) {
+    const sf::Float32 x{sw::ulp_stratified_pattern(g)};
+    ASSERT_TRUE(x.is_finite()) << sf::describe(x);
+    if (x.is_subnormal()) subnormal = true;
+    if (x.sign()) negative = true;
+    const std::uint32_t exp = (x.bits >> 23) & 0xFF;
+    if (exp != 0 && exp < 64) small_normal = true;
+    if (exp >= 192) large_normal = true;
+  }
+  EXPECT_TRUE(subnormal);
+  EXPECT_TRUE(small_normal);
+  EXPECT_TRUE(large_normal);
+  EXPECT_TRUE(negative);
+}
+
+TEST(Sweep32, CornerCorpusPatternsAreCanonicalAndCoverClasses) {
+  bool zero = false, subnormal = false, normal = false, inf = false,
+       nan = false;
+  for (const std::uint32_t p : sw::corner32_patterns()) {
+    EXPECT_EQ(p & 0x8000'0000u, 0u) << std::hex << p
+                                    << " (corpus stores magnitudes; the "
+                                       "runner mirrors signs)";
+    const sf::Float32 x{p};
+    zero |= x.is_zero();
+    subnormal |= x.is_subnormal();
+    normal |= x.is_finite() && !x.is_zero() && !x.is_subnormal();
+    inf |= x.is_infinity();
+    nan |= x.is_nan();
+  }
+  EXPECT_TRUE(zero);
+  EXPECT_TRUE(subnormal);
+  EXPECT_TRUE(normal);
+  EXPECT_TRUE(inf);
+  EXPECT_TRUE(nan);
+}
+
+}  // namespace

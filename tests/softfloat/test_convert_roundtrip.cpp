@@ -1,0 +1,203 @@
+// fpq::softfloat — conversion round-trip properties for the narrow
+// formats, under ALL five rounding modes and the FTZ/DAZ flush configs.
+//
+// The spec guarantees two things these tests pin exhaustively (the narrow
+// spaces are 2^16, so "exhaustively" is cheap):
+//
+//   * widening is exact: binary16 -> binary32 -> binary16 and
+//     bfloat16 -> binary32 -> bfloat16 recover the original encoding
+//     bit-for-bit in every rounding mode, with no flags raised beyond
+//     the engine's denormal-input diagnostic (signaling NaNs quiet and
+//     raise invalid — also pinned);
+//   * narrowing an already-representable value is exact: if x widened
+//     from a narrow encoding, narrow(x) is that encoding with no inexact.
+//
+// Plus the properties the sweep relies on: double-narrowing idempotence
+// (narrow(widen(narrow(x))) == narrow(x)) and the independent references
+// from sweep32_ref agreeing with convert<> on the full narrow spaces.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "parallel/sweep32_ref.hpp"
+#include "softfloat/env.hpp"
+#include "softfloat/ops.hpp"
+#include "softfloat/value.hpp"
+
+namespace sf = fpq::softfloat;
+namespace sw = fpq::parallel::sweep32;
+
+namespace {
+
+const sf::Rounding kModes[] = {
+    sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+    sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway,
+};
+
+TEST(ConvertRoundTrip, Binary16ThroughBinary32IsExactEverywhere) {
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const sf::Float16 h{static_cast<std::uint16_t>(p)};
+      sf::Env env(mode);
+      const sf::Float32 wide = sf::convert<32, 16>(h, env);
+      const sf::Float16 back = sf::convert<16, 32>(wide, env);
+      if (h.is_signaling_nan()) {
+        // Widening a signaling NaN quiets it (and raises invalid); the
+        // round trip returns the QUIETED encoding, payload preserved.
+        EXPECT_TRUE(back.is_quiet_nan());
+        EXPECT_TRUE(env.test(sf::kFlagInvalid));
+        EXPECT_EQ(back.bits, h.bits | 0x0200u);
+      } else {
+        EXPECT_EQ(back.bits, h.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(h);
+        EXPECT_FALSE(env.test(sf::kFlagInexact | sf::kFlagOverflow |
+                              sf::kFlagUnderflow | sf::kFlagInvalid))
+            << sf::describe(h) << " flags " << sf::flags_to_string(
+                   env.flags());
+      }
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, BFloat16ThroughBinary32IsExactEverywhere) {
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const sf::BFloat16 h{static_cast<std::uint16_t>(p)};
+      sf::Env env(mode);
+      const sf::Float32 wide = sf::convert<32, sf::kBFloat16>(h, env);
+      const sf::BFloat16 back = sf::convert<sf::kBFloat16, 32>(wide, env);
+      if (h.is_signaling_nan()) {
+        EXPECT_TRUE(back.is_quiet_nan());
+        EXPECT_TRUE(env.test(sf::kFlagInvalid));
+        EXPECT_EQ(back.bits, h.bits | 0x0040u);
+      } else {
+        EXPECT_EQ(back.bits, h.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(h);
+        EXPECT_FALSE(env.test(sf::kFlagInexact | sf::kFlagOverflow |
+                              sf::kFlagUnderflow | sf::kFlagInvalid));
+      }
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, NarrowingRepresentableBinary32IsExactAndFlagless) {
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const sf::Float16 h{static_cast<std::uint16_t>(p)};
+      if (h.is_nan()) continue;
+      sf::Env widen_env;
+      const sf::Float32 x = sf::convert<32, 16>(h, widen_env);
+      sf::Env env(mode);
+      const sf::Float16 narrow = sf::convert<16, 32>(x, env);
+      EXPECT_EQ(narrow.bits, h.bits)
+          << sf::rounding_to_string(mode) << " " << sf::describe(h);
+      EXPECT_FALSE(env.test(sf::kFlagInexact));
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, DoubleNarrowingIsIdempotent) {
+  // narrow(widen(narrow(x))) == narrow(x): once a value has been pushed
+  // into binary16 / bfloat16, pushing it through again changes nothing,
+  // in any mode. Deterministic ULP-stratified operands.
+  for (const sf::Rounding mode : kModes) {
+    fpq::parallel::sweep_detail::Sm64 g(
+        0xD0'0B1E + static_cast<std::uint64_t>(mode));
+    for (int i = 0; i < 50000; ++i) {
+      const sf::Float32 x{sw::ulp_stratified_pattern(g)};
+      {
+        sf::Env env(mode);
+        const sf::Float16 once = sf::convert<16, 32>(x, env);
+        const sf::Float32 wide = sf::convert<32, 16>(once, env);
+        sf::Env env2(mode);
+        const sf::Float16 twice = sf::convert<16, 32>(wide, env2);
+        EXPECT_EQ(twice.bits, once.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(x);
+        EXPECT_FALSE(env2.test(sf::kFlagInexact));
+      }
+      {
+        sf::Env env(mode);
+        const sf::BFloat16 once = sf::convert<sf::kBFloat16, 32>(x, env);
+        const sf::Float32 wide = sf::convert<32, sf::kBFloat16>(once, env);
+        sf::Env env2(mode);
+        const sf::BFloat16 twice =
+            sf::convert<sf::kBFloat16, 32>(wide, env2);
+        EXPECT_EQ(twice.bits, once.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(x);
+        EXPECT_FALSE(env2.test(sf::kFlagInexact));
+      }
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, NarrowingMatchesIndependentReferences) {
+  // convert<16,32> / convert<kBFloat16,32> against sweep32_ref's
+  // independent algorithms on every widened narrow encoding plus its
+  // round-trip-critical neighbours (one ulp32 either side, where the
+  // narrowing actually has to round).
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      sf::Env widen_env;
+      const sf::Float32 x = sf::convert<32, 16>(
+          sf::Float16{static_cast<std::uint16_t>(p)}, widen_env);
+      for (const std::uint32_t bits :
+           {x.bits, x.bits + 1, x.bits - 1}) {
+        const sf::Float32 probe{bits};
+        sf::Env env(mode);
+        const sf::Float16 got = sf::convert<16, 32>(probe, env);
+        const sf::Float16 want = sw::ref_narrow16(probe, mode);
+        EXPECT_EQ(got.bits, want.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(probe);
+      }
+      const sf::Float32 y{static_cast<std::uint32_t>(p) << 16};
+      for (const std::uint32_t bits :
+           {y.bits, y.bits + 1, y.bits + 0x8000u}) {
+        const sf::Float32 probe{bits};
+        sf::Env env(mode);
+        const sf::BFloat16 got =
+            sf::convert<sf::kBFloat16, 32>(probe, env);
+        const sf::BFloat16 want = sw::ref_narrow_bf16(probe, mode);
+        EXPECT_EQ(got.bits, want.bits)
+            << sf::rounding_to_string(mode) << " " << sf::describe(probe);
+      }
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, DazZeroesSubnormalNarrowInputs) {
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const sf::Float16 h{static_cast<std::uint16_t>(p)};
+      if (!h.is_subnormal()) continue;
+      sf::Env env(mode);
+      env.set_denormals_are_zero(true);
+      const sf::Float32 wide = sf::convert<32, 16>(h, env);
+      EXPECT_TRUE(wide.is_zero()) << sf::describe(h);
+      EXPECT_EQ(wide.sign(), h.sign());
+    }
+  }
+}
+
+TEST(ConvertRoundTrip, FtzFlushesSubnormalNarrowResults) {
+  // Binary32 values whose binary16 narrowing would be subnormal flush to
+  // signed zero under FTZ; the round trip therefore loses them entirely —
+  // the gradual-underflow-vs-FTZ contrast the paper's optimization
+  // questions probe.
+  for (const sf::Rounding mode : kModes) {
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const sf::Float16 h{static_cast<std::uint16_t>(p)};
+      if (!h.is_subnormal()) continue;
+      sf::Env widen_env;
+      const sf::Float32 x = sf::convert<32, 16>(h, widen_env);
+      sf::Env env(mode);
+      env.set_flush_to_zero(true);
+      const sf::Float16 narrow = sf::convert<16, 32>(x, env);
+      EXPECT_TRUE(narrow.is_zero()) << sf::describe(h);
+      EXPECT_EQ(narrow.sign(), h.sign());
+      EXPECT_TRUE(env.test(sf::kFlagUnderflow));
+    }
+  }
+}
+
+}  // namespace
