@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "optprobe/mxcsr.hpp"
+#include "parallel/stream.hpp"
 #include "parallel/thread_pool.hpp"
 #include "report/compare.hpp"
 #include "respondent/population.hpp"
@@ -146,6 +147,42 @@ inline const std::vector<survey::StudentRecord>& student_cohort() {
   static const auto cohort =
       respondent::generate_student_cohort(kCohortSeed, 52);
   return cohort;
+}
+
+/// Shared pool for the streaming figure benches (default thread count).
+inline parallel::ThreadPool& stream_pool() {
+  static parallel::ThreadPool pool;
+  return pool;
+}
+
+/// Streams the first n records of the kCohortSeed main cohort through a
+/// fresh accumulator per shard: each shard seeks its CohortGenerator to
+/// the chunk start (two cheap root draws per skipped respondent) and
+/// feeds its range, so no record vector ever exists. Bit-identical to
+/// folding generate_main_cohort(kCohortSeed, n) through one accumulator.
+template <typename MakeAcc>
+auto stream_main_cohort(std::size_t n, const MakeAcc& make_acc) {
+  auto& pool = stream_pool();
+  return parallel::stream_accumulate(
+      pool, n, parallel::recommended_chunks(pool, n, 64), make_acc,
+      [](auto& acc, std::size_t begin, std::size_t end) {
+        respondent::CohortGenerator gen(kCohortSeed);
+        gen.seek(begin);
+        for (std::size_t i = begin; i < end; ++i) acc.add(gen.next());
+      });
+}
+
+/// Student-cohort counterpart of stream_main_cohort.
+template <typename MakeAcc>
+auto stream_student_cohort(std::size_t n, const MakeAcc& make_acc) {
+  auto& pool = stream_pool();
+  return parallel::stream_accumulate(
+      pool, n, parallel::recommended_chunks(pool, n, 64), make_acc,
+      [](auto& acc, std::size_t begin, std::size_t end) {
+        respondent::StudentCohortGenerator gen(kCohortSeed);
+        gen.seek(begin);
+        for (std::size_t i = begin; i < end; ++i) acc.add(gen.next());
+      });
 }
 
 /// Prints a comparison block and returns 0 if everything is within

@@ -1,25 +1,32 @@
 // Figures 6-7: floating point and arbitrary-precision language experience
-// (multi-select membership tables).
+// (multi-select membership tables), streamed through the survey
+// accumulators — no record vector.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "paperdata/paperdata.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
 namespace rp = fpq::report;
 
+namespace {
+constexpr std::size_t kN = 199;
+}  // namespace
+
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
   std::vector<rp::ComparisonRow> rows;
 
-  const auto fp = sv::multi_select_table(
-      cohort, pd::fp_languages(),
-      [](const sv::SurveyRecord& r) -> const std::vector<std::size_t>& {
-        return r.background.fp_languages;
-      });
+  const auto fp = fpq::bench::stream_main_cohort(kN, [] {
+                    return sv::MultiSelectAccumulator(
+                        pd::fp_languages(),
+                        [](const sv::SurveyRecord& r)
+                            -> const std::vector<std::size_t>& {
+                          return r.background.fp_languages;
+                        });
+                  }).finish();
   for (std::size_t i = 0; i < pd::fp_languages().size(); ++i) {
     const auto& paper = pd::fp_languages()[i];
     const double p = static_cast<double>(paper.n) / 199.0;
@@ -29,11 +36,14 @@ int main() {
                     2.5 * std::sqrt(199.0 * p * (1.0 - p)) + 1.0});
   }
 
-  const auto arb = sv::multi_select_table(
-      cohort, pd::arb_prec_languages(),
-      [](const sv::SurveyRecord& r) -> const std::vector<std::size_t>& {
-        return r.background.arb_prec_languages;
-      });
+  const auto arb = fpq::bench::stream_main_cohort(kN, [] {
+                     return sv::MultiSelectAccumulator(
+                         pd::arb_prec_languages(),
+                         [](const sv::SurveyRecord& r)
+                             -> const std::vector<std::size_t>& {
+                           return r.background.arb_prec_languages;
+                         });
+                   }).finish();
   for (std::size_t i = 0; i < pd::arb_prec_languages().size(); ++i) {
     const auto& paper = pd::arb_prec_languages()[i];
     const double p = static_cast<double>(paper.n) / 199.0;

@@ -1,16 +1,19 @@
-// Figures 8-11: codebase size and floating point extent tables.
+// Figures 8-11: codebase size and floating point extent tables, streamed
+// through the survey accumulators — no record vector.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "paperdata/paperdata.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
 namespace rp = fpq::report;
 
 namespace {
+
+constexpr std::size_t kN = 199;
 
 double cell_tolerance(double expected_n) {
   const double p = expected_n / 199.0;
@@ -28,32 +31,39 @@ void add_table(std::vector<rp::ComparisonRow>& rows, const char* figure,
   }
 }
 
+std::vector<sv::TableRow> stream_frequency(
+    std::span<const pd::CategoryCount> table, sv::FieldSelector selector) {
+  return fpq::bench::stream_main_cohort(kN, [&] {
+           return sv::FrequencyAccumulator(table, selector);
+         })
+      .finish();
+}
+
 }  // namespace
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
   std::vector<rp::ComparisonRow> rows;
 
   add_table(rows, "Fig8 contributed size", pd::contributed_codebase_sizes(),
-            sv::frequency_table(cohort, pd::contributed_codebase_sizes(),
-                                [](const sv::SurveyRecord& r) {
-                                  return r.background.contributed_size;
-                                }));
+            stream_frequency(pd::contributed_codebase_sizes(),
+                             [](const sv::SurveyRecord& r) {
+                               return r.background.contributed_size;
+                             }));
   add_table(rows, "Fig9 contributed FP extent", pd::contributed_fp_extent(),
-            sv::frequency_table(cohort, pd::contributed_fp_extent(),
-                                [](const sv::SurveyRecord& r) {
-                                  return r.background.contributed_extent;
-                                }));
+            stream_frequency(pd::contributed_fp_extent(),
+                             [](const sv::SurveyRecord& r) {
+                               return r.background.contributed_extent;
+                             }));
   add_table(rows, "Fig10 involved size", pd::involved_codebase_sizes(),
-            sv::frequency_table(cohort, pd::involved_codebase_sizes(),
-                                [](const sv::SurveyRecord& r) {
-                                  return r.background.involved_size;
-                                }));
+            stream_frequency(pd::involved_codebase_sizes(),
+                             [](const sv::SurveyRecord& r) {
+                               return r.background.involved_size;
+                             }));
   add_table(rows, "Fig11 involved FP extent", pd::involved_fp_extent(),
-            sv::frequency_table(cohort, pd::involved_fp_extent(),
-                                [](const sv::SurveyRecord& r) {
-                                  return r.background.involved_extent;
-                                }));
+            stream_frequency(pd::involved_fp_extent(),
+                             [](const sv::SurveyRecord& r) {
+                               return r.background.involved_extent;
+                             }));
 
   return fpq::bench::finish(
       "Figures 8-11: codebase experience (counts, n=199)", rows, 0);

@@ -1,11 +1,13 @@
 // Figure 12: the paper's headline table — average (expected) performance
-// on the core and optimization quizzes vs chance.
+// on the core and optimization quizzes vs chance. The averages stream
+// through AverageTallyAccumulator (no record vector); the bootstrap CI
+// gate keeps the classic resample-the-scores path at n=199.
 
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
 #include "paperdata/paperdata.hpp"
 #include "stats/bootstrap.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -13,9 +15,15 @@ namespace rp = fpq::report;
 namespace quiz = fpq::quiz;
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
-  const auto core = sv::average_core(cohort, quiz::standard_core_truths());
-  const auto opt = sv::average_opt_tf(cohort, quiz::standard_opt_truths());
+  constexpr std::size_t kN = 199;
+  const auto core_key = quiz::standard_core_truths();
+  const auto opt_key = quiz::standard_opt_truths();
+  const auto core = fpq::bench::stream_main_cohort(kN, [&] {
+                      return sv::AverageTallyAccumulator::core(core_key);
+                    }).finish();
+  const auto opt = fpq::bench::stream_main_cohort(kN, [&] {
+                     return sv::AverageTallyAccumulator::opt_tf(opt_key);
+                   }).finish();
   const auto paper_core = pd::core_quiz_averages();
   const auto paper_opt = pd::opt_quiz_averages();
 
@@ -39,12 +47,14 @@ int main() {
 
   // Resampling uncertainty: a 95% bootstrap CI for the mean core score.
   // The paper's 8.5 must fall inside it for the reproduction to be more
-  // than a point coincidence.
+  // than a point coincidence. Scores come straight off the generator.
   std::vector<double> scores;
-  const auto key = quiz::standard_core_truths();
-  for (const auto& r : cohort) {
+  scores.reserve(kN);
+  fpq::respondent::CohortGenerator gen(fpq::bench::kCohortSeed);
+  for (std::size_t i = 0; i < kN; ++i) {
     scores.push_back(
-        static_cast<double>(quiz::score_core(r.core, key).correct));
+        static_cast<double>(quiz::score_core(gen.next().core, core_key)
+                                .correct));
   }
   fpq::stats::Xoshiro256pp g(0xB007);
   const auto ci = fpq::stats::bootstrap_mean(scores, 4000, 0.95, g);
@@ -54,5 +64,44 @@ int main() {
       "paper's 8.5\n",
       ci.estimate, ci.lower, ci.upper,
       contains_paper ? "contains" : "DOES NOT contain");
-  return rc + (contains_paper ? 0 : 1);
+
+  // The memory-bounded counterpart: a cluster bootstrap over streamed
+  // chunk statistics (what the 10M-scale service uses — see
+  // bench_survey_scale). Informational at n=199; its point estimate must
+  // match the streamed mean exactly.
+  auto chunk_stats = fpq::bench::stream_main_cohort(kN, [&] {
+                       class ScoreChunks {
+                        public:
+                         explicit ScoreChunks(const sv::CoreKey& key)
+                             : key_(key) {}
+                         void add(const sv::SurveyRecord& r) {
+                           acc_.add(static_cast<double>(
+                               quiz::score_core(r.core, key_).correct));
+                         }
+                         void merge(ScoreChunks&& other) {
+                           acc_.merge(std::move(other.acc_));
+                         }
+                         std::vector<fpq::stats::ChunkMeanStat> finish()
+                             const {
+                           return acc_.finish();
+                         }
+
+                        private:
+                         sv::CoreKey key_;
+                         fpq::stats::ChunkStatAccumulator acc_;
+                       };
+                       return ScoreChunks(core_key);
+                     }).finish();
+  const auto stream_ci = fpq::stats::bootstrap_mean_from_chunks(
+      chunk_stats, 4000, 0.95, 0xB007, fpq::bench::stream_pool());
+  std::printf(
+      "streaming chunk bootstrap (%zu chunks): mean %.2f, 95%% CI "
+      "[%.2f, %.2f]\n",
+      chunk_stats.size(), stream_ci.estimate, stream_ci.lower,
+      stream_ci.upper);
+  const bool means_agree = stream_ci.estimate == ci.estimate;
+  if (!means_agree) {
+    std::printf("ERROR: streamed mean differs from resampled mean\n");
+  }
+  return rc + (contains_paper ? 0 : 1) + (means_agree ? 0 : 1);
 }

@@ -1,22 +1,25 @@
 // Figure 13: histogram of core quiz scores (0..15). The paper prints the
 // chart and its mean (8.5, chance 7.5); we render the regenerated chart
-// and compare the summary statistics.
+// (streamed through ScoreHistogramAccumulator — no record vector) and
+// compare the summary statistics.
 
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
 #include "paperdata/paperdata.hpp"
 #include "report/barchart.hpp"
 #include "report/table.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace rp = fpq::report;
 namespace quiz = fpq::quiz;
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
-  const auto hist =
-      sv::core_score_histogram(cohort, quiz::standard_core_truths());
+  constexpr std::size_t kN = 199;
+  const auto key = quiz::standard_core_truths();
+  const auto hist = fpq::bench::stream_main_cohort(kN, [&] {
+                      return sv::ScoreHistogramAccumulator(key);
+                    }).finish();
 
   std::fputs(rp::section("Figure 13: core quiz score histogram (simulated)",
                          rp::int_histogram_chart(hist))

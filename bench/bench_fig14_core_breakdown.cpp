@@ -7,7 +7,7 @@
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
 #include "paperdata/paperdata.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -15,9 +15,10 @@ namespace rp = fpq::report;
 namespace quiz = fpq::quiz;
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
-  const auto measured =
-      sv::core_question_breakdown(cohort, quiz::standard_core_truths());
+  const auto key = quiz::standard_core_truths();
+  const auto measured = fpq::bench::stream_main_cohort(199, [&] {
+                          return sv::BreakdownAccumulator::core(key);
+                        }).finish();
   const auto paper = pd::core_breakdown();
 
   // Binomial tolerance at n=199 for a percentage: ~2.5 sigma ~ 9 points.

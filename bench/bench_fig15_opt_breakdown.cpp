@@ -4,7 +4,7 @@
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
 #include "paperdata/paperdata.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -12,9 +12,10 @@ namespace rp = fpq::report;
 namespace quiz = fpq::quiz;
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
-  const auto measured =
-      sv::opt_question_breakdown(cohort, quiz::standard_opt_truths());
+  const auto key = quiz::standard_opt_truths();
+  const auto measured = fpq::bench::stream_main_cohort(199, [&] {
+                          return sv::BreakdownAccumulator::opt(key);
+                        }).finish();
   const auto paper = pd::opt_breakdown();
 
   constexpr double kTol = 9.0;

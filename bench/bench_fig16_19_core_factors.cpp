@@ -10,7 +10,7 @@
 #include "paperdata/paperdata.hpp"
 #include "report/barchart.hpp"
 #include "report/table.hpp"
-#include "survey/factor_analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -54,14 +54,28 @@ void chart(const char* title,
 }  // namespace
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
+  constexpr std::size_t kN = 199;
   const auto core_key = quiz::standard_core_truths();
   const auto opt_key = quiz::standard_opt_truths();
 
-  const auto by_size = sv::by_contributed_size(cohort, core_key, opt_key);
-  const auto by_area = sv::by_area_group(cohort, core_key, opt_key);
-  const auto by_role = sv::by_role(cohort, core_key, opt_key);
-  const auto by_training = sv::by_formal_training(cohort, core_key, opt_key);
+  const auto by_size =
+      fpq::bench::stream_main_cohort(kN, [&] {
+        return sv::FactorLevelAccumulator::by_contributed_size(core_key,
+                                                               opt_key);
+      }).finish();
+  const auto by_area =
+      fpq::bench::stream_main_cohort(kN, [&] {
+        return sv::FactorLevelAccumulator::by_area_group(core_key, opt_key);
+      }).finish();
+  const auto by_role =
+      fpq::bench::stream_main_cohort(kN, [&] {
+        return sv::FactorLevelAccumulator::by_role(core_key, opt_key);
+      }).finish();
+  const auto by_training =
+      fpq::bench::stream_main_cohort(kN, [&] {
+        return sv::FactorLevelAccumulator::by_formal_training(core_key,
+                                                              opt_key);
+      }).finish();
 
   chart("Figure 16: core score by contributed codebase size", by_size);
   chart("Figure 17: core score by area", by_area);

@@ -9,7 +9,7 @@
 #include "paperdata/paperdata.hpp"
 #include "report/barchart.hpp"
 #include "report/table.hpp"
-#include "survey/suspicion_analysis.hpp"
+#include "survey/accumulators.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -17,13 +17,14 @@ namespace rp = fpq::report;
 namespace quiz = fpq::quiz;
 
 int main() {
-  const auto& cohort = fpq::bench::main_cohort();
-  const auto& students = fpq::bench::student_cohort();
-
-  const auto main_dists = sv::suspicion_distributions(
-      std::span<const sv::SurveyRecord>(cohort));
-  const auto student_dists = sv::suspicion_distributions(
-      std::span<const sv::StudentRecord>(students));
+  const auto main_dists =
+      fpq::bench::stream_main_cohort(199, [] {
+        return sv::SuspicionAccumulator{};
+      }).finish();
+  const auto student_dists =
+      fpq::bench::stream_student_cohort(52, [] {
+        return sv::SuspicionAccumulator{};
+      }).finish();
 
   const std::vector<std::string> levels{"1", "2", "3", "4", "5"};
   std::vector<rp::GroupedSeries> main_series, student_series;

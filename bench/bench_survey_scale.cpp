@@ -1,0 +1,367 @@
+// Survey pipeline at serving scale: streams an n-respondent synthetic
+// cohort (default 10M) through the mergeable figure accumulators and
+// proves the three properties the streaming refactor exists for:
+//
+//   1. IDENTITY — at small n, every figure analysis computed by the
+//      streaming path (1/2/4/8-thread pools) is bit-identical to the
+//      classic materialize-then-analyze vector path. Exact ==, no
+//      tolerances.
+//   2. FLAT MEMORY — peak RSS grows by less than --rss-ceiling-mb when n
+//      grows 8x (streaming is O(chunks), a materialized cohort would be
+//      O(n)). Gated; CI runs the 1M slice.
+//   3. THREAD SCALING — ops/s for the streamed fold at 1 thread vs the
+//      full pool, written to BENCH_survey_scale.json for regression
+//      tooling (informational: machines differ, CI does not gate it).
+//
+// Plus the serving-scale CI machinery: a cluster bootstrap over streamed
+// chunk statistics (stats/bootstrap.hpp) — memory O(chunks + replicates).
+//
+//   ./bench_survey_scale [--n N] [--threads T] [--json PATH]
+//                        [--rss-ceiling-mb MB]
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "paperdata/paperdata.hpp"
+#include "stats/bootstrap.hpp"
+#include "survey/accumulators.hpp"
+#include "survey/analysis.hpp"
+#include "survey/factor_analysis.hpp"
+#include "survey/suspicion_analysis.hpp"
+
+namespace sv = fpq::survey;
+namespace pd = fpq::paperdata;
+namespace quiz = fpq::quiz;
+namespace par = fpq::parallel;
+
+namespace {
+
+double max_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Streams records [0, n) of the kCohortSeed cohort through make_acc()'s
+/// accumulator type on the given pool.
+template <typename MakeAcc>
+auto stream_n(par::ThreadPool& pool, std::size_t n, const MakeAcc& make_acc) {
+  return par::stream_accumulate(
+      pool, n, par::recommended_chunks(pool, n, 64), make_acc,
+      [](auto& acc, std::size_t begin, std::size_t end) {
+        fpq::respondent::CohortGenerator gen(fpq::bench::kCohortSeed);
+        gen.seek(begin);
+        for (std::size_t i = begin; i < end; ++i) acc.add(gen.next());
+      });
+}
+
+int g_failures = 0;
+
+void check(bool ok, const char* what, int threads) {
+  if (!ok) {
+    std::printf("IDENTITY FAILURE: %s at %d thread(s)\n", what, threads);
+    ++g_failures;
+  }
+}
+
+bool rows_equal(const std::vector<sv::TableRow>& a,
+                const std::vector<sv::TableRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].n != b[i].n ||
+        a[i].percent != b[i].percent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool tally_equal(const sv::AverageTally& a, const sv::AverageTally& b) {
+  return a.correct == b.correct && a.incorrect == b.incorrect &&
+         a.dont_know == b.dont_know && a.unanswered == b.unanswered;
+}
+
+bool hist_equal(const fpq::stats::IntHistogram& a,
+                const fpq::stats::IntHistogram& b) {
+  if (a.lo() != b.lo() || a.hi() != b.hi() || a.total() != b.total() ||
+      a.underflow() != b.underflow() || a.overflow() != b.overflow()) {
+    return false;
+  }
+  for (int v = a.lo(); v <= a.hi(); ++v) {
+    if (a.count(v) != b.count(v)) return false;
+  }
+  return true;
+}
+
+bool breakdown_equal(const std::vector<sv::BreakdownRow>& a,
+                     const std::vector<sv::BreakdownRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].pct_correct != b[i].pct_correct ||
+        a[i].pct_incorrect != b[i].pct_incorrect ||
+        a[i].pct_dont_know != b[i].pct_dont_know ||
+        a[i].pct_unanswered != b[i].pct_unanswered) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool factors_equal(const std::vector<sv::FactorLevelResult>& a,
+                   const std::vector<sv::FactorLevelResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].n != b[i].n ||
+        !tally_equal(a[i].core, b[i].core) ||
+        !tally_equal(a[i].opt, b[i].opt)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool dists_equal(const sv::SuspicionDistributions& a,
+                 const sv::SuspicionDistributions& b) {
+  for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
+    const auto pa = a[c].proportions();
+    const auto pb = b[c].proportions();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+  }
+  return true;
+}
+
+/// Phase 1: bit-identity of every streamed figure analysis against the
+/// materialized vector path, at 1/2/4/8-thread pools.
+void identity_gate() {
+  constexpr std::size_t kSmallN = 2000;
+  const auto cohort =
+      fpq::respondent::generate_main_cohort(fpq::bench::kCohortSeed, kSmallN);
+  const auto core_key = quiz::standard_core_truths();
+  const auto opt_key = quiz::standard_opt_truths();
+
+  const auto ref_freq = sv::frequency_table(
+      cohort, pd::positions(),
+      [](const sv::SurveyRecord& r) { return r.background.position; });
+  const auto ref_multi = sv::multi_select_table(
+      cohort, pd::fp_languages(),
+      [](const sv::SurveyRecord& r) -> const std::vector<std::size_t>& {
+        return r.background.fp_languages;
+      });
+  const auto ref_core = sv::average_core(cohort, core_key);
+  const auto ref_opt = sv::average_opt_tf(cohort, opt_key);
+  const auto ref_hist = sv::core_score_histogram(cohort, core_key);
+  const auto ref_cbrk = sv::core_question_breakdown(cohort, core_key);
+  const auto ref_obrk = sv::opt_question_breakdown(cohort, opt_key);
+  const auto ref_area = sv::by_area_group(cohort, core_key, opt_key);
+  const auto ref_susp = sv::suspicion_distributions(
+      std::span<const sv::SurveyRecord>(cohort));
+
+  for (const int threads : {1, 2, 4, 8}) {
+    par::ThreadPool pool(static_cast<std::size_t>(threads));
+    check(rows_equal(ref_freq,
+                     stream_n(pool, kSmallN, [] {
+                       return sv::FrequencyAccumulator(
+                           pd::positions(), [](const sv::SurveyRecord& r) {
+                             return r.background.position;
+                           });
+                     }).finish()),
+          "frequency_table", threads);
+    check(rows_equal(ref_multi,
+                     stream_n(pool, kSmallN, [] {
+                       return sv::MultiSelectAccumulator(
+                           pd::fp_languages(),
+                           [](const sv::SurveyRecord& r)
+                               -> const std::vector<std::size_t>& {
+                             return r.background.fp_languages;
+                           });
+                     }).finish()),
+          "multi_select_table", threads);
+    check(tally_equal(ref_core,
+                      stream_n(pool, kSmallN, [&] {
+                        return sv::AverageTallyAccumulator::core(core_key);
+                      }).finish()),
+          "average_core", threads);
+    check(tally_equal(ref_opt,
+                      stream_n(pool, kSmallN, [&] {
+                        return sv::AverageTallyAccumulator::opt_tf(opt_key);
+                      }).finish()),
+          "average_opt_tf", threads);
+    check(hist_equal(ref_hist,
+                     stream_n(pool, kSmallN, [&] {
+                       return sv::ScoreHistogramAccumulator(core_key);
+                     }).finish()),
+          "core_score_histogram", threads);
+    check(breakdown_equal(ref_cbrk,
+                          stream_n(pool, kSmallN, [&] {
+                            return sv::BreakdownAccumulator::core(core_key);
+                          }).finish()),
+          "core_question_breakdown", threads);
+    check(breakdown_equal(ref_obrk,
+                          stream_n(pool, kSmallN, [&] {
+                            return sv::BreakdownAccumulator::opt(opt_key);
+                          }).finish()),
+          "opt_question_breakdown", threads);
+    check(factors_equal(ref_area,
+                        stream_n(pool, kSmallN, [&] {
+                          return sv::FactorLevelAccumulator::by_area_group(
+                              core_key, opt_key);
+                        }).finish()),
+          "by_area_group", threads);
+    check(dists_equal(ref_susp,
+                      stream_n(pool, kSmallN, [] {
+                        return sv::SuspicionAccumulator{};
+                      }).finish()),
+          "suspicion_distributions", threads);
+  }
+  std::printf(
+      "identity gate: streamed == materialized for 9 analyses x {1,2,4,8} "
+      "threads: %s\n",
+      g_failures == 0 ? "PASS (bit-exact)" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 10'000'000;
+  std::size_t threads = 0;  // 0 = hardware default
+  std::string json_path = "BENCH_survey_scale.json";
+  double rss_ceiling_mb = 512.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--rss-ceiling-mb") == 0 && i + 1 < argc) {
+      rss_ceiling_mb = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (n < 64) {
+    std::fprintf(stderr, "--n must be >= 64\n");
+    return 2;
+  }
+
+  identity_gate();
+
+  par::ThreadPool pool(threads);
+  const auto core_key = quiz::standard_core_truths();
+  fpq::bench::PerfJson json;
+
+  // Phase 2: flat memory. Warm the allocator and pool with an n/8 run,
+  // snapshot peak RSS, then run the full n; ru_maxrss is a lifetime max,
+  // so any growth is attributable to the 8x larger stream.
+  const std::size_t warm_n = n / 8;
+  auto warm = stream_n(pool, warm_n, [&] {
+    return sv::AverageTallyAccumulator::core(core_key);
+  });
+  const double rss_before = max_rss_mb();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto full = stream_n(pool, n, [&] {
+    return sv::AverageTallyAccumulator::core(core_key);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  const double rss_after = max_rss_mb();
+  const double rss_delta = rss_after - rss_before;
+
+  const double pooled_s =
+      std::chrono::duration<double>(t1 - t0).count();
+  const auto avg = full.finish();
+  std::printf(
+      "streamed %zu respondents in %.2fs (%.0f records/s, %zu threads): "
+      "mean core correct %.4f (chance 7.5)\n",
+      n, pooled_s, static_cast<double>(n) / pooled_s, pool.lanes(),
+      avg.correct);
+  if (warm.finish().correct == 0.0 && warm_n > 0) {
+    std::printf("warm-up fold produced an unexpected zero mean\n");
+    ++g_failures;
+  }
+
+  const double materialized_floor_mb =
+      static_cast<double>(n) * sizeof(sv::SurveyRecord) / (1024.0 * 1024.0);
+  std::printf(
+      "flat-memory gate: peak RSS %.1f MB -> %.1f MB (delta %.1f MB, "
+      "ceiling %.1f MB); a materialized cohort vector would need >= %.0f "
+      "MB before heap fields\n",
+      rss_before, rss_after, rss_delta, rss_ceiling_mb,
+      materialized_floor_mb);
+  if (rss_delta > rss_ceiling_mb) {
+    std::printf("FLAT-MEMORY FAILURE: RSS grew %.1f MB > ceiling %.1f MB\n",
+                rss_delta, rss_ceiling_mb);
+    ++g_failures;
+  }
+
+  // Phase 3: thread scaling — the same fold on a single-thread pool.
+  par::ThreadPool single(1);
+  const auto s0 = std::chrono::steady_clock::now();
+  auto serial = stream_n(single, n, [&] {
+    return sv::AverageTallyAccumulator::core(core_key);
+  });
+  const auto s1 = std::chrono::steady_clock::now();
+  const double serial_s = std::chrono::duration<double>(s1 - s0).count();
+  if (!tally_equal(serial.finish(), avg)) {
+    std::printf("IDENTITY FAILURE: full-scale 1-thread vs pooled fold\n");
+    ++g_failures;
+  }
+  std::printf(
+      "thread scaling: 1 thread %.2fs, %zu threads %.2fs — speedup "
+      "%.2fx\n",
+      serial_s, pool.lanes(), pooled_s, serial_s / pooled_s);
+
+  json.add({"survey-scale/stream-average-core", 1e9 * pooled_s /
+                static_cast<double>(n),
+            static_cast<double>(n) / pooled_s,
+            static_cast<int>(pool.lanes()), 0});
+  json.add({"survey-scale/stream-average-core-1t",
+            1e9 * serial_s / static_cast<double>(n),
+            static_cast<double>(n) / serial_s, 1, 0});
+
+  // Phase 4: the memory-bounded bootstrap CI over streamed chunk stats.
+  class ScoreChunks {
+   public:
+    explicit ScoreChunks(const sv::CoreKey& key) : key_(key) {}
+    void add(const sv::SurveyRecord& r) {
+      acc_.add(static_cast<double>(quiz::score_core(r.core, key_).correct));
+    }
+    void merge(ScoreChunks&& other) { acc_.merge(std::move(other.acc_)); }
+    std::vector<fpq::stats::ChunkMeanStat> finish() const {
+      return acc_.finish();
+    }
+
+   private:
+    sv::CoreKey key_;
+    fpq::stats::ChunkStatAccumulator acc_;
+  };
+  const auto chunk_stats =
+      stream_n(pool, n, [&] { return ScoreChunks(core_key); }).finish();
+  const auto ci = fpq::stats::bootstrap_mean_from_chunks(
+      chunk_stats, 2000, 0.95, 0xB007, pool);
+  std::printf(
+      "streaming chunk bootstrap (%zu chunks, 2000 replicates): mean core "
+      "score %.4f, 95%% CI [%.4f, %.4f]\n",
+      chunk_stats.size(), ci.estimate, ci.lower, ci.upper);
+  if (ci.estimate != avg.correct) {
+    std::printf(
+        "IDENTITY FAILURE: chunk-stat mean %.17g != streamed mean %.17g\n",
+        ci.estimate, avg.correct);
+    ++g_failures;
+  }
+
+  if (!json_path.empty() && !json.write(json_path)) ++g_failures;
+  std::printf("%s\n", g_failures == 0 ? "survey-scale: ALL GATES PASS"
+                                      : "survey-scale: FAILURES");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,9 +1,10 @@
 // survey_simulation — the full study, end to end.
 //
-// Generates the synthetic main cohort (n = 199) and student cohort
-// (n = 52), runs the complete analysis pipeline, and prints the headline
-// results next to the paper's published numbers. Optionally exports the
-// raw records as CSV.
+// Streams the synthetic main cohort (n = 199) through every figure
+// accumulator in ONE pass — no record vector — then streams the student
+// cohort (n = 52) for Figure 22(b), and prints the headline results next
+// to the paper's published numbers. Optionally exports the raw records as
+// CSV (the only mode that materializes the cohort).
 //
 //   ./survey_simulation [seed] [--csv out.csv]
 
@@ -18,10 +19,8 @@
 #include "report/barchart.hpp"
 #include "report/table.hpp"
 #include "respondent/population.hpp"
-#include "survey/analysis.hpp"
+#include "survey/accumulators.hpp"
 #include "survey/csv_io.hpp"
-#include "survey/factor_analysis.hpp"
-#include "survey/suspicion_analysis.hpp"
 
 namespace sv = fpq::survey;
 namespace pd = fpq::paperdata;
@@ -39,12 +38,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("generating cohorts (seed %llu): 199 developers, 52 students\n\n",
+  std::printf("streaming cohorts (seed %llu): 199 developers, 52 students\n\n",
               static_cast<unsigned long long>(seed));
-  const auto cohort = fpq::respondent::generate_main_cohort(seed);
-  const auto students = fpq::respondent::generate_student_cohort(seed);
 
   if (!csv_path.empty()) {
+    const auto cohort = fpq::respondent::generate_main_cohort(seed);
     std::ofstream out(csv_path);
     sv::write_csv(out, cohort);
     std::printf("wrote %zu records to %s\n\n", cohort.size(),
@@ -54,9 +52,36 @@ int main(int argc, char** argv) {
   const auto core_key = quiz::standard_core_truths();
   const auto opt_key = quiz::standard_opt_truths();
 
+  // One pass, every figure: the accumulators make the whole analysis a
+  // fold over the record stream.
+  auto core_avg_acc = sv::AverageTallyAccumulator::core(core_key);
+  auto opt_avg_acc = sv::AverageTallyAccumulator::opt_tf(opt_key);
+  auto hist_acc = sv::ScoreHistogramAccumulator(core_key);
+  auto breakdown_acc = sv::BreakdownAccumulator::core(core_key);
+  auto by_size_acc =
+      sv::FactorLevelAccumulator::by_contributed_size(core_key, opt_key);
+  sv::SuspicionAccumulator main_susp_acc;
+  {
+    fpq::respondent::CohortGenerator gen(seed);
+    for (std::size_t i = 0; i < 199; ++i) {
+      const sv::SurveyRecord r = gen.next();
+      core_avg_acc.add(r);
+      opt_avg_acc.add(r);
+      hist_acc.add(r);
+      breakdown_acc.add(r);
+      by_size_acc.add(r);
+      main_susp_acc.add(r);
+    }
+  }
+  sv::SuspicionAccumulator student_susp_acc;
+  {
+    fpq::respondent::StudentCohortGenerator gen(seed);
+    for (std::size_t i = 0; i < 52; ++i) student_susp_acc.add(gen.next());
+  }
+
   // Figure 12.
-  const auto core_avg = sv::average_core(cohort, core_key);
-  const auto opt_avg = sv::average_opt_tf(cohort, opt_key);
+  const auto core_avg = core_avg_acc.finish();
+  const auto opt_avg = opt_avg_acc.finish();
   rp::Table fig12({"quiz", "correct", "incorrect", "don't know",
                    "unanswered", "chance"});
   fig12.add_row({"core (measured)", rp::Table::fmt(core_avg.correct, 1),
@@ -83,7 +108,7 @@ int main(int argc, char** argv) {
       stdout);
 
   // Figure 13.
-  const auto hist = sv::core_score_histogram(cohort, core_key);
+  const auto hist = hist_acc.finish();
   std::fputs(rp::section("Figure 13: core score histogram (mean " +
                              rp::Table::fmt(hist.mean(), 2) + ", paper 8.5)",
                          rp::int_histogram_chart(hist))
@@ -91,7 +116,7 @@ int main(int argc, char** argv) {
              stdout);
 
   // Figure 14 (condensed: correct% measured vs paper).
-  const auto breakdown = sv::core_question_breakdown(cohort, core_key);
+  const auto breakdown = breakdown_acc.finish();
   rp::Table fig14({"question", "correct% (sim)", "correct% (paper)",
                    "don't know% (sim)"});
   const auto paper_rows = pd::core_breakdown();
@@ -106,7 +131,7 @@ int main(int argc, char** argv) {
              stdout);
 
   // Figure 16: factor effect of codebase size.
-  const auto by_size = sv::by_contributed_size(cohort, core_key, opt_key);
+  const auto by_size = by_size_acc.finish();
   std::vector<rp::Bar> bars;
   for (const auto& level : by_size) {
     bars.push_back({std::string(level.label) + " (n=" +
@@ -122,10 +147,8 @@ int main(int argc, char** argv) {
              stdout);
 
   // Figure 22.
-  const auto main_dists =
-      sv::suspicion_distributions(std::span<const sv::SurveyRecord>(cohort));
-  const auto student_dists = sv::suspicion_distributions(
-      std::span<const sv::StudentRecord>(students));
+  const auto main_dists = main_susp_acc.finish();
+  const auto student_dists = student_susp_acc.finish();
   const std::vector<std::string> levels{"1", "2", "3", "4", "5"};
   std::vector<rp::GroupedSeries> series;
   for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {

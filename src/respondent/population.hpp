@@ -1,24 +1,75 @@
 // fpq::respondent — cohort generation: the top of the synthetic-subjects
 // substitution. One call produces the full raw dataset the paper's
-// analysis consumed.
+// analysis consumed — or, at serving scale, a streaming generator hands
+// out one record at a time so the dataset never has to exist in memory.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "stats/prng.hpp"
 #include "survey/record.hpp"
 
 namespace fpq::respondent {
 
+/// Streams the main cohort one record at a time, bit-identical to
+/// generate_main_cohort(seed, n): record(i) of any generator with the same
+/// seed equals generate_main_cohort(seed, n)[i] for every n > i.
+///
+/// Shard-addressable: respondent i's sample stream is root.split(i), and
+/// split() consumes exactly two root draws, so seek(i) fast-forwards the
+/// root generator in two cheap xoshiro steps per skipped respondent —
+/// no background/quiz sampling for the skipped prefix, O(1) memory.
+/// Shards seek to their chunk's begin index and stream their range.
+class CohortGenerator {
+ public:
+  explicit CohortGenerator(std::uint64_t seed) noexcept;
+
+  /// Index of the record the next call to next() will produce.
+  std::size_t position() const noexcept { return pos_; }
+
+  /// Repositions the stream so next() produces record `index`. Seeking
+  /// backward rewinds to the seed and replays forward.
+  void seek(std::size_t index) noexcept;
+
+  /// Produces the record at position() and advances by one.
+  survey::SurveyRecord next();
+
+  /// Random access: seek(index) + next().
+  survey::SurveyRecord record(std::size_t index);
+
+ private:
+  std::uint64_t seed_;
+  stats::Xoshiro256pp root_;
+  std::size_t pos_ = 0;
+};
+
+/// Streaming counterpart of generate_student_cohort with the same
+/// addressing contract as CohortGenerator.
+class StudentCohortGenerator {
+ public:
+  explicit StudentCohortGenerator(std::uint64_t seed) noexcept;
+
+  std::size_t position() const noexcept { return pos_; }
+  void seek(std::size_t index) noexcept;
+  survey::StudentRecord next();
+  survey::StudentRecord record(std::size_t index);
+
+ private:
+  std::uint64_t seed_;
+  stats::Xoshiro256pp root_;
+  std::size_t pos_ = 0;
+};
+
 /// Generates the main cohort (default n = 199, §III): backgrounds from
 /// the published marginals, quiz sheets from the calibrated item-response
 /// model, suspicion responses from the Figure 22(a) panel. Deterministic
-/// in `seed`.
+/// in `seed`. Wrapper over CohortGenerator.
 std::vector<survey::SurveyRecord> generate_main_cohort(
     std::uint64_t seed, std::size_t n = 199);
 
 /// Generates the student cohort (default n = 52, §III): suspicion quiz
-/// only, from the Figure 22(b) panel.
+/// only, from the Figure 22(b) panel. Wrapper over StudentCohortGenerator.
 std::vector<survey::StudentRecord> generate_student_cohort(
     std::uint64_t seed, std::size_t n = 52);
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace fpq::stats {
 
@@ -25,6 +26,19 @@ void IntHistogram::add(int value) noexcept {
 
 void IntHistogram::add_all(std::span<const int> values) noexcept {
   for (int v : values) add(v);
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_) {
+    throw std::invalid_argument(
+        "IntHistogram::merge: bin ranges differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 std::size_t IntHistogram::count(int value) const noexcept {

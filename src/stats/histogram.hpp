@@ -25,6 +25,13 @@ class IntHistogram {
   /// Adds every value in the span.
   void add_all(std::span<const int> values) noexcept;
 
+  /// Absorbs another histogram's counts (including under/overflow).
+  /// Counts are integers, so merging in any order equals adding the
+  /// observations one at a time — the property the streaming survey
+  /// accumulators rely on. Throws std::invalid_argument when the bin
+  /// ranges differ.
+  void merge(const IntHistogram& other);
+
   int lo() const noexcept { return lo_; }
   int hi() const noexcept { return hi_; }
   std::size_t bin_count() const noexcept { return counts_.size(); }

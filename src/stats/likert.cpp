@@ -74,6 +74,14 @@ void LikertAccumulator::add(int level) noexcept {
   ++total_;
 }
 
+void LikertAccumulator::merge(const LikertAccumulator& other) noexcept {
+  for (std::size_t i = 0; i < kLikertLevels; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  dropped_ += other.dropped_;
+}
+
 std::size_t LikertAccumulator::count(int level) const noexcept {
   if (level < 1 || level > static_cast<int>(kLikertLevels)) return 0;
   return counts_[static_cast<std::size_t>(level - 1)];

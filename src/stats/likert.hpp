@@ -67,6 +67,11 @@ class LikertAccumulator {
   /// Levels outside 1..5 are ignored and counted as dropped.
   void add(int level) noexcept;
 
+  /// Absorbs another accumulator's counts (including dropped). Integer
+  /// counts make the merge order-insensitive: any merge tree equals the
+  /// serial add() fold.
+  void merge(const LikertAccumulator& other) noexcept;
+
   std::size_t total() const noexcept { return total_; }
   std::size_t dropped() const noexcept { return dropped_; }
   std::size_t count(int level) const noexcept;

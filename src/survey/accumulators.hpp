@@ -1,0 +1,233 @@
+// fpq::survey — incremental, mergeable figure accumulators.
+//
+// Every figure analysis (Figures 1-22) is computed by one of these types:
+//
+//   FrequencyAccumulator      -> Figures 1-3, 5, 8-11 (single-select)
+//   MultiSelectAccumulator    -> Figures 4, 6, 7
+//   AverageTallyAccumulator   -> Figure 12 (core / opt T/F rows)
+//   ScoreHistogramAccumulator -> Figure 13
+//   BreakdownAccumulator      -> Figures 14-15
+//   FactorLevelAccumulator    -> Figures 16-21
+//   SuspicionAccumulator      -> Figure 22 (main + student cohorts)
+//
+// Shared contract (docs/survey.md):
+//
+//   * add(record)  — O(1) state update; never stores the record.
+//   * merge(&&)    — absorbs another accumulator of the SAME
+//     configuration (same category table / truth key / factor); throws
+//     std::invalid_argument on a detectable configuration mismatch.
+//     All state is integer counts, so merge is associative AND
+//     commutative: any merge order is bit-identical to the serial
+//     add-one-at-a-time fold. The streaming driver
+//     (parallel::stream_accumulate) nevertheless fixes a chunk-ordered
+//     tree merge so the pipeline order is deterministic by construction,
+//     not by arithmetic accident.
+//   * finish()     — produces the figure's result struct. The divisions
+//     by respondent counts happen HERE, once, exactly as the legacy
+//     vector pipeline performed them (integer counts are exact in
+//     binary64 far past any cohort size we handle, so the streamed
+//     results are bit-identical to the batch path). finish() on an
+//     identity element (no records) returns zeroed results, never NaN.
+//
+// The classic span-in/vector-out entry points in analysis.hpp,
+// factor_analysis.hpp and suspicion_analysis.hpp are thin wrappers over
+// these types.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/likert.hpp"
+#include "survey/analysis.hpp"
+#include "survey/factor_analysis.hpp"
+#include "survey/suspicion_analysis.hpp"
+
+namespace fpq::survey {
+
+/// Single-select frequency table (Figures 1-3, 5, 8-11).
+class FrequencyAccumulator {
+ public:
+  FrequencyAccumulator(
+      std::span<const fpq::paperdata::CategoryCount> categories,
+      FieldSelector selector);
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(FrequencyAccumulator&& other);
+  std::vector<TableRow> finish() const;
+
+  std::size_t respondents() const noexcept { return total_; }
+
+ private:
+  std::span<const fpq::paperdata::CategoryCount> categories_;
+  FieldSelector selector_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Multi-select membership table (Figures 4, 6, 7).
+class MultiSelectAccumulator {
+ public:
+  MultiSelectAccumulator(
+      std::span<const fpq::paperdata::CategoryCount> categories,
+      ListSelector selector);
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(MultiSelectAccumulator&& other);
+  std::vector<TableRow> finish() const;
+
+  std::size_t respondents() const noexcept { return total_; }
+
+ private:
+  std::span<const fpq::paperdata::CategoryCount> categories_;
+  ListSelector selector_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean per-respondent outcome counts (Figure 12 rows).
+class AverageTallyAccumulator {
+ public:
+  /// Core quiz (out of 15) against the given truth key.
+  static AverageTallyAccumulator core(const CoreKey& key) noexcept;
+  /// Optimization T/F quiz (out of 3; level question excluded, as in
+  /// Figure 12).
+  static AverageTallyAccumulator opt_tf(const OptKey& key) noexcept;
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(AverageTallyAccumulator&& other);
+  /// Zeros (not NaN) when no records were added.
+  AverageTally finish() const noexcept;
+
+  std::size_t respondents() const noexcept { return n_; }
+
+ private:
+  enum class Kind { kCore, kOptTf };
+  AverageTallyAccumulator() = default;
+
+  Kind kind_ = Kind::kCore;
+  CoreKey core_key_{};
+  OptKey opt_key_{};
+  // correct / incorrect / dont_know / unanswered
+  std::array<std::size_t, 4> counts_{};
+  std::size_t n_ = 0;
+};
+
+/// Histogram of core scores 0..15 (Figure 13).
+class ScoreHistogramAccumulator {
+ public:
+  explicit ScoreHistogramAccumulator(const CoreKey& key) noexcept;
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(ScoreHistogramAccumulator&& other);
+  stats::IntHistogram finish() const { return hist_; }
+
+  std::size_t respondents() const noexcept { return hist_.total(); }
+
+ private:
+  CoreKey key_{};
+  stats::IntHistogram hist_;
+};
+
+/// Per-question response-percentage breakdown (Figures 14-15).
+class BreakdownAccumulator {
+ public:
+  /// All 15 core questions.
+  static BreakdownAccumulator core(const CoreKey& key);
+  /// All 4 optimization questions including Standard-compliant Level.
+  static BreakdownAccumulator opt(const OptKey& key);
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(BreakdownAccumulator&& other);
+  /// Labeled rows; zero percentages (not NaN) when no records were added.
+  std::vector<BreakdownRow> finish() const;
+
+  std::size_t respondents() const noexcept { return n_; }
+
+ private:
+  enum class Kind { kCore, kOpt };
+  BreakdownAccumulator() = default;
+
+  struct GradeCounts {
+    // correct / incorrect / dont_know / unanswered
+    std::array<std::size_t, 4> g{};
+  };
+
+  Kind kind_ = Kind::kCore;
+  CoreKey core_key_{};
+  OptKey opt_key_{};
+  std::vector<GradeCounts> questions_;
+  std::size_t n_ = 0;
+};
+
+/// Factor-conditioned quiz averages (Figures 16-21).
+class FactorLevelAccumulator {
+ public:
+  /// Maps a record to its factor level, or >= level count to skip.
+  using BucketFn = std::size_t (*)(const SurveyRecord&);
+
+  /// Figure 16: ordered contributed-codebase-size bins.
+  static FactorLevelAccumulator by_contributed_size(const CoreKey& core_key,
+                                                    const OptKey& opt_key);
+  /// Figures 17 / 20: collapsed area groups.
+  static FactorLevelAccumulator by_area_group(const CoreKey& core_key,
+                                              const OptKey& opt_key);
+  /// Figures 18 / 21: software development roles.
+  static FactorLevelAccumulator by_role(const CoreKey& core_key,
+                                        const OptKey& opt_key);
+  /// Figure 19: formal training levels in increasing order.
+  static FactorLevelAccumulator by_formal_training(const CoreKey& core_key,
+                                                   const OptKey& opt_key);
+
+  /// Generic conditioning for callers with their own level set.
+  FactorLevelAccumulator(std::vector<std::string> labels, BucketFn bucket,
+                         const CoreKey& core_key, const OptKey& opt_key);
+
+  void add(const SurveyRecord& record) noexcept;
+  void merge(FactorLevelAccumulator&& other);
+  /// Labeled per-level averages; levels with n == 0 keep zero tallies.
+  std::vector<FactorLevelResult> finish() const;
+
+ private:
+  struct LevelPartial {
+    std::size_t n = 0;
+    // correct / incorrect / dont_know / unanswered
+    std::array<std::size_t, 4> core{};
+    std::array<std::size_t, 4> opt{};
+  };
+
+  std::vector<std::string> labels_;
+  BucketFn bucket_;
+  CoreKey core_key_{};
+  OptKey opt_key_{};
+  std::vector<LevelPartial> levels_;
+};
+
+/// Suspicion Likert distributions (Figure 22); accepts both cohort record
+/// types, so one accumulator type serves panels (a) and (b).
+class SuspicionAccumulator {
+ public:
+  void add(const SurveyRecord& record) noexcept {
+    add_levels(record.suspicion);
+  }
+  void add(const StudentRecord& record) noexcept {
+    add_levels(record.suspicion);
+  }
+  void merge(SuspicionAccumulator&& other) noexcept;
+  /// Conditions with no responses keep the default (uniform)
+  /// distribution, matching the legacy pipeline.
+  SuspicionDistributions finish() const;
+
+  std::size_t respondents() const noexcept { return n_; }
+
+ private:
+  void add_levels(
+      const std::array<int, quiz::kSuspicionItemCount>& levels) noexcept;
+
+  std::array<stats::LikertAccumulator, quiz::kSuspicionItemCount> acc_{};
+  std::size_t n_ = 0;
+};
+
+}  // namespace fpq::survey

@@ -1,335 +1,138 @@
+// Thin wrappers over the mergeable accumulators in accumulators.hpp: the
+// serial entry points fold records into one accumulator; the pooled
+// overloads stream the span through parallel::accumulate_span. Both paths
+// end in the same finish() division, so they agree bit for bit.
 #include "survey/analysis.hpp"
 
-#include <algorithm>
-#include <cassert>
-
-#include "parallel/shard.hpp"
+#include "parallel/stream.hpp"
+#include "survey/accumulators.hpp"
 
 namespace fpq::survey {
+
+namespace {
+
+template <typename Acc>
+Acc fold_span(std::span<const SurveyRecord> records, Acc acc) {
+  for (const auto& record : records) acc.add(record);
+  return acc;
+}
+
+template <typename MakeAcc>
+auto pooled(std::span<const SurveyRecord> records, parallel::ThreadPool& pool,
+            const MakeAcc& make_acc) {
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  return parallel::accumulate_span(pool, records, chunks, make_acc);
+}
+
+}  // namespace
 
 std::vector<TableRow> frequency_table(
     std::span<const SurveyRecord> records,
     std::span<const fpq::paperdata::CategoryCount> categories,
     FieldSelector selector) {
-  std::vector<TableRow> rows(categories.size());
-  for (std::size_t i = 0; i < categories.size(); ++i) {
-    rows[i].label = std::string(categories[i].label);
-  }
-  for (const auto& record : records) {
-    const std::size_t idx = selector(record);
-    if (idx < rows.size()) ++rows[idx].n;
-  }
-  const auto total = static_cast<double>(records.size());
-  for (auto& row : rows) {
-    row.percent = total > 0 ? 100.0 * static_cast<double>(row.n) / total
-                            : 0.0;
-  }
-  return rows;
+  return fold_span(records, FrequencyAccumulator(categories, selector))
+      .finish();
 }
 
 std::vector<TableRow> multi_select_table(
     std::span<const SurveyRecord> records,
     std::span<const fpq::paperdata::CategoryCount> categories,
     ListSelector selector) {
-  std::vector<TableRow> rows(categories.size());
-  for (std::size_t i = 0; i < categories.size(); ++i) {
-    rows[i].label = std::string(categories[i].label);
-  }
-  for (const auto& record : records) {
-    for (std::size_t idx : selector(record)) {
-      if (idx < rows.size()) ++rows[idx].n;
-    }
-  }
-  const auto total = static_cast<double>(records.size());
-  for (auto& row : rows) {
-    row.percent = total > 0 ? 100.0 * static_cast<double>(row.n) / total
-                            : 0.0;
-  }
-  return rows;
+  return fold_span(records, MultiSelectAccumulator(categories, selector))
+      .finish();
 }
 
 AverageTally average_core(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
-  AverageTally avg;
-  if (records.empty()) return avg;
-  for (const auto& record : records) {
-    const quiz::QuizTally tally = quiz::score_core(record.core, key);
-    avg.correct += static_cast<double>(tally.correct);
-    avg.incorrect += static_cast<double>(tally.incorrect);
-    avg.dont_know += static_cast<double>(tally.dont_know);
-    avg.unanswered += static_cast<double>(tally.unanswered);
-  }
-  const auto n = static_cast<double>(records.size());
-  avg.correct /= n;
-  avg.incorrect /= n;
-  avg.dont_know /= n;
-  avg.unanswered /= n;
-  return avg;
+  return fold_span(records, AverageTallyAccumulator::core(key)).finish();
 }
 
 AverageTally average_opt_tf(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key) {
-  AverageTally avg;
-  if (records.empty()) return avg;
-  for (const auto& record : records) {
-    const quiz::QuizTally tally = quiz::score_opt_tf(record.opt, key);
-    avg.correct += static_cast<double>(tally.correct);
-    avg.incorrect += static_cast<double>(tally.incorrect);
-    avg.dont_know += static_cast<double>(tally.dont_know);
-    avg.unanswered += static_cast<double>(tally.unanswered);
-  }
-  const auto n = static_cast<double>(records.size());
-  avg.correct /= n;
-  avg.incorrect /= n;
-  avg.dont_know /= n;
-  avg.unanswered /= n;
-  return avg;
+  return fold_span(records, AverageTallyAccumulator::opt_tf(key)).finish();
 }
 
 stats::IntHistogram core_score_histogram(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
-  stats::IntHistogram hist(0, static_cast<int>(quiz::kCoreQuestionCount));
-  for (const auto& record : records) {
-    hist.add(static_cast<int>(quiz::score_core(record.core, key).correct));
-  }
-  return hist;
+  return fold_span(records, ScoreHistogramAccumulator(key)).finish();
 }
 
 std::vector<BreakdownRow> core_question_breakdown(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key) {
-  std::vector<BreakdownRow> rows(quiz::kCoreQuestionCount);
-  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
-    rows[q].label =
-        quiz::core_question_label(static_cast<quiz::CoreQuestionId>(q));
-  }
-  if (records.empty()) return rows;
-  for (const auto& record : records) {
-    for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
-      switch (quiz::grade_answer(record.core.answers[q], key[q])) {
-        case quiz::Grade::kCorrect:
-          rows[q].pct_correct += 1.0;
-          break;
-        case quiz::Grade::kIncorrect:
-          rows[q].pct_incorrect += 1.0;
-          break;
-        case quiz::Grade::kDontKnow:
-          rows[q].pct_dont_know += 1.0;
-          break;
-        case quiz::Grade::kUnanswered:
-          rows[q].pct_unanswered += 1.0;
-          break;
-      }
-    }
-  }
-  const auto scale = 100.0 / static_cast<double>(records.size());
-  for (auto& row : rows) {
-    row.pct_correct *= scale;
-    row.pct_incorrect *= scale;
-    row.pct_dont_know *= scale;
-    row.pct_unanswered *= scale;
-  }
-  return rows;
+  return fold_span(records, BreakdownAccumulator::core(key)).finish();
 }
 
 std::vector<BreakdownRow> opt_question_breakdown(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key) {
-  // Rows in paper order: MADD, Flush to Zero, Standard-compliant Level,
-  // Fast-math. The T/F sheet holds [MADD, FlushToZero, FastMath].
-  std::vector<BreakdownRow> rows(quiz::kOptQuestionCount);
-  for (std::size_t q = 0; q < quiz::kOptQuestionCount; ++q) {
-    rows[q].label =
-        quiz::opt_question_label(static_cast<quiz::OptQuestionId>(q));
-  }
-  if (records.empty()) return rows;
-
-  auto bump = [](BreakdownRow& row, quiz::Grade g) {
-    switch (g) {
-      case quiz::Grade::kCorrect:
-        row.pct_correct += 1.0;
-        break;
-      case quiz::Grade::kIncorrect:
-        row.pct_incorrect += 1.0;
-        break;
-      case quiz::Grade::kDontKnow:
-        row.pct_dont_know += 1.0;
-        break;
-      case quiz::Grade::kUnanswered:
-        row.pct_unanswered += 1.0;
-        break;
-    }
-  };
-
-  for (const auto& record : records) {
-    bump(rows[0], quiz::grade_answer(record.opt.tf_answers[0], key[0]));
-    bump(rows[1], quiz::grade_answer(record.opt.tf_answers[1], key[1]));
-    bump(rows[2], quiz::grade_level_choice(record.opt.level_choice));
-    bump(rows[3], quiz::grade_answer(record.opt.tf_answers[2], key[2]));
-  }
-  const auto scale = 100.0 / static_cast<double>(records.size());
-  for (auto& row : rows) {
-    row.pct_correct *= scale;
-    row.pct_incorrect *= scale;
-    row.pct_dont_know *= scale;
-    row.pct_unanswered *= scale;
-  }
-  return rows;
+  return fold_span(records, BreakdownAccumulator::opt(key)).finish();
 }
 
-namespace {
-
-// Per-chunk integer partial sums for the four outcome kinds. Combining
-// these in chunk order matches the serial loops exactly because every
-// count fits a binary64 integer.
-struct PartialTally {
-  std::size_t correct = 0;
-  std::size_t incorrect = 0;
-  std::size_t dont_know = 0;
-  std::size_t unanswered = 0;
-  void add(const quiz::QuizTally& t) noexcept {
-    correct += t.correct;
-    incorrect += t.incorrect;
-    dont_know += t.dont_know;
-    unanswered += t.unanswered;
-  }
-};
-
-AverageTally finish_average(const std::vector<PartialTally>& partials,
-                            std::size_t n) {
-  PartialTally total;
-  for (const auto& p : partials) {
-    total.correct += p.correct;
-    total.incorrect += p.incorrect;
-    total.dont_know += p.dont_know;
-    total.unanswered += p.unanswered;
-  }
-  const auto dn = static_cast<double>(n);
-  AverageTally avg;
-  avg.correct = static_cast<double>(total.correct) / dn;
-  avg.incorrect = static_cast<double>(total.incorrect) / dn;
-  avg.dont_know = static_cast<double>(total.dont_know) / dn;
-  avg.unanswered = static_cast<double>(total.unanswered) / dn;
-  return avg;
+std::vector<TableRow> frequency_table(
+    std::span<const SurveyRecord> records,
+    std::span<const fpq::paperdata::CategoryCount> categories,
+    FieldSelector selector, parallel::ThreadPool& pool) {
+  return pooled(records, pool, [&] {
+           return FrequencyAccumulator(categories, selector);
+         })
+      .finish();
 }
 
-}  // namespace
+std::vector<TableRow> multi_select_table(
+    std::span<const SurveyRecord> records,
+    std::span<const fpq::paperdata::CategoryCount> categories,
+    ListSelector selector, parallel::ThreadPool& pool) {
+  return pooled(records, pool, [&] {
+           return MultiSelectAccumulator(categories, selector);
+         })
+      .finish();
+}
 
 AverageTally average_core(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
     parallel::ThreadPool& pool) {
-  if (records.empty()) return AverageTally{};
-  const std::size_t chunks =
-      parallel::recommended_chunks(pool, records.size(), 64);
-  std::vector<PartialTally> partials(chunks);
-  parallel::parallel_map_chunks(
-      pool, records.size(), chunks,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          partials[chunk].add(quiz::score_core(records[i].core, key));
-        }
-      });
-  return finish_average(partials, records.size());
+  return pooled(records, pool,
+                [&] { return AverageTallyAccumulator::core(key); })
+      .finish();
 }
 
 AverageTally average_opt_tf(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key,
     parallel::ThreadPool& pool) {
-  if (records.empty()) return AverageTally{};
-  const std::size_t chunks =
-      parallel::recommended_chunks(pool, records.size(), 64);
-  std::vector<PartialTally> partials(chunks);
-  parallel::parallel_map_chunks(
-      pool, records.size(), chunks,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          partials[chunk].add(quiz::score_opt_tf(records[i].opt, key));
-        }
-      });
-  return finish_average(partials, records.size());
+  return pooled(records, pool,
+                [&] { return AverageTallyAccumulator::opt_tf(key); })
+      .finish();
 }
 
 stats::IntHistogram core_score_histogram(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
     parallel::ThreadPool& pool) {
-  // Score every record in parallel (each shard writes only its own slot),
-  // then bin serially: the histogram is insertion-order independent.
-  std::vector<int> scores(records.size());
-  const std::size_t chunks =
-      parallel::recommended_chunks(pool, records.size(), 64);
-  parallel::parallel_map_chunks(
-      pool, records.size(), chunks,
-      [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          scores[i] =
-              static_cast<int>(quiz::score_core(records[i].core, key).correct);
-        }
-      });
-  stats::IntHistogram hist(0, static_cast<int>(quiz::kCoreQuestionCount));
-  hist.add_all(scores);
-  return hist;
+  return pooled(records, pool, [&] { return ScoreHistogramAccumulator(key); })
+      .finish();
 }
 
 std::vector<BreakdownRow> core_question_breakdown(
     std::span<const SurveyRecord> records,
     const std::array<quiz::Truth, quiz::kCoreQuestionCount>& key,
     parallel::ThreadPool& pool) {
-  std::vector<BreakdownRow> rows(quiz::kCoreQuestionCount);
-  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
-    rows[q].label =
-        quiz::core_question_label(static_cast<quiz::CoreQuestionId>(q));
-  }
-  if (records.empty()) return rows;
-  const std::size_t chunks =
-      parallel::recommended_chunks(pool, records.size(), 64);
-  // partials[chunk][question] counts, combined in chunk order below.
-  std::vector<std::array<PartialTally, quiz::kCoreQuestionCount>> partials(
-      chunks);
-  parallel::parallel_map_chunks(
-      pool, records.size(), chunks,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
-            quiz::QuizTally one;
-            switch (quiz::grade_answer(records[i].core.answers[q], key[q])) {
-              case quiz::Grade::kCorrect:
-                one.correct = 1;
-                break;
-              case quiz::Grade::kIncorrect:
-                one.incorrect = 1;
-                break;
-              case quiz::Grade::kDontKnow:
-                one.dont_know = 1;
-                break;
-              case quiz::Grade::kUnanswered:
-                one.unanswered = 1;
-                break;
-            }
-            partials[chunk][q].add(one);
-          }
-        }
-      });
-  const auto scale = 100.0 / static_cast<double>(records.size());
-  for (std::size_t q = 0; q < quiz::kCoreQuestionCount; ++q) {
-    PartialTally total;
-    for (const auto& p : partials) {
-      total.correct += p[q].correct;
-      total.incorrect += p[q].incorrect;
-      total.dont_know += p[q].dont_know;
-      total.unanswered += p[q].unanswered;
-    }
-    rows[q].pct_correct = static_cast<double>(total.correct) * scale;
-    rows[q].pct_incorrect = static_cast<double>(total.incorrect) * scale;
-    rows[q].pct_dont_know = static_cast<double>(total.dont_know) * scale;
-    rows[q].pct_unanswered = static_cast<double>(total.unanswered) * scale;
-  }
-  return rows;
+  return pooled(records, pool, [&] { return BreakdownAccumulator::core(key); })
+      .finish();
+}
+
+std::vector<BreakdownRow> opt_question_breakdown(
+    std::span<const SurveyRecord> records,
+    const std::array<quiz::Truth, quiz::kOptTrueFalseCount>& key,
+    parallel::ThreadPool& pool) {
+  return pooled(records, pool, [&] { return BreakdownAccumulator::opt(key); })
+      .finish();
 }
 
 }  // namespace fpq::survey

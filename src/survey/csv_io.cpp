@@ -272,8 +272,8 @@ void write_csv(std::ostream& out, std::span<const SurveyRecord> records) {
   }
 }
 
-std::optional<ParseError> read_csv(std::istream& in,
-                                   std::vector<SurveyRecord>& records) {
+std::optional<ParseError> for_each_csv_record(
+    std::istream& in, const std::function<void(SurveyRecord&&)>& sink) {
   std::string line;
   if (!std::getline(in, line)) {
     return ParseError{0, "", "empty input"};
@@ -285,7 +285,6 @@ std::optional<ParseError> read_csv(std::istream& in,
   const std::vector<std::string> names = split_names(header);
   const std::size_t expected_fields = names.size();
 
-  std::vector<SurveyRecord> parsed;
   std::vector<std::string> fields;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -339,8 +338,19 @@ std::optional<ParseError> read_csv(std::istream& in,
       p.parse_likert(r.suspicion[c]);
     }
     if (p.failed()) return p.take_error();
-    parsed.push_back(std::move(r));
+    sink(std::move(r));
   }
+  return std::nullopt;
+}
+
+std::optional<ParseError> read_csv(std::istream& in,
+                                   std::vector<SurveyRecord>& records) {
+  std::vector<SurveyRecord> parsed;
+  if (auto err = for_each_csv_record(
+          in, [&parsed](SurveyRecord&& r) { parsed.push_back(std::move(r)); })) {
+    return err;
+  }
+  // Replace the caller's vector only once the whole stream parsed.
   records = std::move(parsed);
   return std::nullopt;
 }
@@ -374,8 +384,8 @@ void write_student_csv(std::ostream& out,
   }
 }
 
-std::optional<ParseError> read_student_csv(
-    std::istream& in, std::vector<StudentRecord>& records) {
+std::optional<ParseError> for_each_student_csv_record(
+    std::istream& in, const std::function<void(StudentRecord&&)>& sink) {
   std::string line;
   if (!std::getline(in, line)) {
     return ParseError{0, "", "empty input"};
@@ -386,7 +396,6 @@ std::optional<ParseError> read_student_csv(
   }
   const std::vector<std::string> names = split_names(header);
 
-  std::vector<StudentRecord> parsed;
   std::vector<std::string> fields;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
@@ -406,7 +415,17 @@ std::optional<ParseError> read_student_csv(
       p.parse_likert(r.suspicion[c]);
     }
     if (p.failed()) return p.take_error();
-    parsed.push_back(r);
+    sink(std::move(r));
+  }
+  return std::nullopt;
+}
+
+std::optional<ParseError> read_student_csv(
+    std::istream& in, std::vector<StudentRecord>& records) {
+  std::vector<StudentRecord> parsed;
+  if (auto err = for_each_student_csv_record(
+          in, [&parsed](StudentRecord&& r) { parsed.push_back(r); })) {
+    return err;
   }
   records = std::move(parsed);
   return std::nullopt;

@@ -11,6 +11,7 @@
 // offending column — never UB, never a partially-parsed record set.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <span>
@@ -38,9 +39,19 @@ struct ParseError {
 /// Writes the header plus one row per record.
 void write_csv(std::ostream& out, std::span<const SurveyRecord> records);
 
+/// Streaming read: invokes `sink` with each parsed record as soon as its
+/// row validates, so arbitrarily large files can feed the survey
+/// accumulators without materializing a record vector. Stops at the first
+/// malformed row and returns its ParseError; records already delivered
+/// stay delivered (the caller owns any rollback semantics). Returns
+/// nullopt when the whole stream parsed.
+std::optional<ParseError> for_each_csv_record(
+    std::istream& in, const std::function<void(SurveyRecord&&)>& sink);
+
 /// Parses records written by write_csv. Returns the first parse error,
 /// or nullopt on success (and only then replaces `records`). Background
 /// enum codes are validated against the fpq::paperdata category tables.
+/// Wrapper over for_each_csv_record.
 std::optional<ParseError> read_csv(std::istream& in,
                                    std::vector<SurveyRecord>& records);
 
@@ -54,6 +65,8 @@ std::string csv_header();
 /// Student-cohort variant (§III: suspicion responses only).
 void write_student_csv(std::ostream& out,
                        std::span<const StudentRecord> records);
+std::optional<ParseError> for_each_student_csv_record(
+    std::istream& in, const std::function<void(StudentRecord&&)>& sink);
 std::optional<ParseError> read_student_csv(
     std::istream& in, std::vector<StudentRecord>& records);
 bool read_student_csv(std::istream& in, std::vector<StudentRecord>& records,

@@ -1,129 +1,31 @@
+// Thin wrappers over FactorLevelAccumulator (accumulators.hpp); the serial
+// and pooled overloads share one tally implementation and differ only in
+// whether the records are folded inline or streamed through
+// parallel::accumulate_span.
 #include "survey/factor_analysis.hpp"
 
 #include <algorithm>
-#include <functional>
 
-#include "paperdata/paperdata.hpp"
-#include "parallel/shard.hpp"
+#include "parallel/stream.hpp"
+#include "survey/accumulators.hpp"
 
 namespace fpq::survey {
 
 namespace {
 
-// Generic conditioning: `bucket_of` maps a record to a level index (or
-// npos to skip); labels supplied by the caller.
-std::vector<FactorLevelResult> condition_on(
-    std::span<const SurveyRecord> records, const CoreKey& core_key,
-    const OptKey& opt_key, std::span<const std::string> labels,
-    const std::function<std::size_t(const SurveyRecord&)>& bucket_of) {
-  std::vector<FactorLevelResult> out(labels.size());
-  for (std::size_t i = 0; i < labels.size(); ++i) out[i].label = labels[i];
-
-  for (const auto& record : records) {
-    const std::size_t bucket = bucket_of(record);
-    if (bucket >= out.size()) continue;
-    FactorLevelResult& level = out[bucket];
-    ++level.n;
-    const auto core = quiz::score_core(record.core, core_key);
-    level.core.correct += static_cast<double>(core.correct);
-    level.core.incorrect += static_cast<double>(core.incorrect);
-    level.core.dont_know += static_cast<double>(core.dont_know);
-    level.core.unanswered += static_cast<double>(core.unanswered);
-    const auto opt = quiz::score_opt_tf(record.opt, opt_key);
-    level.opt.correct += static_cast<double>(opt.correct);
-    level.opt.incorrect += static_cast<double>(opt.incorrect);
-    level.opt.dont_know += static_cast<double>(opt.dont_know);
-    level.opt.unanswered += static_cast<double>(opt.unanswered);
-  }
-  for (auto& level : out) {
-    if (level.n == 0) continue;
-    const auto n = static_cast<double>(level.n);
-    level.core.correct /= n;
-    level.core.incorrect /= n;
-    level.core.dont_know /= n;
-    level.core.unanswered /= n;
-    level.opt.correct /= n;
-    level.opt.incorrect /= n;
-    level.opt.dont_know /= n;
-    level.opt.unanswered /= n;
-  }
-  return out;
+std::vector<FactorLevelResult> run_serial(
+    std::span<const SurveyRecord> records, FactorLevelAccumulator acc) {
+  for (const auto& record : records) acc.add(record);
+  return acc.finish();
 }
 
-// Sharded condition_on: each chunk accumulates integer partial tallies per
-// level, combined in chunk order so the result matches the serial loop bit
-// for bit (the per-record counts are small integers, exact in binary64).
-struct LevelPartial {
-  std::size_t n = 0;
-  std::size_t core[4] = {0, 0, 0, 0};  // correct/incorrect/dk/unanswered
-  std::size_t opt[4] = {0, 0, 0, 0};
-};
-
-std::vector<FactorLevelResult> condition_on_parallel(
-    std::span<const SurveyRecord> records, const CoreKey& core_key,
-    const OptKey& opt_key, std::span<const std::string> labels,
-    const std::function<std::size_t(const SurveyRecord&)>& bucket_of,
-    parallel::ThreadPool& pool) {
-  std::vector<FactorLevelResult> out(labels.size());
-  for (std::size_t i = 0; i < labels.size(); ++i) out[i].label = labels[i];
-  if (records.empty()) return out;
-
+template <typename MakeAcc>
+std::vector<FactorLevelResult> run_pooled(
+    std::span<const SurveyRecord> records, parallel::ThreadPool& pool,
+    const MakeAcc& make_acc) {
   const std::size_t chunks =
       parallel::recommended_chunks(pool, records.size(), 64);
-  std::vector<std::vector<LevelPartial>> partials(
-      chunks, std::vector<LevelPartial>(labels.size()));
-  parallel::parallel_map_chunks(
-      pool, records.size(), chunks,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::size_t bucket = bucket_of(records[i]);
-          if (bucket >= labels.size()) continue;
-          LevelPartial& p = partials[chunk][bucket];
-          ++p.n;
-          const auto core = quiz::score_core(records[i].core, core_key);
-          p.core[0] += core.correct;
-          p.core[1] += core.incorrect;
-          p.core[2] += core.dont_know;
-          p.core[3] += core.unanswered;
-          const auto opt = quiz::score_opt_tf(records[i].opt, opt_key);
-          p.opt[0] += opt.correct;
-          p.opt[1] += opt.incorrect;
-          p.opt[2] += opt.dont_know;
-          p.opt[3] += opt.unanswered;
-        }
-      });
-
-  for (std::size_t level = 0; level < out.size(); ++level) {
-    LevelPartial total;
-    for (const auto& chunk : partials) {
-      const LevelPartial& p = chunk[level];
-      total.n += p.n;
-      for (int k = 0; k < 4; ++k) {
-        total.core[k] += p.core[k];
-        total.opt[k] += p.opt[k];
-      }
-    }
-    out[level].n = total.n;
-    if (total.n == 0) continue;
-    const auto n = static_cast<double>(total.n);
-    out[level].core.correct = static_cast<double>(total.core[0]) / n;
-    out[level].core.incorrect = static_cast<double>(total.core[1]) / n;
-    out[level].core.dont_know = static_cast<double>(total.core[2]) / n;
-    out[level].core.unanswered = static_cast<double>(total.core[3]) / n;
-    out[level].opt.correct = static_cast<double>(total.opt[0]) / n;
-    out[level].opt.incorrect = static_cast<double>(total.opt[1]) / n;
-    out[level].opt.dont_know = static_cast<double>(total.opt[2]) / n;
-    out[level].opt.unanswered = static_cast<double>(total.opt[3]) / n;
-  }
-  return out;
-}
-
-std::vector<std::string> labels_from(
-    std::span<const fpq::paperdata::FactorLevelTarget> targets) {
-  std::vector<std::string> out;
-  out.reserve(targets.size());
-  for (const auto& t : targets) out.emplace_back(t.label);
-  return out;
+  return parallel::accumulate_span(pool, records, chunks, make_acc).finish();
 }
 
 }  // namespace
@@ -131,91 +33,62 @@ std::vector<std::string> labels_from(
 std::vector<FactorLevelResult> by_contributed_size(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key) {
-  const auto labels = labels_from(fpq::paperdata::contributed_size_effect());
-  return condition_on(records, core_key, opt_key, labels,
-                      [](const SurveyRecord& r) {
-                        return contributed_size_bin(
-                            r.background.contributed_size);
-                      });
+  return run_serial(
+      records, FactorLevelAccumulator::by_contributed_size(core_key, opt_key));
 }
 
 std::vector<FactorLevelResult> by_area_group(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key) {
-  const auto labels = labels_from(fpq::paperdata::area_effect());
-  return condition_on(records, core_key, opt_key, labels,
-                      [](const SurveyRecord& r) {
-                        return static_cast<std::size_t>(
-                            area_group_of(r.background.area));
-                      });
+  return run_serial(records,
+                    FactorLevelAccumulator::by_area_group(core_key, opt_key));
 }
 
 std::vector<FactorLevelResult> by_role(std::span<const SurveyRecord> records,
                                        const CoreKey& core_key,
                                        const OptKey& opt_key) {
-  const auto labels = labels_from(fpq::paperdata::role_effect());
-  return condition_on(records, core_key, opt_key, labels,
-                      [](const SurveyRecord& r) {
-                        return role_index(r.background.dev_role);
-                      });
+  return run_serial(records,
+                    FactorLevelAccumulator::by_role(core_key, opt_key));
 }
 
 std::vector<FactorLevelResult> by_formal_training(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key) {
-  const auto labels = labels_from(fpq::paperdata::training_effect());
-  return condition_on(records, core_key, opt_key, labels,
-                      [](const SurveyRecord& r) {
-                        return training_index(r.background.formal_training);
-                      });
+  return run_serial(
+      records, FactorLevelAccumulator::by_formal_training(core_key, opt_key));
 }
 
 std::vector<FactorLevelResult> by_contributed_size(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key, parallel::ThreadPool& pool) {
-  const auto labels = labels_from(fpq::paperdata::contributed_size_effect());
-  return condition_on_parallel(records, core_key, opt_key, labels,
-                               [](const SurveyRecord& r) {
-                                 return contributed_size_bin(
-                                     r.background.contributed_size);
-                               },
-                               pool);
+  return run_pooled(records, pool, [&] {
+    return FactorLevelAccumulator::by_contributed_size(core_key, opt_key);
+  });
 }
 
 std::vector<FactorLevelResult> by_area_group(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key, parallel::ThreadPool& pool) {
-  const auto labels = labels_from(fpq::paperdata::area_effect());
-  return condition_on_parallel(records, core_key, opt_key, labels,
-                               [](const SurveyRecord& r) {
-                                 return static_cast<std::size_t>(
-                                     area_group_of(r.background.area));
-                               },
-                               pool);
+  return run_pooled(records, pool, [&] {
+    return FactorLevelAccumulator::by_area_group(core_key, opt_key);
+  });
 }
 
 std::vector<FactorLevelResult> by_role(std::span<const SurveyRecord> records,
                                        const CoreKey& core_key,
                                        const OptKey& opt_key,
                                        parallel::ThreadPool& pool) {
-  const auto labels = labels_from(fpq::paperdata::role_effect());
-  return condition_on_parallel(records, core_key, opt_key, labels,
-                               [](const SurveyRecord& r) {
-                                 return role_index(r.background.dev_role);
-                               },
-                               pool);
+  return run_pooled(records, pool, [&] {
+    return FactorLevelAccumulator::by_role(core_key, opt_key);
+  });
 }
 
 std::vector<FactorLevelResult> by_formal_training(
     std::span<const SurveyRecord> records, const CoreKey& core_key,
     const OptKey& opt_key, parallel::ThreadPool& pool) {
-  const auto labels = labels_from(fpq::paperdata::training_effect());
-  return condition_on_parallel(records, core_key, opt_key, labels,
-                               [](const SurveyRecord& r) {
-                                 return training_index(
-                                     r.background.formal_training);
-                               },
-                               pool);
+  return run_pooled(records, pool, [&] {
+    return FactorLevelAccumulator::by_formal_training(core_key, opt_key);
+  });
 }
 
 double core_correct_spread(std::span<const FactorLevelResult> levels) {

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/question_bank.hpp"
+#include "parallel/stream.hpp"
+#include "survey/accumulators.hpp"
 
 namespace fpq::survey {
 
@@ -10,17 +12,19 @@ namespace {
 
 template <typename Record>
 SuspicionDistributions distributions_of(std::span<const Record> records) {
-  std::array<stats::LikertAccumulator, quiz::kSuspicionItemCount> acc;
-  for (const auto& record : records) {
-    for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
-      acc[c].add(record.suspicion[c]);
-    }
-  }
-  SuspicionDistributions out;
-  for (std::size_t c = 0; c < quiz::kSuspicionItemCount; ++c) {
-    if (acc[c].total() > 0) out[c] = acc[c].distribution();
-  }
-  return out;
+  SuspicionAccumulator acc;
+  for (const auto& record : records) acc.add(record);
+  return acc.finish();
+}
+
+template <typename Record>
+SuspicionDistributions distributions_of(std::span<const Record> records,
+                                        parallel::ThreadPool& pool) {
+  const std::size_t chunks =
+      parallel::recommended_chunks(pool, records.size(), 64);
+  return parallel::accumulate_span(pool, records, chunks,
+                                   [] { return SuspicionAccumulator{}; })
+      .finish();
 }
 
 }  // namespace
@@ -33,6 +37,16 @@ SuspicionDistributions suspicion_distributions(
 SuspicionDistributions suspicion_distributions(
     std::span<const StudentRecord> records) {
   return distributions_of(records);
+}
+
+SuspicionDistributions suspicion_distributions(
+    std::span<const SurveyRecord> records, parallel::ThreadPool& pool) {
+  return distributions_of(records, pool);
+}
+
+SuspicionDistributions suspicion_distributions(
+    std::span<const StudentRecord> records, parallel::ThreadPool& pool) {
+  return distributions_of(records, pool);
 }
 
 SuspicionSummary summarize_suspicion(const SuspicionDistributions& dists) {

@@ -71,4 +71,70 @@ TEST(Population, BackgroundIndicesInRange) {
   }
 }
 
+// -- CohortGenerator: streaming, shard-addressable generation --------------
+
+TEST(CohortGenerator, StreamsTheExactLegacyCohort) {
+  const auto cohort = rs::generate_main_cohort(11, 60);
+  rs::CohortGenerator gen(11);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    EXPECT_EQ(gen.position(), i);
+    const auto r = gen.next();
+    EXPECT_EQ(r.respondent_id, cohort[i].respondent_id);
+    EXPECT_EQ(r.background.area, cohort[i].background.area);
+    EXPECT_EQ(r.core.answers, cohort[i].core.answers);
+    EXPECT_EQ(r.opt.tf_answers, cohort[i].opt.tf_answers);
+    EXPECT_EQ(r.opt.level_choice, cohort[i].opt.level_choice);
+    EXPECT_EQ(r.suspicion, cohort[i].suspicion);
+  }
+}
+
+TEST(CohortGenerator, RecordByIndexMatchesSequentialGeneration) {
+  const auto cohort = rs::generate_main_cohort(11, 60);
+  rs::CohortGenerator gen(11);
+  // Out-of-order access, including backwards seeks.
+  for (const std::size_t i : {40u, 3u, 59u, 3u, 0u, 17u}) {
+    const auto r = gen.record(i);
+    EXPECT_EQ(r.respondent_id, cohort[i].respondent_id);
+    EXPECT_EQ(r.core.answers, cohort[i].core.answers) << "index " << i;
+    EXPECT_EQ(r.suspicion, cohort[i].suspicion) << "index " << i;
+    EXPECT_EQ(gen.position(), i + 1);
+  }
+}
+
+TEST(CohortGenerator, SeekIsANoOpAtTheCurrentPosition) {
+  rs::CohortGenerator a(5), b(5);
+  a.next();
+  a.next();
+  a.seek(2);  // already there
+  b.next();
+  b.next();
+  EXPECT_EQ(a.next().core.answers, b.next().core.answers);
+}
+
+TEST(CohortGenerator, ShardsReassembleTheFullCohort) {
+  // Independent generators seeked to shard starts must reproduce the
+  // sequential stream — the property bench/stream_main_cohort relies on.
+  const auto cohort = rs::generate_main_cohort(13, 50);
+  for (const std::size_t begin : {0u, 1u, 24u, 49u}) {
+    rs::CohortGenerator gen(13);
+    gen.seek(begin);
+    for (std::size_t i = begin; i < cohort.size(); ++i) {
+      EXPECT_EQ(gen.next().core.answers, cohort[i].core.answers)
+          << "shard start " << begin << ", index " << i;
+    }
+  }
+}
+
+TEST(StudentCohortGenerator, StreamsTheExactLegacyCohort) {
+  const auto students = rs::generate_student_cohort(21, 30);
+  rs::StudentCohortGenerator gen(21);
+  for (std::size_t i = 0; i < students.size(); ++i) {
+    const auto r = gen.next();
+    EXPECT_EQ(r.respondent_id, students[i].respondent_id);
+    EXPECT_EQ(r.suspicion, students[i].suspicion);
+  }
+  // Shard-addressable too.
+  EXPECT_EQ(gen.record(7).suspicion, students[7].suspicion);
+}
+
 }  // namespace

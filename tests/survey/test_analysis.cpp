@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/ground_truth.hpp"
@@ -137,6 +138,49 @@ TEST(Analysis, EmptyRecordsGiveZeroes) {
   const auto hist =
       sv::core_score_histogram(none, quiz::standard_core_truths());
   EXPECT_EQ(hist.total(), 0u);
+}
+
+// Regression: the legacy loops divided by records.size(), so an empty
+// cohort produced NaN percentages. Every entry point must now return
+// zeros. std::isnan would also fail the == 0.0 checks, but assert it
+// explicitly so the failure message names the bug.
+TEST(Analysis, EmptyCohortNeverProducesNaN) {
+  const std::vector<sv::SurveyRecord> none;
+
+  const auto avg_opt = sv::average_opt_tf(none, quiz::standard_opt_truths());
+  EXPECT_FALSE(std::isnan(avg_opt.correct));
+  EXPECT_DOUBLE_EQ(avg_opt.unanswered, 0.0);
+
+  const auto freq = sv::frequency_table(
+      none, fpq::paperdata::positions(),
+      [](const sv::SurveyRecord& r) { return r.background.position; });
+  for (const auto& row : freq) {
+    EXPECT_FALSE(std::isnan(row.percent)) << row.label;
+    EXPECT_DOUBLE_EQ(row.percent, 0.0) << row.label;
+  }
+
+  const auto multi = sv::multi_select_table(
+      none, fpq::paperdata::fp_languages(),
+      [](const sv::SurveyRecord& r) -> const std::vector<std::size_t>& {
+        return r.background.fp_languages;
+      });
+  for (const auto& row : multi) EXPECT_DOUBLE_EQ(row.percent, 0.0);
+
+  const auto core_rows =
+      sv::core_question_breakdown(none, quiz::standard_core_truths());
+  ASSERT_EQ(core_rows.size(), quiz::kCoreQuestionCount);
+  for (const auto& row : core_rows) {
+    EXPECT_FALSE(std::isnan(row.pct_correct)) << row.label;
+    EXPECT_DOUBLE_EQ(row.pct_correct, 0.0) << row.label;
+    EXPECT_DOUBLE_EQ(row.pct_unanswered, 0.0) << row.label;
+  }
+
+  const auto opt_rows =
+      sv::opt_question_breakdown(none, quiz::standard_opt_truths());
+  for (const auto& row : opt_rows) {
+    EXPECT_FALSE(std::isnan(row.pct_correct)) << row.label;
+    EXPECT_DOUBLE_EQ(row.pct_correct, 0.0) << row.label;
+  }
 }
 
 }  // namespace

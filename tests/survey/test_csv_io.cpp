@@ -316,4 +316,95 @@ TEST(CsvIoCorrupt, StudentReaderReportsStructuredErrors) {
   EXPECT_TRUE(terr->field.empty());
 }
 
+// -- Streaming reader: per-record callback, no vector ----------------------
+
+TEST(CsvIoStreaming, DeliversRecordsAsTheyParse) {
+  const auto cohort = fpq::respondent::generate_main_cohort(15, 20);
+  std::ostringstream out;
+  sv::write_csv(out, cohort);
+
+  std::istringstream in(out.str());
+  std::size_t delivered = 0;
+  const auto err =
+      sv::for_each_csv_record(in, [&](sv::SurveyRecord&& r) {
+        EXPECT_EQ(r.respondent_id, cohort[delivered].respondent_id);
+        EXPECT_EQ(r.core.answers, cohort[delivered].core.answers);
+        ++delivered;
+      });
+  EXPECT_FALSE(err.has_value()) << err->to_string();
+  EXPECT_EQ(delivered, cohort.size());
+}
+
+TEST(CsvIoStreaming, StopsAtFirstBadRowKeepingEarlierDeliveries) {
+  // Row 2 is valid, row 3 is corrupt: the callback must see exactly the
+  // valid prefix and the error must name the bad line.
+  const std::string good = valid_csv_text();
+  const std::size_t header_end = good.find('\n');
+  const std::string bad_doc = corrupt_field("area", "99");
+  const std::string bad_row = bad_doc.substr(bad_doc.find('\n') + 1);
+  std::istringstream in(good + bad_row);
+
+  std::size_t delivered = 0;
+  const auto err = sv::for_each_csv_record(
+      in, [&](sv::SurveyRecord&&) { ++delivered; });
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->line, 3u);
+  EXPECT_EQ(err->field, "area");
+  EXPECT_EQ(delivered, 1u) << "the valid prefix stays delivered";
+  (void)header_end;
+}
+
+TEST(CsvIoStreaming, FeedsAnAccumulatorWithoutAVector) {
+  // The intended composition: CSV stream -> accumulator, no record vector.
+  const auto cohort = fpq::respondent::generate_main_cohort(15, 25);
+  std::ostringstream out;
+  sv::write_csv(out, cohort);
+
+  std::size_t suspicious = 0;
+  std::istringstream in(out.str());
+  const auto err =
+      sv::for_each_csv_record(in, [&](sv::SurveyRecord&& r) {
+        if (r.suspicion[0] >= 4) ++suspicious;
+      });
+  EXPECT_FALSE(err.has_value());
+  std::size_t expected = 0;
+  for (const auto& r : cohort) {
+    if (r.suspicion[0] >= 4) ++expected;
+  }
+  EXPECT_EQ(suspicious, expected);
+}
+
+TEST(CsvIoStreaming, StudentVariantStreamsAndReportsErrors) {
+  const auto students = fpq::respondent::generate_student_cohort(15, 12);
+  std::ostringstream out;
+  sv::write_student_csv(out, students);
+
+  std::istringstream in(out.str());
+  std::size_t delivered = 0;
+  const auto ok = sv::for_each_student_csv_record(
+      in, [&](sv::StudentRecord&& r) {
+        EXPECT_EQ(r.suspicion, students[delivered].suspicion);
+        ++delivered;
+      });
+  EXPECT_FALSE(ok.has_value());
+  EXPECT_EQ(delivered, students.size());
+
+  std::istringstream bad(sv::student_csv_header() + "\n1,1,2,3,4,9\n");
+  std::size_t bad_delivered = 0;
+  const auto err = sv::for_each_student_csv_record(
+      bad, [&](sv::StudentRecord&&) { ++bad_delivered; });
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "suspicion_5");
+  EXPECT_EQ(bad_delivered, 0u);
+}
+
+TEST(CsvIoStreaming, BadHeaderDeliversNothing) {
+  std::istringstream in("id,wrong\n");
+  std::size_t delivered = 0;
+  const auto err = sv::for_each_csv_record(
+      in, [&](sv::SurveyRecord&&) { ++delivered; });
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(delivered, 0u);
+}
+
 }  // namespace
