@@ -64,6 +64,23 @@ bool write_matrix_json(const char* path, const inj::GauntletResult& r) {
   out << "  \"total_effective\": " << r.total_effective << ",\n";
   out << "  \"parity_mismatches\": " << r.parity_mismatches.size()
       << ",\n";
+  out << "  \"capabilities\": {\"tracks_denormals\": "
+      << (r.tracks_denormals ? "true" : "false")
+      << ", \"trap_available\": "
+      << (r.trap_available ? "true" : "false") << "},\n";
+  out << "  \"flow\": {\n";
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    const inj::FlowScore& fs = r.flow_scores[s];
+    out << "    \"" << inj::substrate_name(static_cast<inj::Substrate>(s))
+        << "\": {\"poison_attributed\": " << fs.poison_attributed
+        << ", \"poison_effective\": " << fs.poison_effective
+        << ", \"swallow_attributed\": " << fs.swallow_attributed
+        << ", \"swallow_effective\": " << fs.swallow_effective
+        << ", \"control_trials\": " << fs.control_trials
+        << ", \"control_anomalies\": " << fs.control_anomalies << "}"
+        << (s + 1 < inj::kSubstrateCount ? "," : "") << "\n";
+  }
+  out << "  },\n";
   out << "  \"matrix\": {\n";
   for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
     out << "    \"" << inj::substrate_name(static_cast<inj::Substrate>(s))
@@ -159,6 +176,31 @@ int main(int argc, char** argv) {
                  "GATE: %zu campaigns diverged across substrates\n",
                  result.parity_mismatches.size());
     ok = false;
+  }
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    const inj::FlowScore& fs = result.flow_scores[s];
+    const std::string sub =
+        inj::substrate_name(static_cast<inj::Substrate>(s));
+    // The flow ledger must attribute ≥90% of effective poison faults to
+    // the exact birth site; anything lower means the signature diff is
+    // misfiring on sites the fault never touched.
+    if (fs.poison_effective > 0 &&
+        fs.poison_attributed * 10 < fs.poison_effective * 9) {
+      std::fprintf(stderr,
+                   "GATE: fpmon-flow poison attribution %zu/%zu < 90%%"
+                   " on %s\n",
+                   fs.poison_attributed, fs.poison_effective, sub.c_str());
+      ok = false;
+    }
+    // Controls are bit-identical to the clean baseline, so any anomalous
+    // site the ledger reports on one is a false birth — zero tolerance.
+    if (fs.control_anomalies != 0) {
+      std::fprintf(stderr,
+                   "GATE: fpmon-flow reported %zu anomalies on %zu"
+                   " control trials on %s\n",
+                   fs.control_anomalies, fs.control_trials, sub.c_str());
+      ok = false;
+    }
   }
 
   if (baseline_path != nullptr) {

@@ -1,0 +1,205 @@
+// fpmon overhead microbench: what does always-on flow monitoring cost?
+//
+// Times every healthy workloads kernel (the broken ones would trap) in
+// four configurations and reports per-run deltas:
+//
+//   * native-unmonitored — NativeContext, no monitor: the floor.
+//   * flowctx-idle       — FlowContext with NO FlowMonitor live: the
+//                          always-on price every caller pays for keeping
+//                          the flow seam compiled in (one thread-local
+//                          load per kernel call).
+//   * flow-sampling      — observe_flow(): FlowContext under a
+//                          sampling-mode FlowMonitor, per-op class
+//                          emission into the ledger.
+//   * flow-trap          — same under trap mode, when the platform can
+//                          arm FE traps (healthy kernels raise none of
+//                          the trapped kinds, so this measures the
+//                          enable/disable + signal-path bookkeeping, not
+//                          trap storms).
+//
+//   bench_fpmon [--reps N] [--out FILE] [--budget FILE]
+//
+// --out writes the rows as BENCH_fpmon.json (bench_common PerfJson).
+// --budget reads "mode max_ratio" lines and exits nonzero when a mode's
+// measured overhead ratio vs native-unmonitored exceeds its budget —
+// the CI regression gate for monitoring cost. Budgets are deliberately
+// generous: per-op hooks on cheap interpreted kernels are expected to
+// cost integer multiples, and the gate exists to catch order-of-
+// magnitude regressions, not scheduler noise.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fpmon/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace mon = fpq::mon;
+namespace wl = fpq::workloads;
+
+namespace {
+
+template <typename F>
+double time_ns_per_rep(std::size_t reps, F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < reps; ++i) f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(reps);
+}
+
+std::vector<const wl::Workload*> healthy_workloads() {
+  std::vector<const wl::Workload*> out;
+  for (const wl::Workload& w : wl::catalogue()) {
+    if (w.name.find("/healthy") != std::string::npos) out.push_back(&w);
+  }
+  return out;
+}
+
+bool load_budget(const char* path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string mode;
+  double ratio = 0.0;
+  while (in >> mode) {
+    if (!mode.empty() && mode.front() == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (!(in >> ratio)) return false;
+    out[mode] = ratio;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 200;
+  const char* out_path = nullptr;
+  const char* budget_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--reps") == 0 && value) {
+      reps = std::strtoull(value, nullptr, 0);
+      ++i;
+    } else if (std::strcmp(arg, "--out") == 0 && value) {
+      out_path = value;
+      ++i;
+    } else if (std::strcmp(arg, "--budget") == 0 && value) {
+      budget_path = value;
+      ++i;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--out FILE] [--budget FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<const wl::Workload*> kernels = healthy_workloads();
+  if (kernels.empty()) {
+    std::fprintf(stderr, "no healthy workloads in catalogue\n");
+    return 1;
+  }
+
+  // Warm every tape cache before timing so the first mode measured does
+  // not pay one-time trace costs the later modes skip.
+  {
+    wl::NativeContext native;
+    wl::FlowContext flow;
+    for (const wl::Workload* w : kernels) {
+      w->run(native);
+      w->run(flow);
+      (void)wl::observe_flow(*w);
+    }
+  }
+
+  struct Mode {
+    std::string name;
+    double ns_per_run = 0.0;
+  };
+  std::vector<Mode> modes;
+
+  modes.push_back({"native-unmonitored",
+                   time_ns_per_rep(reps, [&] {
+                     wl::NativeContext ctx;
+                     for (const wl::Workload* w : kernels) w->run(ctx);
+                   })});
+  modes.push_back({"flowctx-idle",
+                   time_ns_per_rep(reps, [&] {
+                     wl::FlowContext ctx;
+                     for (const wl::Workload* w : kernels) w->run(ctx);
+                   })});
+  modes.push_back({"flow-sampling",
+                   time_ns_per_rep(reps, [&] {
+                     for (const wl::Workload* w : kernels)
+                       (void)wl::observe_flow(*w);
+                   })});
+  if (mon::trap_supported()) {
+    mon::FlowOptions trap_opts;
+    trap_opts.mode = mon::FlowMode::kTrap;
+    modes.push_back({"flow-trap",
+                     time_ns_per_rep(reps, [&] {
+                       for (const wl::Workload* w : kernels)
+                         (void)wl::observe_flow(*w, trap_opts);
+                     })});
+  } else {
+    std::printf(
+        "flow-trap: skipped (FE traps unavailable on this platform/"
+        "build)\n");
+  }
+
+  const double base = modes.front().ns_per_run;
+  fpq::bench::PerfJson json;
+  std::printf("fpmon overhead (%zu reps x %zu healthy kernels)\n", reps,
+              kernels.size());
+  std::printf("%-20s %14s %10s\n", "mode", "ns/catalogue", "ratio");
+  for (const Mode& m : modes) {
+    const double ratio = base > 0.0 ? m.ns_per_run / base : 0.0;
+    std::printf("%-20s %14.0f %9.2fx\n", m.name.c_str(), m.ns_per_run,
+                ratio);
+    fpq::bench::PerfRow row;
+    row.name = "fpmon/" + m.name;
+    row.ns_per_op = m.ns_per_run;
+    row.ops_per_s = m.ns_per_run > 0.0 ? 1e9 / m.ns_per_run : 0.0;
+    row.threads = 1;
+    json.add(row);
+  }
+
+  bool ok = true;
+  if (budget_path != nullptr) {
+    std::map<std::string, double> budget;
+    if (!load_budget(budget_path, budget)) {
+      std::fprintf(stderr, "GATE: cannot read budget %s\n", budget_path);
+      ok = false;
+    } else {
+      for (const Mode& m : modes) {
+        const auto it = budget.find(m.name);
+        if (it == budget.end()) continue;
+        const double ratio = base > 0.0 ? m.ns_per_run / base : 0.0;
+        if (ratio > it->second) {
+          std::fprintf(stderr,
+                       "GATE: fpmon mode %s overhead %.2fx exceeds"
+                       " budget %.2fx\n",
+                       m.name.c_str(), ratio, it->second);
+          ok = false;
+        }
+      }
+    }
+  }
+
+  if (out_path != nullptr && !json.write(out_path)) {
+    std::fprintf(stderr, "GATE: cannot write %s\n", out_path);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -17,10 +17,19 @@
 // chunk statistics (stats/bootstrap.hpp) — memory O(chunks + replicates).
 //
 //   ./bench_survey_scale [--n N] [--threads T] [--json PATH]
-//                        [--rss-ceiling-mb MB]
+//                        [--rss-ceiling-mb MB] [--monitor]
+//                        [--monitor-budget FRAC]
+//
+// --monitor adds phase 5: the same streamed fold under always-on flow
+// monitoring (fpmon/stream_flow.hpp), gated on sampling overhead staying
+// within --monitor-budget (default 0.10 = 10%) of the unmonitored
+// wall-clock, and on the flow report fingerprint being bit-identical at
+// 1/2/4/8-thread pools (the chunk count is a pure function of n, so the
+// monitored merge tree is too).
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +37,7 @@
 
 #include "bench_common.hpp"
 #include "core/ground_truth.hpp"
+#include "fpmon/stream_flow.hpp"
 #include "paperdata/paperdata.hpp"
 #include "stats/bootstrap.hpp"
 #include "survey/accumulators.hpp"
@@ -235,6 +245,8 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;  // 0 = hardware default
   std::string json_path = "BENCH_survey_scale.json";
   double rss_ceiling_mb = 512.0;
+  bool monitor = false;
+  double monitor_budget = 0.10;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
       n = std::strtoull(argv[++i], nullptr, 10);
@@ -244,6 +256,10 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--rss-ceiling-mb") == 0 && i + 1 < argc) {
       rss_ceiling_mb = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--monitor") == 0) {
+      monitor = true;
+    } else if (std::strcmp(argv[i], "--monitor-budget") == 0 && i + 1 < argc) {
+      monitor_budget = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -358,6 +374,92 @@ int main(int argc, char** argv) {
         "IDENTITY FAILURE: chunk-stat mean %.17g != streamed mean %.17g\n",
         ci.estimate, avg.correct);
     ++g_failures;
+  }
+
+  // Phase 5 (--monitor): the same fold under always-on flow monitoring.
+  // The chunk count is fixed by n alone so the monitored merge tree —
+  // and therefore the flow report fingerprint — is thread-count
+  // invariant.
+  if (monitor) {
+    const std::size_t flow_chunks =
+        std::min<std::size_t>(64, std::max<std::size_t>(1, n / 64));
+    const auto fill = [](auto& acc, std::size_t begin, std::size_t end) {
+      fpq::respondent::CohortGenerator gen(fpq::bench::kCohortSeed);
+      gen.seek(begin);
+      for (std::size_t i = begin; i < end; ++i) acc.add(gen.next());
+    };
+    const auto make_acc = [&] {
+      return sv::AverageTallyAccumulator::core(core_key);
+    };
+
+    // Unmonitored reference fold over the SAME fixed chunk shape, so the
+    // overhead comparison is monitoring cost only, not chunking changes.
+    const auto u0 = std::chrono::steady_clock::now();
+    auto plain =
+        par::stream_accumulate(pool, n, flow_chunks, make_acc, fill);
+    const auto u1 = std::chrono::steady_clock::now();
+    const double plain_s = std::chrono::duration<double>(u1 - u0).count();
+
+    const auto m0 = std::chrono::steady_clock::now();
+    auto monitored = fpq::mon::monitored_stream_accumulate(
+        pool, n, flow_chunks, make_acc, fill);
+    const auto m1 = std::chrono::steady_clock::now();
+    const double mon_s = std::chrono::duration<double>(m1 - m0).count();
+    const double overhead =
+        plain_s > 0.0 ? (mon_s - plain_s) / plain_s : 0.0;
+
+    const auto flow_summary = monitored.flow.ledger.summary();
+    std::printf(
+        "monitored fold: %.2fs vs %.2fs unmonitored (overhead %+.1f%%, "
+        "budget %.0f%%); conditions [%s]; flow: %zu seam samples, %zu "
+        "born, %zu killed\n",
+        mon_s, plain_s, 100.0 * overhead, 100.0 * monitor_budget,
+        monitored.flow.conditions.to_string().c_str(),
+        flow_summary.seam_samples, flow_summary.born,
+        flow_summary.killed);
+    std::printf(
+        "monitor capability: trap %s, denormal tracking %s, seam "
+        "collector %s\n",
+        monitored.flow.capability.trap_supported ? "available"
+                                                 : "unavailable",
+        monitored.flow.capability.tracks_denormals ? "on" : "off",
+        monitored.flow.capability.seam_collector ? "on" : "off");
+    if (!tally_equal(monitored.value.finish(), plain.finish())) {
+      std::printf(
+          "IDENTITY FAILURE: monitored fold changed the tally\n");
+      ++g_failures;
+    }
+    if (overhead > monitor_budget) {
+      std::printf(
+          "MONITOR-OVERHEAD FAILURE: %.1f%% > budget %.0f%%\n",
+          100.0 * overhead, 100.0 * monitor_budget);
+      ++g_failures;
+    }
+    json.add({"survey-scale/stream-average-core-monitored",
+              1e9 * mon_s / static_cast<double>(n),
+              static_cast<double>(n) / mon_s,
+              static_cast<int>(pool.lanes()), 0});
+
+    // Flow-report determinism: the fingerprint must be bit-identical at
+    // every pool width (merge order is fixed by the chunk tree).
+    const std::uint64_t ref_fp = monitored.flow.fingerprint();
+    for (const int t : {1, 2, 4, 8}) {
+      par::ThreadPool tp(static_cast<std::size_t>(t));
+      auto again = fpq::mon::monitored_stream_accumulate(
+          tp, n, flow_chunks, make_acc, fill);
+      if (again.flow.fingerprint() != ref_fp) {
+        std::printf(
+            "IDENTITY FAILURE: flow fingerprint diverged at %d "
+            "thread(s)\n",
+            t);
+        ++g_failures;
+      }
+    }
+    std::printf(
+        "monitor identity gate: flow fingerprint 0x%016llx stable over "
+        "{1,2,4,8} threads: %s\n",
+        static_cast<unsigned long long>(ref_fp),
+        g_failures == 0 ? "PASS" : "FAIL");
   }
 
   if (!json_path.empty() && !json.write(json_path)) ++g_failures;

@@ -6,7 +6,11 @@
 // to the paper's published numbers. Optionally exports the raw records as
 // CSV (the only mode that materializes the cohort).
 //
-//   ./survey_simulation [seed] [--csv out.csv]
+//   ./survey_simulation [seed] [--csv out.csv] [--monitor]
+//
+// --monitor runs the whole fold under an always-on flow monitor
+// (fpq::mon) and appends the flow report: which FP conditions the
+// simulation itself raised, with platform capability spelled out.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +19,7 @@
 #include <string>
 
 #include "core/ground_truth.hpp"
+#include "fpmon/flow.hpp"
 #include "paperdata/paperdata.hpp"
 #include "report/barchart.hpp"
 #include "report/table.hpp"
@@ -30,9 +35,12 @@ namespace rp = fpq::report;
 int main(int argc, char** argv) {
   std::uint64_t seed = 20180521;  // IPDPS 2018
   std::string csv_path;
+  bool monitor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--monitor") == 0) {
+      monitor = true;
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
@@ -61,7 +69,9 @@ int main(int argc, char** argv) {
   auto by_size_acc =
       sv::FactorLevelAccumulator::by_contributed_size(core_key, opt_key);
   sv::SuspicionAccumulator main_susp_acc;
-  {
+  sv::SuspicionAccumulator student_susp_acc;
+  fpq::mon::FlowReport flow;
+  const auto fold = [&] {
     fpq::respondent::CohortGenerator gen(seed);
     for (std::size_t i = 0; i < 199; ++i) {
       const sv::SurveyRecord r = gen.next();
@@ -72,11 +82,15 @@ int main(int argc, char** argv) {
       by_size_acc.add(r);
       main_susp_acc.add(r);
     }
-  }
-  sv::SuspicionAccumulator student_susp_acc;
-  {
-    fpq::respondent::StudentCohortGenerator gen(seed);
-    for (std::size_t i = 0; i < 52; ++i) student_susp_acc.add(gen.next());
+    fpq::respondent::StudentCohortGenerator sgen(seed);
+    for (std::size_t i = 0; i < 52; ++i) student_susp_acc.add(sgen.next());
+  };
+  if (monitor) {
+    // The §II-D hypothetical made real: wrap the simulation with the
+    // code that determines whether any exceptions occurred.
+    fpq::mon::monitor_flow(fold, flow);
+  } else {
+    fold();
   }
 
   // Figure 12.
@@ -178,5 +192,13 @@ int main(int argc, char** argv) {
       "headline checks: mean core score %.1f vs chance 7.5 (paper: 8.5); "
       "%.0f%% report below-max suspicion for NaN results (paper: ~33%%)\n",
       core_avg.correct, 100.0 * summary.invalid_below_max);
+  if (monitor) {
+    std::printf("\n");
+    std::fputs(
+        rp::section("Flow monitor report (--monitor)",
+                    fpq::mon::render_flow_report(flow))
+            .c_str(),
+        stdout);
+  }
   return 0;
 }

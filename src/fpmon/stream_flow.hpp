@@ -1,0 +1,98 @@
+// fpq::mon — always-on monitoring for the streaming survey path.
+//
+// monitored_stream_accumulate() is parallel::stream_accumulate with a
+// FlowMonitor wrapped around every chunk's fill on the worker thread that
+// runs it. Each chunk produces a per-chunk FlowLedger alongside its
+// accumulator; both merge through the SAME fixed-shape chunk-ordered tree
+// (the ledger's merge-join is associative and commutative integer
+// arithmetic), so the monitored result AND the flow report are
+// bit-identical at 1/2/4/8 threads — provided the caller picks `chunks`
+// as a pure function of the input size, never of the pool width.
+//
+// The per-chunk monitor also makes the chunk boundary a seam: each
+// chunk's ledger carries exactly one seam sample holding the union of
+// conditions the chunk's FP work raised (empty for pure-integer tally
+// accumulators — itself a useful "nothing exceptional streamed past"
+// witness).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "fpmon/flow.hpp"
+#include "fpmon/hardware.hpp"
+#include "parallel/stream.hpp"
+
+namespace fpq::mon {
+
+/// The merged result of a monitored streaming accumulation: the payload
+/// accumulator plus the merged flow report.
+template <typename Acc>
+struct MonitoredAccumulation {
+  Acc value;
+  FlowReport flow;
+};
+
+namespace detail {
+
+/// Composite accumulator threading a FlowLedger next to the payload so
+/// the existing merge tree combines both in lockstep.
+template <typename Acc>
+struct FlowAccum {
+  Acc inner;
+  FlowLedger ledger;
+
+  FlowAccum(Acc in, std::size_t max_sites)
+      : inner(std::move(in)), ledger(max_sites) {}
+
+  void merge(FlowAccum&& other) {
+    inner.merge(std::move(other.inner));
+    ledger.merge(std::move(other.ledger));
+  }
+};
+
+}  // namespace detail
+
+/// Drop-in monitored variant of parallel::stream_accumulate. Runs each
+/// chunk's fill under a per-chunk FlowMonitor on the worker thread and
+/// returns {merged accumulator, merged flow report}. The caller's
+/// `make_acc`/`fill` are unchanged from the unmonitored call, so flipping
+/// monitoring on is a one-line substitution at the call site.
+///
+/// Capability note: per-chunk monitors are sampling-mode only (trap mode
+/// is a process-wide singleton and belongs to a single long-lived monitor,
+/// not to N short-lived shard scopes); the report's capability reflects
+/// the platform as probed on the merge (caller) thread.
+template <typename MakeAcc, typename FillChunk>
+auto monitored_stream_accumulate(parallel::ThreadPool& pool,
+                                 std::size_t total, std::size_t chunks,
+                                 const MakeAcc& make_acc,
+                                 const FillChunk& fill,
+                                 std::size_t max_sites =
+                                     FlowLedger::kDefaultMaxSites)
+    -> MonitoredAccumulation<
+        std::remove_cvref_t<std::invoke_result_t<const MakeAcc&>>> {
+  using Acc = std::remove_cvref_t<std::invoke_result_t<const MakeAcc&>>;
+  using Flow = detail::FlowAccum<Acc>;
+
+  Flow merged = parallel::stream_accumulate(
+      pool, total, chunks,
+      [&make_acc, max_sites] { return Flow(make_acc(), max_sites); },
+      [&fill](Flow& acc, std::size_t begin, std::size_t end) {
+        FlowReport chunk_report;
+        monitor_flow([&] { fill(acc.inner, begin, end); }, chunk_report,
+                     FlowOptions{.mode = FlowMode::kSampling,
+                                 .max_sites = acc.ledger.max_sites()});
+        acc.ledger.merge(std::move(chunk_report.ledger));
+      });
+
+  MonitoredAccumulation<Acc> out{std::move(merged.inner), FlowReport{}};
+  out.flow.ledger = std::move(merged.ledger);
+  out.flow.capability.trap_supported = trap_supported();
+  out.flow.capability.tracks_denormals = mxcsr_supported();
+  out.flow.conditions = out.flow.ledger.seam_conditions();
+  return out;
+}
+
+}  // namespace fpq::mon

@@ -165,6 +165,14 @@ void NativeInjectingEvaluator::swallow_flags() {
   injector().note_swallowed(eaten);
 }
 
+unsigned NativeInjectingEvaluator::sampled_sticky_flags() {
+  // Read-only harvest of the real sticky state, in the Injector's flag
+  // vocabulary. fetestexcept and the MXCSR read touch nothing.
+  return fenv_to_softfloat_flags(
+      std::fetestexcept(FE_ALL_EXCEPT),
+      mon::mxcsr_supported() && mon::denormal_operand_seen());
+}
+
 double NativeInjectingEvaluator::recompute_rounded(
     Op op, double a, double b, double c, softfloat::Rounding mode) {
   const int fe_mode = fenv_rounding(mode);

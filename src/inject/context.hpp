@@ -167,6 +167,9 @@ class NativeInjectingEvaluator : public InjectingEvaluator {
   void swallow_flags() override;
   double recompute_rounded(Op op, double a, double b, double c,
                            softfloat::Rounding mode) override;
+  /// Flow-monitoring sample of the REAL sticky state: fetestexcept plus
+  /// the MXCSR DE bit, mapped to softfloat Flag bits. Read-only.
+  unsigned sampled_sticky_flags() override;
 };
 
 /// Host-FPU injecting context: the tentpole. Runs kernels on the real FPU

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "fpmon/flow.hpp"
 #include "softfloat/ops.hpp"
 #include "softfloat/value.hpp"
 
@@ -55,8 +56,7 @@ double InjectingEvaluator::neg(const ir::Expr& e, const double& a) {
   // Not an injection site (sign flips raise nothing and round nothing),
   // but sticky flag swallowing still applies.
   const double r = inner_.neg(e, a);
-  swallow_flags();
-  return r;
+  return observe_passthrough(a, 0.0, 1, r);
 }
 
 double InjectingEvaluator::add(const ir::Expr& e, const double& a,
@@ -86,13 +86,31 @@ double InjectingEvaluator::fma(const ir::Expr& e, const double& a,
 double InjectingEvaluator::cmp_eq(const ir::Expr& e, const double& a,
                                   const double& b) {
   const double r = inner_.cmp_eq(e, a, b);
-  swallow_flags();
-  return r;
+  return observe_passthrough(a, b, 2, r);
 }
 double InjectingEvaluator::cmp_lt(const ir::Expr& e, const double& a,
                                   const double& b) {
   const double r = inner_.cmp_lt(e, a, b);
+  return observe_passthrough(a, b, 2, r);
+}
+
+double InjectingEvaluator::observe_passthrough(double a, double b,
+                                               unsigned operand_count,
+                                               double r) {
+  // neg/cmp never consume arithmetic site numbers, so flow events here
+  // carry auxiliary tags (kFlowAuxBit). Comparisons are where NaNs get
+  // "compared away" — exactly the kill events the flow ledger exists to
+  // attribute — and a swallow can land on them too, hence the same
+  // pre/post sample pair as the arithmetic path.
+  if (!mon::FlowMonitor::thread_active()) {
+    swallow_flags();
+    return r;
+  }
+  const std::uint64_t tag = injector_->next_aux_tag();
+  mon::FlowMonitor::on_flag_sample(tag, sampled_sticky_flags());
   swallow_flags();
+  mon::FlowMonitor::on_flag_sample(tag, sampled_sticky_flags());
+  mon::FlowMonitor::on_op(tag, a, b, 0.0, operand_count, r);
   return r;
 }
 
@@ -189,12 +207,14 @@ double InjectingEvaluator::inject(Op op, const ir::Expr& e, double a,
     }
   }
 
-  return sticky_pass(op, ia, ib, ic, r, /*recomputable=*/!plan ||
+  return sticky_pass(op, injector_->last_op_tag(), ia, ib, ic, r,
+                     /*recomputable=*/!plan ||
                          plan->fault_class == FaultClass::kRoundingPerturb);
 }
 
-double InjectingEvaluator::sticky_pass(Op op, double a, double b, double c,
-                                       double r, bool recomputable) {
+double InjectingEvaluator::sticky_pass(Op op, std::uint64_t tag, double a,
+                                       double b, double c, double r,
+                                       bool recomputable) {
   if (const auto mode = injector_->perturb_rounding();
       mode.has_value() && recomputable) {
     const double perturbed = recompute_rounded(op, a, b, c, *mode);
@@ -209,8 +229,28 @@ double InjectingEvaluator::sticky_pass(Op op, double a, double b, double c,
     }
   }
 
+  if (!mon::FlowMonitor::thread_active()) {
+    swallow_flags();
+    return r;
+  }
+  // Flow emission. The flag samples bracket swallow_flags() so an armed
+  // swallow shows as sticky bits VANISHING between two samples of the
+  // same tag — a single post-op sample could never see raise-then-eat
+  // inside one op window. The op event uses the operands the op actually
+  // consumed and the FINAL result (post poison/flip/FTZ/perturb), which
+  // is what downstream ops will ingest.
+  mon::FlowMonitor::on_flag_sample(tag, sampled_sticky_flags());
   swallow_flags();
+  mon::FlowMonitor::on_flag_sample(tag, sampled_sticky_flags());
+  const unsigned operand_count = op == Op::kSqrt ? 1u
+                                 : op == Op::kFma ? 3u
+                                                  : 2u;
+  mon::FlowMonitor::on_op(tag, a, b, c, operand_count, r);
   return r;
+}
+
+unsigned InjectingEvaluator::sampled_sticky_flags() {
+  return flags_ != nullptr ? flags_->sticky_flags() : 0;
 }
 
 double InjectingEvaluator::recompute_rounded(Op op, double a, double b,

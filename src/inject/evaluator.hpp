@@ -81,15 +81,27 @@ class InjectingEvaluator : public ir::Evaluator<double> {
   virtual double recompute_rounded(Op op, double a, double b, double c,
                                    softfloat::Rounding mode);
 
+  /// Substrate hook for flow monitoring: the CURRENT sticky exception
+  /// state as softfloat Flag bits, read without modifying anything. The
+  /// base class reads the inner evaluator's ir::FlagControl; the native
+  /// substrate overrides with fetestexcept + the MXCSR DE bit. Sampled
+  /// immediately before AND after swallow_flags() so a swallow shows up
+  /// as sticky bits vanishing between two samples of the same site.
+  virtual unsigned sampled_sticky_flags();
+
   Injector& injector() noexcept { return *injector_; }
 
  private:
   double inject(Op op, const ir::Expr& e, double a, double b, double c);
   double forward(Op op, const ir::Expr& e, double a, double b, double c);
   /// Applies the sticky classes (rounding recompute, flag swallowing)
-  /// that act on EVERY operation once armed.
-  double sticky_pass(Op op, double a, double b, double c, double r,
-                     bool recomputable);
+  /// that act on EVERY operation once armed, emitting pre/post-swallow
+  /// flow flag samples at `tag` when a FlowMonitor is live.
+  double sticky_pass(Op op, std::uint64_t tag, double a, double b,
+                     double c, double r, bool recomputable);
+  /// neg/cmp passthrough: swallow + flow emission under an aux tag.
+  double observe_passthrough(double a, double b, unsigned operand_count,
+                             double r);
 
   ir::Evaluator<double>& inner_;
   ir::FlagControl* flags_;  // null when inner has no flag control

@@ -79,6 +79,7 @@ Injector::Injector(const CampaignConfig& config) : config_(config) {}
 void Injector::begin_call() noexcept {
   ++call_;
   op_ = 0;
+  aux_ = 0;
 }
 
 std::optional<FaultPlan> Injector::plan_next_op() {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "fpmon/flow.hpp"
 #include "softfloat/env.hpp"
 
 namespace fpq::inject {
@@ -102,6 +103,12 @@ bool same_value(double a, double b) noexcept;
 /// — the reproducibility tests' currency.
 std::uint64_t sites_fingerprint(std::span<const FaultSite> sites) noexcept;
 
+/// The flow-site tag vocabulary is fpmon's (fpmon/flow.hpp): the
+/// injector numbers sites with the same packing the flow ledger keys on,
+/// which is what lets the gauntlet match a FaultSite to a ledger entry.
+using mon::flow_tag;
+using mon::kFlowAuxBit;
+
 /// What an armed site does, as drawn from its site PRNG.
 struct FaultPlan {
   FaultClass fault_class = FaultClass::kPoison;
@@ -147,6 +154,17 @@ class Injector {
   /// result.
   void note_perturbed() noexcept;
 
+  /// Flow tag of the operation the LAST plan_next_op decided about
+  /// (armed or not): (current call, just-consumed op index).
+  std::uint64_t last_op_tag() const noexcept {
+    return flow_tag(call_ == 0 ? 0 : call_ - 1, op_ == 0 ? 0 : op_ - 1);
+  }
+  /// Fresh auxiliary flow tag for a non-arithmetic event (neg/cmp) in the
+  /// current call; advances the per-call aux counter.
+  std::uint64_t next_aux_tag() noexcept {
+    return flow_tag(call_ == 0 ? 0 : call_ - 1, kFlowAuxBit | aux_++);
+  }
+
   /// Every site that armed, in (call, op) order.
   const std::vector<FaultSite>& sites() const noexcept { return sites_; }
   std::size_t effective_count() const noexcept;
@@ -159,6 +177,7 @@ class Injector {
   // is index 0.
   std::uint64_t call_ = 0;
   std::uint64_t op_ = 0;
+  std::uint64_t aux_ = 0;  // per-call counter for neg/cmp flow tags
   unsigned swallow_mask_ = 0;
   unsigned swallowed_ = 0;
   std::optional<softfloat::Rounding> perturb_;

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "analyze/shadow.hpp"
+#include "fpmon/flow.hpp"
 #include "inject/context.hpp"
 #include "inject/evaluator.hpp"
 #include "interval/interval.hpp"
@@ -26,6 +27,8 @@ std::string detector_name(Detector d) {
       return "shadow";
     case Detector::kInterval:
       return "interval";
+    case Detector::kFpmonFlow:
+      return "fpmon-flow";
   }
   return "unknown";
 }
@@ -162,29 +165,136 @@ struct TrialOut {
   std::size_t effective_sites = 0;
   std::array<bool, kDetectorCount> fired{};
   std::uint64_t sites_fp = 0;
+  /// fpmon-flow verdict detail (fired[kFpmonFlow] summarizes it).
+  bool flow_attributed = false;
+  std::size_t flow_anomalies = 0;
 };
+
+/// The campaign that never arms: rate 0 consumes the identical
+/// (call, op) numbering as any real campaign, so a run under it is the
+/// flow ledger's clean baseline with trial-aligned site tags.
+CampaignConfig null_campaign() {
+  CampaignConfig cc;
+  cc.rate = 0.0;
+  cc.max_faults = 0;
+  return cc;
+}
+
+/// Signature-anomalous sites: tags whose first-event signature differs
+/// between the injected ledger and the clean baseline ledger, where the
+/// difference involves an exceptional value class on either side. In a
+/// straight-line kernel every value is bit-identical up to the first
+/// effective mutation, so the EARLIEST anomalous tag is where the fault
+/// entered the value stream.
+std::vector<std::uint64_t> anomalous_tags(const mon::FlowLedger& led,
+                                          const mon::FlowLedger& base) {
+  std::vector<std::uint64_t> out;
+  const auto& a = led.sites();
+  const auto& b = base.sites();
+  std::size_t i = 0, j = 0;
+  while (i < a.size()) {
+    while (j < b.size() && b[j].tag < a[i].tag) ++j;
+    const bool have_base = j < b.size() && b[j].tag == a[i].tag;
+    const std::uint8_t base_sig = have_base ? b[j].signature : 0;
+    if (a[i].signature != base_sig &&
+        (mon::signature_has_exceptional(a[i].signature) ||
+         mon::signature_has_exceptional(base_sig))) {
+      out.push_back(a[i].tag);
+    }
+    ++i;
+  }
+  return out;
+}
+
+/// First site tag carrying a swallow event, or nullopt.
+std::optional<std::uint64_t> first_swallow_tag(const mon::FlowLedger& led) {
+  for (const mon::SiteFlow& s : led.sites()) {
+    if (s.swallows > 0) return s.tag;
+  }
+  return std::nullopt;
+}
+
+/// Scores the fpmon-flow detector for one trial: fires only with correct
+/// site attribution on the classes whose attribution is defined (poison:
+/// earliest anomaly == an effective injected site; swallow: first swallow
+/// at/after the armed site); fires on any exceptional-flow anomaly for
+/// the rest.
+void score_flow(TrialOut& t, const mon::FlowLedger& led,
+                const mon::FlowLedger& base, const Injector& injector,
+                FaultClass cls) {
+  const std::vector<std::uint64_t> anomalies = anomalous_tags(led, base);
+  const std::optional<std::uint64_t> swallow = first_swallow_tag(led);
+  t.flow_anomalies = anomalies.size();
+
+  bool fired = false;
+  switch (cls) {
+    case FaultClass::kPoison: {
+      if (!anomalies.empty()) {
+        for (const FaultSite& s : injector.sites()) {
+          if (s.effective && flow_tag(s.call, s.op) == anomalies.front()) {
+            fired = true;
+            t.flow_attributed = true;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case FaultClass::kFlagSwallow: {
+      if (swallow.has_value()) {
+        for (const FaultSite& s : injector.sites()) {
+          // Aux tags (neg/cmp) sort after the arithmetic ops of their
+          // call, so >= correctly credits a swallow first seen on a
+          // comparison of the armed call.
+          if (s.effective && *swallow >= flow_tag(s.call, s.op)) {
+            fired = true;
+            t.flow_attributed = true;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    default:
+      // No attribution contract: any exceptional-flow anomaly (an Inf
+      // that vanished under a perturbed rounding mode, a NaN a bit flip
+      // conjured) counts as a firing.
+      fired = !anomalies.empty() || swallow.has_value();
+      break;
+  }
+  t.fired[static_cast<std::size_t>(Detector::kFpmonFlow)] = fired;
+}
 
 /// Runs one injected trial of `wl` on one substrate and scores every
 /// detector against that substrate's clean baseline.
 TrialOut run_trial(const workloads::Workload& wl, FaultClass cls,
                    std::uint64_t cell_seed, Substrate substrate,
-                   const RunSignals& baseline, const GauntletConfig& cfg) {
+                   const RunSignals& baseline,
+                   const mon::FlowLedger& flow_baseline,
+                   const GauntletConfig& cfg) {
   Injector injector(campaign_for(cls, cell_seed));
   RunSignals sig;
+  mon::FlowReport flow;
   if (substrate == Substrate::kSoftfloat) {
     SoftInjectingContext inj_ctx(injector);
     RecordingContext rec(inj_ctx);
-    wl.probe(rec);
+    // The FlowMonitor watches the evaluator's op hooks; the softfloat
+    // substrate's observed() flags live in the soft Env, which the
+    // monitor's host-fenv scoping cannot perturb.
+    mon::monitor_flow([&] { wl.probe(rec); }, flow);
     sig = signals_for(rec.records(), inj_ctx.observed(), cfg);
   } else {
     // The real FPU under a real monitor: the monitor clears the sticky
     // hardware flags on entry (giving the run the same empty-union start
     // the softfloat substrate's fresh Env has) and harvests whatever the
     // injected kernel — minus anything a swallow fault ate — left behind.
+    // The nested FlowMonitor re-raises everything it harvested on stop,
+    // so the outer region observes exactly what it always did.
     NativeInjectingContext inj_ctx(injector);
     RecordingContext rec(inj_ctx);
     mon::ConditionSet observed;
-    mon::monitor_region([&] { wl.probe(rec); }, observed);
+    mon::monitor_region(
+        [&] { mon::monitor_flow([&] { wl.probe(rec); }, flow); }, observed);
     sig = signals_for(rec.records(), observed, cfg);
   }
 
@@ -200,6 +310,7 @@ TrialOut run_trial(const workloads::Workload& wl, FaultClass cls,
       fired_beyond(sig.shadow_fired, baseline.shadow_fired);
   t.fired[static_cast<std::size_t>(Detector::kInterval)] =
       fired_beyond(sig.interval_fired, baseline.interval_fired);
+  score_flow(t, flow.ledger, flow_baseline, injector, cls);
   return t;
 }
 
@@ -216,25 +327,39 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
 
   // Phase 1: clean baselines, one shard per (workload, substrate). Also
   // verifies the probe contracts on both substrates — a probe that broke
-  // its contract would poison every comparison below.
+  // its contract would poison every comparison below. Each shard
+  // additionally runs the probe once more under a never-arming campaign
+  // with a FlowMonitor attached: the flow ledger baseline, whose site
+  // tags align one-for-one with every injected trial of the same
+  // (workload, substrate) because the null campaign consumes the
+  // identical (call, op) numbering.
   std::vector<RunSignals> baselines(n_workloads * kSubstrateCount);
+  std::vector<mon::FlowLedger> flow_baselines(n_workloads *
+                                              kSubstrateCount);
   pool.run_shards(n_workloads * kSubstrateCount, [&](std::size_t idx) {
     const std::size_t w = idx / kSubstrateCount;
     const Substrate substrate =
         static_cast<Substrate>(idx % kSubstrateCount);
+    Injector null_injector(null_campaign());
+    mon::FlowReport flow;
     if (substrate == Substrate::kSoftfloat) {
       SoftContext soft;
       RecordingContext rec(soft);
       cat[w].probe(rec);
       baselines[idx] =
           signals_for(rec.records(), soft.observed(), config);
+      SoftInjectingContext clean_ctx(null_injector);
+      mon::monitor_flow([&] { cat[w].probe(clean_ctx); }, flow);
     } else {
       workloads::NativeContext native;
       RecordingContext rec(native);
       mon::ConditionSet observed;
       mon::monitor_region([&] { cat[w].probe(rec); }, observed);
       baselines[idx] = signals_for(rec.records(), observed, config);
+      NativeInjectingContext clean_ctx(null_injector);
+      mon::monitor_flow([&] { cat[w].probe(clean_ctx); }, flow);
     }
+    flow_baselines[idx] = std::move(flow.ledger);
   });
   for (std::size_t w = 0; w < n_workloads; ++w) {
     for (std::size_t s = 0; s < kSubstrateCount; ++s) {
@@ -264,10 +389,11 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
 
     const std::uint64_t cell_seed =
         mix(mix(mix(config.seed, w), cls_index), trial);
-    trials[idx] = run_trial(
-        cat[w], cls, cell_seed, substrate,
-        baselines[w * kSubstrateCount + static_cast<std::size_t>(substrate)],
-        config);
+    const std::size_t base_idx =
+        w * kSubstrateCount + static_cast<std::size_t>(substrate);
+    trials[idx] = run_trial(cat[w], cls, cell_seed, substrate,
+                            baselines[base_idx], flow_baselines[base_idx],
+                            config);
   });
 
   // Fixed-order aggregation: the matrices, the undetected list, the
@@ -287,6 +413,9 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
     result.total_sites += t.sites;
     result.total_effective += t.effective_sites;
 
+    // Every column scores every trial; but "undetected" (and the
+    // fingerprint below) stay defined over the legacy detectors so the
+    // checked-in baselines survive new columns.
     bool any_fired = false;
     for (std::size_t d = 0; d < kDetectorCount; ++d) {
       CellStats& cell = result.cells[s][cls_index][d];
@@ -294,7 +423,7 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
       if (t.effective) {
         if (t.fired[d]) {
           cell.hits += 1;
-          any_fired = true;
+          if (d < kLegacyDetectorCount) any_fired = true;
         } else {
           cell.misses += 1;
         }
@@ -303,6 +432,22 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
         if (t.fired[d]) cell.false_positives += 1;
       }
     }
+
+    FlowScore& flow = result.flow_scores[s];
+    if (t.effective) {
+      if (cls_index == static_cast<std::size_t>(FaultClass::kPoison)) {
+        flow.poison_effective += 1;
+        if (t.flow_attributed) flow.poison_attributed += 1;
+      } else if (cls_index ==
+                 static_cast<std::size_t>(FaultClass::kFlagSwallow)) {
+        flow.swallow_effective += 1;
+        if (t.flow_attributed) flow.swallow_attributed += 1;
+      }
+    } else {
+      flow.control_trials += 1;
+      flow.control_anomalies += t.flow_anomalies;
+    }
+
     if (t.effective && !any_fired) {
       result.undetected.push_back({cat[w].name, static_cast<Substrate>(s),
                                    static_cast<FaultClass>(cls_index),
@@ -324,7 +469,10 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
   }
   for (const auto& substrate_cells : result.cells) {
     for (const auto& row : substrate_cells) {
-      for (const CellStats& cell : row) {
+      // Legacy columns only: the fingerprint's definition predates the
+      // fpmon-flow column and must stay bit-identical to it.
+      for (std::size_t d = 0; d < kLegacyDetectorCount; ++d) {
+        const CellStats& cell = row[d];
         fp = mix(fp, cell.hits);
         fp = mix(fp, cell.misses);
         fp = mix(fp, cell.false_positives);
@@ -333,16 +481,24 @@ GauntletResult run_gauntlet(parallel::ThreadPool& pool,
     }
   }
   result.fingerprint = fp;
+  result.tracks_denormals = mon::ScopedMonitor().tracks_denormals();
+  result.trap_available = mon::trap_supported();
   return result;
 }
 
 std::string render(const GauntletResult& result) {
   std::string out;
 
+  out += "platform capability: denormal tracking " +
+         std::string(result.tracks_denormals ? "on" : "off") +
+         " (MXCSR DE), FE traps " +
+         (result.trap_available ? "available" : "unavailable") +
+         " (gauntlet scores sampling mode)\n\n";
+
   for (std::size_t s = 0; s < kSubstrateCount; ++s) {
     const auto substrate = static_cast<Substrate>(s);
     report::Table matrix({"fault class", "fpmon", "shadow", "interval",
-                          "effective", "controls"});
+                          "fpmon-flow", "effective", "controls"});
     for (std::size_t c = 0; c < kFaultClassCount; ++c) {
       const auto cls = static_cast<FaultClass>(c);
       std::vector<std::string> row;
@@ -375,6 +531,23 @@ std::string render(const GauntletResult& result) {
             ")",
         matrix.render());
   }
+
+  report::Table flow_table({"substrate", "poison attributed",
+                            "swallow attributed", "control anomalies"});
+  for (std::size_t s = 0; s < kSubstrateCount; ++s) {
+    const FlowScore& fs = result.flow_scores[s];
+    flow_table.add_row(
+        {substrate_name(static_cast<Substrate>(s)),
+         report::Table::fmt(fs.poison_attributed) + "/" +
+             report::Table::fmt(fs.poison_effective),
+         report::Table::fmt(fs.swallow_attributed) + "/" +
+             report::Table::fmt(fs.swallow_effective),
+         report::Table::fmt(fs.control_anomalies) + " (" +
+             report::Table::fmt(fs.control_trials) + " controls)"});
+  }
+  out += report::section(
+      "fpmon-flow site attribution (credited/effective)",
+      flow_table.render());
 
   report::Table contracts(
       {"workload probe", "substrate", "observed", "contract"});

@@ -50,10 +50,25 @@
 
 namespace fpq::inject {
 
-enum class Detector { kFpmon = 0, kShadow = 1, kInterval = 2 };
-inline constexpr std::size_t kDetectorCount = 3;
+enum class Detector {
+  kFpmon = 0,
+  kShadow = 1,
+  kInterval = 2,
+  /// The flow-aware monitor (fpmon/flow.hpp): credits a detection ONLY
+  /// when the flow ledger attributes the fault to a correct site — for
+  /// poison faults the earliest signature-anomalous site must BE the
+  /// injected site; for flag swallows the first observed swallow must lie
+  /// at or after the armed site. Site-blind firing scores as a miss.
+  kFpmonFlow = 3,
+};
+inline constexpr std::size_t kDetectorCount = 4;
+/// The PR 5/6 detector set. The campaign fingerprint, the fired-bit
+/// packing and the undetected-fault baseline are defined over these three
+/// only, so adding detector columns can never change historic
+/// fingerprints or the checked-in undetected baseline.
+inline constexpr std::size_t kLegacyDetectorCount = 3;
 
-/// "fpmon", "shadow", "interval".
+/// "fpmon", "shadow", "interval", "fpmon-flow".
 std::string detector_name(Detector d);
 
 /// Which arithmetic engine executed the attacked kernel.
@@ -122,6 +137,24 @@ struct ParityRecord {
   std::uint64_t native_fingerprint = 0;
 };
 
+/// fpmon-flow attribution accounting over the classes whose faults leave
+/// an exceptional-flow footprint (poison, flag-swallow), per substrate.
+/// The acceptance bar: attributed/effective_trials ≥ 0.9 on poison
+/// campaigns and control_anomalies == 0.
+struct FlowScore {
+  /// Effective poison trials (the attribution denominators/numerators).
+  std::size_t poison_effective = 0;
+  std::size_t poison_attributed = 0;
+  /// Effective flag-swallow trials and those credited to the armed site.
+  std::size_t swallow_effective = 0;
+  std::size_t swallow_attributed = 0;
+  /// Control trials scored, and signature-anomalous sites the flow
+  /// ledger reported on them (must be zero: controls are bit-identical
+  /// to the clean baseline).
+  std::size_t control_trials = 0;
+  std::size_t control_anomalies = 0;
+};
+
 struct GauntletResult {
   GauntletConfig config;
   /// cells[substrate][fault class][detector].
@@ -139,8 +172,19 @@ struct GauntletResult {
   std::size_t total_trials = 0;     ///< substrate runs (2 per campaign)
   std::size_t total_sites = 0;      ///< armed fault sites across all runs
   std::size_t total_effective = 0;  ///< effective fault sites
-  /// Content hash over every trial's fault-site list and every cell —
-  /// the bit-reproducibility witness.
+  /// Flow attribution accounting per substrate (fpmon-flow column).
+  std::array<FlowScore, kSubstrateCount> flow_scores{};
+  /// Platform capabilities the monitors ran with — surfaced so CI logs
+  /// explain platform-dependent coverage gaps instead of leaving them
+  /// implicit. tracks_denormals gates the kDenorm condition (MXCSR DE
+  /// bit); trap_available reports whether FE-trap mode could have been
+  /// armed at all (the gauntlet itself scores the portable sampling
+  /// mode).
+  bool tracks_denormals = false;
+  bool trap_available = false;
+  /// Content hash over every trial's fault-site list and every LEGACY
+  /// detector cell — the bit-reproducibility witness, deliberately
+  /// invariant under adding detector columns (see kLegacyDetectorCount).
   std::uint64_t fingerprint = 0;
 
   /// Whether any detector ever caught this fault class on this substrate

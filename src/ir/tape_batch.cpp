@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "fpmon/flow.hpp"
 #include "ir/native_ops.hpp"
 #include "parallel/result_cache.hpp"
 #include "parallel/shard.hpp"
@@ -501,6 +502,11 @@ std::vector<Outcome> execute_batch(parallel::ThreadPool& pool,
           }
           cache.insert(key, result);
         }
+
+        // Chunk boundaries are fpmon instrumentation seams: when a
+        // collect_seams FlowMonitor is registered, harvest the worker's
+        // fenv here; otherwise this is one relaxed atomic load.
+        mon::FlowCollector::sample();
       });
 
   return out;

@@ -28,6 +28,92 @@ double NativeContext::call(const ir::Expr& expr,
 
 namespace {
 
+/// Observation-only evaluator decorator for FlowContext: forwards every
+/// operation to the inner evaluator and reports operand/result value
+/// classes to the thread's FlowMonitor stack. No values change, no flags
+/// are touched — classification is pure bit inspection.
+class FlowEmittingEvaluator final : public ir::Evaluator<double> {
+ public:
+  FlowEmittingEvaluator(ir::Evaluator<double>& inner, std::uint64_t call)
+      : inner_(&inner), call_(call) {}
+
+  double constant(const ir::Expr& e) override { return inner_->constant(e); }
+  double variable(const ir::Expr& e, double bound) override {
+    return inner_->variable(e, bound);
+  }
+  double neg(const ir::Expr& e, const double& a) override {
+    return emit1(inner_->neg(e, a), a, aux_next());
+  }
+  double add(const ir::Expr& e, const double& a, const double& b) override {
+    return emit2(inner_->add(e, a, b), a, b, op_next());
+  }
+  double sub(const ir::Expr& e, const double& a, const double& b) override {
+    return emit2(inner_->sub(e, a, b), a, b, op_next());
+  }
+  double mul(const ir::Expr& e, const double& a, const double& b) override {
+    return emit2(inner_->mul(e, a, b), a, b, op_next());
+  }
+  double div(const ir::Expr& e, const double& a, const double& b) override {
+    return emit2(inner_->div(e, a, b), a, b, op_next());
+  }
+  double sqrt(const ir::Expr& e, const double& a) override {
+    return emit1(inner_->sqrt(e, a), a, op_next());
+  }
+  double fma(const ir::Expr& e, const double& a, const double& b,
+             const double& c) override {
+    const double r = inner_->fma(e, a, b, c);
+    mon::FlowMonitor::on_op(op_next(), a, b, c, 3, r);
+    return r;
+  }
+  double cmp_eq(const ir::Expr& e, const double& a,
+                const double& b) override {
+    return emit2(inner_->cmp_eq(e, a, b), a, b, aux_next());
+  }
+  double cmp_lt(const ir::Expr& e, const double& a,
+                const double& b) override {
+    return emit2(inner_->cmp_lt(e, a, b), a, b, aux_next());
+  }
+
+ private:
+  std::uint64_t op_next() noexcept { return mon::flow_tag(call_, op_++); }
+  std::uint64_t aux_next() noexcept {
+    return mon::flow_tag(call_, mon::kFlowAuxBit | aux_++);
+  }
+  double emit1(double r, double a, std::uint64_t tag) {
+    mon::FlowMonitor::on_op(tag, a, 0.0, 0.0, 1, r);
+    return r;
+  }
+  double emit2(double r, double a, double b, std::uint64_t tag) {
+    mon::FlowMonitor::on_op(tag, a, b, 0.0, 2, r);
+    return r;
+  }
+
+  ir::Evaluator<double>* inner_;
+  std::uint64_t call_ = 0;
+  std::uint64_t op_ = 0;
+  std::uint64_t aux_ = 0;
+};
+
+}  // namespace
+
+double FlowContext::call(const ir::Expr& expr,
+                         std::span<const double> bindings) {
+  const std::uint64_t call_index = call_++;
+  ir::NativeEvaluator64 native;
+  const std::shared_ptr<const ir::Tape> tape =
+      ir::Tape::cached(expr, {}, ir::TapeOptions::exact_trace());
+  if (!mon::FlowMonitor::thread_active()) {
+    // Unmonitored fast path: identical to NativeContext (the call
+    // counter still advances so tags stay aligned if a monitor attaches
+    // mid-run).
+    return ir::run_tape<double>(*tape, native, bindings);
+  }
+  FlowEmittingEvaluator flow(native, call_index);
+  return ir::run_tape<double>(*tape, flow, bindings);
+}
+
+namespace {
+
 using E = ir::Expr;
 
 // Every kernel takes its execution context plus the scale knobs; the
@@ -286,6 +372,19 @@ mon::ConditionSet observe(const Workload& w, EvalContext& ctx) {
   mon::ScopedMonitor monitor;
   w.run(ctx);
   return monitor.stop();
+}
+
+mon::FlowReport observe_flow(const Workload& w,
+                             const mon::FlowOptions& options) {
+  FlowContext ctx;
+  return observe_flow(w, ctx, options);
+}
+
+mon::FlowReport observe_flow(const Workload& w, EvalContext& ctx,
+                             const mon::FlowOptions& options) {
+  mon::FlowReport report;
+  mon::monitor_flow([&] { w.run(ctx); }, report, options);
+  return report;
 }
 
 bool contract_holds(const Workload& w, const mon::ConditionSet& observed) {

@@ -21,6 +21,7 @@
 #include <span>
 #include <string>
 
+#include "fpmon/flow.hpp"
 #include "fpmon/monitor.hpp"
 #include "ir/expr.hpp"
 
@@ -54,6 +55,22 @@ class NativeContext final : public EvalContext {
  public:
   double call(const ir::Expr& expr,
               std::span<const double> bindings) override;
+};
+
+/// Host-FPU context with per-operation flow emission: every arithmetic
+/// op (and every neg/comparison, under auxiliary tags) reports its
+/// operand/result value classes to the thread's FlowMonitor stack,
+/// keyed by the same (call << 20) | op tags the fault injector numbers
+/// sites with. Runs the kernel under an exact-trace tape so the op
+/// stream — and therefore the tag stream — is the tree walk's verbatim.
+/// With no FlowMonitor live, the per-op cost is one thread-local load.
+class FlowContext final : public EvalContext {
+ public:
+  double call(const ir::Expr& expr,
+              std::span<const double> bindings) override;
+
+ private:
+  std::uint64_t call_ = 0;  // one-past, like inject::Injector
 };
 
 /// One runnable workload variant.
@@ -92,5 +109,18 @@ mon::ConditionSet observe(const Workload& w, EvalContext& ctx);
 /// True when the observation satisfies the workload's contract
 /// (all expected conditions present, no forbidden ones).
 bool contract_holds(const Workload& w, const mon::ConditionSet& observed);
+
+/// Runs one workload at full scale on the host FPU through a FlowContext
+/// under a FlowMonitor: the flow-aware observe(). The report's
+/// ConditionSet equals what observe() reports; the ledger adds the
+/// born/propagated/killed site breakdown.
+mon::FlowReport observe_flow(const Workload& w,
+                             const mon::FlowOptions& options = {});
+
+/// Same through a caller-supplied context (pass FlowContext — or any
+/// flow-emitting context — for per-site detail; a plain context still
+/// yields the region ConditionSet and seam samples).
+mon::FlowReport observe_flow(const Workload& w, EvalContext& ctx,
+                             const mon::FlowOptions& options = {});
 
 }  // namespace fpq::workloads

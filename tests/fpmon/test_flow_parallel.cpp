@@ -1,0 +1,146 @@
+// Parallel flow-monitoring contract: monitored_stream_accumulate folds
+// the SAME chunk shape at every pool width, each chunk under its own
+// sampling FlowMonitor, and the merged flow report — sites, summary,
+// seam conditions, fingerprint — is bit-identical at 1/2/4/8 threads.
+// Also exercises monitors NESTED inside pool shards (a kernel opening
+// its own FlowMonitor inside a monitored chunk), the configuration TSan
+// cares about: per-thread monitor stacks must never share mutable state
+// across shards.
+
+#include <cfenv>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "fpmon/stream_flow.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mon = fpq::mon;
+namespace par = fpq::parallel;
+
+namespace {
+
+struct SumAcc {
+  double sum = 0.0;
+  void merge(SumAcc&& other) { sum += other.sum; }
+};
+
+// One deterministic "record": a little FP work whose value class depends
+// only on the index, emitted to the chunk's monitor under an
+// index-derived tag. Index 0 of every 97-stride births a NaN; the next
+// op kills it — so the merged ledger has a known born/killed shape.
+double process(std::uint64_t i) {
+  const double x = 1.0 + static_cast<double>(i % 1000) * 1e-3;
+  const double noisy =
+      (i % 97 == 0) ? std::numeric_limits<double>::quiet_NaN() : x;
+  const std::uint64_t call = i;
+  mon::FlowMonitor::on_op(mon::flow_tag(call, 0), x, x, 0.0, 2, noisy);
+  const double killed = std::isnan(noisy) ? 0.0 : noisy;
+  mon::FlowMonitor::on_op(mon::flow_tag(call, 1), noisy, 0.0, 0.0, 1,
+                          killed);
+  return killed;
+}
+
+constexpr std::size_t kTotal = 20000;
+// Pure function of the total — NEVER of the pool — so the chunk tree and
+// therefore the merged flow fingerprint are thread-count invariant.
+constexpr std::size_t kChunks = 32;
+
+mon::MonitoredAccumulation<SumAcc> run_fold(par::ThreadPool& pool) {
+  return mon::monitored_stream_accumulate(
+      pool, kTotal, kChunks, [] { return SumAcc{}; },
+      [](SumAcc& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          acc.sum += process(i);
+        }
+      });
+}
+
+TEST(FlowParallel, MonitoredFoldIsBitIdenticalAcrossThreadCounts) {
+  par::ThreadPool one(1);
+  const auto base = run_fold(one);
+  ASSERT_GT(base.flow.ledger.summary().ops, 0u);
+  EXPECT_EQ(base.flow.ledger.summary().born,
+            (kTotal + 96) / 97);  // every 97th index births a NaN
+  EXPECT_EQ(base.flow.ledger.summary().killed, (kTotal + 96) / 97);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    par::ThreadPool pool(threads);
+    const auto r = run_fold(pool);
+    EXPECT_EQ(r.value.sum, base.value.sum) << threads << " threads";
+    EXPECT_EQ(r.flow.fingerprint(), base.flow.fingerprint())
+        << threads << " threads";
+    EXPECT_EQ(r.flow.ledger.summary().ops,
+              base.flow.ledger.summary().ops);
+    EXPECT_EQ(r.flow.ledger.sites().size(),
+              base.flow.ledger.sites().size());
+  }
+}
+
+TEST(FlowParallel, MonitoringDoesNotChangeTheFoldedValue) {
+  par::ThreadPool pool(4);
+  const auto monitored = run_fold(pool);
+  auto plain = par::stream_accumulate(
+      pool, kTotal, kChunks, [] { return SumAcc{}; },
+      [](SumAcc& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          acc.sum += process(i);
+        }
+      });
+  EXPECT_EQ(monitored.value.sum, plain.sum);
+}
+
+TEST(FlowParallel, SiteCapIsHonoredShardLocally) {
+  // With a tiny per-shard cap the merged report still counts every op;
+  // only per-site detail is dropped, and the drop is loud. Determinism
+  // must survive capping too.
+  par::ThreadPool a(1);
+  par::ThreadPool b(8);
+  const std::size_t cap = 64;
+  const auto fill = [](SumAcc& acc, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) acc.sum += process(i);
+  };
+  const auto r1 = mon::monitored_stream_accumulate(
+      a, kTotal, kChunks, [] { return SumAcc{}; }, fill, cap);
+  const auto r8 = mon::monitored_stream_accumulate(
+      b, kTotal, kChunks, [] { return SumAcc{}; }, fill, cap);
+  EXPECT_EQ(r1.flow.ledger.summary().ops, 2 * kTotal);
+  EXPECT_GT(r1.flow.ledger.summary().dropped_sites, 0u);
+  EXPECT_LE(r1.flow.ledger.sites().size(), cap);
+  EXPECT_EQ(r1.flow.fingerprint(), r8.flow.fingerprint());
+}
+
+TEST(FlowParallel, NestedMonitorsInsidePoolShardsStayShardLocal) {
+  // A kernel that opens its OWN FlowMonitor inside the monitored chunk:
+  // the inner monitor sees only its scope, the chunk monitor sees
+  // everything, and nothing leaks across shards at any thread count.
+  const auto fill = [](SumAcc& acc, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      mon::FlowReport inner;
+      mon::monitor_flow(
+          [&] {
+            EXPECT_TRUE(mon::FlowMonitor::thread_active());
+            acc.sum += process(i);
+          },
+          inner);
+      // Each record emits exactly two ops into its private scope.
+      EXPECT_EQ(inner.ledger.summary().ops, 2u);
+    }
+  };
+  par::ThreadPool one(1);
+  const auto base = mon::monitored_stream_accumulate(
+      one, 2000, 16, [] { return SumAcc{}; }, fill);
+  EXPECT_EQ(base.flow.ledger.summary().ops, 2u * 2000u);
+  for (const std::size_t threads : {2u, 8u}) {
+    par::ThreadPool pool(threads);
+    const auto r = mon::monitored_stream_accumulate(
+        pool, 2000, 16, [] { return SumAcc{}; }, fill);
+    EXPECT_EQ(r.value.sum, base.value.sum);
+    EXPECT_EQ(r.flow.fingerprint(), base.flow.fingerprint())
+        << threads << " threads";
+  }
+}
+
+}  // namespace

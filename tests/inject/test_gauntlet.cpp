@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fpmon/flow.hpp"
 #include "inject/gauntlet.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -163,9 +164,63 @@ TEST(Gauntlet, RenderNamesEveryClassDetectorAndSubstrate) {
   for (const char* needle :
        {"poison", "flag-swallow", "force-ftz", "rounding-perturb",
         "bit-flip", "fpmon", "shadow", "interval", "fingerprint",
-        "softfloat", "native", "parity"}) {
+        "softfloat", "native", "parity", "fpmon-flow", "attribution",
+        "capability"}) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(Gauntlet, FingerprintIsPinnedAcrossDetectorAdditions) {
+  // The campaign fingerprint is defined over the LEGACY detector cells
+  // (kLegacyDetectorCount) precisely so new detector columns can never
+  // rewrite history. This pin is the PR 5/6 value for the small
+  // campaign; if it moves, a fingerprint-visible behavior changed.
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  EXPECT_EQ(r.fingerprint, 4516197573157899061ull);
+}
+
+TEST(Gauntlet, FlowColumnAttributesPoisonToTheBirthSite) {
+  // The fpmon-flow acceptance bar: >= 90% of effective poison faults
+  // credited to the exact injected site, and swallows localized at or
+  // after the armed site, on BOTH substrates.
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    const inj::FlowScore& fs = r.flow_scores[s];
+    const std::string sub =
+        inj::substrate_name(static_cast<inj::Substrate>(s));
+    ASSERT_GT(fs.poison_effective, 0u) << sub;
+    EXPECT_GE(fs.poison_attributed * 10, fs.poison_effective * 9) << sub;
+    ASSERT_GT(fs.swallow_effective, 0u) << sub;
+    EXPECT_GE(fs.swallow_attributed * 10, fs.swallow_effective * 9)
+        << sub;
+  }
+}
+
+TEST(Gauntlet, FlowLedgerReportsNoAnomaliesOnControls) {
+  // Control trials replay the clean value stream bit-for-bit, so any
+  // signature-anomalous site the flow ledger reports on one is a false
+  // birth — zero tolerance, both substrates.
+  par::ThreadPool pool(4);
+  const inj::GauntletResult r = inj::run_gauntlet(pool, small_campaign());
+  for (std::size_t s = 0; s < inj::kSubstrateCount; ++s) {
+    const inj::FlowScore& fs = r.flow_scores[s];
+    EXPECT_GT(fs.control_trials, 0u);
+    EXPECT_EQ(fs.control_anomalies, 0u)
+        << inj::substrate_name(static_cast<inj::Substrate>(s));
+  }
+}
+
+TEST(Gauntlet, ResultSurfacesPlatformCapabilities) {
+  // The matrix JSON and render lead with the capabilities the monitors
+  // ran under; the fields must agree with what fpmon itself reports.
+  par::ThreadPool pool(2);
+  inj::GauntletConfig config = small_campaign();
+  config.trials = 1;
+  const inj::GauntletResult r = inj::run_gauntlet(pool, config);
+  EXPECT_EQ(r.trap_available, fpq::mon::trap_supported());
+  EXPECT_EQ(r.tracks_denormals, fpq::mon::ScopedMonitor().tracks_denormals());
 }
 
 }  // namespace
