@@ -18,6 +18,7 @@
 #include "parallel/thread_pool.hpp"
 #include "report/compare.hpp"
 #include "respondent/population.hpp"
+#include "softfloat/kernels.hpp"
 #include "survey/record.hpp"
 
 namespace fpq::bench {
@@ -32,6 +33,10 @@ struct PerfEnv {
   bool ftz = false;            ///< MXCSR flush-to-zero was set
   bool daz = false;            ///< MXCSR denormals-are-zero was set
   int hardware_threads = 1;    ///< ThreadPool::default_thread_count()
+  /// The softfloat batch kernel variant the run dispatched on
+  /// ("scalar" / "portable" / "avx2") — perf rows measured under
+  /// different engines must never be diffed against each other.
+  std::string kernel_variant;
 
   static PerfEnv capture() {
     PerfEnv env;
@@ -58,6 +63,8 @@ struct PerfEnv {
     env.daz = probe.daz_default_on;
     env.hardware_threads =
         static_cast<int>(parallel::ThreadPool::default_thread_count());
+    env.kernel_variant =
+        softfloat::kernel_variant_name(softfloat::active_kernel_variant());
     return env;
   }
 };
@@ -90,11 +97,13 @@ class PerfJson {
       std::snprintf(buf, sizeof(buf),
                     "  \"env\": {\"rounding\": \"%s\", "
                     "\"mxcsr_available\": %s, \"ftz\": %s, \"daz\": %s, "
-                    "\"hardware_threads\": %d},\n",
+                    "\"hardware_threads\": %d, "
+                    "\"kernel_variant\": \"%s\"},\n",
                     env_.rounding.c_str(),
                     env_.mxcsr_available ? "true" : "false",
                     env_.ftz ? "true" : "false",
-                    env_.daz ? "true" : "false", env_.hardware_threads);
+                    env_.daz ? "true" : "false", env_.hardware_threads,
+                    env_.kernel_variant.c_str());
       out += buf;
     }
     out += "  \"bench\": [\n";

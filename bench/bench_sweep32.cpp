@@ -7,12 +7,19 @@
 //                 [--end N] [--chunk-bits N] [--manifest FILE]
 //                 [--deadline-ms N] [--max-shards N] [--no-tape]
 //                 [--no-hardware] [--corpus N] [--json FILE]
+//                 [--variant NAME]
 //
 // --op: sqrt (default), round_int, to_b16, to_b64, to_bf16, from_b16,
 //       from_bf16, corpus (corner corpus only), all (every sweep op).
 // --modes: how many of the five rounding modes to sweep (default all 5).
 // --corpus N: also run the corner corpus with N random cases per mode.
 // --json: PerfJson output path (default BENCH_sweep32.json).
+// --variant: force the batch kernel engine (scalar / portable / avx2);
+//            default is the best the CPU supports. Exits 2 when the
+//            requested variant is unavailable on this machine. The
+//            variant lands in the PerfJson env metadata, so the CI
+//            speedup comparison (scalar vs accelerated values/s) never
+//            diffs rows measured under different engines.
 //
 // Exits nonzero on any lane mismatch — the sweep IS the assertion. An
 // interrupted run exits 0 with "incomplete" status as long as the shards
@@ -27,6 +34,7 @@
 
 #include "bench_common.hpp"
 #include "parallel/sweep32.hpp"
+#include "softfloat/kernels.hpp"
 
 namespace sw = fpq::parallel::sweep32;
 namespace sf = fpq::softfloat;
@@ -48,6 +56,7 @@ struct Cli {
   std::size_t corpus = 0;
   bool corpus_only = false;
   std::string json = "BENCH_sweep32.json";
+  std::string variant;  ///< empty = best available
 };
 
 bool parse(int argc, char** argv, Cli& cli) {
@@ -85,6 +94,8 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.corpus = static_cast<std::size_t>(v);
     } else if (a == "--json" && i + 1 < argc) {
       cli.json = argv[++i];
+    } else if (a == "--variant" && i + 1 < argc) {
+      cli.variant = argv[++i];
     } else {
       std::fprintf(stderr, "bench_sweep32: bad argument '%s'\n", a.c_str());
       return false;
@@ -108,7 +119,11 @@ bool op_from_name(const std::string& name, sw::UnaryOp32& out) {
 }
 
 /// Runs one op's sweep; returns false on mismatch. Appends a PerfRow.
-bool run_op(const Cli& cli, sw::UnaryOp32 op, fpq::bench::PerfJson& json) {
+/// With `multi` (--op all) the manifest path gets a per-op suffix — each
+/// op is its own sweep identity, so sharing one file would make the
+/// second op refuse to resume.
+bool run_op(const Cli& cli, sw::UnaryOp32 op, fpq::bench::PerfJson& json,
+            bool multi = false) {
   sw::Sweep32Config config;
   config.op = op;
   config.modes.assign(std::begin(fpq::parallel::kAllRoundings),
@@ -118,6 +133,9 @@ bool run_op(const Cli& cli, sw::UnaryOp32 op, fpq::bench::PerfJson& json) {
   config.chunk_bits = cli.chunk_bits;
   config.threads = cli.threads;
   config.manifest_path = cli.manifest;
+  if (multi && !config.manifest_path.empty()) {
+    config.manifest_path += std::string(".") + sw::unary_op32_name(op);
+  }
   config.deadline = std::chrono::milliseconds(cli.deadline_ms);
   config.max_shards = cli.max_shards;
   config.race_hardware = cli.hardware;
@@ -170,6 +188,23 @@ int main(int argc, char** argv) {
   Cli cli;
   if (!parse(argc, argv, cli)) return 2;
 
+  // Force the kernel engine BEFORE PerfJson captures the env, so the
+  // variant metadata matches what the rows were measured under.
+  if (!cli.variant.empty()) {
+    sf::KernelVariant v{};
+    if (!sf::parse_kernel_variant(cli.variant, v)) {
+      std::fprintf(stderr, "bench_sweep32: unknown --variant '%s'\n",
+                   cli.variant.c_str());
+      return 2;
+    }
+    if (!sf::set_kernel_variant_override(v)) {
+      std::fprintf(stderr,
+                   "bench_sweep32: variant '%s' unavailable on this machine\n",
+                   cli.variant.c_str());
+      return 2;
+    }
+  }
+
   fpq::bench::PerfJson json;
   bool ok = true;
   try {
@@ -177,7 +212,7 @@ int main(int argc, char** argv) {
       cli.corpus_only = true;
     } else if (cli.op == "all") {
       for (const sw::UnaryOp32 op : sw::kAllUnaryOps32) {
-        ok = run_op(cli, op, json) && ok;
+        ok = run_op(cli, op, json, /*multi=*/true) && ok;
       }
     } else {
       sw::UnaryOp32 op{};

@@ -217,6 +217,12 @@ struct BatchKey {
   std::uint64_t tape_fingerprint = 0;
   std::uint64_t bindings_hash = 0;
   std::uint32_t chunk = 0;
+  /// The softfloat::KernelVariant the chunk executed under. The parity
+  /// gates prove every variant produces identical outcomes, but the cache
+  /// must not DEPEND on that proof: a miscompiled or future variant must
+  /// never be served entries computed by another, so the variant is part
+  /// of the key's identity.
+  std::uint32_t variant = 0;
 
   bool operator==(const BatchKey&) const = default;
 };
@@ -226,6 +232,7 @@ struct BatchKeyHash {
     std::uint64_t z = k.tape_fingerprint;
     z ^= k.bindings_hash + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
     z ^= k.chunk + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
+    z ^= k.variant + 0x9E3779B97F4A7C15ULL + (z << 6) + (z >> 2);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     return static_cast<std::size_t>(z ^ (z >> 27));
   }

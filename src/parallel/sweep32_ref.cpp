@@ -358,6 +358,40 @@ constexpr std::uint32_t kCorner32[] = {
     0x1780'0000u,               // 2^-80
     0x5A00'0000u,               // 2^53 (double-precision quantum edge)
     0x5A80'0000u,               // 2^54
+    // Rounding-boundary quotients: operands whose pairwise quotients land
+    // on or next to binary32 rounding boundaries, probing the div/sqrt
+    // innocuous-double-rounding exclusion from both sides. Odd integers
+    // just above 2^23 divided by the powers of two here produce exact
+    // x.5 quotients (real ties); the 4/3 neighbours produce quotients a
+    // minimal distance from a tie.
+    0x40A0'0000u,               // 5
+    0x40E0'0000u,               // 7
+    0x4120'0000u,               // 10
+    0x4B00'0003u,               // 2^23 + 3 (odd: /2 is an exact .5 tie)
+    0x4B00'0005u,               // 2^23 + 5
+    0x3FAA'AAAAu, 0x3FAA'AAABu,  // straddling 4/3 (quotient tie probe)
+    // Subnormal x subnormal fma operands: products down at 2^-298 that
+    // only the widened TwoSum tail can see against a normal addend, and
+    // 2^-75-scale values whose squares sit exactly at half the minimum
+    // subnormal (the hardest underflow-rounding tie).
+    0x0000'0007u, 0x0000'00FFu,  // small subnormals, dense low bits
+    0x0012'3456u, 0x0055'5555u,  // patterned subnormal fractions
+    0x007F'0000u,               // near-max subnormal, trailing zeros
+    0x1A00'0000u,               // 2^-75 (square = 2^-150 = half min sub)
+    0x1A00'0001u,               // 2^-75 + ulp (square just above the tie)
+    0x1A80'0000u,               // 2^-74
+    // narrow16_value boundary neighbourhood: encodings bracketing the
+    // fast16 operand-narrowing branch points (half the minimum binary16
+    // subnormal, the subnormal-step ties, and the max-subnormal /
+    // min-normal border), so a misplaced branch in the value-only
+    // narrower shows up as a corpus mismatch.
+    0x32FF'FFFFu,               // just below 2^-25 (rounds to 0 or minsub)
+    0x33C0'0000u,               // 1.5 * 2^-24: exact b16 subnormal-step tie
+    0x33A0'0000u,               // 1.25 * 2^-24 (interior, rounds down)
+    0x387F'DFFFu,               // just below the max-sub/min-normal tie
+    0x387F'E001u,               // just above that tie
+    0x38FF'F000u,               // b16 normal tie just under 2^-13
+    0x38FF'E000u,               // exactly representable neighbour below
     // Infinity and NaN payload variants.
     0x7F80'0000u,               // +inf
     0x7F80'0001u,               // sNaN, minimum payload

@@ -1,10 +1,24 @@
 #include "softfloat/batch.hpp"
 
+#include "softfloat/batch_kernels.hpp"
+#include "softfloat/kernels.hpp"
 #include "softfloat/ops.hpp"
 
 namespace fpq::softfloat {
 
 namespace {
+
+// Kernel dispatch happens here, inside the batch entry points, so every
+// caller — tape execution, the sweep32 shard loops, direct users — flows
+// through the accelerated kernels without changes. Only the ops with
+// accelerated binary32 implementations branch; everything else (and the
+// kScalar variant) keeps the scalar reference loops below.
+inline bool use_kernels() noexcept {
+  return active_kernel_variant() != KernelVariant::kScalar;
+}
+inline bool use_avx2() noexcept {
+  return active_kernel_variant() == KernelVariant::kAvx2;
+}
 
 // One binary-op lane loop; the op itself is the scalar entry point, so
 // per-lane semantics (rounding, FTZ/DAZ, flags) are the scalar engine's
@@ -25,6 +39,12 @@ void binary_lanes(const Float<kBits>* a, const Float<kBits>* b,
 template <int kBits>
 void add_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
            unsigned* flags, std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_kernels()) {
+      kernels::portable::add32(a, b, out, flags, n, env);
+      return;
+    }
+  }
   binary_lanes<kBits>(a, b, out, flags, n, env,
                       [](Float<kBits> x, Float<kBits> y, Env& e) {
                         return add(x, y, e);
@@ -34,6 +54,12 @@ void add_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
 template <int kBits>
 void sub_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
            unsigned* flags, std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_kernels()) {
+      kernels::portable::sub32(a, b, out, flags, n, env);
+      return;
+    }
+  }
   binary_lanes<kBits>(a, b, out, flags, n, env,
                       [](Float<kBits> x, Float<kBits> y, Env& e) {
                         return sub(x, y, e);
@@ -43,6 +69,12 @@ void sub_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
 template <int kBits>
 void mul_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
            unsigned* flags, std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_kernels()) {
+      kernels::portable::mul32(a, b, out, flags, n, env);
+      return;
+    }
+  }
   binary_lanes<kBits>(a, b, out, flags, n, env,
                       [](Float<kBits> x, Float<kBits> y, Env& e) {
                         return mul(x, y, e);
@@ -52,6 +84,12 @@ void mul_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
 template <int kBits>
 void div_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
            unsigned* flags, std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_kernels()) {
+      kernels::portable::div32(a, b, out, flags, n, env);
+      return;
+    }
+  }
   binary_lanes<kBits>(a, b, out, flags, n, env,
                       [](Float<kBits> x, Float<kBits> y, Env& e) {
                         return div(x, y, e);
@@ -61,6 +99,16 @@ void div_n(const Float<kBits>* a, const Float<kBits>* b, Float<kBits>* out,
 template <int kBits>
 void sqrt_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
             std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_avx2()) {
+      kernels::avx2::sqrt32(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::sqrt32(a, out, flags, n, env);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     env.clear_flags();
     out[i] = sqrt(a[i], env);
@@ -72,6 +120,12 @@ template <int kBits>
 void fma_n(const Float<kBits>* a, const Float<kBits>* b,
            const Float<kBits>* c, Float<kBits>* out, unsigned* flags,
            std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_kernels()) {
+      kernels::portable::fma32(a, b, c, out, flags, n, env);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     env.clear_flags();
     out[i] = fma(a[i], b[i], c[i], env);
@@ -109,6 +163,16 @@ void neg_n(const Float<kBits>* a, Float<kBits>* out, std::size_t n) noexcept {
 template <int kBits>
 void round_int_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
                  std::size_t n, Env& env) noexcept {
+  if constexpr (kBits == 32) {
+    if (use_avx2()) {
+      kernels::avx2::round_int32(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::round_int32(a, out, flags, n, env);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     env.clear_flags();
     out[i] = round_to_integral(a[i], env);
@@ -119,6 +183,59 @@ void round_int_n(const Float<kBits>* a, Float<kBits>* out, unsigned* flags,
 template <int kTo, int kFrom>
 void convert_n(const Float<kFrom>* a, Float<kTo>* out, unsigned* flags,
                std::size_t n, Env& env) noexcept {
+  if constexpr (kTo == 16 && kFrom == 32) {
+    if (use_avx2()) {
+      kernels::avx2::narrow_32_to_16(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::narrow_32_to_16(a, out, flags, n, env);
+      return;
+    }
+  } else if constexpr (kTo == kBFloat16 && kFrom == 32) {
+    if (use_avx2()) {
+      kernels::avx2::narrow_32_to_bf16(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::narrow_32_to_bf16(a, out, flags, n, env);
+      return;
+    }
+  } else if constexpr (kTo == 32 && kFrom == 16) {
+    if (use_avx2()) {
+      kernels::avx2::widen_16_to_32(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::widen_16_to_32(a, out, flags, n, env);
+      return;
+    }
+  } else if constexpr (kTo == 32 && kFrom == kBFloat16) {
+    if (use_avx2()) {
+      kernels::avx2::widen_bf16_to_32(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::widen_bf16_to_32(a, out, flags, n, env);
+      return;
+    }
+  } else if constexpr (kTo == 64 && kFrom == 32) {
+    if (use_avx2()) {
+      kernels::avx2::widen_32_to_64(a, out, flags, n, env);
+      return;
+    }
+    if (use_kernels()) {
+      kernels::portable::widen_32_to_64(a, out, flags, n, env);
+      return;
+    }
+  } else if constexpr (kTo == 32 && kFrom == 64) {
+    // No AVX2 kernel (the hard band spans the whole binary32-subnormal
+    // result range); portable still beats scalar.
+    if (use_kernels()) {
+      kernels::portable::narrow_64_to_32(a, out, flags, n, env);
+      return;
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     env.clear_flags();
     out[i] = convert<kTo, kFrom>(a[i], env);

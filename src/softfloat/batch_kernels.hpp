@@ -1,0 +1,88 @@
+// fpq::softfloat — internal declarations for the accelerated batch
+// kernels behind batch.cpp's dispatch (see kernels.hpp for the variant
+// model). Each kernel implements EXACTLY the corresponding batch entry
+// point's per-lane contract: out[i] and flags[i] |= are bit- and
+// flag-identical to the scalar softfloat operation under the Env's
+// rounding mode and FTZ/DAZ state, out may alias inputs, lanes run in
+// order, and the Env's sticky flags are clobbered (scalar-fallback lanes
+// use it as scratch).
+//
+// Kernels that run host floating point (the fast32 arithmetic ops and
+// sqrt) pin the fenv to round-to-nearest internally — callers like the
+// sweep32 shard loops invoke them under ambient, per-shard rounding
+// modes. The convert / round-to-int kernels are pure integer code and
+// need no pinning.
+//
+// Not a public header: only batch.cpp, kernels.cpp, and the kernel TUs
+// (batch_kernels_portable.cpp / batch_kernels_avx2.cpp) include it.
+#pragma once
+
+#include <cstddef>
+
+#include "softfloat/env.hpp"
+#include "softfloat/value.hpp"
+
+namespace fpq::softfloat::kernels {
+
+/// True when batch_kernels_avx2.cpp was built with AVX2 code generation
+/// (the build adds -mavx2 for that one TU when the compiler supports it;
+/// otherwise the TU compiles portable forwarders and this returns false).
+bool avx2_compiled() noexcept;
+
+namespace portable {
+
+void add32(const Float32* a, const Float32* b, Float32* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept;
+void sub32(const Float32* a, const Float32* b, Float32* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept;
+void mul32(const Float32* a, const Float32* b, Float32* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept;
+void div32(const Float32* a, const Float32* b, Float32* out, unsigned* flags,
+           std::size_t n, Env& env) noexcept;
+void fma32(const Float32* a, const Float32* b, const Float32* c, Float32* out,
+           unsigned* flags, std::size_t n, Env& env) noexcept;
+void sqrt32(const Float32* a, Float32* out, unsigned* flags, std::size_t n,
+            Env& env) noexcept;
+void round_int32(const Float32* a, Float32* out, unsigned* flags,
+                 std::size_t n, Env& env) noexcept;
+void narrow_32_to_16(const Float32* a, Float16* out, unsigned* flags,
+                     std::size_t n, Env& env) noexcept;
+void narrow_32_to_bf16(const Float32* a, BFloat16* out, unsigned* flags,
+                       std::size_t n, Env& env) noexcept;
+void narrow_64_to_32(const Float64* a, Float32* out, unsigned* flags,
+                     std::size_t n, Env& env) noexcept;
+void widen_16_to_32(const Float16* a, Float32* out, unsigned* flags,
+                    std::size_t n, Env& env) noexcept;
+void widen_bf16_to_32(const BFloat16* a, Float32* out, unsigned* flags,
+                      std::size_t n, Env& env) noexcept;
+void widen_32_to_64(const Float32* a, Float64* out, unsigned* flags,
+                    std::size_t n, Env& env) noexcept;
+
+}  // namespace portable
+
+// The AVX2 set covers the unary / convert sweep ops (the full-2^32
+// spaces). The binary arithmetic ops stay on the portable fast32 loops
+// under every vector variant: their cost is dominated by the scalar
+// TwoSum / fold-back tails, not lane traversal. When avx2_compiled() is
+// false these are forwarders to the portable kernels (and dispatch never
+// selects them anyway).
+namespace avx2 {
+
+void sqrt32(const Float32* a, Float32* out, unsigned* flags, std::size_t n,
+            Env& env) noexcept;
+void round_int32(const Float32* a, Float32* out, unsigned* flags,
+                 std::size_t n, Env& env) noexcept;
+void narrow_32_to_16(const Float32* a, Float16* out, unsigned* flags,
+                     std::size_t n, Env& env) noexcept;
+void narrow_32_to_bf16(const Float32* a, BFloat16* out, unsigned* flags,
+                       std::size_t n, Env& env) noexcept;
+void widen_16_to_32(const Float16* a, Float32* out, unsigned* flags,
+                    std::size_t n, Env& env) noexcept;
+void widen_bf16_to_32(const BFloat16* a, Float32* out, unsigned* flags,
+                      std::size_t n, Env& env) noexcept;
+void widen_32_to_64(const Float32* a, Float64* out, unsigned* flags,
+                    std::size_t n, Env& env) noexcept;
+
+}  // namespace avx2
+
+}  // namespace fpq::softfloat::kernels

@@ -1,0 +1,93 @@
+#include "softfloat/kernels.hpp"
+
+#include <atomic>
+
+#include "softfloat/batch_kernels.hpp"
+
+namespace fpq::softfloat {
+
+namespace {
+
+/// -1 = no override, else the forced variant.
+std::atomic<int> g_override{-1};
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* kernel_variant_name(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kPortable:
+      return "portable";
+    case KernelVariant::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool parse_kernel_variant(std::string_view name,
+                          KernelVariant& out) noexcept {
+  for (const KernelVariant v : {KernelVariant::kScalar,
+                                KernelVariant::kPortable,
+                                KernelVariant::kAvx2}) {
+    if (name == kernel_variant_name(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool kernel_variant_available(KernelVariant v) noexcept {
+  switch (v) {
+    case KernelVariant::kScalar:
+    case KernelVariant::kPortable:
+      return true;
+    case KernelVariant::kAvx2:
+      return kernels::avx2_compiled() && cpu_has_avx2();
+  }
+  return false;
+}
+
+KernelVariant best_kernel_variant() noexcept {
+  static const KernelVariant best =
+      kernel_variant_available(KernelVariant::kAvx2) ? KernelVariant::kAvx2
+                                                     : KernelVariant::kPortable;
+  return best;
+}
+
+KernelVariant active_kernel_variant() noexcept {
+  const int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<KernelVariant>(o);
+  return best_kernel_variant();
+}
+
+bool set_kernel_variant_override(KernelVariant v) noexcept {
+  if (!kernel_variant_available(v)) return false;
+  g_override.store(static_cast<int>(v), std::memory_order_relaxed);
+  return true;
+}
+
+void clear_kernel_variant_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+int kernel_variant_override_raw() noexcept {
+  return g_override.load(std::memory_order_relaxed);
+}
+
+void restore_kernel_variant_override(int raw) noexcept {
+  // No availability check: the value came from the atomic, so it was
+  // either -1 or a variant that passed the check when it was set.
+  g_override.store(raw < 0 ? -1 : raw, std::memory_order_relaxed);
+}
+
+}  // namespace fpq::softfloat

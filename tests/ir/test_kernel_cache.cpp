@@ -1,0 +1,171 @@
+// The BatchResultCache's kernel-variant isolation contract: a chunk
+// computed under one KernelVariant must never be served to a run
+// executing under another. The parity gates prove the variants agree,
+// but the cache's correctness must not DEPEND on that proof — the
+// variant is part of BatchKey's identity, and these tests pin that the
+// key, its hash, and the execute_batch plumbing all honor it. The tape
+// fingerprint, by contrast, names the PROGRAM and must stay
+// variant-independent, or resumable sweep manifests would fork per
+// machine.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+
+#include "ir/ir.hpp"
+#include "parallel/result_cache.hpp"
+#include "parallel/thread_pool.hpp"
+#include "softfloat/kernels.hpp"
+#include "stats/prng.hpp"
+
+namespace ir = fpq::ir;
+namespace par = fpq::parallel;
+namespace sf = fpq::softfloat;
+namespace st = fpq::stats;
+using E = ir::Expr;
+
+namespace {
+
+const double kPool[] = {
+    0.0,     -0.0,    1.0,    -1.0,   0.5,     3.0,
+    0.1,     1.0 / 3, -2.5,   7.25,   1e16,    -1e16,
+    1e300,   -1e300,  1e-300, 5e-324, 2.2250738585072014e-308,
+    1.0 + 0x1.0p-30, 1.7976931348623157e308};
+
+E poly() {
+  const E x = E::variable("x", 0);
+  E acc = E::constant(1.25);
+  for (const double c : {-0.5, 0.1, 2.0, -1.0 / 3}) {
+    acc = E::add(E::mul(acc, x), E::constant(c));
+  }
+  return acc;
+}
+
+ir::BindingTable random_table(std::size_t rows, std::uint64_t seed) {
+  st::Xoshiro256pp g(seed);
+  ir::BindingTable table;
+  table.width = 1;
+  for (std::size_t r = 0; r < rows; ++r) {
+    table.values.push_back(kPool[st::uniform_below(g, std::size(kPool))]);
+  }
+  return table;
+}
+
+TEST(KernelCacheKey, VariantDistinguishesEqualityAndHash) {
+  par::BatchKey a;
+  a.tape_fingerprint = 0xFEED'F00D'CAFE'BABEULL;
+  a.bindings_hash = 0x1234'5678'9ABC'DEF0ULL;
+  a.chunk = 7;
+  a.variant = 0;
+  par::BatchKey b = a;
+  b.variant = 1;
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(par::BatchKeyHash{}(a), par::BatchKeyHash{}(b));
+}
+
+TEST(KernelCacheKey, CacheSeparatesVariantEntries) {
+  par::BatchResultCache cache;
+  par::BatchKey key;
+  key.tape_fingerprint = 0x7EA9;
+  key.bindings_hash = 0xB1B2;
+  par::BatchChunkResult scalar_payload;
+  scalar_payload.outcomes.emplace_back(0x3F80'0000ULL, 0u);
+  cache.insert(key, scalar_payload);
+  par::BatchKey other = key;
+  other.variant = 2;
+  EXPECT_FALSE(cache.find(other).has_value());
+  const auto back = cache.find(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->outcomes, scalar_payload.outcomes);
+}
+
+TEST(KernelCacheIsolation, CrossVariantRunsNeverShareEntries) {
+  par::ThreadPool pool(2);
+  auto& cache = par::BatchResultCache::global();
+  cache.clear();
+  const ir::BindingTable table = random_table(512, 0x5111D);
+  ir::EvalConfig cfg;
+  cfg.format_bits = 32;  // the format the accelerated kernels cover
+  const ir::Tape tape = ir::Tape::compile(poly(), cfg);
+  ir::BatchOptions options;
+  options.min_rows_per_chunk = 64;
+
+  sf::ScopedKernelVariant portable(sf::KernelVariant::kPortable);
+  ASSERT_TRUE(portable.applied());
+  const auto fast = ir::execute_batch(pool, tape, table, options);
+  EXPECT_EQ(cache.hits(), 0u);
+  const std::size_t portable_entries = cache.size();
+  EXPECT_GT(portable_entries, 0u);
+
+  // Same tape, same bindings, different variant: the warm cache must be
+  // invisible — zero hits, and a fresh set of entries is written.
+  {
+    sf::ScopedKernelVariant scalar(sf::KernelVariant::kScalar);
+    ASSERT_TRUE(scalar.applied());
+    const auto slow = ir::execute_batch(pool, tape, table, options);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 2 * portable_entries);
+    // The variants still agree on the numbers (the parity claim).
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t r = 0; r < fast.size(); ++r) {
+      ASSERT_EQ(fast[r].value.bits, slow[r].value.bits) << "row " << r;
+      ASSERT_EQ(fast[r].flags, slow[r].flags) << "row " << r;
+    }
+  }
+
+  // Back under the variant that warmed the cache, every chunk hits.
+  const std::uint64_t misses_before = cache.misses();
+  const auto again = ir::execute_batch(pool, tape, table, options);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_EQ(cache.size(), 2 * portable_entries);
+  for (std::size_t r = 0; r < fast.size(); ++r) {
+    ASSERT_EQ(fast[r].value.bits, again[r].value.bits) << "row " << r;
+  }
+  cache.clear();
+}
+
+TEST(KernelCacheIsolation, TapeFingerprintIsVariantIndependent) {
+  // The fingerprint names the program + numeric config; executing under
+  // a different kernel variant must not change it (manifest resumability
+  // across machines depends on this).
+  ir::EvalConfig cfg;
+  cfg.format_bits = 32;
+  std::uint64_t ref = 0;
+  bool have_ref = false;
+  for (const sf::KernelVariant v :
+       {sf::KernelVariant::kScalar, sf::KernelVariant::kPortable,
+        sf::KernelVariant::kAvx2}) {
+    if (!sf::kernel_variant_available(v)) continue;
+    sf::ScopedKernelVariant forced(v);
+    ASSERT_TRUE(forced.applied());
+    const ir::Tape tape = ir::Tape::compile(poly(), cfg);
+    if (!have_ref) {
+      have_ref = true;
+      ref = tape.fingerprint();
+    } else {
+      EXPECT_EQ(tape.fingerprint(), ref) << sf::kernel_variant_name(v);
+    }
+  }
+}
+
+TEST(KernelCacheIsolation, SharedTapeCacheIgnoresVariantSwitches) {
+  // Tape::cached interns compiled PROGRAMS; switching the kernel variant
+  // must return the same tape object, not fork per variant.
+  ir::Tape::clear_cache();
+  ir::EvalConfig cfg;
+  cfg.format_bits = 32;
+  const E tree = poly();
+  sf::ScopedKernelVariant portable(sf::KernelVariant::kPortable);
+  const auto first = ir::Tape::cached(tree, cfg);
+  {
+    sf::ScopedKernelVariant scalar(sf::KernelVariant::kScalar);
+    const auto second = ir::Tape::cached(tree, cfg);
+    EXPECT_EQ(first.get(), second.get());
+  }
+  ir::Tape::clear_cache();
+}
+
+}  // namespace

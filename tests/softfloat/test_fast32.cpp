@@ -1,0 +1,373 @@
+// Differential tests for the binary32 fast path and the vectorized batch
+// kernels (softfloat/fast32.hpp, softfloat/batch_kernels_*.cpp): every
+// kernel variant must be bit- and flag-identical to the scalar softfloat
+// reference, across all five rounding modes and every FTZ/DAZ
+// combination. The full proof is the exhaustive sweep32 gate; this suite
+// is the fast regression: a ULP-stratified 2^16 lattice seeded with the
+// sweep corner corpus, exhaustive 2^16 sweeps where the operand space
+// permits, and the corpus cross-product for the fallback-lane predicate.
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/sweep32_ref.hpp"
+#include "softfloat/batch.hpp"
+#include "softfloat/fast32.hpp"
+#include "softfloat/kernels.hpp"
+#include "softfloat/ops.hpp"
+
+namespace sf = fpq::softfloat;
+namespace f32 = fpq::softfloat::fast32;
+namespace sweep32 = fpq::parallel::sweep32;
+
+namespace {
+
+struct EnvCfg {
+  sf::Rounding mode;
+  bool ftz;
+  bool daz;
+};
+
+constexpr sf::Rounding kModes[] = {
+    sf::Rounding::kNearestEven, sf::Rounding::kTowardZero,
+    sf::Rounding::kDown, sf::Rounding::kUp, sf::Rounding::kNearestAway};
+
+sf::Env make_env(const EnvCfg& cfg) {
+  sf::Env env(cfg.mode);
+  env.set_flush_to_zero(cfg.ftz);
+  env.set_denormals_are_zero(cfg.daz);
+  return env;
+}
+
+std::string cfg_name(const EnvCfg& cfg) {
+  std::string s = "mode=";
+  s += std::to_string(static_cast<int>(cfg.mode));
+  if (cfg.ftz) s += " ftz";
+  if (cfg.daz) s += " daz";
+  return s;
+}
+
+/// The ULP-stratified operand lattice, seeded with every sign-mirrored
+/// corpus encoding so the special/boundary cases are always present.
+std::vector<sf::Float32> lattice32(std::size_t n, std::uint64_t seed) {
+  std::vector<sf::Float32> v;
+  v.reserve(n);
+  for (const std::uint32_t p : sweep32::corner32_patterns()) {
+    v.push_back(sf::Float32::from_bits(p));
+    v.push_back(sf::Float32::from_bits(p | 0x8000'0000u));
+  }
+  fpq::parallel::sweep_detail::Sm64 g(seed);
+  while (v.size() < n) {
+    v.push_back(sf::Float32::from_bits(sweep32::ulp_stratified_pattern(g)));
+  }
+  v.resize(n);
+  return v;
+}
+
+struct LaneResult {
+  std::vector<std::uint64_t> bits;
+  std::vector<unsigned> flags;
+  bool operator==(const LaneResult&) const = default;
+};
+
+/// Runs `call` (which invokes a batch entry point into the given output
+/// span) under a forced kernel variant and packages bits + flags.
+template <typename F, typename Call>
+LaneResult run_variant(sf::KernelVariant variant, std::size_t n,
+                       const EnvCfg& cfg, Call call) {
+  sf::ScopedKernelVariant forced(variant);
+  EXPECT_TRUE(forced.applied());
+  std::vector<F> out(n);
+  std::vector<unsigned> flags(n, 0);
+  sf::Env env = make_env(cfg);
+  call(out.data(), flags.data(), env);
+  LaneResult r;
+  r.bits.reserve(n);
+  for (const F& x : out) r.bits.push_back(x.bits);
+  r.flags = std::move(flags);
+  return r;
+}
+
+std::vector<sf::KernelVariant> accelerated_variants() {
+  std::vector<sf::KernelVariant> v{sf::KernelVariant::kPortable};
+  if (sf::kernel_variant_available(sf::KernelVariant::kAvx2)) {
+    v.push_back(sf::KernelVariant::kAvx2);
+  }
+  return v;
+}
+
+/// Asserts every accelerated variant matches kScalar lane-for-lane.
+template <typename F, typename Call>
+void expect_parity(const char* what, std::size_t n, const EnvCfg& cfg,
+                   Call call) {
+  const LaneResult ref =
+      run_variant<F>(sf::KernelVariant::kScalar, n, cfg, call);
+  for (const sf::KernelVariant v : accelerated_variants()) {
+    const LaneResult got = run_variant<F>(v, n, cfg, call);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ref.bits[i], got.bits[i])
+          << what << " lane " << i << " variant "
+          << sf::kernel_variant_name(v) << " " << cfg_name(cfg);
+      ASSERT_EQ(ref.flags[i], got.flags[i])
+          << what << " flags lane " << i << " variant "
+          << sf::kernel_variant_name(v) << " " << cfg_name(cfg);
+    }
+  }
+}
+
+}  // namespace
+
+// The 2^16 stratified add/sub/mul/div/fma lattice: every accelerated
+// variant vs the scalar reference, 5 modes x FTZ/DAZ.
+TEST(Fast32Lattice, BinaryOpsMatchScalarAllModesAllEnvs) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  const auto a = lattice32(kN, 0xA5A5'0001);
+  const auto b = lattice32(kN, 0x5A5A'0002);
+  for (const sf::Rounding mode : kModes) {
+    for (int ebits = 0; ebits < 4; ++ebits) {
+      const EnvCfg cfg{mode, (ebits & 1) != 0, (ebits & 2) != 0};
+      expect_parity<sf::Float32>(
+          "add", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::add_n<32>(a.data(), b.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float32>(
+          "sub", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::sub_n<32>(a.data(), b.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float32>(
+          "mul", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::mul_n<32>(a.data(), b.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float32>(
+          "div", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::div_n<32>(a.data(), b.data(), out, fl, kN, env);
+          });
+    }
+  }
+}
+
+TEST(Fast32Lattice, FmaMatchesScalarAllModesAllEnvs) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  const auto a = lattice32(kN, 0x1111'0003);
+  const auto b = lattice32(kN, 0x2222'0004);
+  const auto c = lattice32(kN, 0x3333'0005);
+  for (const sf::Rounding mode : kModes) {
+    for (int ebits = 0; ebits < 4; ++ebits) {
+      const EnvCfg cfg{mode, (ebits & 1) != 0, (ebits & 2) != 0};
+      expect_parity<sf::Float32>(
+          "fma", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::fma_n<32>(a.data(), b.data(), c.data(), out, fl, kN, env);
+          });
+    }
+  }
+}
+
+// The AVX2-vectorized unary ops and narrowing converts over the same
+// lattice (their exhaustive proof is the full-2^32 sweep gate).
+TEST(Fast32Lattice, UnaryAndNarrowMatchScalarAllModesAllEnvs) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  const auto a = lattice32(kN, 0x7777'0006);
+  for (const sf::Rounding mode : kModes) {
+    for (int ebits = 0; ebits < 4; ++ebits) {
+      const EnvCfg cfg{mode, (ebits & 1) != 0, (ebits & 2) != 0};
+      expect_parity<sf::Float32>(
+          "sqrt", kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::sqrt_n<32>(a.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float32>(
+          "round_int", kN, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::round_int_n<32>(a.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float16>(
+          "narrow16", kN, cfg,
+          [&](sf::Float16* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<16, 32>(a.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::BFloat16>(
+          "narrow_bf16", kN, cfg,
+          [&](sf::BFloat16* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<sf::kBFloat16, 32>(a.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float64>(
+          "widen64", kN, cfg,
+          [&](sf::Float64* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<64, 32>(a.data(), out, fl, kN, env);
+          });
+    }
+  }
+}
+
+// binary64 -> binary32: random 64-bit patterns plus widened lattice
+// values with the low discarded bits perturbed to straddle every tie.
+TEST(Fast32Lattice, Narrow64MatchesScalarAllModes) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  const auto seeds = lattice32(kN / 4, 0xBEEF'0007);
+  std::vector<sf::Float64> a;
+  a.reserve(kN);
+  sf::Env quiet;
+  fpq::parallel::sweep_detail::Sm64 g(0xD00D'0008);
+  for (const sf::Float32 s : seeds) {
+    const std::uint64_t w = sf::convert<64>(s, quiet).bits;
+    a.push_back(sf::Float64::from_bits(w));
+    a.push_back(sf::Float64::from_bits(w | (std::uint64_t{1} << 28)));
+    a.push_back(sf::Float64::from_bits(w + 1));
+    a.push_back(sf::Float64::from_bits(w == 0 ? g.next() : w - 1));
+  }
+  while (a.size() < kN) a.push_back(sf::Float64::from_bits(g.next()));
+  for (const sf::Rounding mode : kModes) {
+    for (int ebits = 0; ebits < 4; ++ebits) {
+      const EnvCfg cfg{mode, (ebits & 1) != 0, (ebits & 2) != 0};
+      expect_parity<sf::Float32>(
+          "narrow64_32", kN, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<32, 64>(a.data(), out, fl, kN, env);
+          });
+    }
+  }
+}
+
+// The 16-bit source formats are small enough to prove exhaustively.
+TEST(Fast32Exhaustive, WidenFrom16AndBf16AllEncodings) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  std::vector<sf::Float16> h(kN);
+  std::vector<sf::BFloat16> bf(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    h[i] = sf::Float16::from_bits(static_cast<std::uint16_t>(i));
+    bf[i] = sf::BFloat16::from_bits(static_cast<std::uint16_t>(i));
+  }
+  for (const sf::Rounding mode : kModes) {
+    for (int ebits = 0; ebits < 4; ++ebits) {
+      const EnvCfg cfg{mode, (ebits & 1) != 0, (ebits & 2) != 0};
+      expect_parity<sf::Float32>(
+          "widen_16_32", kN, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<32, 16>(h.data(), out, fl, kN, env);
+          });
+      expect_parity<sf::Float32>(
+          "widen_bf16_32", kN, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::convert_n<32, sf::kBFloat16>(bf.data(), out, fl, kN, env);
+          });
+    }
+  }
+}
+
+// The fallback-lane predicate (fast32::is_finite on the widened value)
+// must classify exactly like the encoding's own finiteness test, and the
+// fast path must agree with the scalar reference on every corpus
+// encoding cross-pair — the encodings built to sit ON the fallback /
+// fast-path boundary.
+TEST(Fast32Corpus, FallbackPredicateMatchesEncodingClassification) {
+  for (const std::uint32_t p : sweep32::corner32_patterns()) {
+    for (const std::uint32_t s : {0u, 0x8000'0000u}) {
+      const sf::Float32 x = sf::Float32::from_bits(p | s);
+      const double w = f32::widen(x);
+      EXPECT_EQ(f32::is_finite(w), x.is_finite()) << std::hex << x.bits;
+      EXPECT_EQ(f32::is_subnormal32(w),
+                x.biased_exponent() == 0 && x.fraction() != 0 &&
+                    x.is_finite())
+          << std::hex << x.bits;
+      // Exact widen/renarrow roundtrip (quiet NaNs keep payload; the
+      // signaling bit is quieted by to_f32's convert, so sNaNs are the
+      // one legitimate difference).
+      const sf::Float32 back = f32::to_f32(w);
+      if (!x.is_nan()) {
+        EXPECT_EQ(back.bits, x.bits) << std::hex << x.bits;
+      } else {
+        EXPECT_TRUE(back.is_nan());
+      }
+    }
+  }
+}
+
+TEST(Fast32Corpus, CrossPairsMatchScalarEveryMode) {
+  std::vector<sf::Float32> ops;
+  for (const std::uint32_t p : sweep32::corner32_patterns()) {
+    ops.push_back(sf::Float32::from_bits(p));
+    ops.push_back(sf::Float32::from_bits(p | 0x8000'0000u));
+  }
+  const std::size_t m = ops.size();
+  std::vector<sf::Float32> a(m * m), b(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      a[i * m + j] = ops[i];
+      b[i * m + j] = ops[j];
+    }
+  }
+  const std::size_t n = a.size();
+  for (const sf::Rounding mode : kModes) {
+    for (const bool flush : {false, true}) {
+      const EnvCfg cfg{mode, flush, flush};
+      expect_parity<sf::Float32>(
+          "corpus add", n, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::add_n<32>(a.data(), b.data(), out, fl, n, env);
+          });
+      expect_parity<sf::Float32>(
+          "corpus mul", n, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::mul_n<32>(a.data(), b.data(), out, fl, n, env);
+          });
+      expect_parity<sf::Float32>(
+          "corpus div", n, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::div_n<32>(a.data(), b.data(), out, fl, n, env);
+          });
+      expect_parity<sf::Float32>(
+          "corpus fma(a,b,a)", n, cfg,
+          [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+            sf::fma_n<32>(a.data(), b.data(), a.data(), out, fl, n, env);
+          });
+    }
+  }
+}
+
+// Batch contract: out may alias an input.
+TEST(Fast32Kernels, AliasingOutputOverInput) {
+  constexpr std::size_t kN = 4096;
+  const auto a0 = lattice32(kN, 0xFEED'0009);
+  const auto b = lattice32(kN, 0xFACE'000A);
+  const EnvCfg cfg{sf::Rounding::kNearestEven, false, false};
+  const LaneResult ref = run_variant<sf::Float32>(
+      sf::KernelVariant::kScalar, kN, cfg,
+      [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+        auto a = a0;
+        sf::add_n<32>(a.data(), b.data(), a.data(), fl, kN, env);
+        for (std::size_t i = 0; i < kN; ++i) out[i] = a[i];
+      });
+  for (const sf::KernelVariant v : accelerated_variants()) {
+    const LaneResult got = run_variant<sf::Float32>(
+        v, kN, cfg, [&](sf::Float32* out, unsigned* fl, sf::Env& env) {
+          auto a = a0;
+          sf::add_n<32>(a.data(), b.data(), a.data(), fl, kN, env);
+          for (std::size_t i = 0; i < kN; ++i) out[i] = a[i];
+        });
+    EXPECT_EQ(ref, got) << sf::kernel_variant_name(v);
+  }
+}
+
+// narrow32_value (the value-only operand narrower the tape kVar lanes
+// use) against the flag-computing scalar convert, on doubles that
+// straddle binary32 ties in every band.
+TEST(Fast32Primitives, Narrow32ValueMatchesConvert) {
+  fpq::parallel::sweep_detail::Sm64 g(0xC0DE'000B);
+  for (const sf::Rounding mode : kModes) {
+    sf::Env quiet(mode);
+    for (int i = 0; i < 200000; ++i) {
+      const std::uint64_t raw = g.next();
+      const auto be = (raw >> 52) & 0x7FF;
+      if (be == 0 || be == 0x7FF) continue;  // handled by the kVar branches
+      const double x = std::bit_cast<double>(raw);
+      const double got = f32::narrow32_value(x, mode);
+      quiet.clear_flags();
+      const double want =
+          f32::widen(sf::convert<32>(sf::from_native(x), quiet));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                std::bit_cast<std::uint64_t>(want))
+          << std::hex << raw << " mode " << static_cast<int>(mode);
+    }
+  }
+}
